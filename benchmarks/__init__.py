@@ -1,0 +1,1 @@
+"""Experiment benchmarks (E1..E12); see DESIGN.md §4 for the index."""

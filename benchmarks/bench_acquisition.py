@@ -1,0 +1,228 @@
+"""E12 — Budgeted data acquisition: data market (Li/Yu/Koudas'21) and
+Slice Tuner (Tae & Whang'21).
+
+Reproduced shapes:
+* buying records improves validation accuracy, with diminishing returns
+  in the budget;
+* the explore-exploit consumer concentrates its budget on the slice its
+  initial data lacks;
+* Slice Tuner's curve-driven allocation gives the starved slice a larger
+  share than size-proportional allocation and ends with lower per-slice
+  loss imbalance.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from respdi.acquisition import DataProvider, ModelImprovementAcquirer, SliceTuner
+from respdi.datagen.population import default_health_population
+from respdi.table import Eq
+
+FEATURES = ["x0", "x1", "x2", "x3"]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    population = default_health_population(
+        minority_fraction=0.25, group_signal=1.8, label_bias_against_minority=-1.0
+    )
+    initial = population.sample_biased(
+        150,
+        {g: (0.48 if g[1] == "white" else 0.02) for g in population.groups},
+        rng=71,
+    )
+    pool = population.sample(6000, rng=72)
+    validation = population.sample(2000, rng=73)
+    candidates = {f"race={r}": Eq("race", r) for r in ("white", "black")}
+    return initial, pool, validation, candidates
+
+
+@pytest.fixture(scope="module")
+def budget_sweep(setting):
+    initial, pool, validation, candidates = setting
+    rows = []
+    usage = {}
+    for budget in (0, 200, 600, 1200):
+        if budget == 0:
+            acquirer = ModelImprovementAcquirer(
+                initial, candidates, FEATURES, "y", validation
+            )
+            accuracy = acquirer._fit_and_score(initial)
+            rows.append((budget, round(accuracy, 4), "-"))
+            continue
+        provider = DataProvider(pool, rng=74)
+        acquirer = ModelImprovementAcquirer(
+            initial, candidates, FEATURES, "y", validation,
+            strategy="explore_exploit",
+        )
+        result = acquirer.run(provider, budget=budget, batch_size=100, rng=75)
+        usage[budget] = result.predicate_usage
+        rows.append(
+            (budget, round(result.final_accuracy, 4), str(result.predicate_usage))
+        )
+    print_table(
+        "E12a: validation accuracy vs acquisition budget (explore-exploit)",
+        ["budget", "accuracy", "predicate usage"],
+        rows,
+    )
+    return rows, usage
+
+
+def test_accuracy_improves_with_budget(budget_sweep):
+    rows, _ = budget_sweep
+    accuracies = [accuracy for _, accuracy, _ in rows]
+    assert accuracies[-1] > accuracies[0]
+
+
+def test_explore_exploit_targets_missing_slice(budget_sweep):
+    _, usage = budget_sweep
+    final = usage[1200]
+    assert final["race=black"] >= final["race=white"] * 0.8
+
+
+@pytest.fixture(scope="module")
+def slice_tuner_results(setting):
+    initial, pool, validation, _ = setting
+    slices = {f"race={r}": Eq("race", r) for r in ("white", "black")}
+    rows = []
+    outcomes = {}
+    for strategy in ("curve", "uniform", "proportional"):
+        provider = DataProvider(pool, rng=76)
+        tuner = SliceTuner(slices, FEATURES, "y", validation, strategy=strategy)
+        result = tuner.run(provider, initial, budget=800, rounds=4, rng=77)
+        outcomes[strategy] = result
+        rows.append(
+            (
+                strategy,
+                result.allocations["race=black"],
+                result.allocations["race=white"],
+                round(result.final_total_loss, 4),
+                round(result.final_imbalance, 4),
+            )
+        )
+    print_table(
+        "E12b: Slice Tuner allocation strategies (budget 800)",
+        ["strategy", "to black", "to white", "final total loss",
+         "final imbalance"],
+        rows,
+    )
+    return outcomes
+
+
+def test_curve_beats_proportional_on_minority_share(slice_tuner_results):
+    def minority_share(result):
+        total = sum(result.allocations.values())
+        return result.allocations["race=black"] / total if total else 0.0
+
+    assert minority_share(slice_tuner_results["curve"]) > minority_share(
+        slice_tuner_results["proportional"]
+    )
+
+
+def test_all_strategies_reduce_total_loss(slice_tuner_results):
+    for result in slice_tuner_results.values():
+        assert result.final_total_loss <= result.total_loss_trajectory[0] + 0.02
+
+
+@pytest.fixture(scope="module")
+def correlation_market_results():
+    """E12c: correlation buying on a join graph (Li et al., VLDB'18
+    shape): coordinated key purchases reach the CI target at a fraction
+    of random buying's cost, across correlation strengths."""
+    from respdi.acquisition import PricedColumnSource, buy_correlation
+    from respdi.table import Schema, Table
+
+    rng = np.random.default_rng(101)
+    rows = []
+    outcomes = {}
+    n, overlap = 4000, 2500
+    for rho in (0.8, 0.5):
+        keys = [f"k{i}" for i in range(n)]
+        x = rng.normal(size=n)
+        y = rho * x + np.sqrt(1 - rho**2) * rng.normal(size=n)
+        start = n - overlap
+        left_table = Table(
+            Schema([("k", "categorical"), ("a", "numeric")]),
+            {"k": keys, "a": x},
+        )
+        right_table = Table(
+            Schema([("k", "categorical"), ("b", "numeric")]),
+            {
+                "k": keys[start:] + [f"only{i}" for i in range(start)],
+                "b": list(y[start:]) + list(rng.normal(size=start)),
+            },
+        )
+        for strategy in ("coordinated", "random"):
+            left = PricedColumnSource(left_table, "k", "a", rng=102)
+            right = PricedColumnSource(right_table, "k", "b", rng=103)
+            result = buy_correlation(
+                left, right, budget=6000, target_ci_width=0.2,
+                strategy=strategy, rng=104,
+            )
+            outcomes[(rho, strategy)] = result
+            rows.append(
+                (
+                    rho,
+                    strategy,
+                    round(result.estimate, 3),
+                    result.pairs_used,
+                    round(result.total_cost, 1),
+                    "yes" if result.reached_target else "no",
+                )
+            )
+    print_table(
+        "E12c: correlation buying — coordinated vs random tuples",
+        ["true rho", "strategy", "estimate", "pairs", "cost", "target met"],
+        rows,
+    )
+    return outcomes
+
+
+def test_coordinated_buying_cheaper(correlation_market_results):
+    for rho in (0.8, 0.5):
+        coordinated = correlation_market_results[(rho, "coordinated")]
+        random = correlation_market_results[(rho, "random")]
+        assert coordinated.reached_target
+        if random.reached_target:
+            assert coordinated.total_cost < random.total_cost
+        assert abs(coordinated.estimate - rho) <= coordinated.ci_width
+
+
+def test_benchmark_correlation_buying(benchmark, correlation_market_results):
+    from respdi.acquisition import PricedColumnSource, buy_correlation
+    from respdi.table import Schema, Table
+
+    rng = np.random.default_rng(105)
+    n = 2000
+    keys = [f"k{i}" for i in range(n)]
+    x = rng.normal(size=n)
+    y = 0.6 * x + 0.8 * rng.normal(size=n)
+    left_table = Table(
+        Schema([("k", "categorical"), ("a", "numeric")]), {"k": keys, "a": x}
+    )
+    right_table = Table(
+        Schema([("k", "categorical"), ("b", "numeric")]), {"k": keys, "b": y}
+    )
+
+    def run():
+        left = PricedColumnSource(left_table, "k", "a", rng=106)
+        right = PricedColumnSource(right_table, "k", "b", rng=107)
+        return buy_correlation(left, right, budget=2000, rng=108)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_benchmark_acquisition_campaign(
+    benchmark, setting, budget_sweep, slice_tuner_results
+):
+    initial, pool, validation, candidates = setting
+
+    def run():
+        provider = DataProvider(pool, rng=78)
+        acquirer = ModelImprovementAcquirer(
+            initial, candidates, FEATURES, "y", validation
+        )
+        return acquirer.run(provider, budget=300, batch_size=100, rng=79)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,141 @@
+"""E6 — Coverage / MUP identification (Asudeh'19, '21).
+
+Reproduced shapes:
+* the pattern-breaker traversal evaluates far fewer patterns than naive
+  lattice enumeration, with the gap widening in dimensionality;
+* the MUP count and the uncovered-volume estimate grow as the coverage
+  threshold grows;
+* greedy enhancement proposes few combinations relative to the MUP count
+  (rows are shared across compatible MUPs).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from respdi.coverage import CoverageAnalyzer, OrdinalCoverage, full_coverage_plan
+from respdi.table import ColumnType, Schema, Table
+
+
+def categorical_table(n_rows, n_attrs, cardinality=3, seed=0, skew=2.0):
+    rng = np.random.default_rng(seed)
+    weights = np.array([1.0 / (i + 1) ** skew for i in range(cardinality)])
+    weights /= weights.sum()
+    schema = Schema([(f"a{i}", ColumnType.CATEGORICAL) for i in range(n_attrs)])
+    columns = {
+        f"a{i}": [
+            f"v{j}" for j in rng.choice(cardinality, size=n_rows, p=weights)
+        ]
+        for i in range(n_attrs)
+    }
+    return Table(schema, columns)
+
+
+@pytest.fixture(scope="module")
+def traversal_results():
+    rows = []
+    for n_attrs in (3, 4, 5, 6):
+        table = categorical_table(2000, n_attrs, seed=n_attrs)
+        attributes = [f"a{i}" for i in range(n_attrs)]
+        analyzer = CoverageAnalyzer(table, attributes, threshold=25)
+        fast = analyzer.mups()
+        fresh = CoverageAnalyzer(table, attributes, threshold=25)
+        naive = fresh.mups_naive()
+        assert sorted(map(repr, fast.mups)) == sorted(map(repr, naive.mups))
+        rows.append(
+            (
+                n_attrs,
+                len(fast.mups),
+                fast.patterns_evaluated,
+                naive.patterns_evaluated,
+                round(naive.patterns_evaluated / fast.patterns_evaluated, 2),
+            )
+        )
+    print_table(
+        "E6a: pattern-breaker vs naive enumeration",
+        ["attrs", "#MUPs", "breaker evals", "naive evals", "speedup"],
+        rows,
+    )
+    return rows
+
+
+def test_breaker_prunes_and_gap_grows(traversal_results):
+    speedups = [row[4] for row in traversal_results]
+    assert all(s >= 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]
+
+
+@pytest.fixture(scope="module")
+def threshold_results():
+    table = categorical_table(2000, 4, seed=9)
+    attributes = [f"a{i}" for i in range(4)]
+    rows = []
+    for threshold in (5, 25, 100, 400):
+        analyzer = CoverageAnalyzer(table, attributes, threshold=threshold)
+        report = analyzer.mups()
+        plan = full_coverage_plan(analyzer) if report.mups else []
+        rows.append(
+            (threshold, len(report.mups), len(plan), sum(c for _, c in plan))
+        )
+    print_table(
+        "E6b: MUPs and enhancement plan vs threshold",
+        ["threshold", "#MUPs", "plan combos", "rows to collect"],
+        rows,
+    )
+    return rows
+
+
+def test_uncovered_grows_with_threshold(threshold_results):
+    # The number of rows needed for full coverage is monotone in the
+    # threshold.  (The MUP *count* is not monotone: as the threshold
+    # grows, many specific MUPs merge into fewer, more general ones.)
+    rows_needed = [row[3] for row in threshold_results]
+    assert rows_needed == sorted(rows_needed)
+    assert rows_needed[-1] > rows_needed[0]
+
+
+@pytest.fixture(scope="module")
+def ordinal_results():
+    rng = np.random.default_rng(11)
+    schema = Schema([("x", "numeric"), ("y", "numeric")])
+    data = rng.normal(size=(800, 2))
+    table = Table(schema, {"x": data[:, 0], "y": data[:, 1]})
+    rows = []
+    for radius in (0.1, 0.3, 0.6, 1.2):
+        coverage = OrdinalCoverage(table, ["x", "y"], k=5, radius=radius)
+        fraction = coverage.uncovered_fraction([-3, -3], [3, 3], rng=12)
+        rows.append((radius, round(fraction, 3)))
+    print_table(
+        "E6c: ordinal uncovered volume vs radius (k=5, box [-3,3]^2)",
+        ["radius", "uncovered fraction"],
+        rows,
+    )
+    return rows
+
+
+def test_ordinal_uncovered_fraction_shrinks_with_radius(ordinal_results):
+    fractions = [fraction for _, fraction in ordinal_results]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_benchmark_pattern_breaker(
+    benchmark, traversal_results, threshold_results
+):
+    table = categorical_table(3000, 5, seed=13)
+    attributes = [f"a{i}" for i in range(5)]
+
+    def run():
+        return CoverageAnalyzer(table, attributes, threshold=25).mups()
+
+    report = benchmark(run)
+    assert report.mups is not None
+
+
+def test_benchmark_ordinal_queries(benchmark, ordinal_results):
+    rng = np.random.default_rng(14)
+    schema = Schema([("x", "numeric"), ("y", "numeric")])
+    data = rng.normal(size=(2000, 2))
+    table = Table(schema, {"x": data[:, 0], "y": data[:, 1]})
+    coverage = OrdinalCoverage(table, ["x", "y"], k=5, radius=0.4)
+    queries = rng.uniform(-2, 2, size=(500, 2))
+    benchmark(lambda: coverage.covered_mask(queries))

@@ -1,0 +1,271 @@
+"""E7 — Discovery sketches (Zhu'16 LSH Ensemble, Fernandez'19 Lazo,
+Santos'21 correlation sketches).
+
+Reproduced shapes:
+* LSH Ensemble recovers planted unionable partners above the containment
+  threshold with high precision/recall against exact containment;
+* Lazo containment estimates track the planted ground truth;
+* correlation-sketch estimation error shrinks as sketch size grows, and
+  the ranking of planted join-correlation partners is preserved.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.discovery import (
+    CorrelationSketch,
+    DataLakeIndex,
+    LazoSketch,
+    LSHEnsemble,
+    MinHasher,
+)
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return generate_lake(LakeSpec(n_distractors=60), rng=21)
+
+
+def exact_containment(query_set, candidate_set):
+    return len(query_set & candidate_set) / len(query_set)
+
+
+@pytest.fixture(scope="module")
+def ensemble_results(lake):
+    query_table = lake.tables[lake.query_table]
+    query_values = set(query_table.unique(lake.query_column))
+    ensemble = LSHEnsemble(num_hashes=128, num_partitions=4, rng=1)
+    truth = {}
+    for name, table in lake.tables.items():
+        for column in table.schema.categorical_names:
+            values = set(table.unique(column))
+            if not values:
+                continue
+            key = (name, column)
+            ensemble.index(key, values)
+            truth[key] = exact_containment(query_values, values)
+    ensemble.freeze()
+    rows = []
+    for threshold in (0.8, 0.6, 0.4, 0.2):
+        hits = {key for key, _ in ensemble.query(query_values, threshold)}
+        relevant = {key for key, c in truth.items() if c >= threshold}
+        true_positives = len(hits & relevant)
+        precision = true_positives / len(hits) if hits else 1.0
+        recall = true_positives / len(relevant) if relevant else 1.0
+        rows.append(
+            (threshold, len(relevant), len(hits),
+             round(precision, 3), round(recall, 3))
+        )
+    print_table(
+        "E7a: LSH Ensemble precision/recall vs exact containment",
+        ["threshold", "#relevant", "#returned", "precision", "recall"],
+        rows,
+    )
+    return rows
+
+
+def test_ensemble_precision_recall(ensemble_results):
+    for _, _, _, precision, recall in ensemble_results:
+        assert precision >= 0.7
+        assert recall >= 0.7
+
+
+@pytest.fixture(scope="module")
+def lazo_results(lake):
+    query_table = lake.tables[lake.query_table]
+    query_values = query_table.unique(lake.query_column)
+    hasher = MinHasher(256, rng=2)
+    query_sketch = LazoSketch.build(query_values, hasher)
+    rows = []
+    for name, true_containment in sorted(lake.unionable_truth.items()):
+        table = lake.tables[name]
+        column = [c for c in table.column_names if c.endswith("c0")][0]
+        sketch = LazoSketch.build(table.unique(column), hasher)
+        estimate = query_sketch.estimate(sketch)
+        rows.append(
+            (name, true_containment,
+             round(estimate.containment_of_query, 3),
+             round(abs(estimate.containment_of_query - true_containment), 3))
+        )
+    print_table(
+        "E7b: Lazo containment estimates vs planted truth",
+        ["table", "true", "estimated", "abs error"],
+        rows,
+    )
+    return rows
+
+
+def test_lazo_estimates_accurate(lazo_results):
+    for _, _, _, error in lazo_results:
+        assert error < 0.12
+
+
+@pytest.fixture(scope="module")
+def correlation_results():
+    rng = np.random.default_rng(3)
+    n = 2000
+    keys = [f"k{i}" for i in range(n)]
+    x = rng.normal(size=n)
+    rows = []
+    for size in (16, 32, 64, 128, 256):
+        errors = []
+        for rho in (0.9, 0.6, 0.3, 0.0):
+            y = rho * x + np.sqrt(1 - rho**2) * rng.normal(size=n)
+            a = CorrelationSketch.build(keys, x, size=size)
+            b = CorrelationSketch.build(keys, y, size=size)
+            errors.append(abs(a.estimate_pearson(b) - rho))
+        rows.append((size, round(float(np.mean(errors)), 4)))
+    print_table(
+        "E7c: correlation-sketch mean |error| vs sketch size",
+        ["sketch size", "mean abs error"],
+        rows,
+    )
+    return rows
+
+
+def test_correlation_error_shrinks_with_size(correlation_results):
+    errors = [error for _, error in correlation_results]
+    assert errors[-1] < errors[0]
+    assert errors[-1] < 0.1
+
+
+def test_feature_ranking_preserved(lake):
+    index = DataLakeIndex(rng=4, sketch_size=96)
+    for name, table in lake.tables.items():
+        index.register(name, table)
+    query = lake.tables[lake.query_table]
+    hits = index.discover_features(query, "key", "target", k=10)
+    estimated = {
+        h.table_name: abs(h.estimated_target_correlation)
+        for h in hits
+        if h.table_name.startswith("joinable")
+    }
+    ranked = sorted(estimated, key=estimated.get, reverse=True)
+    truth_ranked = sorted(
+        lake.join_truth, key=lambda n: abs(lake.join_truth[n]), reverse=True
+    )
+    assert ranked[0] == truth_ranked[0]
+
+
+@pytest.fixture(scope="module")
+def partition_ablation(lake):
+    """DESIGN.md §3 ablation 4: LSH Ensemble partition count vs recall at
+    a fixed signature budget."""
+    query_table = lake.tables[lake.query_table]
+    query_values = set(query_table.unique(lake.query_column))
+    threshold = 0.4
+    rows = []
+    for partitions in (1, 2, 4, 8):
+        ensemble = LSHEnsemble(
+            num_hashes=128, num_partitions=partitions, rng=7
+        )
+        truth = {}
+        for name, table in lake.tables.items():
+            for column in table.schema.categorical_names:
+                values = set(table.unique(column))
+                if not values:
+                    continue
+                ensemble.index((name, column), values)
+                truth[(name, column)] = exact_containment(query_values, values)
+        ensemble.freeze()
+        hits = {key for key, _ in ensemble.query(query_values, threshold)}
+        relevant = {key for key, c in truth.items() if c >= threshold}
+        recall = len(hits & relevant) / len(relevant) if relevant else 1.0
+        precision = len(hits & relevant) / len(hits) if hits else 1.0
+        rows.append((partitions, round(precision, 3), round(recall, 3)))
+    print_table(
+        "E7d (ablation): LSH Ensemble partitions vs precision/recall @0.4",
+        ["partitions", "precision", "recall"],
+        rows,
+    )
+    return rows
+
+
+def test_partitioning_does_not_hurt_recall(partition_ablation):
+    recalls = [recall for _, _, recall in partition_ablation]
+    # More partitions → tighter per-partition Jaccard thresholds → recall
+    # at least as good as the single-partition ensemble.
+    assert recalls[-1] >= recalls[0] - 1e-9
+    assert all(recall >= 0.7 for recall in recalls)
+
+
+@pytest.fixture(scope="module")
+def navigation_results():
+    """E7e: navigation cost vs flat scan as the lake grows (Nargesian'20
+    organization shape: touched signatures grow ~logarithmically)."""
+    from respdi.discovery import LakeOrganization
+    from respdi.table import ColumnType, Schema, Table
+
+    rng = np.random.default_rng(9)
+    rows = []
+    results = []
+    for n_topics in (4, 8, 16):
+        org = LakeOrganization()
+        domains = {}
+        for topic in range(n_topics):
+            vocab = [f"t{topic}_v{i}" for i in range(300)]
+            for k in range(4):
+                domain = list(rng.choice(vocab, size=50, replace=False))
+                name = f"topic{topic}_table{k}"
+                org.register(
+                    name,
+                    Table(
+                        Schema([("c", ColumnType.CATEGORICAL)]), {"c": domain}
+                    ),
+                )
+                domains[name] = set(domain)
+        org.build()
+        target = f"topic{n_topics // 2}_table1"
+        query = sorted(domains[target])[:25]
+        nav = org.navigate(query)
+        _, scanned = org.linear_scan(query)
+        rows.append(
+            (n_topics * 4, nav.nodes_touched, scanned,
+             "yes" if nav.found == target else "NO")
+        )
+        results.append((n_topics * 4, nav.nodes_touched, scanned, nav.found == target))
+    print_table(
+        "E7e: navigation vs flat scan (signatures touched)",
+        ["tables", "navigation", "flat scan", "found target"],
+        rows,
+    )
+    return results
+
+
+def test_navigation_beats_flat_scan_at_scale(navigation_results):
+    for n_tables, touched, scanned, found in navigation_results:
+        assert found
+        if n_tables >= 16:
+            assert touched < scanned
+    # Navigation cost grows much slower than lake size.
+    small = navigation_results[0]
+    large = navigation_results[-1]
+    assert large[1] / small[1] < (large[0] / small[0])
+
+
+def test_benchmark_lake_registration(benchmark, lake):
+    def register_all():
+        index = DataLakeIndex(rng=5, sketch_size=64)
+        for name, table in lake.tables.items():
+            index.register(name, table)
+        return index
+
+    benchmark.pedantic(register_all, rounds=2, iterations=1)
+
+
+def test_benchmark_ensemble_query(
+    benchmark, lake, ensemble_results, lazo_results, correlation_results,
+    partition_ablation, navigation_results,
+):
+    query_table = lake.tables[lake.query_table]
+    query_values = set(query_table.unique(lake.query_column))
+    ensemble = LSHEnsemble(num_hashes=128, num_partitions=4, rng=6)
+    for name, table in lake.tables.items():
+        for column in table.schema.categorical_names:
+            values = table.unique(column)
+            if values:
+                ensemble.index((name, column), values)
+    ensemble.freeze()
+    benchmark(lambda: ensemble.query(query_values, 0.5))

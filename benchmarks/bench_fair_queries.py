@@ -1,0 +1,119 @@
+"""E11 — Fairness-aware range queries (Shetiya'22) and coverage-based
+rewriting (Accinelli'20/21).
+
+Reproduced shapes:
+* refinement similarity decreases monotonically as the disparity bound
+  tightens (the fairness/similarity frontier of the fair-range paper);
+* the refined output always satisfies the bound;
+* coverage rewriting's added-row cost grows with the per-group minimum.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from respdi.fairqueries import coverage_rewrite, fair_range_refinement, range_disparity
+from respdi.table import Schema, Table
+
+
+@pytest.fixture(scope="module")
+def applicants():
+    rng = np.random.default_rng(61)
+    schema = Schema([("group", "categorical"), ("score", "numeric")])
+    scores = np.concatenate(
+        [rng.normal(42, 8, 1400), rng.normal(58, 8, 600)]
+    )
+    groups = ["blue"] * 1400 + ["green"] * 600
+    return Table(schema, {"group": groups, "score": np.round(scores, 1)})
+
+
+LO, HI = 30.0, 55.0
+
+
+@pytest.fixture(scope="module")
+def frontier(applicants):
+    disparity, counts = range_disparity(applicants, "score", LO, HI, "group")
+    rows = []
+    for bound in (disparity, 400, 200, 100, 50, 20, 5):
+        result = fair_range_refinement(
+            applicants, "score", LO, HI, "group", max_disparity=bound
+        )
+        rows.append(
+            (
+                bound,
+                f"[{result.lo:.1f}, {result.hi:.1f}]",
+                round(result.similarity, 3),
+                result.disparity,
+                result.candidates_examined,
+            )
+        )
+    print_table(
+        f"E11a: fair-range frontier (original disparity {disparity})",
+        ["bound", "refined range", "similarity", "disparity", "candidates"],
+        rows,
+    )
+    return rows
+
+
+def test_similarity_monotone_in_bound(frontier):
+    similarities = [row[2] for row in frontier]
+    assert similarities == sorted(similarities, reverse=True)
+
+
+def test_bound_always_satisfied(frontier):
+    for bound, _, _, disparity, _ in frontier:
+        assert disparity <= bound
+
+
+def test_loose_bound_keeps_original(frontier):
+    assert frontier[0][2] == 1.0
+
+
+@pytest.fixture(scope="module")
+def rewrite_costs(applicants):
+    rows = []
+    for min_count in (50, 150, 300, 500):
+        result = coverage_rewrite(
+            applicants, "score", LO, HI, "group", min_count=min_count
+        )
+        rows.append(
+            (
+                min_count,
+                f"[{result.lo:.1f}, {result.hi:.1f}]",
+                result.added_rows,
+                min(result.group_counts.values()),
+            )
+        )
+    print_table(
+        "E11b: coverage rewriting cost vs per-group minimum",
+        ["min count", "relaxed range", "added rows", "min group count"],
+        rows,
+    )
+    return rows
+
+
+def test_rewrite_cost_monotone(rewrite_costs):
+    added = [row[2] for row in rewrite_costs]
+    assert added == sorted(added)
+    for min_count, _, _, achieved in rewrite_costs:
+        assert achieved >= min_count
+
+
+def test_benchmark_fair_refinement(
+    benchmark, applicants, frontier, rewrite_costs
+):
+    benchmark.pedantic(
+        lambda: fair_range_refinement(
+            applicants, "score", LO, HI, "group", max_disparity=50
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_benchmark_coverage_rewrite(benchmark, applicants):
+    benchmark(
+        lambda: coverage_rewrite(
+            applicants, "score", LO, HI, "group", min_count=200
+        )
+    )

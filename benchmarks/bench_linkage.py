@@ -1,0 +1,208 @@
+"""E14 — Fairness-aware entity resolution (tutorial §5).
+
+Reproduced shapes:
+* ER quality is *not* group-neutral: as one group's record corruption
+  rate rises, that group's pairwise recall falls while the other's stays
+  put, so the recall-parity difference grows — the "bias in the linked
+  data" the tutorial warns about;
+* lowering the match threshold trades precision for recall and shrinks
+  the group gap (the classical fairness/quality dial);
+* blocking exhibits the reduction/recall trade-off.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from respdi.datagen import generate_person_registry
+from respdi.linkage import (
+    FieldComparator,
+    RecordMatcher,
+    blocking_stats,
+    evaluate_linkage,
+    jaro_winkler_similarity,
+    key_blocking,
+    levenshtein_similarity,
+    numeric_similarity,
+    sorted_neighborhood_blocking,
+)
+
+
+def build_matcher(threshold=0.85):
+    return RecordMatcher(
+        [
+            FieldComparator("name", jaro_winkler_similarity, 3.0),
+            FieldComparator("zip", levenshtein_similarity, 1.0),
+            FieldComparator(
+                "age", lambda a, b: numeric_similarity(a, b, scale=3.0), 1.0
+            ),
+        ],
+        threshold=threshold,
+    )
+
+
+def candidates_for(registry):
+    return key_blocking(
+        registry, lambda r: r["name"][:2] if r["name"] else None
+    ) | sorted_neighborhood_blocking(registry, lambda r: r["name"], window=6)
+
+
+@pytest.fixture(scope="module")
+def asymmetry_sweep():
+    rows = []
+    reports = {}
+    for blue_rate in (0.1, 0.3, 0.5, 0.7):
+        registry = generate_person_registry(
+            400, duplicates_per_entity=1,
+            corruption_rates={"blue": blue_rate, "green": 0.1}, rng=91,
+        )
+        matcher = build_matcher()
+        result = matcher.match(registry, candidates_for(registry))
+        report = evaluate_linkage(registry, result.matches, "_entity", ["group"])
+        reports[blue_rate] = report
+        rows.append(
+            (
+                blue_rate,
+                round(report.group_recall.get(("blue",), 0.0), 3),
+                round(report.group_recall.get(("green",), 0.0), 3),
+                round(report.recall_parity_difference, 3),
+                round(report.precision, 3),
+            )
+        )
+    print_table(
+        "E14a: per-group ER recall vs blue-group corruption rate "
+        "(green fixed at 0.1)",
+        ["blue corruption", "recall blue", "recall green", "parity diff",
+         "precision"],
+        rows,
+    )
+    return reports
+
+
+def test_parity_gap_grows_with_corruption_asymmetry(asymmetry_sweep):
+    gaps = [
+        asymmetry_sweep[rate].recall_parity_difference
+        for rate in sorted(asymmetry_sweep)
+    ]
+    assert gaps[-1] > gaps[0] + 0.1
+    # Green recall barely moves; blue recall collapses.
+    first = asymmetry_sweep[0.1]
+    last = asymmetry_sweep[0.7]
+    assert last.group_recall[("blue",)] < first.group_recall[("blue",)] - 0.15
+    assert abs(
+        last.group_recall[("green",)] - first.group_recall[("green",)]
+    ) < 0.1
+
+
+def test_worst_group_is_the_corrupted_one(asymmetry_sweep):
+    for rate, report in asymmetry_sweep.items():
+        if rate > 0.1:
+            assert report.worst_group == ("blue",)
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    registry = generate_person_registry(
+        400, duplicates_per_entity=1,
+        corruption_rates={"blue": 0.5, "green": 0.1}, rng=92,
+    )
+    pairs = candidates_for(registry)
+    rows = []
+    reports = {}
+    for threshold in (0.95, 0.9, 0.85, 0.8, 0.75):
+        matcher = build_matcher(threshold)
+        result = matcher.match(registry, pairs)
+        report = evaluate_linkage(registry, result.matches, "_entity", ["group"])
+        reports[threshold] = report
+        rows.append(
+            (
+                threshold,
+                round(report.precision, 3),
+                round(report.recall, 3),
+                round(report.recall_parity_difference, 3),
+            )
+        )
+    print_table(
+        "E14b: match threshold vs precision/recall/parity",
+        ["threshold", "precision", "recall", "parity diff"],
+        rows,
+    )
+    return reports
+
+
+def test_threshold_trades_precision_for_recall(threshold_sweep):
+    thresholds = sorted(threshold_sweep, reverse=True)
+    recalls = [threshold_sweep[t].recall for t in thresholds]
+    precisions = [threshold_sweep[t].precision for t in thresholds]
+    assert recalls == sorted(recalls)  # recall grows as threshold drops
+    assert precisions[0] >= precisions[-1] - 1e-9
+
+
+def test_lower_threshold_narrows_group_gap(threshold_sweep):
+    strict = threshold_sweep[0.95].recall_parity_difference
+    lenient = threshold_sweep[0.75].recall_parity_difference
+    assert lenient <= strict
+
+
+@pytest.fixture(scope="module")
+def blocking_tradeoff():
+    registry = generate_person_registry(
+        500, duplicates_per_entity=1, rng=93
+    )
+    schemes = {
+        "exact name": key_blocking(registry, lambda r: r["name"]),
+        "name prefix 2": key_blocking(
+            registry, lambda r: r["name"][:2] if r["name"] else None
+        ),
+        "name prefix 1": key_blocking(
+            registry, lambda r: r["name"][:1] if r["name"] else None
+        ),
+        "SNB window 6": sorted_neighborhood_blocking(
+            registry, lambda r: r["name"], window=6
+        ),
+    }
+    rows = []
+    stats = {}
+    for name, pairs in schemes.items():
+        stat = blocking_stats(registry, pairs, "_entity")
+        stats[name] = stat
+        rows.append(
+            (
+                name,
+                stat.candidate_pairs,
+                round(stat.reduction_ratio, 4),
+                round(stat.pair_recall, 3),
+            )
+        )
+    print_table(
+        "E14c: blocking reduction vs pair recall",
+        ["scheme", "candidates", "reduction", "pair recall"],
+        rows,
+    )
+    return stats
+
+
+def test_blocking_reduction_recall_tradeoff(blocking_tradeoff):
+    exact = blocking_tradeoff["exact name"]
+    prefix1 = blocking_tradeoff["name prefix 1"]
+    assert exact.reduction_ratio > prefix1.reduction_ratio
+    assert exact.pair_recall < prefix1.pair_recall
+
+
+def test_benchmark_match_pass(
+    benchmark, asymmetry_sweep, threshold_sweep, blocking_tradeoff
+):
+    registry = generate_person_registry(300, duplicates_per_entity=1, rng=94)
+    pairs = candidates_for(registry)
+    matcher = build_matcher()
+    benchmark.pedantic(
+        lambda: matcher.match(registry, pairs), rounds=3, iterations=1
+    )
+
+
+def test_benchmark_blocking(benchmark):
+    registry = generate_person_registry(800, duplicates_per_entity=1, rng=95)
+    benchmark(
+        lambda: sorted_neighborhood_blocking(
+            registry, lambda r: r["name"], window=6
+        )
+    )

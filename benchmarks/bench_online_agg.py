@@ -1,0 +1,109 @@
+"""E5 — Online aggregation (ripple join Luo'02, wander join Li'16).
+
+Reproduced shapes: both estimators' relative error shrinks as tuples /
+walks are consumed; ripple is exact at exhaustion; wander join's
+HT-corrected COUNT estimate is unbiased (mean over seeds near truth).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from respdi.sampling import ChainJoinSpec, RippleJoin, WanderJoin, full_join
+from respdi.table import Schema, Table
+
+
+def zipf_table(prefix, n, seed):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(20)]
+    schema = Schema([("k", "categorical"), (prefix, "numeric")])
+    rows = [
+        (keys[min(int(rng.zipf(1.5)) - 1, 19)], float(rng.normal(5, 2)))
+        for _ in range(n)
+    ]
+    return Table.from_rows(schema, rows)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    left = zipf_table("a", 600, 1)
+    right = zipf_table("b", 600, 2)
+    joined = full_join(left, right, ["k"])
+    return left, right, len(joined), joined.aggregate("b", "sum")
+
+
+@pytest.fixture(scope="module")
+def ripple_trajectory(setting):
+    left, right, true_count, true_sum = setting
+    ripple = RippleJoin(left, right, "k", expression=lambda a, b: b["b"], rng=3)
+    rows = []
+    for estimate in ripple.run(record_every=200):
+        count_err = abs(estimate.count_estimate - true_count) / true_count
+        sum_err = abs(estimate.sum_estimate - true_sum) / abs(true_sum)
+        rows.append(
+            (estimate.tuples_consumed, f"{count_err:.4f}", f"{sum_err:.4f}")
+        )
+    print_table(
+        "E5a: ripple join relative error vs tuples consumed",
+        ["tuples", "COUNT rel.err", "SUM rel.err"],
+        rows,
+    )
+    return rows
+
+
+def test_ripple_error_shrinks_to_zero(ripple_trajectory):
+    final_count_error = float(ripple_trajectory[-1][1])
+    assert final_count_error == pytest.approx(0.0, abs=1e-9)
+    errors = [float(row[1]) for row in ripple_trajectory]
+    assert errors[-1] <= errors[0]
+
+
+@pytest.fixture(scope="module")
+def wander_trajectory(setting):
+    left, right, true_count, true_sum = setting
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, expression=lambda rows: rows[1]["b"], rng=4)
+    rows = []
+    for estimate in wander.run(8000, record_every=2000):
+        count_err = abs(estimate.count_estimate - true_count) / true_count
+        rows.append((estimate.walks, f"{count_err:.4f}",
+                     f"{estimate.success_rate:.3f}"))
+    print_table(
+        "E5b: wander join relative COUNT error vs walks",
+        ["walks", "COUNT rel.err", "success rate"],
+        rows,
+    )
+    return rows
+
+
+def test_wander_error_small_at_the_end(wander_trajectory):
+    assert float(wander_trajectory[-1][1]) < 0.15
+
+
+def test_wander_count_unbiased_over_seeds(setting):
+    left, right, true_count, _ = setting
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    estimates = []
+    for seed in range(8):
+        wander = WanderJoin(spec, rng=seed)
+        estimates.append(wander.run(3000)[-1].count_estimate)
+    assert float(np.mean(estimates)) == pytest.approx(true_count, rel=0.05)
+
+
+def test_benchmark_ripple_steps(benchmark, setting, ripple_trajectory):
+    left, right, _, _ = setting
+
+    def run():
+        RippleJoin(left, right, "k", rng=5).run(steps=300)
+
+    benchmark(run)
+
+
+def test_benchmark_wander_walks(benchmark, setting, wander_trajectory):
+    left, right, _, _ = setting
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+
+    def run():
+        WanderJoin(spec, rng=6).run(1000)
+
+    benchmark(run)

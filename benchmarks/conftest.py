@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one experiment from the
+DESIGN.md experiment index (E1..E12).  Since the reproduced paper is a
+tutorial with no tables/figures of its own, every experiment reproduces
+the *headline result shape* of one system the tutorial surveys; the
+expected shapes are asserted (who wins, roughly by how much) and the
+measured series are printed so they can be recorded in EXPERIMENTS.md.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Print an aligned experiment table (visible in bench output)."""
+    out = sys.stdout
+    out.write(f"\n### {title}\n")
+    widths = [
+        max(len(str(header)), max((len(str(row[i])) for row in rows), default=0))
+        for i, header in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out.write(line + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write("  ".join(str(c).ljust(w) for c, w in zip(row, widths)) + "\n")
+    out.flush()
+
+
+@pytest.fixture(scope="session")
+def health_population():
+    from respdi.datagen.population import default_health_population
+
+    return default_health_population(minority_fraction=0.1)

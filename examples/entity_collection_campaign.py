@@ -1,0 +1,58 @@
+"""Distribution-aware crowdsourced entity collection (§4.1).
+
+Simulates a POI-collection campaign: workers have hidden, specialized
+entity distributions over five districts; the requester wants an even
+spread.  Compares adaptive worker selection (Fan et al.) against random
+and static selection, printing the KL(target || collected) trajectory.
+
+Run:  python examples/entity_collection_campaign.py
+"""
+
+from respdi.entitycollection import (
+    AdaptiveSelection,
+    EntityCollector,
+    RandomSelection,
+    StaticSelection,
+    make_worker_pool,
+)
+
+DISTRICTS = ["north", "south", "east", "west", "center"]
+
+
+def main() -> None:
+    workers = make_worker_pool(DISTRICTS, n_workers=15, concentration=0.3, rng=1)
+    target = {district: 0.2 for district in DISTRICTS}
+    rounds = 500
+
+    print(f"{len(workers)} workers, target: even POIs over {len(DISTRICTS)} "
+          f"districts, {rounds} rounds\n")
+    print(f"{'strategy':<10} {'final KL':>9}   collected counts")
+    results = {}
+    for name, strategy in [
+        ("adaptive", AdaptiveSelection()),
+        ("static", StaticSelection()),
+        ("random", RandomSelection()),
+    ]:
+        collector = EntityCollector(workers, target, strategy)
+        result = collector.run(rounds, rng=2)
+        results[name] = result
+        print(f"{name:<10} {result.final_kl:>9.4f}   {result.collected}")
+
+    print("\nKL trajectory (every 100 rounds):")
+    checkpoints = range(99, rounds, 100)
+    header = "rounds    " + "".join(f"{name:>10}" for name in results)
+    print(header)
+    for checkpoint in checkpoints:
+        row = f"{checkpoint + 1:<10}"
+        for name, result in results.items():
+            row += f"{result.kl_trajectory[checkpoint]:>10.4f}"
+        print(row)
+
+    adaptive = results["adaptive"]
+    used = sum(1 for count in adaptive.worker_usage if count > 0)
+    print(f"\nadaptive strategy used {used}/{len(workers)} workers "
+          "(it needs a mix to hit the target)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Fairness-aware query answering (§5).
+
+A data scientist selects applicants with 30 <= score <= 55, not realizing
+the two demographic groups have shifted score distributions, so the
+output is heavily one-sided.  The example (1) reports the disparity,
+(2) finds the most similar *fair* range for a sweep of disparity bounds
+(Shetiya et al.), and (3) alternatively relaxes the query until both
+groups reach a minimum count (coverage-based rewriting, Accinelli et al.).
+
+Run:  python examples/fair_query_exploration.py
+"""
+
+import numpy as np
+
+from respdi.fairqueries import coverage_rewrite, fair_range_refinement, range_disparity
+from respdi.table import Schema, Table
+
+
+def applicants(seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema([("group", "categorical"), ("score", "numeric")])
+    scores = np.concatenate(
+        [rng.normal(42, 8, 700), rng.normal(58, 8, 300)]
+    )
+    groups = ["blue"] * 700 + ["green"] * 300
+    return Table(schema, {"group": groups, "score": np.round(scores, 1)})
+
+
+def main() -> None:
+    table = applicants()
+    lo, hi = 30.0, 55.0
+    disparity, counts = range_disparity(table, "score", lo, hi, "group")
+    print(f"original query: score in [{lo}, {hi}]")
+    print(f"  output counts {counts}  disparity {disparity}\n")
+
+    print("== fair range refinement: similarity vs disparity bound ==")
+    print(f"  {'bound':>6} {'range':>18} {'similarity':>11} {'disparity':>10}")
+    for bound in (400, 200, 100, 50, 20, 5):
+        result = fair_range_refinement(
+            table, "score", lo, hi, "group", max_disparity=bound
+        )
+        range_str = f"[{result.lo:.1f}, {result.hi:.1f}]"
+        print(f"  {bound:>6} {range_str:>18} {result.similarity:>11.3f} "
+              f"{result.disparity:>10}")
+
+    print("\n== coverage-based rewriting: min 150 rows of each group ==")
+    rewrite = coverage_rewrite(table, "score", lo, hi, "group", min_count=150)
+    print(f"  relaxed range [{rewrite.lo:.1f}, {rewrite.hi:.1f}] "
+          f"added {rewrite.added_rows} rows")
+    print(f"  counts before {rewrite.original_counts}  after {rewrite.group_counts}")
+
+
+if __name__ == "__main__":
+    main()

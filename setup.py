@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network access, so the
+PEP 660 editable-install path (which needs ``bdist_wheel``) fails.  This
+file enables ``pip install -e . --no-use-pep517 --no-build-isolation``.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,8 @@
+"""Compatibility shim: the library lives in :mod:`respdi`.
+
+The distribution is named ``repro`` (pre-existing scaffold); importing
+``repro`` re-exports the :mod:`respdi` public API.
+"""
+
+from respdi import *  # noqa: F401,F403
+from respdi import __version__  # noqa: F401

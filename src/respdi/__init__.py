@@ -1,0 +1,52 @@
+"""respdi — Responsible Data Integration.
+
+A library reproduction of the SIGMOD 2022 tutorial *"Responsible Data
+Integration: Next-generation Challenges"* (Nargesian, Asudeh, Jagadish).
+It implements the tutorial's requirement framework (§2), the integration
+tasks it revisits (§3), the distribution/fairness-aware integration
+techniques it surveys (§4), and the concretely specifiable extensions it
+lists as opportunities (§5).
+
+Entry points:
+
+* :mod:`respdi.table` — relational substrate (schemas, predicates, joins).
+* :mod:`respdi.datagen` — synthetic populations, skewed sources, data lakes.
+* :mod:`respdi.requirements` — the five responsible-AI data requirements
+  as auditable checks.
+* :mod:`respdi.discovery` — dataset search (sketches, LSH Ensemble, union
+  search, join-correlation queries).
+* :mod:`respdi.profiling` — profiles, nutritional labels, datasheets.
+* :mod:`respdi.coverage` — maximal uncovered patterns, coverage enhancement.
+* :mod:`respdi.cleaning` — imputation, error repair, imputation fairness.
+* :mod:`respdi.sampling` — uniform & independent sampling over joins,
+  online aggregation.
+* :mod:`respdi.tailoring` — data distribution tailoring and extensions.
+* :mod:`respdi.entitycollection` — distribution-aware crowd collection.
+* :mod:`respdi.acquisition` — data-market / slice-based acquisition.
+* :mod:`respdi.fairqueries` — fairness-aware range queries and
+  coverage-based rewriting.
+* :mod:`respdi.ml` — minimal models, fairness metrics, interventions.
+* :mod:`respdi.pipeline` — the end-to-end responsible integration pipeline.
+"""
+
+__version__ = "1.0.0"
+
+from respdi.table import (
+    ColumnSpec,
+    ColumnType,
+    Schema,
+    Table,
+    MISSING,
+)
+from respdi.pipeline import PipelineResult, ResponsibleIntegrationPipeline
+
+__all__ = [
+    "ColumnSpec",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "MISSING",
+    "PipelineResult",
+    "ResponsibleIntegrationPipeline",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Random-number-generator plumbing shared across the library.
+
+All stochastic components in respdi accept either a seed (``int``), an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh OS entropy).
+:func:`ensure_rng` normalizes the three forms so call sites stay short and
+experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *rng*.
+
+    Accepts ``None`` (fresh entropy), an ``int`` seed, or an existing
+    generator (returned unchanged so that callers can thread one generator
+    through a whole experiment).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        "rng must be None, an int seed, or a numpy.random.Generator; "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive *n* independent child generators from *rng*.
+
+    Used when an experiment needs statistically independent streams (for
+    example, one per simulated data source) that remain reproducible from
+    a single seed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,39 @@
+"""Budgeted data acquisition for model improvement (tutorial §3.1, §4.2).
+
+* :mod:`respdi.acquisition.market` — the data-market setting of Li, Yu &
+  Koudas (VLDB 2021): a provider holds data from the target distribution
+  behind a query-by-predicate API with a per-record budget; the consumer
+  issues an optimal sequence of predicate queries, balancing exploration
+  (learning where the provider's data helps) against exploitation
+  (buying more of what already helped), with a novelty-based utility.
+* :mod:`respdi.acquisition.slicetuner` — Slice Tuner (Tae & Whang,
+  SIGMOD 2021): selectively acquire data *per slice*, using estimated
+  per-slice learning curves to spend the budget where loss (and
+  unfairness between slices) drops fastest.
+"""
+
+from respdi.acquisition.market import (
+    DataProvider,
+    AcquisitionResult,
+    ModelImprovementAcquirer,
+)
+from respdi.acquisition.slicetuner import SliceTuner, SliceTunerResult, fit_power_law
+from respdi.acquisition.correlation_market import (
+    PricedColumnSource,
+    CorrelationPurchaseResult,
+    buy_correlation,
+    fisher_confidence_width,
+)
+
+__all__ = [
+    "DataProvider",
+    "AcquisitionResult",
+    "ModelImprovementAcquirer",
+    "SliceTuner",
+    "SliceTunerResult",
+    "fit_power_law",
+    "PricedColumnSource",
+    "CorrelationPurchaseResult",
+    "buy_correlation",
+    "fisher_confidence_width",
+]

@@ -1,0 +1,190 @@
+"""Cost-efficient acquisition for correlation analysis (Li et al., VLDB'18).
+
+Setting (tutorial §4.2): a buyer wants the correlation between attribute
+``A`` held by one priced source and attribute ``B`` held by another,
+joinable on a key.  Tuples cost money; the full join is unaffordable.
+The buyer purchases tuples incrementally, maintains a correlation
+estimate with a Fisher-z confidence interval, and stops at a target
+precision or budget exhaustion.
+
+Two purchasing strategies expose the paper's headline point:
+
+* ``"random"`` — buy uniformly random tuples from each side; a purchased
+  pair only helps when its keys happen to match, so much of the budget
+  buys non-joining tuples;
+* ``"coordinated"`` — spend a small probe budget on key sketches first
+  (the :mod:`respdi.discovery.correlation_sketches` machinery), then buy
+  tuples only for keys known to exist on *both* sides: every purchased
+  pair joins, reaching the precision target at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.stats.dependence import pearson_correlation
+from respdi.table import Table
+
+
+class PricedColumnSource:
+    """A seller holding (key, value) tuples at a fixed per-tuple price."""
+
+    def __init__(
+        self,
+        table: Table,
+        key_column: str,
+        value_column: str,
+        price: float = 1.0,
+        rng: RngLike = None,
+    ) -> None:
+        if price <= 0:
+            raise SpecificationError("price must be positive")
+        table.schema.require([key_column, value_column])
+        keys = table.column(key_column)
+        values = np.asarray(table.column(value_column), dtype=float)
+        self._data: Dict[Hashable, float] = {}
+        for i in range(len(table)):
+            if keys[i] is not None and not np.isnan(values[i]):
+                self._data.setdefault(keys[i], float(values[i]))
+        if not self._data:
+            raise EmptyInputError("source holds no complete (key, value) tuples")
+        self.price = float(price)
+        self._rng = ensure_rng(rng)
+        self._unsold = sorted(self._data, key=repr)
+        self.revenue = 0.0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._unsold)
+
+    def key_list(self) -> List[Hashable]:
+        """The seller's key list (public metadata, free — sellers
+        advertise what they can join on)."""
+        return sorted(self._data, key=repr)
+
+    def buy_random(self, n: int) -> List[Tuple[Hashable, float]]:
+        """Buy *n* random unsold tuples (fewer if the stock runs out)."""
+        if n < 1:
+            raise SpecificationError("n must be >= 1")
+        n = min(n, len(self._unsold))
+        chosen_idx = self._rng.choice(len(self._unsold), size=n, replace=False)
+        chosen = [self._unsold[int(i)] for i in chosen_idx]
+        for key in chosen:
+            self._unsold.remove(key)
+        self.revenue += n * self.price
+        return [(key, self._data[key]) for key in chosen]
+
+    def buy_keys(self, keys: List[Hashable]) -> List[Tuple[Hashable, float]]:
+        """Buy the tuples for specific *keys* (unsold ones only)."""
+        out = []
+        unsold = set(self._unsold)
+        for key in keys:
+            if key in unsold:
+                out.append((key, self._data[key]))
+                unsold.discard(key)
+        self._unsold = sorted(unsold, key=repr)
+        self.revenue += len(out) * self.price
+        return out
+
+
+def fisher_confidence_width(correlation: float, n: int, z: float = 1.96) -> float:
+    """Width of the Fisher-z confidence interval for a Pearson estimate."""
+    if n < 4:
+        return 2.0
+    correlation = min(max(correlation, -0.999999), 0.999999)
+    halfwidth_z = z / math.sqrt(n - 3)
+    center = math.atanh(correlation)
+    return math.tanh(center + halfwidth_z) - math.tanh(center - halfwidth_z)
+
+
+@dataclass
+class CorrelationPurchaseResult:
+    """Outcome of one correlation-buying campaign."""
+
+    estimate: float
+    pairs_used: int
+    total_cost: float
+    ci_width: float
+    reached_target: bool
+    trajectory: List[Tuple[float, float, float]] = field(default_factory=list)
+    """(cumulative cost, estimate, CI width) after each batch."""
+
+
+def buy_correlation(
+    left: PricedColumnSource,
+    right: PricedColumnSource,
+    budget: float,
+    target_ci_width: float = 0.2,
+    batch_size: int = 20,
+    strategy: str = "coordinated",
+    rng: RngLike = None,
+) -> CorrelationPurchaseResult:
+    """Estimate ``corr(left.value, right.value)`` over the key join,
+    buying tuples until the CI is narrow enough or the budget runs out."""
+    if strategy not in ("coordinated", "random"):
+        raise SpecificationError(f"unknown strategy {strategy!r}")
+    if budget <= 0 or batch_size < 1:
+        raise SpecificationError("budget and batch_size must be positive")
+    if not 0.0 < target_ci_width <= 2.0:
+        raise SpecificationError("target_ci_width must be in (0, 2]")
+    generator = ensure_rng(rng)
+
+    left_bought: Dict[Hashable, float] = {}
+    right_bought: Dict[Hashable, float] = {}
+    cost = 0.0
+    trajectory: List[Tuple[float, float, float]] = []
+
+    shared_keys: Optional[List[Hashable]] = None
+    if strategy == "coordinated":
+        shared = set(left.key_list()) & set(right.key_list())
+        shared_keys = sorted(shared, key=repr)
+        generator.shuffle(shared_keys)
+
+    def current_estimate() -> Tuple[float, int]:
+        keys = sorted(set(left_bought) & set(right_bought), key=repr)
+        if len(keys) < 4:
+            return 0.0, len(keys)
+        a = np.array([left_bought[k] for k in keys])
+        b = np.array([right_bought[k] for k in keys])
+        return pearson_correlation(a, b), len(keys)
+
+    while True:
+        estimate, pairs = current_estimate()
+        width = fisher_confidence_width(estimate, pairs)
+        trajectory.append((cost, estimate, width))
+        if pairs >= 4 and width <= target_ci_width:
+            return CorrelationPurchaseResult(
+                estimate, pairs, cost, width, True, trajectory
+            )
+        batch_cost = batch_size * (left.price + right.price)
+        if cost + batch_cost > budget:
+            return CorrelationPurchaseResult(
+                estimate, pairs, cost, width, False, trajectory
+            )
+        if strategy == "coordinated":
+            batch_keys = [k for k in shared_keys[:batch_size]]
+            shared_keys = shared_keys[batch_size:]
+            if not batch_keys:
+                return CorrelationPurchaseResult(
+                    estimate, pairs, cost, width, False, trajectory
+                )
+            left_items = left.buy_keys(batch_keys)
+            right_items = right.buy_keys(batch_keys)
+        else:
+            left_items = left.buy_random(batch_size)
+            right_items = right.buy_random(batch_size)
+            if not left_items and not right_items:
+                return CorrelationPurchaseResult(
+                    estimate, pairs, cost, width, False, trajectory
+                )
+        cost += (
+            len(left_items) * left.price + len(right_items) * right.price
+        )
+        left_bought.update(left_items)
+        right_bought.update(right_items)

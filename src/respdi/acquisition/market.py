@@ -1,0 +1,239 @@
+"""The data-market acquisition loop (Li, Yu & Koudas, VLDB 2021).
+
+Model: a provider holds records following the *target* distribution but
+invisible to the consumer; the consumer holds a non-representative
+initial training set and a record budget.  Each round the consumer picks
+a filtering predicate, receives a random without-replacement sample of
+matching provider records, pays per record, retrains, and observes the
+validation-accuracy change.
+
+Predicate utility follows the paper's recipe: **novelty** — how
+different the returned records are from what the consumer already owns —
+is the prior signal, and observed accuracy improvements are the learned
+signal; an epsilon-greedy schedule trades exploring unmeasured
+predicates against exploiting the best known one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.ml.data import table_to_xy
+from respdi.ml.models import LogisticRegression
+from respdi.table import Predicate, Table
+
+
+class DataProvider:
+    """Provider side: query-by-predicate over a hidden table.
+
+    Records are served without replacement *globally* — once sold, a
+    record is never sold again, matching the paper's without-replacement
+    sampling from query results.
+    """
+
+    def __init__(self, table: Table, rng: RngLike = None) -> None:
+        if len(table) == 0:
+            raise EmptyInputError("provider table is empty")
+        self.table = table
+        self._sold = np.zeros(len(table), dtype=bool)
+        self._rng = ensure_rng(rng)
+
+    @property
+    def records_sold(self) -> int:
+        return int(self._sold.sum())
+
+    def query(self, predicate: Predicate, n: int) -> Table:
+        """Up to *n* unsold records matching *predicate* (random order)."""
+        if n < 1:
+            raise SpecificationError("n must be >= 1")
+        available = np.flatnonzero(predicate.mask(self.table) & ~self._sold)
+        if len(available) == 0:
+            return self.table.take([])
+        chosen = self._rng.choice(
+            available, size=min(n, len(available)), replace=False
+        )
+        self._sold[chosen] = True
+        return self.table.take(chosen)
+
+
+@dataclass
+class AcquisitionResult:
+    """Trajectory of one acquisition campaign."""
+
+    accuracy_trajectory: List[Tuple[int, float]]  # (records bought, val accuracy)
+    records_bought: int
+    final_accuracy: float
+    initial_accuracy: float
+    predicate_usage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        return self.final_accuracy - self.initial_accuracy
+
+
+class ModelImprovementAcquirer:
+    """Consumer side: choose predicates to maximize model improvement.
+
+    Parameters
+    ----------
+    initial:
+        The consumer's (non-representative) starting training table.
+    candidates:
+        Named predicates the consumer may query, ``{name: Predicate}``.
+    feature_columns / label_column:
+        Model inputs.
+    validation:
+        Held-out table for accuracy measurement (plays the role of the
+        production distribution).
+    strategy:
+        ``"explore_exploit"`` (the paper's), ``"random"`` (uniform
+        predicate), or ``"round_robin"``.
+    epsilon / epsilon_decay:
+        Exploration schedule for ``"explore_exploit"``.
+    novelty_weight:
+        Weight of the novelty prior relative to observed rewards.
+    """
+
+    def __init__(
+        self,
+        initial: Table,
+        candidates: Dict[str, Predicate],
+        feature_columns: Sequence[str],
+        label_column: str,
+        validation: Table,
+        model_factory: Optional[Callable[[], object]] = None,
+        strategy: str = "explore_exploit",
+        epsilon: float = 0.3,
+        epsilon_decay: float = 0.95,
+        novelty_weight: float = 0.5,
+    ) -> None:
+        if not candidates:
+            raise SpecificationError("need at least one candidate predicate")
+        if strategy not in ("explore_exploit", "random", "round_robin"):
+            raise SpecificationError(f"unknown strategy {strategy!r}")
+        if not 0.0 <= epsilon <= 1.0 or not 0.0 < epsilon_decay <= 1.0:
+            raise SpecificationError("invalid epsilon schedule")
+        self.initial = initial
+        self.candidates = dict(candidates)
+        self.feature_columns = list(feature_columns)
+        self.label_column = label_column
+        self.validation = validation
+        self.model_factory = model_factory or LogisticRegression
+        self.strategy = strategy
+        self.epsilon = epsilon
+        self.epsilon_decay = epsilon_decay
+        self.novelty_weight = novelty_weight
+
+    # -- internals ----------------------------------------------------------
+
+    def _fit_and_score(self, train: Table) -> float:
+        X, y, _ = table_to_xy(train, self.feature_columns, self.label_column)
+        model = self.model_factory()
+        model.fit(X, y)
+        Xv, yv, _ = table_to_xy(
+            self.validation, self.feature_columns, self.label_column
+        )
+        return float((model.predict(Xv) == yv).mean())
+
+    def _novelty(self, owned: Table, batch: Table) -> float:
+        """Mean distance from each batch row to its nearest owned row in
+        the z-scored feature space — the paper's 'difference between the
+        result of the query and the data the consumer possesses'."""
+        if len(batch) == 0:
+            return 0.0
+        owned_X, _, _ = table_to_xy(owned, self.feature_columns, self.label_column)
+        batch_X, _, _ = table_to_xy(batch, self.feature_columns, self.label_column)
+        mean = owned_X.mean(axis=0)
+        std = np.where(owned_X.std(axis=0) > 0, owned_X.std(axis=0), 1.0)
+        owned_Z = (owned_X - mean) / std
+        batch_Z = (batch_X - mean) / std
+        distances = [
+            float(np.linalg.norm(owned_Z - row, axis=1).min()) for row in batch_Z
+        ]
+        return float(np.mean(distances))
+
+    def _select(
+        self,
+        names: List[str],
+        utilities: Dict[str, List[float]],
+        novelties: Dict[str, float],
+        step: int,
+        epsilon: float,
+        rng: np.random.Generator,
+    ) -> str:
+        if self.strategy == "random":
+            return names[int(rng.integers(len(names)))]
+        if self.strategy == "round_robin":
+            return names[step % len(names)]
+        unexplored = [name for name in names if not utilities[name]]
+        if unexplored:
+            return unexplored[0]
+        if rng.random() < epsilon:
+            return names[int(rng.integers(len(names)))]
+
+        def score(name: str) -> float:
+            reward = float(np.mean(utilities[name]))
+            return reward + self.novelty_weight * novelties.get(name, 0.0)
+
+        return max(names, key=lambda name: (score(name), name))
+
+    # -- the campaign ---------------------------------------------------------
+
+    def run(
+        self,
+        provider: DataProvider,
+        budget: int,
+        batch_size: int = 50,
+        rng: RngLike = None,
+    ) -> AcquisitionResult:
+        """Spend up to *budget* records in batches of *batch_size*."""
+        if budget < 1 or batch_size < 1:
+            raise SpecificationError("budget and batch_size must be >= 1")
+        generator = ensure_rng(rng)
+        owned = self.initial
+        initial_accuracy = self._fit_and_score(owned)
+        trajectory: List[Tuple[int, float]] = [(0, initial_accuracy)]
+        utilities: Dict[str, List[float]] = {name: [] for name in self.candidates}
+        novelties: Dict[str, float] = {}
+        usage: Dict[str, int] = {name: 0 for name in self.candidates}
+        names = sorted(self.candidates)
+        bought = 0
+        accuracy = initial_accuracy
+        epsilon = self.epsilon
+        step = 0
+        exhausted: set = set()
+
+        while bought < budget and len(exhausted) < len(names):
+            active = [name for name in names if name not in exhausted]
+            name = self._select(active, utilities, novelties, step, epsilon, generator)
+            step += 1
+            batch = provider.query(
+                self.candidates[name], min(batch_size, budget - bought)
+            )
+            if len(batch) == 0:
+                exhausted.add(name)
+                utilities[name].append(0.0)
+                continue
+            novelty = self._novelty(owned, batch)
+            novelties[name] = novelty
+            owned = owned.concat(batch)
+            bought += len(batch)
+            usage[name] += len(batch)
+            new_accuracy = self._fit_and_score(owned)
+            utilities[name].append(new_accuracy - accuracy)
+            accuracy = new_accuracy
+            trajectory.append((bought, accuracy))
+            epsilon *= self.epsilon_decay
+
+        return AcquisitionResult(
+            accuracy_trajectory=trajectory,
+            records_bought=bought,
+            final_accuracy=accuracy,
+            initial_accuracy=initial_accuracy,
+            predicate_usage=usage,
+        )

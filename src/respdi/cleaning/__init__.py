@@ -1,0 +1,58 @@
+"""Data cleaning with fairness-aware evaluation (tutorial §3.3, §5).
+
+* :mod:`respdi.cleaning.imputers` — missing-value resolutions, from the
+  two naive ones the tutorial dissects in §2.4 (drop rows; global mean)
+  to group-conditional mean, hot-deck, and kNN imputation;
+* :mod:`respdi.cleaning.parity` — imputation accuracy parity (Zhang &
+  Long, NeurIPS 2021): does imputation serve every group equally well?
+* :mod:`respdi.cleaning.outliers` — error detection and repair, with the
+  per-group damage accounting of §2.4 (one bad value hurts a small group
+  more);
+* :mod:`respdi.cleaning.fairprep` — a FairPrep-style (Schelter et al.,
+  EDBT 2020) pipeline runner: cleaning + intervention + model + fairness
+  evaluation as one reproducible experiment object.
+"""
+
+from respdi.cleaning.imputers import (
+    Imputer,
+    DropMissingImputer,
+    MeanImputer,
+    GroupMeanImputer,
+    HotDeckImputer,
+    KNNImputer,
+    ModeImputer,
+)
+from respdi.cleaning.parity import (
+    imputation_group_rmse,
+    imputation_accuracy_parity,
+    ImputationParityReport,
+)
+from respdi.cleaning.outliers import (
+    zscore_outliers,
+    group_zscore_outliers,
+    repair_with_group_statistic,
+    group_aggregate_damage,
+)
+from respdi.cleaning.fairprep import FairPrepExperiment, FairPrepResult
+from respdi.cleaning.bias_repair import disparate_impact_repair, repair_all_features
+
+__all__ = [
+    "Imputer",
+    "DropMissingImputer",
+    "MeanImputer",
+    "GroupMeanImputer",
+    "HotDeckImputer",
+    "KNNImputer",
+    "ModeImputer",
+    "imputation_group_rmse",
+    "imputation_accuracy_parity",
+    "ImputationParityReport",
+    "zscore_outliers",
+    "group_zscore_outliers",
+    "repair_with_group_statistic",
+    "group_aggregate_damage",
+    "FairPrepExperiment",
+    "FairPrepResult",
+    "disparate_impact_repair",
+    "repair_all_features",
+]

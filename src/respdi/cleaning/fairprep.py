@@ -1,0 +1,178 @@
+"""FairPrep-style experiment runner (Schelter et al., EDBT 2020).
+
+FairPrep's thesis is that data cleaning and fairness interventions must
+be studied *as a pipeline*, with the same hygiene as model evaluation:
+fit every data transformation on training data only, apply to held-out
+data, and report fairness metrics next to accuracy.
+:class:`FairPrepExperiment` packages that protocol:
+
+    raw table -> (optional imputation) -> standardization ->
+    (optional pre-processing intervention) -> model -> FairnessReport
+
+Every stage is configurable, so ablations (which imputer? which
+intervention? which model?) are one-argument changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.cleaning.imputers import Imputer
+from respdi.errors import SpecificationError
+from respdi.ml.data import standardize_columns, table_to_xy, train_test_split
+from respdi.ml.interventions import (
+    oversample_groups,
+    reweighing_weights,
+    smote_oversample,
+)
+from respdi.ml.metrics import FairnessReport, evaluate_fairness
+from respdi.ml.models import LogisticRegression
+from respdi.table import Table
+
+ModelFactory = Callable[[], object]
+
+_INTERVENTIONS = ("none", "reweigh", "oversample", "smote")
+
+
+@dataclass
+class FairPrepResult:
+    """Outcome of one pipeline configuration."""
+
+    intervention: str
+    report: FairnessReport
+    train_rows: int
+    test_rows: int
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "accuracy": self.report.accuracy,
+            "dp_difference": self.report.demographic_parity_difference,
+            "disparate_impact": self.report.disparate_impact,
+            "eo_difference": self.report.equal_opportunity_difference,
+            "accuracy_parity": self.report.accuracy_parity_difference,
+        }
+
+
+class FairPrepExperiment:
+    """A reproducible cleaning + intervention + model + audit pipeline."""
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        label_column: str,
+        group_columns: Sequence[str],
+        imputer: Optional[Imputer] = None,
+        intervention: str = "none",
+        model_factory: Optional[ModelFactory] = None,
+        standardize: bool = True,
+    ) -> None:
+        if intervention not in _INTERVENTIONS:
+            raise SpecificationError(
+                f"unknown intervention {intervention!r}; expected one of "
+                f"{_INTERVENTIONS}"
+            )
+        if not feature_columns:
+            raise SpecificationError("need at least one feature column")
+        if not group_columns:
+            raise SpecificationError("need at least one group column")
+        self.feature_columns = list(feature_columns)
+        self.label_column = label_column
+        self.group_columns = list(group_columns)
+        self.imputer = imputer
+        self.intervention = intervention
+        self.model_factory = model_factory or LogisticRegression
+        self.standardize = standardize
+
+    def _prepare(self, train: Table, test: Table, rng) -> tuple:
+        if self.imputer is not None:
+            self.imputer.fit(train)
+            train = self.imputer.transform(train)
+            test = self.imputer.transform(test)
+        if self.standardize:
+            reference = train
+            train = standardize_columns(train, self.feature_columns, reference)
+            test = standardize_columns(test, self.feature_columns, reference)
+        return train, test
+
+    def run(
+        self,
+        train: Table,
+        test: Table,
+        rng: RngLike = None,
+    ) -> FairPrepResult:
+        """Run the pipeline with a fixed train/test pair."""
+        generator = ensure_rng(rng)
+        train, test = self._prepare(train, test, generator)
+
+        sample_weight = None
+        if self.intervention == "reweigh":
+            _, labels, groups = table_to_xy(
+                train, self.feature_columns, self.label_column, self.group_columns
+            )
+            sample_weight = reweighing_weights(list(groups), labels)
+        elif self.intervention == "oversample":
+            train = oversample_groups(train, self.group_columns, generator)
+        elif self.intervention == "smote":
+            train = smote_oversample(
+                train, self.group_columns, self.feature_columns, rng=generator
+            )
+
+        X_train, y_train, _ = table_to_xy(
+            train, self.feature_columns, self.label_column, self.group_columns
+        )
+        X_test, y_test, test_groups = table_to_xy(
+            test, self.feature_columns, self.label_column, self.group_columns
+        )
+        model = self.model_factory()
+        model.fit(X_train, y_train, sample_weight=sample_weight)
+        y_pred = model.predict(X_test)
+        report = evaluate_fairness(y_test, y_pred, list(test_groups))
+        return FairPrepResult(
+            intervention=self.intervention,
+            report=report,
+            train_rows=len(train),
+            test_rows=len(test),
+        )
+
+    def run_split(
+        self,
+        table: Table,
+        test_fraction: float = 0.3,
+        rng: RngLike = None,
+    ) -> FairPrepResult:
+        """Convenience: split *table* then :meth:`run`."""
+        generator = ensure_rng(rng)
+        train, test = train_test_split(table, test_fraction, generator)
+        return self.run(train, test, generator)
+
+
+def compare_interventions(
+    table: Table,
+    feature_columns: Sequence[str],
+    label_column: str,
+    group_columns: Sequence[str],
+    interventions: Sequence[str] = _INTERVENTIONS,
+    imputer: Optional[Imputer] = None,
+    model_factory: Optional[ModelFactory] = None,
+    test_fraction: float = 0.3,
+    rng: RngLike = None,
+) -> Dict[str, FairPrepResult]:
+    """Run the pipeline once per intervention on a shared split."""
+    generator = ensure_rng(rng)
+    train, test = train_test_split(table, test_fraction, generator)
+    results: Dict[str, FairPrepResult] = {}
+    for intervention in interventions:
+        experiment = FairPrepExperiment(
+            feature_columns=feature_columns,
+            label_column=label_column,
+            group_columns=group_columns,
+            imputer=imputer,
+            intervention=intervention,
+            model_factory=model_factory,
+        )
+        results[intervention] = experiment.run(train, test, generator)
+    return results

@@ -1,0 +1,258 @@
+"""Missing-value imputers.
+
+All imputers share the :class:`Imputer` interface: ``fit`` learns from a
+table, ``transform`` returns a new table with the target column's missing
+values resolved (or, for :class:`DropMissingImputer`, the offending rows
+removed).  Fit and transform are separated so experiments can fit on
+training data and apply to held-out data.
+
+The tutorial's §2.4 point — that (i) dropping rows erodes minority
+coverage and (ii) global-mean imputation drags minority values toward
+the majority mean — is directly observable by comparing
+:class:`DropMissingImputer` / :class:`MeanImputer` against
+:class:`GroupMeanImputer` under group-dependent missingness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, NotFittedError, SpecificationError
+from respdi.table import NotMissing, Table
+
+
+class Imputer:
+    """Interface: ``fit(table)`` then ``transform(table) -> Table``."""
+
+    def __init__(self, column: str) -> None:
+        if not column:
+            raise SpecificationError("imputer needs a target column")
+        self.column = column
+        self._fitted = False
+
+    def fit(self, table: Table) -> "Imputer":
+        raise NotImplementedError
+
+    def transform(self, table: Table) -> Table:
+        raise NotImplementedError
+
+    def fit_transform(self, table: Table) -> Table:
+        return self.fit(table).transform(table)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+
+class DropMissingImputer(Imputer):
+    """Resolution (i) of §2.4: drop rows whose target column is missing."""
+
+    def fit(self, table: Table) -> "DropMissingImputer":
+        table.schema.require([self.column])
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        self._require_fitted()
+        return table.filter(NotMissing(self.column))
+
+
+class MeanImputer(Imputer):
+    """Resolution (ii) of §2.4: replace missing values with the global mean."""
+
+    def fit(self, table: Table) -> "MeanImputer":
+        if not table.schema[self.column].is_numeric:
+            raise SpecificationError("MeanImputer requires a numeric column")
+        self._mean = table.aggregate(self.column, "mean")
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        self._require_fitted()
+        values = np.asarray(table.column(self.column), dtype=float).copy()
+        values[np.isnan(values)] = self._mean
+        return table.with_column(self.column, "numeric", values)
+
+
+class GroupMeanImputer(Imputer):
+    """Replace missing values with the mean of the row's own group.
+
+    Groups are defined by categorical *group_columns* (typically the
+    sensitive attributes).  Rows whose group was unseen at fit time (or
+    whose group had no observed values) fall back to the global mean.
+    """
+
+    def __init__(self, column: str, group_columns: Sequence[str]) -> None:
+        super().__init__(column)
+        if not group_columns:
+            raise SpecificationError("GroupMeanImputer needs group columns")
+        self.group_columns = list(group_columns)
+
+    def fit(self, table: Table) -> "GroupMeanImputer":
+        if not table.schema[self.column].is_numeric:
+            raise SpecificationError("GroupMeanImputer requires a numeric column")
+        table.schema.require(self.group_columns)
+        self._global_mean = table.aggregate(self.column, "mean")
+        self._group_means: Dict[tuple, float] = {}
+        for key, idx in table.group_indices(self.group_columns).items():
+            subset = table.take(idx)
+            present = ~subset.missing_mask(self.column)
+            if present.any():
+                self._group_means[key] = subset.aggregate(self.column, "mean")
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        self._require_fitted()
+        values = np.asarray(table.column(self.column), dtype=float).copy()
+        group_arrays = [table.column(name) for name in self.group_columns]
+        for i in np.flatnonzero(np.isnan(values)):
+            key = tuple(array[i] for array in group_arrays)
+            values[i] = self._group_means.get(key, self._global_mean)
+        return table.with_column(self.column, "numeric", values)
+
+
+class HotDeckImputer(Imputer):
+    """Replace each missing value with a random observed *donor* value
+    from the same group (random hot-deck imputation).
+
+    Unlike mean imputation, hot-deck preserves the within-group value
+    distribution instead of collapsing imputed rows onto one point.
+    """
+
+    def __init__(
+        self, column: str, group_columns: Sequence[str], rng: RngLike = None
+    ) -> None:
+        super().__init__(column)
+        if not group_columns:
+            raise SpecificationError("HotDeckImputer needs group columns")
+        self.group_columns = list(group_columns)
+        self._rng = ensure_rng(rng)
+
+    def fit(self, table: Table) -> "HotDeckImputer":
+        table.schema.require([self.column] + self.group_columns)
+        self._donors: Dict[tuple, np.ndarray] = {}
+        all_present_values: List[float] = []
+        for key, idx in table.group_indices(self.group_columns).items():
+            subset = table.take(idx)
+            present = ~subset.missing_mask(self.column)
+            donors = np.asarray(subset.column(self.column))[present]
+            if len(donors) > 0:
+                self._donors[key] = donors
+                all_present_values.extend(donors.tolist())
+        if not all_present_values:
+            raise EmptyInputError("no observed donor values at all")
+        self._fallback = np.asarray(all_present_values)
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        self._require_fitted()
+        spec = table.schema[self.column]
+        values = list(table.column(self.column))
+        missing = table.missing_mask(self.column)
+        group_arrays = [table.column(name) for name in self.group_columns]
+        for i in np.flatnonzero(missing):
+            key = tuple(array[i] for array in group_arrays)
+            donors = self._donors.get(key, self._fallback)
+            values[i] = donors[int(self._rng.integers(len(donors)))]
+        return table.with_column(self.column, spec.ctype, values)
+
+
+class KNNImputer(Imputer):
+    """Replace each missing value with the mean of its *k* nearest
+    neighbors in the space of the (z-scored) auxiliary numeric columns."""
+
+    def __init__(self, column: str, feature_columns: Sequence[str], k: int = 5) -> None:
+        super().__init__(column)
+        if k < 1:
+            raise SpecificationError("k must be >= 1")
+        if not feature_columns:
+            raise SpecificationError("KNNImputer needs feature columns")
+        if column in feature_columns:
+            raise SpecificationError("target column cannot be its own feature")
+        self.feature_columns = list(feature_columns)
+        self.k = k
+
+    def fit(self, table: Table) -> "KNNImputer":
+        if not table.schema[self.column].is_numeric:
+            raise SpecificationError("KNNImputer requires a numeric target column")
+        table.schema.require(self.feature_columns)
+        features = np.column_stack(
+            [np.asarray(table.column(name), dtype=float) for name in self.feature_columns]
+        )
+        target = np.asarray(table.column(self.column), dtype=float)
+        usable = ~np.isnan(features).any(axis=1) & ~np.isnan(target)
+        if not usable.any():
+            raise EmptyInputError("no complete donor rows for kNN imputation")
+        donors = features[usable]
+        self._mean = donors.mean(axis=0)
+        self._std = np.where(donors.std(axis=0) > 0, donors.std(axis=0), 1.0)
+        self._donor_features = (donors - self._mean) / self._std
+        self._donor_targets = target[usable]
+        self._global_mean = float(self._donor_targets.mean())
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        self._require_fitted()
+        values = np.asarray(table.column(self.column), dtype=float).copy()
+        features = np.column_stack(
+            [np.asarray(table.column(name), dtype=float) for name in self.feature_columns]
+        )
+        for i in np.flatnonzero(np.isnan(values)):
+            row = features[i]
+            if np.isnan(row).any():
+                values[i] = self._global_mean
+                continue
+            z = (row - self._mean) / self._std
+            distances = np.linalg.norm(self._donor_features - z, axis=1)
+            k = min(self.k, len(distances))
+            nearest = np.argpartition(distances, k - 1)[:k]
+            values[i] = float(self._donor_targets[nearest].mean())
+        return table.with_column(self.column, "numeric", values)
+
+
+class ModeImputer(Imputer):
+    """Replace missing categorical values with the most frequent value
+    (optionally per group)."""
+
+    def __init__(self, column: str, group_columns: Optional[Sequence[str]] = None) -> None:
+        super().__init__(column)
+        self.group_columns = list(group_columns) if group_columns else []
+
+    @staticmethod
+    def _mode(counts: Dict[Hashable, int]) -> Hashable:
+        return max(sorted(counts, key=repr), key=lambda v: counts[v])
+
+    def fit(self, table: Table) -> "ModeImputer":
+        counts = table.value_counts(self.column)
+        if not counts:
+            raise EmptyInputError(f"column {self.column!r} has no observed values")
+        self._global_mode = self._mode(counts)
+        self._group_modes: Dict[tuple, Hashable] = {}
+        if self.group_columns:
+            table.schema.require(self.group_columns)
+            for key, idx in table.group_indices(self.group_columns).items():
+                subset_counts = table.take(idx).value_counts(self.column)
+                if subset_counts:
+                    self._group_modes[key] = self._mode(subset_counts)
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        self._require_fitted()
+        spec = table.schema[self.column]
+        values = list(table.column(self.column))
+        missing = table.missing_mask(self.column)
+        group_arrays = [table.column(name) for name in self.group_columns]
+        for i in np.flatnonzero(missing):
+            if group_arrays:
+                key = tuple(array[i] for array in group_arrays)
+                values[i] = self._group_modes.get(key, self._global_mode)
+            else:
+                values[i] = self._global_mode
+        return table.with_column(self.column, spec.ctype, values)

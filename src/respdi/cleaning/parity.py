@@ -1,0 +1,119 @@
+"""Imputation accuracy parity (Zhang & Long, NeurIPS 2021).
+
+Given ground-truth values, the injected missingness mask, and the imputed
+table, measure how well imputation served each sensitive group.  The
+**imputation accuracy parity difference** is the spread (max - min) of the
+per-group accuracy; large spread means the imputer systematically fails
+one group — the §5 fairness-of-cleaning concern.
+
+For numeric columns "accuracy" is defined two ways, both reported:
+
+* per-group RMSE of imputed vs true values (lower is better);
+* per-group tolerance accuracy: fraction of imputed cells within
+  ``tolerance`` standard deviations of the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence, Tuple
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+GroupKey = Tuple[Hashable, ...]
+
+
+def _per_group_cells(
+    imputed: Table,
+    column: str,
+    clean_values: np.ndarray,
+    injected_mask: np.ndarray,
+    group_columns: Sequence[str],
+) -> Dict[GroupKey, Tuple[np.ndarray, np.ndarray]]:
+    """Map each group to (true values, imputed values) at injected cells."""
+    if len(clean_values) != len(imputed) or len(injected_mask) != len(imputed):
+        raise SpecificationError(
+            "clean_values / injected_mask must align with the imputed table; "
+            "note that DropMissingImputer removes rows and therefore cannot "
+            "be scored for imputation accuracy"
+        )
+    imputed.schema.require(list(group_columns) + [column])
+    imputed_values = np.asarray(imputed.column(column), dtype=float)
+    group_arrays = [imputed.column(name) for name in group_columns]
+    cells: Dict[GroupKey, Tuple[list, list]] = {}
+    for i in np.flatnonzero(injected_mask):
+        key = tuple(array[i] for array in group_arrays)
+        truth, guess = cells.setdefault(key, ([], []))
+        truth.append(float(clean_values[i]))
+        guess.append(float(imputed_values[i]))
+    if not cells:
+        raise EmptyInputError("no injected cells to score")
+    return {
+        key: (np.asarray(truth), np.asarray(guess))
+        for key, (truth, guess) in cells.items()
+    }
+
+
+def imputation_group_rmse(
+    imputed: Table,
+    column: str,
+    clean_values: np.ndarray,
+    injected_mask: np.ndarray,
+    group_columns: Sequence[str],
+) -> Dict[GroupKey, float]:
+    """Per-group RMSE of imputed values at the injected cells."""
+    cells = _per_group_cells(imputed, column, clean_values, injected_mask, group_columns)
+    return {
+        key: float(np.sqrt(((truth - guess) ** 2).mean()))
+        for key, (truth, guess) in cells.items()
+    }
+
+
+@dataclass(frozen=True)
+class ImputationParityReport:
+    """Per-group imputation quality and its spread."""
+
+    group_rmse: Dict[GroupKey, float]
+    group_accuracy: Dict[GroupKey, float]
+    rmse_parity_difference: float
+    accuracy_parity_difference: float
+
+    @property
+    def worst_group(self) -> GroupKey:
+        return min(self.group_accuracy, key=lambda g: (self.group_accuracy[g], repr(g)))
+
+
+def imputation_accuracy_parity(
+    imputed: Table,
+    column: str,
+    clean_values: np.ndarray,
+    injected_mask: np.ndarray,
+    group_columns: Sequence[str],
+    tolerance: float = 0.5,
+) -> ImputationParityReport:
+    """Full parity report; *tolerance* is in units of the clean column's
+    standard deviation."""
+    if tolerance <= 0:
+        raise SpecificationError("tolerance must be positive")
+    cells = _per_group_cells(imputed, column, clean_values, injected_mask, group_columns)
+    clean = np.asarray(clean_values, dtype=float)
+    scale = float(np.nanstd(clean)) or 1.0
+    group_rmse = {
+        key: float(np.sqrt(((truth - guess) ** 2).mean()))
+        for key, (truth, guess) in cells.items()
+    }
+    group_accuracy = {
+        key: float((np.abs(truth - guess) <= tolerance * scale).mean())
+        for key, (truth, guess) in cells.items()
+    }
+    return ImputationParityReport(
+        group_rmse=group_rmse,
+        group_accuracy=group_accuracy,
+        rmse_parity_difference=max(group_rmse.values()) - min(group_rmse.values()),
+        accuracy_parity_difference=(
+            max(group_accuracy.values()) - min(group_accuracy.values())
+        ),
+    )

@@ -1,0 +1,131 @@
+"""Command-line auditing: a nutritional label for any CSV.
+
+Usage::
+
+    python -m respdi.cli data.csv --sensitive race,gender [--target y]
+        [--coverage-threshold 20] [--json label.json] [--audit]
+
+Reads a CSV (written by :func:`respdi.table.write_csv`, or any CSV given
+``--types``), prints the MithraLabel-style nutritional label, optionally
+runs the §2 requirement audit, and optionally writes the label as JSON.
+The exit code is 0 when no audit was requested or the audit passed, and
+2 when the audit failed — so the tool drops into CI pipelines directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from respdi.errors import RespdiError
+from respdi.profiling import build_nutritional_label, dump_json
+from respdi.requirements import (
+    CompletenessCorrectnessRequirement,
+    GroupRepresentationRequirement,
+    audit_requirements,
+)
+from respdi.table import ColumnType, Schema, read_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="respdi-audit",
+        description="Audit a CSV for responsible-AI data requirements.",
+    )
+    parser.add_argument("csv", help="input CSV path")
+    parser.add_argument(
+        "--sensitive",
+        required=True,
+        help="comma-separated sensitive column names",
+    )
+    parser.add_argument(
+        "--target", default=None, help="target/label column (numeric 0/1)"
+    )
+    parser.add_argument(
+        "--types",
+        default=None,
+        help=(
+            "comma-separated column types (categorical|numeric) for CSVs "
+            "without an embedded #types: header; must match the header order"
+        ),
+    )
+    parser.add_argument(
+        "--coverage-threshold",
+        type=int,
+        default=20,
+        help="minimum rows per group for coverage (default 20)",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the requirement audit (exit 2 on failure)",
+    )
+    parser.add_argument(
+        "--max-missing-rate",
+        type=float,
+        default=0.05,
+        help="completeness bound for --audit (default 0.05)",
+    )
+    parser.add_argument(
+        "--json", default=None, help="also write the label as JSON here"
+    )
+    return parser
+
+
+def _load_table(path: str, types: Optional[str]):
+    if types is None:
+        return read_csv(path)
+    declared = [t.strip() for t in types.split(",")]
+    with open(path) as handle:
+        header = handle.readline().rstrip("\n").split(",")
+    if len(declared) != len(header):
+        raise RespdiError(
+            f"--types lists {len(declared)} types for {len(header)} columns"
+        )
+    schema = Schema([(name, ColumnType(t)) for name, t in zip(header, declared)])
+    return read_csv(path, schema=schema)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    sensitive: List[str] = [s.strip() for s in args.sensitive.split(",") if s.strip()]
+    try:
+        table = _load_table(args.csv, args.types)
+        label = build_nutritional_label(
+            table,
+            sensitive,
+            target_column=args.target,
+            coverage_threshold=args.coverage_threshold,
+        )
+    except (RespdiError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(label.render())
+    if args.json:
+        dump_json(label, args.json)
+        print(f"\nlabel written to {args.json}")
+
+    if not args.audit:
+        return 0
+    checks = [
+        GroupRepresentationRequirement(
+            tuple(sensitive), threshold=args.coverage_threshold
+        ),
+        CompletenessCorrectnessRequirement(
+            list(table.column_names),
+            tuple(sensitive),
+            max_missing_rate=args.max_missing_rate,
+            max_group_missing_rate=2 * args.max_missing_rate,
+        ),
+    ]
+    audit = audit_requirements(table, checks)
+    print()
+    print(audit.render())
+    return 0 if audit.passed else 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Coverage analysis: who is missing from the data?
+
+Implements the tutorial's Group Representation machinery (§2.2):
+
+* :mod:`respdi.coverage.patterns` — value patterns over categorical
+  attributes (wildcards allowed) and the pattern lattice;
+* :mod:`respdi.coverage.mups` — Maximal Uncovered Patterns (Asudeh,
+  Jin, Jagadish, ICDE 2019): identification via naive enumeration,
+  top-down pattern-breaker traversal, and greedy coverage enhancement;
+* :mod:`respdi.coverage.ordinal` — neighborhood-based coverage for
+  ordinal/continuous attributes (Asudeh et al., SIGMOD 2021).
+"""
+
+from respdi.coverage.patterns import (
+    Pattern,
+    WILDCARD,
+    pattern_matches_mask,
+    pattern_level,
+    pattern_parents,
+    pattern_dominates,
+)
+from respdi.coverage.mups import (
+    CoverageAnalyzer,
+    CoverageReport,
+    greedy_coverage_enhancement,
+    full_coverage_plan,
+)
+from respdi.coverage.ordinal import OrdinalCoverage
+
+__all__ = [
+    "Pattern",
+    "WILDCARD",
+    "pattern_matches_mask",
+    "pattern_level",
+    "pattern_parents",
+    "pattern_dominates",
+    "CoverageAnalyzer",
+    "CoverageReport",
+    "greedy_coverage_enhancement",
+    "full_coverage_plan",
+    "OrdinalCoverage",
+]

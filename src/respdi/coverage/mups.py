@@ -1,0 +1,373 @@
+"""Maximal Uncovered Patterns (MUPs) and coverage enhancement.
+
+Following Asudeh, Jin & Jagadish (ICDE 2019): given a data set, a list of
+(low-cardinality) categorical attributes, and a coverage threshold
+``tau``, a pattern is **uncovered** when fewer than ``tau`` rows match
+it.  A **MUP** is an uncovered pattern all of whose parents (immediate
+generalizations) are covered — the most general descriptions of who is
+missing.  The set of MUPs compactly describes the entire uncovered
+region: a pattern is uncovered iff it is dominated by some MUP.
+
+Two exact algorithms are provided (naive level-wise enumeration as the
+testing oracle, and the top-down *pattern-breaker* traversal that prunes
+descendants of uncovered patterns), plus a greedy *coverage enhancement*
+routine that proposes a small set of fully specified value combinations
+to collect in order to eliminate all MUPs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from respdi.coverage.patterns import (
+    WILDCARD,
+    Pattern,
+    format_pattern,
+    pattern_dominates,
+    pattern_level,
+    pattern_matches_mask,
+    pattern_parents,
+)
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+
+@dataclass
+class CoverageReport:
+    """Result of a MUP search."""
+
+    attributes: Tuple[str, ...]
+    threshold: int
+    mups: List[Pattern]
+    patterns_evaluated: int
+
+    def describe(self) -> List[str]:
+        """Human-readable MUP list."""
+        return [format_pattern(self.attributes, p) for p in self.mups]
+
+    def is_uncovered(self, pattern: Pattern) -> bool:
+        """True when *pattern* lies in the uncovered region (dominated by
+        a MUP)."""
+        return any(pattern_dominates(mup, pattern) for mup in self.mups)
+
+
+class CoverageAnalyzer:
+    """Counts patterns and finds MUPs over chosen categorical attributes.
+
+    Pattern counts are computed from precomputed per-(attribute, value)
+    bitmaps, so each count is an AND of at most ``d`` boolean vectors.
+    Counts are memoized — the lattice traversals re-visit parents often.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attributes: Sequence[str],
+        threshold: int,
+        domains: "Dict[str, List[Hashable]]" = None,
+    ) -> None:
+        if threshold < 1:
+            raise SpecificationError("coverage threshold must be >= 1")
+        if not attributes:
+            raise SpecificationError("coverage needs at least one attribute")
+        table.schema.require(attributes)
+        for name in attributes:
+            if not table.schema[name].is_categorical:
+                raise SpecificationError(
+                    f"coverage attribute {name!r} must be categorical"
+                )
+        self.table = table
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.threshold = threshold
+        # Domains default to the *observed* values.  Callers auditing
+        # against an expected population should pass explicit domains:
+        # a value that never appears in the data cannot be discovered
+        # from the data, yet its absence is precisely the worst coverage
+        # failure (e.g. a gender entirely missing from the sample).
+        self.domains: Dict[str, List[Hashable]] = {
+            name: table.unique(name) for name in self.attributes
+        }
+        if domains:
+            unknown = set(domains) - set(self.attributes)
+            if unknown:
+                raise SpecificationError(
+                    f"domains given for non-coverage attributes {sorted(unknown)}"
+                )
+            for name, values in domains.items():
+                merged = list(values)
+                for observed in self.domains[name]:
+                    if observed not in merged:
+                        merged.append(observed)
+                self.domains[name] = sorted(merged, key=repr)
+        for name, domain in self.domains.items():
+            if not domain:
+                raise EmptyInputError(
+                    f"attribute {name!r} has no present values; "
+                    "cannot analyze coverage"
+                )
+        self._bitmaps: Dict[Tuple[str, Hashable], np.ndarray] = {}
+        for name in self.attributes:
+            column = table.column(name)
+            present = ~table.missing_mask(name)
+            for value in self.domains[name]:
+                mask = np.zeros(len(table), dtype=bool)
+                mask[present] = column[present] == value
+                self._bitmaps[(name, value)] = mask
+        self._count_cache: Dict[Pattern, int] = {}
+        self._rows = len(table)
+
+    # -- counting -------------------------------------------------------
+
+    def count(self, pattern: Pattern) -> int:
+        """Number of rows matching *pattern* (memoized)."""
+        if pattern in self._count_cache:
+            return self._count_cache[pattern]
+        mask = None
+        for name, value in zip(self.attributes, pattern):
+            if value is WILDCARD:
+                continue
+            try:
+                bitmap = self._bitmaps[(name, value)]
+            except KeyError:
+                # A value outside the observed domain matches nothing.
+                self._count_cache[pattern] = 0
+                return 0
+            mask = bitmap if mask is None else (mask & bitmap)
+        count = self._rows if mask is None else int(mask.sum())
+        self._count_cache[pattern] = count
+        return count
+
+    def is_covered(self, pattern: Pattern) -> bool:
+        return self.count(pattern) >= self.threshold
+
+    def root(self) -> Pattern:
+        return tuple([WILDCARD] * len(self.attributes))
+
+    # -- enumeration oracles ------------------------------------------------
+
+    def all_patterns(self) -> List[Pattern]:
+        """Every pattern in the lattice (exponential; testing oracle)."""
+        choices = [
+            [WILDCARD] + list(self.domains[name]) for name in self.attributes
+        ]
+        return [tuple(combo) for combo in itertools.product(*choices)]
+
+    def mups_naive(self) -> CoverageReport:
+        """Exact MUPs by checking every lattice pattern (oracle)."""
+        mups: List[Pattern] = []
+        evaluated = 0
+        for pattern in self.all_patterns():
+            evaluated += 1
+            if self.is_covered(pattern):
+                continue
+            if all(self.is_covered(parent) for parent in pattern_parents(pattern)):
+                if pattern_level(pattern) == 0:
+                    # Root uncovered: the data set itself is too small;
+                    # the root is the single MUP.
+                    return CoverageReport(self.attributes, self.threshold, [pattern], evaluated)
+                mups.append(pattern)
+        return CoverageReport(self.attributes, self.threshold, mups, evaluated)
+
+    # -- pattern breaker ----------------------------------------------------
+
+    def mups(self) -> CoverageReport:
+        """Exact MUPs via top-down pattern-breaker traversal.
+
+        Traverses the lattice level-wise from the all-wildcard root.
+        Children are generated canonically (only positions to the right of
+        the last instantiated one are instantiated), so each pattern is
+        visited at most once.  Descendants of uncovered patterns are
+        pruned: any specialization of an uncovered pattern has an
+        uncovered ancestor on every generalization path, hence has an
+        uncovered parent somewhere above it and cannot be a MUP.
+        """
+        root = self.root()
+        evaluated = 1
+        if not self.is_covered(root):
+            return CoverageReport(self.attributes, self.threshold, [root], evaluated)
+        mups: List[Pattern] = []
+        frontier: List[Pattern] = [root]
+        while frontier:
+            next_frontier: List[Pattern] = []
+            for pattern in frontier:
+                last = self._last_instantiated(pattern)
+                for position in range(last + 1, len(self.attributes)):
+                    name = self.attributes[position]
+                    for value in self.domains[name]:
+                        child = (
+                            pattern[:position] + (value,) + pattern[position + 1 :]
+                        )
+                        evaluated += 1
+                        if self.is_covered(child):
+                            next_frontier.append(child)
+                        elif all(
+                            self.is_covered(parent)
+                            for parent in pattern_parents(child)
+                        ):
+                            mups.append(child)
+            frontier = next_frontier
+        return CoverageReport(self.attributes, self.threshold, mups, evaluated)
+
+    @staticmethod
+    def _last_instantiated(pattern: Pattern) -> int:
+        last = -1
+        for i, value in enumerate(pattern):
+            if value is not WILDCARD:
+                last = i
+        return last
+
+
+def greedy_coverage_enhancement(
+    analyzer: CoverageAnalyzer, mups: Sequence[Pattern]
+) -> List[Tuple[Pattern, int]]:
+    """Propose fully specified combinations to collect to kill all MUPs.
+
+    Each MUP ``m`` needs ``tau - count(m)`` extra matching rows.  A fully
+    specified combination satisfies every MUP that dominates it, so
+    choosing combinations well shares collected rows across MUPs.  This
+    is a set-multicover instance; we use the classical greedy (pick the
+    combination serving the largest number of still-deficient MUPs,
+    charge it the maximum residual among them) which is an
+    ``H_n``-approximation.
+
+    Returns a list of ``(combination, copies_to_collect)``.
+    """
+    residual: Dict[Pattern, int] = {}
+    for mup in mups:
+        need = analyzer.threshold - analyzer.count(mup)
+        if need > 0:
+            residual[mup] = need
+    plan: List[Tuple[Pattern, int]] = []
+    while residual:
+        best_combo = None
+        best_served: List[Pattern] = []
+        # Candidate combinations: minimal completions of each deficient
+        # MUP (instantiate wildcards over the attribute domains, but only
+        # consider value choices appearing in other deficient MUPs plus
+        # one default, to keep the candidate pool small and relevant).
+        candidates = _candidate_combinations(analyzer, list(residual))
+        for combo in candidates:
+            served = [m for m in residual if pattern_dominates(m, combo)]
+            if len(served) > len(best_served):
+                best_combo, best_served = combo, served
+        if best_combo is None:  # pragma: no cover - defensive
+            raise EmptyInputError("no candidate combination serves any MUP")
+        copies = max(residual[m] for m in best_served)
+        plan.append((best_combo, copies))
+        for m in best_served:
+            remaining = residual[m] - copies
+            if remaining > 0:
+                residual[m] = remaining
+            else:
+                del residual[m]
+    return plan
+
+
+def full_coverage_plan(
+    analyzer: CoverageAnalyzer, max_rounds: int = 50
+) -> List[Tuple[Pattern, int]]:
+    """Iterate :func:`greedy_coverage_enhancement` to *full* coverage.
+
+    Covering the current MUPs can expose deeper uncovered patterns that
+    were hidden beneath them (their parents were uncovered, so they were
+    not maximal).  This routine recomputes MUPs under the *augmented*
+    counts (original data plus planned additions) and plans again until
+    no uncovered pattern remains, merging per-combination copy counts.
+    """
+    additions: Dict[Pattern, int] = {}
+
+    def augmented_count(pattern: Pattern) -> int:
+        extra = sum(
+            copies
+            for combo, copies in additions.items()
+            if pattern_dominates(pattern, combo)
+        )
+        return analyzer.count(pattern) + extra
+
+    for _ in range(max_rounds):
+        mups = _augmented_mups(analyzer, augmented_count)
+        if not mups:
+            return sorted(additions.items(), key=lambda item: repr(item[0]))
+        residual = {
+            mup: analyzer.threshold - augmented_count(mup) for mup in mups
+        }
+        candidates = _candidate_combinations(analyzer, list(residual))
+        while residual:
+            best_combo = None
+            best_served: List[Pattern] = []
+            for combo in candidates:
+                served = [m for m in residual if pattern_dominates(m, combo)]
+                if len(served) > len(best_served):
+                    best_combo, best_served = combo, served
+            if best_combo is None:  # pragma: no cover - defensive
+                raise EmptyInputError("no combination serves any MUP")
+            copies = max(residual[m] for m in best_served)
+            additions[best_combo] = additions.get(best_combo, 0) + copies
+            for m in best_served:
+                remaining = residual[m] - copies
+                if remaining > 0:
+                    residual[m] = remaining
+                else:
+                    del residual[m]
+    raise EmptyInputError(
+        f"coverage enhancement did not converge in {max_rounds} rounds"
+    )  # pragma: no cover - bounded lattice always converges
+
+
+def _augmented_mups(analyzer: CoverageAnalyzer, count_fn) -> List[Pattern]:
+    """Pattern-breaker traversal using an arbitrary count function."""
+    threshold = analyzer.threshold
+    root = analyzer.root()
+    if count_fn(root) < threshold:
+        return [root]
+    mups: List[Pattern] = []
+    frontier: List[Pattern] = [root]
+    while frontier:
+        next_frontier: List[Pattern] = []
+        for pattern in frontier:
+            last = CoverageAnalyzer._last_instantiated(pattern)
+            for position in range(last + 1, len(analyzer.attributes)):
+                name = analyzer.attributes[position]
+                for value in analyzer.domains[name]:
+                    child = pattern[:position] + (value,) + pattern[position + 1 :]
+                    if count_fn(child) >= threshold:
+                        next_frontier.append(child)
+                    elif all(
+                        count_fn(parent) >= threshold
+                        for parent in pattern_parents(child)
+                    ):
+                        mups.append(child)
+        frontier = next_frontier
+    return mups
+
+
+def _candidate_combinations(
+    analyzer: CoverageAnalyzer, mups: List[Pattern]
+) -> List[Pattern]:
+    """Fully specified candidates: for each MUP, complete its wildcards
+    with every combination of values used by the MUP set (capped), falling
+    back to the first domain value."""
+    interesting: Dict[str, List[Hashable]] = {}
+    for position, name in enumerate(analyzer.attributes):
+        values = {m[position] for m in mups if m[position] is not WILDCARD}
+        interesting[name] = sorted(values, key=repr) or [analyzer.domains[name][0]]
+    candidates: List[Pattern] = []
+    seen = set()
+    for mup in mups:
+        open_positions = [
+            i for i, value in enumerate(mup) if value is WILDCARD
+        ]
+        pools = [interesting[analyzer.attributes[i]] for i in open_positions]
+        for fill in itertools.product(*pools) if pools else [()]:
+            combo = list(mup)
+            for i, value in zip(open_positions, fill):
+                combo[i] = value
+            key = tuple(combo)
+            if key not in seen:
+                seen.add(key)
+                candidates.append(key)
+    return candidates

@@ -1,0 +1,103 @@
+"""Value patterns over categorical attributes.
+
+A *pattern* over attributes ``(a1, .., ad)`` is a tuple of the same
+length whose entries are either a concrete value or the :data:`WILDCARD`.
+A row matches a pattern when it agrees on every non-wildcard position.
+Patterns form a lattice ordered by generality: a pattern's **parents**
+are obtained by replacing one instantiated position with the wildcard.
+
+Example (tutorial §2.2): over ``(gender, race)`` the pattern
+``('F', 'black')`` matches black women; its parents are ``('F', X)`` and
+``(X, 'black')``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+
+class _Wildcard:
+    """Singleton wildcard marker; sorts after any concrete value in reprs."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "X"
+
+    def __reduce__(self):
+        return (_Wildcard, ())
+
+
+#: The wildcard ("any value") marker used in patterns.
+WILDCARD = _Wildcard()
+
+Pattern = Tuple[Hashable, ...]
+
+
+def pattern_level(pattern: Pattern) -> int:
+    """Number of instantiated (non-wildcard) positions."""
+    return sum(1 for value in pattern if value is not WILDCARD)
+
+
+def pattern_parents(pattern: Pattern) -> Iterator[Pattern]:
+    """Immediate generalizations: one instantiated position wildcarded."""
+    for i, value in enumerate(pattern):
+        if value is not WILDCARD:
+            yield pattern[:i] + (WILDCARD,) + pattern[i + 1 :]
+
+
+def pattern_dominates(general: Pattern, specific: Pattern) -> bool:
+    """True when *general* is equal to or a generalization of *specific*.
+
+    Every row matching *specific* then also matches *general*.
+    """
+    if len(general) != len(specific):
+        raise SpecificationError(
+            f"patterns have different widths: {len(general)} vs {len(specific)}"
+        )
+    return all(
+        g is WILDCARD or g == s for g, s in zip(general, specific)
+    )
+
+
+def pattern_matches_mask(
+    table: Table, attributes: Sequence[str], pattern: Pattern
+) -> np.ndarray:
+    """Boolean row mask of *table* rows matching *pattern*.
+
+    Missing values never match an instantiated position (an unrecorded
+    race is evidence of nothing).
+    """
+    if len(pattern) != len(attributes):
+        raise SpecificationError(
+            f"pattern width {len(pattern)} != {len(attributes)} attributes"
+        )
+    mask = np.ones(len(table), dtype=bool)
+    for attribute, value in zip(attributes, pattern):
+        if value is WILDCARD:
+            continue
+        column = table.column(attribute)
+        present = ~table.missing_mask(attribute)
+        position = np.zeros(len(table), dtype=bool)
+        position[present] = column[present] == value
+        mask &= position
+    return mask
+
+
+def format_pattern(attributes: Sequence[str], pattern: Pattern) -> str:
+    """Human-readable rendering, e.g. ``{gender: F, race: X}``."""
+    parts = [
+        f"{attribute}: {value!r}" if value is not WILDCARD else f"{attribute}: X"
+        for attribute, value in zip(attributes, pattern)
+    ]
+    return "{" + ", ".join(parts) + "}"

@@ -1,0 +1,237 @@
+"""Synthetic data lakes with controlled ground truth.
+
+Dataset-discovery algorithms (tutorial §3.1) are evaluated against a lake
+where we *know* which tables are unionable, which columns are joinable,
+and what the join-correlation between planted feature columns and the
+query's target column is.  This module generates such lakes:
+
+* a global vocabulary of categorical values;
+* distractor tables with random value domains;
+* planted **unionable partners** whose columns overlap a query column at
+  a chosen containment level;
+* planted **joinable feature tables**: share a key domain with the query
+  table and carry a numeric column correlated with the query's target at
+  a chosen Pearson level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import SpecificationError
+from respdi.table import ColumnType, Schema, Table
+
+
+@dataclass(frozen=True)
+class LakeSpec:
+    """Parameters for :func:`generate_lake`."""
+
+    n_distractors: int = 50
+    vocab_size: int = 5000
+    domain_size: int = 200
+    columns_per_table: int = 3
+    planted_containments: Tuple[float, ...] = (0.9, 0.7, 0.5, 0.3, 0.1)
+    planted_correlations: Tuple[float, ...] = (0.9, 0.6, 0.3, 0.0)
+    key_domain_size: int = 300
+    rows_per_join_table: int = 300
+
+    def __post_init__(self) -> None:
+        if self.domain_size > self.vocab_size:
+            raise SpecificationError("domain_size cannot exceed vocab_size")
+        for c in self.planted_containments:
+            if not 0.0 <= c <= 1.0:
+                raise SpecificationError(f"containment {c} out of [0, 1]")
+        for r in self.planted_correlations:
+            if not -1.0 <= r <= 1.0:
+                raise SpecificationError(f"correlation {r} out of [-1, 1]")
+
+
+@dataclass
+class SyntheticLake:
+    """A generated lake plus its ground truth.
+
+    Attributes
+    ----------
+    tables:
+        All tables in the lake, keyed by name.
+    query_table:
+        Name of the designated query table.
+    query_column:
+        Name of the query table's set-search column.
+    unionable_truth:
+        ``{table_name: containment}`` for planted unionable partners
+        (containment of the query column's domain in the partner column).
+    join_truth:
+        ``{table_name: correlation}`` for planted joinable feature tables
+        (Pearson correlation, after joining on ``key``, between the
+        partner's ``feat`` column and the query table's ``target``).
+    """
+
+    tables: Dict[str, Table]
+    query_table: str
+    query_column: str
+    unionable_truth: Dict[str, float] = field(default_factory=dict)
+    join_truth: Dict[str, float] = field(default_factory=dict)
+
+    def column_values(self, table_name: str, column: str) -> set:
+        """Distinct present values of a column, as a set."""
+        return set(self.tables[table_name].unique(column))
+
+
+def _vocab_value(i: int) -> str:
+    return f"v{i:06d}"
+
+
+def _random_domain(
+    generator: np.random.Generator, vocab_size: int, size: int
+) -> List[str]:
+    idx = generator.choice(vocab_size, size=size, replace=False)
+    return [_vocab_value(i) for i in idx]
+
+
+def _domain_with_containment(
+    generator: np.random.Generator,
+    base: Sequence[str],
+    containment: float,
+    vocab_size: int,
+    size: int,
+) -> List[str]:
+    """A domain of *size* values containing ``round(containment * len(base))``
+    values of *base* (containment of base in the result)."""
+    n_shared = int(round(containment * len(base)))
+    n_shared = min(n_shared, size, len(base))
+    shared_idx = generator.choice(len(base), size=n_shared, replace=False)
+    shared = [base[i] for i in shared_idx]
+    base_set = set(base)
+    fresh: List[str] = []
+    # Rejection-sample vocabulary values outside base for the remainder.
+    while len(fresh) < size - n_shared:
+        candidates = generator.choice(vocab_size, size=2 * (size - n_shared) + 8)
+        for c in candidates:
+            value = _vocab_value(int(c))
+            if value not in base_set and value not in fresh:
+                fresh.append(value)
+                if len(fresh) == size - n_shared:
+                    break
+    return shared + fresh
+
+
+def _table_from_domains(
+    name_prefix: str, domains: Sequence[Sequence[str]]
+) -> Table:
+    """A table whose categorical columns enumerate the given domains.
+
+    Columns may have different domain sizes; shorter columns are padded by
+    cycling (set semantics are what discovery cares about)."""
+    height = max(len(d) for d in domains)
+    columns = {}
+    specs = []
+    for j, domain in enumerate(domains):
+        col_name = f"{name_prefix}c{j}"
+        specs.append((col_name, ColumnType.CATEGORICAL))
+        values = [domain[i % len(domain)] for i in range(height)]
+        columns[col_name] = values
+    return Table(Schema(specs), columns)
+
+
+def _correlated_feature(
+    generator: np.random.Generator, target_by_key: Dict[str, float], rho: float
+) -> Dict[str, float]:
+    """Per-key feature values with Pearson correlation ~rho to the target."""
+    keys = sorted(target_by_key)
+    target = np.array([target_by_key[k] for k in keys])
+    standardized = (target - target.mean()) / (target.std() or 1.0)
+    noise = generator.normal(size=len(keys))
+    feature = rho * standardized + np.sqrt(max(1.0 - rho**2, 0.0)) * noise
+    return dict(zip(keys, feature))
+
+
+def generate_lake(spec: LakeSpec = LakeSpec(), rng: RngLike = None) -> SyntheticLake:
+    """Generate a :class:`SyntheticLake` per *spec*."""
+    generator = ensure_rng(rng)
+    tables: Dict[str, Table] = {}
+
+    # Query table for set search: one designated column.
+    query_domain = _random_domain(generator, spec.vocab_size, spec.domain_size)
+    query_set_table = _table_from_domains("q_", [query_domain])
+    query_column = "q_c0"
+
+    # Planted unionable partners at the requested containment levels.
+    unionable_truth: Dict[str, float] = {}
+    for i, containment in enumerate(spec.planted_containments):
+        domain = _domain_with_containment(
+            generator, query_domain, containment, spec.vocab_size, spec.domain_size
+        )
+        extra = [
+            _random_domain(generator, spec.vocab_size, spec.domain_size)
+            for _ in range(spec.columns_per_table - 1)
+        ]
+        name = f"union_{i}"
+        tables[name] = _table_from_domains(f"u{i}_", [domain] + extra)
+        unionable_truth[name] = containment
+
+    # Distractors.
+    for i in range(spec.n_distractors):
+        domains = [
+            _random_domain(generator, spec.vocab_size, spec.domain_size)
+            for _ in range(spec.columns_per_table)
+        ]
+        tables[f"distractor_{i}"] = _table_from_domains(f"d{i}_", domains)
+
+    # Join-correlation side: query table gains a key and a numeric target.
+    key_domain = [f"k{i:05d}" for i in range(spec.key_domain_size)]
+    target_by_key = {
+        key: float(value)
+        for key, value in zip(key_domain, generator.normal(size=len(key_domain)))
+    }
+    n_rows = spec.rows_per_join_table
+    key_rows = [key_domain[i % len(key_domain)] for i in range(n_rows)]
+    query_full = query_set_table
+    pad = lambda vals: [vals[i % len(vals)] for i in range(max(n_rows, len(query_full)))]
+    height = max(n_rows, len(query_full))
+    query_full = Table(
+        Schema(
+            [
+                (query_column, ColumnType.CATEGORICAL),
+                ("key", ColumnType.CATEGORICAL),
+                ("target", ColumnType.NUMERIC),
+            ]
+        ),
+        {
+            query_column: pad(list(query_set_table.column(query_column))),
+            "key": pad(key_rows),
+            "target": [target_by_key[k] for k in pad(key_rows)],
+        },
+    )
+    tables["query"] = query_full
+
+    join_truth: Dict[str, float] = {}
+    for i, rho in enumerate(spec.planted_correlations):
+        feature_by_key = _correlated_feature(generator, target_by_key, rho)
+        rows = [
+            (key, feature_by_key[key])
+            for key in (
+                key_domain[int(j) % len(key_domain)]
+                for j in generator.permutation(spec.rows_per_join_table)
+            )
+        ]
+        name = f"joinable_{i}"
+        tables[name] = Table.from_rows(
+            Schema(
+                [("key", ColumnType.CATEGORICAL), ("feat", ColumnType.NUMERIC)]
+            ),
+            rows,
+        )
+        join_truth[name] = rho
+
+    return SyntheticLake(
+        tables=tables,
+        query_table="query",
+        query_column=query_column,
+        unionable_truth=unionable_truth,
+        join_truth=join_truth,
+    )

@@ -1,0 +1,106 @@
+"""Missing-value injection under the three classical mechanisms.
+
+Imputation-fairness experiments (tutorial §3.3, §5; Zhang & Long 2021)
+need ground-truth missingness: we inject holes into a complete table and
+keep the original values, so imputation accuracy — overall and per group —
+is exactly measurable.
+
+Mechanisms
+----------
+MCAR  missing completely at random: every cell equally likely.
+MAR   missing at random: missingness probability depends on *another*,
+      fully observed column (here: a categorical conditioning column).
+MNAR  missing not at random: missingness probability depends on the
+      value being removed itself (larger values more likely missing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+
+def _apply_mask(table: Table, column: str, mask: np.ndarray) -> Table:
+    spec = table.schema[column]
+    values = list(table.column(column))
+    for i in np.flatnonzero(mask):
+        values[i] = None
+    return table.with_column(column, spec.ctype, values)
+
+
+def inject_mcar(
+    table: Table, column: str, rate: float, rng: RngLike = None
+) -> Tuple[Table, np.ndarray]:
+    """Remove each value of *column* independently with probability *rate*.
+
+    Returns ``(table_with_holes, injected_mask)``.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise SpecificationError(f"missingness rate {rate} must be in [0, 1)")
+    generator = ensure_rng(rng)
+    present = ~table.missing_mask(column)
+    mask = (generator.random(len(table)) < rate) & present
+    return _apply_mask(table, column, mask), mask
+
+
+def inject_mar(
+    table: Table,
+    column: str,
+    conditioning_column: str,
+    rates: Mapping[Hashable, float],
+    rng: RngLike = None,
+) -> Tuple[Table, np.ndarray]:
+    """Remove values of *column* with a probability depending on the value
+    of *conditioning_column* in the same row.
+
+    ``rates`` maps conditioning values to missingness probabilities;
+    values not listed get rate 0.  This is the mechanism that hurts
+    minority groups when the conditioning column is a sensitive attribute
+    (tutorial §2.4).
+    """
+    for value, rate in rates.items():
+        if not 0.0 <= rate < 1.0:
+            raise SpecificationError(
+                f"rate {rate} for conditioning value {value!r} must be in [0, 1)"
+            )
+    generator = ensure_rng(rng)
+    conditioning = table.column(conditioning_column)
+    present = ~table.missing_mask(column)
+    probs = np.array([rates.get(value, 0.0) for value in conditioning])
+    mask = (generator.random(len(table)) < probs) & present
+    return _apply_mask(table, column, mask), mask
+
+
+def inject_mnar(
+    table: Table,
+    column: str,
+    base_rate: float,
+    slope: float = 1.0,
+    rng: RngLike = None,
+) -> Tuple[Table, np.ndarray]:
+    """Remove values of a numeric *column* with probability increasing in
+    the value itself (logistic in the z-score, scaled by *slope*).
+
+    ``base_rate`` is the marginal missingness at the column mean.
+    """
+    if not 0.0 < base_rate < 1.0:
+        raise SpecificationError("base_rate must be in (0, 1)")
+    if not table.schema[column].is_numeric:
+        raise SpecificationError("MNAR injection requires a numeric column")
+    generator = ensure_rng(rng)
+    values = np.asarray(table.column(column), dtype=float)
+    present = ~np.isnan(values)
+    observed = values[present]
+    mean = observed.mean() if observed.size else 0.0
+    std = observed.std() or 1.0
+    z = np.zeros(len(values))
+    z[present] = (values[present] - mean) / std
+    base_logit = np.log(base_rate / (1.0 - base_rate))
+    probs = 1.0 / (1.0 + np.exp(-(base_logit + slope * z)))
+    mask = (generator.random(len(values)) < probs) & present
+    return _apply_mask(table, column, mask), mask

@@ -1,0 +1,31 @@
+"""Sample debiasing for open-world / unbiased query answering (§5).
+
+The tutorial's §5 highlights *fairness-aware query answering*: "in the
+open-world query answering, the database is considered as a sample ...
+aggregates and approximate results are calculated as if the queries were
+issued on the true population" (Themis; Orr, Balazinska, Suciu 2020).
+This package implements the survey-statistics machinery that makes that
+possible when population margins are known:
+
+* :func:`post_stratification_weights` — exact reweighting when the full
+  joint population distribution over the strata is known;
+* :func:`raking_weights` — iterative proportional fitting (raking) when
+  only *marginal* population distributions are known, the standard
+  remedy for unit non-response the tutorial cites in §2.1;
+* :class:`WeightedQuery` — COUNT/SUM/AVG/fraction aggregates under row
+  weights, so debiased answers drop out of ordinary queries.
+"""
+
+from respdi.debiasing.weights import (
+    post_stratification_weights,
+    raking_weights,
+    effective_sample_size,
+)
+from respdi.debiasing.queries import WeightedQuery
+
+__all__ = [
+    "post_stratification_weights",
+    "raking_weights",
+    "effective_sample_size",
+    "WeightedQuery",
+]

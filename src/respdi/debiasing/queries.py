@@ -1,0 +1,81 @@
+"""Weighted aggregate queries over a debiased table."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Predicate, Table
+
+
+class WeightedQuery:
+    """Aggregates under row weights: population estimates from a biased
+    sample.
+
+    ``COUNT``/``fraction`` answer "how much of the population satisfies
+    this predicate"; ``SUM``/``AVG`` estimate population totals and means
+    of a numeric column, optionally restricted by a predicate.
+    """
+
+    def __init__(self, table: Table, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(table),):
+            raise SpecificationError(
+                f"{len(weights)} weights for {len(table)} rows"
+            )
+        if (weights < 0).any():
+            raise SpecificationError("weights must be non-negative")
+        if weights.sum() <= 0:
+            raise SpecificationError("weights sum to zero")
+        self.table = table
+        self.weights = weights
+
+    def _mask(self, predicate: Optional[Predicate]) -> np.ndarray:
+        if predicate is None:
+            return np.ones(len(self.table), dtype=bool)
+        return predicate.mask(self.table)
+
+    def fraction(self, predicate: Predicate) -> float:
+        """Estimated population fraction satisfying *predicate*."""
+        mask = self._mask(predicate)
+        return float(self.weights[mask].sum() / self.weights.sum())
+
+    def count(self, predicate: Optional[Predicate] = None) -> float:
+        """Estimated population count, scaled to the sample size (i.e.
+        ``fraction * len(table)``; callers knowing the true population
+        size N can multiply by ``N / len(table)``)."""
+        mask = self._mask(predicate)
+        return float(self.weights[mask].sum() / self.weights.mean())
+
+    def sum(self, column: str, predicate: Optional[Predicate] = None) -> float:
+        """Estimated (sample-scaled) population total of *column*."""
+        values = np.asarray(self.table.column(column), dtype=float)
+        mask = self._mask(predicate) & ~np.isnan(values)
+        return float((self.weights[mask] * values[mask]).sum() / self.weights.mean())
+
+    def avg(self, column: str, predicate: Optional[Predicate] = None) -> float:
+        """Estimated population mean of *column* (weighted mean)."""
+        values = np.asarray(self.table.column(column), dtype=float)
+        mask = self._mask(predicate) & ~np.isnan(values)
+        weight_total = self.weights[mask].sum()
+        if weight_total <= 0:
+            raise EmptyInputError("no weighted rows satisfy the predicate")
+        return float((self.weights[mask] * values[mask]).sum() / weight_total)
+
+    def group_avg(
+        self, column: str, group_columns: Sequence[str]
+    ) -> Dict[Tuple[Hashable, ...], float]:
+        """Per-group weighted means (for group-fair reporting)."""
+        out: Dict[Tuple[Hashable, ...], float] = {}
+        for key, idx in self.table.group_indices(list(group_columns)).items():
+            values = np.asarray(self.table.column(column), dtype=float)[idx]
+            weights = self.weights[idx]
+            present = ~np.isnan(values)
+            weight_total = weights[present].sum()
+            if weight_total > 0:
+                out[key] = float(
+                    (weights[present] * values[present]).sum() / weight_total
+                )
+        return out

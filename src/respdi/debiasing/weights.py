@@ -1,0 +1,153 @@
+"""Debiasing weights: post-stratification and raking.
+
+Both methods assign each row a weight such that the *weighted* empirical
+distribution of chosen categorical attributes matches a known population
+distribution.  Aggregates computed under these weights estimate
+population aggregates even though the sample itself is skewed — the
+mechanism behind Themis-style open-world query answering and the survey
+non-response corrections the tutorial cites (Holt & Elliot 1991).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from respdi.errors import ConvergenceError, EmptyInputError, SpecificationError
+from respdi.stats.divergence import normalize_distribution
+from respdi.table import Table
+
+Group = Tuple[Hashable, ...]
+
+
+def post_stratification_weights(
+    table: Table,
+    attributes: Sequence[str],
+    population: Mapping[Group, float],
+) -> np.ndarray:
+    """Weights making the weighted joint distribution over *attributes*
+    equal the *population* joint distribution.
+
+    Each row of stratum ``g`` gets weight ``P_pop(g) / P_sample(g)``
+    (normalized to mean 1).  Requires every population stratum with
+    positive mass to appear in the sample — a stratum with no sampled
+    rows cannot be reweighted into existence (callers should collect
+    more data instead; see :mod:`respdi.tailoring`).
+    """
+    attributes = list(attributes)
+    if not attributes:
+        raise SpecificationError("need at least one stratification attribute")
+    population = normalize_distribution(dict(population))
+    counts = table.group_counts(attributes)
+    n = len(table)
+    if n == 0:
+        raise EmptyInputError("cannot weight an empty table")
+    missing = [g for g, p in population.items() if p > 0 and g not in counts]
+    if missing:
+        raise SpecificationError(
+            f"population strata absent from the sample: "
+            f"{sorted(missing, key=repr)[:5]}; reweighting cannot fix "
+            "zero support — collect data for them first"
+        )
+    ratio: Dict[Group, float] = {}
+    for group, count in counts.items():
+        sample_share = count / n
+        ratio[group] = population.get(group, 0.0) / sample_share
+    arrays = [table.column(name) for name in attributes]
+    weights = np.empty(n)
+    for i in range(n):
+        weights[i] = ratio[tuple(array[i] for array in arrays)]
+    mean = weights.mean()
+    if mean <= 0:
+        raise SpecificationError(
+            "population assigns zero mass to every sampled stratum"
+        )
+    return weights / mean
+
+
+def raking_weights(
+    table: Table,
+    marginals: Mapping[str, Mapping[Hashable, float]],
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Iterative proportional fitting: weights whose *marginal* weighted
+    distributions match each attribute's population marginal.
+
+    Classic raking: cycle over the attributes, each time rescaling the
+    weights within each value class so that class's weighted share equals
+    its population share; repeat until every marginal matches within
+    *tolerance* (total variation).  Converges whenever a feasible joint
+    exists (the sample supports every positive-mass value).
+    """
+    if not marginals:
+        raise SpecificationError("need at least one marginal")
+    n = len(table)
+    if n == 0:
+        raise EmptyInputError("cannot weight an empty table")
+    targets: Dict[str, Dict[Hashable, float]] = {}
+    columns: Dict[str, np.ndarray] = {}
+    for attribute, marginal in marginals.items():
+        table.schema.require([attribute])
+        targets[attribute] = normalize_distribution(dict(marginal))
+        columns[attribute] = table.column(attribute)
+        observed = set(table.unique(attribute))
+        missing = [
+            value
+            for value, share in targets[attribute].items()
+            if share > 0 and value not in observed
+        ]
+        if missing:
+            raise SpecificationError(
+                f"marginal values absent from the sample for "
+                f"{attribute!r}: {sorted(missing, key=repr)[:5]}"
+            )
+
+    weights = np.ones(n)
+    for _ in range(max_iterations):
+        for attribute, target in targets.items():
+            column = columns[attribute]
+            total = weights.sum()
+            for value, share in target.items():
+                mask = column == value
+                current = weights[mask].sum() / total
+                if current > 0 and share > 0:
+                    weights[mask] *= share / current
+                elif share == 0:
+                    weights[mask] = 0.0
+        # Convergence is judged on ALL marginals after the full cycle:
+        # updating a later attribute perturbs the earlier ones.
+        total = weights.sum()
+        worst_gap = 0.0
+        for attribute, target in targets.items():
+            column = columns[attribute]
+            gap = sum(
+                abs(weights[column == value].sum() / total - share)
+                for value, share in target.items()
+            )
+            worst_gap = max(worst_gap, gap)
+        if worst_gap < tolerance:
+            return weights / weights.mean()
+    raise ConvergenceError(
+        f"raking did not converge in {max_iterations} iterations "
+        f"(residual {worst_gap:.3g}); marginals may be jointly infeasible"
+    )
+
+
+def effective_sample_size(weights: Sequence[float]) -> float:
+    """Kish effective sample size ``(Σw)² / Σw²``.
+
+    Heavily skewed weights mean the debiased estimate behaves like one
+    from a much smaller sample — the variance cost of debiasing, worth
+    surfacing on any nutritional label.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0:
+        raise EmptyInputError("no weights")
+    if (weights < 0).any():
+        raise SpecificationError("weights must be non-negative")
+    denominator = float((weights**2).sum())
+    if denominator == 0:
+        raise SpecificationError("all weights are zero")
+    return float(weights.sum() ** 2 / denominator)

@@ -1,0 +1,51 @@
+"""Dataset discovery over data lakes (tutorial §3.1).
+
+Implements the search primitives the tutorial surveys:
+
+* :mod:`respdi.discovery.minhash` — MinHash signatures and Jaccard
+  estimation (the substrate for everything below);
+* :mod:`respdi.discovery.lazo` — joint Jaccard + containment estimation
+  from signatures and cardinalities (Fernandez et al., ICDE 2019);
+* :mod:`respdi.discovery.lshensemble` — containment-threshold domain
+  search with cardinality partitioning (Zhu et al., VLDB 2016);
+* :mod:`respdi.discovery.unionsearch` — table union search by optimal
+  column alignment (Nargesian et al., VLDB 2018);
+* :mod:`respdi.discovery.joinability` — exact overlap top-k joinable
+  column search via an inverted index (JOSIE-style, Zhu et al. 2019);
+* :mod:`respdi.discovery.keyword` — IR-style keyword search over table
+  metadata (Dataset-Search-style, Brickley et al. 2019);
+* :mod:`respdi.discovery.correlation_sketches` — join-correlation
+  estimation from coordinated key samples (Santos et al., SIGMOD 2021);
+* :mod:`respdi.discovery.lake_index` — a facade combining the above,
+  including *unbiased feature discovery* (§5): rank joinable features by
+  target correlation while penalizing sensitive-attribute association.
+"""
+
+from respdi.discovery.minhash import MinHasher, MinHashSignature
+from respdi.discovery.lazo import LazoSketch, LazoEstimate
+from respdi.discovery.lshensemble import LSHEnsemble
+from respdi.discovery.unionsearch import column_unionability, table_unionability, UnionSearch
+from respdi.discovery.joinability import JoinabilityIndex
+from respdi.discovery.keyword import KeywordIndex
+from respdi.discovery.correlation_sketches import CorrelationSketch
+from respdi.discovery.lake_index import DataLakeIndex, FeatureCandidate
+from respdi.discovery.navigation import LakeOrganization, NavigationResult, OrganizationNode
+
+__all__ = [
+    "MinHasher",
+    "MinHashSignature",
+    "LazoSketch",
+    "LazoEstimate",
+    "LSHEnsemble",
+    "column_unionability",
+    "table_unionability",
+    "UnionSearch",
+    "JoinabilityIndex",
+    "KeywordIndex",
+    "CorrelationSketch",
+    "DataLakeIndex",
+    "FeatureCandidate",
+    "LakeOrganization",
+    "NavigationResult",
+    "OrganizationNode",
+]

@@ -1,0 +1,126 @@
+"""Correlation sketches for join-correlation queries (Santos et al., 2021).
+
+Feature discovery (tutorial §3.1) asks: *which table in the lake joins
+with my table and carries a column correlated with my target?*  Computing
+every join is out of the question, so Santos et al. summarize each
+(key column, value column) pair with a **coordinated sample**: keys are
+hashed with one shared hash function and the sketch keeps the ``n``
+keys with the smallest hashes, each paired with its (aggregated) value.
+Because all sketches keep the *same* hash-minimal keys, two sketches
+overlap exactly on the hash-minimal keys of the true key intersection —
+a uniform sample of the join — and correlation estimated on the paired
+sketch values estimates the post-join correlation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.stats.dependence import pearson_correlation, spearman_correlation
+
+
+def _key_hash(value: Hashable, seed: int) -> int:
+    digest = hashlib.blake2b(
+        repr(value).encode("utf-8"), digest_size=8, salt=seed.to_bytes(8, "big")
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class CorrelationSketch:
+    """Coordinated (key, value) sample for one key/value column pair."""
+
+    entries: Tuple[Tuple[int, Hashable, float], ...]  # (hash, key, value)
+    num_keys: int
+    seed: int
+
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence[Hashable],
+        values: Sequence[float],
+        size: int = 64,
+        seed: int = 17,
+    ) -> "CorrelationSketch":
+        """Sketch the (keys, values) pairs, aggregating duplicates by mean.
+
+        Rows whose value is missing (NaN) or whose key is missing (None)
+        are skipped: they would never contribute to an equi-join result.
+        """
+        if size < 2:
+            raise SpecificationError("sketch size must be >= 2")
+        if len(keys) != len(values):
+            raise SpecificationError(
+                f"{len(keys)} keys vs {len(values)} values"
+            )
+        sums: Dict[Hashable, float] = {}
+        counts: Dict[Hashable, int] = {}
+        for key, value in zip(keys, values):
+            if key is None:
+                continue
+            value = float(value)
+            if np.isnan(value):
+                continue
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+        if not sums:
+            raise EmptyInputError("no present (key, value) pairs to sketch")
+        hashed = sorted(
+            (_key_hash(key, seed), key, sums[key] / counts[key]) for key in sums
+        )
+        return cls(entries=tuple(hashed[:size]), num_keys=len(sums), seed=seed)
+
+    def paired_values(
+        self, other: "CorrelationSketch"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aligned value pairs on the sketches' common hash-minimal keys.
+
+        Only keys below *both* sketches' retention thresholds are valid
+        coordinated samples; keys beyond either threshold may be missing
+        from the other sketch for reasons other than absence.
+        """
+        if self.seed != other.seed:
+            raise SpecificationError(
+                "sketches built with different seeds are not comparable"
+            )
+        threshold = min(self.entries[-1][0], other.entries[-1][0])
+        mine = {key: value for h, key, value in self.entries if h <= threshold}
+        theirs = {key: value for h, key, value in other.entries if h <= threshold}
+        common = sorted(set(mine) & set(theirs), key=repr)
+        a = np.array([mine[key] for key in common])
+        b = np.array([theirs[key] for key in common])
+        return a, b
+
+    def join_keys_estimate(self, other: "CorrelationSketch") -> float:
+        """Estimated number of distinct join keys between the two columns
+        (inclusion-estimator on the coordinated sample)."""
+        threshold = min(self.entries[-1][0], other.entries[-1][0])
+        mine = {key for h, key, _ in self.entries if h <= threshold}
+        theirs = {key for h, key, _ in other.entries if h <= threshold}
+        sample_union = mine | theirs
+        if not sample_union:
+            return 0.0
+        overlap_fraction = len(mine & theirs) / len(sample_union)
+        union_estimate = self.num_keys + other.num_keys
+        # |A ∩ B| = J * |A ∪ B| and |A ∪ B| = |A| + |B| - |A ∩ B|.
+        return overlap_fraction * union_estimate / (1.0 + overlap_fraction)
+
+    def estimate_pearson(self, other: "CorrelationSketch") -> float:
+        """Estimated post-join Pearson correlation (0 when the coordinated
+        sample has fewer than 3 common keys — too little evidence)."""
+        a, b = self.paired_values(other)
+        if len(a) < 3:
+            return 0.0
+        return pearson_correlation(a, b)
+
+    def estimate_spearman(self, other: "CorrelationSketch") -> float:
+        """Estimated post-join Spearman correlation (same guard as Pearson)."""
+        a, b = self.paired_values(other)
+        if len(a) < 3:
+            return 0.0
+        return spearman_correlation(a, b)

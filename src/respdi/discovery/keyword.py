@@ -1,0 +1,88 @@
+"""IR-style keyword search over table metadata (tutorial §3.1).
+
+The first formulation of dataset discovery the tutorial describes: the
+query is a set of keywords and results are tables ranked by relevance.
+We index each table's name, column names, and (a sample of) its
+categorical values as a bag of tokens, and rank by TF-IDF cosine score —
+the standard IR recipe Google Dataset Search popularized for tables.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercased alphanumeric tokens of *text*."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class KeywordHit:
+    table_name: str
+    score: float
+
+
+class KeywordIndex:
+    """TF-IDF index over table metadata."""
+
+    def __init__(self, values_per_column: int = 50) -> None:
+        if values_per_column < 0:
+            raise SpecificationError("values_per_column must be >= 0")
+        self.values_per_column = values_per_column
+        self._docs: Dict[str, Counter] = {}
+        self._doc_freq: Counter = Counter()
+
+    def add_table(
+        self, name: str, table: Table, description: Optional[str] = None
+    ) -> None:
+        """Index *table* under *name* with an optional free-text description."""
+        if name in self._docs:
+            raise SpecificationError(f"table {name!r} already indexed")
+        tokens: List[str] = tokenize(name)
+        if description:
+            tokens += tokenize(description)
+        for column in table.column_names:
+            tokens += tokenize(column)
+        for column in table.schema.categorical_names:
+            for value in table.unique(column)[: self.values_per_column]:
+                tokens += tokenize(str(value))
+        counts = Counter(tokens)
+        self._docs[name] = counts
+        for token in counts:
+            self._doc_freq[token] += 1
+
+    def search(self, query: str, k: int = 10) -> List[KeywordHit]:
+        """Top-*k* tables by TF-IDF cosine relevance to *query*."""
+        if k < 1:
+            raise SpecificationError("k must be >= 1")
+        if not self._docs:
+            raise EmptyInputError("no tables indexed")
+        query_tokens = Counter(tokenize(query))
+        if not query_tokens:
+            raise SpecificationError("query contains no indexable tokens")
+        n_docs = len(self._docs)
+        results: List[KeywordHit] = []
+        for name, doc in self._docs.items():
+            score = 0.0
+            doc_norm = 0.0
+            for token, tf in doc.items():
+                idf = math.log((1 + n_docs) / (1 + self._doc_freq[token])) + 1.0
+                weight = (1 + math.log(tf)) * idf
+                doc_norm += weight * weight
+                if token in query_tokens:
+                    query_weight = (1 + math.log(query_tokens[token])) * idf
+                    score += weight * query_weight
+            if score > 0 and doc_norm > 0:
+                results.append(KeywordHit(name, score / math.sqrt(doc_norm)))
+        results.sort(key=lambda hit: (-hit.score, hit.table_name))
+        return results[:k]

@@ -1,0 +1,175 @@
+"""A unified discovery facade over a registered data lake.
+
+:class:`DataLakeIndex` combines the discovery primitives into the
+interface a responsible-integration pipeline actually calls:
+
+* keyword search over metadata;
+* unionable-table search (sketch-based alignment);
+* joinable-column search (exact overlap);
+* **unbiased feature discovery** (tutorial §5): rank joinable numeric
+  features by estimated post-join correlation with the query's target
+  while *penalizing* association with the query's sensitive attribute —
+  "informative but not biased" made operational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from respdi.discovery.correlation_sketches import CorrelationSketch
+from respdi.discovery.joinability import JoinabilityIndex, JoinCandidate
+from respdi.discovery.keyword import KeywordHit, KeywordIndex
+from respdi.discovery.unionsearch import UnionCandidate, UnionSearch
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.stats.dependence import correlation_ratio, pearson_correlation
+from respdi.table import Table
+
+
+@dataclass(frozen=True)
+class FeatureCandidate:
+    """A discovered joinable feature, scored for use and for bias."""
+
+    table_name: str
+    key_column: str
+    feature_column: str
+    estimated_target_correlation: float
+    estimated_sensitive_association: float
+    score: float
+    sample_size: int
+
+
+class DataLakeIndex:
+    """Register tables once; run every flavor of discovery against them."""
+
+    def __init__(
+        self,
+        num_hashes: int = 128,
+        sketch_size: int = 64,
+        rng=None,
+    ) -> None:
+        self.keyword = KeywordIndex()
+        self.joinability = JoinabilityIndex()
+        self.union = UnionSearch(num_hashes=num_hashes, rng=rng)
+        self.sketch_size = sketch_size
+        self.tables: Dict[str, Table] = {}
+        self._feature_sketches: Dict[Tuple[str, str, str], CorrelationSketch] = {}
+
+    def register(
+        self, name: str, table: Table, description: Optional[str] = None
+    ) -> None:
+        """Add *table* to every sub-index."""
+        if name in self.tables:
+            raise SpecificationError(f"table {name!r} already registered")
+        self.tables[name] = table
+        self.keyword.add_table(name, table, description)
+        self.joinability.add_table(name, table)
+        self.union.add_table(name, table)
+        for key_column in table.schema.categorical_names:
+            keys = list(table.column(key_column))
+            for feature_column in table.schema.numeric_names:
+                values = list(table.column(feature_column))
+                try:
+                    sketch = CorrelationSketch.build(
+                        keys, values, size=self.sketch_size
+                    )
+                except EmptyInputError:
+                    continue
+                self._feature_sketches[(name, key_column, feature_column)] = sketch
+
+    # -- search modes --------------------------------------------------------
+
+    def keyword_search(self, query: str, k: int = 10) -> List[KeywordHit]:
+        return self.keyword.search(query, k)
+
+    def unionable_tables(self, query: Table, k: int = 10) -> List[UnionCandidate]:
+        return self.union.search(query, k)
+
+    def joinable_columns(
+        self, values, k: int = 10, min_overlap: int = 1
+    ) -> List[JoinCandidate]:
+        return self.joinability.query(values, k, min_overlap)
+
+    def discover_features(
+        self,
+        query: Table,
+        key_column: str,
+        target_column: str,
+        sensitive_column: Optional[str] = None,
+        k: int = 10,
+        bias_penalty: float = 1.0,
+        min_sample: int = 3,
+    ) -> List[FeatureCandidate]:
+        """Unbiased feature discovery.
+
+        For every registered (table, key, numeric feature) sketch, the
+        candidate's retained keys are joined against the *local* query
+        table (fully known, no sketching needed on the query side) to
+        estimate, on that coordinated sample:
+
+        * Pearson correlation between the feature and ``target_column``;
+        * correlation ratio between the feature and ``sensitive_column``.
+
+        Candidates are ranked by
+        ``|target correlation| - bias_penalty * sensitive association``
+        — the §5 "informative but not biased" objective.
+        """
+        query.schema.require([key_column, target_column])
+        if not query.schema[target_column].is_numeric:
+            raise SpecificationError("target_column must be numeric")
+        if sensitive_column is not None:
+            query.schema.require([sensitive_column])
+        if bias_penalty < 0:
+            raise SpecificationError("bias_penalty must be non-negative")
+
+        target_by_key: Dict[Hashable, float] = {}
+        sensitive_by_key: Dict[Hashable, Hashable] = {}
+        key_values = query.column(key_column)
+        target_values = np.asarray(query.column(target_column), dtype=float)
+        sensitive_values = (
+            query.column(sensitive_column) if sensitive_column else None
+        )
+        for i, key in enumerate(key_values):
+            if key is None or np.isnan(target_values[i]):
+                continue
+            if key not in target_by_key:
+                target_by_key[key] = target_values[i]
+                if sensitive_values is not None:
+                    sensitive_by_key[key] = sensitive_values[i]
+
+        if not target_by_key:
+            raise EmptyInputError("query has no usable (key, target) pairs")
+
+        results: List[FeatureCandidate] = []
+        for (name, cand_key, cand_feature), sketch in self._feature_sketches.items():
+            pairs = [
+                (key, value)
+                for _, key, value in sketch.entries
+                if key in target_by_key
+            ]
+            if len(pairs) < min_sample:
+                continue
+            feature_sample = np.array([value for _, value in pairs])
+            target_sample = np.array([target_by_key[key] for key, _ in pairs])
+            correlation = pearson_correlation(feature_sample, target_sample)
+            if sensitive_column is not None:
+                categories = [sensitive_by_key.get(key) for key, _ in pairs]
+                association = correlation_ratio(categories, feature_sample)
+            else:
+                association = 0.0
+            score = abs(correlation) - bias_penalty * association
+            results.append(
+                FeatureCandidate(
+                    table_name=name,
+                    key_column=cand_key,
+                    feature_column=cand_feature,
+                    estimated_target_correlation=correlation,
+                    estimated_sensitive_association=association,
+                    score=score,
+                    sample_size=len(pairs),
+                )
+            )
+        results.sort(key=lambda c: (-c.score, c.table_name, c.feature_column))
+        return results[:k]

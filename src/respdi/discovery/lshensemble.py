@@ -1,0 +1,176 @@
+"""LSH Ensemble: containment-threshold domain search (Zhu et al., VLDB 2016).
+
+Containment ``|Q ∩ X| / |Q|`` is the right relevance measure for finding
+joinable/unionable domains, but plain MinHash LSH indexes Jaccard, whose
+relationship to containment depends on the candidate's cardinality.  LSH
+Ensemble fixes this by **partitioning the indexed domains by
+cardinality**: within a partition whose largest domain has ``u`` values,
+a containment threshold ``t`` for a query of size ``q`` translates to
+the Jaccard threshold
+
+    J(t, q, u) = t * q / (q + u - t * q)
+
+so each partition runs an ordinary banded MinHash LSH tuned to its own
+(stricter or looser) Jaccard threshold at query time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from respdi.discovery.minhash import MinHasher, MinHashSignature
+from respdi.errors import EmptyInputError, SpecificationError
+
+
+def containment_to_jaccard(t: float, query_size: int, max_candidate_size: int) -> float:
+    """The Jaccard threshold equivalent to containment *t* for a query of
+    *query_size* against candidates no larger than *max_candidate_size*."""
+    if not 0.0 <= t <= 1.0:
+        raise SpecificationError(f"containment threshold {t} out of [0, 1]")
+    if query_size < 1 or max_candidate_size < 1:
+        raise SpecificationError("sizes must be positive")
+    denominator = query_size + max_candidate_size - t * query_size
+    return (t * query_size) / denominator if denominator > 0 else 1.0
+
+
+def _choose_bands(num_hashes: int, jaccard_threshold: float) -> Tuple[int, int]:
+    """Pick (bands, rows) with bands*rows <= num_hashes whose S-curve
+    inflection ``(1/b)^(1/r)`` best matches the threshold."""
+    best = (1, num_hashes)
+    best_gap = float("inf")
+    for rows in range(1, num_hashes + 1):
+        bands = num_hashes // rows
+        if bands < 1:
+            break
+        inflection = (1.0 / bands) ** (1.0 / rows)
+        gap = abs(inflection - jaccard_threshold)
+        if gap < best_gap:
+            best_gap = gap
+            best = (bands, rows)
+    return best
+
+
+@dataclass
+class _Partition:
+    """One cardinality partition: its domains and size bounds."""
+
+    max_size: int
+    keys: List[Hashable]
+    signatures: Dict[Hashable, MinHashSignature]
+
+
+class LSHEnsemble:
+    """Containment search index over many value domains.
+
+    Usage::
+
+        ensemble = LSHEnsemble(num_hashes=128, num_partitions=4, rng=0)
+        ensemble.index("tbl.col", values)        # repeat for all domains
+        ensemble.freeze()
+        hits = ensemble.query(query_values, containment_threshold=0.5)
+
+    ``query`` returns candidate keys whose *estimated* containment of the
+    query meets the threshold (LSH recall is probabilistic; the estimate
+    used for final filtering is the signature-based one, so results are
+    deterministic given the hasher seed).
+    """
+
+    def __init__(
+        self,
+        num_hashes: int = 128,
+        num_partitions: int = 4,
+        rng=None,
+        hasher: Optional[MinHasher] = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise SpecificationError("num_partitions must be >= 1")
+        self.hasher = hasher if hasher is not None else MinHasher(num_hashes, rng)
+        self.num_partitions = num_partitions
+        self._pending: Dict[Hashable, MinHashSignature] = {}
+        self._partitions: List[_Partition] = []
+        self._frozen = False
+
+    def index(self, key: Hashable, values: Iterable[Hashable]) -> None:
+        """Add a domain under *key* (must be called before :meth:`freeze`)."""
+        if self._frozen:
+            raise SpecificationError("cannot index after freeze()")
+        if key in self._pending:
+            raise SpecificationError(f"duplicate domain key {key!r}")
+        self._pending[key] = self.hasher.signature(values)
+
+    def freeze(self) -> None:
+        """Partition indexed domains by cardinality; enables querying."""
+        if not self._pending:
+            raise EmptyInputError("nothing indexed")
+        ordered = sorted(self._pending.items(), key=lambda kv: kv[1].cardinality)
+        chunks = np.array_split(np.arange(len(ordered)), self.num_partitions)
+        self._partitions = []
+        for chunk in chunks:
+            if len(chunk) == 0:
+                continue
+            keys = [ordered[i][0] for i in chunk]
+            signatures = {ordered[i][0]: ordered[i][1] for i in chunk}
+            max_size = max(sig.cardinality for sig in signatures.values())
+            self._partitions.append(
+                _Partition(max_size=max_size, keys=keys, signatures=signatures)
+            )
+        self._frozen = True
+
+    def query(
+        self, values: Iterable[Hashable], containment_threshold: float
+    ) -> List[Tuple[Hashable, float]]:
+        """Keys whose estimated containment of the query >= threshold.
+
+        Returns ``[(key, estimated_containment)]`` sorted by estimate,
+        descending.
+        """
+        if not self._frozen:
+            raise SpecificationError("call freeze() before query()")
+        query_signature = self.hasher.signature(values)
+        q = query_signature.cardinality
+        results: List[Tuple[Hashable, float]] = []
+        for partition in self._partitions:
+            jaccard_threshold = containment_to_jaccard(
+                containment_threshold, q, partition.max_size
+            )
+            bands, rows = _choose_bands(self.hasher.num_hashes, jaccard_threshold)
+            candidates = self._banded_candidates(
+                partition, query_signature, bands, rows
+            )
+            for key in candidates:
+                signature = partition.signatures[key]
+                jaccard = query_signature.jaccard(signature)
+                union_bound = q + signature.cardinality
+                intersection = (
+                    jaccard * union_bound / (1.0 + jaccard) if jaccard > 0 else 0.0
+                )
+                intersection = min(intersection, float(q), float(signature.cardinality))
+                containment = intersection / q
+                if containment >= containment_threshold:
+                    results.append((key, containment))
+        results.sort(key=lambda item: (-item[1], repr(item[0])))
+        return results
+
+    @staticmethod
+    def _banded_candidates(
+        partition: _Partition,
+        query_signature: MinHashSignature,
+        bands: int,
+        rows: int,
+    ) -> Set[Hashable]:
+        """Candidate keys sharing at least one LSH band with the query."""
+        buckets: Dict[Tuple[int, bytes], List[Hashable]] = defaultdict(list)
+        for key, signature in partition.signatures.items():
+            for band in range(bands):
+                chunk = signature.values[band * rows : (band + 1) * rows]
+                buckets[(band, chunk.tobytes())].append(key)
+        candidates: Set[Hashable] = set()
+        for band in range(bands):
+            chunk = query_signature.values[band * rows : (band + 1) * rows]
+            candidates.update(buckets.get((band, chunk.tobytes()), ()))
+        return candidates

@@ -1,0 +1,94 @@
+"""MinHash signatures for Jaccard estimation.
+
+A :class:`MinHasher` owns ``k`` universal hash functions over the
+Mersenne-prime field ``2^31 - 1``; :meth:`MinHasher.signature` maps a
+value set to the elementwise minimum of each hash over the set.  For two
+sets, the fraction of agreeing signature coordinates is an unbiased
+estimator of their Jaccard similarity.  Signatures from the *same*
+hasher are comparable; mixing hashers is a caller bug and is detected.
+
+Values are first reduced to stable 32-bit integers with blake2b (the
+builtin ``hash`` is salted per process, which would make signatures
+non-reproducible across runs).  With 32-bit value hashes and 31-bit
+coefficients every product fits in ``uint64``, so signing is fully
+vectorized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+
+_MERSENNE_PRIME = np.uint64((1 << 31) - 1)
+
+
+def _stable_hash32(value: Hashable) -> int:
+    """Deterministic 32-bit hash of a value (stable across processes)."""
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """A MinHash signature: coordinate minima plus the set cardinality."""
+
+    values: np.ndarray
+    cardinality: int
+    hasher_id: int
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def jaccard(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity with *other*."""
+        if self.hasher_id != other.hasher_id:
+            raise SpecificationError(
+                "signatures come from different MinHashers and are not comparable"
+            )
+        if len(self.values) != len(other.values):
+            raise SpecificationError("signature lengths differ")
+        return float((self.values == other.values).mean())
+
+
+class MinHasher:
+    """A family of ``num_hashes`` universal hash functions.
+
+    ``h_i(x) = (a_i * stable32(x) + b_i) mod (2^31 - 1)``; coefficients
+    are drawn from *rng* so experiments can fix a seed.
+    """
+
+    _next_id = 0
+
+    def __init__(self, num_hashes: int = 128, rng: RngLike = None) -> None:
+        if num_hashes < 1:
+            raise SpecificationError("num_hashes must be >= 1")
+        generator = ensure_rng(rng)
+        self.num_hashes = num_hashes
+        prime = int(_MERSENNE_PRIME)
+        self._a = generator.integers(1, prime, size=num_hashes, dtype=np.uint64)
+        self._b = generator.integers(0, prime, size=num_hashes, dtype=np.uint64)
+        self.hasher_id = MinHasher._next_id
+        MinHasher._next_id += 1
+
+    def signature(self, values: Iterable[Hashable]) -> MinHashSignature:
+        """Signature of the distinct values in *values*."""
+        distinct = set(values)
+        if not distinct:
+            raise EmptyInputError("cannot sign an empty set")
+        hashes = np.array(
+            [_stable_hash32(v) for v in distinct], dtype=np.uint64
+        )
+        # (num_hashes, n): a_i * h_j + b_i fits in uint64 (31 + 32 bits).
+        transformed = (
+            self._a[:, None] * hashes[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        mins = transformed.min(axis=1)
+        return MinHashSignature(
+            mins, cardinality=len(distinct), hasher_id=self.hasher_id
+        )

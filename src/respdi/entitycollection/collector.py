@@ -1,0 +1,156 @@
+"""The distribution-aware collection loop and its selection strategies.
+
+Each round the collector asks a selection strategy for a worker, the
+worker submits one entity, and the per-worker estimator plus the global
+collected histogram are updated.  The figure of merit is
+``KL(target || collected)`` as a function of rounds — the quantity
+Fan et al. minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.entitycollection.estimation import DirichletEstimator
+from respdi.entitycollection.workers import SimulatedWorker
+from respdi.errors import SpecificationError
+from respdi.stats.divergence import kl_divergence, normalize_distribution
+
+
+class SelectionStrategy:
+    """Interface: pick the worker index for the next round."""
+
+    def select(
+        self,
+        estimators: Sequence[DirichletEstimator],
+        collected: Mapping[Hashable, int],
+        target: Mapping[Hashable, float],
+        rng: np.random.Generator,
+    ) -> int:
+        raise NotImplementedError
+
+
+class AdaptiveSelection(SelectionStrategy):
+    """Fan et al.'s adaptive rule: pick the worker minimizing the expected
+    post-submission divergence.
+
+    For worker *w* with posterior mean ``p_w``, the expected collected
+    histogram after one submission is ``counts + p_w``; the worker whose
+    expectation yields the smallest ``KL(target || expected)`` wins.
+    Warm-up: any worker with no history yet is tried first (round-robin
+    over unobserved workers) so every estimator gets grounded.
+    """
+
+    def select(self, estimators, collected, target, rng) -> int:
+        for i, estimator in enumerate(estimators):
+            if estimator.observations == 0:
+                return i
+        n = sum(collected.values())
+        best_index = 0
+        best_divergence = float("inf")
+        for i, estimator in enumerate(estimators):
+            posterior = estimator.posterior_mean()
+            expected = {
+                category: collected.get(category, 0) + posterior.get(category, 0.0)
+                for category in target
+            }
+            expected_distribution = normalize_distribution(expected)
+            divergence = kl_divergence(target, expected_distribution, smoothing=1e-9)
+            if divergence < best_divergence:
+                best_divergence = divergence
+                best_index = i
+        return best_index
+
+
+class RandomSelection(SelectionStrategy):
+    """Uniformly random worker (the no-intelligence baseline)."""
+
+    def select(self, estimators, collected, target, rng) -> int:
+        return int(rng.integers(len(estimators)))
+
+
+class StaticSelection(SelectionStrategy):
+    """After a warm-up round over all workers, always use the single
+    worker whose estimated distribution is closest to the target.
+
+    Captures "estimate once, never adapt" — good when one worker matches
+    the target alone, poor when the target needs a *mix* of workers.
+    """
+
+    def select(self, estimators, collected, target, rng) -> int:
+        for i, estimator in enumerate(estimators):
+            if estimator.observations == 0:
+                return i
+        divergences = [
+            kl_divergence(target, est.posterior_mean(), smoothing=1e-9)
+            for est in estimators
+        ]
+        return int(np.argmin(divergences))
+
+
+@dataclass
+class CollectionResult:
+    """Trajectory of one collection run."""
+
+    collected: Dict[Hashable, int]
+    kl_trajectory: List[float]
+    worker_usage: List[int]
+
+    @property
+    def final_kl(self) -> float:
+        return self.kl_trajectory[-1] if self.kl_trajectory else float("inf")
+
+
+class EntityCollector:
+    """Runs a collection campaign against a pool of workers."""
+
+    def __init__(
+        self,
+        workers: Sequence[SimulatedWorker],
+        target: Mapping[Hashable, float],
+        strategy: SelectionStrategy,
+        alpha: float = 1.0,
+    ) -> None:
+        if not workers:
+            raise SpecificationError("need at least one worker")
+        self.workers = list(workers)
+        self.target = normalize_distribution(dict(target))
+        self.strategy = strategy
+        self.categories = tuple(sorted(self.target, key=repr))
+        self.alpha = alpha
+
+    def run(self, rounds: int, rng: RngLike = None) -> CollectionResult:
+        """Collect for *rounds* rounds (one submission per round)."""
+        if rounds < 1:
+            raise SpecificationError("rounds must be >= 1")
+        generator = ensure_rng(rng)
+        estimators = [
+            DirichletEstimator(self.categories, self.alpha) for _ in self.workers
+        ]
+        collected: Dict[Hashable, int] = {c: 0 for c in self.categories}
+        usage = [0] * len(self.workers)
+        trajectory: List[float] = []
+        for _ in range(rounds):
+            index = self.strategy.select(
+                estimators, collected, self.target, generator
+            )
+            if not 0 <= index < len(self.workers):
+                raise SpecificationError(
+                    f"strategy selected invalid worker {index}"
+                )
+            category = self.workers[index].submit(generator)
+            usage[index] += 1
+            if category in collected:
+                collected[category] += 1
+            estimators[index].observe(category)
+            empirical = normalize_distribution(
+                {c: collected[c] + 1e-9 for c in self.categories}
+            )
+            trajectory.append(kl_divergence(self.target, empirical, smoothing=1e-9))
+        return CollectionResult(
+            collected=collected, kl_trajectory=trajectory, worker_usage=usage
+        )

@@ -1,0 +1,52 @@
+"""Per-worker distribution estimation.
+
+Fan et al. estimate each worker's latent entity distribution "on the
+fly based on the worker's history of collected entities".  With
+categorical submissions the natural statistical method is a Dirichlet
+posterior: prior ``Dir(alpha)`` over the known categories, posterior
+mean ``(alpha + counts) / (alpha * K + n)`` after ``n`` submissions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence
+
+from respdi.errors import SpecificationError
+
+
+class DirichletEstimator:
+    """Online Dirichlet-posterior estimate of one worker's distribution."""
+
+    def __init__(self, categories: Sequence[Hashable], alpha: float = 1.0) -> None:
+        if not categories:
+            raise SpecificationError("need at least one category")
+        if alpha <= 0:
+            raise SpecificationError("alpha must be positive")
+        self.categories = tuple(sorted(set(categories), key=repr))
+        self.alpha = alpha
+        self._counts: Dict[Hashable, int] = {c: 0 for c in self.categories}
+        self._n = 0
+
+    @property
+    def observations(self) -> int:
+        return self._n
+
+    def observe(self, category: Hashable) -> None:
+        """Record one submission."""
+        if category not in self._counts:
+            raise SpecificationError(
+                f"unknown category {category!r}; estimator knows {self.categories}"
+            )
+        self._counts[category] += 1
+        self._n += 1
+
+    def posterior_mean(self) -> Dict[Hashable, float]:
+        """Current posterior-mean distribution over the categories."""
+        denominator = self.alpha * len(self.categories) + self._n
+        return {
+            c: (self.alpha + count) / denominator
+            for c, count in self._counts.items()
+        }
+
+    def counts(self) -> Dict[Hashable, int]:
+        return dict(self._counts)

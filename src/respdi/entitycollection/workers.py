@@ -1,0 +1,61 @@
+"""Simulated crowd workers with latent entity distributions.
+
+The substitution for a real crowd (see DESIGN.md): the adaptive
+collection algorithm only ever observes the stream of submitted
+entities, so a worker simulator with a hidden categorical distribution
+exercises the identical estimation/selection code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import SpecificationError
+from respdi.stats.divergence import normalize_distribution
+
+
+@dataclass
+class SimulatedWorker:
+    """A worker whose submissions follow a hidden categorical distribution."""
+
+    name: str
+    latent: Dict[Hashable, float]
+
+    def __post_init__(self) -> None:
+        self.latent = normalize_distribution(self.latent)
+        self._categories = sorted(self.latent, key=repr)
+        self._probs = np.array([self.latent[c] for c in self._categories])
+
+    def submit(self, rng: np.random.Generator) -> Hashable:
+        """One entity submission (its category)."""
+        return self._categories[int(rng.choice(len(self._categories), p=self._probs))]
+
+
+def make_worker_pool(
+    categories: Sequence[Hashable],
+    n_workers: int,
+    concentration: float = 1.0,
+    rng: RngLike = None,
+) -> List[SimulatedWorker]:
+    """*n_workers* workers with Dirichlet-random latent distributions.
+
+    Small *concentration* makes workers highly specialized (each covers
+    few categories) — the regime where adaptive selection pays off most.
+    """
+    if n_workers < 1:
+        raise SpecificationError("need at least one worker")
+    if not categories:
+        raise SpecificationError("need at least one category")
+    if concentration <= 0:
+        raise SpecificationError("concentration must be positive")
+    generator = ensure_rng(rng)
+    workers = []
+    for i in range(n_workers):
+        draw = generator.dirichlet([concentration] * len(categories))
+        latent = {c: float(p) for c, p in zip(categories, draw)}
+        workers.append(SimulatedWorker(name=f"w{i}", latent=latent))
+    return workers

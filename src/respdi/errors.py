@@ -1,0 +1,58 @@
+"""Exception hierarchy for respdi.
+
+Every error raised by the library derives from :class:`RespdiError`, so a
+caller can guard an entire pipeline with one ``except RespdiError`` clause
+while still being able to discriminate failure modes when needed.
+"""
+
+from __future__ import annotations
+
+
+class RespdiError(Exception):
+    """Base class for all errors raised by the respdi library."""
+
+
+class SchemaError(RespdiError):
+    """A table or operation was given an inconsistent or unknown schema.
+
+    Raised, for example, when a column name does not exist, when two
+    tables that must be union-compatible are not, or when column lengths
+    disagree at construction time.
+    """
+
+
+class TypeMismatchError(SchemaError):
+    """A value or column has a type incompatible with the declared dtype."""
+
+
+class EmptyInputError(RespdiError):
+    """An operation that requires at least one row/element got none."""
+
+
+class SpecificationError(RespdiError):
+    """A user-provided specification (query, requirement, count spec) is invalid."""
+
+
+class InfeasibleError(RespdiError):
+    """A requested outcome is provably unattainable.
+
+    Examples: a distribution-tailoring count spec that exceeds what the
+    union of all sources contains, or a fairness constraint no range
+    refinement can satisfy.
+    """
+
+
+class ExhaustedSourceError(RespdiError):
+    """A data source was sampled past the number of records it holds."""
+
+
+class BudgetExceededError(RespdiError):
+    """An acquisition or collection loop ran out of its cost budget."""
+
+
+class ConvergenceError(RespdiError):
+    """An iterative estimator failed to converge within its iteration cap."""
+
+
+class NotFittedError(RespdiError):
+    """A model or estimator was used before being fitted."""

@@ -1,0 +1,25 @@
+"""Fairness-aware query answering (tutorial §5).
+
+* :mod:`respdi.fairqueries.rangequeries` — fairness-aware range queries
+  (Shetiya, Swift, Asudeh, Das — ICDE 2022): given a range selection and
+  a bound on the group-count disparity of its output, find the *most
+  similar* range whose output satisfies the bound;
+* :mod:`respdi.fairqueries.rewriting` — coverage-based query rewriting
+  (Accinelli et al., EDBT workshops 2020/21): minimally relax a range
+  selection until every group reaches a minimum count in the result.
+"""
+
+from respdi.fairqueries.rangequeries import (
+    FairRangeResult,
+    range_disparity,
+    fair_range_refinement,
+)
+from respdi.fairqueries.rewriting import CoverageRewriteResult, coverage_rewrite
+
+__all__ = [
+    "FairRangeResult",
+    "range_disparity",
+    "fair_range_refinement",
+    "CoverageRewriteResult",
+    "coverage_rewrite",
+]

@@ -1,0 +1,183 @@
+"""Fairness-aware range queries (Shetiya et al., ICDE 2022).
+
+Setting: a user issues ``SELECT ... WHERE lo <= x <= hi`` but is flexible
+about the exact boundaries; the system must return the *most similar*
+range whose output satisfies a fairness constraint — here, that the
+count difference between the largest and smallest group in the output is
+at most ``max_disparity`` (optionally relative to output size).
+
+Similarity between the original and candidate output sets is Jaccard
+over selected rows, which for ranges over one attribute reduces to
+interval-overlap counting and is computed from prefix sums.  The search
+enumerates candidate boundaries at the distinct data values (no other
+boundary changes the output), vectorized over right endpoints for each
+left endpoint, so the exact optimum is found in O(m²) with small
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Range, Table
+
+
+def range_disparity(
+    table: Table, column: str, lo: float, hi: float, group_column: str
+) -> Tuple[int, Dict[Hashable, int]]:
+    """Group counts inside ``[lo, hi]`` and their max-min disparity.
+
+    Groups are all present values of *group_column* in the table; groups
+    with no row in the range count as zero (their absence *is* the
+    disparity the fairness constraint cares about).
+    """
+    selected = table.filter(Range(column, lo, hi))
+    counts = {g: 0 for g in table.unique(group_column)}
+    if not counts:
+        raise EmptyInputError(f"group column {group_column!r} has no values")
+    counts.update(selected.value_counts(group_column))
+    return max(counts.values()) - min(counts.values()), counts
+
+
+@dataclass(frozen=True)
+class FairRangeResult:
+    """The refined range and its properties."""
+
+    lo: float
+    hi: float
+    similarity: float
+    disparity: int
+    group_counts: Dict[Hashable, int]
+    original_disparity: int
+    candidates_examined: int
+
+    def predicate(self, column: str) -> Range:
+        return Range(column, self.lo, self.hi)
+
+
+def fair_range_refinement(
+    table: Table,
+    column: str,
+    lo: float,
+    hi: float,
+    group_column: str,
+    max_disparity: int,
+    relative: bool = False,
+    max_disparity_fraction: float = 0.2,
+) -> FairRangeResult:
+    """Most similar fair range to ``[lo, hi]``.
+
+    With ``relative=False`` the constraint is
+    ``max_count - min_count <= max_disparity`` (absolute counts); with
+    ``relative=True`` it is ``<= max_disparity_fraction * output_size``.
+    Raises :class:`~respdi.errors.InfeasibleError` when no candidate range
+    (including the empty range) satisfies the constraint — which can only
+    happen in the relative regime with a zero fraction, since the empty
+    output always has zero absolute disparity.
+    """
+    from respdi.errors import InfeasibleError
+
+    table.schema.require([column, group_column])
+    if not table.schema[column].is_numeric:
+        raise SpecificationError("fair range refinement needs a numeric column")
+    if max_disparity < 0:
+        raise SpecificationError("max_disparity must be non-negative")
+    if lo > hi:
+        raise SpecificationError("empty original range (lo > hi)")
+
+    values = np.asarray(table.column(column), dtype=float)
+    groups_column = table.column(group_column)
+    keep = ~np.isnan(values) & ~table.missing_mask(group_column)
+    values = values[keep]
+    groups_column = groups_column[keep]
+    if len(values) == 0:
+        raise EmptyInputError("no complete (value, group) rows")
+
+    order = np.argsort(values, kind="mergesort")
+    sorted_values = values[order]
+    sorted_groups = groups_column[order]
+    group_list = sorted(set(sorted_groups), key=repr)
+    group_index = {g: i for i, g in enumerate(group_list)}
+    n = len(sorted_values)
+    k = len(group_list)
+
+    # Prefix counts: prefix[i, g] = count of group g among first i rows.
+    prefix = np.zeros((n + 1, k), dtype=np.int64)
+    for i in range(n):
+        prefix[i + 1] = prefix[i]
+        prefix[i + 1, group_index[sorted_groups[i]]] += 1
+
+    in_original = (sorted_values >= lo) & (sorted_values <= hi)
+    original_count = int(in_original.sum())
+    original_prefix = np.concatenate([[0], np.cumsum(in_original)])
+    original_group_counts = {
+        g: int(
+            prefix[np.searchsorted(sorted_values, hi, side="right"), group_index[g]]
+            - prefix[np.searchsorted(sorted_values, lo, side="left"), group_index[g]]
+        )
+        for g in group_list
+    }
+    original_disparity = (
+        max(original_group_counts.values()) - min(original_group_counts.values())
+    )
+
+    # Candidate boundaries: positions between sorted rows.  A candidate is
+    # a pair (s, e) with 0 <= s <= e <= n selecting rows [s, e).
+    distinct_starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(sorted_values)) + 1, [n]]
+    )
+    distinct_starts = np.unique(distinct_starts)
+
+    best: Optional[Tuple[float, int, int, int]] = None  # (similarity, -size, s, e)
+    examined = 0
+    for s in distinct_starts:
+        ends = distinct_starts[distinct_starts >= s]
+        examined += len(ends)
+        counts = prefix[ends] - prefix[s]  # (|ends|, k)
+        disparity = counts.max(axis=1) - counts.min(axis=1)
+        size = ends - s
+        if relative:
+            feasible = disparity <= max_disparity_fraction * size
+        else:
+            feasible = disparity <= max_disparity
+        if not feasible.any():
+            continue
+        inter = original_prefix[ends] - original_prefix[s]
+        union = original_count + size - inter
+        with np.errstate(invalid="ignore", divide="ignore"):
+            similarity = np.where(union > 0, inter / union, 1.0)
+        similarity = np.where(feasible, similarity, -1.0)
+        idx = int(np.argmax(similarity))
+        if similarity[idx] < 0:
+            continue
+        candidate = (float(similarity[idx]), -int(size[idx]), int(s), int(ends[idx]))
+        if best is None or candidate > best:
+            best = candidate
+
+    if best is None:
+        raise InfeasibleError(
+            "no candidate range satisfies the fairness constraint"
+        )
+    similarity, _, s, e = best
+    if e > s:
+        new_lo = float(sorted_values[s])
+        new_hi = float(sorted_values[e - 1])
+    else:
+        # Empty refinement: a degenerate range below the data.
+        new_lo = new_hi = float(sorted_values[0]) - 1.0
+    disparity, group_counts = range_disparity(
+        table, column, new_lo, new_hi, group_column
+    )
+    return FairRangeResult(
+        lo=new_lo,
+        hi=new_hi,
+        similarity=float(similarity),
+        disparity=disparity,
+        group_counts=group_counts,
+        original_disparity=original_disparity,
+        candidates_examined=examined,
+    )

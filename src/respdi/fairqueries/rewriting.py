@@ -1,0 +1,138 @@
+"""Coverage-based query rewriting (Accinelli et al., EDBT workshops).
+
+Given a range selection whose output under-covers some groups, *relax*
+(only widen, never narrow) the range minimally until every group reaches
+a minimum count in the result.  "Minimal" is measured in added rows: at
+each step the rewrite extends whichever boundary admits the next row at
+the cheaper marginal cost toward covering a still-deficient group,
+preferring extensions that actually contain deficient-group rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, InfeasibleError, SpecificationError
+from respdi.table import Range, Table
+
+
+@dataclass(frozen=True)
+class CoverageRewriteResult:
+    """The relaxed range and its bookkeeping."""
+
+    lo: float
+    hi: float
+    added_rows: int
+    group_counts: Dict[Hashable, int]
+    original_counts: Dict[Hashable, int]
+
+    def predicate(self, column: str) -> Range:
+        return Range(column, self.lo, self.hi)
+
+
+def coverage_rewrite(
+    table: Table,
+    column: str,
+    lo: float,
+    hi: float,
+    group_column: str,
+    min_count: int,
+) -> CoverageRewriteResult:
+    """Minimally widen ``[lo, hi]`` until every group has *min_count* rows.
+
+    Raises :class:`InfeasibleError` when the whole table cannot satisfy
+    the requirement (some group simply lacks *min_count* rows anywhere).
+    """
+    table.schema.require([column, group_column])
+    if not table.schema[column].is_numeric:
+        raise SpecificationError("coverage rewriting needs a numeric column")
+    if min_count < 1:
+        raise SpecificationError("min_count must be >= 1")
+    if lo > hi:
+        raise SpecificationError("empty original range (lo > hi)")
+
+    values = np.asarray(table.column(column), dtype=float)
+    groups = table.column(group_column)
+    keep = ~np.isnan(values) & ~table.missing_mask(group_column)
+    values = values[keep]
+    groups = groups[keep]
+    if len(values) == 0:
+        raise EmptyInputError("no complete (value, group) rows")
+
+    all_groups = sorted(set(groups), key=repr)
+    total_counts = {g: 0 for g in all_groups}
+    for g in groups:
+        total_counts[g] += 1
+    short = {g for g, c in total_counts.items() if c < min_count}
+    if short:
+        raise InfeasibleError(
+            f"groups {sorted(short, key=repr)} have fewer than {min_count} rows "
+            "in the entire table; no rewrite can cover them"
+        )
+
+    order = np.argsort(values, kind="mergesort")
+    sorted_values = values[order]
+    sorted_groups = groups[order]
+    n = len(sorted_values)
+
+    left = int(np.searchsorted(sorted_values, lo, side="left"))
+    right = int(np.searchsorted(sorted_values, hi, side="right"))  # exclusive
+    counts = {g: 0 for g in all_groups}
+    for g in sorted_groups[left:right]:
+        counts[g] += 1
+    original_counts = dict(counts)
+    added = 0
+
+    def deficient() -> bool:
+        return any(counts[g] < min_count for g in all_groups)
+
+    while deficient():
+        # Cost of the next extension on each side = rows until (and
+        # including) the next row of a *deficient* group.
+        def side_cost(direction: int):
+            """(rows_to_absorb, positions) or None when exhausted."""
+            if direction < 0:
+                position = left - 1
+                step = -1
+            else:
+                position = right
+                step = 1
+            absorbed = 0
+            while 0 <= position < n:
+                absorbed += 1
+                if counts[sorted_groups[position]] < min_count:
+                    return absorbed, position
+                position += step
+            return None
+
+        left_option = side_cost(-1)
+        right_option = side_cost(+1)
+        if left_option is None and right_option is None:
+            raise InfeasibleError(
+                "range exhausted the table without covering all groups"
+            )  # pragma: no cover - guarded by the total-count check above
+        go_left = right_option is None or (
+            left_option is not None and left_option[0] <= right_option[0]
+        )
+        rows_to_absorb = left_option[0] if go_left else right_option[0]
+        for _ in range(rows_to_absorb):
+            if go_left:
+                left -= 1
+                counts[sorted_groups[left]] += 1
+            else:
+                counts[sorted_groups[right]] += 1
+                right += 1
+            added += 1
+
+    new_lo = min(lo, float(sorted_values[left])) if right > left else lo
+    new_hi = max(hi, float(sorted_values[right - 1])) if right > left else hi
+    return CoverageRewriteResult(
+        lo=new_lo,
+        hi=new_hi,
+        added_rows=added,
+        group_counts=counts,
+        original_counts=original_counts,
+    )

@@ -1,0 +1,66 @@
+"""Entity resolution with group-aware evaluation (tutorial §5).
+
+The tutorial's §5 flags entity resolution as a cleaning task whose
+errors can be *unequally distributed*: "since the bias in these external
+sources can potentially introduce bias in the linked data, fairness-aware
+measures can potentially pinpoint the root cause of bias in the cleaning
+process."  This package provides a classical ER pipeline plus exactly
+those measures:
+
+* :mod:`respdi.linkage.similarity` — string and numeric comparators
+  (Levenshtein, Jaro, Jaro-Winkler, token Jaccard);
+* :mod:`respdi.linkage.blocking` — key blocking and sorted-neighborhood
+  blocking to prune the quadratic pair space;
+* :mod:`respdi.linkage.matching` — weighted field scoring, thresholded
+  match decisions, union-find clustering, and deduplication;
+* :mod:`respdi.linkage.evaluation` — pairwise precision/recall against
+  ground truth, **per-group recall** and the linkage parity difference
+  (does ER miss minority duplicates more often?);
+* :mod:`respdi.datagen.duplicates` — dirty-duplicate generation with
+  group-dependent corruption rates, the controlled setting in which the
+  fairness measures are exercised.
+"""
+
+from respdi.linkage.similarity import (
+    levenshtein_distance,
+    levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    token_jaccard,
+    numeric_similarity,
+)
+from respdi.linkage.blocking import (
+    key_blocking,
+    sorted_neighborhood_blocking,
+    blocking_stats,
+)
+from respdi.linkage.matching import (
+    FieldComparator,
+    RecordMatcher,
+    MatchResult,
+    cluster_matches,
+    deduplicate,
+)
+from respdi.linkage.evaluation import (
+    LinkageQualityReport,
+    evaluate_linkage,
+)
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "token_jaccard",
+    "numeric_similarity",
+    "key_blocking",
+    "sorted_neighborhood_blocking",
+    "blocking_stats",
+    "FieldComparator",
+    "RecordMatcher",
+    "MatchResult",
+    "cluster_matches",
+    "deduplicate",
+    "LinkageQualityReport",
+    "evaluate_linkage",
+]

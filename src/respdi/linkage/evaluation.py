@@ -1,0 +1,114 @@
+"""Linkage quality, overall and per group — the fairness-aware ER audit.
+
+Pairwise evaluation against ground-truth entity ids: precision and
+recall over duplicate pairs.  The group-aware part attributes each true
+pair to the group of its records (pairs spanning groups count toward
+both) and reports per-group recall: **if ER misses minority duplicates
+more often, the deduplicated data inherits that bias** — the §5 concern
+made measurable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+Pair = Tuple[int, int]
+
+
+def _true_pairs(table: Table, entity_column: str) -> Set[Pair]:
+    entities = table.column(entity_column)
+    by_entity: Dict[Hashable, List[int]] = defaultdict(list)
+    for i in range(len(table)):
+        if entities[i] is not None:
+            by_entity[entities[i]].append(i)
+    pairs: Set[Pair] = set()
+    for members in by_entity.values():
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                pairs.add((members[a], members[b]))
+    return pairs
+
+
+@dataclass(frozen=True)
+class LinkageQualityReport:
+    """Pairwise linkage quality with per-group recall."""
+
+    precision: float
+    recall: float
+    true_pairs: int
+    predicted_pairs: int
+    group_recall: Dict[Hashable, float]
+    group_true_pairs: Dict[Hashable, int]
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def recall_parity_difference(self) -> float:
+        """max - min per-group recall; >0 means ER serves groups unequally."""
+        if len(self.group_recall) < 2:
+            return 0.0
+        return max(self.group_recall.values()) - min(self.group_recall.values())
+
+    @property
+    def worst_group(self) -> Optional[Hashable]:
+        if not self.group_recall:
+            return None
+        return min(
+            self.group_recall, key=lambda g: (self.group_recall[g], repr(g))
+        )
+
+
+def evaluate_linkage(
+    table: Table,
+    predicted: Set[Pair],
+    entity_column: str,
+    group_columns: Sequence[str] = (),
+) -> LinkageQualityReport:
+    """Evaluate *predicted* match pairs against ground-truth entity ids."""
+    table.schema.require([entity_column] + list(group_columns))
+    truth = _true_pairs(table, entity_column)
+    predicted = {(min(i, j), max(i, j)) for i, j in predicted}
+    for i, j in predicted:
+        if not (0 <= i < len(table) and 0 <= j < len(table)):
+            raise SpecificationError(f"predicted pair {(i, j)} out of range")
+    hits = predicted & truth
+    precision = len(hits) / len(predicted) if predicted else 1.0
+    recall = len(hits) / len(truth) if truth else 1.0
+
+    group_recall: Dict[Hashable, float] = {}
+    group_true: Dict[Hashable, int] = {}
+    if group_columns:
+        arrays = [table.column(name) for name in group_columns]
+
+        def group_of(i: int) -> Tuple[Hashable, ...]:
+            return tuple(array[i] for array in arrays)
+
+        found: Dict[Hashable, int] = defaultdict(int)
+        total: Dict[Hashable, int] = defaultdict(int)
+        for pair in truth:
+            groups = {group_of(pair[0]), group_of(pair[1])}
+            for group in groups:
+                total[group] += 1
+                if pair in hits:
+                    found[group] += 1
+        group_true = dict(total)
+        group_recall = {
+            group: found[group] / count for group, count in total.items()
+        }
+    return LinkageQualityReport(
+        precision=precision,
+        recall=recall,
+        true_pairs=len(truth),
+        predicted_pairs=len(predicted),
+        group_recall=group_recall,
+        group_true_pairs=group_true,
+    )

@@ -1,0 +1,141 @@
+"""Weighted field scoring, match decisions, clustering, deduplication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FieldComparator:
+    """One field's contribution to the match score."""
+
+    column: str
+    similarity: Callable[[object, object], float]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise SpecificationError("comparator weight must be positive")
+
+
+@dataclass
+class MatchResult:
+    """Scored candidate pairs and the accepted matches."""
+
+    scores: Dict[Pair, float]
+    matches: Set[Pair]
+    threshold: float
+
+    @property
+    def num_compared(self) -> int:
+        return len(self.scores)
+
+
+class RecordMatcher:
+    """Scores candidate pairs as the weighted mean of field similarities
+    and accepts pairs above a threshold."""
+
+    def __init__(
+        self, comparators: Sequence[FieldComparator], threshold: float = 0.85
+    ) -> None:
+        if not comparators:
+            raise SpecificationError("need at least one field comparator")
+        if not 0.0 < threshold <= 1.0:
+            raise SpecificationError("threshold must be in (0, 1]")
+        self.comparators = list(comparators)
+        self.threshold = threshold
+        self._total_weight = sum(c.weight for c in self.comparators)
+
+    def score_pair(self, row_a: dict, row_b: dict) -> float:
+        total = 0.0
+        for comparator in self.comparators:
+            value_a = row_a.get(comparator.column)
+            value_b = row_b.get(comparator.column)
+            total += comparator.weight * float(
+                comparator.similarity(value_a, value_b)
+            )
+        return total / self._total_weight
+
+    def match(self, table: Table, candidates: Set[Pair]) -> MatchResult:
+        """Score every candidate pair; accept those above the threshold."""
+        for comparator in self.comparators:
+            table.schema.require([comparator.column])
+        rows = table.to_dicts()
+        scores: Dict[Pair, float] = {}
+        matches: Set[Pair] = set()
+        for i, j in sorted(candidates):
+            score = self.score_pair(rows[i], rows[j])
+            scores[(i, j)] = score
+            if score >= self.threshold:
+                matches.add((i, j))
+        return MatchResult(scores=scores, matches=matches, threshold=self.threshold)
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def cluster_matches(n_records: int, matches: Set[Pair]) -> List[List[int]]:
+    """Connected components (transitive closure) of the match graph.
+
+    Returns clusters sorted by their smallest member; singletons included.
+    """
+    if n_records < 0:
+        raise SpecificationError("n_records must be non-negative")
+    uf = _UnionFind(n_records)
+    for i, j in matches:
+        if not (0 <= i < n_records and 0 <= j < n_records):
+            raise SpecificationError(f"match pair {(i, j)} out of range")
+        uf.union(i, j)
+    by_root: Dict[int, List[int]] = {}
+    for i in range(n_records):
+        by_root.setdefault(uf.find(i), []).append(i)
+    return [sorted(members) for _, members in sorted(by_root.items())]
+
+
+def deduplicate(
+    table: Table,
+    matches: Set[Pair],
+    keep: str = "most_complete",
+) -> Table:
+    """One survivor row per match cluster.
+
+    ``keep`` is ``"first"`` (smallest index) or ``"most_complete"``
+    (fewest missing values; ties to the smallest index) — the canonical
+    survivorship rules.
+    """
+    if keep not in ("first", "most_complete"):
+        raise SpecificationError(f"unknown survivorship rule {keep!r}")
+    clusters = cluster_matches(len(table), matches)
+    if keep == "first":
+        survivors = [cluster[0] for cluster in clusters]
+    else:
+        missing_counts = [0] * len(table)
+        for column in table.column_names:
+            mask = table.missing_mask(column)
+            for i in range(len(table)):
+                if mask[i]:
+                    missing_counts[i] += 1
+        survivors = [
+            min(cluster, key=lambda i: (missing_counts[i], i))
+            for cluster in clusters
+        ]
+    return table.take(sorted(survivors))

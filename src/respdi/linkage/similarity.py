@@ -1,0 +1,134 @@
+"""Field comparators for record linkage.
+
+All similarities return values in [0, 1] with 1 meaning identical.
+Missing inputs (``None``) yield 0 similarity — an unrecorded value is
+evidence of nothing, consistent with the library's NULL semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from respdi.errors import SpecificationError
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,      # delete
+                    current[j - 1] + 1,   # insert
+                    previous[j - 1] + cost,  # substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: Optional[str], b: Optional[str]) -> float:
+    """``1 - distance / max_len``, 0 for missing inputs."""
+    if a is None or b is None:
+        return 0.0
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: Optional[str], b: Optional[str]) -> float:
+    """Jaro similarity (match window, transposition counting)."""
+    if a is None or b is None:
+        return 0.0
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    a_matched = [False] * len_a
+    b_matched = [False] * len_b
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ca:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if a_matched[i]:
+            while not b_matched[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    a: Optional[str], b: Optional[str], prefix_scale: float = 0.1
+) -> float:
+    """Jaro-Winkler: Jaro boosted for a shared prefix (up to 4 chars)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise SpecificationError("prefix_scale must be in [0, 0.25]")
+    jaro = jaro_similarity(a, b)
+    if a is None or b is None:
+        return 0.0
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca == cb:
+            prefix += 1
+        else:
+            break
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def token_jaccard(a: Optional[str], b: Optional[str]) -> float:
+    """Jaccard similarity of whitespace token sets (order-insensitive —
+    robust to 'Last, First' style swaps after normalization)."""
+    if a is None or b is None:
+        return 0.0
+    tokens_a = set(a.lower().split())
+    tokens_b = set(b.lower().split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def numeric_similarity(
+    a: Optional[float], b: Optional[float], scale: float = 1.0
+) -> float:
+    """``exp(-|a - b| / scale)`` — 1 at equality, decaying with the gap."""
+    if scale <= 0:
+        raise SpecificationError("scale must be positive")
+    if a is None or b is None:
+        return 0.0
+    a = float(a)
+    b = float(b)
+    if math.isnan(a) or math.isnan(b):
+        return 0.0
+    return math.exp(-abs(a - b) / scale)

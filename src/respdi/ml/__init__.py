@@ -1,0 +1,52 @@
+"""Minimal ML substrate for responsible-integration experiments.
+
+The tutorial's downstream task is model training; the fairness effects
+of integration decisions (what was collected, how it was cleaned) are
+observed through a trained model's group metrics.  This package provides
+just enough machinery to observe them — NumPy models, group-aware
+metrics, and the classical pre-processing interventions — with no
+external ML dependency.
+"""
+
+from respdi.ml.data import table_to_xy, train_test_split, standardize_columns
+from respdi.ml.models import LogisticRegression, GaussianNaiveBayes, KNNClassifier
+from respdi.ml.metrics import (
+    accuracy,
+    group_accuracy,
+    selection_rates,
+    demographic_parity_difference,
+    disparate_impact,
+    equalized_odds_difference,
+    equal_opportunity_difference,
+    FairnessReport,
+    evaluate_fairness,
+)
+from respdi.ml.interventions import (
+    reweighing_weights,
+    oversample_groups,
+    smote_oversample,
+)
+from respdi.ml.feature_selection import FeatureSelectionResult, select_features
+
+__all__ = [
+    "table_to_xy",
+    "train_test_split",
+    "standardize_columns",
+    "LogisticRegression",
+    "GaussianNaiveBayes",
+    "KNNClassifier",
+    "accuracy",
+    "group_accuracy",
+    "selection_rates",
+    "demographic_parity_difference",
+    "disparate_impact",
+    "equalized_odds_difference",
+    "equal_opportunity_difference",
+    "FairnessReport",
+    "evaluate_fairness",
+    "reweighing_weights",
+    "oversample_groups",
+    "smote_oversample",
+    "FeatureSelectionResult",
+    "select_features",
+]

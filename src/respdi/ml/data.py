@@ -1,0 +1,93 @@
+"""Table-to-matrix plumbing for the ML substrate."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+
+def table_to_xy(
+    table: Table,
+    feature_columns: Sequence[str],
+    label_column: str,
+    group_columns: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Extract ``(X, y, groups)`` from a table.
+
+    * ``X`` — float matrix of the numeric feature columns;
+    * ``y`` — binary labels (the numeric label column must hold 0/1);
+    * ``groups`` — object array of group tuples, or ``None`` when no
+      group columns are requested.
+
+    Rows with a missing feature or label are dropped (models cannot
+    consume them); callers who care about *which* rows vanish should
+    impute first — that is the point of §2.4.
+    """
+    if not feature_columns:
+        raise SpecificationError("need at least one feature column")
+    table.schema.require(list(feature_columns) + [label_column])
+    X = np.column_stack(
+        [np.asarray(table.column(name), dtype=float) for name in feature_columns]
+    )
+    y = np.asarray(table.column(label_column), dtype=float)
+    keep = ~np.isnan(X).any(axis=1) & ~np.isnan(y)
+    if group_columns:
+        table.schema.require(list(group_columns))
+        group_arrays = [table.column(name) for name in group_columns]
+        groups = np.empty(len(table), dtype=object)
+        for i in range(len(table)):
+            groups[i] = tuple(array[i] for array in group_arrays)
+        groups = groups[keep]
+    else:
+        groups = None
+    X = X[keep]
+    y = y[keep]
+    if len(y) == 0:
+        raise EmptyInputError("no complete rows for model training")
+    unique = set(np.unique(y).tolist())
+    if not unique <= {0.0, 1.0}:
+        raise SpecificationError(
+            f"label column must be binary 0/1; saw values {sorted(unique)}"
+        )
+    return X, y.astype(int), groups
+
+
+def train_test_split(
+    table: Table, test_fraction: float = 0.3, rng: RngLike = None
+) -> Tuple[Table, Table]:
+    """Random row split into (train, test) tables."""
+    if not 0.0 < test_fraction < 1.0:
+        raise SpecificationError("test_fraction must be in (0, 1)")
+    if len(table) < 2:
+        raise EmptyInputError("need at least two rows to split")
+    generator = ensure_rng(rng)
+    permutation = generator.permutation(len(table))
+    n_test = max(1, int(round(test_fraction * len(table))))
+    n_test = min(n_test, len(table) - 1)
+    test_idx = permutation[:n_test]
+    train_idx = permutation[n_test:]
+    return table.take(train_idx), table.take(test_idx)
+
+
+def standardize_columns(
+    table: Table, columns: Sequence[str], reference: Optional[Table] = None
+) -> Table:
+    """Z-score the given numeric columns (stats from *reference* when
+    given, so test data uses training statistics)."""
+    source = reference if reference is not None else table
+    out = table
+    for name in columns:
+        values = np.asarray(source.column(name), dtype=float)
+        observed = values[~np.isnan(values)]
+        if observed.size == 0:
+            raise EmptyInputError(f"column {name!r} has no observed values")
+        mean = observed.mean()
+        std = observed.std() or 1.0
+        scaled = (np.asarray(table.column(name), dtype=float) - mean) / std
+        out = out.with_column(name, "numeric", scaled)
+    return out

@@ -1,0 +1,134 @@
+"""Pre-processing fairness interventions (tutorial §2.2, §3.3).
+
+These operate on the *data* (weights or rows), never on the model —
+exactly the pre-processing stage the tutorial scopes itself to:
+
+* :func:`reweighing_weights` — Kamiran & Calders reweighing: weight each
+  (group, label) cell by ``P(group) * P(label) / P(group, label)`` so
+  that group and label become statistically independent under the
+  weighted empirical distribution;
+* :func:`oversample_groups` — duplicate minority-group rows until every
+  group reaches the size of the largest (Group Representation by
+  brute force);
+* :func:`smote_oversample` — SMOTE-style synthetic minority rows:
+  interpolate between a minority row and one of its k nearest
+  same-group neighbors (Chawla et al. 2002).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+
+def reweighing_weights(
+    groups: Sequence[Hashable], labels: Sequence[int]
+) -> np.ndarray:
+    """Per-row weights making group and label independent when applied."""
+    if len(groups) != len(labels):
+        raise SpecificationError("groups and labels must align")
+    n = len(groups)
+    if n == 0:
+        raise EmptyInputError("no rows to reweigh")
+    labels = np.asarray(labels, dtype=int)
+    group_counts = Counter(groups)
+    label_counts = Counter(labels.tolist())
+    cell_counts = Counter(zip(groups, labels.tolist()))
+    weights = np.empty(n)
+    for i, (g, y) in enumerate(zip(groups, labels.tolist())):
+        expected = (group_counts[g] / n) * (label_counts[y] / n)
+        observed = cell_counts[(g, y)] / n
+        weights[i] = expected / observed
+    return weights
+
+
+def oversample_groups(
+    table: Table,
+    group_columns: Sequence[str],
+    rng: RngLike = None,
+) -> Table:
+    """Duplicate rows of under-sized groups until all groups match the
+    largest group's size (sampling duplicates uniformly within group)."""
+    generator = ensure_rng(rng)
+    indices = table.group_indices(list(group_columns))
+    if not indices:
+        raise EmptyInputError("table has no rows to oversample")
+    target = max(len(idx) for idx in indices.values())
+    take: List[int] = []
+    for idx in indices.values():
+        take.extend(idx.tolist())
+        deficit = target - len(idx)
+        if deficit > 0:
+            extra = generator.choice(idx, size=deficit, replace=True)
+            take.extend(int(i) for i in extra)
+    return table.take(take).shuffle(generator)
+
+
+def smote_oversample(
+    table: Table,
+    group_columns: Sequence[str],
+    numeric_columns: Sequence[str],
+    k: int = 5,
+    rng: RngLike = None,
+) -> Table:
+    """SMOTE-style balancing: synthesize minority rows by interpolating
+    numeric features between same-group nearest neighbors.
+
+    Categorical columns of a synthetic row are copied from its seed row.
+    Groups with a single member fall back to duplication (no neighbor to
+    interpolate toward).
+    """
+    if k < 1:
+        raise SpecificationError("k must be >= 1")
+    if not numeric_columns:
+        raise SpecificationError("SMOTE needs numeric columns to interpolate")
+    table.schema.require(list(numeric_columns))
+    generator = ensure_rng(rng)
+    indices = table.group_indices(list(group_columns))
+    target = max(len(idx) for idx in indices.values())
+    features = np.column_stack(
+        [np.asarray(table.column(name), dtype=float) for name in numeric_columns]
+    )
+    synthetic_rows: List[Dict[str, Hashable]] = []
+    base_rows = table.to_dicts()
+    for idx in indices.values():
+        deficit = target - len(idx)
+        if deficit <= 0:
+            continue
+        group_features = features[idx]
+        for _ in range(deficit):
+            seed_position = int(generator.integers(len(idx)))
+            seed_index = int(idx[seed_position])
+            new_row = dict(base_rows[seed_index])
+            if len(idx) >= 2:
+                distances = np.linalg.norm(
+                    group_features - group_features[seed_position], axis=1
+                )
+                distances[seed_position] = np.inf
+                n_neighbors = min(k, len(idx) - 1)
+                neighbor_positions = np.argpartition(distances, n_neighbors - 1)[
+                    :n_neighbors
+                ]
+                neighbor_position = int(
+                    neighbor_positions[int(generator.integers(n_neighbors))]
+                )
+                alpha = float(generator.random())
+                for j, name in enumerate(numeric_columns):
+                    seed_value = group_features[seed_position, j]
+                    neighbor_value = group_features[neighbor_position, j]
+                    if np.isnan(seed_value) or np.isnan(neighbor_value):
+                        continue
+                    new_row[name] = float(
+                        seed_value + alpha * (neighbor_value - seed_value)
+                    )
+            synthetic_rows.append(new_row)
+    if not synthetic_rows:
+        return table
+    synthetic = Table.from_dicts(table.schema, synthetic_rows)
+    return table.concat(synthetic).shuffle(generator)

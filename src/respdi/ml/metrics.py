@@ -1,0 +1,175 @@
+"""Group fairness metrics over classifier outputs.
+
+All metrics consume ``(y_true, y_pred, groups)`` arrays of equal length;
+*groups* holds hashable group identifiers (typically tuples of sensitive
+values).  Definitions follow Barocas, Hardt & Narayanan:
+
+* demographic parity difference — spread of P(ŷ=1 | g);
+* disparate impact — min over group pairs of selection-rate ratios;
+* equal opportunity difference — spread of TPR;
+* equalized odds difference — max of TPR spread and FPR spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, SpecificationError
+
+
+def _check(y_true, y_pred, groups=None):
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise SpecificationError("y_true and y_pred must have equal length")
+    if len(y_true) == 0:
+        raise EmptyInputError("metrics require at least one prediction")
+    if groups is not None and len(groups) != len(y_true):
+        raise SpecificationError("groups must align with predictions")
+    return y_true, y_pred
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Overall fraction of correct predictions."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def _group_indices(groups: Sequence[Hashable]) -> Dict[Hashable, np.ndarray]:
+    # NOTE: no np.asarray here — converting a sequence of tuples would
+    # produce a 2-D array whose rows are unhashable.
+    out: Dict[Hashable, list] = {}
+    for i, g in enumerate(groups):
+        out.setdefault(g, []).append(i)
+    return {g: np.asarray(idx) for g, idx in out.items()}
+
+
+def group_accuracy(
+    y_true: Sequence[int], y_pred: Sequence[int], groups: Sequence[Hashable]
+) -> Dict[Hashable, float]:
+    """Per-group fraction of correct predictions."""
+    y_true, y_pred = _check(y_true, y_pred, groups)
+    return {
+        g: float((y_true[idx] == y_pred[idx]).mean())
+        for g, idx in _group_indices(groups).items()
+    }
+
+
+def selection_rates(
+    y_pred: Sequence[int], groups: Sequence[Hashable]
+) -> Dict[Hashable, float]:
+    """P(ŷ = 1 | group) per group."""
+    y_pred = np.asarray(y_pred, dtype=int)
+    if len(y_pred) != len(groups):
+        raise SpecificationError("groups must align with predictions")
+    if len(y_pred) == 0:
+        raise EmptyInputError("no predictions")
+    return {
+        g: float(y_pred[idx].mean()) for g, idx in _group_indices(groups).items()
+    }
+
+
+def demographic_parity_difference(
+    y_pred: Sequence[int], groups: Sequence[Hashable]
+) -> float:
+    """max - min of per-group selection rates (0 = perfect parity)."""
+    rates = selection_rates(y_pred, groups)
+    return max(rates.values()) - min(rates.values())
+
+
+def disparate_impact(y_pred: Sequence[int], groups: Sequence[Hashable]) -> float:
+    """min selection rate / max selection rate (the 80%-rule ratio).
+
+    Returns 1.0 when all rates are zero (no group is selected, hence no
+    disparity among them), and 0.0 when some group is selected while
+    another never is.
+    """
+    rates = selection_rates(y_pred, groups)
+    largest = max(rates.values())
+    smallest = min(rates.values())
+    if largest == 0:
+        return 1.0
+    return smallest / largest
+
+
+def _true_positive_rate(y_true, y_pred) -> float:
+    positives = y_true == 1
+    if not positives.any():
+        return float("nan")
+    return float(y_pred[positives].mean())
+
+
+def _false_positive_rate(y_true, y_pred) -> float:
+    negatives = y_true == 0
+    if not negatives.any():
+        return float("nan")
+    return float(y_pred[negatives].mean())
+
+
+def _nan_spread(values) -> float:
+    clean = [v for v in values if not np.isnan(v)]
+    if len(clean) < 2:
+        return 0.0
+    return max(clean) - min(clean)
+
+
+def equal_opportunity_difference(
+    y_true: Sequence[int], y_pred: Sequence[int], groups: Sequence[Hashable]
+) -> float:
+    """Spread of per-group true positive rates (groups without positives
+    are excluded — their TPR is undefined)."""
+    y_true, y_pred = _check(y_true, y_pred, groups)
+    rates = [
+        _true_positive_rate(y_true[idx], y_pred[idx])
+        for idx in _group_indices(groups).values()
+    ]
+    return _nan_spread(rates)
+
+
+def equalized_odds_difference(
+    y_true: Sequence[int], y_pred: Sequence[int], groups: Sequence[Hashable]
+) -> float:
+    """max(TPR spread, FPR spread) across groups."""
+    y_true, y_pred = _check(y_true, y_pred, groups)
+    indices = _group_indices(groups)
+    tpr = [_true_positive_rate(y_true[idx], y_pred[idx]) for idx in indices.values()]
+    fpr = [_false_positive_rate(y_true[idx], y_pred[idx]) for idx in indices.values()]
+    return max(_nan_spread(tpr), _nan_spread(fpr))
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """One-call summary of a classifier's group behaviour."""
+
+    accuracy: float
+    group_accuracy: Dict[Hashable, float]
+    selection_rates: Dict[Hashable, float]
+    demographic_parity_difference: float
+    disparate_impact: float
+    equal_opportunity_difference: float
+    equalized_odds_difference: float
+
+    @property
+    def accuracy_parity_difference(self) -> float:
+        values = self.group_accuracy.values()
+        return max(values) - min(values)
+
+
+def evaluate_fairness(
+    y_true: Sequence[int], y_pred: Sequence[int], groups: Sequence[Hashable]
+) -> FairnessReport:
+    """Compute the full :class:`FairnessReport`."""
+    return FairnessReport(
+        accuracy=accuracy(y_true, y_pred),
+        group_accuracy=group_accuracy(y_true, y_pred, groups),
+        selection_rates=selection_rates(y_pred, groups),
+        demographic_parity_difference=demographic_parity_difference(y_pred, groups),
+        disparate_impact=disparate_impact(y_pred, groups),
+        equal_opportunity_difference=equal_opportunity_difference(
+            y_true, y_pred, groups
+        ),
+        equalized_odds_difference=equalized_odds_difference(y_true, y_pred, groups),
+    )

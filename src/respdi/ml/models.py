@@ -1,0 +1,229 @@
+"""NumPy classifiers: logistic regression, Gaussian naive Bayes, kNN.
+
+All models share ``fit(X, y, sample_weight=None)`` /
+``predict_proba(X)`` / ``predict(X)``.  They are deliberately small —
+the experiments need a *consistent* learner whose group behaviour
+reflects the data it was given, not state-of-the-art accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from respdi.errors import (
+    ConvergenceError,
+    EmptyInputError,
+    NotFittedError,
+    SpecificationError,
+)
+
+
+def _validate_xy(X: np.ndarray, y: np.ndarray, sample_weight) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise SpecificationError("X must be a 2-D matrix")
+    if len(X) != len(y):
+        raise SpecificationError(f"{len(X)} rows vs {len(y)} labels")
+    if len(y) == 0:
+        raise EmptyInputError("cannot fit on zero rows")
+    if not set(np.unique(y).tolist()) <= {0, 1}:
+        raise SpecificationError("labels must be binary 0/1")
+    if sample_weight is None:
+        return np.ones(len(y))
+    sample_weight = np.asarray(sample_weight, dtype=float)
+    if sample_weight.shape != (len(y),):
+        raise SpecificationError("sample_weight must have one entry per row")
+    if (sample_weight < 0).any() or sample_weight.sum() <= 0:
+        raise SpecificationError("sample weights must be non-negative, not all zero")
+    return sample_weight
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression fitted by gradient descent with
+    adaptive step size (halving on loss increase)."""
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ) -> None:
+        if l2 < 0:
+            raise SpecificationError("l2 must be non-negative")
+        if max_iter < 1:
+            raise SpecificationError("max_iter must be >= 1")
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+    def _loss(self, Xb: np.ndarray, y: np.ndarray, w: np.ndarray, weights: np.ndarray) -> float:
+        p = self._sigmoid(Xb @ w)
+        eps = 1e-12
+        ll = weights * (y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+        return float(-ll.sum() / weights.sum() + 0.5 * self.l2 * (w[1:] @ w[1:]))
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "LogisticRegression":
+        weights = _validate_xy(X, y, sample_weight)
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        Xb = np.column_stack([np.ones(len(X)), X])
+        w = np.zeros(Xb.shape[1])
+        step = self.learning_rate
+        loss = self._loss(Xb, y, w, weights)
+        for _ in range(self.max_iter):
+            p = self._sigmoid(Xb @ w)
+            gradient = Xb.T @ (weights * (p - y)) / weights.sum()
+            gradient[1:] += self.l2 * w[1:]
+            candidate = w - step * gradient
+            candidate_loss = self._loss(Xb, y, candidate, weights)
+            # Halve the step until the loss improves (or give up the step).
+            halvings = 0
+            while candidate_loss > loss and halvings < 30:
+                step *= 0.5
+                halvings += 1
+                candidate = w - step * gradient
+                candidate_loss = self._loss(Xb, y, candidate, weights)
+            if abs(loss - candidate_loss) < self.tol:
+                w = candidate
+                break
+            w = candidate
+            loss = candidate_loss
+            step *= 1.1  # gentle re-growth after successful steps
+        self.intercept_ = float(w[0])
+        self.coef_ = w[1:]
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.coef_ is None:
+            raise NotFittedError("LogisticRegression is not fitted")
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(X, dtype=float) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+
+class GaussianNaiveBayes:
+    """Gaussian naive Bayes with weighted class priors and moments."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self._fitted = False
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "GaussianNaiveBayes":
+        weights = _validate_xy(X, y, sample_weight)
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        self._classes = np.array([0, 1])
+        self._priors = np.empty(2)
+        self._means = np.empty((2, X.shape[1]))
+        self._vars = np.empty((2, X.shape[1]))
+        total_weight = weights.sum()
+        overall_var = np.average(
+            (X - np.average(X, axis=0, weights=weights)) ** 2,
+            axis=0,
+            weights=weights,
+        )
+        for c in (0, 1):
+            mask = y == c
+            class_weight = weights[mask].sum()
+            if class_weight <= 0:
+                # Degenerate single-class training: near-zero prior with
+                # uninformative moments keeps prediction well-defined.
+                self._priors[c] = 1e-12
+                self._means[c] = X.mean(axis=0)
+                self._vars[c] = overall_var + 1.0
+                continue
+            self._priors[c] = class_weight / total_weight
+            self._means[c] = np.average(X[mask], axis=0, weights=weights[mask])
+            self._vars[c] = np.average(
+                (X[mask] - self._means[c]) ** 2, axis=0, weights=weights[mask]
+            )
+        self._vars += self.var_smoothing * max(float(overall_var.max()), 1.0)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("GaussianNaiveBayes is not fitted")
+        X = np.asarray(X, dtype=float)
+        log_likelihood = np.empty((len(X), 2))
+        for c in (0, 1):
+            log_prior = np.log(self._priors[c])
+            log_pdf = -0.5 * (
+                np.log(2 * np.pi * self._vars[c])
+                + (X - self._means[c]) ** 2 / self._vars[c]
+            ).sum(axis=1)
+            log_likelihood[:, c] = log_prior + log_pdf
+        log_likelihood -= log_likelihood.max(axis=1, keepdims=True)
+        likelihood = np.exp(log_likelihood)
+        return likelihood[:, 1] / likelihood.sum(axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+
+class KNNClassifier:
+    """k-nearest-neighbors with optional sample weights as vote weights."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise SpecificationError("k must be >= 1")
+        self.k = k
+        self._fitted = False
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "KNNClassifier":
+        weights = _validate_xy(X, y, sample_weight)
+        self._X = np.asarray(X, dtype=float)
+        self._y = np.asarray(y, dtype=int)
+        self._weights = weights
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("KNNClassifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        k = min(self.k, len(self._X))
+        out = np.empty(len(X))
+        for i, point in enumerate(X):
+            distances = np.linalg.norm(self._X - point, axis=1)
+            nearest = np.argpartition(distances, k - 1)[:k]
+            votes = self._weights[nearest]
+            positive = votes[self._y[nearest] == 1].sum()
+            out[i] = positive / votes.sum() if votes.sum() > 0 else 0.5
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)

@@ -1,0 +1,20 @@
+"""The end-to-end responsible data integration pipeline.
+
+:class:`ResponsibleIntegrationPipeline` composes the library the way the
+tutorial's narrative does: **discover** candidate sources in a lake,
+**tailor** a collection from them against group-count requirements,
+**clean** the result, **audit** it against the §2 requirements, and
+**document** it with a nutritional label and datasheet.  Every step
+appends to a provenance log, which feeds the §5 transparency goal of
+annotated, reusable pipelines.
+"""
+
+from respdi.pipeline.pipeline import (
+    PipelineResult,
+    ResponsibleIntegrationPipeline,
+)
+
+__all__ = [
+    "PipelineResult",
+    "ResponsibleIntegrationPipeline",
+]

@@ -1,0 +1,52 @@
+"""Data profiling and transparency artifacts (tutorial §3.2, §2.5).
+
+* :mod:`respdi.profiling.profiles` — classical column/table profiles
+  (Abedjan et al.'s survey scope: counts, missingness, distincts,
+  moments, frequent values);
+* :mod:`respdi.profiling.dependencies` — exact and approximate
+  functional dependencies (in particular sensitive → target FDs, one of
+  MithraLabel's bias flags);
+* :mod:`respdi.profiling.association` — one-antecedent association
+  rules with support/confidence/lift (MithraLabel's bias-capture rules);
+* :mod:`respdi.profiling.labels` — MithraLabel-style nutritional labels
+  (Sun et al., CIKM 2019): fitness-for-responsible-use widgets including
+  maximal uncovered patterns, feature bias/informativeness, and per-group
+  missingness;
+* :mod:`respdi.profiling.datasheets` — Datasheets for Datasets (Gebru
+  et al., CACM 2021) with auto-filled composition statistics.
+"""
+
+from respdi.profiling.profiles import ColumnProfile, TableProfile, profile_table
+from respdi.profiling.dependencies import (
+    fd_holds,
+    fd_violation_ratio,
+    find_functional_dependencies,
+)
+from respdi.profiling.association import AssociationRule, mine_association_rules
+from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
+from respdi.profiling.datasheets import Datasheet, build_datasheet
+from respdi.profiling.export import (
+    label_to_dict,
+    datasheet_to_dict,
+    audit_to_dict,
+    dump_json,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "TableProfile",
+    "profile_table",
+    "fd_holds",
+    "fd_violation_ratio",
+    "find_functional_dependencies",
+    "AssociationRule",
+    "mine_association_rules",
+    "NutritionalLabel",
+    "build_nutritional_label",
+    "Datasheet",
+    "build_datasheet",
+    "label_to_dict",
+    "datasheet_to_dict",
+    "audit_to_dict",
+    "dump_json",
+]

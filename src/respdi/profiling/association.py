@@ -1,0 +1,105 @@
+"""One-antecedent association rules over categorical columns.
+
+MithraLabel uses association rules "to capture bias": a rule like
+``race=black -> y=0`` with high confidence and lift far from 1 is a
+red flag worth surfacing on the label.  We mine rules of the form
+``(column_a = value_a) -> (column_b = value_b)`` with the classical
+support / confidence / lift thresholds; one antecedent is exactly what a
+human-readable label can display.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence
+
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent_column = antecedent_value -> consequent_column =
+    consequent_value`` with its statistics."""
+
+    antecedent_column: str
+    antecedent_value: Hashable
+    consequent_column: str
+    consequent_value: Hashable
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent_column}={self.antecedent_value!r} -> "
+            f"{self.consequent_column}={self.consequent_value!r} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def mine_association_rules(
+    table: Table,
+    columns: Sequence[str],
+    min_support: float = 0.05,
+    min_confidence: float = 0.6,
+    min_lift: float = 1.2,
+) -> List[AssociationRule]:
+    """All qualifying one-antecedent rules among *columns*.
+
+    Rules are mined between distinct columns only (a column trivially
+    "implies" itself).  Rows missing either value are excluded from that
+    pair's counts.  Results are sorted by lift, descending.
+    """
+    columns = list(columns)
+    if len(columns) < 2:
+        raise SpecificationError("association mining needs at least two columns")
+    table.schema.require(columns)
+    for thresh, name in (
+        (min_support, "min_support"),
+        (min_confidence, "min_confidence"),
+    ):
+        if not 0.0 <= thresh <= 1.0:
+            raise SpecificationError(f"{name} must be in [0, 1]")
+    rules: List[AssociationRule] = []
+    arrays = {name: table.column(name) for name in columns}
+    missing = {name: table.missing_mask(name) for name in columns}
+    for col_a in columns:
+        for col_b in columns:
+            if col_a == col_b:
+                continue
+            keep = ~(missing[col_a] | missing[col_b])
+            n = int(keep.sum())
+            if n == 0:
+                continue
+            a_values = arrays[col_a][keep]
+            b_values = arrays[col_b][keep]
+            count_a = Counter(a_values)
+            count_b = Counter(b_values)
+            count_ab = Counter(zip(a_values, b_values))
+            for (va, vb), n_ab in count_ab.items():
+                support = n_ab / n
+                if support < min_support:
+                    continue
+                confidence = n_ab / count_a[va]
+                if confidence < min_confidence:
+                    continue
+                consequent_rate = count_b[vb] / n
+                lift = confidence / consequent_rate if consequent_rate > 0 else 0.0
+                if lift < min_lift:
+                    continue
+                rules.append(
+                    AssociationRule(
+                        antecedent_column=col_a,
+                        antecedent_value=va,
+                        consequent_column=col_b,
+                        consequent_value=vb,
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.lift, -r.confidence, repr(r)))
+    return rules

@@ -1,0 +1,130 @@
+"""Datasheets for Datasets (Gebru et al., CACM 2021).
+
+A datasheet documents a data set's motivation, composition, collection
+process, preprocessing, recommended uses, distribution, and maintenance
+— the §2.5 Scope-of-use Augmentation artifact.  Free-text sections are
+caller-provided; composition statistics are auto-filled from the table
+so the datasheet can never drift from the data it describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from respdi.profiling.profiles import TableProfile, profile_table
+from respdi.table import Table
+
+#: The Gebru et al. section headings, in canonical order.
+SECTIONS = (
+    "motivation",
+    "composition",
+    "collection_process",
+    "preprocessing",
+    "uses",
+    "distribution",
+    "maintenance",
+)
+
+
+@dataclass
+class Datasheet:
+    """A filled datasheet.
+
+    ``answers`` maps section name to a list of (question, answer) pairs;
+    ``composition_profile`` holds the auto-computed statistics.
+    """
+
+    title: str
+    answers: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    composition_profile: Optional[TableProfile] = None
+    known_limitations: List[str] = field(default_factory=list)
+    recommended_uses: List[str] = field(default_factory=list)
+    discouraged_uses: List[str] = field(default_factory=list)
+
+    def add_answer(self, section: str, question: str, answer: str) -> None:
+        if section not in SECTIONS:
+            raise ValueError(
+                f"unknown section {section!r}; expected one of {SECTIONS}"
+            )
+        self.answers.setdefault(section, []).append((question, answer))
+
+    def completed_sections(self) -> List[str]:
+        return [s for s in SECTIONS if self.answers.get(s)]
+
+    def is_complete(self, required: Sequence[str] = SECTIONS) -> bool:
+        done = set(self.completed_sections())
+        if self.composition_profile is not None:
+            done.add("composition")
+        return all(section in done for section in required)
+
+    def render(self) -> str:
+        """Markdown rendering."""
+        lines: List[str] = [f"# Datasheet: {self.title}", ""]
+        for section in SECTIONS:
+            entries = self.answers.get(section, [])
+            has_profile = section == "composition" and self.composition_profile
+            if not entries and not has_profile:
+                continue
+            lines.append(f"## {section.replace('_', ' ').title()}")
+            for question, answer in entries:
+                lines.append(f"**{question}**")
+                lines.append(answer)
+                lines.append("")
+            if has_profile:
+                profile = self.composition_profile
+                lines.append(f"- rows: {profile.row_count}")
+                lines.append(
+                    f"- complete rows: {profile.complete_row_fraction:.1%}"
+                )
+                for name, column in profile.columns.items():
+                    detail = f"missing {column.missing_rate:.1%}, "
+                    detail += f"{column.distinct_count} distinct"
+                    lines.append(f"- `{name}` ({column.ctype}): {detail}")
+                lines.append("")
+        if self.known_limitations:
+            lines.append("## Known Limitations")
+            for item in self.known_limitations:
+                lines.append(f"- {item}")
+            lines.append("")
+        if self.recommended_uses:
+            lines.append("## Recommended Uses")
+            for item in self.recommended_uses:
+                lines.append(f"- {item}")
+            lines.append("")
+        if self.discouraged_uses:
+            lines.append("## Discouraged Uses")
+            for item in self.discouraged_uses:
+                lines.append(f"- {item}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def build_datasheet(
+    title: str,
+    table: Table,
+    motivation: str,
+    collection_process: str,
+    preprocessing: str = "none",
+    recommended_uses: Optional[Sequence[str]] = None,
+    discouraged_uses: Optional[Sequence[str]] = None,
+    known_limitations: Optional[Sequence[str]] = None,
+) -> Datasheet:
+    """A datasheet with auto-filled composition and standard questions."""
+    sheet = Datasheet(title=title)
+    sheet.add_answer(
+        "motivation", "For what purpose was the dataset created?", motivation
+    )
+    sheet.add_answer(
+        "collection_process", "How was the data collected?", collection_process
+    )
+    sheet.add_answer(
+        "preprocessing",
+        "Was any preprocessing/cleaning/labeling done?",
+        preprocessing,
+    )
+    sheet.composition_profile = profile_table(table)
+    sheet.recommended_uses = list(recommended_uses or [])
+    sheet.discouraged_uses = list(discouraged_uses or [])
+    sheet.known_limitations = list(known_limitations or [])
+    return sheet

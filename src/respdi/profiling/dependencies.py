@@ -1,0 +1,92 @@
+"""Functional dependencies, exact and approximate.
+
+MithraLabel flags *functional dependencies between sensitive attributes
+and target variables* — if race determines the label in your data, the
+data set cannot support a race-blind model.  An FD ``X -> y`` holds when
+no two rows agree on ``X`` but differ on ``y``; the *violation ratio* is
+the minimum fraction of rows to delete for the FD to hold (g3 error of
+Kivinen & Mannila), so ``fd_violation_ratio == 0`` iff the exact FD holds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+
+def fd_violation_ratio(
+    table: Table, determinant: Sequence[str], dependent: str
+) -> float:
+    """g3 error of the FD ``determinant -> dependent`` in [0, 1].
+
+    For each determinant value-combination, all rows except those with
+    the majority dependent value violate the FD; the ratio is the total
+    violation count over the row count.  Rows with a missing value in any
+    involved column are excluded (an FD says nothing about NULLs).
+    """
+    determinant = list(determinant)
+    if not determinant:
+        raise SpecificationError("FD needs at least one determinant column")
+    if dependent in determinant:
+        raise SpecificationError("dependent column cannot also be a determinant")
+    table.schema.require(determinant + [dependent])
+    arrays = [table.column(name) for name in determinant]
+    dependent_values = table.column(dependent)
+    missing = table.missing_mask(dependent)
+    for name in determinant:
+        missing = missing | table.missing_mask(name)
+
+    groups: Dict[Tuple, Counter] = defaultdict(Counter)
+    considered = 0
+    for i in range(len(table)):
+        if missing[i]:
+            continue
+        considered += 1
+        key = tuple(array[i] for array in arrays)
+        groups[key][dependent_values[i]] += 1
+    if considered == 0:
+        raise EmptyInputError("no complete rows to evaluate the FD on")
+    violations = sum(
+        sum(counter.values()) - max(counter.values()) for counter in groups.values()
+    )
+    return violations / considered
+
+
+def fd_holds(
+    table: Table,
+    determinant: Sequence[str],
+    dependent: str,
+    tolerance: float = 0.0,
+) -> bool:
+    """True when the FD holds up to *tolerance* violation ratio."""
+    if tolerance < 0:
+        raise SpecificationError("tolerance must be non-negative")
+    return fd_violation_ratio(table, determinant, dependent) <= tolerance
+
+
+def find_functional_dependencies(
+    table: Table,
+    determinant_candidates: Sequence[str],
+    dependent_candidates: Sequence[str],
+    tolerance: float = 0.0,
+) -> List[Tuple[Tuple[str, ...], str, float]]:
+    """All single-column (approximate) FDs between the candidate sets.
+
+    Returns ``[(determinant, dependent, violation_ratio)]`` for every pair
+    whose ratio is within *tolerance*, sorted by ratio.  Single-column
+    determinants only — the MithraLabel widget cares about "does this
+    sensitive attribute (alone) determine the target".
+    """
+    results: List[Tuple[Tuple[str, ...], str, float]] = []
+    for determinant in determinant_candidates:
+        for dependent in dependent_candidates:
+            if determinant == dependent:
+                continue
+            ratio = fd_violation_ratio(table, [determinant], dependent)
+            if ratio <= tolerance:
+                results.append(((determinant,), dependent, ratio))
+    results.sort(key=lambda item: (item[2], item[0], item[1]))
+    return results

@@ -1,0 +1,141 @@
+"""JSON export of transparency artifacts.
+
+Nutritional labels, datasheets, and audit reports are only useful if
+they travel with the data (§2.5).  These converters produce plain
+JSON-serializable dictionaries — tuple keys become readable strings,
+NumPy scalars become Python numbers — so artifacts can be persisted
+next to a CSV export or attached to a catalog entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from respdi.profiling.datasheets import Datasheet
+from respdi.profiling.labels import NutritionalLabel
+from respdi.requirements.base import AuditReport
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert to JSON-serializable plain Python values."""
+    if isinstance(value, dict):
+        return {_key(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return value
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)
+
+
+def label_to_dict(label: NutritionalLabel) -> Dict[str, Any]:
+    """A :class:`NutritionalLabel` as a JSON-serializable dict."""
+    profile = label.profile
+    return _plain(
+        {
+            "rows": profile.row_count,
+            "complete_row_fraction": profile.complete_row_fraction,
+            "sensitive_columns": list(label.sensitive_columns),
+            "target_column": label.target_column,
+            "columns": {
+                name: {
+                    "type": column.ctype,
+                    "missing_rate": column.missing_rate,
+                    "distinct": column.distinct_count,
+                }
+                for name, column in profile.columns.items()
+            },
+            "feature_target_correlation": label.feature_target_correlation,
+            "feature_sensitive_association": label.feature_sensitive_association,
+            "sensitive_target_fds": [
+                {"determinant": list(d), "dependent": dep, "violation_ratio": r}
+                for d, dep, r in label.sensitive_target_fds
+            ],
+            "bias_rules": [str(rule) for rule in label.bias_rules],
+            "uncovered_patterns": list(label.uncovered_patterns),
+            "label_parity_by_attribute": label.label_parity_by_attribute,
+            "attribute_diversity": label.attribute_diversity,
+            "group_missing_rates": label.group_missing_rates,
+        }
+    )
+
+
+def datasheet_to_dict(sheet: Datasheet) -> Dict[str, Any]:
+    """A :class:`Datasheet` as a JSON-serializable dict."""
+    out: Dict[str, Any] = {
+        "title": sheet.title,
+        "sections": {
+            section: [
+                {"question": question, "answer": answer}
+                for question, answer in entries
+            ]
+            for section, entries in sheet.answers.items()
+        },
+        "known_limitations": list(sheet.known_limitations),
+        "recommended_uses": list(sheet.recommended_uses),
+        "discouraged_uses": list(sheet.discouraged_uses),
+    }
+    if sheet.composition_profile is not None:
+        profile = sheet.composition_profile
+        out["composition"] = _plain(
+            {
+                "rows": profile.row_count,
+                "complete_row_fraction": profile.complete_row_fraction,
+                "columns": {
+                    name: {
+                        "type": column.ctype,
+                        "missing_rate": column.missing_rate,
+                        "distinct": column.distinct_count,
+                    }
+                    for name, column in profile.columns.items()
+                },
+            }
+        )
+    return out
+
+
+def audit_to_dict(audit: AuditReport) -> Dict[str, Any]:
+    """An :class:`AuditReport` as a JSON-serializable dict."""
+    return _plain(
+        {
+            "passed": audit.passed,
+            "requirements": [
+                {
+                    "requirement": report.requirement,
+                    "passed": report.passed,
+                    "score": report.score,
+                    "message": report.message,
+                    "details": report.details,
+                }
+                for report in audit.reports
+            ],
+        }
+    )
+
+
+def dump_json(artifact: Any, path) -> None:
+    """Serialize a label / datasheet / audit (or plain dict) to *path*."""
+    if isinstance(artifact, NutritionalLabel):
+        payload = label_to_dict(artifact)
+    elif isinstance(artifact, Datasheet):
+        payload = datasheet_to_dict(artifact)
+    elif isinstance(artifact, AuditReport):
+        payload = audit_to_dict(artifact)
+    else:
+        payload = _plain(artifact)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

@@ -1,0 +1,212 @@
+"""MithraLabel-style nutritional labels (Sun et al., CIKM 2019).
+
+A nutritional label augments a classical profile with
+fitness-for-responsible-use widgets.  Following the tutorial's
+description of MithraLabel, the label includes:
+
+* correlations between attributes (feature ↔ target, feature ↔
+  sensitive) — the §2.3 informativeness/bias widget;
+* functional dependencies from sensitive attributes to the target;
+* association rules that capture bias;
+* maximal uncovered patterns — the under-represented subgroups;
+* per-sensitive-attribute demographic parity of the label and the most
+  diverse attributes over demographic groups;
+* per-group missingness (feeding the §2.4 concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi.coverage.mups import CoverageAnalyzer
+from respdi.coverage.patterns import format_pattern
+from respdi.errors import SpecificationError
+from respdi.profiling.association import AssociationRule, mine_association_rules
+from respdi.profiling.dependencies import find_functional_dependencies
+from respdi.profiling.profiles import TableProfile, profile_table
+from respdi.stats.dependence import (
+    correlation_ratio,
+    cramers_v,
+    entropy,
+    normalized_mutual_information,
+    pearson_correlation,
+)
+from respdi.table import Table
+
+
+@dataclass
+class NutritionalLabel:
+    """The assembled label (see :func:`build_nutritional_label`)."""
+
+    profile: TableProfile
+    sensitive_columns: Tuple[str, ...]
+    target_column: Optional[str]
+    feature_target_correlation: Dict[str, float]
+    feature_sensitive_association: Dict[Tuple[str, str], float]
+    sensitive_target_fds: List[Tuple[Tuple[str, ...], str, float]]
+    bias_rules: List[AssociationRule]
+    uncovered_patterns: List[str]
+    label_parity_by_attribute: Dict[str, float]
+    attribute_diversity: Dict[str, float]
+    group_missing_rates: Dict[str, Dict[Hashable, float]]
+
+    def render(self) -> str:
+        """Human-readable multi-line label."""
+        lines: List[str] = []
+        lines.append(f"rows: {self.profile.row_count}")
+        lines.append(
+            f"complete rows: {self.profile.complete_row_fraction:.1%}"
+        )
+        if self.feature_target_correlation:
+            lines.append("feature informativeness (|corr with target|):")
+            for name, value in sorted(
+                self.feature_target_correlation.items(), key=lambda kv: -abs(kv[1])
+            ):
+                lines.append(f"  {name}: {value:+.3f}")
+        if self.feature_sensitive_association:
+            lines.append("feature bias (association with sensitive attributes):")
+            for (feature, sensitive), value in sorted(
+                self.feature_sensitive_association.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {feature} ~ {sensitive}: {value:.3f}")
+        if self.sensitive_target_fds:
+            lines.append("WARNING functional dependencies sensitive -> target:")
+            for determinant, dependent, ratio in self.sensitive_target_fds:
+                lines.append(
+                    f"  {determinant[0]} -> {dependent} (violations {ratio:.3f})"
+                )
+        if self.bias_rules:
+            lines.append("bias-capturing association rules:")
+            for rule in self.bias_rules[:10]:
+                lines.append(f"  {rule}")
+        if self.uncovered_patterns:
+            lines.append("maximal uncovered patterns (under-represented groups):")
+            for pattern in self.uncovered_patterns:
+                lines.append(f"  {pattern}")
+        if self.label_parity_by_attribute:
+            lines.append("label demographic parity spread by sensitive attribute:")
+            for name, value in sorted(self.label_parity_by_attribute.items()):
+                lines.append(f"  {name}: {value:.3f}")
+        if self.group_missing_rates:
+            lines.append("per-group missing rates (max over columns):")
+            for column, rates in sorted(self.group_missing_rates.items()):
+                worst = max(rates.items(), key=lambda kv: kv[1])
+                lines.append(
+                    f"  {column}: worst group {worst[0]!r} at {worst[1]:.1%}"
+                )
+        return "\n".join(lines)
+
+
+def build_nutritional_label(
+    table: Table,
+    sensitive_columns: Sequence[str],
+    target_column: Optional[str] = None,
+    coverage_threshold: int = 10,
+    fd_tolerance: float = 0.05,
+) -> NutritionalLabel:
+    """Assemble a :class:`NutritionalLabel` for *table*."""
+    sensitive_columns = tuple(sensitive_columns)
+    if not sensitive_columns:
+        raise SpecificationError("a label needs at least one sensitive column")
+    table.schema.require(list(sensitive_columns))
+    profile = profile_table(table)
+
+    feature_columns = [
+        name
+        for name in table.schema.numeric_names
+        if name != target_column
+    ]
+
+    feature_target_correlation: Dict[str, float] = {}
+    if target_column is not None and table.schema[target_column].is_numeric:
+        target = np.asarray(table.column(target_column), dtype=float)
+        for name in feature_columns:
+            values = np.asarray(table.column(name), dtype=float)
+            keep = ~np.isnan(values) & ~np.isnan(target)
+            if keep.sum() >= 2:
+                feature_target_correlation[name] = pearson_correlation(
+                    values[keep], target[keep]
+                )
+
+    feature_sensitive_association: Dict[Tuple[str, str], float] = {}
+    for feature in feature_columns:
+        values = np.asarray(table.column(feature), dtype=float)
+        for sensitive in sensitive_columns:
+            sensitive_values = table.column(sensitive)
+            keep = ~np.isnan(values) & ~table.missing_mask(sensitive)
+            if keep.sum() >= 2:
+                feature_sensitive_association[(feature, sensitive)] = (
+                    correlation_ratio(
+                        list(sensitive_values[keep]), values[keep]
+                    )
+                )
+
+    sensitive_target_fds: List[Tuple[Tuple[str, ...], str, float]] = []
+    if target_column is not None:
+        sensitive_target_fds = find_functional_dependencies(
+            table, list(sensitive_columns), [target_column], tolerance=fd_tolerance
+        )
+
+    rule_columns = [
+        name for name in table.schema.categorical_names
+    ]
+    bias_rules: List[AssociationRule] = []
+    if len(rule_columns) >= 2:
+        bias_rules = [
+            rule
+            for rule in mine_association_rules(table, rule_columns)
+            if rule.antecedent_column in sensitive_columns
+            or rule.consequent_column in sensitive_columns
+        ]
+
+    analyzer = CoverageAnalyzer(table, sensitive_columns, coverage_threshold)
+    report = analyzer.mups()
+    uncovered = [format_pattern(report.attributes, p) for p in report.mups]
+
+    label_parity: Dict[str, float] = {}
+    if target_column is not None and table.schema[target_column].is_numeric:
+        target = np.asarray(table.column(target_column), dtype=float)
+        for sensitive in sensitive_columns:
+            rates = []
+            for _, idx in table.group_indices([sensitive]).items():
+                values = target[idx]
+                values = values[~np.isnan(values)]
+                if values.size:
+                    rates.append(float(values.mean()))
+            if len(rates) >= 2:
+                label_parity[sensitive] = max(rates) - min(rates)
+
+    diversity: Dict[str, float] = {
+        name: entropy(list(table.column(name)[~table.missing_mask(name)]))
+        if (~table.missing_mask(name)).any()
+        else 0.0
+        for name in sensitive_columns
+    }
+
+    group_missing: Dict[str, Dict[Hashable, float]] = {}
+    for column in table.column_names:
+        if column in sensitive_columns:
+            continue
+        rates: Dict[Hashable, float] = {}
+        missing = table.missing_mask(column)
+        for key, idx in table.group_indices(list(sensitive_columns)).items():
+            rates[key] = float(missing[idx].mean())
+        if any(rate > 0 for rate in rates.values()):
+            group_missing[column] = rates
+
+    return NutritionalLabel(
+        profile=profile,
+        sensitive_columns=sensitive_columns,
+        target_column=target_column,
+        feature_target_correlation=feature_target_correlation,
+        feature_sensitive_association=feature_sensitive_association,
+        sensitive_target_fds=sensitive_target_fds,
+        bias_rules=bias_rules,
+        uncovered_patterns=uncovered,
+        label_parity_by_attribute=label_parity,
+        attribute_diversity=diversity,
+        group_missing_rates=group_missing,
+    )

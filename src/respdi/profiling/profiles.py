@@ -1,0 +1,113 @@
+"""Classical single-column and whole-table profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from respdi.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary statistics of one column."""
+
+    name: str
+    ctype: str
+    row_count: int
+    missing_count: int
+    distinct_count: int
+    # numeric-only (None for categorical)
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    mean: Optional[float] = None
+    std: Optional[float] = None
+    # categorical-only
+    top_values: Tuple[Tuple[Hashable, int], ...] = ()
+
+    @property
+    def missing_rate(self) -> float:
+        return self.missing_count / self.row_count if self.row_count else 0.0
+
+    @property
+    def is_constant(self) -> bool:
+        return self.distinct_count <= 1
+
+    @property
+    def is_candidate_key(self) -> bool:
+        """Every present value distinct and nothing missing."""
+        return (
+            self.missing_count == 0
+            and self.row_count > 0
+            and self.distinct_count == self.row_count
+        )
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Profiles for every column plus table-level facts."""
+
+    row_count: int
+    columns: Dict[str, ColumnProfile]
+
+    def column(self, name: str) -> ColumnProfile:
+        return self.columns[name]
+
+    @property
+    def complete_row_fraction(self) -> float:
+        """Approximation from column missing rates is wrong in general;
+        this value is computed exactly at build time and stored here."""
+        return self._complete_fraction
+
+    _complete_fraction: float = 0.0
+
+
+def profile_column(table: Table, name: str, top_k: int = 10) -> ColumnProfile:
+    """Profile one column of *table*."""
+    spec = table.schema[name]
+    missing = table.missing_mask(name)
+    values = table.column(name)
+    present = values[~missing]
+    if spec.is_numeric:
+        present = np.asarray(present, dtype=float)
+        has_values = present.size > 0
+        return ColumnProfile(
+            name=name,
+            ctype=spec.ctype.value,
+            row_count=len(table),
+            missing_count=int(missing.sum()),
+            distinct_count=len(np.unique(present)) if has_values else 0,
+            minimum=float(present.min()) if has_values else None,
+            maximum=float(present.max()) if has_values else None,
+            mean=float(present.mean()) if has_values else None,
+            std=float(present.std()) if has_values else None,
+        )
+    counts = table.value_counts(name)
+    top = tuple(
+        sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))[:top_k]
+    )
+    return ColumnProfile(
+        name=name,
+        ctype=spec.ctype.value,
+        row_count=len(table),
+        missing_count=int(missing.sum()),
+        distinct_count=len(counts),
+        top_values=top,
+    )
+
+
+def profile_table(table: Table, top_k: int = 10) -> TableProfile:
+    """Profile every column of *table*."""
+    columns = {name: profile_column(table, name, top_k) for name in table.column_names}
+    if len(table) == 0:
+        complete = 0.0
+    else:
+        any_missing = np.zeros(len(table), dtype=bool)
+        for name in table.column_names:
+            any_missing |= table.missing_mask(name)
+        complete = float((~any_missing).mean())
+    profile = TableProfile(row_count=len(table), columns=columns)
+    object.__setattr__(profile, "_complete_fraction", complete)
+    return profile

@@ -1,0 +1,41 @@
+"""The five responsible-AI data requirements (tutorial §2), auditable.
+
+Each requirement is a check object with
+``audit(table, ...) -> RequirementReport``; :func:`audit_requirements`
+runs a list of them and aggregates.  This is the tutorial's Part 1 made
+executable: the integration pipeline audits its output against these
+before declaring the data fit for use.
+
+* :class:`DistributionRepresentationRequirement` — §2.1: the data's group
+  distribution must be close to the target population distribution;
+* :class:`GroupRepresentationRequirement` — §2.2: every (intersectional)
+  group must be covered (no MUPs at the chosen threshold);
+* :class:`FeatureRequirement` — §2.3: features must be informative of the
+  target and minimally associated with sensitive attributes;
+* :class:`CompletenessCorrectnessRequirement` — §2.4: bounded missingness
+  and outlier rates, overall and per group;
+* :class:`ScopeOfUseRequirement` — §2.5: the data ships with transparency
+  metadata (a datasheet covering the required sections).
+"""
+
+from respdi.requirements.base import RequirementCheck, RequirementReport, AuditReport
+from respdi.requirements.checks import (
+    DistributionRepresentationRequirement,
+    GroupRepresentationRequirement,
+    FeatureRequirement,
+    CompletenessCorrectnessRequirement,
+    ScopeOfUseRequirement,
+    audit_requirements,
+)
+
+__all__ = [
+    "RequirementCheck",
+    "RequirementReport",
+    "AuditReport",
+    "DistributionRepresentationRequirement",
+    "GroupRepresentationRequirement",
+    "FeatureRequirement",
+    "CompletenessCorrectnessRequirement",
+    "ScopeOfUseRequirement",
+    "audit_requirements",
+]

@@ -1,0 +1,65 @@
+"""Requirement-check protocol and report types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from respdi.table import Table
+
+
+@dataclass(frozen=True)
+class RequirementReport:
+    """Outcome of auditing one requirement."""
+
+    requirement: str
+    passed: bool
+    score: float
+    """A requirement-specific scalar where smaller is better (a divergence,
+    a violation count, a worst-case rate); 0 means perfectly satisfied."""
+    details: Dict[str, object] = field(default_factory=dict)
+    message: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.message}" if self.message else ""
+        return f"[{status}] {self.requirement} (score={self.score:.4f}){suffix}"
+
+
+class RequirementCheck:
+    """Interface: implement :meth:`audit`."""
+
+    name: str = "requirement"
+
+    def audit(self, table: Table) -> RequirementReport:
+        raise NotImplementedError
+
+
+@dataclass
+class AuditReport:
+    """Aggregate of several requirement audits."""
+
+    reports: List[RequirementReport]
+
+    @property
+    def passed(self) -> bool:
+        return all(report.passed for report in self.reports)
+
+    @property
+    def failures(self) -> List[RequirementReport]:
+        return [report for report in self.reports if not report.passed]
+
+    def report_for(self, name: str) -> Optional[RequirementReport]:
+        for report in self.reports:
+            if report.requirement == name:
+                return report
+        return None
+
+    def render(self) -> str:
+        lines = [str(report) for report in self.reports]
+        lines.append(
+            f"overall: {'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.reports) - len(self.failures)}/{len(self.reports)} "
+            "requirements satisfied)"
+        )
+        return "\n".join(lines)

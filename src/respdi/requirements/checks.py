@@ -1,0 +1,342 @@
+"""Concrete implementations of the five §2 requirements."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi.cleaning.outliers import group_zscore_outliers, zscore_outliers
+from respdi.coverage.mups import CoverageAnalyzer
+from respdi.coverage.patterns import format_pattern
+from respdi.errors import SpecificationError
+from respdi.profiling.datasheets import SECTIONS, Datasheet
+from respdi.requirements.base import AuditReport, RequirementCheck, RequirementReport
+from respdi.stats.dependence import (
+    correlation_ratio,
+    feature_informativeness_score,
+    pearson_correlation,
+)
+from respdi.stats.divergence import (
+    js_divergence,
+    kl_divergence,
+    total_variation,
+)
+from respdi.table import Table
+
+Group = Tuple[Hashable, ...]
+
+_DIVERGENCES = {
+    "tv": total_variation,
+    "js": js_divergence,
+    "kl": lambda p, q: kl_divergence(p, q, smoothing=1e-9),
+}
+
+
+class DistributionRepresentationRequirement(RequirementCheck):
+    """§2.1 — the data's empirical group distribution must be within
+    *max_divergence* of the *target* population distribution."""
+
+    name = "underlying-distribution-representation"
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        target: Mapping[Group, float],
+        max_divergence: float = 0.05,
+        measure: str = "tv",
+    ) -> None:
+        if measure not in _DIVERGENCES:
+            raise SpecificationError(
+                f"unknown measure {measure!r}; expected one of "
+                f"{sorted(_DIVERGENCES)}"
+            )
+        if max_divergence < 0:
+            raise SpecificationError("max_divergence must be non-negative")
+        if not attributes:
+            raise SpecificationError("need at least one attribute")
+        self.attributes = tuple(attributes)
+        self.target = dict(target)
+        self.max_divergence = max_divergence
+        self.measure = measure
+
+    def audit(self, table: Table) -> RequirementReport:
+        counts = table.group_counts(list(self.attributes))
+        total = sum(counts.values())
+        if total == 0:
+            return RequirementReport(
+                self.name, False, float("inf"), message="table is empty"
+            )
+        empirical = {group: count / total for group, count in counts.items()}
+        divergence = _DIVERGENCES[self.measure](self.target, empirical)
+        passed = divergence <= self.max_divergence
+        return RequirementReport(
+            self.name,
+            passed,
+            float(divergence),
+            details={"empirical": empirical, "target": dict(self.target)},
+            message=f"{self.measure}={divergence:.4f} vs bound {self.max_divergence}",
+        )
+
+
+class GroupRepresentationRequirement(RequirementCheck):
+    """§2.2 — no maximal uncovered pattern at the chosen threshold."""
+
+    name = "group-representation"
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        threshold: int = 20,
+        expected_domains: Optional[Dict[str, list]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise SpecificationError("threshold must be >= 1")
+        if not attributes:
+            raise SpecificationError("need at least one attribute")
+        self.attributes = tuple(attributes)
+        self.threshold = threshold
+        # Without expected domains the audit can only see values that
+        # occur in the data; a group that is *entirely* absent (the worst
+        # representation failure) is invisible.  Pass the population's
+        # value domains to catch it.
+        self.expected_domains = dict(expected_domains or {})
+
+    def audit(self, table: Table) -> RequirementReport:
+        analyzer = CoverageAnalyzer(
+            table, self.attributes, self.threshold,
+            domains=self.expected_domains or None,
+        )
+        report = analyzer.mups()
+        rendered = [format_pattern(report.attributes, p) for p in report.mups]
+        return RequirementReport(
+            self.name,
+            passed=not report.mups,
+            score=float(len(report.mups)),
+            details={"mups": rendered, "threshold": self.threshold},
+            message=(
+                "fully covered"
+                if not report.mups
+                else f"{len(report.mups)} uncovered pattern(s): {rendered[:5]}"
+            ),
+        )
+
+
+class FeatureRequirement(RequirementCheck):
+    """§2.3 — features informative of the target, minimally associated
+    with sensitive attributes.
+
+    The check passes when at least *min_informative_features* features
+    reach *min_informativeness* against the target AND no feature exceeds
+    *max_sensitive_association* against any sensitive attribute.  The
+    score is the worst sensitive association observed.
+    """
+
+    name = "unbiased-informative-features"
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        target_column: str,
+        sensitive_columns: Sequence[str],
+        min_informativeness: float = 0.1,
+        max_sensitive_association: float = 0.5,
+        min_informative_features: int = 1,
+    ) -> None:
+        if not feature_columns:
+            raise SpecificationError("need at least one feature column")
+        self.feature_columns = tuple(feature_columns)
+        self.target_column = target_column
+        self.sensitive_columns = tuple(sensitive_columns)
+        self.min_informativeness = min_informativeness
+        self.max_sensitive_association = max_sensitive_association
+        self.min_informative_features = min_informative_features
+
+    def _informativeness(self, table: Table, feature: str) -> float:
+        f_values = np.asarray(table.column(feature), dtype=float)
+        t_values = np.asarray(table.column(self.target_column), dtype=float)
+        keep = ~np.isnan(f_values) & ~np.isnan(t_values)
+        if keep.sum() < 2:
+            return 0.0
+        return abs(pearson_correlation(f_values[keep], t_values[keep]))
+
+    def audit(self, table: Table) -> RequirementReport:
+        table.schema.require(
+            list(self.feature_columns)
+            + [self.target_column]
+            + list(self.sensitive_columns)
+        )
+        informativeness = {
+            feature: self._informativeness(table, feature)
+            for feature in self.feature_columns
+        }
+        bias: Dict[Tuple[str, str], float] = {}
+        for feature in self.feature_columns:
+            values = np.asarray(table.column(feature), dtype=float)
+            for sensitive in self.sensitive_columns:
+                s_values = table.column(sensitive)
+                keep = ~np.isnan(values) & ~table.missing_mask(sensitive)
+                if keep.sum() < 2:
+                    continue
+                bias[(feature, sensitive)] = correlation_ratio(
+                    list(s_values[keep]), values[keep]
+                )
+        informative_count = sum(
+            1
+            for value in informativeness.values()
+            if value >= self.min_informativeness
+        )
+        worst_bias = max(bias.values()) if bias else 0.0
+        passed = (
+            informative_count >= self.min_informative_features
+            and worst_bias <= self.max_sensitive_association
+        )
+        return RequirementReport(
+            self.name,
+            passed,
+            score=float(worst_bias),
+            details={"informativeness": informativeness, "bias": bias},
+            message=(
+                f"{informative_count} informative feature(s); "
+                f"worst sensitive association {worst_bias:.3f} "
+                f"(bound {self.max_sensitive_association})"
+            ),
+        )
+
+
+class CompletenessCorrectnessRequirement(RequirementCheck):
+    """§2.4 — bounded missingness and outlier rates, including per group.
+
+    The per-group bound is the §2.4 point: a global 2% missing rate can
+    hide a 30% rate inside a small group.
+    """
+
+    name = "completeness-and-correctness"
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        group_columns: Sequence[str],
+        max_missing_rate: float = 0.05,
+        max_group_missing_rate: float = 0.1,
+        max_outlier_rate: float = 0.01,
+        outlier_threshold: float = 4.0,
+    ) -> None:
+        if not columns:
+            raise SpecificationError("need at least one column to check")
+        self.columns = tuple(columns)
+        self.group_columns = tuple(group_columns)
+        self.max_missing_rate = max_missing_rate
+        self.max_group_missing_rate = max_group_missing_rate
+        self.max_outlier_rate = max_outlier_rate
+        self.outlier_threshold = outlier_threshold
+
+    def audit(self, table: Table) -> RequirementReport:
+        table.schema.require(list(self.columns) + list(self.group_columns))
+        failures: List[str] = []
+        worst = 0.0
+        missing_rates: Dict[str, float] = {}
+        group_missing: Dict[str, Dict[Group, float]] = {}
+        outlier_rates: Dict[str, float] = {}
+        group_idx = (
+            table.group_indices(list(self.group_columns))
+            if self.group_columns and len(table)
+            else {}
+        )
+        for column in self.columns:
+            missing = table.missing_mask(column)
+            rate = float(missing.mean()) if len(table) else 0.0
+            missing_rates[column] = rate
+            worst = max(worst, rate)
+            if rate > self.max_missing_rate:
+                failures.append(f"{column}: missing rate {rate:.1%}")
+            per_group: Dict[Group, float] = {}
+            for key, idx in group_idx.items():
+                group_rate = float(missing[idx].mean())
+                per_group[key] = group_rate
+                worst = max(worst, group_rate)
+                if group_rate > self.max_group_missing_rate:
+                    failures.append(
+                        f"{column}: group {key!r} missing rate {group_rate:.1%}"
+                    )
+            if per_group:
+                group_missing[column] = per_group
+            if table.schema[column].is_numeric and len(table):
+                if self.group_columns:
+                    outliers = group_zscore_outliers(
+                        table, column, list(self.group_columns),
+                        self.outlier_threshold,
+                    )
+                else:
+                    outliers = zscore_outliers(
+                        table, column, self.outlier_threshold
+                    )
+                outlier_rate = float(outliers.mean())
+                outlier_rates[column] = outlier_rate
+                worst = max(worst, outlier_rate)
+                if outlier_rate > self.max_outlier_rate:
+                    failures.append(
+                        f"{column}: outlier rate {outlier_rate:.1%}"
+                    )
+        return RequirementReport(
+            self.name,
+            passed=not failures,
+            score=worst,
+            details={
+                "missing_rates": missing_rates,
+                "group_missing_rates": group_missing,
+                "outlier_rates": outlier_rates,
+            },
+            message="clean" if not failures else "; ".join(failures[:4]),
+        )
+
+
+class ScopeOfUseRequirement(RequirementCheck):
+    """§2.5 — the data must ship with a sufficiently complete datasheet.
+
+    The audit ignores the table itself; what it verifies is the
+    *metadata*: the datasheet covers the required sections and declares
+    at least one known limitation and one recommended use (a datasheet
+    that claims no limitations has not been filled in honestly).
+    """
+
+    name = "scope-of-use-augmentation"
+
+    def __init__(
+        self,
+        datasheet: Optional[Datasheet],
+        required_sections: Sequence[str] = SECTIONS,
+    ) -> None:
+        self.datasheet = datasheet
+        self.required_sections = tuple(required_sections)
+
+    def audit(self, table: Table) -> RequirementReport:
+        if self.datasheet is None:
+            return RequirementReport(
+                self.name, False, 1.0, message="no datasheet attached"
+            )
+        done = set(self.datasheet.completed_sections())
+        if self.datasheet.composition_profile is not None:
+            done.add("composition")
+        missing = [s for s in self.required_sections if s not in done]
+        issues = list(missing)
+        if not self.datasheet.known_limitations:
+            issues.append("no known limitations declared")
+        if not self.datasheet.recommended_uses:
+            issues.append("no recommended uses declared")
+        return RequirementReport(
+            self.name,
+            passed=not issues,
+            score=float(len(issues)),
+            details={"missing_sections": missing},
+            message="datasheet complete" if not issues else "; ".join(issues),
+        )
+
+
+def audit_requirements(
+    table: Table, requirements: Sequence[RequirementCheck]
+) -> AuditReport:
+    """Run every requirement against *table* and aggregate."""
+    if not requirements:
+        raise SpecificationError("need at least one requirement to audit")
+    return AuditReport([requirement.audit(table) for requirement in requirements])

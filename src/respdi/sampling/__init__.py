@@ -1,0 +1,40 @@
+"""Uniform and independent sampling over joins (tutorial §3.4).
+
+The tutorial's §3.4 narrative, implemented end to end:
+
+* :mod:`respdi.sampling.baselines` — join-then-sample (the gold standard
+  that is too expensive at scale) and sample-then-join (the strawman
+  whose output is uniform over the *sampled* join but correlated and
+  key-biased — the observation that started this literature);
+* :mod:`respdi.sampling.acceptreject` — Chaudhuri/Motwani/Narasayya
+  accept-reject sampling for two-table joins, with exact-frequency and
+  upper-bound-frequency variants;
+* :mod:`respdi.sampling.chain` — the generic weighted-sampling framework
+  of Zhao et al. (SIGMOD 2018) for multi-way chain joins: exact join-count
+  weights (no rejection) or degree upper bounds (rejection), unifying the
+  Chaudhuri scheme as its two-table instantiation;
+* :mod:`respdi.sampling.ripple` — ripple join online aggregation
+  (Luo et al. 2002 square ripple);
+* :mod:`respdi.sampling.wander` — wander join (Li et al., SIGMOD 2016):
+  independent but non-uniform path samples, Horvitz-Thompson corrected.
+"""
+
+from respdi.sampling.baselines import full_join, join_then_sample, sample_then_join
+from respdi.sampling.acceptreject import AcceptRejectJoinSampler
+from respdi.sampling.chain import ChainJoinSpec, ChainJoinSampler
+from respdi.sampling.ripple import RippleJoin, OnlineEstimate
+from respdi.sampling.wander import WanderJoin
+from respdi.sampling.union_sampling import UnionSampler
+
+__all__ = [
+    "full_join",
+    "join_then_sample",
+    "sample_then_join",
+    "AcceptRejectJoinSampler",
+    "ChainJoinSpec",
+    "ChainJoinSampler",
+    "RippleJoin",
+    "OnlineEstimate",
+    "WanderJoin",
+    "UnionSampler",
+]

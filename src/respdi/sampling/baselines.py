@@ -1,0 +1,65 @@
+"""Baseline strategies for sampling from a join.
+
+``join_then_sample`` is the correctness oracle: materialize the full
+join, then sample uniformly.  ``sample_then_join`` is the classical
+strawman — ``sample(R) ⋈ sample(S) ≠ sample(R ⋈ S)`` — kept here so the
+benchmark can *show* the bias the tutorial describes: high-fanout keys
+are under-represented relative to their share of the join, and the
+surviving tuples are correlated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+
+def full_join(left: Table, right: Table, on: Sequence[str]) -> Table:
+    """The materialized inner equi-join (oracle; quadratic in fanout)."""
+    return left.join(right, on=on, how="inner")
+
+
+def join_then_sample(
+    left: Table, right: Table, on: Sequence[str], n: int, rng: RngLike = None
+) -> Table:
+    """Uniform sample of the full join result (with replacement).
+
+    This is exactly what the cheap samplers try to emulate without paying
+    for the full join.
+    """
+    generator = ensure_rng(rng)
+    joined = full_join(left, right, on)
+    if len(joined) == 0:
+        raise SpecificationError("join result is empty; nothing to sample")
+    return joined.sample(n, generator, replace=True)
+
+
+def sample_then_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    left_fraction: float,
+    right_fraction: float,
+    rng: RngLike = None,
+) -> Table:
+    """Sample each input independently, then join the samples (biased).
+
+    A key with fanout ``(a, b)`` contributes ``a*b`` join tuples but
+    survives two-sided sampling with probability proportional to the
+    *product of sample inclusion*, so its expected share in the output is
+    not its share of the join — the strawman's bias.
+    """
+    for fraction in (left_fraction, right_fraction):
+        if not 0.0 < fraction <= 1.0:
+            raise SpecificationError(f"sample fraction {fraction} not in (0, 1]")
+    generator = ensure_rng(rng)
+    left_sample = left.sample(
+        max(1, int(round(left_fraction * len(left)))), generator, replace=False
+    )
+    right_sample = right.sample(
+        max(1, int(round(right_fraction * len(right)))), generator, replace=False
+    )
+    return full_join(left_sample, right_sample, on)

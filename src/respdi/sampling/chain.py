@@ -1,0 +1,214 @@
+"""Generic weighted sampling over multi-way chain joins (Zhao et al. 2018).
+
+A chain join ``T1 ⋈ T2 ⋈ ... ⋈ Tk`` (adjacent tables joined on one key
+pair each) admits uniform independent sampling in two regimes:
+
+* ``"exact"`` — a dynamic program computes, for every tuple, the exact
+  number of join results it participates in downstream
+  (``c_i(t) = Σ c_{i+1}(match)``, ``c_k = 1``).  Sampling then walks the
+  chain choosing each next tuple with probability proportional to its
+  count: every join result is produced with identical probability and
+  **no attempt is ever rejected**.
+* ``"upper_bound"`` — only per-step maximum fanouts are known.  The walk
+  picks the next tuple uniformly among matches but accepts each step
+  with probability ``deg / max_deg``; a failed acceptance rejects the
+  whole walk.  Each surviving walk is uniform over the join.  Acceptance
+  decreases with the product of fanout skews — the latency/throughput
+  trade-off the framework exposes.
+
+The two-table ``"exact"`` instantiation is exactly the Chaudhuri et al.
+scheme; this module is the multi-way generalization the tutorial credits
+to Zhao et al.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.sampling.acceptreject import SamplerStats
+from respdi.table import Table
+from respdi.table.schema import Schema
+
+
+@dataclass(frozen=True)
+class ChainJoinSpec:
+    """A chain join: ``tables[i]`` joins ``tables[i+1]`` on
+    ``keys[i] = (left_column, right_column)``."""
+
+    tables: Tuple[Table, ...]
+    keys: Tuple[Tuple[str, str], ...]
+
+    def __init__(self, tables: Sequence[Table], keys: Sequence[Tuple[str, str]]):
+        if len(tables) < 2:
+            raise SpecificationError("a chain join needs at least two tables")
+        if len(keys) != len(tables) - 1:
+            raise SpecificationError(
+                f"{len(tables)} tables need {len(tables) - 1} key pairs; "
+                f"got {len(keys)}"
+            )
+        for i, (left_column, right_column) in enumerate(keys):
+            tables[i].schema.require([left_column])
+            tables[i + 1].schema.require([right_column])
+        object.__setattr__(self, "tables", tuple(tables))
+        object.__setattr__(self, "keys", tuple((a, b) for a, b in keys))
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+
+class ChainJoinSampler:
+    """Uniform independent sampler over a chain join."""
+
+    def __init__(
+        self,
+        spec: ChainJoinSpec,
+        statistics: str = "exact",
+        rng: RngLike = None,
+    ) -> None:
+        if statistics not in ("exact", "upper_bound"):
+            raise SpecificationError(
+                f"unknown statistics regime {statistics!r}"
+            )
+        self.spec = spec
+        self.statistics = statistics
+        self._rng = ensure_rng(rng)
+        self.stats = SamplerStats()
+
+        # Match indexes: for each hop i, map right-table key value -> rows.
+        self._indexes: List[Dict[Hashable, List[int]]] = []
+        for i, (_, right_column) in enumerate(spec.keys):
+            right = spec.tables[i + 1]
+            index: Dict[Hashable, List[int]] = defaultdict(list)
+            keys = right.column(right_column)
+            missing = right.missing_mask(right_column)
+            for j in range(len(right)):
+                if not missing[j]:
+                    index[keys[j]].append(j)
+            self._indexes.append(dict(index))
+
+        if statistics == "exact":
+            self._counts = self._exact_counts()
+            self._first_weights = self._counts[0].astype(float)
+            total = self._first_weights.sum()
+            if total <= 0:
+                raise EmptyInputError("join result is empty; nothing to sample")
+            self._first_probs = self._first_weights / total
+            self.join_size = float(total)
+        else:
+            self._max_deg = [
+                max((len(rows) for rows in index.values()), default=0)
+                for index in self._indexes
+            ]
+            if any(m == 0 for m in self._max_deg):
+                raise EmptyInputError("some hop has no matching keys at all")
+            self.join_size = None
+
+    def _exact_counts(self) -> List[np.ndarray]:
+        """Backward DP: counts[i][row] = join completions from that row."""
+        spec = self.spec
+        counts: List[np.ndarray] = [None] * len(spec)  # type: ignore[list-item]
+        counts[-1] = np.ones(len(spec.tables[-1]), dtype=np.int64)
+        for i in range(len(spec) - 2, -1, -1):
+            left_column, _ = spec.keys[i]
+            index = self._indexes[i]
+            next_counts = counts[i + 1]
+            key_sums: Dict[Hashable, int] = {
+                key: int(next_counts[rows].sum()) for key, rows in index.items()
+            }
+            left = spec.tables[i]
+            left_keys = left.column(left_column)
+            missing = left.missing_mask(left_column)
+            out = np.zeros(len(left), dtype=np.int64)
+            for r in range(len(left)):
+                if not missing[r]:
+                    out[r] = key_sums.get(left_keys[r], 0)
+            counts[i] = out
+        return counts
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_one(self) -> Optional[Tuple[int, ...]]:
+        """One attempt; a tuple of per-table row indices, or ``None`` on
+        rejection (``"upper_bound"`` regime only — exact never rejects)."""
+        self.stats.attempts += 1
+        if self.statistics == "exact":
+            path = self._sample_exact()
+        else:
+            path = self._sample_bounded()
+        if path is not None:
+            self.stats.accepted += 1
+        return path
+
+    def _sample_exact(self) -> Tuple[int, ...]:
+        spec = self.spec
+        first = int(self._rng.choice(len(self._first_probs), p=self._first_probs))
+        path = [first]
+        for i, (left_column, _) in enumerate(spec.keys):
+            current_table = spec.tables[i]
+            key = current_table.column(left_column)[path[-1]]
+            rows = self._indexes[i][key]
+            weights = self._counts[i + 1][rows].astype(float)
+            probs = weights / weights.sum()
+            path.append(int(rows[int(self._rng.choice(len(rows), p=probs))]))
+        return tuple(path)
+
+    def _sample_bounded(self) -> Optional[Tuple[int, ...]]:
+        spec = self.spec
+        first_table = spec.tables[0]
+        path = [int(self._rng.integers(len(first_table)))]
+        for i, (left_column, _) in enumerate(spec.keys):
+            current_table = spec.tables[i]
+            key = current_table.column(left_column)[path[-1]]
+            if key is None:
+                return None
+            rows = self._indexes[i].get(key, [])
+            degree = len(rows)
+            if degree == 0:
+                return None
+            if self._rng.random() >= degree / self._max_deg[i]:
+                return None
+            path.append(int(rows[int(self._rng.integers(degree))]))
+        return tuple(path)
+
+    def sample(self, n: int, max_attempts: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """*n* uniform independent join paths (per-table row indices)."""
+        if n < 1:
+            raise SpecificationError("n must be >= 1")
+        cap = max_attempts if max_attempts is not None else 200_000 + 1000 * n
+        paths: List[Tuple[int, ...]] = []
+        while len(paths) < n:
+            if self.stats.attempts >= cap:
+                raise EmptyInputError(
+                    f"{self.stats.attempts} attempts yielded only "
+                    f"{len(paths)}/{n} samples"
+                )
+            path = self.sample_one()
+            if path is not None:
+                paths.append(path)
+        return paths
+
+    def materialize(self, paths: Sequence[Tuple[int, ...]]) -> Table:
+        """Join paths as a flat table; clashing column names get ``_t{i}``."""
+        spec = self.spec
+        parts = [
+            spec.tables[i].take([path[i] for path in paths])
+            for i in range(len(spec))
+        ]
+        specs = []
+        columns = {}
+        used = set()
+        for i, part in enumerate(parts):
+            for column_spec in part.schema:
+                name = column_spec.name
+                if name in used:
+                    name = f"{name}_t{i}"
+                used.add(name)
+                specs.append(type(column_spec)(name, column_spec.ctype))
+                columns[name] = part.column(column_spec.name)
+        return Table(Schema(specs), columns)

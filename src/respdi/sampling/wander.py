@@ -1,0 +1,122 @@
+"""Wander join (Li, Wu, Yi, Zhao — SIGMOD 2016).
+
+Wander join performs independent random walks along a join path: pick a
+uniformly random tuple of the first table, then a uniformly random
+*matching* tuple of the next, and so on.  Walks are **independent but
+non-uniform** — a path's sampling probability is
+``1/n_1 * Π 1/deg_i`` — so aggregates use the Horvitz-Thompson
+correction: each successful walk contributes ``f(path) / p(path)``, each
+failed walk contributes 0, and the average over walks is an unbiased
+estimator of ``SUM f`` over the join.  COUNT uses ``f = 1``; AVG is the
+ratio of the two estimators.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.sampling.chain import ChainJoinSpec
+
+PathExpression = Callable[[Sequence[dict]], float]
+
+
+@dataclass(frozen=True)
+class WanderEstimate:
+    """Estimates after a number of walks."""
+
+    walks: int
+    successes: int
+    count_estimate: float
+    sum_estimate: float
+
+    @property
+    def avg_estimate(self) -> float:
+        return self.sum_estimate / self.count_estimate if self.count_estimate else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.walks if self.walks else 0.0
+
+
+class WanderJoin:
+    """Online aggregation over a chain join via HT-corrected random walks."""
+
+    def __init__(
+        self,
+        spec: ChainJoinSpec,
+        expression: Optional[PathExpression] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.spec = spec
+        self.expression = expression if expression is not None else (lambda rows: 1.0)
+        self._rng = ensure_rng(rng)
+        self._indexes: List[Dict[Hashable, List[int]]] = []
+        for i, (_, right_column) in enumerate(spec.keys):
+            right = spec.tables[i + 1]
+            index: Dict[Hashable, List[int]] = defaultdict(list)
+            keys = right.column(right_column)
+            missing = right.missing_mask(right_column)
+            for j in range(len(right)):
+                if not missing[j]:
+                    index[keys[j]].append(j)
+            self._indexes.append(dict(index))
+        self._rows = [table.to_dicts() for table in spec.tables]
+        if any(len(rows) == 0 for rows in self._rows):
+            raise EmptyInputError("wander join needs non-empty tables")
+        self._walks = 0
+        self._successes = 0
+        self._sum_ht = 0.0
+        self._count_ht = 0.0
+
+    def walk(self) -> Optional[Tuple[Tuple[int, ...], float]]:
+        """One random walk.  Returns ``(path, inverse_probability)`` on
+        success, ``None`` on a dead end; updates the running estimators
+        either way."""
+        self._walks += 1
+        first_table_size = len(self._rows[0])
+        path = [int(self._rng.integers(first_table_size))]
+        inverse_probability = float(first_table_size)
+        for i, (left_column, _) in enumerate(self.spec.keys):
+            row = self._rows[i][path[-1]]
+            key = row[left_column]
+            matches = self._indexes[i].get(key, []) if key is not None else []
+            if not matches:
+                return None
+            inverse_probability *= len(matches)
+            path.append(int(matches[int(self._rng.integers(len(matches)))]))
+        self._successes += 1
+        rows = [self._rows[i][index] for i, index in enumerate(path)]
+        value = float(self.expression(rows))
+        self._sum_ht += value * inverse_probability
+        self._count_ht += inverse_probability
+        return tuple(path), inverse_probability
+
+    def estimate(self) -> WanderEstimate:
+        """Current Horvitz-Thompson estimates."""
+        if self._walks == 0:
+            return WanderEstimate(0, 0, 0.0, 0.0)
+        return WanderEstimate(
+            walks=self._walks,
+            successes=self._successes,
+            count_estimate=self._count_ht / self._walks,
+            sum_estimate=self._sum_ht / self._walks,
+        )
+
+    def run(self, walks: int, record_every: int = 1) -> List[WanderEstimate]:
+        """Perform *walks* walks, recording estimates every *record_every*."""
+        if walks < 1:
+            raise SpecificationError("walks must be >= 1")
+        if record_every < 1:
+            raise SpecificationError("record_every must be >= 1")
+        trajectory: List[WanderEstimate] = []
+        for index in range(walks):
+            self.walk()
+            if (index + 1) % record_every == 0:
+                trajectory.append(self.estimate())
+        if not trajectory or trajectory[-1].walks != self._walks:
+            trajectory.append(self.estimate())
+        return trajectory

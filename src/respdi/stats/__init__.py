@@ -1,0 +1,52 @@
+"""Statistical primitives used throughout respdi.
+
+Divergence measures back the Underlying Distribution Representation
+requirement (tutorial §2.1) and distribution tailoring (§4.2); dependence
+measures back the Unbiased & Informative Features requirement (§2.3) and
+join-correlation discovery (§3.1); uniformity tests back the join-sampling
+audits (§3.4).
+"""
+
+from respdi.stats.divergence import (
+    kl_divergence,
+    js_divergence,
+    total_variation,
+    hellinger,
+    chi_square_uniformity,
+    chi_square_goodness_of_fit,
+    empirical_distribution,
+    normalize_distribution,
+)
+from respdi.stats.dependence import (
+    pearson_correlation,
+    spearman_correlation,
+    mutual_information,
+    normalized_mutual_information,
+    cramers_v,
+    conditional_entropy,
+    entropy,
+    correlation_ratio,
+    feature_bias_score,
+    feature_informativeness_score,
+)
+
+__all__ = [
+    "kl_divergence",
+    "js_divergence",
+    "total_variation",
+    "hellinger",
+    "chi_square_uniformity",
+    "chi_square_goodness_of_fit",
+    "empirical_distribution",
+    "normalize_distribution",
+    "pearson_correlation",
+    "spearman_correlation",
+    "mutual_information",
+    "normalized_mutual_information",
+    "cramers_v",
+    "conditional_entropy",
+    "entropy",
+    "correlation_ratio",
+    "feature_bias_score",
+    "feature_informativeness_score",
+]

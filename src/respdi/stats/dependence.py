@@ -1,0 +1,193 @@
+"""Dependence and association measures between attributes.
+
+These back the tutorial's Unbiased & Informative Features requirement
+(§2.3): a feature is *informative* when it has high association with the
+target attribute and *unbiased* when it has low association with the
+sensitive attribute.  Both continuous (Pearson/Spearman) and categorical
+(mutual information, Cramér's V) measures are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Sequence, Tuple
+
+import numpy as np
+
+from respdi.errors import EmptyInputError, SpecificationError
+
+
+def _check_paired(x: Sequence, y: Sequence) -> None:
+    if len(x) != len(y):
+        raise SpecificationError(
+            f"paired sequences must have equal length: {len(x)} vs {len(y)}"
+        )
+    if len(x) == 0:
+        raise EmptyInputError("dependence measures require at least one pair")
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson linear correlation coefficient in [-1, 1].
+
+    Returns 0.0 when either variable is constant (no linear association is
+    measurable), rather than propagating a NaN into downstream scores.
+    """
+    _check_paired(x, y)
+    xv = np.asarray(x, dtype=float)
+    yv = np.asarray(y, dtype=float)
+    xs = xv - xv.mean()
+    ys = yv - yv.mean()
+    denom = math.sqrt(float((xs**2).sum()) * float((ys**2).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((xs * ys).sum() / denom)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties get the mean of their rank range)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=float)
+    sorted_values = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        mean_rank = 0.5 * (i + j) + 1.0
+        ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson correlation of average ranks)."""
+    _check_paired(x, y)
+    xv = np.asarray(x, dtype=float)
+    yv = np.asarray(y, dtype=float)
+    return pearson_correlation(_ranks(xv), _ranks(yv))
+
+
+def entropy(values: Sequence[Hashable]) -> float:
+    """Shannon entropy (nats) of the empirical distribution of *values*."""
+    if len(values) == 0:
+        raise EmptyInputError("entropy requires at least one value")
+    counts = Counter(values)
+    n = len(values)
+    return -sum((c / n) * math.log(c / n) for c in counts.values())
+
+
+def _joint_counts(x: Sequence[Hashable], y: Sequence[Hashable]) -> Counter:
+    return Counter(zip(x, y))
+
+
+def mutual_information(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+    """Mutual information (nats) between two categorical sequences."""
+    _check_paired(x, y)
+    n = len(x)
+    joint = _joint_counts(x, y)
+    px = Counter(x)
+    py = Counter(y)
+    mi = 0.0
+    for (xv, yv), cxy in joint.items():
+        pxy = cxy / n
+        mi += pxy * math.log(pxy / ((px[xv] / n) * (py[yv] / n)))
+    return max(mi, 0.0)
+
+
+def normalized_mutual_information(
+    x: Sequence[Hashable], y: Sequence[Hashable]
+) -> float:
+    """Mutual information normalized by ``sqrt(H(x) * H(y))``, in [0, 1].
+
+    Returns 0.0 when either variable is constant (it carries no
+    information to share).
+    """
+    _check_paired(x, y)
+    hx = entropy(x)
+    hy = entropy(y)
+    if hx == 0.0 or hy == 0.0:
+        return 0.0
+    return min(mutual_information(x, y) / math.sqrt(hx * hy), 1.0)
+
+
+def conditional_entropy(x: Sequence[Hashable], given: Sequence[Hashable]) -> float:
+    """Conditional entropy ``H(x | given)`` in nats.
+
+    ``H(x | given) == 0`` certifies the functional dependency
+    ``given -> x``, which the profiling module uses to flag sensitive
+    attributes that fully determine a target (§3.2).
+    """
+    _check_paired(x, given)
+    return max(entropy(list(zip(given, x))) - entropy(given), 0.0)
+
+
+def cramers_v(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+    """Cramér's V association between two categorical sequences, in [0, 1].
+
+    Returns 0.0 when either variable is constant.
+    """
+    _check_paired(x, y)
+    xs = sorted(set(x), key=repr)
+    ys = sorted(set(y), key=repr)
+    if len(xs) < 2 or len(ys) < 2:
+        return 0.0
+    x_index = {v: i for i, v in enumerate(xs)}
+    y_index = {v: i for i, v in enumerate(ys)}
+    table = np.zeros((len(xs), len(ys)), dtype=float)
+    for xv, yv in zip(x, y):
+        table[x_index[xv], y_index[yv]] += 1
+    n = table.sum()
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    expected = row @ col / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        contrib = np.where(expected > 0, (table - expected) ** 2 / expected, 0.0)
+    chi2 = float(contrib.sum())
+    phi2 = chi2 / n
+    k = min(len(xs) - 1, len(ys) - 1)
+    if k == 0:
+        return 0.0
+    return float(math.sqrt(phi2 / k))
+
+
+def correlation_ratio(categories: Sequence[Hashable], values: Sequence[float]) -> float:
+    """Correlation ratio (eta) between a categorical and a numeric variable.
+
+    ``eta^2`` is the fraction of the numeric variance explained by the
+    category means; eta lies in [0, 1] and is the natural
+    numeric-vs-categorical analogue of Pearson correlation.  Returns 0.0
+    when the numeric variable is constant.
+    """
+    _check_paired(categories, values)
+    numeric = np.asarray(values, dtype=float)
+    overall_mean = numeric.mean()
+    total = float(((numeric - overall_mean) ** 2).sum())
+    if total == 0.0:
+        return 0.0
+    groups: dict = {}
+    for category, value in zip(categories, numeric):
+        groups.setdefault(category, []).append(value)
+    between = 0.0
+    for members in groups.values():
+        members = np.asarray(members)
+        between += len(members) * float((members.mean() - overall_mean) ** 2)
+    return float(math.sqrt(min(between / total, 1.0)))
+
+
+def feature_bias_score(
+    feature: Sequence[Hashable], sensitive: Sequence[Hashable]
+) -> float:
+    """Association between a feature and a sensitive attribute, in [0, 1].
+
+    Thin naming wrapper over :func:`cramers_v` so that requirement-audit
+    code reads in the tutorial's vocabulary.
+    """
+    return cramers_v(feature, sensitive)
+
+
+def feature_informativeness_score(
+    feature: Sequence[Hashable], target: Sequence[Hashable]
+) -> float:
+    """Association between a feature and the target attribute, in [0, 1]."""
+    return normalized_mutual_information(feature, target)

@@ -1,0 +1,146 @@
+"""Divergence measures and distribution tests over discrete distributions.
+
+Distributions are represented as mappings ``{value: probability}`` or as
+aligned probability vectors.  Helpers are provided to build empirical
+distributions from raw samples so that the rest of the library can compare
+"the data we collected" against "the distribution we wanted" (tutorial
+§2.1, §4.1, §4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from respdi.errors import EmptyInputError, SpecificationError
+
+Distribution = Mapping[Hashable, float]
+
+
+def normalize_distribution(weights: Mapping[Hashable, float]) -> Dict[Hashable, float]:
+    """Return *weights* rescaled to sum to one.
+
+    Raises :class:`SpecificationError` if any weight is negative or all
+    weights are zero.
+    """
+    if not weights:
+        raise EmptyInputError("cannot normalize an empty distribution")
+    total = 0.0
+    for key, value in weights.items():
+        if value < 0:
+            raise SpecificationError(f"negative weight {value!r} for key {key!r}")
+        total += value
+    if total <= 0:
+        raise SpecificationError("all weights are zero; distribution undefined")
+    return {key: value / total for key, value in weights.items()}
+
+
+def empirical_distribution(samples: Iterable[Hashable]) -> Dict[Hashable, float]:
+    """Return the empirical distribution of *samples* as ``{value: freq}``."""
+    counts = Counter(samples)
+    total = sum(counts.values())
+    if total == 0:
+        raise EmptyInputError("cannot build an empirical distribution from no samples")
+    return {value: count / total for value, count in counts.items()}
+
+
+def _aligned(p: Distribution, q: Distribution) -> Tuple[np.ndarray, np.ndarray]:
+    """Align two distributions on the union of their supports."""
+    support = sorted(set(p) | set(q), key=repr)
+    pv = np.array([p.get(key, 0.0) for key in support], dtype=float)
+    qv = np.array([q.get(key, 0.0) for key in support], dtype=float)
+    return pv, qv
+
+
+def kl_divergence(p: Distribution, q: Distribution, smoothing: float = 0.0) -> float:
+    """Kullback-Leibler divergence ``KL(p || q)`` in nats.
+
+    ``smoothing`` (additive, applied to both distributions and then
+    renormalized) avoids infinities when *q* has zero mass where *p* does
+    not — the situation that arises constantly when comparing a partially
+    collected data set against a target distribution.  With
+    ``smoothing=0`` the divergence is ``inf`` in that case, matching the
+    mathematical definition.
+    """
+    pv, qv = _aligned(p, q)
+    if smoothing < 0:
+        raise SpecificationError("smoothing must be non-negative")
+    if smoothing > 0:
+        pv = (pv + smoothing) / (pv.sum() + smoothing * len(pv))
+        qv = (qv + smoothing) / (qv.sum() + smoothing * len(qv))
+    total = 0.0
+    for pi, qi in zip(pv, qv):
+        if pi == 0.0:
+            continue
+        if qi == 0.0:
+            return math.inf
+        total += pi * math.log(pi / qi)
+    # Clamp tiny negative values caused by floating-point noise.
+    return max(total, 0.0)
+
+
+def js_divergence(p: Distribution, q: Distribution) -> float:
+    """Jensen-Shannon divergence (symmetric, finite, in nats, <= ln 2)."""
+    pv, qv = _aligned(p, q)
+    support = range(len(pv))
+    mv = 0.5 * (pv + qv)
+    m = {i: mv[i] for i in support}
+    pd = {i: pv[i] for i in support}
+    qd = {i: qv[i] for i in support}
+    return 0.5 * kl_divergence(pd, m) + 0.5 * kl_divergence(qd, m)
+
+
+def total_variation(p: Distribution, q: Distribution) -> float:
+    """Total variation distance ``0.5 * sum |p - q|`` (in [0, 1])."""
+    pv, qv = _aligned(p, q)
+    return min(0.5 * float(np.abs(pv - qv).sum()), 1.0)
+
+
+def hellinger(p: Distribution, q: Distribution) -> float:
+    """Hellinger distance (in [0, 1])."""
+    pv, qv = _aligned(p, q)
+    return min(float(np.sqrt(0.5 * ((np.sqrt(pv) - np.sqrt(qv)) ** 2).sum())), 1.0)
+
+
+def chi_square_goodness_of_fit(
+    observed_counts: Sequence[float], expected_probs: Sequence[float]
+) -> Tuple[float, float]:
+    """Chi-square goodness-of-fit test.
+
+    Returns ``(statistic, p_value)`` for the null hypothesis that
+    *observed_counts* were drawn from the categorical distribution
+    *expected_probs*.  Used to audit join-sampling uniformity (§3.4).
+    """
+    observed = np.asarray(observed_counts, dtype=float)
+    expected_probs = np.asarray(expected_probs, dtype=float)
+    if observed.shape != expected_probs.shape:
+        raise SpecificationError(
+            f"shape mismatch: {observed.shape} counts vs {expected_probs.shape} probs"
+        )
+    if observed.size == 0:
+        raise EmptyInputError("chi-square test requires at least one category")
+    total = observed.sum()
+    if total <= 0:
+        raise EmptyInputError("chi-square test requires at least one observation")
+    if not math.isclose(expected_probs.sum(), 1.0, rel_tol=1e-9, abs_tol=1e-9):
+        raise SpecificationError("expected_probs must sum to 1")
+    expected = expected_probs * total
+    if (expected <= 0).any():
+        raise SpecificationError("every category must have positive expected count")
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    dof = observed.size - 1
+    p_value = float(_scipy_stats.chi2.sf(statistic, dof)) if dof > 0 else 1.0
+    return statistic, p_value
+
+
+def chi_square_uniformity(observed_counts: Sequence[float]) -> Tuple[float, float]:
+    """Chi-square test against the uniform distribution over the categories."""
+    observed = np.asarray(observed_counts, dtype=float)
+    if observed.size == 0:
+        raise EmptyInputError("uniformity test requires at least one category")
+    uniform = np.full(observed.size, 1.0 / observed.size)
+    return chi_square_goodness_of_fit(observed, uniform)

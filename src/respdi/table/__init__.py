@@ -1,0 +1,47 @@
+"""Column-oriented tabular substrate for respdi.
+
+Every integration task in the tutorial (discovery, profiling, cleaning,
+sampling, tailoring, fair querying) operates over relations.  This package
+provides a small, explicit, in-memory relational layer: typed schemas,
+predicates, and a :class:`Table` with the relational operations the rest
+of the library needs (selection, projection, joins, group-by, aggregation,
+sampling, union).
+"""
+
+from respdi.table.schema import ColumnType, ColumnSpec, Schema
+from respdi.table.predicates import (
+    Predicate,
+    Eq,
+    Ne,
+    In,
+    Range,
+    IsMissing,
+    NotMissing,
+    And,
+    Or,
+    Not,
+    TruePredicate,
+)
+from respdi.table.table import Table, MISSING
+from respdi.table.io import read_csv, write_csv
+
+__all__ = [
+    "ColumnType",
+    "ColumnSpec",
+    "Schema",
+    "Predicate",
+    "Eq",
+    "Ne",
+    "In",
+    "Range",
+    "IsMissing",
+    "NotMissing",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "Table",
+    "MISSING",
+    "read_csv",
+    "write_csv",
+]

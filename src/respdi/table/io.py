@@ -1,0 +1,98 @@
+"""CSV round-tripping for :class:`~respdi.table.table.Table`.
+
+Kept intentionally small: schemas are explicit (passed by the caller or
+written to / read from a one-line type header), and missing values are
+encoded as empty fields.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+from respdi.errors import SchemaError
+from respdi.table.schema import ColumnType, Schema
+from respdi.table.table import MISSING, Table
+
+PathLike = Union[str, Path]
+
+#: Marker prefix for the optional embedded type header line.
+_TYPE_HEADER_PREFIX = "#types:"
+
+
+def write_csv(table: Table, path: PathLike, include_types: bool = True) -> None:
+    """Write *table* to CSV.
+
+    When *include_types* is set (the default), a comment line
+    ``#types:categorical,numeric,...`` is written before the header so
+    :func:`read_csv` can reconstruct the schema without guessing.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        if include_types:
+            types = ",".join(spec.ctype.value for spec in table.schema)
+            handle.write(f"{_TYPE_HEADER_PREFIX}{types}\n")
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow(["" if _is_missing(value) else value for value in row])
+
+
+def _is_missing(value) -> bool:
+    if value is None:
+        return True
+    return isinstance(value, float) and value != value  # NaN
+
+
+def read_csv(path: PathLike, schema: Optional[Schema] = None) -> Table:
+    """Read a CSV written by :func:`write_csv` (or any CSV plus a schema).
+
+    If *schema* is None the file must start with the ``#types:`` header
+    produced by :func:`write_csv`; otherwise the given schema is applied
+    to the header columns.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        first = handle.readline().rstrip("\n")
+        declared_types = None
+        if first.startswith(_TYPE_HEADER_PREFIX):
+            declared_types = first[len(_TYPE_HEADER_PREFIX):].split(",")
+            header_line = handle.readline().rstrip("\n")
+        else:
+            header_line = first
+        names = next(csv.reader([header_line]))
+        if schema is None:
+            if declared_types is None:
+                raise SchemaError(
+                    f"{path}: no #types: header and no schema given; "
+                    "cannot infer column types"
+                )
+            if len(declared_types) != len(names):
+                raise SchemaError(
+                    f"{path}: {len(declared_types)} types declared for "
+                    f"{len(names)} columns"
+                )
+            schema = Schema(
+                [(name, ColumnType(t)) for name, t in zip(names, declared_types)]
+            )
+        else:
+            if tuple(names) != schema.names:
+                raise SchemaError(
+                    f"{path}: header {names} does not match schema "
+                    f"{list(schema.names)}"
+                )
+        rows = []
+        for record in csv.reader(handle):
+            if not record:
+                continue
+            row = []
+            for spec, field in zip(schema, record):
+                if field == "":
+                    row.append(MISSING)
+                elif spec.is_numeric:
+                    row.append(float(field))
+                else:
+                    row.append(field)
+            rows.append(tuple(row))
+    return Table.from_rows(schema, rows)

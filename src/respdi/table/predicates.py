@@ -1,0 +1,240 @@
+"""Predicates over tables.
+
+A :class:`Predicate` evaluates to a boolean row mask over a
+:class:`~respdi.table.table.Table`.  The algebra (``&``, ``|``, ``~``) lets
+query code compose filters; fairness-aware range refinement
+(:mod:`respdi.fairqueries`) rewrites :class:`Range` predicates directly.
+
+Missing values (``None`` in categorical columns, ``NaN`` in numeric ones)
+never satisfy a value predicate — only :class:`IsMissing` matches them —
+mirroring SQL's treatment of NULL in comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+import numpy as np
+
+from respdi.errors import SpecificationError
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`mask` and :meth:`columns`."""
+
+    def mask(self, table) -> np.ndarray:
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Names of the columns this predicate reads."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row."""
+
+    def mask(self, table) -> np.ndarray:
+        return np.ones(len(table), dtype=bool)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class _ColumnPredicate(Predicate):
+    def __init__(self, column: str) -> None:
+        if not column:
+            raise SpecificationError("predicate column name must be non-empty")
+        self.column = column
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+    def _present(self, table) -> np.ndarray:
+        """Mask of rows where the column value is not missing."""
+        return ~table.missing_mask(self.column)
+
+
+class Eq(_ColumnPredicate):
+    """``column == value`` (missing never matches)."""
+
+    def __init__(self, column: str, value: Hashable) -> None:
+        super().__init__(column)
+        self.value = value
+
+    def mask(self, table) -> np.ndarray:
+        values = table.column(self.column)
+        present = self._present(table)
+        out = np.zeros(len(table), dtype=bool)
+        out[present] = values[present] == self.value
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.column} == {self.value!r}"
+
+
+class Ne(_ColumnPredicate):
+    """``column != value`` (missing never matches)."""
+
+    def __init__(self, column: str, value: Hashable) -> None:
+        super().__init__(column)
+        self.value = value
+
+    def mask(self, table) -> np.ndarray:
+        values = table.column(self.column)
+        present = self._present(table)
+        out = np.zeros(len(table), dtype=bool)
+        out[present] = values[present] != self.value
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.column} != {self.value!r}"
+
+
+class In(_ColumnPredicate):
+    """``column in values`` (missing never matches)."""
+
+    def __init__(self, column: str, values: Iterable[Hashable]) -> None:
+        super().__init__(column)
+        self.values = frozenset(values)
+
+    def mask(self, table) -> np.ndarray:
+        column = table.column(self.column)
+        present = self._present(table)
+        out = np.zeros(len(table), dtype=bool)
+        allowed = self.values
+        out[present] = [value in allowed for value in column[present]]
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.column} in {sorted(self.values, key=repr)}"
+
+
+class Range(_ColumnPredicate):
+    """Interval predicate ``lo <= column <= hi`` on a numeric column.
+
+    Either bound may be ``None`` (unbounded); bounds are inclusive by
+    default, with ``inclusive_lo`` / ``inclusive_hi`` to open either end.
+    Missing (NaN) values never match.
+    """
+
+    def __init__(
+        self,
+        column: str,
+        lo: Optional[float] = None,
+        hi: Optional[float] = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = True,
+    ) -> None:
+        super().__init__(column)
+        if lo is None and hi is None:
+            raise SpecificationError("Range needs at least one bound")
+        if lo is not None and hi is not None and lo > hi:
+            raise SpecificationError(f"empty range: lo={lo} > hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self.inclusive_lo = inclusive_lo
+        self.inclusive_hi = inclusive_hi
+
+    def mask(self, table) -> np.ndarray:
+        values = np.asarray(table.column(self.column), dtype=float)
+        out = ~np.isnan(values)
+        if self.lo is not None:
+            out &= values >= self.lo if self.inclusive_lo else values > self.lo
+        if self.hi is not None:
+            out &= values <= self.hi if self.inclusive_hi else values < self.hi
+        return out
+
+    def __repr__(self) -> str:
+        lo_bracket = "[" if self.inclusive_lo else "("
+        hi_bracket = "]" if self.inclusive_hi else ")"
+        return f"{self.column} in {lo_bracket}{self.lo}, {self.hi}{hi_bracket}"
+
+
+class IsMissing(_ColumnPredicate):
+    """Matches rows where the column value is missing."""
+
+    def mask(self, table) -> np.ndarray:
+        return table.missing_mask(self.column)
+
+    def __repr__(self) -> str:
+        return f"{self.column} IS MISSING"
+
+
+class NotMissing(_ColumnPredicate):
+    """Matches rows where the column value is present."""
+
+    def mask(self, table) -> np.ndarray:
+        return ~table.missing_mask(self.column)
+
+    def __repr__(self) -> str:
+        return f"{self.column} IS NOT MISSING"
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise SpecificationError("And() needs at least one predicate")
+        self.parts = parts
+
+    def mask(self, table) -> np.ndarray:
+        out = self.parts[0].mask(table)
+        for part in self.parts[1:]:
+            out = out & part.mask(table)
+        return out
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.columns() for p in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if not parts:
+            raise SpecificationError("Or() needs at least one predicate")
+        self.parts = parts
+
+    def mask(self, table) -> np.ndarray:
+        out = self.parts[0].mask(table)
+        for part in self.parts[1:]:
+            out = out | part.mask(table)
+        return out
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.columns() for p in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate (row-mask complement)."""
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+
+    def mask(self, table) -> np.ndarray:
+        return ~self.part.mask(table)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.part.columns()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.part!r})"

@@ -1,0 +1,166 @@
+"""Schemas: ordered, typed column declarations.
+
+respdi follows "explicit is better than implicit": a :class:`Table` always
+carries a :class:`Schema` declaring each column's name and
+:class:`ColumnType`.  Types are deliberately coarse — the distinction the
+integration algorithms care about is *categorical* (group-forming,
+joinable-by-equality) versus *numeric* (orderable, aggregable).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from respdi.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Coarse column type."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+
+    def __repr__(self) -> str:  # keep reprs short in error messages
+        return f"ColumnType.{self.name}"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declaration of a single column: its name and type."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be a non-empty string")
+        if not isinstance(self.ctype, ColumnType):
+            raise SchemaError(
+                f"column {self.name!r}: ctype must be a ColumnType, "
+                f"got {type(self.ctype).__name__}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype is ColumnType.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.ctype is ColumnType.CATEGORICAL
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnSpec` with unique names.
+
+    Construction accepts specs, ``(name, ctype)`` tuples, or
+    ``(name, "categorical"|"numeric")`` string shorthands::
+
+        Schema([("race", "categorical"), ("age", "numeric")])
+    """
+
+    def __init__(self, columns: Iterable) -> None:
+        specs: List[ColumnSpec] = []
+        for item in columns:
+            specs.append(self._coerce(item))
+        names = [spec.name for spec in specs]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        self._specs: Tuple[ColumnSpec, ...] = tuple(specs)
+        self._by_name: Dict[str, ColumnSpec] = {s.name: s for s in specs}
+
+    @staticmethod
+    def _coerce(item) -> ColumnSpec:
+        if isinstance(item, ColumnSpec):
+            return item
+        if isinstance(item, tuple) and len(item) == 2:
+            name, ctype = item
+            if isinstance(ctype, str):
+                try:
+                    ctype = ColumnType(ctype)
+                except ValueError:
+                    raise SchemaError(
+                        f"unknown column type {item[1]!r} for column {name!r}; "
+                        "expected 'categorical' or 'numeric'"
+                    ) from None
+            return ColumnSpec(name, ctype)
+        raise SchemaError(
+            f"cannot build a ColumnSpec from {item!r}; "
+            "expected ColumnSpec or (name, type) tuple"
+        )
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; table has {list(self.names)}"
+            ) from None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{s.name}:{s.ctype.value[:3]}" for s in self._specs)
+        return f"Schema({cols})"
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self._specs)
+
+    @property
+    def categorical_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self._specs if s.is_categorical)
+
+    @property
+    def numeric_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self._specs if s.is_numeric)
+
+    def ctype(self, name: str) -> ColumnType:
+        return self[name].ctype
+
+    def require(self, names: Sequence[str]) -> None:
+        """Raise :class:`SchemaError` unless every name in *names* exists."""
+        missing = [name for name in names if name not in self._by_name]
+        if missing:
+            raise SchemaError(
+                f"unknown column(s) {missing}; table has {list(self.names)}"
+            )
+
+    # -- derivations --------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to *names*, in the given order."""
+        self.require(names)
+        return Schema([self._by_name[name] for name in names])
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Schema with columns renamed per *mapping* (missing keys kept)."""
+        self.require(list(mapping))
+        return Schema(
+            [ColumnSpec(mapping.get(s.name, s.name), s.ctype) for s in self._specs]
+        )
+
+    def union_compatible(self, other: "Schema") -> bool:
+        """True when two schemas have identical names and types in order."""
+        return self == other

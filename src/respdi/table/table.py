@@ -1,0 +1,484 @@
+"""The in-memory, column-oriented :class:`Table`.
+
+Storage model
+-------------
+* categorical columns: ``numpy`` object arrays; missing value is ``None``;
+* numeric columns: ``float64`` arrays; missing value is ``NaN``.
+
+Tables are immutable by convention: every operation returns a new table
+(columns may share buffers when safe — callers must not mutate arrays
+returned by :meth:`Table.column`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SchemaError, SpecificationError
+from respdi.table.predicates import Predicate
+from respdi.table.schema import ColumnSpec, ColumnType, Schema
+
+#: Canonical missing-value marker accepted in row-based constructors for
+#: both column types (stored as ``None`` / ``NaN`` internally).
+MISSING = None
+
+
+def _coerce_column(spec: ColumnSpec, values: Sequence) -> np.ndarray:
+    """Build the storage array for one column, normalizing missing values."""
+    if spec.is_numeric:
+        out = np.empty(len(values), dtype=float)
+        for i, value in enumerate(values):
+            if value is None:
+                out[i] = np.nan
+            else:
+                try:
+                    out[i] = float(value)
+                except (TypeError, ValueError):
+                    raise SchemaError(
+                        f"column {spec.name!r} is numeric but got "
+                        f"non-numeric value {value!r}"
+                    ) from None
+        return out
+    out = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            out[i] = None
+        else:
+            out[i] = value
+    return out
+
+
+class Table:
+    """An immutable, schema-typed, column-oriented relation."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence]) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        extra = set(columns) - set(schema.names)
+        missing = set(schema.names) - set(columns)
+        if extra or missing:
+            raise SchemaError(
+                f"columns do not match schema (missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)})"
+            )
+        lengths = {name: len(columns[name]) for name in schema.names}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"column lengths disagree: {lengths}")
+        self._schema = schema
+        self._columns: Dict[str, np.ndarray] = {}
+        for spec in schema:
+            values = columns[spec.name]
+            if isinstance(values, np.ndarray) and (
+                (spec.is_numeric and values.dtype == float)
+                or (spec.is_categorical and values.dtype == object)
+            ):
+                self._columns[spec.name] = values
+            else:
+                self._columns[spec.name] = _coerce_column(spec, list(values))
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A zero-row table with the given schema."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        return cls(schema, {name: [] for name in schema.names})
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Table":
+        """Build a table from row tuples ordered like the schema."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        materialized = [tuple(row) for row in rows]
+        width = len(schema)
+        for i, row in enumerate(materialized):
+            if len(row) != width:
+                raise SchemaError(
+                    f"row {i} has {len(row)} values; schema has {width} columns"
+                )
+        columns = {
+            name: [row[j] for row in materialized]
+            for j, name in enumerate(schema.names)
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, records: Iterable[Mapping]) -> "Table":
+        """Build a table from dict records (missing keys become MISSING)."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        rows = (
+            tuple(record.get(name, MISSING) for name in schema.names)
+            for record in records
+        )
+        return cls.from_rows(schema, rows)
+
+    # -- basic accessors --------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return self._schema.names
+
+    def __len__(self) -> int:
+        if not self._schema.names:
+            return 0
+        return len(self._columns[self._schema.names[0]])
+
+    @property
+    def num_rows(self) -> int:
+        return len(self)
+
+    def column(self, name: str) -> np.ndarray:
+        """The storage array for *name* (do not mutate)."""
+        self._schema.require([name])
+        return self._columns[name]
+
+    def missing_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of rows whose value in *name* is missing."""
+        spec = self._schema[name]
+        values = self._columns[name]
+        if spec.is_numeric:
+            return np.isnan(values)
+        return np.array([value is None for value in values], dtype=bool)
+
+    def row(self, index: int) -> Tuple:
+        """Row *index* as a tuple ordered like the schema."""
+        n = len(self)
+        if not -n <= index < n:
+            raise IndexError(f"row index {index} out of range for {n} rows")
+        return tuple(self._columns[name][index] for name in self._schema.names)
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        arrays = [self._columns[name] for name in self._schema.names]
+        for i in range(len(self)):
+            yield tuple(array[i] for array in arrays)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        names = self._schema.names
+        return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def __repr__(self) -> str:
+        return f"Table({self._schema!r}, rows={len(self)})"
+
+    def equals(self, other: "Table") -> bool:
+        """Exact equality of schema and cell values (NaN == NaN)."""
+        if not isinstance(other, Table) or self._schema != other._schema:
+            return False
+        if len(self) != len(other):
+            return False
+        for spec in self._schema:
+            a = self._columns[spec.name]
+            b = other._columns[spec.name]
+            if spec.is_numeric:
+                if not np.array_equal(a, b, equal_nan=True):
+                    return False
+            elif not all(x == y for x, y in zip(a, b)):
+                return False
+        return True
+
+    # -- row-set operations ------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Rows at *indices*, in order (duplicates allowed)."""
+        idx = np.asarray(indices, dtype=int)
+        columns = {name: self._columns[name][idx] for name in self._schema.names}
+        return Table(self._schema, columns)
+
+    def filter_mask(self, mask: np.ndarray) -> "Table":
+        """Rows where boolean *mask* is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != len(self):
+            raise SpecificationError(
+                f"mask length {len(mask)} != table length {len(self)}"
+            )
+        columns = {name: self._columns[name][mask] for name in self._schema.names}
+        return Table(self._schema, columns)
+
+    def filter(self, predicate: Predicate) -> "Table":
+        """Rows satisfying *predicate*."""
+        return self.filter_mask(predicate.mask(self))
+
+    def head(self, n: int) -> "Table":
+        return self.take(range(min(n, len(self))))
+
+    def shuffle(self, rng: RngLike = None) -> "Table":
+        generator = ensure_rng(rng)
+        return self.take(generator.permutation(len(self)))
+
+    def sample(self, n: int, rng: RngLike = None, replace: bool = False) -> "Table":
+        """Uniform random sample of *n* rows."""
+        if n < 0:
+            raise SpecificationError(f"cannot sample {n} rows")
+        if not replace and n > len(self):
+            raise EmptyInputError(
+                f"cannot sample {n} rows without replacement from {len(self)}"
+            )
+        generator = ensure_rng(rng)
+        idx = generator.choice(len(self), size=n, replace=replace)
+        return self.take(idx)
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        """Rows sorted by column *name* (missing values last)."""
+        spec = self._schema[name]
+        values = self._columns[name]
+        present = ~self.missing_mask(name)
+        present_idx = np.flatnonzero(present)
+        absent_idx = np.flatnonzero(~present)
+        if spec.is_numeric:
+            order = present_idx[np.argsort(values[present_idx], kind="mergesort")]
+        else:
+            keys = [repr(values[i]) for i in present_idx]
+            order = present_idx[np.argsort(np.array(keys, dtype=object), kind="mergesort")]
+        if descending:
+            order = order[::-1]
+        return self.take(np.concatenate([order, absent_idx]))
+
+    def concat(self, other: "Table") -> "Table":
+        """Union-all of two union-compatible tables."""
+        if not self._schema.union_compatible(other._schema):
+            raise SchemaError(
+                f"schemas not union-compatible: {self._schema!r} vs {other._schema!r}"
+            )
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self._schema.names
+        }
+        return Table(self._schema, columns)
+
+    def distinct(self, columns: Optional[Sequence[str]] = None) -> "Table":
+        """First occurrence of each distinct key over *columns* (default all)."""
+        key_columns = list(columns) if columns is not None else list(self.column_names)
+        self._schema.require(key_columns)
+        seen = set()
+        keep: List[int] = []
+        arrays = [self._columns[name] for name in key_columns]
+
+        def normalize(value):
+            # Missing numeric cells are NaN, and NaN != NaN; fold them to
+            # None so that two missing values compare equal for dedup.
+            if isinstance(value, float) and value != value:
+                return None
+            return value
+
+        for i in range(len(self)):
+            key = tuple(normalize(array[i]) for array in arrays)
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        return self.take(keep)
+
+    # -- column operations --------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Table":
+        schema = self._schema.project(names)
+        return Table(schema, {name: self._columns[name] for name in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        self._schema.require(names)
+        keep = [name for name in self.column_names if name not in set(names)]
+        return self.project(keep)
+
+    def rename(self, mapping: Dict[str, str]) -> "Table":
+        schema = self._schema.rename(mapping)
+        columns = {
+            mapping.get(name, name): self._columns[name] for name in self.column_names
+        }
+        return Table(schema, columns)
+
+    def with_column(self, name: str, ctype: ColumnType, values: Sequence) -> "Table":
+        """A copy with column *name* added (or replaced, keeping position)."""
+        if isinstance(ctype, str):
+            ctype = ColumnType(ctype)
+        new_spec = ColumnSpec(name, ctype)
+        if name in self._schema:
+            specs = [new_spec if s.name == name else s for s in self._schema]
+        else:
+            specs = list(self._schema) + [new_spec]
+        columns = {s.name: self._columns[s.name] for s in self._schema}
+        columns[name] = _coerce_column(new_spec, list(values))
+        if len(columns[name]) != len(self) and len(self._schema) > 0:
+            raise SchemaError(
+                f"new column {name!r} has {len(columns[name])} values; "
+                f"table has {len(self)} rows"
+            )
+        return Table(Schema(specs), columns)
+
+    # -- grouping and aggregation --------------------------------------------
+
+    def group_indices(self, columns: Sequence[str]) -> Dict[Tuple, np.ndarray]:
+        """Map each distinct key over *columns* to its row indices."""
+        self._schema.require(columns)
+        arrays = [self._columns[name] for name in columns]
+        groups: Dict[Tuple, List[int]] = defaultdict(list)
+        for i in range(len(self)):
+            groups[tuple(array[i] for array in arrays)].append(i)
+        return {key: np.asarray(idx, dtype=int) for key, idx in groups.items()}
+
+    def group_counts(self, columns: Sequence[str]) -> Dict[Tuple, int]:
+        """Map each distinct key over *columns* to its row count."""
+        self._schema.require(columns)
+        arrays = [self._columns[name] for name in columns]
+        counts: Counter = Counter(
+            tuple(array[i] for array in arrays) for i in range(len(self))
+        )
+        return dict(counts)
+
+    def value_counts(self, name: str) -> Dict[Hashable, int]:
+        """Counts of present (non-missing) values in column *name*."""
+        present = ~self.missing_mask(name)
+        return dict(Counter(self._columns[name][present]))
+
+    def unique(self, name: str) -> List:
+        """Sorted distinct present values of column *name*."""
+        return sorted(self.value_counts(name), key=repr)
+
+    def aggregate(self, name: str, func: str) -> float:
+        """Aggregate a numeric column, ignoring missing values.
+
+        *func* is one of ``count``, ``sum``, ``mean``, ``min``, ``max``,
+        ``var``, ``std``, ``median``.  ``count`` counts present values.
+        """
+        spec = self._schema[name]
+        if not spec.is_numeric and func != "count":
+            raise SpecificationError(
+                f"aggregate {func!r} requires a numeric column; "
+                f"{name!r} is categorical"
+            )
+        present = ~self.missing_mask(name)
+        if func == "count":
+            return float(present.sum())
+        values = np.asarray(self._columns[name], dtype=float)[present]
+        if values.size == 0:
+            raise EmptyInputError(f"aggregate {func!r} over no present values")
+        dispatch: Dict[str, Callable[[np.ndarray], float]] = {
+            "sum": np.sum,
+            "mean": np.mean,
+            "min": np.min,
+            "max": np.max,
+            "var": np.var,
+            "std": np.std,
+            "median": np.median,
+        }
+        if func not in dispatch:
+            raise SpecificationError(
+                f"unknown aggregate {func!r}; "
+                f"expected one of {sorted(dispatch) + ['count']}"
+            )
+        return float(dispatch[func](values))
+
+    def group_aggregate(
+        self, group_columns: Sequence[str], value_column: str, func: str
+    ) -> Dict[Tuple, float]:
+        """Per-group aggregate of *value_column*."""
+        out: Dict[Tuple, float] = {}
+        for key, idx in self.group_indices(group_columns).items():
+            out[key] = self.take(idx).aggregate(value_column, func)
+        return out
+
+    # -- joins ----------------------------------------------------------------
+
+    def join(
+        self,
+        other: "Table",
+        on: Sequence[str],
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> "Table":
+        """Equi-join on columns *on* (hash join).
+
+        ``how`` is ``"inner"`` or ``"left"``.  Rows with a missing join key
+        never match (SQL semantics).  Non-key columns of *other* whose names
+        clash with this table's get *suffix* appended.
+        """
+        if how not in ("inner", "left"):
+            raise SpecificationError(f"unsupported join type {how!r}")
+        on = list(on)
+        if not on:
+            raise SpecificationError("join requires at least one key column")
+        self._schema.require(on)
+        other._schema.require(on)
+        for name in on:
+            if self._schema.ctype(name) != other._schema.ctype(name):
+                raise SchemaError(
+                    f"join key {name!r} has different types in the two tables"
+                )
+
+        other_extra = [name for name in other.column_names if name not in on]
+        rename_map = {
+            name: (name + suffix if name in self._schema else name)
+            for name in other_extra
+        }
+        out_specs = list(self._schema) + [
+            ColumnSpec(rename_map[name], other._schema.ctype(name))
+            for name in other_extra
+        ]
+        out_schema = Schema(out_specs)
+
+        # Build hash index over the smaller conceptual side: other.
+        index: Dict[Tuple, List[int]] = defaultdict(list)
+        other_keys = [other._columns[name] for name in on]
+        other_missing = np.zeros(len(other), dtype=bool)
+        for name in on:
+            other_missing |= other.missing_mask(name)
+        for j in range(len(other)):
+            if not other_missing[j]:
+                index[tuple(array[j] for array in other_keys)].append(j)
+
+        left_keys = [self._columns[name] for name in on]
+        left_missing = np.zeros(len(self), dtype=bool)
+        for name in on:
+            left_missing |= self.missing_mask(name)
+
+        left_idx: List[int] = []
+        right_idx: List[int] = []  # -1 encodes "no match" for left joins
+        for i in range(len(self)):
+            matches: List[int] = []
+            if not left_missing[i]:
+                matches = index.get(tuple(array[i] for array in left_keys), [])
+            if matches:
+                for j in matches:
+                    left_idx.append(i)
+                    right_idx.append(j)
+            elif how == "left":
+                left_idx.append(i)
+                right_idx.append(-1)
+
+        columns: Dict[str, Sequence] = {}
+        left_take = np.asarray(left_idx, dtype=int)
+        for name in self.column_names:
+            columns[name] = self._columns[name][left_take]
+        right_take = np.asarray(right_idx, dtype=int)
+        matched = right_take >= 0
+        for name in other_extra:
+            source = other._columns[name]
+            spec = other._schema[name]
+            if spec.is_numeric:
+                values = np.full(len(right_take), np.nan, dtype=float)
+                if matched.any():
+                    values[matched] = source[right_take[matched]]
+            else:
+                values = np.full(len(right_take), None, dtype=object)
+                if matched.any():
+                    values[matched] = source[right_take[matched]]
+            columns[rename_map[name]] = values
+        return Table(out_schema, columns)

@@ -1,0 +1,53 @@
+"""Data distribution tailoring (tutorial §4.2; Nargesian et al., VLDB 2021).
+
+Given a set of data sources — each with its own group skew and per-sample
+cost — collect a target data set satisfying user-specified group-count
+requirements at minimum expected cost.
+
+* :mod:`respdi.tailoring.specs` — requirement languages: exact minimum
+  counts on intersectional groups (the original DT problem), range
+  counts, and marginal (per-attribute, non-intersectional) counts — the
+  latter two are the §5 extensions;
+* :mod:`respdi.tailoring.sources` — the costed-source abstraction and a
+  table-backed implementation;
+* :mod:`respdi.tailoring.policies` — source-selection policies:
+  RatioColl (known distributions), UCB / epsilon-greedy explore-exploit
+  (unknown distributions), and random / round-robin baselines;
+* :mod:`respdi.tailoring.engine` — the collection loop, cost accounting,
+  and overlap-aware variant.
+"""
+
+from respdi.tailoring.specs import (
+    CountSpec,
+    RangeCountSpec,
+    MarginalCountSpec,
+)
+from respdi.tailoring.sources import DataSource, TableSource
+from respdi.tailoring.policies import (
+    RatioCollPolicy,
+    OverlapAwareRatioCollPolicy,
+    UCBPolicy,
+    EpsilonGreedyPolicy,
+    ExploitPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from respdi.tailoring.engine import TailoringEngine, TailoringResult, tailor
+
+__all__ = [
+    "CountSpec",
+    "RangeCountSpec",
+    "MarginalCountSpec",
+    "DataSource",
+    "TableSource",
+    "RatioCollPolicy",
+    "OverlapAwareRatioCollPolicy",
+    "UCBPolicy",
+    "EpsilonGreedyPolicy",
+    "ExploitPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "TailoringEngine",
+    "TailoringResult",
+    "tailor",
+]

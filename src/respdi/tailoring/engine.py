@@ -1,0 +1,168 @@
+"""The tailoring collection loop.
+
+``tailor(sources, spec, policy)`` repeatedly asks the policy for a
+source, draws one record (paying the source's cost), lets the spec
+decide whether the record is useful, and stops when the spec is
+satisfied or the cost budget is exhausted.  The engine also implements
+the §5 *overlap-aware* variant: when records carry an identity column,
+re-drawing an already-collected identity is never useful, and the
+per-source duplicate counters feed policies that want to discount
+overlapping sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import BudgetExceededError, SpecificationError
+from respdi.table import ColumnType, Schema, Table
+from respdi.tailoring.policies import Policy, PolicyContext
+from respdi.tailoring.sources import DataSource
+from respdi.tailoring.specs import TailoringSpec
+
+
+@dataclass
+class TailoringResult:
+    """Outcome of one tailoring run."""
+
+    satisfied: bool
+    total_cost: float
+    steps: int
+    rows: List[Dict[str, Hashable]]
+    pulls: List[int]
+    useful: List[int]
+    duplicates: List[int]
+    deficits: Dict
+    cost_trajectory: List[Tuple[float, int]] = field(default_factory=list)
+    """``(cumulative_cost, total_useful_rows)`` after each step."""
+
+    def collected_table(self, schema: Schema) -> Table:
+        """The collected rows as a table under *schema*."""
+        return Table.from_dicts(schema, self.rows)
+
+    @property
+    def useful_total(self) -> int:
+        return sum(self.useful)
+
+
+class TailoringEngine:
+    """Reusable engine; see :func:`tailor` for the one-shot convenience."""
+
+    def __init__(
+        self,
+        sources: Sequence[DataSource],
+        spec: TailoringSpec,
+        policy: Policy,
+        dedupe_column: Optional[str] = None,
+    ) -> None:
+        if not sources:
+            raise SpecificationError("tailoring needs at least one source")
+        self.sources = list(sources)
+        self.spec = spec
+        self.policy = policy
+        self.dedupe_column = dedupe_column
+
+    def run(
+        self,
+        budget: float = float("inf"),
+        max_steps: int = 1_000_000,
+        rng: RngLike = None,
+        raise_on_budget: bool = False,
+    ) -> TailoringResult:
+        """Collect until the spec is satisfied, the cost *budget* is spent,
+        or *max_steps* draws have been made.
+
+        With ``raise_on_budget=True`` an unsatisfied run raises
+        :class:`BudgetExceededError` instead of returning a partial result.
+        """
+        if max_steps < 1:
+            raise SpecificationError("max_steps must be >= 1")
+        generator = ensure_rng(rng)
+        self.policy.reset()
+        state = self.spec.new_state()
+        n = len(self.sources)
+        pulls = [0] * n
+        useful = [0] * n
+        duplicates = [0] * n
+        rows: List[Dict[str, Hashable]] = []
+        seen_ids: set = set()
+        total_cost = 0.0
+        trajectory: List[Tuple[float, int]] = []
+        steps = 0
+
+        while not self.spec.is_satisfied(state):
+            if steps >= max_steps or total_cost >= budget:
+                if raise_on_budget:
+                    raise BudgetExceededError(
+                        f"budget exhausted after {steps} steps "
+                        f"(cost {total_cost}); deficits: {self.spec.deficits(state)}"
+                    )
+                break
+            context = PolicyContext(
+                sources=self.sources,
+                spec=self.spec,
+                state=state,
+                pulls=pulls,
+                useful=useful,
+                duplicates=duplicates,
+                step=steps,
+            )
+            index = self.policy.select(context, generator)
+            if not 0 <= index < n:
+                raise SpecificationError(
+                    f"policy selected invalid source index {index}"
+                )
+            source = self.sources[index]
+            row = source.draw(generator)
+            total_cost += source.cost
+            pulls[index] += 1
+            steps += 1
+
+            is_duplicate = False
+            if self.dedupe_column is not None:
+                identity = row.get(self.dedupe_column)
+                if identity is not None:
+                    if identity in seen_ids:
+                        is_duplicate = True
+                    else:
+                        seen_ids.add(identity)
+            if is_duplicate:
+                duplicates[index] += 1
+                trajectory.append((total_cost, len(rows)))
+                continue
+
+            group = self.spec.group_of(row)
+            if self.spec.process(group, state):
+                useful[index] += 1
+                rows.append(row)
+            trajectory.append((total_cost, len(rows)))
+
+        return TailoringResult(
+            satisfied=self.spec.is_satisfied(state),
+            total_cost=total_cost,
+            steps=steps,
+            rows=rows,
+            pulls=pulls,
+            useful=useful,
+            duplicates=duplicates,
+            deficits=self.spec.deficits(state),
+            cost_trajectory=trajectory,
+        )
+
+
+def tailor(
+    sources: Sequence[DataSource],
+    spec: TailoringSpec,
+    policy: Policy,
+    budget: float = float("inf"),
+    max_steps: int = 1_000_000,
+    rng: RngLike = None,
+    dedupe_column: Optional[str] = None,
+) -> TailoringResult:
+    """One-shot tailoring run (see :class:`TailoringEngine`)."""
+    engine = TailoringEngine(sources, spec, policy, dedupe_column=dedupe_column)
+    return engine.run(budget=budget, max_steps=max_steps, rng=rng)

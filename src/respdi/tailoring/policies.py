@@ -1,0 +1,204 @@
+"""Source-selection policies for distribution tailoring.
+
+A policy chooses which source to query next given the engine's running
+:class:`PolicyContext`.  Policies mirror the regimes in Nargesian et al.
+(VLDB 2021):
+
+* :class:`RatioCollPolicy` — known distributions: query the source
+  minimizing ``cost / P(useful draw)``, the myopic expected
+  cost-per-useful-sample optimum;
+* :class:`UCBPolicy` — unknown distributions: UCB1 over per-source
+  empirical usefulness rates divided by cost (exploration-exploitation);
+* :class:`EpsilonGreedyPolicy`, :class:`ExploitPolicy` — ablation
+  variants of the unknown regime;
+* :class:`RandomPolicy`, :class:`RoundRobinPolicy` — the baselines every
+  DT experiment compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from respdi.errors import SpecificationError
+from respdi.tailoring.sources import DataSource
+from respdi.tailoring.specs import TailoringSpec
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may look at when choosing a source."""
+
+    sources: Sequence[DataSource]
+    spec: TailoringSpec
+    state: Dict
+    pulls: List[int]
+    useful: List[int]
+    duplicates: List[int]
+    step: int
+
+
+class Policy:
+    """Base class: implement :meth:`select`."""
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh run."""
+
+
+class RatioCollPolicy(Policy):
+    """Known-distribution greedy: argmin over sources of
+    ``cost_i / P_i(useful)``.
+
+    Requires every source to publish its group distribution.  Sources
+    whose useful-probability is zero are never selected (unless all are,
+    in which case the engine will stop by budget).
+    """
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        best_index = None
+        best_score = math.inf
+        for i, source in enumerate(context.sources):
+            distribution = source.group_distribution(context.spec.attributes)
+            if distribution is None:
+                raise SpecificationError(
+                    f"source {source.name!r} does not publish its distribution; "
+                    "RatioColl requires the known-distributions regime"
+                )
+            p_useful = context.spec.useful_probability(distribution, context.state)
+            if p_useful <= 0:
+                continue
+            score = source.cost / p_useful
+            if score < best_score:
+                best_score = score
+                best_index = i
+        if best_index is None:
+            # No source can produce a useful row; fall back to cheapest
+            # (the engine's budget guard will stop a hopeless run).
+            best_index = min(
+                range(len(context.sources)), key=lambda i: context.sources[i].cost
+            )
+        return best_index
+
+
+class OverlapAwareRatioCollPolicy(RatioCollPolicy):
+    """RatioColl discounted by each source's observed duplicate rate.
+
+    In the §5 overlap-aware setting, a draw that repeats an already
+    collected record is useless no matter its group.  The empirical
+    duplicate rate of each source (Laplace-smoothed) multiplies into the
+    usefulness probability, steering collection away from sources whose
+    remaining novelty is exhausted.
+    """
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        best_index = None
+        best_score = math.inf
+        for i, source in enumerate(context.sources):
+            distribution = source.group_distribution(context.spec.attributes)
+            if distribution is None:
+                raise SpecificationError(
+                    f"source {source.name!r} does not publish its distribution"
+                )
+            p_useful = context.spec.useful_probability(distribution, context.state)
+            novelty = 1.0 - (context.duplicates[i] + 1.0) / (context.pulls[i] + 2.0)
+            effective = p_useful * novelty
+            if effective <= 0:
+                continue
+            score = source.cost / effective
+            if score < best_score:
+                best_score = score
+                best_index = i
+        if best_index is None:
+            best_index = min(
+                range(len(context.sources)), key=lambda i: context.sources[i].cost
+            )
+        return best_index
+
+
+class UCBPolicy(Policy):
+    """UCB1 over usefulness-per-cost for the unknown-distribution regime.
+
+    Each source's reward per pull is 1 when the draw was useful, else 0.
+    The policy selects ``argmax (mean_i + c * sqrt(2 ln t / n_i)) / cost_i``
+    after pulling every source once.
+    """
+
+    def __init__(self, exploration: float = 1.0) -> None:
+        if exploration < 0:
+            raise SpecificationError("exploration must be non-negative")
+        self.exploration = exploration
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        for i, pulls in enumerate(context.pulls):
+            if pulls == 0:
+                return i
+        total = sum(context.pulls)
+        best_index = 0
+        best_score = -math.inf
+        for i, source in enumerate(context.sources):
+            mean = context.useful[i] / context.pulls[i]
+            bonus = self.exploration * math.sqrt(
+                2.0 * math.log(max(total, 2)) / context.pulls[i]
+            )
+            score = (mean + bonus) / source.cost
+            if score > best_score:
+                best_score = score
+                best_index = i
+        return best_index
+
+
+class EpsilonGreedyPolicy(Policy):
+    """Explore uniformly with probability epsilon, else exploit the best
+    empirical usefulness-per-cost."""
+
+    def __init__(self, epsilon: float = 0.1) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise SpecificationError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        for i, pulls in enumerate(context.pulls):
+            if pulls == 0:
+                return i
+        if rng.random() < self.epsilon:
+            return int(rng.integers(len(context.sources)))
+        return max(
+            range(len(context.sources)),
+            key=lambda i: (context.useful[i] / context.pulls[i])
+            / context.sources[i].cost,
+        )
+
+
+class ExploitPolicy(EpsilonGreedyPolicy):
+    """Pure exploitation (epsilon = 0) — the ablation's degenerate case."""
+
+    def __init__(self) -> None:
+        super().__init__(epsilon=0.0)
+
+
+class RandomPolicy(Policy):
+    """Uniformly random source each step (RandomColl baseline)."""
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        return int(rng.integers(len(context.sources)))
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle through sources in order."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select(self, context: PolicyContext, rng: np.random.Generator) -> int:
+        index = self._next % len(context.sources)
+        self._next += 1
+        return index

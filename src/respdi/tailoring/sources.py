@@ -1,0 +1,96 @@
+"""Costed data sources for tailoring.
+
+The DT model (tutorial §4.2): each source is queried sequentially; every
+query returns one random record from that source's population and incurs
+that source's cost (monetary, computational, or network).  Sources may
+publish their group distribution ("known distributions" regime) or keep
+it hidden ("unknown distributions" regime — the policy must learn it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from respdi._rng import RngLike, ensure_rng
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Table
+
+Group = Tuple[Hashable, ...]
+
+
+class DataSource:
+    """Interface: one random record per query, at a fixed cost."""
+
+    name: str
+    cost: float
+
+    def draw(self, rng: np.random.Generator) -> Dict[str, Hashable]:
+        """One random record, as a dict."""
+        raise NotImplementedError
+
+    def group_distribution(
+        self, attributes: Sequence[str]
+    ) -> Optional[Mapping[Group, float]]:
+        """The source's group distribution over *attributes*, or ``None``
+        when the source does not publish it."""
+        raise NotImplementedError
+
+
+class TableSource(DataSource):
+    """A source backed by a table; queries sample rows with replacement.
+
+    With-replacement sampling matches the DT model of querying a large
+    underlying population through a limited interface: the table is the
+    (empirical) population, not a finite stock.
+
+    Parameters
+    ----------
+    name, table, cost:
+        Identification, backing data, and per-query cost.
+    publish_distribution:
+        When True, :meth:`group_distribution` exposes the empirical group
+        distribution (the "known distributions" regime); when False it
+        returns ``None`` and policies must learn by sampling.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        cost: float = 1.0,
+        publish_distribution: bool = True,
+    ) -> None:
+        if cost <= 0:
+            raise SpecificationError("source cost must be positive")
+        if len(table) == 0:
+            raise EmptyInputError(f"source {name!r} is empty")
+        self.name = name
+        self.table = table
+        self.cost = float(cost)
+        self.publish_distribution = publish_distribution
+        self._rows = table.to_dicts()
+        # Policies query the distribution every step; memoize per
+        # attribute tuple (the table is immutable by convention).
+        self._distribution_cache: Dict[Tuple[str, ...], Mapping[Group, float]] = {}
+
+    def draw(self, rng: np.random.Generator) -> Dict[str, Hashable]:
+        return dict(self._rows[int(rng.integers(len(self._rows)))])
+
+    def group_distribution(
+        self, attributes: Sequence[str]
+    ) -> Optional[Mapping[Group, float]]:
+        if not self.publish_distribution:
+            return None
+        key = tuple(attributes)
+        if key not in self._distribution_cache:
+            counts = self.table.group_counts(list(key))
+            total = sum(counts.values())
+            self._distribution_cache[key] = {
+                group: count / total for group, count in counts.items()
+            }
+        return self._distribution_cache[key]
+
+    def __repr__(self) -> str:
+        return f"TableSource({self.name!r}, rows={len(self.table)}, cost={self.cost})"

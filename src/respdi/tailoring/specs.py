@@ -1,0 +1,273 @@
+"""Requirement languages for distribution tailoring.
+
+A spec defines (a) which rows are *useful* given what has already been
+collected, (b) when collection is *complete*, and (c) — for policies
+with distribution knowledge — the probability that a draw from a source
+with a given group distribution is useful.
+
+Three spec families, per the tutorial:
+
+* :class:`CountSpec` — the original DT problem: a minimum count for each
+  intersectional group (§4.2);
+* :class:`RangeCountSpec` — §5 extension: per-group ``[lo, hi]`` ranges;
+  a group stops accepting new samples once it reaches ``hi``;
+* :class:`MarginalCountSpec` — §5 extension: counts on individual
+  attribute values (e.g. 100 of gender=F *and* 100 of race=NW) rather
+  than on their intersections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from respdi.errors import SpecificationError
+
+Group = Tuple[Hashable, ...]
+
+
+class TailoringSpec:
+    """Base class for tailoring requirement specs."""
+
+    #: sensitive attribute names, ordered; groups are value tuples over these.
+    attributes: Tuple[str, ...]
+
+    def group_of(self, row: Mapping[str, Hashable]) -> Group:
+        """The group of a row (tuple of its sensitive attribute values)."""
+        try:
+            return tuple(row[name] for name in self.attributes)
+        except KeyError as exc:
+            raise SpecificationError(
+                f"row is missing sensitive attribute {exc.args[0]!r}"
+            ) from None
+
+    # -- state protocol ---------------------------------------------------
+
+    def new_state(self) -> Dict:
+        """Fresh mutable collection state."""
+        raise NotImplementedError
+
+    def is_satisfied(self, state: Dict) -> bool:
+        raise NotImplementedError
+
+    def process(self, group: Group, state: Dict) -> bool:
+        """Account for a drawn row of *group*.
+
+        Returns True when the row is useful (kept), False when it is
+        discarded; mutates *state* accordingly.
+        """
+        raise NotImplementedError
+
+    def useful_probability(
+        self, group_distribution: Mapping[Group, float], state: Dict
+    ) -> float:
+        """Probability that one draw from a source with the given group
+        distribution is useful in the current state."""
+        raise NotImplementedError
+
+    def deficits(self, state: Dict) -> Dict:
+        """Human-inspectable remaining needs."""
+        raise NotImplementedError
+
+
+class CountSpec(TailoringSpec):
+    """Minimum counts per intersectional group.
+
+    ``CountSpec(("gender", "race"), {("F", "black"): 100, ...})``
+
+    Groups not mentioned have requirement 0 (their rows are discarded).
+    """
+
+    def __init__(
+        self, attributes: Sequence[str], counts: Mapping[Group, int]
+    ) -> None:
+        if not attributes:
+            raise SpecificationError("spec needs at least one attribute")
+        if not counts:
+            raise SpecificationError("spec needs at least one group count")
+        self.attributes = tuple(attributes)
+        for group, count in counts.items():
+            if len(group) != len(self.attributes):
+                raise SpecificationError(
+                    f"group {group!r} has {len(group)} values; "
+                    f"expected {len(self.attributes)}"
+                )
+            if count < 0:
+                raise SpecificationError(f"negative count for group {group!r}")
+        self.counts: Dict[Group, int] = dict(counts)
+
+    def new_state(self) -> Dict:
+        return {"remaining": {g: c for g, c in self.counts.items() if c > 0}}
+
+    def is_satisfied(self, state: Dict) -> bool:
+        return not state["remaining"]
+
+    def process(self, group: Group, state: Dict) -> bool:
+        remaining = state["remaining"]
+        if group not in remaining:
+            return False
+        remaining[group] -= 1
+        if remaining[group] == 0:
+            del remaining[group]
+        return True
+
+    def useful_probability(
+        self, group_distribution: Mapping[Group, float], state: Dict
+    ) -> float:
+        remaining = state["remaining"]
+        return sum(group_distribution.get(g, 0.0) for g in remaining)
+
+    def deficits(self, state: Dict) -> Dict:
+        return dict(state["remaining"])
+
+
+class RangeCountSpec(TailoringSpec):
+    """Per-group count ranges ``[lo, hi]``.
+
+    A group is *required* until it reaches ``lo`` and *accepting* until it
+    reaches ``hi`` (rows beyond ``hi`` are discarded).  Collection is
+    complete when every group has reached its ``lo``.  Accepting rows
+    between ``lo`` and ``hi`` is free representation: they cost nothing
+    extra (the row was already drawn) and enlarge the output.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        ranges: Mapping[Group, Tuple[int, int]],
+    ) -> None:
+        if not attributes:
+            raise SpecificationError("spec needs at least one attribute")
+        if not ranges:
+            raise SpecificationError("spec needs at least one group range")
+        self.attributes = tuple(attributes)
+        for group, (lo, hi) in ranges.items():
+            if len(group) != len(self.attributes):
+                raise SpecificationError(f"group {group!r} has wrong width")
+            if lo < 0 or hi < lo:
+                raise SpecificationError(
+                    f"invalid range [{lo}, {hi}] for group {group!r}"
+                )
+        self.ranges: Dict[Group, Tuple[int, int]] = {
+            g: (int(lo), int(hi)) for g, (lo, hi) in ranges.items()
+        }
+
+    def new_state(self) -> Dict:
+        return {"collected": {g: 0 for g in self.ranges}}
+
+    def is_satisfied(self, state: Dict) -> bool:
+        collected = state["collected"]
+        return all(collected[g] >= lo for g, (lo, _) in self.ranges.items())
+
+    def process(self, group: Group, state: Dict) -> bool:
+        if group not in self.ranges:
+            return False
+        collected = state["collected"]
+        _, hi = self.ranges[group]
+        if collected[group] >= hi:
+            return False
+        collected[group] += 1
+        return True
+
+    def useful_probability(
+        self, group_distribution: Mapping[Group, float], state: Dict
+    ) -> float:
+        # Only groups still below their *lo* constitute progress toward
+        # completion; groups between lo and hi accept rows but do not
+        # bring the end closer, so a cost-minimizing policy targets the
+        # deficient ones.
+        collected = state["collected"]
+        return sum(
+            group_distribution.get(g, 0.0)
+            for g, (lo, _) in self.ranges.items()
+            if collected[g] < lo
+        )
+
+    def deficits(self, state: Dict) -> Dict:
+        collected = state["collected"]
+        return {
+            g: lo - collected[g]
+            for g, (lo, _) in self.ranges.items()
+            if collected[g] < lo
+        }
+
+
+class MarginalCountSpec(TailoringSpec):
+    """Counts on individual attribute values, not intersections.
+
+    ``MarginalCountSpec(("gender", "race"),
+    {"gender": {"F": 100, "M": 100}, "race": {"W": 100, "NW": 100}})``
+
+    A row is useful when it reduces at least one marginal deficit; it
+    then reduces *every* marginal deficit it matches (a black woman
+    counts toward both gender=F and race=NW).
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        marginals: Mapping[str, Mapping[Hashable, int]],
+    ) -> None:
+        if not attributes:
+            raise SpecificationError("spec needs at least one attribute")
+        self.attributes = tuple(attributes)
+        unknown = set(marginals) - set(self.attributes)
+        if unknown:
+            raise SpecificationError(f"marginals on unknown attributes {unknown}")
+        if not marginals:
+            raise SpecificationError("spec needs at least one marginal")
+        for attribute, values in marginals.items():
+            for value, count in values.items():
+                if count < 0:
+                    raise SpecificationError(
+                        f"negative count for {attribute}={value!r}"
+                    )
+        self.marginals: Dict[str, Dict[Hashable, int]] = {
+            a: dict(v) for a, v in marginals.items()
+        }
+
+    def new_state(self) -> Dict:
+        remaining = {
+            (attribute, value): count
+            for attribute, values in self.marginals.items()
+            for value, count in values.items()
+            if count > 0
+        }
+        return {"remaining": remaining}
+
+    def is_satisfied(self, state: Dict) -> bool:
+        return not state["remaining"]
+
+    def _matched_needs(self, group: Group, state: Dict) -> List[Tuple[str, Hashable]]:
+        remaining = state["remaining"]
+        matched = []
+        for attribute, value in zip(self.attributes, group):
+            key = (attribute, value)
+            if key in remaining:
+                matched.append(key)
+        return matched
+
+    def process(self, group: Group, state: Dict) -> bool:
+        matched = self._matched_needs(group, state)
+        if not matched:
+            return False
+        remaining = state["remaining"]
+        for key in matched:
+            remaining[key] -= 1
+            if remaining[key] == 0:
+                del remaining[key]
+        return True
+
+    def useful_probability(
+        self, group_distribution: Mapping[Group, float], state: Dict
+    ) -> float:
+        remaining = state["remaining"]
+        total = 0.0
+        for group, probability in group_distribution.items():
+            for attribute, value in zip(self.attributes, group):
+                if (attribute, value) in remaining:
+                    total += probability
+                    break
+        return total
+
+    def deficits(self, state: Dict) -> Dict:
+        return dict(state["remaining"])

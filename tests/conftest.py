@@ -1,0 +1,45 @@
+"""Shared fixtures for the respdi test suite."""
+
+import numpy as np
+import pytest
+
+from respdi.datagen.population import (
+    PopulationModel,
+    SensitiveAttribute,
+    default_health_population,
+)
+from respdi.table import Schema, Table
+
+
+@pytest.fixture
+def small_schema():
+    return Schema([("race", "categorical"), ("gender", "categorical"), ("age", "numeric")])
+
+
+@pytest.fixture
+def small_table(small_schema):
+    rows = [
+        ("white", "F", 34.0),
+        ("white", "M", 51.0),
+        ("black", "F", 28.0),
+        ("black", "M", 45.0),
+        ("white", "F", 62.0),
+        ("black", "F", None),
+        (None, "M", 40.0),
+    ]
+    return Table.from_rows(small_schema, rows)
+
+
+@pytest.fixture
+def health_population():
+    return default_health_population(minority_fraction=0.2)
+
+
+@pytest.fixture
+def health_table(health_population):
+    return health_population.sample(600, rng=np.random.default_rng(11))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

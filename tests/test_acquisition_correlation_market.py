@@ -1,0 +1,118 @@
+"""Correlation-driven acquisition on join graphs."""
+
+import numpy as np
+import pytest
+
+from respdi.acquisition import (
+    PricedColumnSource,
+    buy_correlation,
+    fisher_confidence_width,
+)
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Schema, Table
+
+
+def correlated_sources(rho=0.7, n=3000, overlap=2000, seed=0, prices=(1.0, 1.0)):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(n)]
+    x = rng.normal(size=n)
+    y = rho * x + np.sqrt(1 - rho**2) * rng.normal(size=n)
+    start = n - overlap
+    left = Table(
+        Schema([("k", "categorical"), ("a", "numeric")]), {"k": keys, "a": x}
+    )
+    right_keys = keys[start:] + [f"only{i}" for i in range(start)]
+    right_values = list(y[start:]) + list(rng.normal(size=start))
+    right = Table(
+        Schema([("k", "categorical"), ("b", "numeric")]),
+        {"k": right_keys, "b": right_values},
+    )
+    return (
+        PricedColumnSource(left, "k", "a", price=prices[0], rng=seed + 1),
+        PricedColumnSource(right, "k", "b", price=prices[1], rng=seed + 2),
+    )
+
+
+def test_fisher_width_shrinks_with_n():
+    widths = [fisher_confidence_width(0.5, n) for n in (10, 50, 200, 1000)]
+    assert widths == sorted(widths, reverse=True)
+    assert fisher_confidence_width(0.5, 3) == 2.0
+
+
+def test_coordinated_reaches_target_cheaper_than_random():
+    results = {}
+    for strategy in ("coordinated", "random"):
+        left, right = correlated_sources(seed=3)
+        results[strategy] = buy_correlation(
+            left, right, budget=5000, target_ci_width=0.2,
+            strategy=strategy, rng=4,
+        )
+    assert results["coordinated"].reached_target
+    assert results["random"].reached_target
+    assert results["coordinated"].total_cost < 0.5 * results["random"].total_cost
+
+
+def test_estimate_near_truth():
+    left, right = correlated_sources(rho=0.7, seed=5)
+    result = buy_correlation(
+        left, right, budget=5000, target_ci_width=0.15, rng=6
+    )
+    assert result.estimate == pytest.approx(0.7, abs=result.ci_width)
+
+
+def test_budget_exhaustion_reported():
+    left, right = correlated_sources(seed=7)
+    result = buy_correlation(
+        left, right, budget=50, target_ci_width=0.01, rng=8
+    )
+    assert not result.reached_target
+    assert result.total_cost <= 50
+
+
+def test_trajectory_cost_monotone():
+    left, right = correlated_sources(seed=9)
+    result = buy_correlation(left, right, budget=2000, rng=10)
+    costs = [cost for cost, _, _ in result.trajectory]
+    assert costs == sorted(costs)
+
+
+def test_coordinated_exhausts_shared_keys_gracefully():
+    left, right = correlated_sources(n=200, overlap=40, seed=11)
+    result = buy_correlation(
+        left, right, budget=100000, target_ci_width=0.01,
+        strategy="coordinated", batch_size=10, rng=12,
+    )
+    assert not result.reached_target  # only 40 joinable pairs exist
+    assert result.pairs_used <= 40
+
+
+def test_seller_accounting():
+    left, right = correlated_sources(seed=13, prices=(2.0, 3.0))
+    buy_correlation(left, right, budget=500, strategy="coordinated", rng=14)
+    assert left.revenue > 0
+    assert right.revenue > 0
+    assert left.revenue % 2.0 == 0.0
+    assert right.revenue % 3.0 == 0.0
+
+
+def test_source_validations():
+    schema = Schema([("k", "categorical"), ("v", "numeric")])
+    table = Table.from_rows(schema, [("a", 1.0)])
+    with pytest.raises(SpecificationError):
+        PricedColumnSource(table, "k", "v", price=0.0)
+    empty = Table.from_rows(schema, [(None, 1.0), ("b", None)])
+    with pytest.raises(EmptyInputError):
+        PricedColumnSource(empty, "k", "v")
+    source = PricedColumnSource(table, "k", "v")
+    with pytest.raises(SpecificationError):
+        source.buy_random(0)
+
+
+def test_buy_correlation_validations():
+    left, right = correlated_sources(seed=15)
+    with pytest.raises(SpecificationError):
+        buy_correlation(left, right, budget=0)
+    with pytest.raises(SpecificationError):
+        buy_correlation(left, right, budget=10, strategy="psychic")
+    with pytest.raises(SpecificationError):
+        buy_correlation(left, right, budget=10, target_ci_width=0.0)

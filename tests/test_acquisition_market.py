@@ -1,0 +1,121 @@
+"""Data-market acquisition."""
+
+import pytest
+
+from respdi.acquisition import DataProvider, ModelImprovementAcquirer
+from respdi.datagen.population import default_health_population
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Eq
+
+
+@pytest.fixture(scope="module")
+def setting():
+    population = default_health_population(minority_fraction=0.25, group_signal=1.5)
+    initial = population.sample_biased(
+        120,
+        {g: (0.48 if g[1] == "white" else 0.02) for g in population.groups},
+        rng=1,
+    )
+    pool = population.sample(3000, rng=2)
+    validation = population.sample(1200, rng=3)
+    candidates = {
+        f"race={r}": Eq("race", r) for r in ("white", "black")
+    }
+    return population, initial, pool, validation, candidates
+
+
+FEATURES = ["x0", "x1", "x2", "x3"]
+
+
+def test_provider_serves_without_replacement(setting):
+    _, _, pool, _, candidates = setting
+    provider = DataProvider(pool, rng=4)
+    first = provider.query(candidates["race=black"], 50)
+    second = provider.query(candidates["race=black"], 50)
+    assert len(first) == 50 and len(second) == 50
+    assert provider.records_sold == 100
+    # No record sold twice: draws are disjoint row sets.
+    total_black = len(pool.filter(candidates["race=black"]))
+    drained = provider.query(candidates["race=black"], total_black)
+    assert len(drained) == total_black - 100
+
+
+def test_provider_empty_result_when_exhausted(setting):
+    _, _, pool, _, candidates = setting
+    provider = DataProvider(pool, rng=5)
+    total = len(pool.filter(candidates["race=black"]))
+    provider.query(candidates["race=black"], total)
+    empty = provider.query(candidates["race=black"], 10)
+    assert len(empty) == 0
+
+
+def test_provider_validations(setting):
+    _, _, pool, _, candidates = setting
+    provider = DataProvider(pool, rng=6)
+    with pytest.raises(SpecificationError):
+        provider.query(candidates["race=black"], 0)
+    from respdi.table import Table
+
+    with pytest.raises(EmptyInputError):
+        DataProvider(Table.empty(pool.schema))
+
+
+def test_acquisition_improves_model(setting):
+    population, initial, pool, validation, candidates = setting
+    provider = DataProvider(pool, rng=7)
+    acquirer = ModelImprovementAcquirer(
+        initial, candidates, FEATURES, "y", validation
+    )
+    result = acquirer.run(provider, budget=500, batch_size=100, rng=8)
+    assert result.records_bought == 500
+    assert result.final_accuracy >= result.initial_accuracy - 0.03
+    assert result.accuracy_trajectory[0] == (0, result.initial_accuracy)
+
+
+def test_explore_exploit_buys_useful_slices(setting):
+    population, initial, pool, validation, candidates = setting
+    provider = DataProvider(pool, rng=9)
+    acquirer = ModelImprovementAcquirer(
+        initial, candidates, FEATURES, "y", validation,
+        strategy="explore_exploit",
+    )
+    result = acquirer.run(provider, budget=600, batch_size=100, rng=10)
+    # The consumer starts minority-starved; the black slice is the novel one.
+    assert result.predicate_usage["race=black"] >= result.predicate_usage["race=white"]
+
+
+def test_round_robin_and_random_strategies(setting):
+    population, initial, pool, validation, candidates = setting
+    for strategy in ("round_robin", "random"):
+        provider = DataProvider(pool, rng=11)
+        acquirer = ModelImprovementAcquirer(
+            initial, candidates, FEATURES, "y", validation, strategy=strategy
+        )
+        result = acquirer.run(provider, budget=200, batch_size=100, rng=12)
+        assert result.records_bought == 200
+
+
+def test_exhausted_predicates_terminate_run(setting):
+    population, initial, pool, validation, _ = setting
+    tiny = {"rare": Eq("race", "nonexistent")}
+    provider = DataProvider(pool, rng=13)
+    acquirer = ModelImprovementAcquirer(
+        initial, tiny, FEATURES, "y", validation
+    )
+    result = acquirer.run(provider, budget=100, batch_size=10, rng=14)
+    assert result.records_bought == 0
+
+
+def test_validations(setting):
+    population, initial, pool, validation, candidates = setting
+    with pytest.raises(SpecificationError):
+        ModelImprovementAcquirer(initial, {}, FEATURES, "y", validation)
+    with pytest.raises(SpecificationError):
+        ModelImprovementAcquirer(
+            initial, candidates, FEATURES, "y", validation, strategy="psychic"
+        )
+    acquirer = ModelImprovementAcquirer(
+        initial, candidates, FEATURES, "y", validation
+    )
+    with pytest.raises(SpecificationError):
+        acquirer.run(DataProvider(pool, rng=15), budget=0)

@@ -1,0 +1,112 @@
+"""Slice Tuner."""
+
+import math
+
+import pytest
+
+from respdi.acquisition import DataProvider, SliceTuner, fit_power_law
+from respdi.datagen.population import default_health_population
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Eq
+
+
+def test_fit_power_law_recovers_parameters():
+    a_true, b_true = 2.0, 0.5
+    sizes = [10, 50, 100, 500, 1000]
+    losses = [a_true * n ** (-b_true) for n in sizes]
+    a, b = fit_power_law(sizes, losses)
+    assert a == pytest.approx(a_true, rel=0.01)
+    assert b == pytest.approx(b_true, abs=0.01)
+
+
+def test_fit_power_law_single_point_fallback():
+    a, b = fit_power_law([100], [0.5])
+    assert b == 0.5
+    assert a * 100 ** (-0.5) == pytest.approx(0.5)
+
+
+def test_fit_power_law_clamps_positive_slope():
+    # Loss increasing in n (noise) -> b clamped to 0 (flat curve).
+    _, b = fit_power_law([10, 100], [0.1, 0.5])
+    assert b == 0.0
+
+
+def test_fit_power_law_empty():
+    with pytest.raises(EmptyInputError):
+        fit_power_law([0], [0.0])
+
+
+@pytest.fixture(scope="module")
+def setting():
+    population = default_health_population(minority_fraction=0.25, group_signal=1.5)
+    initial = population.sample_biased(
+        200,
+        {g: (0.45 if g[1] == "white" else 0.05) for g in population.groups},
+        rng=31,
+    )
+    pool = population.sample(4000, rng=32)
+    validation = population.sample(1500, rng=33)
+    slices = {f"race={r}": Eq("race", r) for r in ("white", "black")}
+    return initial, pool, validation, slices
+
+
+FEATURES = ["x0", "x1", "x2", "x3"]
+
+
+def test_curve_strategy_spends_more_than_proportional_on_starved_slice(setting):
+    """Curve-based allocation follows projected loss reduction, which is
+    steepest where data is scarce — so the starved minority slice must
+    receive a larger share than a size-proportional allocation gives it."""
+    initial, pool, validation, slices = setting
+    curve = SliceTuner(slices, FEATURES, "y", validation, strategy="curve").run(
+        DataProvider(pool, rng=34), initial, budget=600, rounds=4, rng=35
+    )
+    proportional = SliceTuner(
+        slices, FEATURES, "y", validation, strategy="proportional"
+    ).run(DataProvider(pool, rng=34), initial, budget=600, rounds=4, rng=35)
+    assert curve.records_bought > 0
+
+    def minority_share(result):
+        total = sum(result.allocations.values())
+        return result.allocations["race=black"] / total if total else 0.0
+
+    assert minority_share(curve) > minority_share(proportional)
+
+
+def test_loss_decreases_with_budget(setting):
+    initial, pool, validation, slices = setting
+    provider = DataProvider(pool, rng=36)
+    tuner = SliceTuner(slices, FEATURES, "y", validation, strategy="curve")
+    result = tuner.run(provider, initial, budget=800, rounds=4, rng=37)
+    assert result.final_total_loss < result.total_loss_trajectory[0]
+
+
+def test_uniform_and_proportional_strategies_run(setting):
+    initial, pool, validation, slices = setting
+    for strategy in ("uniform", "proportional"):
+        provider = DataProvider(pool, rng=38)
+        tuner = SliceTuner(slices, FEATURES, "y", validation, strategy=strategy)
+        result = tuner.run(provider, initial, budget=300, rounds=3, rng=39)
+        assert result.records_bought > 0
+        assert len(result.total_loss_trajectory) >= 2
+
+
+def test_uniform_splits_evenly(setting):
+    initial, pool, validation, slices = setting
+    provider = DataProvider(pool, rng=40)
+    tuner = SliceTuner(slices, FEATURES, "y", validation, strategy="uniform")
+    result = tuner.run(provider, initial, budget=400, rounds=2, rng=41)
+    a = result.allocations["race=white"]
+    b = result.allocations["race=black"]
+    assert abs(a - b) <= max(4, 0.1 * (a + b))
+
+
+def test_validations(setting):
+    initial, pool, validation, slices = setting
+    with pytest.raises(SpecificationError):
+        SliceTuner({}, FEATURES, "y", validation)
+    with pytest.raises(SpecificationError):
+        SliceTuner(slices, FEATURES, "y", validation, strategy="alchemy")
+    tuner = SliceTuner(slices, FEATURES, "y", validation)
+    with pytest.raises(SpecificationError):
+        tuner.run(DataProvider(pool, rng=42), initial, budget=0)

@@ -1,0 +1,103 @@
+"""Disparate-impact repair."""
+
+import numpy as np
+import pytest
+
+from respdi.cleaning import disparate_impact_repair, repair_all_features
+from respdi.errors import SpecificationError
+from respdi.stats import correlation_ratio
+from respdi.table import Schema, Table
+
+
+def shifted_table(seed=0, n_a=400, n_b=200, shift=3.0):
+    rng = np.random.default_rng(seed)
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    values = np.concatenate(
+        [rng.normal(0, 1, n_a), rng.normal(shift, 1, n_b)]
+    )
+    groups = ["a"] * n_a + ["b"] * n_b
+    return Table(schema, {"g": groups, "x": values})
+
+
+def test_full_repair_removes_group_association():
+    table = shifted_table()
+    before = correlation_ratio(list(table.column("g")), table.column("x"))
+    repaired = disparate_impact_repair(table, "x", ["g"], repair_level=1.0)
+    after = correlation_ratio(
+        list(repaired.column("g")), repaired.column("x")
+    )
+    assert before > 0.7
+    assert after < 0.05
+
+
+def test_within_group_order_preserved():
+    table = shifted_table()
+    repaired = disparate_impact_repair(table, "x", ["g"], repair_level=1.0)
+    original = np.asarray(table.column("x"), dtype=float)
+    fixed = np.asarray(repaired.column("x"), dtype=float)
+    for group in ("a", "b"):
+        idx = np.array([g == group for g in table.column("g")])
+        original_order = np.argsort(original[idx])
+        fixed_order = np.argsort(fixed[idx])
+        assert np.array_equal(original_order, fixed_order)
+
+
+def test_zero_repair_is_identity():
+    table = shifted_table()
+    repaired = disparate_impact_repair(table, "x", ["g"], repair_level=0.0)
+    assert repaired.equals(table)
+
+
+def test_partial_repair_interpolates():
+    table = shifted_table()
+    full = disparate_impact_repair(table, "x", ["g"], 1.0)
+    half = disparate_impact_repair(table, "x", ["g"], 0.5)
+    original = np.asarray(table.column("x"), dtype=float)
+    full_values = np.asarray(full.column("x"), dtype=float)
+    half_values = np.asarray(half.column("x"), dtype=float)
+    assert np.allclose(half_values, 0.5 * original + 0.5 * full_values)
+
+
+def test_association_monotone_in_repair_level():
+    table = shifted_table()
+    associations = []
+    for level in (0.0, 0.5, 1.0):
+        repaired = disparate_impact_repair(table, "x", ["g"], level)
+        associations.append(
+            correlation_ratio(list(repaired.column("g")), repaired.column("x"))
+        )
+    assert associations[0] > associations[1] > associations[2]
+
+
+def test_missing_values_stay_missing():
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(
+        schema, [("a", 1.0), ("a", None), ("b", 5.0), ("b", 6.0)]
+    )
+    repaired = disparate_impact_repair(table, "x", ["g"])
+    assert repaired.missing_mask("x").tolist() == [False, True, False, False]
+
+
+def test_repair_all_features(health_table):
+    repaired = repair_all_features(
+        health_table, ["x0", "x1"], ["race"], repair_level=1.0
+    )
+    for column in ("x0", "x1"):
+        association = correlation_ratio(
+            list(repaired.column("race")), repaired.column(column)
+        )
+        assert association < 0.1
+    # Untouched column keeps its values.
+    assert np.allclose(
+        np.asarray(repaired.column("x2"), dtype=float),
+        np.asarray(health_table.column("x2"), dtype=float),
+    )
+
+
+def test_validations(health_table):
+    with pytest.raises(SpecificationError):
+        disparate_impact_repair(health_table, "x0", ["race"], repair_level=1.5)
+    with pytest.raises(SpecificationError):
+        disparate_impact_repair(health_table, "race", ["gender"])
+    with pytest.raises(SpecificationError):
+        disparate_impact_repair(health_table, "x0", [])

@@ -1,0 +1,78 @@
+"""FairPrep-style pipeline experiments."""
+
+import pytest
+
+from respdi.cleaning import GroupMeanImputer
+from respdi.cleaning.fairprep import FairPrepExperiment, compare_interventions
+from respdi.datagen import inject_mcar
+from respdi.datagen.population import default_health_population
+from respdi.errors import SpecificationError
+from respdi.ml import GaussianNaiveBayes, train_test_split
+
+
+@pytest.fixture(scope="module")
+def biased_table():
+    population = default_health_population(
+        minority_fraction=0.25, label_bias_against_minority=-1.5, group_signal=1.5
+    )
+    return population.sample(2500, rng=21)
+
+
+FEATURES = ["x0", "x1", "x2", "x3"]
+
+
+def test_baseline_pipeline_runs(biased_table):
+    experiment = FairPrepExperiment(FEATURES, "y", ["race"])
+    result = experiment.run_split(biased_table, rng=1)
+    assert 0.5 < result.report.accuracy <= 1.0
+    assert result.intervention == "none"
+    assert result.test_rows > 0
+    summary = result.summary()
+    assert set(summary) == {
+        "accuracy", "dp_difference", "disparate_impact", "eo_difference",
+        "accuracy_parity",
+    }
+
+
+def test_reweighing_reduces_dp(biased_table):
+    results = compare_interventions(
+        biased_table, FEATURES, "y", ["race"],
+        interventions=("none", "reweigh"), rng=2,
+    )
+    assert (
+        results["reweigh"].report.demographic_parity_difference
+        <= results["none"].report.demographic_parity_difference + 0.05
+    )
+
+
+def test_all_interventions_run_on_shared_split(biased_table):
+    results = compare_interventions(biased_table, FEATURES, "y", ["race"], rng=3)
+    assert set(results) == {"none", "reweigh", "oversample", "smote"}
+    for result in results.values():
+        assert result.test_rows == results["none"].test_rows
+
+
+def test_custom_model_factory(biased_table):
+    experiment = FairPrepExperiment(
+        FEATURES, "y", ["race"], model_factory=GaussianNaiveBayes
+    )
+    result = experiment.run_split(biased_table, rng=4)
+    assert result.report.accuracy > 0.55
+
+
+def test_imputer_stage_fits_on_train_only(biased_table):
+    dirty, _ = inject_mcar(biased_table, "x0", 0.2, rng=5)
+    imputer = GroupMeanImputer("x0", ["race"])
+    experiment = FairPrepExperiment(FEATURES, "y", ["race"], imputer=imputer)
+    train, test = train_test_split(dirty, 0.3, rng=6)
+    result = experiment.run(train, test, rng=7)
+    assert result.report.accuracy > 0.55
+
+
+def test_unknown_intervention_rejected():
+    with pytest.raises(SpecificationError, match="intervention"):
+        FairPrepExperiment(FEATURES, "y", ["race"], intervention="magic")
+    with pytest.raises(SpecificationError):
+        FairPrepExperiment([], "y", ["race"])
+    with pytest.raises(SpecificationError):
+        FairPrepExperiment(FEATURES, "y", [])

@@ -1,0 +1,141 @@
+"""Imputer behaviours, including the §2.4 bias mechanics."""
+
+import numpy as np
+import pytest
+
+from respdi.cleaning import (
+    DropMissingImputer,
+    GroupMeanImputer,
+    HotDeckImputer,
+    KNNImputer,
+    MeanImputer,
+    ModeImputer,
+)
+from respdi.datagen import inject_mar
+from respdi.errors import NotFittedError, SpecificationError
+from respdi.table import Schema, Table
+
+
+@pytest.fixture
+def grouped_table():
+    """Two groups with very different x distributions."""
+    schema = Schema([("g", "categorical"), ("x", "numeric"), ("z", "numeric")])
+    rows = []
+    for i in range(40):
+        rows.append(("a", 0.0 + i % 3, 0.0 + i % 3))
+    for i in range(10):
+        rows.append(("b", 100.0 + i % 3, 100.0 + i % 3))
+    return Table.from_rows(schema, rows)
+
+
+def punch_holes(table, rows):
+    values = list(table.column("x"))
+    for i in rows:
+        values[i] = None
+    return table.with_column("x", "numeric", values)
+
+
+def test_drop_imputer_removes_rows(grouped_table):
+    dirty = punch_holes(grouped_table, [0, 45])
+    out = DropMissingImputer("x").fit_transform(dirty)
+    assert len(out) == len(grouped_table) - 2
+
+
+def test_drop_imputer_erodes_minority_coverage(grouped_table):
+    """Dropping rows hits the small group proportionally harder."""
+    dirty = punch_holes(grouped_table, [40, 41, 42, 43, 44])  # all group b
+    out = DropMissingImputer("x").fit_transform(dirty)
+    assert out.value_counts("g")["b"] == 5  # half the minority gone
+    assert out.value_counts("g")["a"] == 40
+
+
+def test_mean_imputer_drags_minority_toward_majority(grouped_table):
+    dirty = punch_holes(grouped_table, [40, 41])  # group b values ~100
+    out = MeanImputer("x").fit_transform(dirty)
+    imputed = np.asarray(out.column("x"), dtype=float)[[40, 41]]
+    # Global mean is ~21 — far below the group's true ~101 values.
+    assert (imputed < 50).all()
+
+
+def test_group_mean_imputer_respects_groups(grouped_table):
+    dirty = punch_holes(grouped_table, [0, 40])
+    out = GroupMeanImputer("x", ["g"]).fit_transform(dirty)
+    values = np.asarray(out.column("x"), dtype=float)
+    assert values[0] == pytest.approx(1.0, abs=0.2)  # group a mean
+    assert values[40] == pytest.approx(101.0, abs=0.3)  # group b mean
+
+
+def test_group_mean_falls_back_to_global_for_unseen_group(grouped_table):
+    imputer = GroupMeanImputer("x", ["g"]).fit(grouped_table)
+    other = Table.from_rows(grouped_table.schema, [("zzz", None, 1.0)])
+    out = imputer.transform(other)
+    assert np.asarray(out.column("x"), dtype=float)[0] == pytest.approx(
+        grouped_table.aggregate("x", "mean")
+    )
+
+
+def test_hot_deck_draws_from_group_donors(grouped_table):
+    dirty = punch_holes(grouped_table, [40])
+    out = HotDeckImputer("x", ["g"], rng=1).fit_transform(dirty)
+    value = np.asarray(out.column("x"), dtype=float)[40]
+    assert value in {100.0, 101.0, 102.0}
+
+
+def test_knn_imputer_uses_feature_neighbors(grouped_table):
+    dirty = punch_holes(grouped_table, [40])
+    out = KNNImputer("x", ["z"], k=3).fit_transform(dirty)
+    value = np.asarray(out.column("x"), dtype=float)[40]
+    # z=100 for row 40; nearest neighbors in z are the other b rows.
+    assert value == pytest.approx(101.0, abs=1.5)
+
+
+def test_knn_fallback_when_features_missing(grouped_table):
+    dirty = grouped_table.with_column("z", "numeric", [None] * len(grouped_table))
+    dirty = punch_holes(dirty, [0])
+    imputer = KNNImputer("x", ["z"], k=3)
+    with pytest.raises(Exception):
+        # No complete donor rows at all.
+        imputer.fit(dirty)
+
+
+def test_mode_imputer_global_and_grouped():
+    schema = Schema([("g", "categorical"), ("c", "categorical")])
+    rows = [("a", "x")] * 5 + [("a", None)] + [("b", "y")] * 3 + [("b", None)]
+    table = Table.from_rows(schema, rows)
+    global_out = ModeImputer("c").fit_transform(table)
+    assert global_out.column("c")[5] == "x"
+    grouped_out = ModeImputer("c", ["g"]).fit_transform(table)
+    assert grouped_out.column("c")[9] == "y"
+
+
+def test_imputers_require_fit():
+    with pytest.raises(NotFittedError):
+        MeanImputer("x").transform(None)
+
+
+def test_mean_imputer_requires_numeric(grouped_table):
+    with pytest.raises(SpecificationError):
+        MeanImputer("g").fit(grouped_table)
+
+
+def test_imputation_against_mar_population(health_table):
+    dirty, mask = inject_mar(
+        health_table, "x0", "race", {"black": 0.4, "white": 0.05}, rng=2
+    )
+    out = GroupMeanImputer("x0", ["race"]).fit_transform(dirty)
+    assert out.missing_mask("x0").sum() == 0
+    # Untouched cells preserved.
+    clean = np.asarray(health_table.column("x0"), dtype=float)
+    fixed = np.asarray(out.column("x0"), dtype=float)
+    assert np.allclose(clean[~mask], fixed[~mask])
+
+
+def test_validations():
+    with pytest.raises(SpecificationError):
+        MeanImputer("")
+    with pytest.raises(SpecificationError):
+        GroupMeanImputer("x", [])
+    with pytest.raises(SpecificationError):
+        KNNImputer("x", ["x"])
+    with pytest.raises(SpecificationError):
+        KNNImputer("x", ["z"], k=0)

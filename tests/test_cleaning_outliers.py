@@ -1,0 +1,107 @@
+"""Error detection, repair, and §2.4 damage accounting."""
+
+import numpy as np
+import pytest
+
+from respdi.cleaning import (
+    group_aggregate_damage,
+    group_zscore_outliers,
+    repair_with_group_statistic,
+    zscore_outliers,
+)
+from respdi.datagen import inject_numeric_errors
+from respdi.errors import SpecificationError
+from respdi.table import Schema, Table
+
+
+def two_scale_table(seed=0):
+    """Majority at scale 1, minority at scale 1 but mean 50."""
+    rng = np.random.default_rng(seed)
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    values = np.concatenate(
+        [rng.normal(0, 1, 300), rng.normal(50, 1, 30)]
+    )
+    groups = ["maj"] * 300 + ["min"] * 30
+    return Table(schema, {"g": groups, "x": values})
+
+
+def test_global_zscore_flags_entire_minority():
+    table = two_scale_table()
+    flagged = zscore_outliers(table, "x", threshold=3.0)
+    minority = np.array([g == "min" for g in table.column("g")])
+    # The minority's legitimate values look like outliers globally.
+    assert flagged[minority].mean() > 0.9
+
+
+def test_group_zscore_spares_legitimate_minority_values():
+    table = two_scale_table()
+    flagged = group_zscore_outliers(table, "x", ["g"], threshold=3.0)
+    minority = np.array([g == "min" for g in table.column("g")])
+    assert flagged[minority].mean() < 0.1
+
+
+def test_group_zscore_catches_true_errors(health_table):
+    dirty, mask, clean = inject_numeric_errors(
+        health_table, "x0", rate=0.05, magnitude=8.0, rng=1
+    )
+    flagged = group_zscore_outliers(dirty, "x0", ["race"], threshold=4.0)
+    recall = flagged[mask].mean()
+    false_rate = flagged[~mask].mean()
+    assert recall > 0.8
+    assert false_rate < 0.02
+
+
+def test_repair_restores_group_aggregates(health_table):
+    dirty, mask, clean = inject_numeric_errors(
+        health_table, "x0", rate=0.05, magnitude=8.0, rng=2
+    )
+    repaired = repair_with_group_statistic(dirty, "x0", mask, ["race"])
+    damage_dirty = group_aggregate_damage(health_table, dirty, "x0", ["race"])
+    damage_repaired = group_aggregate_damage(health_table, repaired, "x0", ["race"])
+    for group in damage_dirty:
+        assert damage_repaired[group] <= damage_dirty[group] + 1e-9
+
+
+def test_small_group_suffers_more_damage():
+    """§2.4: the same corruption rate shifts the minority AVG more."""
+    rng = np.random.default_rng(3)
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    values = rng.normal(0, 1, 1050)
+    groups = ["maj"] * 1000 + ["min"] * 50
+    clean = Table(schema, {"g": groups, "x": values})
+    damages_min, damages_maj = [], []
+    for seed in range(10):
+        dirty, mask, _ = inject_numeric_errors(
+            clean, "x", rate=0.05, magnitude=6.0, rng=seed
+        )
+        damage = group_aggregate_damage(clean, dirty, "x", ["g"])
+        damages_min.append(damage[("min",)])
+        damages_maj.append(damage[("maj",)])
+    assert np.mean(damages_min) > 2 * np.mean(damages_maj)
+
+
+def test_repair_fallback_to_global():
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table(schema, {"g": ["a", "a", "b"], "x": [1.0, 3.0, 100.0]})
+    mask = np.array([False, False, True])  # b's only value flagged
+    repaired = repair_with_group_statistic(table, "x", mask, ["g"])
+    assert np.asarray(repaired.column("x"), dtype=float)[2] == pytest.approx(2.0)
+
+
+def test_validations(health_table):
+    with pytest.raises(SpecificationError):
+        zscore_outliers(health_table, "x0", threshold=0.0)
+    with pytest.raises(SpecificationError):
+        group_zscore_outliers(health_table, "x0", ["race"], threshold=-1)
+    with pytest.raises(SpecificationError, match="statistic"):
+        repair_with_group_statistic(
+            health_table, "x0", np.zeros(len(health_table), bool), ["race"], "mode"
+        )
+    with pytest.raises(SpecificationError, match="mask length"):
+        repair_with_group_statistic(health_table, "x0", np.zeros(3, bool), ["race"])
+    all_flagged = np.ones(len(health_table), dtype=bool)
+    with pytest.raises(SpecificationError, match="every value"):
+        repair_with_group_statistic(health_table, "x0", all_flagged, ["race"])
+    short = health_table.head(5)
+    with pytest.raises(SpecificationError, match="align"):
+        group_aggregate_damage(health_table, short, "x0", ["race"])

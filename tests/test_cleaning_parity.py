@@ -1,0 +1,88 @@
+"""Imputation accuracy parity (Zhang & Long)."""
+
+import numpy as np
+import pytest
+
+from respdi.cleaning import (
+    GroupMeanImputer,
+    MeanImputer,
+    imputation_accuracy_parity,
+    imputation_group_rmse,
+)
+from respdi.datagen import inject_mcar
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Schema, Table
+
+
+def shifted_groups_table(n_majority=200, n_minority=50, shift=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    values = np.concatenate(
+        [rng.normal(0, 1, n_majority), rng.normal(shift, 1, n_minority)]
+    )
+    groups = ["maj"] * n_majority + ["min"] * n_minority
+    return Table(schema, {"g": groups, "x": values})
+
+
+def test_global_mean_imputation_fails_shifted_minority():
+    table = shifted_groups_table()
+    dirty, mask = inject_mcar(table, "x", 0.3, rng=1)
+    clean = np.asarray(table.column("x"), dtype=float)
+    out = MeanImputer("x").fit_transform(dirty)
+    report = imputation_accuracy_parity(out, "x", clean, mask, ["g"])
+    # Minority RMSE must be much worse: its values sit 'shift' away from
+    # the global mean.
+    assert report.group_rmse[("min",)] > report.group_rmse[("maj",)] + 1.0
+    assert report.accuracy_parity_difference > 0.2
+    assert report.worst_group == ("min",)
+
+
+def test_group_mean_restores_parity():
+    table = shifted_groups_table()
+    dirty, mask = inject_mcar(table, "x", 0.3, rng=2)
+    clean = np.asarray(table.column("x"), dtype=float)
+    global_report = imputation_accuracy_parity(
+        MeanImputer("x").fit_transform(dirty), "x", clean, mask, ["g"]
+    )
+    group_report = imputation_accuracy_parity(
+        GroupMeanImputer("x", ["g"]).fit_transform(dirty), "x", clean, mask, ["g"]
+    )
+    assert (
+        group_report.accuracy_parity_difference
+        < global_report.accuracy_parity_difference
+    )
+    assert group_report.group_rmse[("min",)] < global_report.group_rmse[("min",)]
+
+
+def test_group_rmse_zero_for_perfect_imputation():
+    table = shifted_groups_table()
+    dirty, mask = inject_mcar(table, "x", 0.2, rng=3)
+    clean = np.asarray(table.column("x"), dtype=float)
+    perfect = dirty.with_column("x", "numeric", clean)
+    rmse = imputation_group_rmse(perfect, "x", clean, mask, ["g"])
+    assert all(v == 0.0 for v in rmse.values())
+
+
+def test_misaligned_inputs_rejected():
+    table = shifted_groups_table()
+    dirty, mask = inject_mcar(table, "x", 0.2, rng=4)
+    clean = np.asarray(table.column("x"), dtype=float)
+    dropped = dirty.head(10)
+    with pytest.raises(SpecificationError, match="align"):
+        imputation_group_rmse(dropped, "x", clean, mask, ["g"])
+
+
+def test_no_injected_cells_rejected():
+    table = shifted_groups_table()
+    clean = np.asarray(table.column("x"), dtype=float)
+    mask = np.zeros(len(table), dtype=bool)
+    with pytest.raises(EmptyInputError):
+        imputation_group_rmse(table, "x", clean, mask, ["g"])
+
+
+def test_tolerance_validation():
+    table = shifted_groups_table()
+    dirty, mask = inject_mcar(table, "x", 0.2, rng=5)
+    clean = np.asarray(table.column("x"), dtype=float)
+    with pytest.raises(SpecificationError):
+        imputation_accuracy_parity(dirty, "x", clean, mask, ["g"], tolerance=0.0)

@@ -1,0 +1,76 @@
+"""The respdi-audit command line tool."""
+
+import json
+
+import pytest
+
+from respdi.cli import main
+from respdi.table import write_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path, health_table):
+    path = tmp_path / "data.csv"
+    write_csv(health_table, path)
+    return str(path)
+
+
+def test_label_only_run(csv_path, capsys):
+    code = main([csv_path, "--sensitive", "gender,race", "--target", "y"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rows:" in out
+    assert "feature informativeness" in out
+
+
+def test_json_output(csv_path, tmp_path, capsys):
+    json_path = tmp_path / "label.json"
+    code = main(
+        [csv_path, "--sensitive", "race", "--target", "y", "--json", str(json_path)]
+    )
+    assert code == 0
+    with open(json_path) as handle:
+        payload = json.load(handle)
+    assert payload["sensitive_columns"] == ["race"]
+
+
+def test_audit_pass_and_fail(csv_path, capsys):
+    passing = main(
+        [csv_path, "--sensitive", "gender,race", "--audit",
+         "--coverage-threshold", "10"]
+    )
+    assert passing == 0
+    assert "overall: PASS" in capsys.readouterr().out
+    failing = main(
+        [csv_path, "--sensitive", "gender,race", "--audit",
+         "--coverage-threshold", "100000"]
+    )
+    assert failing == 2
+    assert "overall: FAIL" in capsys.readouterr().out
+
+
+def test_missing_file_errors(capsys):
+    code = main(["/nonexistent.csv", "--sensitive", "race"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_types_flag_for_headerless_schema(tmp_path, health_table, capsys):
+    path = tmp_path / "plain.csv"
+    write_csv(health_table, path, include_types=False)
+    code = main(
+        [
+            str(path),
+            "--sensitive", "race",
+            "--types",
+            "categorical,categorical,numeric,numeric,numeric,numeric,numeric",
+        ]
+    )
+    assert code == 0
+
+
+def test_types_flag_wrong_arity(tmp_path, health_table, capsys):
+    path = tmp_path / "plain.csv"
+    write_csv(health_table, path, include_types=False)
+    code = main([str(path), "--sensitive", "race", "--types", "categorical"])
+    assert code == 1

@@ -1,0 +1,188 @@
+"""MUP identification and coverage enhancement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.coverage import (
+    CoverageAnalyzer,
+    WILDCARD,
+    greedy_coverage_enhancement,
+    pattern_dominates,
+)
+from respdi.errors import SpecificationError
+from respdi.table import Schema, Table
+
+X = WILDCARD
+
+
+def make_table(rows):
+    schema = Schema([("g", "categorical"), ("r", "categorical"), ("c", "categorical")])
+    return Table.from_rows(schema, rows)
+
+
+@pytest.fixture
+def skewed_table():
+    rows = (
+        [("F", "w", "u")] * 30
+        + [("M", "w", "u")] * 30
+        + [("F", "b", "u")] * 2
+        + [("M", "b", "r")] * 1
+    )
+    return make_table(rows)
+
+
+def test_counts(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r"], threshold=5)
+    assert analyzer.count((X, X)) == 63
+    assert analyzer.count(("F", X)) == 32
+    assert analyzer.count(("F", "b")) == 2
+    assert analyzer.count(("F", "nonexistent")) == 0
+
+
+def test_mups_match_naive_oracle(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r", "c"], threshold=5)
+    fast = analyzer.mups()
+    naive = analyzer.mups_naive()
+    assert sorted(map(repr, fast.mups)) == sorted(map(repr, naive.mups))
+
+
+def test_mup_semantics(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r"], threshold=5)
+    report = analyzer.mups()
+    assert (X, "b") in report.mups
+    # (F, b) is uncovered but its parent (X, b) is uncovered too -> not a MUP.
+    assert ("F", "b") not in report.mups
+    assert report.is_uncovered(("F", "b"))
+    assert not report.is_uncovered(("F", "w"))
+
+
+def test_every_mup_is_uncovered_with_covered_parents(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r", "c"], threshold=4)
+    from respdi.coverage.patterns import pattern_parents
+
+    for mup in analyzer.mups().mups:
+        assert not analyzer.is_covered(mup)
+        for parent in pattern_parents(mup):
+            assert analyzer.is_covered(parent)
+
+
+def test_uncovered_root():
+    table = make_table([("F", "w", "u")] * 3)
+    analyzer = CoverageAnalyzer(table, ["g", "r"], threshold=10)
+    report = analyzer.mups()
+    assert report.mups == [(X, X)]
+    naive = analyzer.mups_naive()
+    assert naive.mups == [(X, X)]
+
+
+def test_fully_covered_dataset():
+    table = make_table(
+        [("F", "w", "u")] * 10
+        + [("F", "b", "u")] * 10
+        + [("M", "w", "u")] * 10
+        + [("M", "b", "u")] * 10
+    )
+    analyzer = CoverageAnalyzer(table, ["g", "r"], threshold=5)
+    assert analyzer.mups().mups == []
+
+
+def test_pattern_breaker_prunes(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r", "c"], threshold=5)
+    fast = analyzer.mups()
+    naive = analyzer.mups_naive()
+    assert fast.patterns_evaluated <= naive.patterns_evaluated
+
+
+def test_describe(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r"], threshold=5)
+    described = analyzer.mups().describe()
+    assert any("'b'" in line for line in described)
+
+
+def test_validations(skewed_table):
+    with pytest.raises(SpecificationError):
+        CoverageAnalyzer(skewed_table, ["g"], threshold=0)
+    with pytest.raises(SpecificationError):
+        CoverageAnalyzer(skewed_table, [], threshold=5)
+
+
+def test_numeric_attribute_rejected(health_table):
+    with pytest.raises(SpecificationError, match="categorical"):
+        CoverageAnalyzer(health_table, ["x0"], threshold=5)
+
+
+def test_enhancement_covers_the_given_mups(skewed_table):
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r"], threshold=5)
+    mups = analyzer.mups().mups
+    plan = greedy_coverage_enhancement(analyzer, mups)
+    assert plan
+    rows = list(skewed_table.iter_rows())
+    for combo, copies in plan:
+        for _ in range(copies):
+            rows.append((combo[0], combo[1], "u"))
+    enhanced = make_table(rows)
+    analyzer2 = CoverageAnalyzer(enhanced, ["g", "r"], threshold=5)
+    for mup in mups:
+        assert analyzer2.is_covered(mup)
+
+
+def test_full_coverage_plan_kills_all_mups(skewed_table):
+    from respdi.coverage import full_coverage_plan
+
+    analyzer = CoverageAnalyzer(skewed_table, ["g", "r"], threshold=5)
+    plan = full_coverage_plan(analyzer)
+    assert plan
+    rows = list(skewed_table.iter_rows())
+    for combo, copies in plan:
+        for _ in range(copies):
+            rows.append((combo[0], combo[1], "u"))
+    enhanced = make_table(rows)
+    analyzer2 = CoverageAnalyzer(enhanced, ["g", "r"], threshold=5)
+    assert analyzer2.mups().mups == []
+
+
+def test_enhancement_shares_rows_across_compatible_mups():
+    # Both MUPs dominated by the same full combination -> one plan entry.
+    rows = [("F", "w", "u")] * 20 + [("M", "b", "r")] * 1
+    table = make_table(rows)
+    analyzer = CoverageAnalyzer(table, ["g", "r"], threshold=3)
+    mups = analyzer.mups().mups
+    plan = greedy_coverage_enhancement(analyzer, mups)
+    combos = [combo for combo, _ in plan]
+    assert ("M", "b") in combos
+
+
+@st.composite
+def random_tables(draw):
+    n = draw(st.integers(5, 40))
+    rows = [
+        (
+            draw(st.sampled_from(["a", "b"])),
+            draw(st.sampled_from(["x", "y", "z"])),
+            "c",
+        )
+        for _ in range(n)
+    ]
+    return make_table(rows)
+
+
+@given(table=random_tables(), threshold=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_pattern_breaker_equals_naive_property(table, threshold):
+    analyzer = CoverageAnalyzer(table, ["g", "r"], threshold=threshold)
+    fast = sorted(map(repr, analyzer.mups().mups))
+    naive = sorted(map(repr, analyzer.mups_naive().mups))
+    assert fast == naive
+
+
+@given(table=random_tables(), threshold=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_uncovered_region_characterization(table, threshold):
+    """A pattern is uncovered iff dominated by some MUP."""
+    analyzer = CoverageAnalyzer(table, ["g", "r"], threshold=threshold)
+    report = analyzer.mups()
+    for pattern in analyzer.all_patterns():
+        dominated = any(pattern_dominates(m, pattern) for m in report.mups)
+        assert dominated == (not analyzer.is_covered(pattern))

@@ -1,0 +1,83 @@
+"""Neighborhood-based coverage for continuous attributes."""
+
+import numpy as np
+import pytest
+
+from respdi.coverage import OrdinalCoverage
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Schema, Table
+
+
+def cluster_table():
+    rng = np.random.default_rng(0)
+    # Dense cluster at origin, nothing beyond radius 5.
+    points = rng.normal(0, 0.5, size=(200, 2))
+    schema = Schema([("a", "numeric"), ("b", "numeric")])
+    return Table(schema, {"a": points[:, 0], "b": points[:, 1]})
+
+
+def test_point_coverage():
+    coverage = OrdinalCoverage(cluster_table(), ["a", "b"], k=5, radius=1.0, standardize=False)
+    assert coverage.is_covered([0.0, 0.0])
+    assert not coverage.is_covered([50.0, 50.0])
+
+
+def test_neighbor_counts_monotone_in_radius():
+    table = cluster_table()
+    tight = OrdinalCoverage(table, ["a", "b"], k=1, radius=0.2, standardize=False)
+    wide = OrdinalCoverage(table, ["a", "b"], k=1, radius=2.0, standardize=False)
+    point = np.array([[0.1, 0.1]])
+    assert wide.neighbor_counts(point)[0] >= tight.neighbor_counts(point)[0]
+
+
+def test_uncovered_fraction_bounds():
+    coverage = OrdinalCoverage(cluster_table(), ["a", "b"], k=3, radius=1.0, standardize=False)
+    inside = coverage.uncovered_fraction([-0.5, -0.5], [0.5, 0.5], rng=1)
+    outside = coverage.uncovered_fraction([20, 20], [30, 30], rng=1)
+    assert inside < 0.05
+    assert outside == 1.0
+
+
+def test_standardization_makes_radius_scale_free():
+    rng = np.random.default_rng(3)
+    schema = Schema([("a", "numeric"), ("b", "numeric")])
+    data = rng.normal(0, 1, size=(300, 2))
+    scaled = data * np.array([1000.0, 0.001])
+    t1 = Table(schema, {"a": data[:, 0], "b": data[:, 1]})
+    t2 = Table(schema, {"a": scaled[:, 0], "b": scaled[:, 1]})
+    c1 = OrdinalCoverage(t1, ["a", "b"], k=5, radius=0.5)
+    c2 = OrdinalCoverage(t2, ["a", "b"], k=5, radius=0.5)
+    # The same standardized query point should see similar counts.
+    assert c1.neighbor_counts([[0.0, 0.0]])[0] == c2.neighbor_counts([[0.0, 0.0]])[0]
+
+
+def test_missing_rows_excluded():
+    schema = Schema([("a", "numeric")])
+    table = Table(schema, {"a": [0.0, None, 0.1, None]})
+    coverage = OrdinalCoverage(table, ["a"], k=2, radius=0.5, standardize=False)
+    assert coverage.is_covered([0.0])
+
+
+def test_uncovered_data_points(health_table):
+    coverage = OrdinalCoverage(health_table, ["x0", "x1"], k=3, radius=0.4)
+    mask = coverage.uncovered_data_points(health_table)
+    # Points of the indexed set are their own neighbors; most should be covered.
+    assert mask.mean() < 0.5
+
+
+def test_validations():
+    table = cluster_table()
+    with pytest.raises(SpecificationError):
+        OrdinalCoverage(table, ["a"], k=0, radius=1.0)
+    with pytest.raises(SpecificationError):
+        OrdinalCoverage(table, ["a"], k=1, radius=0.0)
+    with pytest.raises(SpecificationError):
+        OrdinalCoverage(table, [], k=1, radius=1.0)
+    empty = Table(Schema([("a", "numeric")]), {"a": [None, None]})
+    with pytest.raises(EmptyInputError):
+        OrdinalCoverage(empty, ["a"], k=1, radius=1.0)
+    coverage = OrdinalCoverage(table, ["a", "b"], k=1, radius=1.0)
+    with pytest.raises(SpecificationError, match="dims"):
+        coverage.is_covered([0.0])
+    with pytest.raises(SpecificationError, match="lo > hi"):
+        coverage.uncovered_fraction([1, 1], [0, 0])

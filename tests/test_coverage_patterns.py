@@ -1,0 +1,63 @@
+"""Pattern primitives."""
+
+import pytest
+
+from respdi.coverage import (
+    WILDCARD,
+    pattern_dominates,
+    pattern_level,
+    pattern_matches_mask,
+    pattern_parents,
+)
+from respdi.coverage.patterns import format_pattern
+from respdi.errors import SpecificationError
+
+X = WILDCARD
+
+
+def test_wildcard_is_singleton():
+    from respdi.coverage.patterns import _Wildcard
+
+    assert _Wildcard() is WILDCARD
+    assert repr(WILDCARD) == "X"
+
+
+def test_pattern_level():
+    assert pattern_level((X, X)) == 0
+    assert pattern_level(("a", X)) == 1
+    assert pattern_level(("a", "b")) == 2
+
+
+def test_pattern_parents():
+    parents = list(pattern_parents(("a", "b")))
+    assert parents == [(X, "b"), ("a", X)]
+    assert list(pattern_parents((X, X))) == []
+
+
+def test_pattern_dominates():
+    assert pattern_dominates((X, X), ("a", "b"))
+    assert pattern_dominates(("a", X), ("a", "b"))
+    assert not pattern_dominates(("a", X), ("b", "b"))
+    assert pattern_dominates(("a", "b"), ("a", "b"))
+    with pytest.raises(SpecificationError):
+        pattern_dominates((X,), ("a", "b"))
+
+
+def test_matches_mask_and_missing(small_table):
+    mask = pattern_matches_mask(small_table, ["race", "gender"], ("black", X))
+    assert mask.sum() == 3
+    mask = pattern_matches_mask(small_table, ["race", "gender"], ("black", "F"))
+    assert mask.sum() == 2
+    # Row with missing race never matches an instantiated race position.
+    mask = pattern_matches_mask(small_table, ["race", "gender"], (X, "M"))
+    assert mask.sum() == 3
+
+
+def test_matches_mask_width_check(small_table):
+    with pytest.raises(SpecificationError):
+        pattern_matches_mask(small_table, ["race"], ("a", "b"))
+
+
+def test_format_pattern():
+    rendered = format_pattern(["g", "r"], ("F", X))
+    assert rendered == "{g: 'F', r: X}"

@@ -1,0 +1,62 @@
+"""Synthetic lake ground truth."""
+
+import numpy as np
+import pytest
+
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.errors import SpecificationError
+from respdi.stats import pearson_correlation
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return generate_lake(LakeSpec(n_distractors=10), rng=42)
+
+
+def test_lake_contains_expected_tables(lake):
+    assert lake.query_table in lake.tables
+    for name in lake.unionable_truth:
+        assert name in lake.tables
+    for name in lake.join_truth:
+        assert name in lake.tables
+    assert sum(1 for n in lake.tables if n.startswith("distractor")) == 10
+
+
+def test_planted_containment_is_exact(lake):
+    query_values = lake.column_values(lake.query_table, lake.query_column)
+    for name, containment in lake.unionable_truth.items():
+        table = lake.tables[name]
+        partner_column = [
+            c for c in table.column_names if c.endswith("c0")
+        ][0]
+        partner_values = lake.column_values(name, partner_column)
+        actual = len(query_values & partner_values) / len(query_values)
+        assert actual == pytest.approx(containment, abs=0.01)
+
+
+def test_planted_join_correlation_is_close(lake):
+    query = lake.tables[lake.query_table]
+    for name, rho in lake.join_truth.items():
+        joined = query.join(lake.tables[name], on=["key"])
+        actual = pearson_correlation(
+            np.asarray(joined.column("target"), dtype=float),
+            np.asarray(joined.column("feat"), dtype=float),
+        )
+        assert actual == pytest.approx(rho, abs=0.15)
+
+
+def test_lake_is_reproducible():
+    a = generate_lake(LakeSpec(n_distractors=3), rng=7)
+    b = generate_lake(LakeSpec(n_distractors=3), rng=7)
+    assert set(a.tables) == set(b.tables)
+    for name in a.tables:
+        assert a.tables[name].equals(b.tables[name])
+
+
+def test_spec_validations():
+    with pytest.raises(SpecificationError):
+        LakeSpec(domain_size=100, vocab_size=50)
+    with pytest.raises(SpecificationError):
+        LakeSpec(planted_containments=(1.5,))
+    with pytest.raises(SpecificationError):
+        LakeSpec(planted_correlations=(2.0,))

@@ -1,0 +1,88 @@
+"""Missingness mechanisms and error injection."""
+
+import numpy as np
+import pytest
+
+from respdi.datagen import (
+    inject_mar,
+    inject_mcar,
+    inject_mnar,
+    inject_numeric_errors,
+)
+from respdi.errors import SpecificationError
+
+
+def test_mcar_rate_and_mask(health_table):
+    dirty, mask = inject_mcar(health_table, "x0", 0.3, rng=1)
+    assert mask.sum() == dirty.missing_mask("x0").sum()
+    assert mask.mean() == pytest.approx(0.3, abs=0.06)
+    # Original untouched.
+    assert health_table.missing_mask("x0").sum() == 0
+
+
+def test_mcar_zero_rate_is_noop(health_table):
+    dirty, mask = inject_mcar(health_table, "x0", 0.0, rng=1)
+    assert mask.sum() == 0
+    assert dirty.equals(health_table)
+
+
+def test_mcar_validation(health_table):
+    with pytest.raises(SpecificationError):
+        inject_mcar(health_table, "x0", 1.0)
+
+
+def test_mar_depends_on_conditioning_column(health_table):
+    dirty, mask = inject_mar(
+        health_table, "x0", "race", {"black": 0.6, "white": 0.05}, rng=2
+    )
+    race = health_table.column("race")
+    black_rate = mask[race == "black"].mean()
+    white_rate = mask[race == "white"].mean()
+    assert black_rate == pytest.approx(0.6, abs=0.1)
+    assert white_rate == pytest.approx(0.05, abs=0.05)
+
+
+def test_mar_unlisted_values_never_missing(health_table):
+    dirty, mask = inject_mar(health_table, "x0", "race", {"black": 0.5}, rng=3)
+    race = health_table.column("race")
+    assert mask[race == "white"].sum() == 0
+
+
+def test_mar_validation(health_table):
+    with pytest.raises(SpecificationError):
+        inject_mar(health_table, "x0", "race", {"black": 1.5})
+
+
+def test_mnar_prefers_large_values(health_table):
+    dirty, mask = inject_mnar(health_table, "x1", base_rate=0.3, slope=2.0, rng=4)
+    values = np.asarray(health_table.column("x1"), dtype=float)
+    removed_mean = values[mask].mean()
+    kept_mean = values[~mask].mean()
+    assert removed_mean > kept_mean
+
+
+def test_mnar_requires_numeric(health_table):
+    with pytest.raises(SpecificationError):
+        inject_mnar(health_table, "race", 0.2)
+    with pytest.raises(SpecificationError):
+        inject_mnar(health_table, "x0", 0.0)
+
+
+def test_error_injection_marks_and_preserves(health_table):
+    dirty, mask, clean = inject_numeric_errors(
+        health_table, "x2", rate=0.1, magnitude=6.0, rng=5
+    )
+    assert mask.mean() == pytest.approx(0.1, abs=0.04)
+    dirty_values = np.asarray(dirty.column("x2"), dtype=float)
+    assert np.allclose(dirty_values[~mask], clean[~mask])
+    shift = np.abs(dirty_values[mask] - clean[mask])
+    assert (shift > 3 * clean.std()).all()
+
+
+def test_error_injection_validations(health_table):
+    with pytest.raises(SpecificationError):
+        inject_numeric_errors(health_table, "x2", rate=1.0)
+    with pytest.raises(SpecificationError):
+        inject_numeric_errors(health_table, "x2", rate=0.1, magnitude=0.0)
+    with pytest.raises(SpecificationError):
+        inject_numeric_errors(health_table, "race", rate=0.1)

@@ -1,0 +1,125 @@
+"""Population model: joint distributions, conditional sampling, bias knobs."""
+
+import numpy as np
+import pytest
+
+from respdi.datagen.population import (
+    PopulationModel,
+    SensitiveAttribute,
+    default_health_population,
+)
+from respdi.errors import SpecificationError
+
+
+def test_sensitive_attribute_normalizes():
+    attr = SensitiveAttribute("race", {"w": 3, "b": 1})
+    assert attr.marginal == {"w": 0.75, "b": 0.25}
+    assert attr.values == ("b", "w")
+
+
+def test_joint_from_marginals(health_population):
+    joint = health_population.group_distribution()
+    assert sum(joint.values()) == pytest.approx(1.0)
+    assert joint[("F", "black")] == pytest.approx(0.5 * 0.2)
+    assert len(health_population.groups) == 4
+
+
+def test_explicit_joint_overrides_product():
+    gender = SensitiveAttribute("g", {"F": 0.5, "M": 0.5})
+    race = SensitiveAttribute("r", {"w": 0.5, "b": 0.5})
+    joint = {("F", "w"): 0.4, ("F", "b"): 0.1, ("M", "w"): 0.1, ("M", "b"): 0.4}
+    pop = PopulationModel([gender, race], joint=joint, n_features=2)
+    assert pop.group_probability(("F", "w")) == pytest.approx(0.4)
+
+
+def test_joint_width_validated():
+    gender = SensitiveAttribute("g", {"F": 1.0})
+    with pytest.raises(SpecificationError, match="joint key"):
+        PopulationModel([gender], joint={("F", "extra"): 1.0})
+
+
+def test_schema_and_sampling(health_population, rng):
+    table = health_population.sample(300, rng)
+    assert len(table) == 300
+    assert table.schema == health_population.schema()
+    labels = set(np.unique(np.asarray(table.column("y"), dtype=float)))
+    assert labels <= {0.0, 1.0}
+
+
+def test_sample_matches_joint(health_population):
+    table = health_population.sample(20000, rng=7)
+    counts = table.group_counts(["gender", "race"])
+    for group, probability in health_population.group_distribution().items():
+        assert counts[group] / 20000 == pytest.approx(probability, abs=0.02)
+
+
+def test_sample_conditional_single_group(health_population, rng):
+    table = health_population.sample_conditional(("F", "black"), 50, rng)
+    counts = table.group_counts(["gender", "race"])
+    assert counts == {("F", "black"): 50}
+
+
+def test_sample_conditional_unknown_group(health_population, rng):
+    with pytest.raises(SpecificationError, match="unknown group"):
+        health_population.sample_conditional(("X", "Y"), 5, rng)
+
+
+def test_sample_biased_changes_mix_only(health_population):
+    biased = {("F", "black"): 0.7, ("M", "white"): 0.3}
+    table = health_population.sample_biased(5000, biased, rng=3)
+    counts = table.group_counts(["gender", "race"])
+    assert counts[("F", "black")] / 5000 == pytest.approx(0.7, abs=0.03)
+    assert ("F", "white") not in counts
+
+
+def test_sample_biased_unknown_group(health_population):
+    with pytest.raises(SpecificationError, match="unknown groups"):
+        health_population.sample_biased(10, {("alien", "alien"): 1.0}, rng=1)
+
+
+def test_group_label_bias_shifts_positive_rate():
+    pop_biased = default_health_population(
+        minority_fraction=0.3, label_bias_against_minority=-2.0
+    )
+    pop_fair = default_health_population(
+        minority_fraction=0.3, label_bias_against_minority=0.0
+    )
+    biased_rate = _positive_rate(pop_biased, ("F", "black"))
+    fair_rate = _positive_rate(pop_fair, ("F", "black"))
+    assert biased_rate < fair_rate - 0.1
+
+
+def _positive_rate(population, group):
+    table = population.sample_conditional(group, 4000, rng=9)
+    return float(np.asarray(table.column("y"), dtype=float).mean())
+
+
+def test_group_signal_zero_gives_identical_feature_means():
+    gender = SensitiveAttribute("g", {"F": 0.5, "M": 0.5})
+    pop = PopulationModel([gender], n_features=3, group_signal=0.0)
+    f_table = pop.sample_conditional(("F",), 4000, rng=1)
+    m_table = pop.sample_conditional(("M",), 4000, rng=2)
+    for name in pop.feature_names:
+        assert f_table.aggregate(name, "mean") == pytest.approx(
+            m_table.aggregate(name, "mean"), abs=0.15
+        )
+
+
+def test_deterministic_given_seed(health_population):
+    a = health_population.sample(100, rng=42)
+    b = health_population.sample(100, rng=42)
+    assert a.equals(b)
+
+
+def test_validations():
+    gender = SensitiveAttribute("g", {"F": 1.0})
+    with pytest.raises(SpecificationError):
+        PopulationModel([])
+    with pytest.raises(SpecificationError):
+        PopulationModel([gender], n_features=0)
+    with pytest.raises(SpecificationError, match="label weights"):
+        PopulationModel([gender], n_features=2, label_weights=[1.0])
+    with pytest.raises(SpecificationError, match="unknown groups"):
+        PopulationModel([gender], group_label_bias={("M",): 1.0})
+    with pytest.raises(SpecificationError):
+        default_health_population(minority_fraction=0.7)

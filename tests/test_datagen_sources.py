@@ -1,0 +1,96 @@
+"""Skewed source generation."""
+
+import pytest
+
+from respdi.datagen import make_source_tables, skewed_group_distributions
+from respdi.datagen.sources import overlapping_source_tables
+from respdi.errors import SpecificationError
+
+
+def test_distributions_are_normalized(health_population, rng):
+    base = health_population.group_distribution()
+    dists = skewed_group_distributions(base, 5, rng=rng)
+    assert len(dists) == 5
+    for dist in dists:
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert set(dist) == set(base)
+
+
+def test_concentration_controls_skew(health_population):
+    base = health_population.group_distribution()
+    from respdi.stats import total_variation
+
+    tight = skewed_group_distributions(base, 30, concentration=200.0, rng=1)
+    loose = skewed_group_distributions(base, 30, concentration=0.5, rng=1)
+    tight_tv = sum(total_variation(base, d) for d in tight) / 30
+    loose_tv = sum(total_variation(base, d) for d in loose) / 30
+    assert tight_tv < loose_tv
+
+
+def test_specialized_source(health_population, rng):
+    base = health_population.group_distribution()
+    dists = skewed_group_distributions(
+        base, 3, specialized={1: ("F", "black")}, specialization_mass=0.8, rng=rng
+    )
+    assert dists[1][("F", "black")] == pytest.approx(0.8)
+
+
+def test_specialization_validations(health_population, rng):
+    base = health_population.group_distribution()
+    with pytest.raises(SpecificationError, match="out of range"):
+        skewed_group_distributions(base, 2, specialized={5: ("F", "black")}, rng=rng)
+    with pytest.raises(SpecificationError, match="not in base"):
+        skewed_group_distributions(base, 2, specialized={0: ("Z", "Z")}, rng=rng)
+    with pytest.raises(SpecificationError):
+        skewed_group_distributions(base, 0, rng=rng)
+    with pytest.raises(SpecificationError):
+        skewed_group_distributions(base, 2, specialization_mass=0.0, rng=rng)
+
+
+def test_make_source_tables_respects_distributions(health_population):
+    base = health_population.group_distribution()
+    dists = skewed_group_distributions(
+        base, 2, specialized={0: ("M", "black")}, specialization_mass=0.9, rng=3
+    )
+    tables = make_source_tables(health_population, dists, 3000, rng=4)
+    counts = tables[0].group_counts(["gender", "race"])
+    assert counts[("M", "black")] / 3000 == pytest.approx(0.9, abs=0.03)
+
+
+def test_make_source_tables_validates_rows(health_population, rng):
+    with pytest.raises(SpecificationError):
+        make_source_tables(health_population, [health_population.group_distribution()], 0, rng)
+
+
+def test_overlapping_sources_share_ids(health_population):
+    base = health_population.group_distribution()
+    dists = [base, base]
+    sources, pool = overlapping_source_tables(
+        health_population, dists, 200, overlap=0.5, rng=5
+    )
+    assert all(len(s) == 200 for s in sources)
+    ids_a = set(sources[0].unique("_id"))
+    ids_b = set(sources[1].unique("_id"))
+    shared = ids_a & ids_b
+    # Both sources draw half their rows from the same pool, so some ids
+    # are expected to collide (statistically near-certain at these sizes).
+    assert all(i.startswith("pool") for i in shared)
+    own = {i for i in ids_a if i.startswith("own")}
+    assert len(own) == 100
+
+
+def test_zero_overlap_is_disjoint(health_population):
+    base = health_population.group_distribution()
+    sources, _ = overlapping_source_tables(
+        health_population, [base, base], 50, overlap=0.0, rng=6
+    )
+    ids_a = set(sources[0].unique("_id"))
+    ids_b = set(sources[1].unique("_id"))
+    assert not ids_a & ids_b
+
+
+def test_overlap_validation(health_population):
+    with pytest.raises(SpecificationError):
+        overlapping_source_tables(
+            health_population, [health_population.group_distribution()], 10, 1.0
+        )

@@ -1,0 +1,147 @@
+"""Sample debiasing: post-stratification, raking, weighted queries."""
+
+import numpy as np
+import pytest
+
+from respdi.debiasing import (
+    WeightedQuery,
+    effective_sample_size,
+    post_stratification_weights,
+    raking_weights,
+)
+from respdi.errors import ConvergenceError, EmptyInputError, SpecificationError
+from respdi.table import Eq, Schema, Table
+
+
+def biased_sample(health_population, n=4000, seed=1):
+    """Over-samples white patients 9:1 relative to the population."""
+    biased = {
+        g: (0.45 if g[1] == "white" else 0.05) for g in health_population.groups
+    }
+    return health_population.sample_biased(n, biased, rng=seed)
+
+
+def test_post_stratification_matches_population(health_population):
+    sample = biased_sample(health_population)
+    population = health_population.group_distribution()
+    weights = post_stratification_weights(sample, ["gender", "race"], population)
+    assert weights.mean() == pytest.approx(1.0)
+    # Weighted group shares equal the population's.
+    arrays = [sample.column("gender"), sample.column("race")]
+    for group, target in population.items():
+        mask = np.array(
+            [tuple(a[i] for a in arrays) == group for i in range(len(sample))]
+        )
+        weighted_share = weights[mask].sum() / weights.sum()
+        assert weighted_share == pytest.approx(target, abs=1e-9)
+
+
+def test_debiased_average_closer_to_population_truth():
+    """With a strong group effect on the label, the naive mean from a
+    white-oversampled set is far from the population rate; the
+    post-stratified mean recovers it."""
+    from respdi.datagen.population import PopulationModel, SensitiveAttribute
+
+    race = SensitiveAttribute("race", {"white": 0.8, "black": 0.2})
+    population = PopulationModel(
+        sensitive=[race],
+        n_features=2,
+        label_weights=[0.0, 0.0],  # label driven purely by group
+        group_label_bias={("black",): -2.0},
+        group_signal=0.0,
+    )
+    # Analytic truth: P(y|white)=sigmoid(0)=0.5, P(y|black)=sigmoid(-2).
+    truth = 0.8 * 0.5 + 0.2 * (1 / (1 + np.exp(2.0)))
+    sample = population.sample_biased(
+        6000, {("white",): 0.95, ("black",): 0.05}, rng=9
+    )
+    naive = sample.aggregate("y", "mean")
+    weights = post_stratification_weights(
+        sample, ["race"], population.group_distribution()
+    )
+    debiased = WeightedQuery(sample, weights).avg("y")
+    assert abs(naive - truth) > 0.03  # the bias is real
+    assert abs(debiased - truth) < 0.02
+    assert abs(debiased - truth) < abs(naive - truth)
+
+
+def test_post_stratification_missing_stratum_rejected(health_population):
+    sample = health_population.sample_biased(
+        200, {("F", "white"): 1.0}, rng=2
+    )
+    with pytest.raises(SpecificationError, match="absent from the sample"):
+        post_stratification_weights(
+            sample, ["gender", "race"], health_population.group_distribution()
+        )
+
+
+def test_raking_matches_both_marginals(health_population):
+    sample = biased_sample(health_population)
+    marginals = {
+        "gender": {"F": 0.5, "M": 0.5},
+        "race": {"white": 0.8, "black": 0.2},
+    }
+    weights = raking_weights(sample, marginals)
+    for attribute, target in marginals.items():
+        column = sample.column(attribute)
+        for value, share in target.items():
+            weighted = weights[column == value].sum() / weights.sum()
+            assert weighted == pytest.approx(share, abs=1e-6)
+
+
+def test_raking_single_marginal_equals_post_stratification(health_population):
+    sample = biased_sample(health_population)
+    marginal = {"race": {"white": 0.8, "black": 0.2}}
+    raked = raking_weights(sample, marginal)
+    post = post_stratification_weights(
+        sample.project(["race"]), ["race"], {("white",): 0.8, ("black",): 0.2}
+    )
+    assert np.allclose(raked, post)
+
+
+def test_raking_missing_value_rejected(health_population):
+    sample = health_population.sample_biased(
+        100, {("F", "white"): 1.0}, rng=3
+    )
+    with pytest.raises(SpecificationError, match="absent from the sample"):
+        raking_weights(sample, {"race": {"white": 0.5, "black": 0.5}})
+
+
+def test_effective_sample_size():
+    assert effective_sample_size(np.ones(100)) == pytest.approx(100.0)
+    skewed = np.array([10.0] + [0.1] * 99)
+    assert effective_sample_size(skewed) < 10
+    with pytest.raises(EmptyInputError):
+        effective_sample_size([])
+    with pytest.raises(SpecificationError):
+        effective_sample_size([-1.0])
+    with pytest.raises(SpecificationError):
+        effective_sample_size([0.0, 0.0])
+
+
+def test_weighted_query_operations():
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(
+        schema, [("a", 1.0), ("a", 3.0), ("b", 10.0), ("b", None)]
+    )
+    weights = np.array([1.0, 1.0, 2.0, 2.0])
+    query = WeightedQuery(table, weights)
+    assert query.fraction(Eq("g", "b")) == pytest.approx(4 / 6)
+    assert query.count() == pytest.approx(4.0)
+    assert query.count(Eq("g", "a")) == pytest.approx(2 / 1.5)
+    assert query.avg("x") == pytest.approx((1 + 3 + 20) / 4)
+    assert query.sum("x", Eq("g", "b")) == pytest.approx(20 / 1.5)
+    group_means = query.group_avg("x", ["g"])
+    assert group_means[("a",)] == pytest.approx(2.0)
+    assert group_means[("b",)] == pytest.approx(10.0)
+
+
+def test_weighted_query_validations():
+    schema = Schema([("x", "numeric")])
+    table = Table.from_rows(schema, [(1.0,)])
+    with pytest.raises(SpecificationError):
+        WeightedQuery(table, [1.0, 2.0])
+    with pytest.raises(SpecificationError):
+        WeightedQuery(table, [-1.0])
+    with pytest.raises(SpecificationError):
+        WeightedQuery(table, [0.0])

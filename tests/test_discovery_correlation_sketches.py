@@ -1,0 +1,78 @@
+"""Correlation sketches for join-correlation estimation."""
+
+import numpy as np
+import pytest
+
+from respdi.discovery import CorrelationSketch
+from respdi.errors import EmptyInputError, SpecificationError
+
+
+def correlated_columns(rho, n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(n)]
+    x = rng.normal(size=n)
+    y = rho * x + np.sqrt(1 - rho**2) * rng.normal(size=n)
+    return keys, x, y
+
+
+def test_estimates_track_true_correlation():
+    for rho in (0.9, 0.5, 0.0):
+        keys, x, y = correlated_columns(rho, seed=int(rho * 10))
+        a = CorrelationSketch.build(keys, x, size=128)
+        b = CorrelationSketch.build(keys, y, size=128)
+        assert a.estimate_pearson(b) == pytest.approx(rho, abs=0.25)
+
+
+def test_spearman_estimate():
+    keys, x, _ = correlated_columns(1.0)
+    a = CorrelationSketch.build(keys, x, size=128)
+    b = CorrelationSketch.build(keys, [v**3 for v in x], size=128)
+    assert a.estimate_spearman(b) == pytest.approx(1.0, abs=0.05)
+
+
+def test_duplicate_keys_aggregated_by_mean():
+    sketch = CorrelationSketch.build(["k", "k", "j"], [1.0, 3.0, 5.0], size=8)
+    values = {key: value for _, key, value in sketch.entries}
+    assert values["k"] == 2.0
+    assert sketch.num_keys == 2
+
+
+def test_missing_pairs_skipped():
+    sketch = CorrelationSketch.build(
+        ["a", None, "b", "c"], [1.0, 2.0, float("nan"), 3.0], size=8
+    )
+    assert sketch.num_keys == 2  # only 'a' and 'c' survive
+
+
+def test_partial_key_overlap():
+    keys_a = [f"k{i}" for i in range(300)]
+    keys_b = [f"k{i}" for i in range(150, 450)]
+    rng = np.random.default_rng(4)
+    shared = {f"k{i}": float(rng.normal()) for i in range(450)}
+    a = CorrelationSketch.build(keys_a, [shared[k] for k in keys_a], size=128)
+    b = CorrelationSketch.build(keys_b, [shared[k] for k in keys_b], size=128)
+    # Values equal on shared keys -> correlation ~1 on the join.
+    assert a.estimate_pearson(b) == pytest.approx(1.0, abs=0.01)
+    assert a.join_keys_estimate(b) == pytest.approx(150, rel=0.5)
+
+
+def test_too_small_sample_returns_zero():
+    a = CorrelationSketch.build(["x", "y"], [1.0, 2.0], size=4)
+    b = CorrelationSketch.build(["p", "q"], [1.0, 2.0], size=4)
+    assert a.estimate_pearson(b) == 0.0
+
+
+def test_seed_mismatch_rejected():
+    a = CorrelationSketch.build(["x", "y", "z"], [1, 2, 3], seed=1)
+    b = CorrelationSketch.build(["x", "y", "z"], [1, 2, 3], seed=2)
+    with pytest.raises(SpecificationError, match="different seeds"):
+        a.paired_values(b)
+
+
+def test_validations():
+    with pytest.raises(SpecificationError):
+        CorrelationSketch.build(["x"], [1.0], size=1)
+    with pytest.raises(SpecificationError):
+        CorrelationSketch.build(["x", "y"], [1.0])
+    with pytest.raises(EmptyInputError):
+        CorrelationSketch.build([None], [1.0])

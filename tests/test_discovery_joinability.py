@@ -1,0 +1,79 @@
+"""Exact joinability search."""
+
+import pytest
+
+from respdi.discovery import JoinabilityIndex
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Schema, Table
+
+
+def make_table(name_to_values):
+    schema = Schema([(name, "categorical") for name in name_to_values])
+    height = max(len(v) for v in name_to_values.values())
+    columns = {
+        name: [values[i % len(values)] for i in range(height)]
+        for name, values in name_to_values.items()
+    }
+    return Table(schema, columns)
+
+
+@pytest.fixture
+def index():
+    index = JoinabilityIndex()
+    index.add_table("users", make_table({"uid": [f"u{i}" for i in range(50)]}))
+    index.add_table(
+        "orders",
+        make_table({"uid": [f"u{i}" for i in range(30)], "oid": [f"o{i}" for i in range(60)]}),
+    )
+    index.add_table("logs", make_table({"session": [f"s{i}" for i in range(40)]}))
+    return index
+
+
+def test_exact_overlap_ranking(index):
+    query = [f"u{i}" for i in range(50)]
+    results = index.query(query, k=5)
+    assert results[0].table_name == "users"
+    assert results[0].overlap == 50
+    assert results[0].containment_of_query == 1.0
+    assert results[1].table_name == "orders"
+    assert results[1].overlap == 30
+    assert all(r.table_name != "logs" for r in results)
+
+
+def test_min_overlap_filter(index):
+    results = index.query([f"u{i}" for i in range(50)], k=5, min_overlap=40)
+    assert [r.table_name for r in results] == ["users"]
+
+
+def test_k_truncation(index):
+    results = index.query([f"u{i}" for i in range(50)], k=1)
+    assert len(results) == 1
+
+
+def test_num_columns(index):
+    assert index.num_columns == 4
+
+
+def test_duplicate_column_rejected(index):
+    with pytest.raises(SpecificationError, match="already indexed"):
+        index.add_table("users", make_table({"uid": ["u1"]}))
+
+
+def test_empty_query_and_index_errors(index):
+    with pytest.raises(EmptyInputError):
+        index.query([])
+    empty = JoinabilityIndex()
+    with pytest.raises(EmptyInputError):
+        empty.query(["x"])
+    with pytest.raises(SpecificationError):
+        index.query(["x"], k=0)
+    with pytest.raises(SpecificationError):
+        index.query(["x"], min_overlap=0)
+
+
+def test_deterministic_tiebreak():
+    index = JoinabilityIndex()
+    index.add_table("b", make_table({"c": ["x", "y"]}))
+    index.add_table("a", make_table({"c": ["x", "y"]}))
+    results = index.query(["x", "y"], k=2)
+    assert [r.table_name for r in results] == ["a", "b"]

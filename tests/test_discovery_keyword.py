@@ -1,0 +1,92 @@
+"""Keyword search over table metadata."""
+
+import pytest
+
+from respdi.discovery import KeywordIndex
+from respdi.discovery.keyword import tokenize
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Schema, Table
+
+
+def make_table(columns):
+    schema = Schema([(name, "categorical") for name in columns])
+    height = max(len(v) for v in columns.values())
+    return Table(
+        schema,
+        {
+            name: [values[i % len(values)] for i in range(height)]
+            for name, values in columns.items()
+        },
+    )
+
+
+def test_tokenize():
+    assert tokenize("Breast-Cancer_Records 2022!") == [
+        "breast", "cancer", "records", "2022",
+    ]
+    assert tokenize("") == []
+
+
+@pytest.fixture
+def index():
+    index = KeywordIndex()
+    index.add_table(
+        "chicago_health",
+        make_table({"patient_race": ["white", "black"], "diagnosis": ["cancer", "flu"]}),
+        description="Chicago patient health records",
+    )
+    index.add_table(
+        "taxi_trips",
+        make_table({"pickup_zone": ["loop", "ohare"]}),
+        description="Chicago taxi trips",
+    )
+    index.add_table(
+        "census",
+        make_table({"race": ["white", "black"], "income_bracket": ["low", "high"]}),
+    )
+    return index
+
+
+def test_search_ranks_relevant_first(index):
+    hits = index.search("patient cancer health")
+    assert hits[0].table_name == "chicago_health"
+
+
+def test_shared_tokens_rank_multiple(index):
+    hits = index.search("chicago")
+    names = [h.table_name for h in hits]
+    assert "chicago_health" in names and "taxi_trips" in names
+    assert "census" not in names
+
+
+def test_values_are_indexed(index):
+    hits = index.search("ohare")
+    assert hits[0].table_name == "taxi_trips"
+
+
+def test_column_names_are_indexed(index):
+    hits = index.search("income bracket")
+    assert hits[0].table_name == "census"
+
+
+def test_idf_downweights_common_tokens(index):
+    # "race" appears in two tables; "diagnosis" only in one.
+    hits = index.search("diagnosis")
+    assert hits[0].table_name == "chicago_health"
+
+
+def test_k_and_errors(index):
+    assert len(index.search("chicago", k=1)) == 1
+    with pytest.raises(SpecificationError):
+        index.search("chicago", k=0)
+    with pytest.raises(SpecificationError, match="tokens"):
+        index.search("!!!")
+    with pytest.raises(SpecificationError, match="already indexed"):
+        index.add_table("census", make_table({"a": ["b"]}))
+    empty = KeywordIndex()
+    with pytest.raises(EmptyInputError):
+        empty.search("x")
+
+
+def test_no_match_returns_empty(index):
+    assert index.search("zebra quantum") == []

@@ -1,0 +1,113 @@
+"""The DataLakeIndex facade, including unbiased feature discovery."""
+
+import numpy as np
+import pytest
+
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.discovery import DataLakeIndex
+from respdi.errors import SpecificationError
+from respdi.table import ColumnType, Schema, Table
+
+
+@pytest.fixture(scope="module")
+def indexed_lake():
+    lake = generate_lake(LakeSpec(n_distractors=15), rng=8)
+    index = DataLakeIndex(rng=0)
+    for name, table in lake.tables.items():
+        index.register(name, table)
+    return lake, index
+
+
+def test_register_rejects_duplicates(indexed_lake):
+    lake, index = indexed_lake
+    with pytest.raises(SpecificationError, match="already registered"):
+        index.register("query", lake.tables["query"])
+
+
+def test_unionable_search_recovers_planted_partners(indexed_lake):
+    lake, index = indexed_lake
+    query = lake.tables[lake.query_table].project([lake.query_column])
+    hits = index.unionable_tables(query, k=8)
+    names = [h.table_name for h in hits]
+    # The strongest non-self hit should be the 0.9-containment partner.
+    non_self = [n for n in names if n != "query"]
+    assert non_self[0] == "union_0"
+
+
+def test_joinable_search(indexed_lake):
+    lake, index = indexed_lake
+    query_values = lake.tables[lake.query_table].unique(lake.query_column)
+    hits = index.joinable_columns(query_values, k=5)
+    assert hits[0].table_name == "query"  # self-match has full overlap
+    assert any(h.table_name == "union_0" for h in hits)
+
+
+def test_feature_discovery_ranks_by_correlation(indexed_lake):
+    lake, index = indexed_lake
+    query = lake.tables[lake.query_table]
+    hits = index.discover_features(query, "key", "target", k=10)
+    joinable_hits = [h for h in hits if h.table_name.startswith("joinable")]
+    estimated = {h.table_name: abs(h.estimated_target_correlation) for h in joinable_hits}
+    assert estimated["joinable_0"] > estimated["joinable_2"]
+    assert estimated["joinable_0"] > 0.6
+
+
+def test_feature_discovery_bias_penalty():
+    # Build a tiny lake where one feature is a proxy for the sensitive
+    # attribute and another is informative but group-independent.
+    rng = np.random.default_rng(1)
+    n = 200
+    keys = [f"k{i}" for i in range(n)]
+    sensitive = ["a" if i % 2 == 0 else "b" for i in range(n)]
+    target = rng.normal(size=n)
+    query = Table(
+        Schema(
+            [
+                ("key", ColumnType.CATEGORICAL),
+                ("grp", ColumnType.CATEGORICAL),
+                ("target", ColumnType.NUMERIC),
+            ]
+        ),
+        {"key": keys, "grp": sensitive, "target": target},
+    )
+    proxy_feature = np.where(np.array(sensitive) == "a", 5.0, -5.0) + 0.5 * target
+    clean_feature = 0.5 * target + 0.1 * rng.normal(size=n)
+    index = DataLakeIndex(rng=0, sketch_size=128)
+    index.register(
+        "proxy",
+        Table(
+            Schema([("key", ColumnType.CATEGORICAL), ("f", ColumnType.NUMERIC)]),
+            {"key": keys, "f": proxy_feature},
+        ),
+    )
+    index.register(
+        "clean",
+        Table(
+            Schema([("key", ColumnType.CATEGORICAL), ("f", ColumnType.NUMERIC)]),
+            {"key": keys, "f": clean_feature},
+        ),
+    )
+    hits = index.discover_features(
+        query, "key", "target", sensitive_column="grp", k=5, bias_penalty=1.0
+    )
+    by_name = {h.table_name: h for h in hits}
+    assert by_name["proxy"].estimated_sensitive_association > 0.8
+    assert by_name["clean"].estimated_sensitive_association < 0.4
+    # With the penalty, the clean feature must outrank the proxy.
+    names = [h.table_name for h in hits]
+    assert names.index("clean") < names.index("proxy")
+
+
+def test_feature_discovery_validations(indexed_lake):
+    lake, index = indexed_lake
+    query = lake.tables[lake.query_table]
+    with pytest.raises(SpecificationError):
+        index.discover_features(query, "key", lake.query_column)  # non-numeric target
+    with pytest.raises(SpecificationError):
+        index.discover_features(query, "key", "target", bias_penalty=-1)
+
+
+def test_keyword_facade(indexed_lake):
+    lake, index = indexed_lake
+    hits = index.keyword_search("target key")
+    assert hits

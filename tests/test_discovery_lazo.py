@@ -1,0 +1,53 @@
+"""Lazo joint Jaccard/containment estimation."""
+
+import pytest
+
+from respdi.discovery import LazoSketch, MinHasher
+
+
+@pytest.fixture
+def hasher():
+    return MinHasher(256, rng=5)
+
+
+def test_containment_estimates(hasher):
+    query = {f"v{i}" for i in range(100)}
+    candidate = {f"v{i}" for i in range(80)} | {f"w{i}" for i in range(120)}
+    qs = LazoSketch.build(query, hasher)
+    cs = LazoSketch.build(candidate, hasher)
+    estimate = qs.estimate(cs)
+    # True: intersection 80, containment of query 0.8, of candidate 0.4.
+    assert estimate.intersection == pytest.approx(80, abs=25)
+    assert estimate.containment_of_query == pytest.approx(0.8, abs=0.15)
+    assert estimate.containment_of_candidate == pytest.approx(0.4, abs=0.15)
+
+
+def test_full_containment(hasher):
+    query = {f"v{i}" for i in range(50)}
+    superset = {f"v{i}" for i in range(200)}
+    estimate = LazoSketch.build(query, hasher).estimate(
+        LazoSketch.build(superset, hasher)
+    )
+    assert estimate.containment_of_query == pytest.approx(1.0, abs=0.1)
+
+
+def test_disjoint_sets(hasher):
+    a = LazoSketch.build({f"a{i}" for i in range(60)}, hasher)
+    b = LazoSketch.build({f"b{i}" for i in range(60)}, hasher)
+    estimate = a.estimate(b)
+    assert estimate.jaccard < 0.05
+    assert estimate.containment_of_query < 0.1
+
+
+def test_intersection_clamped_to_feasible(hasher):
+    small = LazoSketch.build({"x"}, hasher)
+    large = LazoSketch.build({"x"} | {f"y{i}" for i in range(500)}, hasher)
+    estimate = small.estimate(large)
+    assert estimate.intersection <= 1.0
+    assert estimate.containment_of_query <= 1.0
+
+
+def test_estimate_is_symmetric_in_jaccard(hasher):
+    a = LazoSketch.build({f"v{i}" for i in range(100)}, hasher)
+    b = LazoSketch.build({f"v{i}" for i in range(50, 150)}, hasher)
+    assert a.estimate(b).jaccard == b.estimate(a).jaccard

@@ -1,0 +1,84 @@
+"""LSH Ensemble containment search."""
+
+import pytest
+
+from respdi.discovery import LSHEnsemble
+from respdi.discovery.lshensemble import _choose_bands, containment_to_jaccard
+from respdi.errors import EmptyInputError, SpecificationError
+
+
+def test_containment_to_jaccard_formula():
+    # Containment 1.0 against equal-size candidates -> Jaccard 1.0.
+    assert containment_to_jaccard(1.0, 100, 100) == pytest.approx(1.0)
+    # Larger candidates dilute Jaccard at the same containment.
+    assert containment_to_jaccard(0.5, 100, 1000) < containment_to_jaccard(
+        0.5, 100, 100
+    )
+    with pytest.raises(SpecificationError):
+        containment_to_jaccard(1.5, 10, 10)
+    with pytest.raises(SpecificationError):
+        containment_to_jaccard(0.5, 0, 10)
+
+
+def test_choose_bands_respects_budget():
+    for threshold in (0.1, 0.5, 0.9):
+        bands, rows = _choose_bands(128, threshold)
+        assert bands * rows <= 128
+        assert bands >= 1 and rows >= 1
+
+
+def build_ensemble(rng=0):
+    ensemble = LSHEnsemble(num_hashes=128, num_partitions=3, rng=rng)
+    base = {f"v{i}" for i in range(200)}
+    ensemble.index("high", {f"v{i}" for i in range(180)} | {f"h{i}" for i in range(20)})
+    ensemble.index("mid", {f"v{i}" for i in range(100)} | {f"m{i}" for i in range(100)})
+    ensemble.index("low", {f"v{i}" for i in range(20)} | {f"l{i}" for i in range(180)})
+    ensemble.index("none", {f"n{i}" for i in range(200)})
+    ensemble.index("big", {f"v{i}" for i in range(150)} | {f"b{i}" for i in range(850)})
+    ensemble.freeze()
+    return ensemble, base
+
+
+def test_query_finds_high_containment():
+    ensemble, base = build_ensemble()
+    hits = dict(ensemble.query(base, containment_threshold=0.7))
+    assert "high" in hits
+    assert "none" not in hits
+    assert "low" not in hits
+
+
+def test_query_threshold_monotonicity():
+    ensemble, base = build_ensemble()
+    strict = {k for k, _ in ensemble.query(base, 0.8)}
+    loose = {k for k, _ in ensemble.query(base, 0.3)}
+    assert strict <= loose
+
+
+def test_partitioning_handles_size_skew():
+    ensemble, base = build_ensemble()
+    hits = dict(ensemble.query(base, containment_threshold=0.6))
+    # 'big' has true containment 0.75 of the query despite being 5x larger.
+    assert "big" in hits
+
+
+def test_results_sorted_by_containment():
+    ensemble, base = build_ensemble()
+    hits = ensemble.query(base, containment_threshold=0.05)
+    scores = [score for _, score in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_lifecycle_errors():
+    ensemble = LSHEnsemble(num_hashes=16, rng=0)
+    with pytest.raises(EmptyInputError):
+        ensemble.freeze()
+    ensemble.index("a", {"x", "y"})
+    with pytest.raises(SpecificationError, match="duplicate"):
+        ensemble.index("a", {"z"})
+    with pytest.raises(SpecificationError, match="freeze"):
+        ensemble.query({"x"}, 0.5)
+    ensemble.freeze()
+    with pytest.raises(SpecificationError, match="after freeze"):
+        ensemble.index("b", {"w"})
+    with pytest.raises(SpecificationError):
+        LSHEnsemble(num_partitions=0)

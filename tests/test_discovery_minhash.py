@@ -1,0 +1,82 @@
+"""MinHash signatures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.discovery import MinHasher
+from respdi.errors import EmptyInputError, SpecificationError
+
+
+def exact_jaccard(a, b):
+    a, b = set(a), set(b)
+    return len(a & b) / len(a | b) if a | b else 0.0
+
+
+def test_identical_sets_agree_fully():
+    hasher = MinHasher(64, rng=0)
+    a = hasher.signature(range(100))
+    b = hasher.signature(range(100))
+    assert a.jaccard(b) == 1.0
+
+
+def test_disjoint_sets_rarely_agree():
+    hasher = MinHasher(128, rng=0)
+    a = hasher.signature(range(0, 500))
+    b = hasher.signature(range(1000, 1500))
+    assert a.jaccard(b) < 0.05
+
+
+def test_estimate_close_to_truth():
+    hasher = MinHasher(256, rng=1)
+    a_values = set(range(0, 300))
+    b_values = set(range(150, 450))
+    estimate = hasher.signature(a_values).jaccard(hasher.signature(b_values))
+    assert estimate == pytest.approx(exact_jaccard(a_values, b_values), abs=0.1)
+
+
+def test_cardinality_recorded():
+    hasher = MinHasher(16, rng=2)
+    sig = hasher.signature(["a", "a", "b"])
+    assert sig.cardinality == 2
+    assert len(sig) == 16
+
+
+def test_signatures_deterministic_across_hashers_with_same_seed():
+    a = MinHasher(32, rng=7).signature(["x", "y", "z"])
+    b = MinHasher(32, rng=7).signature(["x", "y", "z"])
+    assert np.array_equal(a.values, b.values)
+
+
+def test_cross_hasher_comparison_rejected():
+    a = MinHasher(32, rng=0).signature(["x"])
+    b = MinHasher(32, rng=0).signature(["x"])
+    with pytest.raises(SpecificationError, match="different MinHashers"):
+        a.jaccard(b)
+
+
+def test_empty_set_rejected():
+    with pytest.raises(EmptyInputError):
+        MinHasher(8, rng=0).signature([])
+
+
+def test_invalid_num_hashes():
+    with pytest.raises(SpecificationError):
+        MinHasher(0)
+
+
+@given(
+    overlap=st.integers(0, 50),
+    extra_a=st.integers(1, 50),
+    extra_b=st.integers(1, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_estimate_within_tolerance_property(overlap, extra_a, extra_b):
+    a_values = {f"s{i}" for i in range(overlap)} | {f"a{i}" for i in range(extra_a)}
+    b_values = {f"s{i}" for i in range(overlap)} | {f"b{i}" for i in range(extra_b)}
+    hasher = MinHasher(256, rng=3)
+    estimate = hasher.signature(a_values).jaccard(hasher.signature(b_values))
+    truth = exact_jaccard(a_values, b_values)
+    # 256 hashes: standard error ~ sqrt(j(1-j)/256) <= 0.032; 5 sigma.
+    assert abs(estimate - truth) < 0.16

@@ -1,0 +1,108 @@
+"""Data-lake organization and navigation."""
+
+import numpy as np
+import pytest
+
+from respdi.discovery import LakeOrganization
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import ColumnType, Schema, Table
+
+
+def topical_lake(n_topics=6, tables_per_topic=6, seed=0):
+    rng = np.random.default_rng(seed)
+    org = LakeOrganization()
+    domains = {}
+    for topic in range(n_topics):
+        vocab = [f"t{topic}_v{i}" for i in range(400)]
+        for k in range(tables_per_topic):
+            domain = list(rng.choice(vocab, size=60, replace=False))
+            name = f"topic{topic}_table{k}"
+            org.register(
+                name,
+                Table(Schema([("c", ColumnType.CATEGORICAL)]), {"c": domain}),
+            )
+            domains[name] = set(domain)
+    return org, domains
+
+
+def test_build_produces_binary_tree_over_all_tables():
+    org, domains = topical_lake()
+    root = org.build()
+    leaves = root.leaves()
+    assert {leaf.table_name for leaf in leaves} == set(domains)
+    # Binary merges: every internal node has exactly two children.
+    def check(node):
+        if not node.is_leaf:
+            assert len(node.children) == 2
+            for child in node.children:
+                assert child.values <= node.values
+                check(child)
+    check(root)
+
+
+def test_navigation_finds_target_cheaply():
+    org, domains = topical_lake()
+    target = "topic2_table3"
+    query = sorted(domains[target])[:30]
+    nav = org.navigate(query)
+    _, scanned = org.linear_scan(query)
+    assert nav.found == target
+    assert nav.nodes_touched < scanned
+    assert nav.path[0] == org.root.node_id
+
+
+def test_navigation_matches_linear_scan_result():
+    org, domains = topical_lake(seed=3)
+    for target in ("topic0_table0", "topic4_table5"):
+        query = sorted(domains[target])[:30]
+        nav = org.navigate(query)
+        best, _ = org.linear_scan(query)
+        assert nav.found == best == target
+
+
+def test_navigation_gives_up_on_foreign_query():
+    org, _ = topical_lake()
+    nav = org.navigate([f"alien{i}" for i in range(20)], min_overlap=0.05)
+    assert nav.found is None
+
+
+def test_register_invalidates_tree():
+    org, domains = topical_lake(n_topics=2, tables_per_topic=2)
+    org.build()
+    org.register(
+        "late",
+        Table(Schema([("c", ColumnType.CATEGORICAL)]), {"c": ["zzz1", "zzz2"]}),
+    )
+    assert org.root is None
+    nav = org.navigate(["zzz1", "zzz2"])  # triggers rebuild
+    assert nav.found == "late"
+
+
+def test_validations():
+    org = LakeOrganization()
+    with pytest.raises(EmptyInputError):
+        org.build()
+    numeric_only = Table(Schema([("x", ColumnType.NUMERIC)]), {"x": [1.0]})
+    with pytest.raises(SpecificationError, match="categorical"):
+        org.register("numeric", numeric_only)
+    org.register(
+        "a", Table(Schema([("c", ColumnType.CATEGORICAL)]), {"c": ["v"]})
+    )
+    with pytest.raises(SpecificationError, match="already registered"):
+        org.register(
+            "a", Table(Schema([("c", ColumnType.CATEGORICAL)]), {"c": ["w"]})
+        )
+    with pytest.raises(SpecificationError):
+        org.navigate([])
+    with pytest.raises(SpecificationError):
+        org.linear_scan([])
+
+
+def test_single_table_lake():
+    org = LakeOrganization()
+    org.register(
+        "only", Table(Schema([("c", ColumnType.CATEGORICAL)]), {"c": ["v1", "v2"]})
+    )
+    nav = org.navigate(["v1"])
+    assert nav.found == "only"
+    assert nav.nodes_touched == 1

@@ -1,0 +1,90 @@
+"""Table union search."""
+
+import pytest
+
+from respdi.discovery import UnionSearch, column_unionability, table_unionability
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.table import Schema, Table
+
+
+def make_table(columns):
+    schema = Schema([(name, "categorical") for name in columns])
+    height = max(len(v) for v in columns.values())
+    data = {
+        name: [values[i % len(values)] for i in range(height)]
+        for name, values in columns.items()
+    }
+    return Table(schema, data)
+
+
+def test_column_unionability():
+    assert column_unionability({"a", "b"}, {"a", "b"}) == 1.0
+    assert column_unionability({"a"}, {"b"}) == 0.0
+    assert column_unionability(set(), {"a"}) == 0.0
+    assert column_unionability({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+
+def test_table_unionability_alignment():
+    query = make_table({"city": ["nyc", "la", "chi"], "state": ["ny", "ca", "il"]})
+    # Candidate has the same domains under different names, swapped order.
+    candidate = make_table({"st": ["ny", "ca", "il"], "town": ["nyc", "la", "chi"]})
+    score, alignment = table_unionability(query, candidate)
+    assert score == pytest.approx(1.0)
+    assert ("city", "town") in alignment
+    assert ("state", "st") in alignment
+
+
+def test_table_unionability_partial():
+    query = make_table({"a": ["x", "y"], "b": ["p", "q"]})
+    candidate = make_table({"c": ["x", "y"], "d": ["zzz", "www"]})
+    score, alignment = table_unionability(query, candidate)
+    assert score == pytest.approx(0.5)
+    assert alignment == [("a", "c")]
+
+
+def test_table_unionability_no_categorical_candidate():
+    query = make_table({"a": ["x"]})
+    candidate = Table(Schema([("n", "numeric")]), {"n": [1.0]})
+    score, alignment = table_unionability(query, candidate)
+    assert score == 0.0 and alignment == []
+
+
+def test_table_unionability_requires_query_columns():
+    query = Table(Schema([("n", "numeric")]), {"n": [1.0]})
+    with pytest.raises(SpecificationError):
+        table_unionability(query, query)
+
+
+def test_union_search_ranking():
+    search = UnionSearch(num_hashes=128, rng=0)
+    query = make_table({"name": [f"p{i}" for i in range(100)]})
+    perfect = make_table({"person": [f"p{i}" for i in range(100)]})
+    half = make_table(
+        {"person": [f"p{i}" for i in range(50)] + [f"q{i}" for i in range(50)]}
+    )
+    unrelated = make_table({"thing": [f"z{i}" for i in range(100)]})
+    search.add_table("perfect", perfect)
+    search.add_table("half", half)
+    search.add_table("unrelated", unrelated)
+    results = search.search(query, k=3)
+    assert results[0].table_name == "perfect"
+    assert results[1].table_name == "half"
+    assert results[0].score > results[1].score > results[2].score
+
+
+def test_union_search_k_limits():
+    search = UnionSearch(rng=0)
+    search.add_table("t", make_table({"a": ["x"]}))
+    results = search.search(make_table({"a": ["x"]}), k=1)
+    assert len(results) == 1
+
+
+def test_union_search_errors():
+    search = UnionSearch(rng=0)
+    with pytest.raises(EmptyInputError):
+        search.search(make_table({"a": ["x"]}))
+    search.add_table("t", make_table({"a": ["x"]}))
+    with pytest.raises(SpecificationError, match="already indexed"):
+        search.add_table("t", make_table({"a": ["y"]}))
+    with pytest.raises(SpecificationError):
+        search.search(make_table({"a": ["x"]}), k=0)

@@ -1,0 +1,122 @@
+"""Distribution-aware crowdsourced entity collection."""
+
+import numpy as np
+import pytest
+
+from respdi.entitycollection import (
+    AdaptiveSelection,
+    DirichletEstimator,
+    EntityCollector,
+    RandomSelection,
+    SimulatedWorker,
+    StaticSelection,
+    make_worker_pool,
+)
+from respdi.errors import SpecificationError
+
+
+def test_worker_submits_from_latent(rng):
+    worker = SimulatedWorker("w", {"a": 1.0})
+    assert worker.submit(rng) == "a"
+    skewed = SimulatedWorker("w2", {"a": 0.9, "b": 0.1})
+    draws = [skewed.submit(rng) for _ in range(500)]
+    assert draws.count("a") / 500 == pytest.approx(0.9, abs=0.05)
+
+
+def test_worker_pool_properties(rng):
+    pool = make_worker_pool(list("abc"), 5, concentration=1.0, rng=rng)
+    assert len(pool) == 5
+    for worker in pool:
+        assert sum(worker.latent.values()) == pytest.approx(1.0)
+    with pytest.raises(SpecificationError):
+        make_worker_pool([], 3)
+    with pytest.raises(SpecificationError):
+        make_worker_pool(["a"], 0)
+    with pytest.raises(SpecificationError):
+        make_worker_pool(["a"], 1, concentration=0)
+
+
+def test_dirichlet_estimator_converges():
+    estimator = DirichletEstimator(["a", "b"], alpha=1.0)
+    prior = estimator.posterior_mean()
+    assert prior == {"a": 0.5, "b": 0.5}
+    for _ in range(80):
+        estimator.observe("a")
+    for _ in range(20):
+        estimator.observe("b")
+    posterior = estimator.posterior_mean()
+    assert posterior["a"] == pytest.approx(0.8, abs=0.03)
+    assert estimator.observations == 100
+    assert estimator.counts() == {"a": 80, "b": 20}
+
+
+def test_dirichlet_estimator_validations():
+    estimator = DirichletEstimator(["a"], alpha=1.0)
+    with pytest.raises(SpecificationError, match="unknown category"):
+        estimator.observe("z")
+    with pytest.raises(SpecificationError):
+        DirichletEstimator([], alpha=1.0)
+    with pytest.raises(SpecificationError):
+        DirichletEstimator(["a"], alpha=0.0)
+
+
+def specialized_pool():
+    """One worker per category, perfectly specialized."""
+    categories = list("abcd")
+    return categories, [
+        SimulatedWorker(f"w_{c}", {cat: (0.97 if cat == c else 0.01) for cat in categories})
+        for c in categories
+    ]
+
+
+def test_adaptive_reaches_target_mix():
+    categories, workers = specialized_pool()
+    target = {"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1}
+    collector = EntityCollector(workers, target, AdaptiveSelection())
+    result = collector.run(300, rng=1)
+    shares = {c: result.collected[c] / 300 for c in categories}
+    for category, want in target.items():
+        assert shares[category] == pytest.approx(want, abs=0.07)
+
+
+def test_adaptive_beats_random_and_static():
+    categories = list("abcde")
+    workers = make_worker_pool(categories, 12, concentration=0.3, rng=2)
+    target = {c: 0.2 for c in categories}
+    results = {}
+    for name, strategy in (
+        ("adaptive", AdaptiveSelection()),
+        ("random", RandomSelection()),
+        ("static", StaticSelection()),
+    ):
+        collector = EntityCollector(workers, target, strategy)
+        results[name] = collector.run(400, rng=3).final_kl
+    assert results["adaptive"] < results["random"]
+    assert results["adaptive"] <= results["static"] + 1e-6
+
+
+def test_kl_trajectory_decreases():
+    categories, workers = specialized_pool()
+    target = {c: 0.25 for c in categories}
+    collector = EntityCollector(workers, target, AdaptiveSelection())
+    result = collector.run(200, rng=4)
+    assert result.kl_trajectory[-1] < result.kl_trajectory[5]
+    assert len(result.kl_trajectory) == 200
+
+
+def test_static_uses_single_worker_after_warmup():
+    categories, workers = specialized_pool()
+    target = {"a": 1.0, "b": 0.0, "c": 0.0, "d": 0.0}
+    collector = EntityCollector(workers, target, StaticSelection())
+    result = collector.run(100, rng=5)
+    # Worker w_a should take nearly all post-warmup rounds.
+    assert result.worker_usage[0] >= 90
+
+
+def test_collector_validations():
+    categories, workers = specialized_pool()
+    with pytest.raises(SpecificationError):
+        EntityCollector([], {"a": 1.0}, AdaptiveSelection())
+    collector = EntityCollector(workers, {"a": 1.0}, AdaptiveSelection())
+    with pytest.raises(SpecificationError):
+        collector.run(0)

@@ -1,0 +1,40 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from respdi import errors
+
+
+def test_all_errors_derive_from_respdi_error():
+    exception_types = [
+        errors.SchemaError,
+        errors.TypeMismatchError,
+        errors.EmptyInputError,
+        errors.SpecificationError,
+        errors.InfeasibleError,
+        errors.ExhaustedSourceError,
+        errors.BudgetExceededError,
+        errors.ConvergenceError,
+        errors.NotFittedError,
+    ]
+    for exc_type in exception_types:
+        assert issubclass(exc_type, errors.RespdiError)
+        assert issubclass(exc_type, Exception)
+
+
+def test_type_mismatch_is_a_schema_error():
+    assert issubclass(errors.TypeMismatchError, errors.SchemaError)
+
+
+def test_one_except_clause_guards_a_pipeline():
+    """The documented pattern: catch RespdiError around any library call."""
+    from respdi.table import Schema, Table
+
+    with pytest.raises(errors.RespdiError):
+        Table.from_rows(Schema([("a", "numeric")]), [("not-a-number",)])
+    with pytest.raises(errors.RespdiError):
+        Schema([("a", "numeric"), ("a", "numeric")])
+    from respdi.stats import normalize_distribution
+
+    with pytest.raises(errors.RespdiError):
+        normalize_distribution({})

@@ -1,0 +1,129 @@
+"""Fairness-aware range queries, validated against a brute-force oracle."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from respdi.errors import InfeasibleError, SpecificationError
+from respdi.fairqueries import fair_range_refinement, range_disparity
+from respdi.table import Range, Schema, Table
+
+
+def make_table(groups, values):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    return Table(schema, {"g": list(groups), "x": list(values)})
+
+
+def brute_force_best(table, lo, hi, max_disparity):
+    """Oracle: enumerate all value-pair candidate ranges."""
+    values = sorted(set(np.asarray(table.column("x"), dtype=float)))
+    original = table.filter(Range("x", lo, hi))
+    original_ids = set(np.flatnonzero(Range("x", lo, hi).mask(table)))
+    best = (-1.0, None)
+    candidates = [(a, b) for a, b in itertools.product(values, values) if a <= b]
+    candidates.append((values[0] - 2, values[0] - 1))  # empty range
+    for a, b in candidates:
+        mask = Range("x", a, b).mask(table)
+        counts = {g: 0 for g in table.unique("g")}
+        selected = np.flatnonzero(mask)
+        for i in selected:
+            counts[table.column("g")[i]] += 1
+        disparity = max(counts.values()) - min(counts.values())
+        if disparity > max_disparity:
+            continue
+        ids = set(selected)
+        union = original_ids | ids
+        similarity = len(original_ids & ids) / len(union) if union else 1.0
+        if similarity > best[0] + 1e-12:
+            best = (similarity, (a, b))
+    return best
+
+
+def test_matches_brute_force_oracle():
+    rng = np.random.default_rng(0)
+    for trial in range(8):
+        n = 40
+        groups = rng.choice(["a", "b"], size=n)
+        values = np.round(rng.normal(0, 2, size=n), 1)
+        table = make_table(groups, values)
+        result = fair_range_refinement(table, "x", -1.0, 1.0, "g", max_disparity=2)
+        oracle_similarity, _ = brute_force_best(table, -1.0, 1.0, 2)
+        assert result.similarity == pytest.approx(oracle_similarity, abs=1e-9)
+        assert result.disparity <= 2
+
+
+def test_already_fair_query_unchanged():
+    table = make_table(["a", "b"] * 10, list(range(20)))
+    result = fair_range_refinement(table, "x", 0, 19, "g", max_disparity=1)
+    assert result.similarity == 1.0
+    assert result.disparity <= 1
+
+
+def test_disparity_bound_sweep_tightens_similarity():
+    rng = np.random.default_rng(1)
+    groups = ["a"] * 150 + ["b"] * 50
+    values = np.concatenate([rng.normal(0, 1, 150), rng.normal(3, 1, 50)])
+    table = make_table(groups, values)
+    similarities = []
+    for bound in (100, 20, 5, 0):
+        result = fair_range_refinement(table, "x", -1, 1, "g", max_disparity=bound)
+        similarities.append(result.similarity)
+        assert result.disparity <= bound
+    assert similarities == sorted(similarities, reverse=True)
+
+
+def test_relative_constraint():
+    rng = np.random.default_rng(2)
+    groups = ["a"] * 100 + ["b"] * 100
+    values = np.concatenate([rng.normal(0, 1, 100), rng.normal(1, 1, 100)])
+    table = make_table(groups, values)
+    result = fair_range_refinement(
+        table, "x", -1, 0.5, "g", max_disparity=0,
+        relative=True, max_disparity_fraction=0.3,
+    )
+    size = sum(result.group_counts.values())
+    assert result.disparity <= 0.3 * size + 1e-9
+
+
+def test_empty_refinement_allowed():
+    # Ten 'a' rows at 0..9 and one 'b' row far away at 100: any non-empty
+    # range is unbalanced (a range reaching b must cross all of a), so
+    # with max_disparity=0 only the empty refinement is fair.
+    table = make_table(["a"] * 10 + ["b"], list(range(10)) + [100.0])
+    result = fair_range_refinement(table, "x", 2, 5, "g", max_disparity=0)
+    assert sum(result.group_counts.values()) == 0
+    assert result.similarity == 0.0
+
+
+def test_range_disparity_counts_absent_groups():
+    table = make_table(["a"] * 5 + ["b"] * 5, list(range(10)))
+    disparity, counts = range_disparity(table, "x", 0, 4, "g")
+    assert counts == {"a": 5, "b": 0}
+    assert disparity == 5
+
+
+def test_missing_values_excluded():
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table(schema, {"g": ["a", "b", None, "a"], "x": [1.0, 2.0, 3.0, None]})
+    result = fair_range_refinement(table, "x", 0, 5, "g", max_disparity=1)
+    assert sum(result.group_counts.values()) <= 2
+
+
+def test_validations():
+    table = make_table(["a", "b"], [1.0, 2.0])
+    with pytest.raises(SpecificationError):
+        fair_range_refinement(table, "g", 0, 1, "g", 1)
+    with pytest.raises(SpecificationError):
+        fair_range_refinement(table, "x", 5, 1, "g", 1)
+    with pytest.raises(SpecificationError):
+        fair_range_refinement(table, "x", 0, 1, "g", -1)
+
+
+def test_result_predicate_roundtrip():
+    table = make_table(["a", "b"] * 5, list(range(10)))
+    result = fair_range_refinement(table, "x", 0, 9, "g", max_disparity=1)
+    selected = table.filter(result.predicate("x"))
+    counts = selected.value_counts("g")
+    observed = max(counts.values()) - min(counts.values()) if counts else 0
+    assert observed == result.disparity

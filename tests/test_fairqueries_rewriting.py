@@ -1,0 +1,70 @@
+"""Coverage-based query rewriting."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import InfeasibleError, SpecificationError
+from respdi.fairqueries import coverage_rewrite
+from respdi.table import Schema, Table
+
+
+def make_table(groups, values):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    return Table(schema, {"g": list(groups), "x": list(values)})
+
+
+def test_rewrite_only_widens():
+    table = make_table(["a"] * 10 + ["b"] * 10, list(range(20)))
+    result = coverage_rewrite(table, "x", 3, 6, "g", min_count=3)
+    assert result.lo <= 3 and result.hi >= 6
+    assert all(count >= 3 for count in result.group_counts.values())
+
+
+def test_rewrite_noop_when_already_covered():
+    table = make_table(["a", "b"] * 10, list(range(20)))
+    result = coverage_rewrite(table, "x", 0, 19, "g", min_count=5)
+    assert result.added_rows == 0
+    assert result.lo == 0 and result.hi == 19
+
+
+def test_rewrite_expands_toward_cheaper_side():
+    # Group b lives just above the range; just below lie many 'a' rows.
+    groups = ["a"] * 50 + ["b"] * 5
+    values = list(np.linspace(-10, -1, 50)) + [2.0, 2.1, 2.2, 2.3, 2.4]
+    table = make_table(groups, values)
+    result = coverage_rewrite(table, "x", -0.5, 1.0, "g", min_count=2)
+    assert result.hi >= 2.1  # expanded up toward b
+    assert result.group_counts["b"] >= 2
+
+
+def test_rewrite_counts_reported():
+    table = make_table(["a"] * 5 + ["b"] * 5, list(range(10)))
+    result = coverage_rewrite(table, "x", 0, 4, "g", min_count=2)
+    assert result.original_counts == {"a": 5, "b": 0}
+    assert result.group_counts["b"] >= 2
+
+
+def test_infeasible_when_group_too_small():
+    table = make_table(["a"] * 10 + ["b"], list(range(11)))
+    with pytest.raises(InfeasibleError, match="fewer than"):
+        coverage_rewrite(table, "x", 0, 5, "g", min_count=3)
+
+
+def test_validations():
+    table = make_table(["a", "b"], [1.0, 2.0])
+    with pytest.raises(SpecificationError):
+        coverage_rewrite(table, "g", 0, 1, "g", 1)
+    with pytest.raises(SpecificationError):
+        coverage_rewrite(table, "x", 2, 1, "g", 1)
+    with pytest.raises(SpecificationError):
+        coverage_rewrite(table, "x", 0, 1, "g", 0)
+
+
+def test_added_rows_is_minimal_for_simple_case():
+    # b rows at 5 and 6; range [0,4] needs 1 b; nearest b costs 1 added row.
+    groups = ["a"] * 5 + ["b", "b"]
+    values = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    table = make_table(groups, values)
+    result = coverage_rewrite(table, "x", 0, 4, "g", min_count=1)
+    assert result.added_rows == 1
+    assert result.hi == 5.0

@@ -1,0 +1,121 @@
+"""Cross-subsystem integration: the tutorial's whole story in one test.
+
+Builds a lake containing clinic tables (union-compatible with the
+query) plus distractors, then: discovers sources, tailors a balanced
+collection, injects and repairs missingness, audits the §2
+requirements, exports the transparency artifacts, and finally audits
+the exported CSV through the CLI — every subsystem touching real output
+of the previous one.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from respdi import ResponsibleIntegrationPipeline
+from respdi.cleaning import GroupMeanImputer
+from respdi.cli import main as cli_main
+from respdi.datagen import make_source_tables, skewed_group_distributions
+from respdi.datagen.population import default_health_population
+from respdi.discovery import DataLakeIndex
+from respdi.profiling import dump_json
+from respdi.requirements import (
+    CompletenessCorrectnessRequirement,
+    DistributionRepresentationRequirement,
+    FeatureRequirement,
+    GroupRepresentationRequirement,
+)
+from respdi.table import ColumnType, Schema, Table, read_csv, write_csv
+from respdi.tailoring import CountSpec
+
+
+@pytest.fixture(scope="module")
+def world():
+    population = default_health_population(minority_fraction=0.2)
+    distributions = skewed_group_distributions(
+        population.group_distribution(), 3, concentration=5.0,
+        specialized={0: ("F", "black")}, rng=61,
+    )
+    clinics = make_source_tables(population, distributions, 1800, rng=62)
+    lake = DataLakeIndex(rng=0)
+    for i, clinic in enumerate(clinics):
+        lake.register(f"clinic{i}", clinic, description=f"clinic {i} records")
+    # Distractors that are NOT union-compatible and must be filtered out.
+    rng = np.random.default_rng(63)
+    for d in range(5):
+        lake.register(
+            f"distractor{d}",
+            Table(
+                Schema([("thing", ColumnType.CATEGORICAL)]),
+                {"thing": [f"d{d}_{i}" for i in range(50)]},
+            ),
+        )
+    return population, lake
+
+
+def test_full_story(world, tmp_path, capsys):
+    population, lake = world
+
+    # 1. Discovery: find tailoring sources in the lake by schema.
+    pipeline = ResponsibleIntegrationPipeline(
+        ("gender", "race"), target_column="y",
+        imputers=[GroupMeanImputer("x0", ["race"])],
+        coverage_threshold=30,
+    )
+    query = population.sample(80, rng=64)
+    sources = pipeline.discover_sources(lake, query, k=10)
+    assert set(sources) == {"clinic0", "clinic1", "clinic2"}
+
+    # 2. Tailor + clean + audit + document.
+    spec = CountSpec(("gender", "race"), {g: 40 for g in population.groups})
+    requirements = [
+        GroupRepresentationRequirement(
+            ("gender", "race"), threshold=30,
+            expected_domains={"gender": ["F", "M"], "race": ["white", "black"]},
+        ),
+        DistributionRepresentationRequirement(
+            ("gender", "race"), {g: 0.25 for g in population.groups},
+            max_divergence=0.15,
+        ),
+        FeatureRequirement(
+            ["x0", "x1", "x2", "x3"], "y", ("gender", "race"),
+            max_sensitive_association=0.95,
+        ),
+        CompletenessCorrectnessRequirement(
+            ["x0", "x1", "x2", "x3"], ("race",),
+        ),
+    ]
+    result = pipeline.run(sources, spec, requirements=requirements, rng=65)
+    assert result.tailoring.satisfied
+    assert result.fit_for_use
+    assert len(result.table) == 160
+    counts = result.table.group_counts(["gender", "race"])
+    assert all(count == 40 for count in counts.values())
+
+    # 3. Transparency artifacts export and survive a JSON round trip.
+    label_path = tmp_path / "label.json"
+    dump_json(result.label, label_path)
+    with open(label_path) as handle:
+        label_payload = json.load(handle)
+    assert label_payload["rows"] == 160
+    assert result.datasheet.render().startswith("# Datasheet")
+
+    # 4. The integrated data round-trips through CSV...
+    csv_path = tmp_path / "integrated.csv"
+    write_csv(result.table, csv_path)
+    assert read_csv(csv_path).equals(result.table)
+
+    # 5. ...and passes the standalone CLI audit.
+    code = cli_main(
+        [
+            str(csv_path),
+            "--sensitive", "gender,race",
+            "--target", "y",
+            "--audit",
+            "--coverage-threshold", "30",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "overall: PASS" in out

@@ -1,0 +1,172 @@
+"""Blocking, matching, clustering, dedup, and fairness-aware evaluation."""
+
+import pytest
+
+from respdi.datagen import generate_person_registry
+from respdi.errors import SpecificationError
+from respdi.linkage import (
+    FieldComparator,
+    RecordMatcher,
+    blocking_stats,
+    cluster_matches,
+    deduplicate,
+    evaluate_linkage,
+    jaro_winkler_similarity,
+    key_blocking,
+    levenshtein_similarity,
+    numeric_similarity,
+    sorted_neighborhood_blocking,
+)
+from respdi.table import Schema, Table
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return generate_person_registry(
+        250, duplicates_per_entity=1,
+        corruption_rates={"blue": 0.5, "green": 0.1}, rng=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def candidates(registry):
+    return key_blocking(
+        registry, lambda r: r["name"][:2] if r["name"] else None
+    ) | sorted_neighborhood_blocking(registry, lambda r: r["name"], window=6)
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return RecordMatcher(
+        [
+            FieldComparator("name", jaro_winkler_similarity, 3.0),
+            FieldComparator("zip", levenshtein_similarity, 1.0),
+            FieldComparator(
+                "age", lambda a, b: numeric_similarity(a, b, scale=3.0), 1.0
+            ),
+        ],
+        threshold=0.85,
+    )
+
+
+def test_registry_shape(registry):
+    assert len(registry) == 500  # 250 entities x (1 clean + 1 duplicate)
+    assert set(registry.column_names) == {"_entity", "group", "name", "zip", "age"}
+    counts = registry.value_counts("_entity")
+    assert all(count == 2 for count in counts.values())
+
+
+def test_key_blocking_pairs_are_within_blocks(registry):
+    pairs = key_blocking(registry, lambda r: r["group"])
+    groups = registry.column("group")
+    for i, j in pairs:
+        assert groups[i] == groups[j]
+        assert i < j
+
+
+def test_sorted_neighborhood_window_bound(registry):
+    window = 4
+    pairs = sorted_neighborhood_blocking(registry, lambda r: r["name"], window)
+    # Every record participates in at most 2*(window-1) pairs.
+    from collections import Counter
+
+    degree = Counter()
+    for i, j in pairs:
+        degree[i] += 1
+        degree[j] += 1
+    assert max(degree.values()) <= 2 * (window - 1)
+    with pytest.raises(SpecificationError):
+        sorted_neighborhood_blocking(registry, lambda r: r["name"], window=1)
+
+
+def test_blocking_tradeoff(registry):
+    """Tighter blocking prunes more but retains fewer true pairs."""
+    tight = key_blocking(registry, lambda r: r["name"])  # exact-name blocks
+    loose = key_blocking(registry, lambda r: r["name"][:1] if r["name"] else None)
+    stats_tight = blocking_stats(registry, tight, "_entity")
+    stats_loose = blocking_stats(registry, loose, "_entity")
+    assert stats_tight.reduction_ratio > stats_loose.reduction_ratio
+    assert stats_tight.pair_recall < stats_loose.pair_recall
+    assert 0 < stats_loose.pair_recall <= 1.0
+
+
+def test_matcher_scores_and_threshold(registry, candidates, matcher):
+    result = matcher.match(registry, candidates)
+    assert result.num_compared == len(candidates)
+    assert all(0.0 <= s <= 1.0 + 1e-9 for s in result.scores.values())
+    assert all(result.scores[pair] >= matcher.threshold for pair in result.matches)
+
+
+def test_matcher_finds_most_duplicates_with_high_precision(
+    registry, candidates, matcher
+):
+    result = matcher.match(registry, candidates)
+    report = evaluate_linkage(registry, result.matches, "_entity")
+    assert report.precision > 0.95
+    assert report.recall > 0.6
+    assert 0 < report.f1 <= 1.0
+
+
+def test_group_recall_reflects_corruption_asymmetry(registry, candidates, matcher):
+    """Blue records are corrupted 5x as often -> blue recall suffers."""
+    result = matcher.match(registry, candidates)
+    report = evaluate_linkage(registry, result.matches, "_entity", ["group"])
+    assert report.group_recall[("blue",)] < report.group_recall[("green",)]
+    assert report.recall_parity_difference > 0.03
+    assert report.worst_group == ("blue",)
+
+
+def test_cluster_matches_transitive_closure():
+    clusters = cluster_matches(6, {(0, 1), (1, 2), (4, 5)})
+    assert clusters == [[0, 1, 2], [3], [4, 5]]
+    with pytest.raises(SpecificationError):
+        cluster_matches(2, {(0, 5)})
+
+
+def test_deduplicate_first_and_most_complete():
+    schema = Schema([("name", "categorical"), ("zip", "categorical")])
+    table = Table.from_rows(
+        schema,
+        [("ann", None), ("ann", "12345"), ("bob", "99999")],
+    )
+    matches = {(0, 1)}
+    by_first = deduplicate(table, matches, keep="first")
+    assert len(by_first) == 2
+    assert by_first.row(0) == ("ann", None)
+    by_complete = deduplicate(table, matches, keep="most_complete")
+    assert by_complete.row(0) == ("ann", "12345")
+    with pytest.raises(SpecificationError):
+        deduplicate(table, matches, keep="newest")
+
+
+def test_dedup_end_to_end_shrinks_registry(registry, candidates, matcher):
+    result = matcher.match(registry, candidates)
+    deduped = deduplicate(registry, result.matches)
+    # 250 entities: perfect dedup would land at 250; we must land between
+    # that and the raw 500, strictly below the raw size.
+    assert 250 <= len(deduped) < 500
+
+
+def test_evaluation_validations(registry):
+    with pytest.raises(SpecificationError):
+        evaluate_linkage(registry, {(0, 10_000)}, "_entity")
+
+
+def test_matcher_validations():
+    with pytest.raises(SpecificationError):
+        RecordMatcher([], threshold=0.5)
+    with pytest.raises(SpecificationError):
+        RecordMatcher(
+            [FieldComparator("name", levenshtein_similarity)], threshold=0.0
+        )
+    with pytest.raises(SpecificationError):
+        FieldComparator("name", levenshtein_similarity, weight=0.0)
+
+
+def test_registry_validations():
+    with pytest.raises(SpecificationError):
+        generate_person_registry(0)
+    with pytest.raises(SpecificationError):
+        generate_person_registry(5, group_shares={"purple": 1.0})
+    with pytest.raises(SpecificationError):
+        generate_person_registry(5, corruption_rates={"blue": 2.0})

@@ -1,0 +1,97 @@
+"""Field comparators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.errors import SpecificationError
+from respdi.linkage import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    numeric_similarity,
+    token_jaccard,
+)
+
+
+def test_levenshtein_known_values():
+    assert levenshtein_distance("kitten", "sitting") == 3
+    assert levenshtein_distance("", "abc") == 3
+    assert levenshtein_distance("abc", "abc") == 0
+    assert levenshtein_distance("abc", "acb") == 2
+
+
+def test_levenshtein_similarity():
+    assert levenshtein_similarity("abc", "abc") == 1.0
+    assert levenshtein_similarity("abc", "xyz") == 0.0
+    assert levenshtein_similarity(None, "abc") == 0.0
+    assert levenshtein_similarity("", "") == 1.0
+    assert levenshtein_similarity("abcd", "abcx") == pytest.approx(0.75)
+
+
+def test_jaro_known_values():
+    # Classic textbook examples.
+    assert jaro_similarity("martha", "marhta") == pytest.approx(0.944, abs=0.001)
+    assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.767, abs=0.001)
+    assert jaro_similarity("abc", "abc") == 1.0
+    assert jaro_similarity("abc", "xyz") == 0.0
+    assert jaro_similarity(None, "abc") == 0.0
+
+
+def test_jaro_winkler_boosts_prefix():
+    plain = jaro_similarity("martha", "marhta")
+    boosted = jaro_winkler_similarity("martha", "marhta")
+    assert boosted > plain
+    assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+        0.961, abs=0.001
+    )
+    with pytest.raises(SpecificationError):
+        jaro_winkler_similarity("a", "a", prefix_scale=0.5)
+
+
+def test_token_jaccard_order_insensitive():
+    assert token_jaccard("john smith", "smith john") == 1.0
+    assert token_jaccard("john smith", "john doe") == pytest.approx(1 / 3)
+    assert token_jaccard("", "") == 1.0
+    assert token_jaccard("a", "") == 0.0
+    assert token_jaccard(None, "a") == 0.0
+
+
+def test_numeric_similarity():
+    assert numeric_similarity(5.0, 5.0) == 1.0
+    assert numeric_similarity(0.0, 1.0, scale=1.0) == pytest.approx(0.3679, abs=1e-3)
+    assert numeric_similarity(None, 1.0) == 0.0
+    assert numeric_similarity(float("nan"), 1.0) == 0.0
+    with pytest.raises(SpecificationError):
+        numeric_similarity(1.0, 2.0, scale=0.0)
+
+
+words = st.text(alphabet="abcdefg", min_size=0, max_size=12)
+
+
+@given(a=words, b=words)
+@settings(max_examples=150, deadline=None)
+def test_similarity_bounds_and_symmetry(a, b):
+    for fn in (levenshtein_similarity, jaro_similarity, jaro_winkler_similarity,
+               token_jaccard):
+        value = fn(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == pytest.approx(fn(b, a))
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+
+@given(a=words)
+@settings(max_examples=80, deadline=None)
+def test_identity_similarity(a):
+    assert levenshtein_similarity(a, a) == 1.0
+    assert jaro_similarity(a, a) == 1.0
+    assert token_jaccard(a, a) == 1.0
+
+
+@given(a=words, b=words, c=words)
+@settings(max_examples=80, deadline=None)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= (
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+    )

@@ -1,0 +1,131 @@
+"""Data plumbing and pre-processing interventions."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.ml import (
+    oversample_groups,
+    reweighing_weights,
+    smote_oversample,
+    standardize_columns,
+    table_to_xy,
+    train_test_split,
+)
+from respdi.table import Schema, Table
+
+
+def test_table_to_xy_basic(health_table):
+    X, y, groups = table_to_xy(
+        health_table, ["x0", "x1"], "y", ["gender", "race"]
+    )
+    assert X.shape == (len(health_table), 2)
+    assert set(np.unique(y)) <= {0, 1}
+    assert groups[0] == (
+        health_table.column("gender")[0],
+        health_table.column("race")[0],
+    )
+
+
+def test_table_to_xy_drops_incomplete_rows():
+    schema = Schema([("x", "numeric"), ("y", "numeric")])
+    table = Table.from_rows(schema, [(1.0, 1.0), (None, 0.0), (2.0, None)])
+    X, y, _ = table_to_xy(table, ["x"], "y")
+    assert len(y) == 1
+
+
+def test_table_to_xy_validations(health_table):
+    with pytest.raises(SpecificationError):
+        table_to_xy(health_table, [], "y")
+    with pytest.raises(SpecificationError, match="binary"):
+        table_to_xy(health_table, ["x0"], "x1")
+    empty = Table.empty(health_table.schema)
+    with pytest.raises(EmptyInputError):
+        table_to_xy(empty, ["x0"], "y")
+
+
+def test_train_test_split_partitions(health_table, rng):
+    train, test = train_test_split(health_table, 0.25, rng)
+    assert len(train) + len(test) == len(health_table)
+    assert len(test) == pytest.approx(0.25 * len(health_table), abs=1)
+    with pytest.raises(SpecificationError):
+        train_test_split(health_table, 1.0)
+
+
+def test_standardize_columns(health_table):
+    out = standardize_columns(health_table, ["x0"])
+    values = np.asarray(out.column("x0"), dtype=float)
+    assert values.mean() == pytest.approx(0.0, abs=1e-9)
+    assert values.std() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_standardize_with_reference(health_table, rng):
+    train, test = train_test_split(health_table, 0.3, rng)
+    scaled_test = standardize_columns(test, ["x0"], reference=train)
+    # Test stats are near but not exactly standard (train stats used).
+    values = np.asarray(scaled_test.column("x0"), dtype=float)
+    assert abs(values.mean()) < 0.5
+
+
+def test_reweighing_makes_group_label_independent():
+    groups = ["a"] * 80 + ["b"] * 20
+    labels = [1] * 60 + [0] * 20 + [1] * 5 + [0] * 15
+    weights = reweighing_weights(groups, labels)
+    # Weighted positive rate must be equal across groups.
+    w = np.asarray(weights)
+    y = np.asarray(labels)
+    g = np.asarray(groups, dtype=object)
+    for group in ("a", "b"):
+        mask = g == group
+        rate = (w[mask] * y[mask]).sum() / w[mask].sum()
+        overall = (w * y).sum() / w.sum()
+        assert rate == pytest.approx(overall, abs=1e-9)
+
+
+def test_reweighing_validations():
+    with pytest.raises(SpecificationError):
+        reweighing_weights(["a"], [1, 0])
+    with pytest.raises(EmptyInputError):
+        reweighing_weights([], [])
+
+
+def test_oversample_groups_balances(health_table, rng):
+    out = oversample_groups(health_table, ["race"], rng)
+    counts = out.value_counts("race")
+    assert counts["black"] == counts["white"]
+
+
+def test_smote_balances_and_interpolates(health_table, rng):
+    out = smote_oversample(health_table, ["race"], ["x0", "x1", "x2", "x3"], rng=rng)
+    counts = out.value_counts("race")
+    assert counts["black"] == counts["white"]
+    # Synthetic rows' feature values must lie within the minority range.
+    minority_original = health_table.filter_mask(
+        np.array([r == "black" for r in health_table.column("race")])
+    )
+    lo = minority_original.aggregate("x0", "min")
+    hi = minority_original.aggregate("x0", "max")
+    minority_new = out.filter_mask(
+        np.array([r == "black" for r in out.column("race")])
+    )
+    values = np.asarray(minority_new.column("x0"), dtype=float)
+    assert values.min() >= lo - 1e-9
+    assert values.max() <= hi + 1e-9
+
+
+def test_smote_singleton_group_duplicates():
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(
+        schema, [("a", 1.0), ("a", 2.0), ("a", 3.0), ("b", 9.0)]
+    )
+    out = smote_oversample(table, ["g"], ["x"], rng=0)
+    b_rows = [row for row in out.iter_rows() if row[0] == "b"]
+    assert len(b_rows) == 3
+    assert all(row[1] == 9.0 for row in b_rows)
+
+
+def test_smote_validations(health_table):
+    with pytest.raises(SpecificationError):
+        smote_oversample(health_table, ["race"], [])
+    with pytest.raises(SpecificationError):
+        smote_oversample(health_table, ["race"], ["x0"], k=0)

@@ -1,0 +1,126 @@
+"""Bias-capped feature selection."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import SpecificationError
+from respdi.ml import select_features
+from respdi.table import Schema, Table
+
+
+@pytest.fixture
+def engineered_table():
+    """Four candidates with known roles:
+
+    * ``good``  — informative, unbiased;
+    * ``proxy`` — informative but a near-perfect group proxy;
+    * ``clone`` — near-duplicate of ``good`` (redundant);
+    * ``noise`` — uninformative.
+    """
+    rng = np.random.default_rng(0)
+    n = 1000
+    group = np.where(rng.random(n) < 0.3, "b", "a")
+    signal = rng.normal(size=n)
+    good = signal + 0.3 * rng.normal(size=n)
+    proxy = np.where(group == "b", 3.0, -3.0) + 0.8 * signal
+    clone = good + 0.05 * rng.normal(size=n)
+    noise = rng.normal(size=n)
+    target = signal + 0.2 * rng.normal(size=n)
+    schema = Schema(
+        [
+            ("group", "categorical"),
+            ("good", "numeric"),
+            ("proxy", "numeric"),
+            ("clone", "numeric"),
+            ("noise", "numeric"),
+            ("target", "numeric"),
+        ]
+    )
+    return Table(
+        schema,
+        {
+            "group": group,
+            "good": good,
+            "proxy": proxy,
+            "clone": clone,
+            "noise": noise,
+            "target": target,
+        },
+    )
+
+
+def test_proxy_rejected_good_selected(engineered_table):
+    result = select_features(
+        engineered_table,
+        ["good", "proxy", "clone", "noise"],
+        "target",
+        ["group"],
+        max_bias=0.3,
+    )
+    assert "proxy" in result.rejected_for_bias
+    assert result.rejected_for_bias["proxy"] > 0.8
+    assert "good" in result.selected
+    assert "proxy" not in result.selected
+
+
+def test_redundant_clone_ranks_after_good(engineered_table):
+    result = select_features(
+        engineered_table,
+        ["good", "clone", "noise"],
+        "target",
+        ["group"],
+        max_features=2,
+        redundancy_penalty=0.9,
+    )
+    # good goes first; clone's marginal value is crushed by redundancy.
+    assert result.selected[0] == "good"
+
+
+def test_min_informativeness_drops_noise(engineered_table):
+    result = select_features(
+        engineered_table,
+        ["good", "noise"],
+        "target",
+        ["group"],
+        min_informativeness=0.3,
+    )
+    assert "noise" not in result.selected
+    assert result.informativeness["noise"] < 0.3
+
+
+def test_max_features_cap(engineered_table):
+    result = select_features(
+        engineered_table,
+        ["good", "clone", "noise"],
+        "target",
+        ["group"],
+        max_features=1,
+        min_informativeness=0.0,
+        redundancy_penalty=0.0,
+    )
+    assert len(result.selected) == 1
+
+
+def test_loose_bias_cap_admits_proxy(engineered_table):
+    result = select_features(
+        engineered_table,
+        ["proxy"],
+        "target",
+        ["group"],
+        max_bias=1.0,
+    )
+    assert result.selected == ("proxy",)
+    assert result.rejected_for_bias == {}
+
+
+def test_validations(engineered_table):
+    with pytest.raises(SpecificationError):
+        select_features(engineered_table, [], "target", ["group"])
+    with pytest.raises(SpecificationError):
+        select_features(
+            engineered_table, ["good"], "target", ["group"], max_bias=2.0
+        )
+    with pytest.raises(SpecificationError):
+        select_features(
+            engineered_table, ["good"], "target", ["group"], max_features=0
+        )

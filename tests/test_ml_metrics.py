@@ -1,0 +1,111 @@
+"""Fairness metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.ml import (
+    accuracy,
+    demographic_parity_difference,
+    disparate_impact,
+    equal_opportunity_difference,
+    equalized_odds_difference,
+    evaluate_fairness,
+    group_accuracy,
+    selection_rates,
+)
+
+
+def test_accuracy():
+    assert accuracy([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)
+    with pytest.raises(EmptyInputError):
+        accuracy([], [])
+    with pytest.raises(SpecificationError):
+        accuracy([1], [1, 0])
+
+
+def test_selection_rates_and_dp():
+    y_pred = [1, 1, 0, 0, 1, 0]
+    groups = ["a", "a", "a", "b", "b", "b"]
+    rates = selection_rates(y_pred, groups)
+    assert rates["a"] == pytest.approx(2 / 3)
+    assert rates["b"] == pytest.approx(1 / 3)
+    assert demographic_parity_difference(y_pred, groups) == pytest.approx(1 / 3)
+
+
+def test_disparate_impact_edge_cases():
+    assert disparate_impact([1, 1, 1, 1], ["a", "a", "b", "b"]) == 1.0
+    assert disparate_impact([0, 0, 0, 0], ["a", "a", "b", "b"]) == 1.0
+    assert disparate_impact([1, 1, 0, 0], ["a", "a", "b", "b"]) == 0.0
+
+
+def test_equal_opportunity():
+    y_true = [1, 1, 1, 1]
+    y_pred = [1, 1, 1, 0]
+    groups = ["a", "a", "b", "b"]
+    # TPR(a)=1.0, TPR(b)=0.5
+    assert equal_opportunity_difference(y_true, y_pred, groups) == pytest.approx(0.5)
+
+
+def test_equal_opportunity_skips_groups_without_positives():
+    y_true = [1, 1, 0, 0]
+    y_pred = [1, 0, 0, 0]
+    groups = ["a", "a", "b", "b"]
+    # Group b has no positives: excluded; single group left -> spread 0.
+    assert equal_opportunity_difference(y_true, y_pred, groups) == 0.0
+
+
+def test_equalized_odds_uses_fpr_too():
+    y_true = [1, 0, 1, 0]
+    y_pred = [1, 1, 1, 0]
+    groups = ["a", "a", "b", "b"]
+    # TPRs both 1.0; FPR(a)=1.0, FPR(b)=0.0.
+    assert equalized_odds_difference(y_true, y_pred, groups) == pytest.approx(1.0)
+
+
+def test_group_accuracy():
+    out = group_accuracy([1, 0, 1, 0], [1, 1, 1, 0], ["a", "a", "b", "b"])
+    assert out["a"] == 0.5 and out["b"] == 1.0
+
+
+def test_fairness_report_aggregates():
+    y_true = [1, 0, 1, 0, 1, 0]
+    y_pred = [1, 0, 1, 1, 0, 0]
+    groups = ["a", "a", "a", "b", "b", "b"]
+    report = evaluate_fairness(y_true, y_pred, groups)
+    assert report.accuracy == pytest.approx(4 / 6)
+    assert set(report.group_accuracy) == {"a", "b"}
+    assert 0.0 <= report.disparate_impact <= 1.0
+    assert report.accuracy_parity_difference == pytest.approx(
+        abs(report.group_accuracy["a"] - report.group_accuracy["b"])
+    )
+
+
+labels = st.lists(st.integers(0, 1), min_size=2, max_size=40)
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_metric_bounds_property(data):
+    n = data.draw(st.integers(2, 40))
+    y_true = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    y_pred = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    groups = data.draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=n, max_size=n)
+    )
+    assert 0.0 <= demographic_parity_difference(y_pred, groups) <= 1.0
+    assert 0.0 <= disparate_impact(y_pred, groups) <= 1.0
+    assert 0.0 <= equal_opportunity_difference(y_true, y_pred, groups) <= 1.0
+    assert 0.0 <= equalized_odds_difference(y_true, y_pred, groups) <= 1.0
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_single_group_has_no_disparity(data):
+    n = data.draw(st.integers(2, 30))
+    y_pred = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    groups = ["only"] * n
+    assert demographic_parity_difference(y_pred, groups) == 0.0
+    assert disparate_impact(y_pred, groups) == 1.0

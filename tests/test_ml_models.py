@@ -1,0 +1,106 @@
+"""NumPy classifiers."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import EmptyInputError, NotFittedError, SpecificationError
+from respdi.ml import GaussianNaiveBayes, KNNClassifier, LogisticRegression
+
+
+def separable_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [LogisticRegression, GaussianNaiveBayes, lambda: KNNClassifier(k=7)],
+)
+def test_models_learn_separable_problem(model_factory):
+    X, y = separable_data()
+    model = model_factory().fit(X, y)
+    accuracy = (model.predict(X) == y).mean()
+    assert accuracy > 0.9
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [LogisticRegression, GaussianNaiveBayes, lambda: KNNClassifier(k=7)],
+)
+def test_predict_proba_in_unit_interval(model_factory):
+    X, y = separable_data(seed=1)
+    model = model_factory().fit(X, y)
+    probabilities = model.predict_proba(X)
+    assert (probabilities >= 0).all() and (probabilities <= 1).all()
+
+
+def test_logreg_coefficients_point_the_right_way():
+    X, y = separable_data(seed=2)
+    model = LogisticRegression().fit(X, y)
+    assert model.coef_[0] > 0
+    assert abs(model.coef_[0]) > abs(model.coef_[1])
+
+
+def test_logreg_l2_shrinks_coefficients():
+    X, y = separable_data(seed=3)
+    loose = LogisticRegression(l2=1e-6).fit(X, y)
+    tight = LogisticRegression(l2=10.0).fit(X, y)
+    assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+
+def test_sample_weights_shift_decisions():
+    """Upweighting the positive class raises predicted positives."""
+    X, y = separable_data(seed=4)
+    weights = np.where(y == 1, 10.0, 1.0)
+    plain = LogisticRegression().fit(X, y)
+    weighted = LogisticRegression().fit(X, y, sample_weight=weights)
+    assert weighted.predict(X).mean() >= plain.predict(X).mean()
+
+
+def test_gnb_weighted_priors():
+    X, y = separable_data(seed=5)
+    weights = np.where(y == 1, 5.0, 1.0)
+    model = GaussianNaiveBayes().fit(X, y, sample_weight=weights)
+    plain = GaussianNaiveBayes().fit(X, y)
+    assert model.predict_proba(X).mean() > plain.predict_proba(X).mean()
+
+
+def test_gnb_single_class_degenerate():
+    X = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([1, 1, 1])
+    model = GaussianNaiveBayes().fit(X, y)
+    assert (model.predict(X) == 1).all()
+
+
+def test_knn_memorizes_with_k1():
+    X, y = separable_data(n=50, seed=6)
+    model = KNNClassifier(k=1).fit(X, y)
+    assert (model.predict(X) == y).all()
+
+
+def test_not_fitted_errors():
+    X, _ = separable_data(n=10)
+    with pytest.raises(NotFittedError):
+        LogisticRegression().predict(X)
+    with pytest.raises(NotFittedError):
+        GaussianNaiveBayes().predict(X)
+    with pytest.raises(NotFittedError):
+        KNNClassifier().predict(X)
+
+
+def test_input_validations():
+    X, y = separable_data(n=10)
+    with pytest.raises(SpecificationError):
+        LogisticRegression().fit(X, y[:-1])
+    with pytest.raises(SpecificationError):
+        LogisticRegression().fit(X, y + 5)
+    with pytest.raises(EmptyInputError):
+        LogisticRegression().fit(X[:0], y[:0])
+    with pytest.raises(SpecificationError):
+        LogisticRegression().fit(X, y, sample_weight=np.full(len(y), -1.0))
+    with pytest.raises(SpecificationError):
+        KNNClassifier(k=0)
+    with pytest.raises(SpecificationError):
+        LogisticRegression(l2=-1)

@@ -1,0 +1,107 @@
+"""The end-to-end responsible integration pipeline."""
+
+import pytest
+
+from respdi import ResponsibleIntegrationPipeline
+from respdi.cleaning import MeanImputer
+from respdi.datagen import make_source_tables, skewed_group_distributions
+from respdi.discovery import DataLakeIndex
+from respdi.errors import EmptyInputError
+from respdi.requirements import (
+    DistributionRepresentationRequirement,
+    GroupRepresentationRequirement,
+)
+from respdi.tailoring import CountSpec, RandomPolicy
+
+
+@pytest.fixture(scope="module")
+def sources(health_population_module):
+    population = health_population_module
+    base = population.group_distribution()
+    dists = skewed_group_distributions(
+        base, 3, concentration=3.0, specialized={0: ("F", "black")}, rng=50
+    )
+    tables = make_source_tables(population, dists, 1500, rng=51)
+    return {f"clinic{i}": t for i, t in enumerate(tables)}
+
+
+@pytest.fixture(scope="module")
+def health_population_module():
+    from respdi.datagen.population import default_health_population
+
+    return default_health_population(minority_fraction=0.2)
+
+
+def test_full_run_produces_all_artifacts(health_population_module, sources):
+    population = health_population_module
+    spec = CountSpec(("gender", "race"), {g: 40 for g in population.groups})
+    requirements = [
+        GroupRepresentationRequirement(("gender", "race"), threshold=30),
+        DistributionRepresentationRequirement(
+            ("gender", "race"), {g: 0.25 for g in population.groups},
+            max_divergence=0.2,
+        ),
+    ]
+    pipeline = ResponsibleIntegrationPipeline(
+        ("gender", "race"), target_column="y", imputers=[MeanImputer("x0")],
+        coverage_threshold=30,
+    )
+    result = pipeline.run(sources, spec, requirements=requirements, rng=52)
+    assert result.tailoring.satisfied
+    assert len(result.table) == 160
+    assert result.audit is not None and result.audit.passed
+    assert result.fit_for_use
+    assert result.label is not None
+    assert result.datasheet is not None
+    assert len(result.provenance) >= 5
+    assert "tailoring" in result.render_provenance()
+    assert sorted(result.sources_used) == sorted(sources)
+
+
+def test_unsatisfied_run_documents_limitations(health_population_module, sources):
+    population = health_population_module
+    spec = CountSpec(("gender", "race"), {g: 40 for g in population.groups})
+    pipeline = ResponsibleIntegrationPipeline(("gender", "race"), target_column="y")
+    result = pipeline.run(sources, spec, budget=20, rng=53)
+    assert not result.tailoring.satisfied
+    assert not result.fit_for_use  # no audit ran
+    limitations = result.datasheet.known_limitations
+    assert any("deficits" in item for item in limitations)
+
+
+def test_pipeline_with_custom_policy(health_population_module, sources):
+    population = health_population_module
+    spec = CountSpec(("gender", "race"), {g: 10 for g in population.groups})
+    pipeline = ResponsibleIntegrationPipeline(
+        ("gender", "race"), policy=RandomPolicy()
+    )
+    result = pipeline.run(sources, spec, rng=54)
+    assert result.tailoring.satisfied
+    assert "RandomPolicy" in result.provenance[0]
+
+
+def test_pipeline_requires_sources(health_population_module):
+    pipeline = ResponsibleIntegrationPipeline(("gender", "race"))
+    spec = CountSpec(("gender", "race"), {("F", "black"): 1})
+    with pytest.raises(EmptyInputError):
+        pipeline.run({}, spec)
+
+
+def test_discover_sources_from_lake(health_population_module, sources):
+    population = health_population_module
+    lake = DataLakeIndex(rng=0)
+    for name, table in sources.items():
+        lake.register(name, table)
+    # A distractor without sensitive columns must be filtered out.
+    from respdi.table import Schema, Table
+
+    distractor = Table.from_rows(
+        Schema([("foo", "categorical")]), [("bar",), ("baz",)]
+    )
+    lake.register("distractor", distractor)
+    pipeline = ResponsibleIntegrationPipeline(("gender", "race"))
+    query = population.sample(50, rng=55)
+    discovered = pipeline.discover_sources(lake, query, k=6)
+    assert set(discovered) == set(sources)
+    for table in discovered.values():
+        assert "gender" in table.schema and "race" in table.schema

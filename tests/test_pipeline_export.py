@@ -1,0 +1,63 @@
+"""The pipeline's artifact-bundle export."""
+
+import json
+
+import pytest
+
+from respdi import ResponsibleIntegrationPipeline
+from respdi.datagen import make_source_tables, skewed_group_distributions
+from respdi.datagen.population import default_health_population
+from respdi.requirements import GroupRepresentationRequirement
+from respdi.table import read_csv
+from respdi.tailoring import CountSpec
+
+
+@pytest.fixture(scope="module")
+def result():
+    population = default_health_population(minority_fraction=0.25)
+    distributions = skewed_group_distributions(
+        population.group_distribution(), 2, concentration=8.0, rng=71
+    )
+    sources = {
+        f"s{i}": t
+        for i, t in enumerate(
+            make_source_tables(population, distributions, 1200, rng=72)
+        )
+    }
+    pipeline = ResponsibleIntegrationPipeline(("gender", "race"), target_column="y")
+    spec = CountSpec(("gender", "race"), {g: 20 for g in population.groups})
+    return pipeline.run(
+        sources,
+        spec,
+        requirements=[GroupRepresentationRequirement(("gender", "race"), 15)],
+        rng=73,
+    )
+
+
+def test_export_writes_all_artifacts(result, tmp_path):
+    paths = result.export(tmp_path / "bundle")
+    assert set(paths) == {"data", "label", "datasheet", "audit", "provenance"}
+    # Data round-trips.
+    assert read_csv(paths["data"]).equals(result.table)
+    # JSON artifacts parse.
+    with open(paths["label"]) as handle:
+        label = json.load(handle)
+    assert label["rows"] == len(result.table)
+    with open(paths["audit"]) as handle:
+        audit = json.load(handle)
+    assert audit["passed"] == result.audit.passed
+    # Text artifacts non-empty.
+    with open(paths["datasheet"]) as handle:
+        assert handle.read().startswith("# Datasheet")
+    with open(paths["provenance"]) as handle:
+        assert "tailoring" in handle.read()
+
+
+def test_export_without_audit(result, tmp_path):
+    import copy
+
+    no_audit = copy.copy(result)
+    no_audit.audit = None
+    paths = no_audit.export(tmp_path / "bundle2")
+    assert "audit" not in paths
+    assert "data" in paths

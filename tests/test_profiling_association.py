@@ -1,0 +1,90 @@
+"""Association rule mining."""
+
+import pytest
+
+from respdi.errors import SpecificationError
+from respdi.profiling import mine_association_rules
+from respdi.table import Schema, Table
+
+
+def biased_table():
+    """race=b strongly implies outcome=deny."""
+    schema = Schema([("race", "categorical"), ("outcome", "categorical")])
+    rows = (
+        [("w", "grant")] * 40
+        + [("w", "deny")] * 10
+        + [("b", "deny")] * 18
+        + [("b", "grant")] * 2
+    )
+    return Table.from_rows(schema, rows)
+
+
+def test_bias_rule_detected():
+    rules = mine_association_rules(
+        biased_table(), ["race", "outcome"], min_support=0.05,
+        min_confidence=0.6, min_lift=1.2,
+    )
+    # Lift is symmetric, so b->deny and deny->b tie at the top; the
+    # bias-capturing direction must be among the found rules with the
+    # right statistics.
+    bias_rules = [
+        r for r in rules
+        if r.antecedent_column == "race" and r.antecedent_value == "b"
+    ]
+    assert bias_rules, f"b->deny missing from {rules}"
+    rule = bias_rules[0]
+    assert rule.consequent_value == "deny"
+    assert rule.confidence == pytest.approx(0.9)
+    assert rule.lift == pytest.approx(0.9 / 0.4)
+    # Nothing outranks the tied top lift.
+    assert rules[0].lift == pytest.approx(rule.lift)
+
+
+def test_thresholds_filter():
+    rules = mine_association_rules(
+        biased_table(), ["race", "outcome"], min_support=0.5
+    )
+    assert all(rule.support >= 0.5 for rule in rules)
+    strict = mine_association_rules(
+        biased_table(), ["race", "outcome"], min_confidence=0.95
+    )
+    assert all(rule.confidence >= 0.95 for rule in strict)
+
+
+def test_rules_sorted_by_lift():
+    rules = mine_association_rules(biased_table(), ["race", "outcome"])
+    lifts = [rule.lift for rule in rules]
+    assert lifts == sorted(lifts, reverse=True)
+
+
+def test_independent_columns_produce_no_rules():
+    schema = Schema([("a", "categorical"), ("b", "categorical")])
+    rows = [(x, y) for x in ("p", "q") for y in ("r", "s")] * 10
+    table = Table.from_rows(schema, rows)
+    rules = mine_association_rules(table, ["a", "b"], min_lift=1.1)
+    assert rules == []
+
+
+def test_missing_values_excluded():
+    schema = Schema([("a", "categorical"), ("b", "categorical")])
+    rows = [("x", "y")] * 10 + [(None, "y")] * 5 + [("x", None)] * 5
+    table = Table.from_rows(schema, rows)
+    rules = mine_association_rules(
+        table, ["a", "b"], min_support=0.1, min_confidence=0.5, min_lift=0.0
+    )
+    for rule in rules:
+        assert rule.support == pytest.approx(1.0)
+
+
+def test_str_rendering():
+    rules = mine_association_rules(biased_table(), ["race", "outcome"])
+    assert "->" in str(rules[0])
+    assert "lift" in str(rules[0])
+
+
+def test_validations():
+    table = biased_table()
+    with pytest.raises(SpecificationError):
+        mine_association_rules(table, ["race"])
+    with pytest.raises(SpecificationError):
+        mine_association_rules(table, ["race", "outcome"], min_support=1.5)

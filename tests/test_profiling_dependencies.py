@@ -1,0 +1,101 @@
+"""Functional dependencies."""
+
+import pytest
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.profiling import fd_holds, fd_violation_ratio, find_functional_dependencies
+from respdi.table import Schema, Table
+
+
+def make_table(rows):
+    schema = Schema(
+        [("zip", "categorical"), ("city", "categorical"), ("race", "categorical")]
+    )
+    return Table.from_rows(schema, rows)
+
+
+def test_exact_fd_holds():
+    table = make_table(
+        [("10001", "nyc", "w"), ("10001", "nyc", "b"), ("60601", "chi", "w")]
+    )
+    assert fd_violation_ratio(table, ["zip"], "city") == 0.0
+    assert fd_holds(table, ["zip"], "city")
+
+
+def test_violations_counted_as_g3():
+    table = make_table(
+        [
+            ("10001", "nyc", "w"),
+            ("10001", "nyc", "w"),
+            ("10001", "boston", "w"),  # violation: minority value for 10001
+            ("60601", "chi", "w"),
+        ]
+    )
+    assert fd_violation_ratio(table, ["zip"], "city") == pytest.approx(1 / 4)
+    assert fd_holds(table, ["zip"], "city", tolerance=0.3)
+    assert not fd_holds(table, ["zip"], "city")
+
+
+def test_multi_column_determinant():
+    table = make_table(
+        [("1", "a", "x"), ("1", "b", "y"), ("2", "a", "y"), ("2", "b", "x")]
+    )
+    # Neither zip nor city alone determines race, but together they do.
+    assert fd_violation_ratio(table, ["zip"], "race") > 0
+    assert fd_violation_ratio(table, ["zip", "city"], "race") == 0.0
+
+
+def test_missing_rows_excluded():
+    table = make_table(
+        [("1", "a", "x"), ("1", None, "x"), (None, "a", "x")]
+    )
+    assert fd_violation_ratio(table, ["zip"], "city") == 0.0
+
+
+def test_all_missing_raises():
+    table = make_table([(None, "a", "x")])
+    with pytest.raises(EmptyInputError):
+        fd_violation_ratio(table, ["zip"], "city")
+
+
+def test_validations():
+    table = make_table([("1", "a", "x")])
+    with pytest.raises(SpecificationError):
+        fd_violation_ratio(table, [], "city")
+    with pytest.raises(SpecificationError):
+        fd_violation_ratio(table, ["zip"], "zip")
+    with pytest.raises(SpecificationError):
+        fd_holds(table, ["zip"], "city", tolerance=-0.1)
+
+
+def test_find_functional_dependencies_orders_by_ratio():
+    table = make_table(
+        [
+            ("1", "a", "x"),
+            ("1", "a", "x"),
+            ("2", "b", "y"),
+            ("2", "b", "x"),
+        ]
+    )
+    found = find_functional_dependencies(
+        table, ["zip", "city"], ["race"], tolerance=0.5
+    )
+    assert found
+    ratios = [ratio for _, _, ratio in found]
+    assert ratios == sorted(ratios)
+    determinants = {d[0] for d, _, _ in found}
+    assert determinants <= {"zip", "city"}
+
+
+def test_sensitive_to_target_fd_detection(health_table):
+    """In the synthetic health data race does NOT determine the label."""
+    found = find_functional_dependencies(
+        health_table.with_column(
+            "label", "categorical",
+            ["pos" if v == 1.0 else "neg" for v in health_table.column("y")],
+        ),
+        ["race"],
+        ["label"],
+        tolerance=0.0,
+    )
+    assert found == []

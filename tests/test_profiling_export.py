@@ -1,0 +1,89 @@
+"""JSON export of transparency artifacts."""
+
+import json
+
+import pytest
+
+from respdi.profiling import (
+    audit_to_dict,
+    build_datasheet,
+    build_nutritional_label,
+    datasheet_to_dict,
+    dump_json,
+    label_to_dict,
+)
+from respdi.requirements import (
+    GroupRepresentationRequirement,
+    audit_requirements,
+)
+
+
+@pytest.fixture
+def label(health_table):
+    return build_nutritional_label(
+        health_table, ["gender", "race"], target_column="y",
+        coverage_threshold=20,
+    )
+
+
+@pytest.fixture
+def datasheet(health_table):
+    return build_datasheet(
+        "export test", health_table, motivation="m", collection_process="c",
+        known_limitations=["synthetic"],
+    )
+
+
+@pytest.fixture
+def audit(health_table):
+    return audit_requirements(
+        health_table,
+        [GroupRepresentationRequirement(("gender", "race"), threshold=20)],
+    )
+
+
+def test_label_roundtrips_through_json(label):
+    payload = label_to_dict(label)
+    text = json.dumps(payload)
+    back = json.loads(text)
+    assert back["rows"] == label.profile.row_count
+    assert set(back["feature_target_correlation"]) == {"x0", "x1", "x2", "x3"}
+    # Tuple keys flattened to readable strings.
+    assert all("|" in key for key in back["feature_sensitive_association"])
+
+
+def test_datasheet_roundtrips_through_json(datasheet):
+    payload = datasheet_to_dict(datasheet)
+    back = json.loads(json.dumps(payload))
+    assert back["title"] == "export test"
+    assert back["known_limitations"] == ["synthetic"]
+    assert "composition" in back
+    assert back["composition"]["rows"] > 0
+
+
+def test_audit_roundtrips_through_json(audit):
+    payload = audit_to_dict(audit)
+    back = json.loads(json.dumps(payload))
+    assert back["passed"] == audit.passed
+    assert back["requirements"][0]["requirement"] == "group-representation"
+
+
+def test_dump_json_dispatch(tmp_path, label, datasheet, audit):
+    for name, artifact in (
+        ("label", label), ("sheet", datasheet), ("audit", audit),
+    ):
+        path = tmp_path / f"{name}.json"
+        dump_json(artifact, path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert isinstance(loaded, dict)
+
+
+def test_dump_json_plain_dict(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "plain.json"
+    dump_json({("a", "b"): np.float64(1.5), "nan": float("nan")}, path)
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded == {"a|b": 1.5, "nan": None}

@@ -1,0 +1,101 @@
+"""Nutritional labels and datasheets."""
+
+import pytest
+
+from respdi.datagen import inject_mar
+from respdi.errors import SpecificationError
+from respdi.profiling import (
+    Datasheet,
+    build_datasheet,
+    build_nutritional_label,
+)
+from respdi.profiling.datasheets import SECTIONS
+from respdi.table import Schema, Table
+
+
+def test_label_fields_populated(health_table):
+    label = build_nutritional_label(
+        health_table, ["gender", "race"], target_column="y",
+        coverage_threshold=20,
+    )
+    assert label.profile.row_count == len(health_table)
+    assert set(label.feature_target_correlation) == {"x0", "x1", "x2", "x3"}
+    assert ("x0", "race") in label.feature_sensitive_association
+    assert set(label.attribute_diversity) == {"gender", "race"}
+    rendered = label.render()
+    assert "feature informativeness" in rendered
+    assert "rows:" in rendered
+
+
+def test_label_flags_uncovered_groups(health_population):
+    biased = health_population.sample_biased(
+        400,
+        {("F", "white"): 0.5, ("M", "white"): 0.47, ("F", "black"): 0.03},
+        rng=5,
+    )
+    label = build_nutritional_label(
+        biased, ["gender", "race"], target_column="y", coverage_threshold=30
+    )
+    assert label.uncovered_patterns
+    assert "under-represented" in label.render()
+
+
+def test_label_reports_group_missingness(health_table):
+    dirty, _ = inject_mar(
+        health_table, "x0", "race", {"black": 0.5}, rng=6
+    )
+    label = build_nutritional_label(dirty, ["race"], target_column="y")
+    assert "x0" in label.group_missing_rates
+    rates = label.group_missing_rates["x0"]
+    assert rates[("black",)] > rates[("white",)]
+
+
+def test_label_detects_sensitive_target_fd():
+    schema = Schema([("race", "categorical"), ("y", "numeric")])
+    rows = [("a", 1.0)] * 30 + [("b", 0.0)] * 30
+    table = Table.from_rows(schema, rows)
+    label = build_nutritional_label(table, ["race"], target_column="y")
+    assert label.sensitive_target_fds
+    assert "WARNING" in label.render()
+
+
+def test_label_requires_sensitive_columns(health_table):
+    with pytest.raises(SpecificationError):
+        build_nutritional_label(health_table, [])
+
+
+def test_datasheet_sections_and_rendering(health_table):
+    sheet = build_datasheet(
+        title="test data",
+        table=health_table,
+        motivation="unit testing",
+        collection_process="synthetic sampling",
+        recommended_uses=["testing"],
+        known_limitations=["synthetic"],
+    )
+    rendered = sheet.render()
+    assert "# Datasheet: test data" in rendered
+    assert "## Motivation" in rendered
+    assert "## Composition" in rendered
+    assert "Known Limitations" in rendered
+    assert f"rows: {len(health_table)}" in rendered
+
+
+def test_datasheet_completeness_check(health_table):
+    sheet = build_datasheet(
+        "d", health_table, motivation="m", collection_process="c",
+    )
+    assert sheet.is_complete(
+        ["motivation", "composition", "collection_process", "preprocessing"]
+    )
+    assert not sheet.is_complete(SECTIONS)  # uses/distribution/maintenance absent
+    sheet.add_answer("uses", "What uses?", "testing")
+    sheet.add_answer("distribution", "How distributed?", "in repo")
+    sheet.add_answer("maintenance", "Who maintains?", "CI")
+    assert sheet.is_complete(SECTIONS)
+
+
+def test_datasheet_rejects_unknown_section():
+    sheet = Datasheet(title="x")
+    with pytest.raises(ValueError):
+        sheet.add_answer("marketing", "q", "a")

@@ -1,0 +1,57 @@
+"""Column and table profiles."""
+
+import pytest
+
+from respdi.profiling import profile_table
+from respdi.profiling.profiles import profile_column
+from respdi.table import Schema, Table
+
+
+def test_numeric_profile(small_table):
+    profile = profile_column(small_table, "age")
+    assert profile.ctype == "numeric"
+    assert profile.row_count == 7
+    assert profile.missing_count == 1
+    assert profile.missing_rate == pytest.approx(1 / 7)
+    assert profile.minimum == 28.0
+    assert profile.maximum == 62.0
+    assert profile.distinct_count == 6
+    assert profile.top_values == ()
+
+
+def test_categorical_profile(small_table):
+    profile = profile_column(small_table, "race")
+    assert profile.ctype == "categorical"
+    assert profile.distinct_count == 2
+    assert dict(profile.top_values) == {"white": 3, "black": 3}
+    assert profile.mean is None
+
+
+def test_profile_flags():
+    schema = Schema([("key", "categorical"), ("const", "categorical")])
+    table = Table.from_rows(schema, [("a", "z"), ("b", "z"), ("c", "z")])
+    profile = profile_table(table)
+    assert profile.column("key").is_candidate_key
+    assert profile.column("const").is_constant
+    assert not profile.column("const").is_candidate_key
+
+
+def test_complete_row_fraction(small_table):
+    profile = profile_table(small_table)
+    # Two rows have a missing value (one age, one race).
+    assert profile.complete_row_fraction == pytest.approx(5 / 7)
+
+
+def test_empty_table_profile():
+    schema = Schema([("a", "numeric")])
+    profile = profile_table(Table.empty(schema))
+    assert profile.row_count == 0
+    assert profile.column("a").distinct_count == 0
+    assert profile.complete_row_fraction == 0.0
+
+
+def test_top_k_truncation():
+    schema = Schema([("c", "categorical")])
+    table = Table.from_rows(schema, [(f"v{i}",) for i in range(30)])
+    profile = profile_column(table, "c", top_k=5)
+    assert len(profile.top_values) == 5

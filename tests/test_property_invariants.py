@@ -1,0 +1,236 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These target the *contracts* between components rather than single
+functions: tailoring accounting identities, spec state machines,
+predicate algebra laws, and sampler validity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.table import And, Eq, Not, Or, Range, Schema, Table
+from respdi.tailoring import (
+    CountSpec,
+    MarginalCountSpec,
+    RandomPolicy,
+    RangeCountSpec,
+    TableSource,
+    tailor,
+)
+
+# -- predicate algebra ---------------------------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", None]),
+        st.one_of(st.none(), st.floats(-10, 10)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def make_table(rows):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    return Table.from_rows(schema, rows)
+
+
+@given(rows=rows_strategy, v1=st.sampled_from("abc"), v2=st.sampled_from("abc"))
+@settings(max_examples=60, deadline=None)
+def test_de_morgan_laws(rows, v1, v2):
+    table = make_table(rows)
+    p = Eq("g", v1)
+    q = Range("x", -5, 5)
+    left = (~(p & q)).mask(table)
+    right = ((~p) | (~q)).mask(table)
+    assert np.array_equal(left, right)
+    left = (~(p | q)).mask(table)
+    right = ((~p) & (~q)).mask(table)
+    assert np.array_equal(left, right)
+
+
+@given(rows=rows_strategy, value=st.sampled_from("abc"))
+@settings(max_examples=60, deadline=None)
+def test_double_negation(rows, value):
+    table = make_table(rows)
+    p = Eq("g", value)
+    assert np.array_equal(p.mask(table), Not(Not(p)).mask(table))
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_conjunction_is_intersection(rows):
+    table = make_table(rows)
+    p = Range("x", lo=0)
+    q = Range("x", hi=5)
+    both = table.filter(p & q)
+    manual = table.filter(p).filter(q)
+    assert both.equals(manual)
+
+
+# -- tailoring accounting -------------------------------------------------------
+
+group_values = st.sampled_from(["g1", "g2", "g3"])
+
+
+@st.composite
+def tailoring_case(draw):
+    n_rows = draw(st.integers(30, 120))
+    rows = [(draw(group_values), float(i)) for i in range(n_rows)]
+    schema = Schema([("grp", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(schema, rows)
+    present = {g for g, _ in rows}
+    requirements = {
+        (g,): draw(st.integers(0, 5)) for g in present
+    }
+    if all(v == 0 for v in requirements.values()):
+        requirements[(next(iter(present)),)] = 1
+    return table, requirements
+
+
+@given(case=tailoring_case(), seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_tailoring_accounting_identities(case, seed):
+    table, requirements = case
+    spec = CountSpec(("grp",), requirements)
+    source = TableSource("s", table, cost=2.0)
+    result = tailor([source], spec, RandomPolicy(), rng=seed, max_steps=5000)
+    # Cost identity: every step pays the source cost.
+    assert result.total_cost == pytest.approx(2.0 * result.steps)
+    assert result.pulls[0] == result.steps
+    assert sum(result.useful) == len(result.rows)
+    assert sum(result.useful) <= result.steps
+    if result.satisfied:
+        assert result.deficits == {}
+        collected = Table.from_dicts(table.schema, result.rows)
+        counts = collected.group_counts(["grp"])
+        for group, need in requirements.items():
+            assert counts.get(group, 0) == need
+    else:
+        assert result.deficits
+
+
+@given(case=tailoring_case(), seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_range_spec_never_overshoots(case, seed):
+    table, requirements = case
+    ranges = {g: (need, need + 2) for g, need in requirements.items()}
+    spec = RangeCountSpec(("grp",), ranges)
+    source = TableSource("s", table)
+    result = tailor([source], spec, RandomPolicy(), rng=seed, max_steps=5000)
+    collected = Table.from_dicts(table.schema, result.rows)
+    counts = collected.group_counts(["grp"])
+    for group, (lo, hi) in ranges.items():
+        assert counts.get(group, 0) <= hi
+        if result.satisfied:
+            assert counts.get(group, 0) >= lo
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_marginal_spec_satisfies_every_marginal(seed):
+    from respdi.datagen.population import default_health_population
+
+    population = default_health_population(minority_fraction=0.3)
+    table = population.sample(800, rng=seed)
+    spec = MarginalCountSpec(
+        ("gender", "race"),
+        {"gender": {"F": 10, "M": 10}, "race": {"white": 10, "black": 10}},
+    )
+    source = TableSource("s", table)
+    result = tailor([source], spec, RandomPolicy(), rng=seed, max_steps=5000)
+    if result.satisfied:
+        collected = Table.from_dicts(table.schema, result.rows)
+        assert collected.value_counts("gender").get("F", 0) >= 10
+        assert collected.value_counts("gender").get("M", 0) >= 10
+        assert collected.value_counts("race").get("white", 0) >= 10
+        assert collected.value_counts("race").get("black", 0) >= 10
+
+
+# -- coverage enhancement ---------------------------------------------------------
+
+@st.composite
+def coverage_case(draw):
+    n = draw(st.integers(10, 60))
+    rows = [
+        (
+            draw(st.sampled_from(["a", "b"])),
+            draw(st.sampled_from(["x", "y", "z"])),
+        )
+        for _ in range(n)
+    ]
+    threshold = draw(st.integers(2, 6))
+    return rows, threshold
+
+
+@given(case=coverage_case())
+@settings(max_examples=30, deadline=None)
+def test_full_coverage_plan_achieves_full_coverage(case):
+    """Simulating the plan always yields a MUP-free data set."""
+    from respdi.coverage import CoverageAnalyzer, full_coverage_plan
+
+    rows, threshold = case
+    schema = Schema([("g", "categorical"), ("r", "categorical")])
+    table = Table.from_rows(schema, rows)
+    analyzer = CoverageAnalyzer(table, ["g", "r"], threshold)
+    plan = full_coverage_plan(analyzer)
+    extended = list(rows)
+    for combo, copies in plan:
+        extended.extend([tuple(combo)] * copies)
+    enhanced = Table.from_rows(schema, extended)
+    enhanced_analyzer = CoverageAnalyzer(enhanced, ["g", "r"], threshold)
+    assert enhanced_analyzer.mups().mups == []
+
+
+# -- sampler validity ------------------------------------------------------------
+
+@st.composite
+def joinable_tables(draw):
+    keys = ["k1", "k2", "k3", "k4"]
+    left_rows = [
+        (draw(st.sampled_from(keys)), float(i))
+        for i in range(draw(st.integers(5, 30)))
+    ]
+    right_rows = [
+        (draw(st.sampled_from(keys)), float(i))
+        for i in range(draw(st.integers(5, 30)))
+    ]
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    return Table.from_rows(schema_l, left_rows), Table.from_rows(schema_r, right_rows)
+
+
+@given(tables=joinable_tables(), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_accept_reject_samples_are_real_join_tuples(tables, seed):
+    from respdi.errors import EmptyInputError
+    from respdi.sampling import AcceptRejectJoinSampler, full_join
+
+    left, right = tables
+    joined = full_join(left, right, ["k"])
+    if len(joined) == 0:
+        return
+    sampler = AcceptRejectJoinSampler(left, right, "k", rng=seed)
+    sample = sampler.sample(20)
+    valid = {(row[0], row[1]) for row in joined.iter_rows()}
+    for row in sample.iter_rows():
+        assert (row[0], row[1]) in valid
+
+
+@given(tables=joinable_tables(), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_chain_sampler_join_size_matches_oracle(tables, seed):
+    from respdi.errors import EmptyInputError
+    from respdi.sampling import ChainJoinSampler, ChainJoinSpec, full_join
+
+    left, right = tables
+    joined = full_join(left, right, ["k"])
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    if len(joined) == 0:
+        with pytest.raises(EmptyInputError):
+            ChainJoinSampler(spec, rng=seed)
+        return
+    sampler = ChainJoinSampler(spec, rng=seed)
+    assert sampler.join_size == len(joined)

@@ -1,0 +1,174 @@
+"""The five §2 requirement checks."""
+
+import pytest
+
+from respdi.datagen import inject_mar, inject_numeric_errors
+from respdi.errors import SpecificationError
+from respdi.profiling import build_datasheet
+from respdi.requirements import (
+    CompletenessCorrectnessRequirement,
+    DistributionRepresentationRequirement,
+    FeatureRequirement,
+    GroupRepresentationRequirement,
+    ScopeOfUseRequirement,
+    audit_requirements,
+)
+from respdi.table import Schema, Table
+
+
+def test_distribution_representation_pass_and_fail(health_population):
+    target = health_population.group_distribution()
+    representative = health_population.sample(3000, rng=1)
+    check = DistributionRepresentationRequirement(
+        ("gender", "race"), target, max_divergence=0.05, measure="tv"
+    )
+    assert check.audit(representative).passed
+    skewed = health_population.sample_biased(
+        3000, {("F", "white"): 0.9, ("M", "white"): 0.1}, rng=2
+    )
+    report = check.audit(skewed)
+    assert not report.passed
+    assert report.score > 0.05
+    assert "tv=" in report.message
+
+
+def test_distribution_measures(health_population):
+    target = health_population.group_distribution()
+    sample = health_population.sample(2000, rng=3)
+    for measure in ("tv", "js", "kl"):
+        check = DistributionRepresentationRequirement(
+            ("gender", "race"), target, max_divergence=0.1, measure=measure
+        )
+        assert check.audit(sample).passed
+    with pytest.raises(SpecificationError):
+        DistributionRepresentationRequirement(("g",), {("a",): 1.0}, measure="L7")
+
+
+def test_distribution_empty_table(health_population):
+    check = DistributionRepresentationRequirement(
+        ("gender", "race"), health_population.group_distribution()
+    )
+    empty = Table.empty(health_population.schema())
+    report = check.audit(empty)
+    assert not report.passed
+
+
+def test_group_representation(health_population):
+    domains = {"gender": ["F", "M"], "race": ["white", "black"]}
+    check = GroupRepresentationRequirement(
+        ("gender", "race"), threshold=30, expected_domains=domains
+    )
+    balanced = health_population.sample_biased(
+        1000, {g: 0.25 for g in health_population.groups}, rng=4
+    )
+    assert check.audit(balanced).passed
+    skewed = health_population.sample_biased(
+        1000, {("F", "white"): 0.97, ("F", "black"): 0.03}, rng=5
+    )
+    report = check.audit(skewed)
+    assert not report.passed
+    assert report.details["mups"]
+    # Men are entirely absent: only expected domains can reveal that.
+    assert any("'M'" in mup for mup in report.details["mups"])
+
+
+def test_group_representation_blind_without_domains(health_population):
+    """Documented limitation: observed-domain coverage cannot detect a
+    group that never occurs in the data at all."""
+    skewed = health_population.sample_biased(
+        1000, {("F", "white"): 0.5, ("F", "black"): 0.5}, rng=5
+    )
+    blind = GroupRepresentationRequirement(("gender", "race"), threshold=30)
+    assert blind.audit(skewed).passed  # men invisible -> no MUP found
+    seeing = GroupRepresentationRequirement(
+        ("gender", "race"), threshold=30,
+        expected_domains={"gender": ["F", "M"]},
+    )
+    assert not seeing.audit(skewed).passed
+
+
+def test_feature_requirement(health_table):
+    lenient = FeatureRequirement(
+        ["x0", "x1", "x2", "x3"], "y", ("race",),
+        min_informativeness=0.05, max_sensitive_association=0.95,
+    )
+    assert lenient.audit(health_table).passed
+    strict = FeatureRequirement(
+        ["x0", "x1", "x2", "x3"], "y", ("race",),
+        max_sensitive_association=0.01,
+    )
+    report = strict.audit(health_table)
+    assert not report.passed
+    assert report.details["bias"]
+
+
+def test_completeness_correctness(health_table):
+    check = CompletenessCorrectnessRequirement(
+        ["x0", "x1"], ("race",), max_missing_rate=0.05,
+        max_group_missing_rate=0.1, max_outlier_rate=0.02,
+    )
+    assert check.audit(health_table).passed
+    dirty, _ = inject_mar(health_table, "x0", "race", {"black": 0.4}, rng=6)
+    report = check.audit(dirty)
+    assert not report.passed
+    assert "missing rate" in report.message
+
+
+def test_completeness_catches_outliers(health_table):
+    corrupted, _, _ = inject_numeric_errors(
+        health_table, "x1", rate=0.1, magnitude=10.0, rng=7
+    )
+    check = CompletenessCorrectnessRequirement(
+        ["x1"], ("race",), max_outlier_rate=0.01, outlier_threshold=4.0
+    )
+    report = check.audit(corrupted)
+    assert not report.passed
+    assert "outlier" in report.message
+
+
+def test_scope_of_use(health_table):
+    missing = ScopeOfUseRequirement(None)
+    assert not missing.audit(health_table).passed
+    sheet = build_datasheet(
+        "d", health_table, motivation="m", collection_process="c",
+        recommended_uses=["training"], known_limitations=["synthetic"],
+    )
+    partial = ScopeOfUseRequirement(sheet)
+    report = partial.audit(health_table)
+    assert not report.passed  # uses/distribution/maintenance sections absent
+    sheet.add_answer("uses", "q", "a")
+    sheet.add_answer("distribution", "q", "a")
+    sheet.add_answer("maintenance", "q", "a")
+    assert ScopeOfUseRequirement(sheet).audit(health_table).passed
+
+
+def test_scope_of_use_demands_honesty(health_table):
+    sheet = build_datasheet(
+        "d", health_table, motivation="m", collection_process="c",
+    )
+    for section in ("uses", "distribution", "maintenance"):
+        sheet.add_answer(section, "q", "a")
+    report = ScopeOfUseRequirement(sheet).audit(health_table)
+    assert not report.passed
+    assert "limitations" in report.message
+
+
+def test_audit_aggregation(health_population):
+    table = health_population.sample_biased(
+        800, {g: 0.25 for g in health_population.groups}, rng=8
+    )
+    checks = [
+        GroupRepresentationRequirement(("gender", "race"), threshold=20),
+        DistributionRepresentationRequirement(
+            ("gender", "race"), {g: 0.25 for g in health_population.groups},
+            max_divergence=0.1,
+        ),
+    ]
+    audit = audit_requirements(table, checks)
+    assert audit.passed
+    assert audit.failures == []
+    assert audit.report_for("group-representation").passed
+    assert audit.report_for("nonexistent") is None
+    assert "overall: PASS" in audit.render()
+    with pytest.raises(SpecificationError):
+        audit_requirements(table, [])

@@ -1,0 +1,35 @@
+"""RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from respdi._rng import ensure_rng, spawn
+
+
+def test_ensure_rng_forms():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+    generator = np.random.default_rng(0)
+    assert ensure_rng(generator) is generator
+    a = ensure_rng(42).random()
+    b = ensure_rng(42).random()
+    assert a == b
+
+
+def test_ensure_rng_rejects_junk():
+    with pytest.raises(TypeError):
+        ensure_rng("seed")
+
+
+def test_spawn_independent_reproducible():
+    children_a = spawn(np.random.default_rng(1), 3)
+    children_b = spawn(np.random.default_rng(1), 3)
+    assert len(children_a) == 3
+    for x, y in zip(children_a, children_b):
+        assert x.random() == y.random()
+    fresh = spawn(np.random.default_rng(1), 2)
+    assert fresh[0].random() != fresh[1].random()
+
+
+def test_spawn_validation():
+    with pytest.raises(ValueError):
+        spawn(np.random.default_rng(0), -1)

@@ -1,0 +1,131 @@
+"""Chaudhuri et al. accept-reject join sampling: uniformity and regimes."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.sampling import AcceptRejectJoinSampler, full_join
+from respdi.stats import chi_square_goodness_of_fit
+from respdi.table import Schema, Table
+
+
+def zipf_tables(seed=0, n=150):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(12)]
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    left = Table.from_rows(
+        schema_l,
+        [
+            (keys[min(int(rng.zipf(1.6)) - 1, 11)], float(i))
+            for i in range(n)
+        ],
+    )
+    right = Table.from_rows(
+        schema_r,
+        [
+            (keys[min(int(rng.zipf(1.6)) - 1, 11)], float(i))
+            for i in range(n)
+        ],
+    )
+    return left, right
+
+
+def test_samples_are_valid_join_tuples():
+    left, right = zipf_tables()
+    sampler = AcceptRejectJoinSampler(left, right, "k", rng=1)
+    sample = sampler.sample(100)
+    assert len(sample) == 100
+    joined = full_join(left, right, ["k"])
+    valid_keys = set(joined.column("k"))
+    assert set(sample.column("k")) <= valid_keys
+
+
+def test_uniformity_over_join_result():
+    """Chi-square test: the per-key share of samples matches the key's
+    share of the full join."""
+    left, right = zipf_tables(seed=3)
+    joined = full_join(left, right, ["k"])
+    key_share = {}
+    for key, count in joined.value_counts("k").items():
+        key_share[key] = count / len(joined)
+    sampler = AcceptRejectJoinSampler(left, right, "k", rng=4)
+    sample = sampler.sample(5000)
+    observed_counts = sample.value_counts("k")
+    keys = sorted(key_share)
+    observed = [observed_counts.get(k, 0) for k in keys]
+    expected = [key_share[k] for k in keys]
+    _, p_value = chi_square_goodness_of_fit(observed, expected)
+    assert p_value > 0.001
+
+
+def test_upper_bound_regime_matches_exact_distribution():
+    left, right = zipf_tables(seed=5)
+    exact = AcceptRejectJoinSampler(left, right, "k", rng=6)
+    bounded = AcceptRejectJoinSampler(
+        left, right, "k", statistics="upper_bound",
+        frequency_upper_bound=len(right), rng=6,
+    )
+    exact_sample = exact.sample(3000)
+    bounded_sample = bounded.sample(3000)
+    exact_share = {
+        k: v / 3000 for k, v in exact_sample.value_counts("k").items()
+    }
+    bounded_share = {
+        k: v / 3000 for k, v in bounded_sample.value_counts("k").items()
+    }
+    for key in exact_share:
+        assert bounded_share.get(key, 0.0) == pytest.approx(
+            exact_share[key], abs=0.05
+        )
+
+
+def test_upper_bound_lowers_acceptance():
+    left, right = zipf_tables(seed=7)
+    exact = AcceptRejectJoinSampler(left, right, "k", rng=8)
+    loose = AcceptRejectJoinSampler(
+        left, right, "k", statistics="upper_bound",
+        frequency_upper_bound=5 * len(right), rng=8,
+    )
+    exact.sample(300)
+    loose.sample(300)
+    assert loose.stats.acceptance_rate < exact.stats.acceptance_rate
+
+
+def test_bound_below_max_fanout_rejected():
+    left, right = zipf_tables()
+    with pytest.raises(SpecificationError, match="below the true maximum"):
+        AcceptRejectJoinSampler(
+            left, right, "k", statistics="upper_bound", frequency_upper_bound=1
+        )
+
+
+def test_missing_keys_never_sampled():
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    left = Table.from_rows(schema_l, [("x", 1.0), (None, 2.0)])
+    right = Table.from_rows(schema_r, [("x", 3.0), (None, 4.0)])
+    sampler = AcceptRejectJoinSampler(left, right, "k", rng=9)
+    sample = sampler.sample(50)
+    assert set(sample.column("k")) == {"x"}
+
+
+def test_attempt_cap_raises():
+    schema_l = Schema([("k", "categorical")])
+    schema_r = Schema([("k", "categorical")])
+    left = Table.from_rows(schema_l, [("a",)] * 10)
+    right = Table.from_rows(schema_r, [("b",)] * 10)  # join is empty
+    sampler = AcceptRejectJoinSampler(left, right, "k", rng=10)
+    with pytest.raises(EmptyInputError, match="attempts"):
+        sampler.sample(1, max_attempts=100)
+
+
+def test_validations():
+    left, right = zipf_tables()
+    with pytest.raises(SpecificationError, match="regime"):
+        AcceptRejectJoinSampler(left, right, "k", statistics="guess")
+    with pytest.raises(SpecificationError, match="frequency_upper_bound"):
+        AcceptRejectJoinSampler(left, right, "k", statistics="upper_bound")
+    sampler = AcceptRejectJoinSampler(left, right, "k", rng=0)
+    with pytest.raises(SpecificationError):
+        sampler.sample(0)

@@ -1,0 +1,73 @@
+"""Join-sampling baselines — including the strawman's bias, demonstrated."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import SpecificationError
+from respdi.sampling import full_join, join_then_sample, sample_then_join
+from respdi.table import Schema, Table
+
+
+def skewed_tables(seed=0):
+    """One heavy key (fanout 40x40) and many light keys (1x1)."""
+    rng = np.random.default_rng(seed)
+    left_rows = [("hot", float(rng.normal()))] * 40 + [
+        (f"cold{i}", float(rng.normal())) for i in range(60)
+    ]
+    right_rows = [("hot", float(rng.normal()))] * 40 + [
+        (f"cold{i}", float(rng.normal())) for i in range(60)
+    ]
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    return (
+        Table.from_rows(schema_l, left_rows),
+        Table.from_rows(schema_r, right_rows),
+    )
+
+
+def test_full_join_size():
+    left, right = skewed_tables()
+    joined = full_join(left, right, ["k"])
+    assert len(joined) == 40 * 40 + 60
+
+
+def test_join_then_sample_is_unbiased():
+    left, right = skewed_tables()
+    sample = join_then_sample(left, right, ["k"], n=4000, rng=1)
+    hot_share = sum(1 for v in sample.column("k") if v == "hot") / len(sample)
+    true_share = 1600 / 1660
+    assert hot_share == pytest.approx(true_share, abs=0.02)
+
+
+def test_sample_then_join_underrepresents_heavy_keys():
+    left, right = skewed_tables()
+    # With 30% per-side sampling, the hot key's share of the sampled join
+    # stays near its true share ONLY if sampling were unbiased; the
+    # strawman instead skews the *size* and correlation structure.  The
+    # robust observable bias: expected output size != fraction^2 * |join|
+    # contributions uniformly across keys — cold keys nearly vanish.
+    out = sample_then_join(left, right, ["k"], 0.3, 0.3, rng=2)
+    cold = sum(1 for v in out.column("k") if v != "hot")
+    # Each cold key survives with probability 0.09; of 60 keys only a few.
+    assert cold < 20
+
+
+def test_sample_then_join_result_tuples_are_correlated():
+    """Tuples sharing a sampled base row are correlated: the number of
+    distinct left rows in the output is far below the output size for a
+    high-fanout key."""
+    left, right = skewed_tables()
+    out = sample_then_join(left, right, ["k"], 0.3, 0.3, rng=3)
+    hot = out.filter_mask(np.array([v == "hot" for v in out.column("k")]))
+    if len(hot) > 0:
+        distinct_left_values = len(set(hot.column("a")))
+        assert distinct_left_values <= 0.5 * len(hot) + 1
+
+
+def test_validations():
+    left, right = skewed_tables()
+    with pytest.raises(SpecificationError):
+        sample_then_join(left, right, ["k"], 0.0, 0.5)
+    empty_l = Table.empty(left.schema)
+    with pytest.raises(SpecificationError, match="empty"):
+        join_then_sample(empty_l, right, ["k"], 5)

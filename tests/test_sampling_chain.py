@@ -1,0 +1,138 @@
+"""Generic chain-join sampling (Zhao et al.)."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.sampling import ChainJoinSampler, ChainJoinSpec, full_join
+from respdi.stats import chi_square_goodness_of_fit
+from respdi.table import Schema, Table
+
+
+def three_tables(seed=0, n=80):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(8)]
+
+    def table(prefix):
+        schema = Schema([("k", "categorical"), (prefix, "numeric")])
+        return Table.from_rows(
+            schema,
+            [
+                (keys[min(int(rng.zipf(1.7)) - 1, 7)], float(i))
+                for i in range(n)
+            ],
+        )
+
+    return table("a"), table("b"), table("c")
+
+
+def oracle_join_size(tables):
+    t1, t2, t3 = tables
+    j12 = full_join(t1, t2.rename({"b": "b2"}), ["k"])
+    j123 = full_join(j12, t3.rename({"c": "c2"}), ["k"])
+    return len(j123)
+
+
+def test_exact_counts_match_oracle():
+    tables = three_tables()
+    spec = ChainJoinSpec(list(tables), [("k", "k"), ("k", "k")])
+    sampler = ChainJoinSampler(spec, rng=1)
+    assert sampler.join_size == oracle_join_size(tables)
+
+
+def test_exact_sampling_never_rejects():
+    tables = three_tables(seed=2)
+    spec = ChainJoinSpec(list(tables), [("k", "k"), ("k", "k")])
+    sampler = ChainJoinSampler(spec, rng=3)
+    sampler.sample(500)
+    assert sampler.stats.acceptance_rate == 1.0
+
+
+def test_exact_sampling_is_uniform_over_keys():
+    tables = three_tables(seed=4)
+    t1, t2, t3 = tables
+    spec = ChainJoinSpec([t1, t2, t3], [("k", "k"), ("k", "k")])
+    sampler = ChainJoinSampler(spec, rng=5)
+    paths = sampler.sample(6000)
+    # Per-key share of samples vs per-key share of the join (key is shared).
+    t1_keys = t1.column("k")
+    observed = {}
+    for path in paths:
+        key = t1_keys[path[0]]
+        observed[key] = observed.get(key, 0) + 1
+    # Oracle per-key join sizes.
+    def count_key(table, key):
+        return sum(1 for v in table.column("k") if v == key)
+
+    join_per_key = {
+        key: count_key(t1, key) * count_key(t2, key) * count_key(t3, key)
+        for key in set(t1_keys)
+    }
+    total = sum(join_per_key.values())
+    keys = sorted(k for k, v in join_per_key.items() if v > 0)
+    observed_vector = [observed.get(k, 0) for k in keys]
+    expected_vector = [join_per_key[k] / total for k in keys]
+    _, p_value = chi_square_goodness_of_fit(observed_vector, expected_vector)
+    assert p_value > 0.001
+
+
+def test_bounded_regime_uniformity_matches_exact():
+    tables = three_tables(seed=6)
+    spec = ChainJoinSpec(list(tables), [("k", "k"), ("k", "k")])
+    exact = ChainJoinSampler(spec, rng=7)
+    bounded = ChainJoinSampler(spec, statistics="upper_bound", rng=7)
+    exact_paths = exact.sample(3000)
+    bounded_paths = bounded.sample(3000)
+    assert bounded.stats.acceptance_rate < 1.0
+    t1_keys = tables[0].column("k")
+
+    def shares(paths):
+        counts = {}
+        for path in paths:
+            key = t1_keys[path[0]]
+            counts[key] = counts.get(key, 0) + 1
+        return {k: v / len(paths) for k, v in counts.items()}
+
+    exact_shares = shares(exact_paths)
+    bounded_shares = shares(bounded_paths)
+    for key, share in exact_shares.items():
+        assert bounded_shares.get(key, 0.0) == pytest.approx(share, abs=0.05)
+
+
+def test_materialize_renames_clashes():
+    tables = three_tables(seed=8)
+    spec = ChainJoinSpec(list(tables), [("k", "k"), ("k", "k")])
+    sampler = ChainJoinSampler(spec, rng=9)
+    table = sampler.materialize(sampler.sample(10))
+    assert len(table) == 10
+    assert "k" in table.schema and "k_t1" in table.schema and "k_t2" in table.schema
+
+
+def test_two_table_instantiation_equals_chaudhuri_setting():
+    tables = three_tables(seed=10)
+    spec = ChainJoinSpec(list(tables[:2]), [("k", "k")])
+    sampler = ChainJoinSampler(spec, rng=11)
+    joined = full_join(tables[0], tables[1].rename({"b": "b2"}), ["k"])
+    assert sampler.join_size == len(joined)
+
+
+def test_empty_join_detected():
+    schema = Schema([("k", "categorical")])
+    a = Table.from_rows(schema, [("x",)])
+    b = Table.from_rows(schema, [("y",)])
+    spec = ChainJoinSpec([a, b], [("k", "k")])
+    with pytest.raises(EmptyInputError):
+        ChainJoinSampler(spec, rng=0)
+
+
+def test_spec_validations():
+    schema = Schema([("k", "categorical")])
+    table = Table.from_rows(schema, [("x",)])
+    with pytest.raises(SpecificationError):
+        ChainJoinSpec([table], [])
+    with pytest.raises(SpecificationError):
+        ChainJoinSpec([table, table], [])
+    with pytest.raises(SpecificationError):
+        ChainJoinSampler(
+            ChainJoinSpec([table, table], [("k", "k")]), statistics="weird"
+        )

@@ -1,0 +1,93 @@
+"""Ripple join online aggregation."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.sampling import RippleJoin, full_join
+from respdi.table import Schema, Table
+
+
+def tables(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(6)]
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    left = Table.from_rows(
+        schema_l,
+        [(keys[int(rng.integers(6))], float(rng.normal())) for _ in range(n)],
+    )
+    right = Table.from_rows(
+        schema_r,
+        [(keys[int(rng.integers(6))], float(rng.normal())) for _ in range(n)],
+    )
+    return left, right
+
+
+def test_exact_at_exhaustion():
+    left, right = tables()
+    joined = full_join(left, right, ["k"])
+    true_count = len(joined)
+    true_sum = joined.aggregate("b", "sum")
+    ripple = RippleJoin(left, right, "k", expression=lambda a, b: b["b"], rng=1)
+    trajectory = ripple.run()
+    final = trajectory[-1]
+    assert final.count_estimate == pytest.approx(true_count)
+    assert final.sum_estimate == pytest.approx(true_sum)
+    assert final.avg_estimate == pytest.approx(true_sum / true_count)
+    assert ripple.exhausted
+
+
+def test_estimates_converge():
+    left, right = tables(seed=2, n=200)
+    joined = full_join(left, right, ["k"])
+    true_count = len(joined)
+    ripple = RippleJoin(left, right, "k", rng=3)
+    trajectory = ripple.run(record_every=40)
+    early_error = abs(trajectory[0].count_estimate - true_count) / true_count
+    late_error = abs(trajectory[-1].count_estimate - true_count) / true_count
+    assert late_error <= early_error + 1e-9
+    assert late_error == pytest.approx(0.0, abs=1e-9)
+
+
+def test_partial_run_gives_reasonable_estimate():
+    left, right = tables(seed=4, n=400)
+    joined = full_join(left, right, ["k"])
+    ripple = RippleJoin(left, right, "k", rng=5)
+    trajectory = ripple.run(steps=400)  # half the tuples
+    estimate = trajectory[-1].count_estimate
+    assert estimate == pytest.approx(len(joined), rel=0.3)
+
+
+def test_missing_keys_ignored():
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    left = Table.from_rows(schema_l, [("x", 1.0), (None, 2.0)])
+    right = Table.from_rows(schema_r, [("x", 3.0), (None, 4.0)])
+    ripple = RippleJoin(left, right, "k", rng=6)
+    final = ripple.run()[-1]
+    assert final.count_estimate == pytest.approx(1.0)
+
+
+def test_step_after_exhaustion_raises():
+    left, right = tables(n=4)
+    ripple = RippleJoin(left, right, "k", rng=7)
+    ripple.run()
+    with pytest.raises(EmptyInputError):
+        ripple.step()
+
+
+def test_validations():
+    left, right = tables()
+    with pytest.raises(SpecificationError):
+        RippleJoin(left, right, "k").run(record_every=0)
+    empty = Table.empty(left.schema)
+    with pytest.raises(EmptyInputError):
+        RippleJoin(empty, right, "k")
+
+
+def test_avg_estimate_zero_when_no_count():
+    left, right = tables()
+    ripple = RippleJoin(left, right, "k", rng=8)
+    estimate = ripple.estimate()
+    assert estimate.avg_estimate == 0.0

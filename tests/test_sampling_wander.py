@@ -1,0 +1,96 @@
+"""Wander join: independent non-uniform walks, HT-corrected."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.sampling import ChainJoinSpec, WanderJoin, full_join
+from respdi.table import Schema, Table
+
+
+def tables(seed=0, n=80):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{i}" for i in range(6)]
+    schema_l = Schema([("k", "categorical"), ("a", "numeric")])
+    schema_r = Schema([("k", "categorical"), ("b", "numeric")])
+    left = Table.from_rows(
+        schema_l,
+        [(keys[int(rng.integers(6))], float(rng.normal())) for _ in range(n)],
+    )
+    right = Table.from_rows(
+        schema_r,
+        [(keys[int(rng.integers(6))], float(rng.normal())) for _ in range(n)],
+    )
+    return left, right
+
+
+def test_count_estimate_unbiased():
+    left, right = tables(seed=1)
+    joined = full_join(left, right, ["k"])
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, rng=2)
+    final = wander.run(8000)[-1]
+    assert final.count_estimate == pytest.approx(len(joined), rel=0.1)
+
+
+def test_sum_estimate_unbiased():
+    left, right = tables(seed=3)
+    joined = full_join(left, right, ["k"])
+    true_sum = joined.aggregate("b", "sum")
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, expression=lambda rows: rows[1]["b"], rng=4)
+    final = wander.run(12000)[-1]
+    assert final.sum_estimate == pytest.approx(true_sum, abs=0.2 * abs(true_sum) + 30)
+
+
+def test_three_table_chain():
+    left, right = tables(seed=5)
+    third = right.rename({"b": "c"})
+    spec = ChainJoinSpec([left, right, third], [("k", "k"), ("k", "k")])
+    from respdi.sampling import ChainJoinSampler
+
+    oracle = ChainJoinSampler(spec, rng=0).join_size
+    wander = WanderJoin(spec, rng=6)
+    final = wander.run(8000)[-1]
+    assert final.count_estimate == pytest.approx(oracle, rel=0.15)
+
+
+def test_failed_walks_counted():
+    schema = Schema([("k", "categorical")])
+    left = Table.from_rows(schema, [("x",), ("dead",)])
+    right = Table.from_rows(schema, [("x",)])
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, rng=7)
+    final = wander.run(2000)[-1]
+    assert 0.3 < final.success_rate < 0.7
+    # Join size is 1; HT correction accounts for failures.
+    assert final.count_estimate == pytest.approx(1.0, abs=0.15)
+
+
+def test_trajectory_recording():
+    left, right = tables(seed=8)
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, rng=9)
+    trajectory = wander.run(1000, record_every=250)
+    assert [t.walks for t in trajectory] == [250, 500, 750, 1000]
+
+
+def test_estimate_before_walks():
+    left, right = tables()
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, rng=10)
+    estimate = wander.estimate()
+    assert estimate.walks == 0 and estimate.count_estimate == 0.0
+
+
+def test_validations():
+    left, right = tables()
+    spec = ChainJoinSpec([left, right], [("k", "k")])
+    wander = WanderJoin(spec, rng=11)
+    with pytest.raises(SpecificationError):
+        wander.run(0)
+    with pytest.raises(SpecificationError):
+        wander.run(10, record_every=0)
+    empty = Table.empty(left.schema)
+    with pytest.raises(EmptyInputError):
+        WanderJoin(ChainJoinSpec([empty, right], [("k", "k")]), rng=0)

@@ -1,0 +1,129 @@
+"""Dependence and association measures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.stats import (
+    conditional_entropy,
+    correlation_ratio,
+    cramers_v,
+    entropy,
+    feature_bias_score,
+    feature_informativeness_score,
+    mutual_information,
+    normalized_mutual_information,
+    pearson_correlation,
+    spearman_correlation,
+)
+
+
+def test_pearson_perfect_and_constant():
+    x = [1.0, 2.0, 3.0, 4.0]
+    assert pearson_correlation(x, x) == pytest.approx(1.0)
+    assert pearson_correlation(x, [-v for v in x]) == pytest.approx(-1.0)
+    assert pearson_correlation(x, [5.0] * 4) == 0.0
+
+
+def test_pearson_validations():
+    with pytest.raises(SpecificationError):
+        pearson_correlation([1.0], [1.0, 2.0])
+    with pytest.raises(EmptyInputError):
+        pearson_correlation([], [])
+
+
+def test_spearman_monotone_nonlinear():
+    x = [1.0, 2.0, 3.0, 4.0, 5.0]
+    y = [v**3 for v in x]
+    assert spearman_correlation(x, y) == pytest.approx(1.0)
+
+
+def test_spearman_handles_ties():
+    assert spearman_correlation([1, 1, 2, 2], [1, 1, 2, 2]) == pytest.approx(1.0)
+
+
+def test_entropy_known_values():
+    assert entropy(["a", "a", "a"]) == 0.0
+    assert entropy(["a", "b"]) == pytest.approx(math.log(2))
+    with pytest.raises(EmptyInputError):
+        entropy([])
+
+
+def test_mutual_information_identity_and_independence():
+    x = ["a", "b", "a", "b"] * 10
+    assert mutual_information(x, x) == pytest.approx(entropy(x))
+    y_independent = ["p", "p", "q", "q"] * 10
+    assert mutual_information(x, y_independent) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_normalized_mi_bounds_and_constant():
+    x = ["a", "b"] * 20
+    assert normalized_mutual_information(x, x) == pytest.approx(1.0)
+    assert normalized_mutual_information(x, ["c"] * 40) == 0.0
+
+
+def test_conditional_entropy_certifies_fd():
+    determinant = ["a", "a", "b", "b"]
+    dependent = ["x", "x", "y", "y"]
+    assert conditional_entropy(dependent, determinant) == pytest.approx(0.0)
+    noisy = ["x", "y", "y", "y"]
+    assert conditional_entropy(noisy, determinant) > 0.0
+
+
+def test_cramers_v_perfect_and_independent():
+    x = ["a", "b"] * 50
+    assert cramers_v(x, x) == pytest.approx(1.0)
+    y = ["p", "p", "q", "q"] * 25
+    assert cramers_v(x, y) == pytest.approx(0.0, abs=1e-9)
+    assert cramers_v(x, ["c"] * 100) == 0.0
+
+
+def test_correlation_ratio_extremes():
+    categories = ["a"] * 10 + ["b"] * 10
+    values = [0.0] * 10 + [1.0] * 10
+    assert correlation_ratio(categories, values) == pytest.approx(1.0)
+    assert correlation_ratio(categories, list(range(2)) * 10) < 0.5
+    assert correlation_ratio(categories, [3.0] * 20) == 0.0
+
+
+def test_feature_scores_are_aliases():
+    x = ["a", "b"] * 20
+    assert feature_bias_score(x, x) == cramers_v(x, x)
+    assert feature_informativeness_score(x, x) == normalized_mutual_information(x, x)
+
+
+paired_floats = st.lists(
+    st.tuples(st.floats(-50, 50), st.floats(-50, 50)), min_size=2, max_size=40
+)
+
+
+@given(pairs=paired_floats)
+@settings(max_examples=100, deadline=None)
+def test_pearson_spearman_bounded(pairs):
+    x = [a for a, _ in pairs]
+    y = [b for _, b in pairs]
+    assert -1.0 - 1e-9 <= pearson_correlation(x, y) <= 1.0 + 1e-9
+    assert -1.0 - 1e-9 <= spearman_correlation(x, y) <= 1.0 + 1e-9
+
+
+paired_categories = st.lists(
+    st.tuples(st.sampled_from("abc"), st.sampled_from("xyz")),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(pairs=paired_categories)
+@settings(max_examples=100, deadline=None)
+def test_mi_and_cramers_bounds(pairs):
+    x = [a for a, _ in pairs]
+    y = [b for _, b in pairs]
+    mi = mutual_information(x, y)
+    assert mi >= 0.0
+    assert mi <= min(entropy(x), entropy(y)) + 1e-9
+    assert 0.0 <= cramers_v(x, y) <= 1.0 + 1e-9
+    assert 0.0 <= normalized_mutual_information(x, y) <= 1.0

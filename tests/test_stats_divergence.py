@@ -1,0 +1,121 @@
+"""Divergence measures and distribution tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.errors import EmptyInputError, SpecificationError
+from respdi.stats import (
+    chi_square_goodness_of_fit,
+    chi_square_uniformity,
+    empirical_distribution,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    normalize_distribution,
+    total_variation,
+)
+
+
+def test_normalize():
+    assert normalize_distribution({"a": 2, "b": 2}) == {"a": 0.5, "b": 0.5}
+    with pytest.raises(SpecificationError):
+        normalize_distribution({"a": -1, "b": 2})
+    with pytest.raises(SpecificationError):
+        normalize_distribution({"a": 0})
+    with pytest.raises(EmptyInputError):
+        normalize_distribution({})
+
+
+def test_empirical_distribution():
+    dist = empirical_distribution(["a", "a", "b", "c"])
+    assert dist == {"a": 0.5, "b": 0.25, "c": 0.25}
+    with pytest.raises(EmptyInputError):
+        empirical_distribution([])
+
+
+def test_kl_known_value():
+    p = {"a": 0.5, "b": 0.5}
+    q = {"a": 0.9, "b": 0.1}
+    expected = 0.5 * math.log(0.5 / 0.9) + 0.5 * math.log(0.5 / 0.1)
+    assert kl_divergence(p, q) == pytest.approx(expected)
+
+
+def test_kl_zero_for_identical():
+    p = {"a": 0.3, "b": 0.7}
+    assert kl_divergence(p, p) == 0.0
+
+
+def test_kl_infinite_without_smoothing():
+    assert kl_divergence({"a": 1.0}, {"b": 1.0}) == math.inf
+
+
+def test_kl_smoothing_makes_finite():
+    assert kl_divergence({"a": 1.0}, {"b": 1.0}, smoothing=1e-6) < math.inf
+
+
+def test_kl_negative_smoothing_rejected():
+    with pytest.raises(SpecificationError):
+        kl_divergence({"a": 1.0}, {"a": 1.0}, smoothing=-1)
+
+
+def test_tv_and_hellinger_known_values():
+    p = {"a": 1.0}
+    q = {"b": 1.0}
+    assert total_variation(p, q) == 1.0
+    assert hellinger(p, q) == pytest.approx(1.0)
+    assert total_variation(p, p) == 0.0
+
+
+def test_js_bounded_by_ln2():
+    assert js_divergence({"a": 1.0}, {"b": 1.0}) == pytest.approx(math.log(2))
+
+
+def test_chi_square_uniformity_detects_skew():
+    _, p_uniform = chi_square_uniformity([100, 100, 100, 100])
+    _, p_skewed = chi_square_uniformity([400, 10, 10, 10])
+    assert p_uniform > 0.9
+    assert p_skewed < 1e-6
+
+
+def test_chi_square_gof_validations():
+    with pytest.raises(SpecificationError, match="shape"):
+        chi_square_goodness_of_fit([1, 2], [1.0])
+    with pytest.raises(SpecificationError, match="sum to 1"):
+        chi_square_goodness_of_fit([1, 2], [0.3, 0.3])
+    with pytest.raises(EmptyInputError):
+        chi_square_uniformity([])
+    with pytest.raises(EmptyInputError):
+        chi_square_goodness_of_fit([0, 0], [0.5, 0.5])
+
+
+distributions = st.dictionaries(
+    st.sampled_from(list("abcdef")),
+    st.floats(0.01, 10.0),
+    min_size=1,
+    max_size=6,
+).map(normalize_distribution)
+
+
+@given(p=distributions, q=distributions)
+@settings(max_examples=100, deadline=None)
+def test_divergence_properties(p, q):
+    assert kl_divergence(p, q, smoothing=1e-9) >= 0.0
+    tv = total_variation(p, q)
+    assert 0.0 <= tv <= 1.0
+    assert tv == pytest.approx(total_variation(q, p))
+    js = js_divergence(p, q)
+    assert 0.0 <= js <= math.log(2) + 1e-9
+    assert js == pytest.approx(js_divergence(q, p), abs=1e-9)
+    h = hellinger(p, q)
+    assert 0.0 <= h <= 1.0 + 1e-9
+
+
+@given(p=distributions)
+@settings(max_examples=50, deadline=None)
+def test_self_divergence_is_zero(p):
+    assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+    assert total_variation(p, p) == pytest.approx(0.0, abs=1e-12)
+    assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,53 @@
+"""CSV round-tripping."""
+
+import pytest
+
+from respdi.errors import SchemaError
+from respdi.table import Schema, Table, read_csv, write_csv
+
+
+def test_roundtrip_with_type_header(small_table, tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(small_table, path)
+    back = read_csv(path)
+    assert back.equals(small_table)
+
+
+def test_roundtrip_with_explicit_schema(small_table, tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(small_table, path, include_types=False)
+    back = read_csv(path, schema=small_table.schema)
+    assert back.equals(small_table)
+
+
+def test_read_without_types_or_schema_fails(small_table, tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(small_table, path, include_types=False)
+    with pytest.raises(SchemaError, match="cannot infer"):
+        read_csv(path)
+
+
+def test_header_schema_mismatch(small_table, tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(small_table, path, include_types=False)
+    wrong = Schema([("a", "numeric")])
+    with pytest.raises(SchemaError, match="does not match"):
+        read_csv(path, schema=wrong)
+
+
+def test_missing_values_roundtrip(tmp_path):
+    schema = Schema([("c", "categorical"), ("n", "numeric")])
+    table = Table.from_rows(schema, [(None, None), ("x", 1.5)])
+    path = tmp_path / "m.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.equals(table)
+
+
+def test_empty_table_roundtrip(tmp_path):
+    schema = Schema([("c", "categorical")])
+    table = Table.empty(schema)
+    path = tmp_path / "e.csv"
+    write_csv(table, path)
+    back = read_csv(path)
+    assert back.equals(table)

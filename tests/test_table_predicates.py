@@ -1,0 +1,124 @@
+"""Predicate semantics, including SQL-like missing-value behaviour."""
+
+import numpy as np
+import pytest
+
+from respdi.errors import SpecificationError
+from respdi.table import (
+    And,
+    Eq,
+    In,
+    IsMissing,
+    Ne,
+    Not,
+    NotMissing,
+    Or,
+    Range,
+    Schema,
+    Table,
+    TruePredicate,
+)
+
+
+@pytest.fixture
+def table():
+    schema = Schema([("color", "categorical"), ("size", "numeric")])
+    rows = [
+        ("red", 1.0),
+        ("blue", 2.0),
+        ("red", 3.0),
+        (None, 4.0),
+        ("green", None),
+    ]
+    return Table.from_rows(schema, rows)
+
+
+def test_eq_matches_and_skips_missing(table):
+    mask = Eq("color", "red").mask(table)
+    assert mask.tolist() == [True, False, True, False, False]
+
+
+def test_ne_does_not_match_missing(table):
+    mask = Ne("color", "red").mask(table)
+    # Row 3 has missing color: neither == nor != matches.
+    assert mask.tolist() == [False, True, False, False, True]
+
+
+def test_in_predicate(table):
+    mask = In("color", {"red", "green"}).mask(table)
+    assert mask.tolist() == [True, False, True, False, True]
+
+
+def test_range_inclusive_default(table):
+    mask = Range("size", 2.0, 3.0).mask(table)
+    assert mask.tolist() == [False, True, True, False, False]
+
+
+def test_range_exclusive_bounds(table):
+    mask = Range("size", 1.0, 3.0, inclusive_lo=False, inclusive_hi=False).mask(table)
+    assert mask.tolist() == [False, True, False, False, False]
+
+
+def test_range_one_sided(table):
+    assert Range("size", lo=3.0).mask(table).tolist() == [
+        False, False, True, True, False,
+    ]
+    assert Range("size", hi=2.0).mask(table).tolist() == [
+        True, True, False, False, False,
+    ]
+
+
+def test_range_never_matches_nan(table):
+    mask = Range("size", -100, 100).mask(table)
+    assert mask.tolist() == [True, True, True, True, False]
+
+
+def test_range_requires_a_bound():
+    with pytest.raises(SpecificationError):
+        Range("size")
+
+
+def test_range_rejects_empty_interval():
+    with pytest.raises(SpecificationError, match="empty range"):
+        Range("size", 5.0, 1.0)
+
+
+def test_is_missing_and_not_missing(table):
+    assert IsMissing("color").mask(table).tolist() == [
+        False, False, False, True, False,
+    ]
+    assert NotMissing("size").mask(table).tolist() == [
+        True, True, True, True, False,
+    ]
+
+
+def test_boolean_algebra(table):
+    predicate = Eq("color", "red") & Range("size", 2.0, 10.0)
+    assert predicate.mask(table).tolist() == [False, False, True, False, False]
+    predicate = Eq("color", "blue") | Eq("color", "green")
+    assert predicate.mask(table).tolist() == [False, True, False, False, True]
+    predicate = ~Eq("color", "red")
+    assert predicate.mask(table).tolist() == [False, True, False, True, True]
+
+
+def test_true_predicate(table):
+    assert TruePredicate().mask(table).all()
+    assert TruePredicate().columns() == frozenset()
+
+
+def test_columns_tracking(table):
+    predicate = (Eq("color", "red") & Range("size", 0, 1)) | Not(Eq("color", "x"))
+    assert predicate.columns() == frozenset({"color", "size"})
+
+
+def test_and_or_require_parts():
+    with pytest.raises(SpecificationError):
+        And()
+    with pytest.raises(SpecificationError):
+        Or()
+
+
+def test_reprs_are_informative():
+    assert "red" in repr(Eq("color", "red"))
+    assert "[" in repr(Range("size", 0, 1))
+    assert "MISSING" in repr(IsMissing("color"))

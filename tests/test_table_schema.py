@@ -1,0 +1,91 @@
+"""Schema construction, validation, and derivations."""
+
+import pytest
+
+from respdi.errors import SchemaError
+from respdi.table import ColumnSpec, ColumnType, Schema
+
+
+def test_schema_from_tuples_and_strings():
+    schema = Schema([("a", "categorical"), ("b", "numeric")])
+    assert schema.names == ("a", "b")
+    assert schema.ctype("a") is ColumnType.CATEGORICAL
+    assert schema.ctype("b") is ColumnType.NUMERIC
+
+
+def test_schema_from_specs():
+    schema = Schema([ColumnSpec("x", ColumnType.NUMERIC)])
+    assert schema["x"].is_numeric
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchemaError, match="duplicate"):
+        Schema([("a", "numeric"), ("a", "categorical")])
+
+
+def test_unknown_type_string_rejected():
+    with pytest.raises(SchemaError, match="unknown column type"):
+        Schema([("a", "float64")])
+
+
+def test_empty_name_rejected():
+    with pytest.raises(SchemaError):
+        Schema([("", "numeric")])
+
+
+def test_getitem_unknown_column():
+    schema = Schema([("a", "numeric")])
+    with pytest.raises(SchemaError, match="unknown column"):
+        schema["nope"]
+
+
+def test_contains_and_len():
+    schema = Schema([("a", "numeric"), ("b", "categorical")])
+    assert "a" in schema
+    assert "z" not in schema
+    assert len(schema) == 2
+
+
+def test_categorical_and_numeric_names():
+    schema = Schema([("a", "numeric"), ("b", "categorical"), ("c", "numeric")])
+    assert schema.numeric_names == ("a", "c")
+    assert schema.categorical_names == ("b",)
+
+
+def test_project_preserves_order_and_validates():
+    schema = Schema([("a", "numeric"), ("b", "categorical"), ("c", "numeric")])
+    projected = schema.project(["c", "a"])
+    assert projected.names == ("c", "a")
+    with pytest.raises(SchemaError):
+        schema.project(["nope"])
+
+
+def test_rename():
+    schema = Schema([("a", "numeric"), ("b", "categorical")])
+    renamed = schema.rename({"a": "x"})
+    assert renamed.names == ("x", "b")
+    assert renamed.ctype("x") is ColumnType.NUMERIC
+    with pytest.raises(SchemaError):
+        schema.rename({"nope": "y"})
+
+
+def test_union_compatible():
+    a = Schema([("a", "numeric")])
+    b = Schema([("a", "numeric")])
+    c = Schema([("a", "categorical")])
+    assert a.union_compatible(b)
+    assert not a.union_compatible(c)
+
+
+def test_equality_and_hash():
+    a = Schema([("a", "numeric")])
+    b = Schema([("a", "numeric")])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Schema([("b", "numeric")])
+
+
+def test_require_reports_all_missing():
+    schema = Schema([("a", "numeric")])
+    with pytest.raises(SchemaError, match=r"\['x', 'y'\]"):
+        schema.require(["x", "y"])

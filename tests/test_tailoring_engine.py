@@ -1,0 +1,260 @@
+"""Tailoring engine + policies: cost ordering, regimes, extensions."""
+
+import numpy as np
+import pytest
+
+from respdi.datagen import make_source_tables, skewed_group_distributions
+from respdi.datagen.sources import overlapping_source_tables
+from respdi.errors import BudgetExceededError, EmptyInputError, SpecificationError
+from respdi.tailoring import (
+    CountSpec,
+    EpsilonGreedyPolicy,
+    ExploitPolicy,
+    MarginalCountSpec,
+    OverlapAwareRatioCollPolicy,
+    RandomPolicy,
+    RangeCountSpec,
+    RatioCollPolicy,
+    RoundRobinPolicy,
+    TableSource,
+    UCBPolicy,
+    tailor,
+)
+from respdi.table import Schema, Table
+
+
+def two_sources(health_population, minority_heavy_fraction=0.6, rows=3000):
+    """Source 0 is minority-heavy, source 1 follows the population."""
+    base = health_population.group_distribution()
+    heavy = {
+        g: (minority_heavy_fraction / 2 if g[1] == "black" else (1 - minority_heavy_fraction) / 2)
+        for g in base
+    }
+    tables = [
+        health_population.sample_biased(rows, heavy, rng=10),
+        health_population.sample_biased(rows, base, rng=11),
+    ]
+    return [
+        TableSource("minority_heavy", tables[0], cost=1.0),
+        TableSource("general", tables[1], cost=1.0),
+    ]
+
+
+@pytest.fixture
+def spec(health_population):
+    return CountSpec(("gender", "race"), {g: 25 for g in health_population.groups})
+
+
+def test_table_source_draw_and_distribution(health_table, rng):
+    source = TableSource("s", health_table, cost=2.0)
+    row = source.draw(rng)
+    assert "gender" in row and "race" in row
+    dist = source.group_distribution(["gender", "race"])
+    assert sum(dist.values()) == pytest.approx(1.0)
+    hidden = TableSource("h", health_table, publish_distribution=False)
+    assert hidden.group_distribution(["gender", "race"]) is None
+
+
+def test_table_source_validations(health_table):
+    with pytest.raises(SpecificationError):
+        TableSource("s", health_table, cost=0.0)
+    empty = Table.empty(health_table.schema)
+    with pytest.raises(EmptyInputError):
+        TableSource("s", empty)
+
+
+def test_ratio_coll_beats_random(health_population):
+    """The DT paper's headline regime: a rare minority, mostly-majority
+    sources plus one specialized source.  RatioColl should beat random
+    source selection clearly (averaged over seeds)."""
+    from respdi.datagen.population import default_health_population
+
+    population = default_health_population(minority_fraction=0.05)
+    base = population.group_distribution()
+    dists = skewed_group_distributions(
+        base, 4, concentration=3.0, specialized={0: ("F", "black")}, rng=40
+    )
+    tables = make_source_tables(population, dists, 2500, rng=41)
+    sources = [TableSource(f"s{i}", t) for i, t in enumerate(tables)]
+    spec = CountSpec(("gender", "race"), {g: 20 for g in population.groups})
+    smart_costs, naive_costs = [], []
+    for seed in (1, 2, 3):
+        smart = tailor(sources, spec, RatioCollPolicy(), rng=seed)
+        naive = tailor(sources, spec, RandomPolicy(), rng=seed)
+        assert smart.satisfied and naive.satisfied
+        smart_costs.append(smart.total_cost)
+        naive_costs.append(naive.total_cost)
+    assert np.mean(smart_costs) < 0.8 * np.mean(naive_costs)
+
+
+def test_ratio_coll_exploits_specialized_source(health_population, spec):
+    sources = two_sources(health_population)
+    result = tailor(sources, spec, RatioCollPolicy(), rng=2)
+    # Once the majority deficits close, minority draws dominate; the
+    # minority-heavy source must receive a meaningful share of pulls.
+    assert result.pulls[0] > 0.3 * result.steps
+
+
+def test_collected_rows_exactly_match_spec(health_population, spec):
+    sources = two_sources(health_population)
+    result = tailor(sources, spec, RatioCollPolicy(), rng=3)
+    table = result.collected_table(health_population.schema())
+    counts = table.group_counts(["gender", "race"])
+    assert all(v == 25 for v in counts.values())
+
+
+def test_ucb_works_without_distributions(health_population, spec):
+    base = health_population.group_distribution()
+    tables = make_source_tables(
+        health_population,
+        skewed_group_distributions(base, 3, concentration=2.0, rng=4),
+        2000,
+        rng=5,
+    )
+    hidden = [
+        TableSource(f"s{i}", t, publish_distribution=False)
+        for i, t in enumerate(tables)
+    ]
+    result = tailor(hidden, spec, UCBPolicy(), rng=6)
+    assert result.satisfied
+    # RatioColl must refuse on hidden distributions.
+    with pytest.raises(SpecificationError, match="does not publish"):
+        tailor(hidden, spec, RatioCollPolicy(), rng=7)
+
+
+def test_ucb_beats_round_robin_with_useless_sources(health_population):
+    """When most sources carry no minority rows, learning wins."""
+    spec = CountSpec(("gender", "race"), {("F", "black"): 30})
+    base = health_population.group_distribution()
+    useless_dist = {g: (0.5 if g[1] == "white" else 0.0) for g in base}
+    useful_dist = {g: 0.25 for g in base}
+    tables = [
+        health_population.sample_biased(2000, useless_dist, rng=20),
+        health_population.sample_biased(2000, useless_dist, rng=21),
+        health_population.sample_biased(2000, useless_dist, rng=22),
+        health_population.sample_biased(2000, useful_dist, rng=23),
+    ]
+    hidden = [
+        TableSource(f"s{i}", t, publish_distribution=False)
+        for i, t in enumerate(tables)
+    ]
+    ucb = tailor(hidden, spec, UCBPolicy(), rng=8)
+    rr = tailor(hidden, spec, RoundRobinPolicy(), rng=8)
+    assert ucb.satisfied and rr.satisfied
+    assert ucb.total_cost < rr.total_cost
+
+
+def test_epsilon_greedy_and_exploit_run(health_population, spec):
+    sources = two_sources(health_population)
+    for policy in (EpsilonGreedyPolicy(0.2), ExploitPolicy()):
+        result = tailor(sources, spec, policy, rng=9)
+        assert result.satisfied
+
+
+def test_cost_weighting_prefers_cheap_source(health_population):
+    base = health_population.group_distribution()
+    table = health_population.sample_biased(3000, base, rng=12)
+    cheap = TableSource("cheap", table, cost=1.0)
+    pricey = TableSource("pricey", table, cost=10.0)
+    spec = CountSpec(("gender", "race"), {g: 10 for g in health_population.groups})
+    result = tailor([pricey, cheap], spec, RatioCollPolicy(), rng=13)
+    assert result.pulls[1] == result.steps  # identical content: never pay 10x
+
+
+def test_budget_stops_and_reports_deficits(health_population, spec):
+    sources = two_sources(health_population)
+    result = tailor(sources, spec, RatioCollPolicy(), budget=10, rng=14)
+    assert not result.satisfied
+    assert result.total_cost >= 10
+    assert result.deficits
+    engine_raises = pytest.raises(BudgetExceededError)
+    from respdi.tailoring import TailoringEngine
+
+    with engine_raises:
+        TailoringEngine(sources, spec, RatioCollPolicy()).run(
+            budget=10, rng=15, raise_on_budget=True
+        )
+
+
+def test_max_steps_cap(health_population, spec):
+    sources = two_sources(health_population)
+    result = tailor(sources, spec, RatioCollPolicy(), max_steps=5, rng=16)
+    assert result.steps == 5 and not result.satisfied
+
+
+def test_trajectory_is_monotone(health_population, spec):
+    sources = two_sources(health_population)
+    result = tailor(sources, spec, RatioCollPolicy(), rng=17)
+    costs = [c for c, _ in result.cost_trajectory]
+    rows = [r for _, r in result.cost_trajectory]
+    assert costs == sorted(costs)
+    assert rows == sorted(rows)
+    assert rows[-1] == len(result.rows)
+
+
+def test_range_spec_collects_into_range(health_population):
+    sources = two_sources(health_population)
+    spec = RangeCountSpec(
+        ("gender", "race"), {g: (10, 20) for g in health_population.groups}
+    )
+    result = tailor(sources, spec, RatioCollPolicy(), rng=18)
+    assert result.satisfied
+    table = result.collected_table(health_population.schema())
+    for count in table.group_counts(["gender", "race"]).values():
+        assert 10 <= count <= 20
+
+
+def test_marginal_spec_end_to_end(health_population):
+    sources = two_sources(health_population)
+    spec = MarginalCountSpec(
+        ("gender", "race"),
+        {"gender": {"F": 40, "M": 40}, "race": {"white": 40, "black": 40}},
+    )
+    result = tailor(sources, spec, RatioCollPolicy(), rng=19)
+    assert result.satisfied
+    table = result.collected_table(health_population.schema())
+    assert table.value_counts("gender")["F"] >= 40
+    assert table.value_counts("race")["black"] >= 40
+
+
+def test_overlap_aware_policy_at_least_as_good(health_population):
+    base = health_population.group_distribution()
+    dists = skewed_group_distributions(base, 3, concentration=4.0, rng=30)
+    tables, _ = overlapping_source_tables(
+        health_population, dists, 600, overlap=0.6, rng=31
+    )
+    sources = [TableSource(f"s{i}", t) for i, t in enumerate(tables)]
+    spec = CountSpec(("gender", "race"), {g: 15 for g in health_population.groups})
+    plain = tailor(
+        sources, spec, RatioCollPolicy(), rng=32, dedupe_column="_id",
+        max_steps=30000,
+    )
+    aware = tailor(
+        sources, spec, OverlapAwareRatioCollPolicy(), rng=32,
+        dedupe_column="_id", max_steps=30000,
+    )
+    assert aware.satisfied
+    assert sum(aware.duplicates) <= sum(plain.duplicates) * 1.5 + 10
+
+
+def test_duplicates_never_collected(health_population):
+    base = health_population.group_distribution()
+    tables, _ = overlapping_source_tables(
+        health_population, [base, base], 300, overlap=0.5, rng=33
+    )
+    sources = [TableSource(f"s{i}", t) for i, t in enumerate(tables)]
+    spec = CountSpec(("gender", "race"), {g: 10 for g in health_population.groups})
+    result = tailor(
+        sources, spec, RandomPolicy(), rng=34, dedupe_column="_id",
+        max_steps=20000,
+    )
+    ids = [row["_id"] for row in result.rows]
+    assert len(ids) == len(set(ids))
+
+
+def test_engine_validations(health_population, spec):
+    with pytest.raises(SpecificationError):
+        tailor([], spec, RandomPolicy())
+    sources = two_sources(health_population)
+    with pytest.raises(SpecificationError):
+        tailor(sources, spec, RandomPolicy(), max_steps=0)

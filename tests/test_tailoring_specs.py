@@ -1,0 +1,116 @@
+"""Tailoring requirement specs."""
+
+import pytest
+
+from respdi.errors import SpecificationError
+from respdi.tailoring import CountSpec, MarginalCountSpec, RangeCountSpec
+
+
+def test_count_spec_lifecycle():
+    spec = CountSpec(("g", "r"), {("F", "b"): 2, ("M", "b"): 1, ("F", "w"): 0})
+    state = spec.new_state()
+    assert not spec.is_satisfied(state)
+    assert spec.deficits(state) == {("F", "b"): 2, ("M", "b"): 1}
+    assert spec.process(("F", "b"), state)  # useful
+    assert not spec.process(("F", "w"), state)  # zero-requirement -> discard
+    assert not spec.process(("M", "w"), state)  # unlisted -> discard
+    assert spec.process(("F", "b"), state)
+    assert spec.process(("M", "b"), state)
+    assert spec.is_satisfied(state)
+    assert not spec.process(("F", "b"), state)  # already satisfied
+
+
+def test_count_spec_group_of():
+    spec = CountSpec(("g", "r"), {("F", "b"): 1})
+    assert spec.group_of({"g": "F", "r": "b", "x": 1}) == ("F", "b")
+    with pytest.raises(SpecificationError, match="missing sensitive"):
+        spec.group_of({"g": "F"})
+
+
+def test_count_spec_useful_probability():
+    spec = CountSpec(("g",), {("F",): 5, ("M",): 5})
+    state = spec.new_state()
+    dist = {("F",): 0.8, ("M",): 0.2}
+    assert spec.useful_probability(dist, state) == pytest.approx(1.0)
+    for _ in range(5):
+        spec.process(("F",), state)
+    assert spec.useful_probability(dist, state) == pytest.approx(0.2)
+
+
+def test_count_spec_validations():
+    with pytest.raises(SpecificationError):
+        CountSpec((), {(): 1})
+    with pytest.raises(SpecificationError):
+        CountSpec(("g",), {})
+    with pytest.raises(SpecificationError, match="wrong width|expected"):
+        CountSpec(("g",), {("a", "b"): 1})
+    with pytest.raises(SpecificationError, match="negative"):
+        CountSpec(("g",), {("a",): -1})
+
+
+def test_range_spec_accepts_between_lo_and_hi():
+    spec = RangeCountSpec(("g",), {("F",): (2, 4), ("M",): (1, 2)})
+    state = spec.new_state()
+    assert spec.process(("F",), state)
+    assert spec.process(("F",), state)
+    assert not spec.is_satisfied(state)  # M still deficient
+    assert spec.process(("M",), state)
+    assert spec.is_satisfied(state)
+    # Between lo and hi: still accepted (free representation).
+    assert spec.process(("F",), state)
+    assert spec.process(("F",), state)
+    # At hi: discarded.
+    assert not spec.process(("F",), state)
+    assert spec.process(("M",), state)
+    assert not spec.process(("M",), state)
+
+
+def test_range_spec_useful_probability_targets_deficits():
+    spec = RangeCountSpec(("g",), {("F",): (1, 10), ("M",): (1, 10)})
+    state = spec.new_state()
+    spec.process(("F",), state)
+    dist = {("F",): 0.9, ("M",): 0.1}
+    # F reached lo; only M progresses completion.
+    assert spec.useful_probability(dist, state) == pytest.approx(0.1)
+
+
+def test_range_spec_validations():
+    with pytest.raises(SpecificationError):
+        RangeCountSpec(("g",), {("F",): (3, 2)})
+    with pytest.raises(SpecificationError):
+        RangeCountSpec(("g",), {("F",): (-1, 2)})
+    with pytest.raises(SpecificationError):
+        RangeCountSpec(("g",), {})
+
+
+def test_marginal_spec_counts_each_dimension():
+    spec = MarginalCountSpec(
+        ("g", "r"),
+        {"g": {"F": 2, "M": 1}, "r": {"b": 2}},
+    )
+    state = spec.new_state()
+    # A black woman serves both g=F and r=b.
+    assert spec.process(("F", "b"), state)
+    assert spec.deficits(state) == {("g", "F"): 1, ("g", "M"): 1, ("r", "b"): 1}
+    assert spec.process(("M", "b"), state)
+    assert spec.deficits(state) == {("g", "F"): 1}
+    # A white woman serves only g=F.
+    assert spec.process(("F", "w"), state)
+    assert spec.is_satisfied(state)
+    assert not spec.process(("F", "b"), state)
+
+
+def test_marginal_spec_useful_probability():
+    spec = MarginalCountSpec(("g", "r"), {"g": {"F": 1}})
+    state = spec.new_state()
+    dist = {("F", "b"): 0.3, ("F", "w"): 0.2, ("M", "b"): 0.5}
+    assert spec.useful_probability(dist, state) == pytest.approx(0.5)
+
+
+def test_marginal_spec_validations():
+    with pytest.raises(SpecificationError, match="unknown attributes"):
+        MarginalCountSpec(("g",), {"z": {"a": 1}})
+    with pytest.raises(SpecificationError):
+        MarginalCountSpec(("g",), {})
+    with pytest.raises(SpecificationError, match="negative"):
+        MarginalCountSpec(("g",), {"g": {"F": -2}})
