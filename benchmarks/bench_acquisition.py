@@ -13,8 +13,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.acquisition import DataProvider, ModelImprovementAcquirer, SliceTuner
 from respdi.datagen.population import default_health_population
 from respdi.table import Eq

@@ -11,8 +11,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.coverage import CoverageAnalyzer, OrdinalCoverage, full_coverage_plan
 from respdi.table import ColumnType, Schema, Table
 

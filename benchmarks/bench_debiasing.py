@@ -11,8 +11,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.cleaning import disparate_impact_repair
 from respdi.datagen.population import PopulationModel, SensitiveAttribute
 from respdi.debiasing import (

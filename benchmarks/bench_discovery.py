@@ -11,8 +11,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.datagen import LakeSpec, generate_lake
 from respdi.discovery import (
     CorrelationSketch,

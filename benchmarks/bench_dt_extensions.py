@@ -12,8 +12,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.datagen import make_source_tables, skewed_group_distributions
 from respdi.datagen.population import default_health_population
 from respdi.datagen.sources import overlapping_source_tables

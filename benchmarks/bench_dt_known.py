@@ -9,8 +9,8 @@ RandomColl and RoundRobin, then benchmark one full RatioColl run.
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.datagen import make_source_tables, skewed_group_distributions
 from respdi.datagen.population import default_health_population
 from respdi.tailoring import (

@@ -10,9 +10,9 @@ UCB vs epsilon-greedy vs pure exploitation.
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
-from respdi.datagen import make_source_tables, skewed_group_distributions
+
+from respdi.datagen import make_source_tables
 from respdi.datagen.population import default_health_population
 from respdi.tailoring import (
     CountSpec,

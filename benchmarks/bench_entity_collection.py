@@ -8,8 +8,8 @@ worker specialization (smaller Dirichlet concentration).
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.entitycollection import (
     AdaptiveSelection,
     EntityCollector,

@@ -10,8 +10,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.fairqueries import coverage_rewrite, fair_range_refinement, range_disparity
 from respdi.table import Schema, Table
 

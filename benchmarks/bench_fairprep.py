@@ -7,10 +7,9 @@ pipeline at a modest accuracy cost — the classic fairness/accuracy
 frontier FairPrep was built to expose.
 """
 
-import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.cleaning.fairprep import compare_interventions
 from respdi.ml import GaussianNaiveBayes, LogisticRegression
 

@@ -16,8 +16,8 @@ missingness mechanisms (MCAR / MAR-on-race / MNAR) and imputers:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.cleaning import (
     GroupMeanImputer,
     HotDeckImputer,

@@ -12,8 +12,8 @@ Reproduced shapes:
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.sampling import (
     AcceptRejectJoinSampler,
     ChainJoinSampler,

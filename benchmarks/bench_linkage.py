@@ -11,8 +11,8 @@ Reproduced shapes:
 """
 
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.datagen import generate_person_registry
 from respdi.linkage import (
     FieldComparator,

@@ -1,0 +1,106 @@
+"""Obs overhead — instrumentation must be near-free when disabled.
+
+The observability layer (:mod:`respdi.obs`) decorates hot paths such as
+:meth:`MinHasher.signature`.  The contract is that with observability
+*disabled* (the default) each instrumented call pays only one module
+attribute check.  This benchmark compares the undecorated function
+(``signature.__wrapped__``) against the decorated one, both with obs
+off, and asserts the relative overhead stays within 5%; a third round
+measures the enabled path for reference (not asserted — it pays for a
+real histogram update).
+
+Run with timing::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -q
+
+Under ``--benchmark-disable`` each benchmarked callable still runs once,
+so the correctness assertions (identical signatures) are exercised in
+the CI smoke job too.
+"""
+
+import numpy as np
+import pytest
+from benchmarks.conftest import print_table
+
+from respdi import obs
+from respdi.discovery import MinHasher
+
+N_VALUES = 2000
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return MinHasher(num_hashes=128, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def values():
+    return {f"value_{i:06d}" for i in range(N_VALUES)}
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_signature_baseline_uninstrumented(benchmark, hasher, values):
+    """The undecorated signature function (decorator bypassed entirely)."""
+    raw = MinHasher.signature.__wrapped__
+    result = benchmark(raw, hasher, values)
+    assert len(result.values) == 128
+
+
+def test_signature_instrumented_disabled(benchmark, hasher, values):
+    """The decorated signature with obs disabled — the default code path."""
+    result = benchmark(hasher.signature, values)
+    assert len(result.values) == 128
+    # Decorated and raw paths must produce identical signatures.
+    raw = MinHasher.signature.__wrapped__(hasher, values)
+    assert np.array_equal(result.values, raw.values)
+
+
+def test_signature_instrumented_enabled(benchmark, hasher, values):
+    """Reference: the enabled path (histogram + counter per call)."""
+    obs.enable()
+    result = benchmark(hasher.signature, values)
+    assert len(result.values) == 128
+
+
+def test_disabled_overhead_within_five_percent(hasher, values):
+    """E-obs — the ISSUE acceptance bound, measured directly.
+
+    pytest-benchmark rounds are compared in the printed table above, but
+    group comparisons are advisory; this test enforces the <=5% bound
+    with a min-of-rounds measurement that is robust to scheduler noise.
+    """
+    import time
+
+    raw = MinHasher.signature.__wrapped__
+
+    def best_of(fn, *args, rounds=7, iterations=30):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                fn(*args)
+            best = min(best, (time.perf_counter() - start) / iterations)
+        return best
+
+    best_of(raw, hasher, values, rounds=2)  # warm up both paths
+    best_of(hasher.signature, values, rounds=2)
+    baseline = best_of(raw, hasher, values)
+    instrumented = best_of(hasher.signature, values)
+    overhead = instrumented / baseline - 1.0
+    print_table(
+        "E-obs: disabled-instrumentation overhead on MinHasher.signature",
+        ["variant", "best (ms)", "overhead"],
+        [
+            ["uninstrumented", f"{baseline * 1e3:.3f}", "-"],
+            ["instrumented (obs off)", f"{instrumented * 1e3:.3f}", f"{overhead:+.2%}"],
+        ],
+    )
+    assert overhead <= 0.05, f"disabled-obs overhead {overhead:+.2%} exceeds 5%"

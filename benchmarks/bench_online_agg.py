@@ -7,8 +7,8 @@ HT-corrected COUNT estimate is unbiased (mean over seeds near truth).
 
 import numpy as np
 import pytest
-
 from benchmarks.conftest import print_table
+
 from respdi.sampling import ChainJoinSpec, RippleJoin, WanderJoin, full_join
 from respdi.table import Schema, Table
 

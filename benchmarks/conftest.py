@@ -10,7 +10,6 @@ measured series are printed so they can be recorded in EXPERIMENTS.md.
 
 import sys
 
-import numpy as np
 import pytest
 
 

@@ -1,0 +1,74 @@
+"""Observability: metrics and spans across one integration flow.
+
+Enables :mod:`respdi.obs`, attaches a JSON-lines span exporter, runs a
+discovery query plus the responsible integration pipeline, then audits
+the integrated table with ``respdi-audit --metrics`` *in the same
+process* — so the printed snapshot combines discovery, tailoring,
+pipeline, and CLI metrics from one registry.
+
+Run:  python examples/observability.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from respdi import ResponsibleIntegrationPipeline, obs
+from respdi.cli import main as audit_main
+from respdi.datagen import make_source_tables, skewed_group_distributions
+from respdi.datagen.population import default_health_population
+from respdi.discovery import DataLakeIndex
+from respdi.table import write_csv
+from respdi.tailoring import CountSpec
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="respdi-obs-"))
+
+    # 1. Turn instrumentation on (off by default, near-zero cost while off)
+    #    and stream finished spans to a JSON-lines file.
+    obs.enable()
+    exporter = obs.JsonLinesExporter(workdir / "spans.jsonl")
+    obs.set_exporter(exporter)
+
+    # 2. A small discovery pass: index the sources, ask for unionable
+    #    tables — every index/query call lands in the metrics registry.
+    population = default_health_population(minority_fraction=0.15)
+    distributions = skewed_group_distributions(
+        population.group_distribution(),
+        n_sources=3,
+        concentration=3.0,
+        specialized={0: ("F", "black")},
+        rng=1,
+    )
+    tables = make_source_tables(population, distributions, 2000, rng=2)
+    sources = {f"clinic{i}": t for i, t in enumerate(tables)}
+
+    index = DataLakeIndex(rng=3)
+    for name, table in sources.items():
+        index.register(name, table)
+    matches = index.unionable_tables(sources["clinic0"])
+    print(f"unionable with clinic0: {[m.table_name for m in matches]}")
+
+    # 3. The integration pipeline: each stage runs under a span, stage
+    #    timings land in the provenance.
+    spec = CountSpec(("gender", "race"), {g: 60 for g in population.groups})
+    pipeline = ResponsibleIntegrationPipeline(
+        sensitive_columns=("gender", "race"), target_column="y"
+    )
+    result = pipeline.run(sources, spec, rng=4)
+    print("\n=== provenance (note the stage timings line) ===")
+    print(result.render_provenance())
+
+    # 4. Audit the integrated table in-process.  --metrics prints one
+    #    combined JSON snapshot of everything recorded above.
+    csv_path = workdir / "integrated.csv"
+    write_csv(result.table, csv_path)
+    audit_main([str(csv_path), "--sensitive", "gender,race", "--metrics"])
+
+    exporter.close()
+    n_spans = sum(1 for _ in open(workdir / "spans.jsonl"))
+    print(f"\n{n_spans} spans written to {workdir / 'spans.jsonl'}")
+
+
+if __name__ == "__main__":
+    main()

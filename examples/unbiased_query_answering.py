@@ -9,7 +9,6 @@ of a feature that proxies race.
 Run:  python examples/unbiased_query_answering.py
 """
 
-import numpy as np
 
 from respdi.cleaning import disparate_impact_repair
 from respdi.datagen.population import PopulationModel, SensitiveAttribute
@@ -20,7 +19,6 @@ from respdi.debiasing import (
     raking_weights,
 )
 from respdi.stats import correlation_ratio
-from respdi.table import Eq
 
 
 def main() -> None:

@@ -27,18 +27,20 @@ Entry points:
   coverage-based rewriting.
 * :mod:`respdi.ml` — minimal models, fairness metrics, interventions.
 * :mod:`respdi.pipeline` — the end-to-end responsible integration pipeline.
+* :mod:`respdi.obs` — metrics, tracing spans, and instrumentation
+  decorators (off by default; ``obs.enable()`` turns them on).
 """
 
-__version__ = "1.0.0"
-
+from respdi.pipeline import PipelineResult, ResponsibleIntegrationPipeline
 from respdi.table import (
+    MISSING,
     ColumnSpec,
     ColumnType,
     Schema,
     Table,
-    MISSING,
 )
-from respdi.pipeline import PipelineResult, ResponsibleIntegrationPipeline
+
+__version__ = "1.0.0"
 
 __all__ = [
     "ColumnSpec",

@@ -12,18 +12,18 @@
   unfairness between slices) drops fastest.
 """
 
-from respdi.acquisition.market import (
-    DataProvider,
-    AcquisitionResult,
-    ModelImprovementAcquirer,
-)
-from respdi.acquisition.slicetuner import SliceTuner, SliceTunerResult, fit_power_law
 from respdi.acquisition.correlation_market import (
-    PricedColumnSource,
     CorrelationPurchaseResult,
+    PricedColumnSource,
     buy_correlation,
     fisher_confidence_width,
 )
+from respdi.acquisition.market import (
+    AcquisitionResult,
+    DataProvider,
+    ModelImprovementAcquirer,
+)
+from respdi.acquisition.slicetuner import SliceTuner, SliceTunerResult, fit_power_law
 
 __all__ = [
     "DataProvider",

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from respdi._rng import RngLike, ensure_rng
+from respdi._rng import RngLike
 from respdi.acquisition.market import DataProvider
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.ml.data import table_to_xy

@@ -13,28 +13,28 @@
   evaluation as one reproducible experiment object.
 """
 
+from respdi.cleaning.bias_repair import disparate_impact_repair, repair_all_features
+from respdi.cleaning.fairprep import FairPrepExperiment, FairPrepResult
 from respdi.cleaning.imputers import (
-    Imputer,
     DropMissingImputer,
-    MeanImputer,
     GroupMeanImputer,
     HotDeckImputer,
+    Imputer,
     KNNImputer,
+    MeanImputer,
     ModeImputer,
 )
-from respdi.cleaning.parity import (
-    imputation_group_rmse,
-    imputation_accuracy_parity,
-    ImputationParityReport,
-)
 from respdi.cleaning.outliers import (
-    zscore_outliers,
+    group_aggregate_damage,
     group_zscore_outliers,
     repair_with_group_statistic,
-    group_aggregate_damage,
+    zscore_outliers,
 )
-from respdi.cleaning.fairprep import FairPrepExperiment, FairPrepResult
-from respdi.cleaning.bias_repair import disparate_impact_repair, repair_all_features
+from respdi.cleaning.parity import (
+    ImputationParityReport,
+    imputation_accuracy_parity,
+    imputation_group_rmse,
+)
 
 __all__ = [
     "Imputer",

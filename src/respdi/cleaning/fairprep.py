@@ -18,8 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
 
-import numpy as np
-
+from respdi import obs
 from respdi._rng import RngLike, ensure_rng
 from respdi.cleaning.imputers import Imputer
 from respdi.errors import SpecificationError
@@ -106,31 +105,44 @@ class FairPrepExperiment:
     ) -> FairPrepResult:
         """Run the pipeline with a fixed train/test pair."""
         generator = ensure_rng(rng)
-        train, test = self._prepare(train, test, generator)
+        obs.inc("cleaning.fairprep.runs")
+        with obs.trace("cleaning.fairprep.run", intervention=self.intervention):
+            with obs.trace("cleaning.fairprep.prepare"):
+                train, test = self._prepare(train, test, generator)
 
-        sample_weight = None
-        if self.intervention == "reweigh":
-            _, labels, groups = table_to_xy(
-                train, self.feature_columns, self.label_column, self.group_columns
-            )
-            sample_weight = reweighing_weights(list(groups), labels)
-        elif self.intervention == "oversample":
-            train = oversample_groups(train, self.group_columns, generator)
-        elif self.intervention == "smote":
-            train = smote_oversample(
-                train, self.group_columns, self.feature_columns, rng=generator
-            )
+            sample_weight = None
+            with obs.trace("cleaning.fairprep.intervene"):
+                if self.intervention == "reweigh":
+                    _, labels, groups = table_to_xy(
+                        train, self.feature_columns, self.label_column,
+                        self.group_columns,
+                    )
+                    sample_weight = reweighing_weights(list(groups), labels)
+                elif self.intervention == "oversample":
+                    train = oversample_groups(
+                        train, self.group_columns, generator
+                    )
+                elif self.intervention == "smote":
+                    train = smote_oversample(
+                        train, self.group_columns, self.feature_columns,
+                        rng=generator,
+                    )
 
-        X_train, y_train, _ = table_to_xy(
-            train, self.feature_columns, self.label_column, self.group_columns
-        )
-        X_test, y_test, test_groups = table_to_xy(
-            test, self.feature_columns, self.label_column, self.group_columns
-        )
-        model = self.model_factory()
-        model.fit(X_train, y_train, sample_weight=sample_weight)
-        y_pred = model.predict(X_test)
-        report = evaluate_fairness(y_test, y_pred, list(test_groups))
+            with obs.trace("cleaning.fairprep.fit"):
+                X_train, y_train, _ = table_to_xy(
+                    train, self.feature_columns, self.label_column,
+                    self.group_columns,
+                )
+                model = self.model_factory()
+                model.fit(X_train, y_train, sample_weight=sample_weight)
+
+            with obs.trace("cleaning.fairprep.evaluate"):
+                X_test, y_test, test_groups = table_to_xy(
+                    test, self.feature_columns, self.label_column,
+                    self.group_columns,
+                )
+                y_pred = model.predict(X_test)
+                report = evaluate_fairness(y_test, y_pred, list(test_groups))
         return FairPrepResult(
             intervention=self.intervention,
             report=report,

@@ -10,6 +10,13 @@ Reads a CSV (written by :func:`respdi.table.write_csv`, or any CSV given
 runs the §2 requirement audit, and optionally writes the label as JSON.
 The exit code is 0 when no audit was requested or the audit passed, and
 2 when the audit failed — so the tool drops into CI pipelines directly.
+
+``--metrics`` enables the :mod:`respdi.obs` instrumentation layer and
+appends a JSON snapshot of the process-global metrics registry to the
+output.  Because the registry is process-global, a program that runs the
+integration pipeline and then invokes :func:`main` in-process gets one
+combined snapshot covering discovery, tailoring, and pipeline metrics
+(see ``examples/observability.py``).
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from respdi import obs
 from respdi.errors import RespdiError
 from respdi.profiling import build_nutritional_label, dump_json
 from respdi.requirements import (
@@ -70,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", default=None, help="also write the label as JSON here"
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable instrumentation and print a JSON metrics snapshot",
+    )
     return parser
 
 
@@ -87,18 +100,27 @@ def _load_table(path: str, types: Optional[str]):
     return read_csv(path, schema=schema)
 
 
+def _print_metrics() -> None:
+    print("\n=== metrics ===")
+    print(obs.global_registry().to_json(indent=2))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.metrics:
+        obs.enable()
+        obs.inc("cli.runs")
     sensitive: List[str] = [s.strip() for s in args.sensitive.split(",") if s.strip()]
     try:
-        table = _load_table(args.csv, args.types)
-        label = build_nutritional_label(
-            table,
-            sensitive,
-            target_column=args.target,
-            coverage_threshold=args.coverage_threshold,
-        )
+        with obs.trace("cli.load_and_label", csv=args.csv):
+            table = _load_table(args.csv, args.types)
+            label = build_nutritional_label(
+                table,
+                sensitive,
+                target_column=args.target,
+                coverage_threshold=args.coverage_threshold,
+            )
     except (RespdiError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -109,6 +131,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"\nlabel written to {args.json}")
 
     if not args.audit:
+        if args.metrics:
+            _print_metrics()
         return 0
     checks = [
         GroupRepresentationRequirement(
@@ -121,9 +145,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_group_missing_rate=2 * args.max_missing_rate,
         ),
     ]
-    audit = audit_requirements(table, checks)
+    with obs.trace("cli.audit"):
+        audit = audit_requirements(table, checks)
     print()
     print(audit.render())
+    if args.metrics:
+        _print_metrics()
     return 0 if audit.passed else 2
 
 

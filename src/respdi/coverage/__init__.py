@@ -11,21 +11,21 @@ Implements the tutorial's Group Representation machinery (§2.2):
   ordinal/continuous attributes (Asudeh et al., SIGMOD 2021).
 """
 
-from respdi.coverage.patterns import (
-    Pattern,
-    WILDCARD,
-    pattern_matches_mask,
-    pattern_level,
-    pattern_parents,
-    pattern_dominates,
-)
 from respdi.coverage.mups import (
     CoverageAnalyzer,
     CoverageReport,
-    greedy_coverage_enhancement,
     full_coverage_plan,
+    greedy_coverage_enhancement,
 )
 from respdi.coverage.ordinal import OrdinalCoverage
+from respdi.coverage.patterns import (
+    WILDCARD,
+    Pattern,
+    pattern_dominates,
+    pattern_level,
+    pattern_matches_mask,
+    pattern_parents,
+)
 
 __all__ = [
     "Pattern",

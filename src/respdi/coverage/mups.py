@@ -18,7 +18,7 @@ to collect in order to eliminate all MUPs.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
@@ -29,7 +29,6 @@ from respdi.coverage.patterns import (
     format_pattern,
     pattern_dominates,
     pattern_level,
-    pattern_matches_mask,
     pattern_parents,
 )
 from respdi.errors import EmptyInputError, SpecificationError

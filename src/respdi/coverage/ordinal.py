@@ -14,7 +14,7 @@ attributes are continuous.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree

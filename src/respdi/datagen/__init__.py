@@ -18,16 +18,12 @@ algorithms exactly:
   ground-truth error positions.
 """
 
-from respdi.datagen.population import SensitiveAttribute, PopulationModel
-from respdi.datagen.sources import skewed_group_distributions, make_source_tables
-from respdi.datagen.lake import LakeSpec, SyntheticLake, generate_lake
-from respdi.datagen.missingness import (
-    inject_mcar,
-    inject_mar,
-    inject_mnar,
-)
 from respdi.datagen.corruption import inject_numeric_errors
 from respdi.datagen.duplicates import generate_person_registry
+from respdi.datagen.lake import LakeSpec, SyntheticLake, generate_lake
+from respdi.datagen.missingness import inject_mar, inject_mcar, inject_mnar
+from respdi.datagen.population import PopulationModel, SensitiveAttribute
+from respdi.datagen.sources import make_source_tables, skewed_group_distributions
 
 __all__ = [
     "SensitiveAttribute",

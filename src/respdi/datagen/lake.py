@@ -191,8 +191,11 @@ def generate_lake(spec: LakeSpec = LakeSpec(), rng: RngLike = None) -> Synthetic
     n_rows = spec.rows_per_join_table
     key_rows = [key_domain[i % len(key_domain)] for i in range(n_rows)]
     query_full = query_set_table
-    pad = lambda vals: [vals[i % len(vals)] for i in range(max(n_rows, len(query_full)))]
     height = max(n_rows, len(query_full))
+
+    def pad(vals):
+        return [vals[i % len(vals)] for i in range(height)]
+
     query_full = Table(
         Schema(
             [

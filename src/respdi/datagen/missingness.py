@@ -16,7 +16,7 @@ MNAR  missing not at random: missingness probability depends on the
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Tuple
+from typing import Hashable, Mapping, Tuple
 
 import numpy as np
 

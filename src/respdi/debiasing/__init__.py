@@ -16,12 +16,12 @@ possible when population margins are known:
   weights, so debiased answers drop out of ordinary queries.
 """
 
+from respdi.debiasing.queries import WeightedQuery
 from respdi.debiasing.weights import (
+    effective_sample_size,
     post_stratification_weights,
     raking_weights,
-    effective_sample_size,
 )
-from respdi.debiasing.queries import WeightedQuery
 
 __all__ = [
     "post_stratification_weights",

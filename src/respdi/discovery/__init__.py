@@ -21,15 +21,23 @@ Implements the search primitives the tutorial surveys:
   target correlation while penalizing sensitive-attribute association.
 """
 
-from respdi.discovery.minhash import MinHasher, MinHashSignature
-from respdi.discovery.lazo import LazoSketch, LazoEstimate
-from respdi.discovery.lshensemble import LSHEnsemble
-from respdi.discovery.unionsearch import column_unionability, table_unionability, UnionSearch
+from respdi.discovery.correlation_sketches import CorrelationSketch
 from respdi.discovery.joinability import JoinabilityIndex
 from respdi.discovery.keyword import KeywordIndex
-from respdi.discovery.correlation_sketches import CorrelationSketch
 from respdi.discovery.lake_index import DataLakeIndex, FeatureCandidate
-from respdi.discovery.navigation import LakeOrganization, NavigationResult, OrganizationNode
+from respdi.discovery.lazo import LazoEstimate, LazoSketch
+from respdi.discovery.lshensemble import LSHEnsemble
+from respdi.discovery.minhash import MinHasher, MinHashSignature
+from respdi.discovery.navigation import (
+    LakeOrganization,
+    NavigationResult,
+    OrganizationNode,
+)
+from respdi.discovery.unionsearch import (
+    UnionSearch,
+    column_unionability,
+    table_unionability,
+)
 
 __all__ = [
     "MinHasher",

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import math
 import re
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.table import Table

@@ -24,6 +24,7 @@ from respdi.discovery.joinability import JoinabilityIndex, JoinCandidate
 from respdi.discovery.keyword import KeywordHit, KeywordIndex
 from respdi.discovery.unionsearch import UnionCandidate, UnionSearch
 from respdi.errors import EmptyInputError, SpecificationError
+from respdi.obs import counted, timed
 from respdi.stats.dependence import correlation_ratio, pearson_correlation
 from respdi.table import Table
 
@@ -57,6 +58,7 @@ class DataLakeIndex:
         self.tables: Dict[str, Table] = {}
         self._feature_sketches: Dict[Tuple[str, str, str], CorrelationSketch] = {}
 
+    @timed("discovery.lake_index.register")
     def register(
         self, name: str, table: Table, description: Optional[str] = None
     ) -> None:
@@ -81,17 +83,21 @@ class DataLakeIndex:
 
     # -- search modes --------------------------------------------------------
 
+    @counted("discovery.lake_index.keyword_queries")
     def keyword_search(self, query: str, k: int = 10) -> List[KeywordHit]:
         return self.keyword.search(query, k)
 
+    @timed("discovery.lake_index.union_query")
     def unionable_tables(self, query: Table, k: int = 10) -> List[UnionCandidate]:
         return self.union.search(query, k)
 
+    @timed("discovery.lake_index.join_query")
     def joinable_columns(
         self, values, k: int = 10, min_overlap: int = 1
     ) -> List[JoinCandidate]:
         return self.joinability.query(values, k, min_overlap)
 
+    @timed("discovery.lake_index.feature_query")
     def discover_features(
         self,
         query: Table,

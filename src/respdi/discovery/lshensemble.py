@@ -16,7 +16,6 @@ so each partition runs an ordinary banded MinHash LSH tuned to its own
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
@@ -25,6 +24,7 @@ import numpy as np
 
 from respdi.discovery.minhash import MinHasher, MinHashSignature
 from respdi.errors import EmptyInputError, SpecificationError
+from respdi.obs import counted, timed
 
 
 def containment_to_jaccard(t: float, query_size: int, max_candidate_size: int) -> float:
@@ -95,6 +95,7 @@ class LSHEnsemble:
         self._partitions: List[_Partition] = []
         self._frozen = False
 
+    @counted("discovery.lshensemble.domains_indexed")
     def index(self, key: Hashable, values: Iterable[Hashable]) -> None:
         """Add a domain under *key* (must be called before :meth:`freeze`)."""
         if self._frozen:
@@ -103,6 +104,7 @@ class LSHEnsemble:
             raise SpecificationError(f"duplicate domain key {key!r}")
         self._pending[key] = self.hasher.signature(values)
 
+    @timed("discovery.lshensemble.freeze")
     def freeze(self) -> None:
         """Partition indexed domains by cardinality; enables querying."""
         if not self._pending:
@@ -121,6 +123,7 @@ class LSHEnsemble:
             )
         self._frozen = True
 
+    @timed("discovery.lshensemble.query")
     def query(
         self, values: Iterable[Hashable], containment_threshold: float
     ) -> List[Tuple[Hashable, float]]:

@@ -24,6 +24,7 @@ import numpy as np
 
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SpecificationError
+from respdi.obs import timed
 
 _MERSENNE_PRIME = np.uint64((1 << 31) - 1)
 
@@ -76,6 +77,7 @@ class MinHasher:
         self.hasher_id = MinHasher._next_id
         MinHasher._next_id += 1
 
+    @timed("discovery.minhash.signature")
     def signature(self, values: Iterable[Hashable]) -> MinHashSignature:
         """Signature of the distinct values in *values*."""
         distinct = set(values)

@@ -15,15 +15,15 @@ Baselines (uniform-random worker, fixed single best worker) quantify the
 value of adaptivity.
 """
 
-from respdi.entitycollection.workers import SimulatedWorker, make_worker_pool
-from respdi.entitycollection.estimation import DirichletEstimator
 from respdi.entitycollection.collector import (
-    EntityCollector,
-    CollectionResult,
     AdaptiveSelection,
+    CollectionResult,
+    EntityCollector,
     RandomSelection,
     StaticSelection,
 )
+from respdi.entitycollection.estimation import DirichletEstimator
+from respdi.entitycollection.workers import SimulatedWorker, make_worker_pool
 
 __all__ = [
     "SimulatedWorker",

@@ -9,7 +9,7 @@ Fan et al. minimize.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Sequence
 
 import numpy as np

@@ -9,7 +9,7 @@ exercises the identical estimation/selection code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence
 
 import numpy as np
 

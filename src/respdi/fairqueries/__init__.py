@@ -11,8 +11,8 @@
 
 from respdi.fairqueries.rangequeries import (
     FairRangeResult,
-    range_disparity,
     fair_range_refinement,
+    range_disparity,
 )
 from respdi.fairqueries.rewriting import CoverageRewriteResult, coverage_rewrite
 

@@ -21,29 +21,26 @@ those measures:
   fairness measures are exercised.
 """
 
-from respdi.linkage.similarity import (
-    levenshtein_distance,
-    levenshtein_similarity,
-    jaro_similarity,
-    jaro_winkler_similarity,
-    token_jaccard,
-    numeric_similarity,
-)
 from respdi.linkage.blocking import (
+    blocking_stats,
     key_blocking,
     sorted_neighborhood_blocking,
-    blocking_stats,
 )
+from respdi.linkage.evaluation import LinkageQualityReport, evaluate_linkage
 from respdi.linkage.matching import (
     FieldComparator,
-    RecordMatcher,
     MatchResult,
+    RecordMatcher,
     cluster_matches,
     deduplicate,
 )
-from respdi.linkage.evaluation import (
-    LinkageQualityReport,
-    evaluate_linkage,
+from respdi.linkage.similarity import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    numeric_similarity,
+    token_jaccard,
 )
 
 __all__ = [

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Sequence, Set, Tuple
 
+from respdi import obs
 from respdi.errors import SpecificationError
 from respdi.table import Table
 
@@ -66,14 +67,17 @@ class RecordMatcher:
         """Score every candidate pair; accept those above the threshold."""
         for comparator in self.comparators:
             table.schema.require([comparator.column])
-        rows = table.to_dicts()
-        scores: Dict[Pair, float] = {}
-        matches: Set[Pair] = set()
-        for i, j in sorted(candidates):
-            score = self.score_pair(rows[i], rows[j])
-            scores[(i, j)] = score
-            if score >= self.threshold:
-                matches.add((i, j))
+        with obs.trace("linkage.matching.match", candidates=len(candidates)):
+            rows = table.to_dicts()
+            scores: Dict[Pair, float] = {}
+            matches: Set[Pair] = set()
+            for i, j in sorted(candidates):
+                score = self.score_pair(rows[i], rows[j])
+                scores[(i, j)] = score
+                if score >= self.threshold:
+                    matches.add((i, j))
+        obs.inc("linkage.matching.pairs_scored", len(scores))
+        obs.inc("linkage.matching.matches", len(matches))
         return MatchResult(scores=scores, matches=matches, threshold=self.threshold)
 
 

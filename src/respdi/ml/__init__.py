@@ -8,25 +8,25 @@ metrics, and the classical pre-processing interventions — with no
 external ML dependency.
 """
 
-from respdi.ml.data import table_to_xy, train_test_split, standardize_columns
-from respdi.ml.models import LogisticRegression, GaussianNaiveBayes, KNNClassifier
-from respdi.ml.metrics import (
-    accuracy,
-    group_accuracy,
-    selection_rates,
-    demographic_parity_difference,
-    disparate_impact,
-    equalized_odds_difference,
-    equal_opportunity_difference,
-    FairnessReport,
-    evaluate_fairness,
-)
+from respdi.ml.data import standardize_columns, table_to_xy, train_test_split
+from respdi.ml.feature_selection import FeatureSelectionResult, select_features
 from respdi.ml.interventions import (
-    reweighing_weights,
     oversample_groups,
+    reweighing_weights,
     smote_oversample,
 )
-from respdi.ml.feature_selection import FeatureSelectionResult, select_features
+from respdi.ml.metrics import (
+    FairnessReport,
+    accuracy,
+    demographic_parity_difference,
+    disparate_impact,
+    equal_opportunity_difference,
+    equalized_odds_difference,
+    evaluate_fairness,
+    group_accuracy,
+    selection_rates,
+)
+from respdi.ml.models import GaussianNaiveBayes, KNNClassifier, LogisticRegression
 
 __all__ = [
     "table_to_xy",

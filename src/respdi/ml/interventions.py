@@ -18,7 +18,7 @@ exactly the pre-processing stage the tutorial scopes itself to:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence
 
 import numpy as np
 

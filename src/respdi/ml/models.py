@@ -12,12 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from respdi.errors import (
-    ConvergenceError,
-    EmptyInputError,
-    NotFittedError,
-    SpecificationError,
-)
+from respdi.errors import EmptyInputError, NotFittedError, SpecificationError
 
 
 def _validate_xy(X: np.ndarray, y: np.ndarray, sample_weight) -> np.ndarray:

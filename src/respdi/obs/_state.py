@@ -1,0 +1,28 @@
+"""Process-global observability switch.
+
+Instrumentation sites read :data:`enabled` directly (a module attribute
+load) so that disabled instrumentation costs one boolean check — the
+near-zero-overhead contract the hot paths rely on.  Keep this module
+free of imports from the rest of :mod:`respdi.obs` so every other obs
+module can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+enabled: bool = False
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide."""
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    return enabled

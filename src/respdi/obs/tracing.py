@@ -1,0 +1,199 @@
+"""Hierarchical spans with pluggable exporters.
+
+``with trace("discovery.minhash.signature", n_values=128):`` opens a
+:class:`Span` that records wall-clock start time, duration, structured
+attributes, and its position in the per-thread span stack (parent name
+and depth).  Finished spans go to the installed :class:`SpanExporter`
+(an in-memory ring buffer by default; :class:`JsonLinesExporter` writes
+one JSON object per span) and their durations feed the global metrics
+registry as ``<name>.seconds`` histograms.
+
+When observability is disabled (the default), :func:`trace` returns a
+shared no-op span: no allocation, no clock reads, no lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from respdi.obs import _state
+from respdi.obs.metrics import global_registry
+
+
+class Span:
+    """One timed, attributed region of execution."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "parent_name",
+        "depth",
+        "started_at",
+        "duration",
+        "error",
+        "_start",
+    )
+
+    def __init__(self, name: str, attributes: Dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.parent_name: Optional[str] = None
+        self.depth = 0
+        self.started_at = 0.0
+        self.duration = 0.0
+        self.error: Optional[str] = None
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        stack = _span_stack()
+        self.depth = len(stack)
+        self.parent_name = stack[-1].name if stack else None
+        stack.append(self)
+        self.started_at = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = _span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        _finish(self)
+        return False
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "parent": self.parent_name,
+            "depth": self.depth,
+            "started_at": self.started_at,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+_LOCAL = threading.local()
+
+
+def _span_stack() -> List[Span]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, if any."""
+    stack = _span_stack()
+    return stack[-1] if stack else None
+
+
+class SpanExporter:
+    """Receives each finished span; subclass and override :meth:`export`."""
+
+    def export(self, span: Span) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class InMemoryExporter(SpanExporter):
+    """Ring buffer of the most recent finished spans (as dicts)."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._buffer: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._buffer.append(span.to_dict())
+
+    @property
+    def spans(self) -> List[Dict]:
+        with self._lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+
+class JsonLinesExporter(SpanExporter):
+    """Appends one JSON object per finished span to a file."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a")
+
+    def export(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+_EXPORTER: SpanExporter = InMemoryExporter()
+
+
+def set_exporter(exporter: SpanExporter) -> SpanExporter:
+    """Install *exporter* for finished spans; returns the previous one."""
+    global _EXPORTER
+    previous = _EXPORTER
+    _EXPORTER = exporter
+    return previous
+
+
+def get_exporter() -> SpanExporter:
+    return _EXPORTER
+
+
+def _finish(span: Span) -> None:
+    global_registry().observe(span.name + ".seconds", span.duration)
+    _EXPORTER.export(span)
+
+
+def trace(name: str, **attributes):
+    """Open a span named *name* (no-op unless observability is enabled)."""
+    if not _state.enabled:
+        return _NOOP_SPAN
+    return Span(name, attributes)

@@ -9,10 +9,7 @@ appends to a provenance log, which feeds the §5 transparency goal of
 annotated, reusable pipelines.
 """
 
-from respdi.pipeline.pipeline import (
-    PipelineResult,
-    ResponsibleIntegrationPipeline,
-)
+from respdi.pipeline.pipeline import PipelineResult, ResponsibleIntegrationPipeline
 
 __all__ = [
     "PipelineResult",

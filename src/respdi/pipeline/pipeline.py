@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from respdi import obs
 from respdi._rng import RngLike, ensure_rng
 from respdi.cleaning.imputers import Imputer
 from respdi.discovery.lake_index import DataLakeIndex
@@ -20,6 +23,17 @@ from respdi.tailoring.sources import TableSource
 from respdi.tailoring.specs import TailoringSpec
 
 
+@contextmanager
+def _stage(name: str, timings: List[Tuple[str, float]]):
+    """Time one pipeline stage: always into *timings* (so provenance can
+    report wall-times), and as a ``pipeline.stage.<name>`` span when
+    observability is enabled."""
+    start = time.perf_counter()
+    with obs.trace(f"pipeline.stage.{name}"):
+        yield
+    timings.append((name, time.perf_counter() - start))
+
+
 @dataclass
 class PipelineResult:
     """Everything a downstream consumer needs from one pipeline run."""
@@ -31,6 +45,8 @@ class PipelineResult:
     datasheet: Optional[Datasheet]
     sources_used: List[str]
     provenance: List[str]
+    stage_timings: List[Tuple[str, float]] = field(default_factory=list)
+    """Per-stage wall times, ``(stage_name, seconds)``, in execution order."""
 
     @property
     def fit_for_use(self) -> bool:
@@ -157,6 +173,7 @@ class ResponsibleIntegrationPipeline:
             raise EmptyInputError("no source tables supplied")
         generator = ensure_rng(rng)
         provenance: List[str] = []
+        timings: List[Tuple[str, float]] = []
         costs = source_costs or {}
         sources = []
         for name in sorted(source_tables):
@@ -169,73 +186,96 @@ class ResponsibleIntegrationPipeline:
             f"{type(self.policy).__name__}"
         )
 
-        tailoring_result = tailor(
-            sources, spec, self.policy, budget=budget, max_steps=max_steps,
-            rng=generator,
-        )
+        with obs.trace("pipeline.run", sources=len(sources)):
+            obs.inc("pipeline.runs")
+
+            with _stage("tailor", timings):
+                tailoring_result = tailor(
+                    sources, spec, self.policy, budget=budget,
+                    max_steps=max_steps, rng=generator,
+                )
+            provenance.append(
+                f"collected {len(tailoring_result.rows)} row(s) at cost "
+                f"{tailoring_result.total_cost:.1f}; satisfied="
+                f"{tailoring_result.satisfied}"
+            )
+
+            reference_schema: Schema = source_tables[sorted(source_tables)[0]].schema
+            table = tailoring_result.collected_table(reference_schema)
+
+            with _stage("clean", timings):
+                for imputer in self.imputers:
+                    before = int(table.missing_mask(imputer.column).sum())
+                    table = imputer.fit_transform(table)
+                    provenance.append(
+                        f"imputed column {imputer.column!r} with "
+                        f"{type(imputer).__name__} ({before} missing cell(s))"
+                    )
+            obs.inc("pipeline.rows_cleaned", len(table))
+
+            audit: Optional[AuditReport] = None
+            with _stage("audit", timings):
+                if requirements:
+                    audit = audit_requirements(table, list(requirements))
+                    provenance.append(
+                        f"audited {len(requirements)} requirement(s): "
+                        f"{'PASS' if audit.passed else 'FAIL'}"
+                    )
+            if audit is not None:
+                obs.inc(
+                    "pipeline.audits.passed" if audit.passed
+                    else "pipeline.audits.failed"
+                )
+
+            with _stage("document", timings):
+                label = build_nutritional_label(
+                    table,
+                    self.sensitive_columns,
+                    self.target_column,
+                    coverage_threshold=self.coverage_threshold,
+                )
+                provenance.append("built nutritional label")
+
+                limitations = []
+                if tailoring_result and not tailoring_result.satisfied:
+                    limitations.append(
+                        f"tailoring stopped before satisfying the spec; deficits: "
+                        f"{tailoring_result.deficits}"
+                    )
+                if label.uncovered_patterns:
+                    limitations.append(
+                        f"under-represented groups remain: "
+                        f"{label.uncovered_patterns}"
+                    )
+                datasheet = build_datasheet(
+                    title="respdi integrated dataset",
+                    table=table,
+                    motivation=datasheet_motivation,
+                    collection_process=(
+                        "distribution tailoring over "
+                        f"{len(sources)} source(s) with policy "
+                        f"{type(self.policy).__name__}"
+                    ),
+                    preprocessing=(
+                        "; ".join(
+                            type(imputer).__name__ for imputer in self.imputers
+                        )
+                        or "none"
+                    ),
+                    recommended_uses=["model training with group-aware evaluation"],
+                    discouraged_uses=[
+                        "inference about groups absent from the coverage report"
+                    ],
+                    known_limitations=(
+                        limitations or ["none identified by automated audit"]
+                    ),
+                )
+                provenance.append("built datasheet")
+
         provenance.append(
-            f"collected {len(tailoring_result.rows)} row(s) at cost "
-            f"{tailoring_result.total_cost:.1f}; satisfied="
-            f"{tailoring_result.satisfied}"
+            "stage timings (s): "
+            + " ".join(f"{name}={seconds:.4f}" for name, seconds in timings)
         )
-
-        reference_schema: Schema = source_tables[sorted(source_tables)[0]].schema
-        table = tailoring_result.collected_table(reference_schema)
-
-        for imputer in self.imputers:
-            before = int(table.missing_mask(imputer.column).sum())
-            table = imputer.fit_transform(table)
-            provenance.append(
-                f"imputed column {imputer.column!r} with "
-                f"{type(imputer).__name__} ({before} missing cell(s))"
-            )
-
-        audit: Optional[AuditReport] = None
-        if requirements:
-            audit = audit_requirements(table, list(requirements))
-            provenance.append(
-                f"audited {len(requirements)} requirement(s): "
-                f"{'PASS' if audit.passed else 'FAIL'}"
-            )
-
-        label = build_nutritional_label(
-            table,
-            self.sensitive_columns,
-            self.target_column,
-            coverage_threshold=self.coverage_threshold,
-        )
-        provenance.append("built nutritional label")
-
-        limitations = []
-        if tailoring_result and not tailoring_result.satisfied:
-            limitations.append(
-                f"tailoring stopped before satisfying the spec; deficits: "
-                f"{tailoring_result.deficits}"
-            )
-        if label.uncovered_patterns:
-            limitations.append(
-                f"under-represented groups remain: {label.uncovered_patterns}"
-            )
-        datasheet = build_datasheet(
-            title="respdi integrated dataset",
-            table=table,
-            motivation=datasheet_motivation,
-            collection_process=(
-                "distribution tailoring over "
-                f"{len(sources)} source(s) with policy "
-                f"{type(self.policy).__name__}"
-            ),
-            preprocessing=(
-                "; ".join(type(imputer).__name__ for imputer in self.imputers)
-                or "none"
-            ),
-            recommended_uses=["model training with group-aware evaluation"],
-            discouraged_uses=[
-                "inference about groups absent from the coverage report"
-            ],
-            known_limitations=limitations or ["none identified by automated audit"],
-        )
-        provenance.append("built datasheet")
 
         return PipelineResult(
             table=table,
@@ -245,4 +285,5 @@ class ResponsibleIntegrationPipeline:
             datasheet=datasheet,
             sources_used=[s.name for s in sources],
             provenance=provenance,
+            stage_timings=timings,
         )

@@ -16,21 +16,21 @@
   et al., CACM 2021) with auto-filled composition statistics.
 """
 
-from respdi.profiling.profiles import ColumnProfile, TableProfile, profile_table
+from respdi.profiling.association import AssociationRule, mine_association_rules
+from respdi.profiling.datasheets import Datasheet, build_datasheet
 from respdi.profiling.dependencies import (
     fd_holds,
     fd_violation_ratio,
     find_functional_dependencies,
 )
-from respdi.profiling.association import AssociationRule, mine_association_rules
-from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
-from respdi.profiling.datasheets import Datasheet, build_datasheet
 from respdi.profiling.export import (
-    label_to_dict,
-    datasheet_to_dict,
     audit_to_dict,
+    datasheet_to_dict,
     dump_json,
+    label_to_dict,
 )
+from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
+from respdi.profiling.profiles import ColumnProfile, TableProfile, profile_table
 
 __all__ = [
     "ColumnProfile",

@@ -16,7 +16,7 @@ description of MithraLabel, the label includes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,13 +27,7 @@ from respdi.errors import SpecificationError
 from respdi.profiling.association import AssociationRule, mine_association_rules
 from respdi.profiling.dependencies import find_functional_dependencies
 from respdi.profiling.profiles import TableProfile, profile_table
-from respdi.stats.dependence import (
-    correlation_ratio,
-    cramers_v,
-    entropy,
-    normalized_mutual_information,
-    pearson_correlation,
-)
+from respdi.stats.dependence import correlation_ratio, entropy, pearson_correlation
 from respdi.table import Table
 
 

@@ -18,12 +18,12 @@ before declaring the data fit for use.
   metadata (a datasheet covering the required sections).
 """
 
-from respdi.requirements.base import RequirementCheck, RequirementReport, AuditReport
+from respdi.requirements.base import AuditReport, RequirementCheck, RequirementReport
 from respdi.requirements.checks import (
-    DistributionRepresentationRequirement,
-    GroupRepresentationRequirement,
-    FeatureRequirement,
     CompletenessCorrectnessRequirement,
+    DistributionRepresentationRequirement,
+    FeatureRequirement,
+    GroupRepresentationRequirement,
     ScopeOfUseRequirement,
     audit_requirements,
 )

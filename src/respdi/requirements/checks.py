@@ -12,16 +12,8 @@ from respdi.coverage.patterns import format_pattern
 from respdi.errors import SpecificationError
 from respdi.profiling.datasheets import SECTIONS, Datasheet
 from respdi.requirements.base import AuditReport, RequirementCheck, RequirementReport
-from respdi.stats.dependence import (
-    correlation_ratio,
-    feature_informativeness_score,
-    pearson_correlation,
-)
-from respdi.stats.divergence import (
-    js_divergence,
-    kl_divergence,
-    total_variation,
-)
+from respdi.stats.dependence import correlation_ratio, pearson_correlation
+from respdi.stats.divergence import js_divergence, kl_divergence, total_variation
 from respdi.table import Table
 
 Group = Tuple[Hashable, ...]

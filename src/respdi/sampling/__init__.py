@@ -19,12 +19,12 @@ The tutorial's §3.4 narrative, implemented end to end:
   independent but non-uniform path samples, Horvitz-Thompson corrected.
 """
 
-from respdi.sampling.baselines import full_join, join_then_sample, sample_then_join
 from respdi.sampling.acceptreject import AcceptRejectJoinSampler
-from respdi.sampling.chain import ChainJoinSpec, ChainJoinSampler
-from respdi.sampling.ripple import RippleJoin, OnlineEstimate
-from respdi.sampling.wander import WanderJoin
+from respdi.sampling.baselines import full_join, join_then_sample, sample_then_join
+from respdi.sampling.chain import ChainJoinSampler, ChainJoinSpec
+from respdi.sampling.ripple import OnlineEstimate, RippleJoin
 from respdi.sampling.union_sampling import UnionSampler
+from respdi.sampling.wander import WanderJoin
 
 __all__ = [
     "full_join",

@@ -24,11 +24,12 @@ Two statistics regimes are supported, mirroring the paper's discussion:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from respdi import obs
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.table import Table
@@ -126,17 +127,22 @@ class AcceptRejectJoinSampler:
         cap = max_attempts if max_attempts is not None else 200_000 + 1000 * n
         pairs: List[Tuple[int, int]] = []
         attempts = 0
-        while len(pairs) < n:
-            if attempts >= cap:
-                raise EmptyInputError(
-                    f"accept-reject made {attempts} attempts for only "
-                    f"{len(pairs)}/{n} samples; join may be empty or the "
-                    "upper bound far too loose"
-                )
-            attempts += 1
-            pair = self.sample_one()
-            if pair is not None:
-                pairs.append(pair)
+        try:
+            with obs.trace("sampling.acceptreject.sample", n=n):
+                while len(pairs) < n:
+                    if attempts >= cap:
+                        raise EmptyInputError(
+                            f"accept-reject made {attempts} attempts for only "
+                            f"{len(pairs)}/{n} samples; join may be empty or "
+                            "the upper bound far too loose"
+                        )
+                    attempts += 1
+                    pair = self.sample_one()
+                    if pair is not None:
+                        pairs.append(pair)
+        finally:
+            obs.inc("sampling.acceptreject.attempts", attempts)
+            obs.inc("sampling.acceptreject.accepted", len(pairs))
         return self._materialize(pairs)
 
     def _materialize(self, pairs: Sequence[Tuple[int, int]]) -> Table:

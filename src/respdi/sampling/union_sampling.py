@@ -24,7 +24,7 @@ import numpy as np
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.sampling.acceptreject import SamplerStats
-from respdi.table import Schema, Table
+from respdi.table import Table
 
 
 class UnionSampler:

@@ -17,6 +17,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from respdi import obs
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.sampling.chain import ChainJoinSpec
@@ -112,11 +113,16 @@ class WanderJoin:
             raise SpecificationError("walks must be >= 1")
         if record_every < 1:
             raise SpecificationError("record_every must be >= 1")
+        walks_before = self._walks
+        successes_before = self._successes
         trajectory: List[WanderEstimate] = []
-        for index in range(walks):
-            self.walk()
-            if (index + 1) % record_every == 0:
-                trajectory.append(self.estimate())
+        with obs.trace("sampling.wander.run", walks=walks):
+            for index in range(walks):
+                self.walk()
+                if (index + 1) % record_every == 0:
+                    trajectory.append(self.estimate())
+        obs.inc("sampling.wander.walks", self._walks - walks_before)
+        obs.inc("sampling.wander.successes", self._successes - successes_before)
         if not trajectory or trajectory[-1].walks != self._walks:
             trajectory.append(self.estimate())
         return trajectory

@@ -7,27 +7,27 @@ join-correlation discovery (§3.1); uniformity tests back the join-sampling
 audits (§3.4).
 """
 
-from respdi.stats.divergence import (
-    kl_divergence,
-    js_divergence,
-    total_variation,
-    hellinger,
-    chi_square_uniformity,
-    chi_square_goodness_of_fit,
-    empirical_distribution,
-    normalize_distribution,
-)
 from respdi.stats.dependence import (
-    pearson_correlation,
-    spearman_correlation,
-    mutual_information,
-    normalized_mutual_information,
-    cramers_v,
     conditional_entropy,
-    entropy,
     correlation_ratio,
+    cramers_v,
+    entropy,
     feature_bias_score,
     feature_informativeness_score,
+    mutual_information,
+    normalized_mutual_information,
+    pearson_correlation,
+    spearman_correlation,
+)
+from respdi.stats.divergence import (
+    chi_square_goodness_of_fit,
+    chi_square_uniformity,
+    empirical_distribution,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    normalize_distribution,
+    total_variation,
 )
 
 __all__ = [

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Hashable, Sequence, Tuple
+from typing import Hashable, Sequence
 
 import numpy as np
 

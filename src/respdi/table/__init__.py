@@ -8,22 +8,22 @@ of the library needs (selection, projection, joins, group-by, aggregation,
 sampling, union).
 """
 
-from respdi.table.schema import ColumnType, ColumnSpec, Schema
+from respdi.table.io import read_csv, write_csv
 from respdi.table.predicates import (
-    Predicate,
-    Eq,
-    Ne,
-    In,
-    Range,
-    IsMissing,
-    NotMissing,
     And,
-    Or,
+    Eq,
+    In,
+    IsMissing,
+    Ne,
     Not,
+    NotMissing,
+    Or,
+    Predicate,
+    Range,
     TruePredicate,
 )
-from respdi.table.table import Table, MISSING
-from respdi.table.io import read_csv, write_csv
+from respdi.table.schema import ColumnSpec, ColumnType, Schema
+from respdi.table.table import MISSING, Table
 
 __all__ = [
     "ColumnType",

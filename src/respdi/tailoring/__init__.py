@@ -17,22 +17,18 @@ requirements at minimum expected cost.
   and overlap-aware variant.
 """
 
-from respdi.tailoring.specs import (
-    CountSpec,
-    RangeCountSpec,
-    MarginalCountSpec,
-)
-from respdi.tailoring.sources import DataSource, TableSource
+from respdi.tailoring.engine import TailoringEngine, TailoringResult, tailor
 from respdi.tailoring.policies import (
-    RatioCollPolicy,
-    OverlapAwareRatioCollPolicy,
-    UCBPolicy,
     EpsilonGreedyPolicy,
     ExploitPolicy,
+    OverlapAwareRatioCollPolicy,
     RandomPolicy,
+    RatioCollPolicy,
     RoundRobinPolicy,
+    UCBPolicy,
 )
-from respdi.tailoring.engine import TailoringEngine, TailoringResult, tailor
+from respdi.tailoring.sources import DataSource, TableSource
+from respdi.tailoring.specs import CountSpec, MarginalCountSpec, RangeCountSpec
 
 __all__ = [
     "CountSpec",

@@ -15,11 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from respdi import obs
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import BudgetExceededError, SpecificationError
-from respdi.table import ColumnType, Schema, Table
+from respdi.table import Schema, Table
 from respdi.tailoring.policies import Policy, PolicyContext
 from respdi.tailoring.sources import DataSource
 from respdi.tailoring.specs import TailoringSpec
@@ -94,54 +93,58 @@ class TailoringEngine:
         trajectory: List[Tuple[float, int]] = []
         steps = 0
 
-        while not self.spec.is_satisfied(state):
-            if steps >= max_steps or total_cost >= budget:
-                if raise_on_budget:
-                    raise BudgetExceededError(
-                        f"budget exhausted after {steps} steps "
-                        f"(cost {total_cost}); deficits: {self.spec.deficits(state)}"
-                    )
-                break
-            context = PolicyContext(
-                sources=self.sources,
-                spec=self.spec,
-                state=state,
-                pulls=pulls,
-                useful=useful,
-                duplicates=duplicates,
-                step=steps,
-            )
-            index = self.policy.select(context, generator)
-            if not 0 <= index < n:
-                raise SpecificationError(
-                    f"policy selected invalid source index {index}"
+        span = obs.trace(
+            "tailoring.run", sources=n, policy=type(self.policy).__name__
+        )
+        with span:
+            while not self.spec.is_satisfied(state):
+                if steps >= max_steps or total_cost >= budget:
+                    if raise_on_budget:
+                        raise BudgetExceededError(
+                            f"budget exhausted after {steps} steps "
+                            f"(cost {total_cost}); deficits: {self.spec.deficits(state)}"
+                        )
+                    break
+                context = PolicyContext(
+                    sources=self.sources,
+                    spec=self.spec,
+                    state=state,
+                    pulls=pulls,
+                    useful=useful,
+                    duplicates=duplicates,
+                    step=steps,
                 )
-            source = self.sources[index]
-            row = source.draw(generator)
-            total_cost += source.cost
-            pulls[index] += 1
-            steps += 1
+                index = self.policy.select(context, generator)
+                if not 0 <= index < n:
+                    raise SpecificationError(
+                        f"policy selected invalid source index {index}"
+                    )
+                source = self.sources[index]
+                row = source.draw(generator)
+                total_cost += source.cost
+                pulls[index] += 1
+                steps += 1
 
-            is_duplicate = False
-            if self.dedupe_column is not None:
-                identity = row.get(self.dedupe_column)
-                if identity is not None:
-                    if identity in seen_ids:
-                        is_duplicate = True
-                    else:
-                        seen_ids.add(identity)
-            if is_duplicate:
-                duplicates[index] += 1
+                is_duplicate = False
+                if self.dedupe_column is not None:
+                    identity = row.get(self.dedupe_column)
+                    if identity is not None:
+                        if identity in seen_ids:
+                            is_duplicate = True
+                        else:
+                            seen_ids.add(identity)
+                if is_duplicate:
+                    duplicates[index] += 1
+                    trajectory.append((total_cost, len(rows)))
+                    continue
+
+                group = self.spec.group_of(row)
+                if self.spec.process(group, state):
+                    useful[index] += 1
+                    rows.append(row)
                 trajectory.append((total_cost, len(rows)))
-                continue
 
-            group = self.spec.group_of(row)
-            if self.spec.process(group, state):
-                useful[index] += 1
-                rows.append(row)
-            trajectory.append((total_cost, len(rows)))
-
-        return TailoringResult(
+        result = TailoringResult(
             satisfied=self.spec.is_satisfied(state),
             total_cost=total_cost,
             steps=steps,
@@ -152,6 +155,28 @@ class TailoringEngine:
             deficits=self.spec.deficits(state),
             cost_trajectory=trajectory,
         )
+        span.set_attribute("steps", steps)
+        span.set_attribute("satisfied", result.satisfied)
+        self._record_metrics(result)
+        return result
+
+    def _record_metrics(self, result: TailoringResult) -> None:
+        """Aggregate per-run counters (cheap: called once, after the loop)."""
+        obs.inc("tailoring.runs")
+        obs.inc("tailoring.draws", result.steps)
+        obs.inc("tailoring.useful", result.useful_total)
+        obs.inc("tailoring.duplicates", sum(result.duplicates))
+        obs.observe("tailoring.run.cost", result.total_cost)
+        # Coupon-collector progress: how many useful rows each unit of
+        # budget bought, and what remains unsatisfied.
+        if result.total_cost > 0:
+            obs.set_gauge(
+                "tailoring.last_run.rows_per_cost",
+                result.useful_total / result.total_cost,
+            )
+        obs.set_gauge("tailoring.last_run.satisfied", float(result.satisfied))
+        for source, source_pulls in zip(self.sources, result.pulls):
+            obs.inc(f"tailoring.pulls.{source.name}", source_pulls)
 
 
 def tailor(

@@ -13,7 +13,6 @@ from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.table import Table
 

@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from respdi.datagen.population import (
-    PopulationModel,
-    SensitiveAttribute,
-    default_health_population,
-)
+from respdi.datagen.population import default_health_population
 from respdi.table import Schema, Table
 
 

@@ -1,6 +1,5 @@
 """Slice Tuner."""
 
-import math
 
 import pytest
 

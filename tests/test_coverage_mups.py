@@ -1,13 +1,12 @@
 """MUP identification and coverage enhancement."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from respdi.coverage import (
-    CoverageAnalyzer,
     WILDCARD,
+    CoverageAnalyzer,
     greedy_coverage_enhancement,
     pattern_dominates,
 )

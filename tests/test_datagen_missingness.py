@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from respdi.datagen import (
-    inject_mar,
-    inject_mcar,
-    inject_mnar,
-    inject_numeric_errors,
-)
+from respdi.datagen import inject_mar, inject_mcar, inject_mnar, inject_numeric_errors
 from respdi.errors import SpecificationError
 
 

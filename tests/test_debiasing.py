@@ -9,7 +9,7 @@ from respdi.debiasing import (
     post_stratification_weights,
     raking_weights,
 )
-from respdi.errors import ConvergenceError, EmptyInputError, SpecificationError
+from respdi.errors import EmptyInputError, SpecificationError
 from respdi.table import Eq, Schema, Table
 
 

@@ -1,6 +1,5 @@
 """Distribution-aware crowdsourced entity collection."""
 
-import numpy as np
 import pytest
 
 from respdi.entitycollection import (

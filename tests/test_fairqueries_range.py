@@ -5,7 +5,7 @@ import itertools
 import numpy as np
 import pytest
 
-from respdi.errors import InfeasibleError, SpecificationError
+from respdi.errors import SpecificationError
 from respdi.fairqueries import fair_range_refinement, range_disparity
 from respdi.table import Range, Schema, Table
 

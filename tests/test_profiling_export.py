@@ -12,10 +12,7 @@ from respdi.profiling import (
     dump_json,
     label_to_dict,
 )
-from respdi.requirements import (
-    GroupRepresentationRequirement,
-    audit_requirements,
-)
+from respdi.requirements import GroupRepresentationRequirement, audit_requirements
 
 
 @pytest.fixture

@@ -4,11 +4,7 @@ import pytest
 
 from respdi.datagen import inject_mar
 from respdi.errors import SpecificationError
-from respdi.profiling import (
-    Datasheet,
-    build_datasheet,
-    build_nutritional_label,
-)
+from respdi.profiling import Datasheet, build_datasheet, build_nutritional_label
 from respdi.profiling.datasheets import SECTIONS
 from respdi.table import Schema, Table
 

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from respdi.table import And, Eq, Not, Or, Range, Schema, Table
+from respdi.table import Eq, Not, Range, Schema, Table
 from respdi.tailoring import (
     CountSpec,
     MarginalCountSpec,

@@ -13,7 +13,7 @@ from respdi.requirements import (
     ScopeOfUseRequirement,
     audit_requirements,
 )
-from respdi.table import Schema, Table
+from respdi.table import Table
 
 
 def test_distribution_representation_pass_and_fail(health_population):

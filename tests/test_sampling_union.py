@@ -1,6 +1,5 @@
 """Uniform sampling over the union of sources."""
 
-import numpy as np
 import pytest
 
 from respdi.errors import EmptyInputError, SpecificationError

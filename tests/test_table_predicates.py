@@ -1,6 +1,5 @@
 """Predicate semantics, including SQL-like missing-value behaviour."""
 
-import numpy as np
 import pytest
 
 from respdi.errors import SpecificationError

@@ -9,7 +9,6 @@ copy/aliasing bugs in the column-oriented implementation.
 
 import math
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule

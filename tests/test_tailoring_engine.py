@@ -6,6 +6,7 @@ import pytest
 from respdi.datagen import make_source_tables, skewed_group_distributions
 from respdi.datagen.sources import overlapping_source_tables
 from respdi.errors import BudgetExceededError, EmptyInputError, SpecificationError
+from respdi.table import Table
 from respdi.tailoring import (
     CountSpec,
     EpsilonGreedyPolicy,
@@ -20,7 +21,6 @@ from respdi.tailoring import (
     UCBPolicy,
     tailor,
 )
-from respdi.table import Schema, Table
 
 
 def two_sources(health_population, minority_heavy_fraction=0.6, rows=3000):
