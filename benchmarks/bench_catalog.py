@@ -1,0 +1,124 @@
+"""E15 — Catalog warm starts (persisted discovery state vs. re-sketching).
+
+Reproduced shape: over a ≥50-table synthetic lake, opening the persisted
+catalog and running a discovery query is **at least 5× faster** than
+building a cold :class:`DataLakeIndex` from raw tables and running the
+same query — while returning byte-identical results.  The win is the
+point of the catalog subsystem: per-row sketching (value hashing,
+MinHash matrices, correlation sketches) is the expensive part of lake
+discovery, and the catalog makes it a one-time cost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from benchmarks.conftest import print_table
+
+from respdi.catalog import CatalogStore
+from respdi.discovery import DataLakeIndex
+from respdi.table import Schema, Table
+
+SEED = 7
+N_TABLES = 55
+ROWS_PER_TABLE = 8000
+KEY_DOMAIN = 600
+
+_SCHEMA = Schema([("key", "categorical"), ("f1", "numeric"), ("f2", "numeric")])
+
+
+def _make_table(index, rng):
+    # Every fourth table draws keys from a shared domain so join and
+    # containment queries return real candidates; the rest are distractors.
+    prefix = "shared" if index % 4 == 0 else f"k{index}"
+    draws = rng.integers(0, KEY_DOMAIN, size=ROWS_PER_TABLE)
+    return Table(
+        _SCHEMA,
+        {
+            "key": [f"{prefix}_{value}" for value in draws],
+            "f1": rng.normal(size=ROWS_PER_TABLE),
+            "f2": rng.normal(size=ROWS_PER_TABLE),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def lake_tables():
+    rng = np.random.default_rng(13)
+    tables = {f"t{i}": _make_table(i, rng) for i in range(N_TABLES)}
+    tables["query"] = tables["t0"].head(1000)
+    return tables
+
+
+@pytest.fixture(scope="module")
+def catalog(lake_tables, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("catalog") / "cat"
+    CatalogStore.build(directory, lake_tables, rng=SEED)
+    return directory
+
+
+def _run_queries(index, lake_tables):
+    query = lake_tables["query"]
+    return (
+        index.keyword_search("shared", k=10),
+        index.unionable_tables(query, k=10),
+        index.joinable_columns(query.unique("key"), k=10),
+        index.containment_search(query.unique("key"), 0.5, k=10),
+    )
+
+
+def test_warm_open_at_least_5x_faster_than_cold(lake_tables, catalog):
+    assert len(lake_tables) >= 50
+
+    start = time.perf_counter()
+    cold = DataLakeIndex(rng=SEED)
+    for name, table in lake_tables.items():
+        cold.register(name, table)
+    cold_results = _run_queries(cold, lake_tables)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = CatalogStore.open(catalog).index()
+    warm_results = _run_queries(warm, lake_tables)
+    warm_seconds = time.perf_counter() - start
+
+    speedup = cold_seconds / warm_seconds
+    print_table(
+        "E15: cold build vs. warm catalog open "
+        f"({len(lake_tables)} tables x {ROWS_PER_TABLE} rows, num_hashes=128)",
+        ["path", "seconds", "speedup"],
+        [
+            ["cold (sketch every table)", f"{cold_seconds:.3f}", "1.0x"],
+            ["warm (catalog open)", f"{warm_seconds:.3f}", f"{speedup:.1f}x"],
+        ],
+    )
+
+    assert warm_results == cold_results, "warm results must match cold exactly"
+    assert speedup >= 5.0, (
+        f"warm open must be >=5x faster than cold build, got {speedup:.1f}x"
+    )
+
+
+def test_incremental_refresh_skips_unchanged_tables(lake_tables, catalog):
+    store = CatalogStore.open(catalog)
+    names = store.names[:10]
+
+    start = time.perf_counter()
+    rebuilt = sum(store.refresh(name, lake_tables[name]) for name in names)
+    hit_seconds = time.perf_counter() - start
+
+    changed = lake_tables[names[0]].head(50)
+    start = time.perf_counter()
+    store.refresh(names[0], changed)
+    rebuild_seconds = time.perf_counter() - start
+    store.refresh(names[0], lake_tables[names[0]])  # restore
+
+    print_table(
+        "E15b: refresh cost (10 unchanged tables vs. 1 changed)",
+        ["operation", "seconds"],
+        [
+            ["refresh x10, all fingerprint hits", f"{hit_seconds:.4f}"],
+            ["refresh x1, content changed", f"{rebuild_seconds:.4f}"],
+        ],
+    )
+    assert rebuilt == 0, "unchanged tables must not be re-sketched"

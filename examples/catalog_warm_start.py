@@ -1,0 +1,84 @@
+"""Catalog warm starts: sketch a lake once, discover from disk forever.
+
+Builds a small synthetic data lake, persists it into a
+:class:`respdi.catalog.CatalogStore`, then shows the three things the
+catalog buys you:
+
+1. **Warm-start discovery** — re-opening the catalog rehydrates a full
+   :class:`~respdi.discovery.DataLakeIndex` from sketches alone (no raw
+   data read) with byte-identical query results, several times faster
+   than re-sketching.
+2. **Incremental refresh** — unchanged tables are fingerprint hits;
+   only changed tables pay a re-sketch.
+3. **Integrity** — every file is checksummed into the manifest, so
+   corruption is detected at verify/load time instead of silently
+   skewing discovery results.
+
+Run:  python examples/catalog_warm_start.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from respdi.catalog import CatalogStore, load_catalog_index
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.discovery import DataLakeIndex
+
+SEED = 7
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="respdi-catalog-"))
+    lake = generate_lake(LakeSpec(n_distractors=20), rng=13)
+    query = lake.tables["query"]
+
+    # 1. One-time cold build: sketch every table and persist everything.
+    start = time.perf_counter()
+    store = CatalogStore.build(workdir / "lake.catalog", dict(lake.tables), rng=SEED)
+    build_s = time.perf_counter() - start
+    print(f"built catalog: {len(store.names)} tables in {build_s:.3f}s")
+    print(f"on disk at {store.directory}")
+
+    # 2. Cold baseline vs. warm open.  The warm path never touches the
+    #    raw tables — it loads signatures, sketches, and index state.
+    start = time.perf_counter()
+    cold = DataLakeIndex(rng=SEED)
+    for name, table in lake.tables.items():
+        cold.register(name, table)
+    cold_matches = cold.unionable_tables(query, k=5)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = load_catalog_index(workdir / "lake.catalog")
+    warm_matches = warm.unionable_tables(query, k=5)
+    warm_s = time.perf_counter() - start
+
+    print(f"\ncold build+query {cold_s:.3f}s  warm open+query {warm_s:.3f}s "
+          f"({cold_s / warm_s:.1f}x)")
+    print(f"identical results: {warm_matches == cold_matches}")
+    print("top unionable:", [m.table_name for m in warm_matches])
+
+    # 3. Incremental refresh: the unchanged table is a fingerprint hit,
+    #    the truncated one is re-sketched.
+    reopened = CatalogStore.open(workdir / "lake.catalog")
+    unchanged = reopened.refresh("union_0", lake.tables["union_0"])
+    changed = reopened.refresh("union_0", lake.tables["union_0"].head(10))
+    print(f"\nrefresh unchanged -> rebuilt={unchanged}, "
+          f"truncated -> rebuilt={changed}")
+    reopened.refresh("union_0", lake.tables["union_0"])  # restore
+
+    # 4. Integrity: flip a byte in one entry and verify catches it.
+    victim = next((workdir / "lake.catalog" / "entries").iterdir())
+    sketch_file = victim / "sketches.npz"
+    blob = bytearray(sketch_file.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    sketch_file.write_bytes(bytes(blob))
+    problems = CatalogStore.open(workdir / "lake.catalog").verify()
+    print(f"\nafter corrupting {sketch_file.name}: "
+          f"verify() reports {len(problems)} problem(s)")
+    print(" ", problems[0])
+
+
+if __name__ == "__main__":
+    main()

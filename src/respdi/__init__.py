@@ -15,6 +15,8 @@ Entry points:
   as auditable checks.
 * :mod:`respdi.discovery` — dataset search (sketches, LSH Ensemble, union
   search, join-correlation queries).
+* :mod:`respdi.catalog` — persistent, checksummed catalog of discovery
+  state with warm-start index rehydration.
 * :mod:`respdi.profiling` — profiles, nutritional labels, datasheets.
 * :mod:`respdi.coverage` — maximal uncovered patterns, coverage enhancement.
 * :mod:`respdi.cleaning` — imputation, error repair, imputation fairness.
@@ -31,6 +33,7 @@ Entry points:
   decorators (off by default; ``obs.enable()`` turns them on).
 """
 
+from respdi.catalog import CatalogStore, load_catalog_index
 from respdi.pipeline import PipelineResult, ResponsibleIntegrationPipeline
 from respdi.table import (
     MISSING,
@@ -48,6 +51,8 @@ __all__ = [
     "Schema",
     "Table",
     "MISSING",
+    "CatalogStore",
+    "load_catalog_index",
     "PipelineResult",
     "ResponsibleIntegrationPipeline",
     "__version__",

@@ -1,0 +1,64 @@
+"""Crash-safe filesystem primitives shared across the library.
+
+A half-written JSON label or catalog manifest is worse than none: a
+reader cannot tell truncation from corruption.  Every durable artifact
+respdi writes therefore goes through the same recipe — write to a
+temporary file in the *same directory* (so the final rename never
+crosses a filesystem), flush and fsync, then :func:`os.replace` onto the
+destination, which POSIX guarantees is atomic.  Readers see either the
+old complete file or the new complete file, never a mix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Best-effort fsync of *directory* so a rename survives power loss.
+
+    Some filesystems (and all of Windows) do not support opening a
+    directory for fsync; failures are swallowed because the rename itself
+    is already atomic — directory durability is a hardening extra.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace *path* with *data* (tmp file + fsync + rename)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace *path* with *text* (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))

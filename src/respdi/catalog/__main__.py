@@ -1,0 +1,8 @@
+"""``python -m respdi.catalog`` — the ``respdi-catalog`` command line."""
+
+import sys
+
+from respdi.catalog.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""``respdi-catalog`` — build, maintain, and query a persisted catalog.
+
+Usage::
+
+    respdi-catalog build DIR table1.csv table2.csv [--seed 7] [--store-data]
+    respdi-catalog add DIR table.csv [--name n] [--description text]
+        [--sensitive col,col] [--target y] [--store-data]
+    respdi-catalog remove DIR NAME
+    respdi-catalog refresh DIR table.csv [--name n]
+    respdi-catalog query DIR (--keyword TEXT | --union table.csv
+        | --join table.csv:COLUMN) [-k 10]
+    respdi-catalog verify DIR
+    respdi-catalog info DIR
+
+Exit codes: 0 success, 1 usage or runtime error, 2 verification failure
+— so ``respdi-catalog verify`` drops into CI integrity gates directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from respdi.catalog.store import CatalogStore
+from respdi.errors import RespdiError
+from respdi.table import read_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="respdi-catalog",
+        description="Persist and query data-lake discovery state.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="create a catalog from CSV tables")
+    build.add_argument("directory", help="catalog directory to create")
+    build.add_argument("csv", nargs="+", help="CSV tables (#types: header)")
+    build.add_argument("--num-hashes", type=int, default=128)
+    build.add_argument("--seed", type=int, default=None, help="MinHasher seed")
+    build.add_argument(
+        "--store-data", action="store_true", help="also store the CSV data"
+    )
+
+    add = sub.add_parser("add", help="register one CSV table")
+    add.add_argument("directory", help="existing catalog directory")
+    add.add_argument("csv", help="CSV table (#types: header)")
+    add.add_argument("--name", default=None, help="table name (default: stem)")
+    add.add_argument("--description", default=None)
+    add.add_argument(
+        "--sensitive",
+        default=None,
+        help="comma-separated sensitive columns (stores a nutritional label)",
+    )
+    add.add_argument("--target", default=None, help="target column for the label")
+    add.add_argument("--store-data", action="store_true")
+
+    remove = sub.add_parser("remove", help="drop a cataloged table")
+    remove.add_argument("directory")
+    remove.add_argument("name")
+
+    refresh = sub.add_parser(
+        "refresh", help="re-sketch a table only if its content changed"
+    )
+    refresh.add_argument("directory")
+    refresh.add_argument("csv")
+    refresh.add_argument("--name", default=None)
+
+    query = sub.add_parser("query", help="warm-start discovery queries")
+    query.add_argument("directory")
+    mode = query.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--keyword", default=None, help="keyword search text")
+    mode.add_argument(
+        "--union", default=None, help="CSV whose unionable tables to find"
+    )
+    mode.add_argument(
+        "--join",
+        default=None,
+        metavar="CSV:COLUMN",
+        help="find columns joinable with COLUMN of CSV",
+    )
+    query.add_argument("-k", type=int, default=10, help="max results")
+
+    verify = sub.add_parser("verify", help="check every file checksum")
+    verify.add_argument("directory")
+
+    info = sub.add_parser("info", help="print catalog configuration and entries")
+    info.add_argument("directory")
+
+    return parser
+
+
+def _table_name(csv_path: str, override: Optional[str]) -> str:
+    return override if override else Path(csv_path).stem
+
+
+def _cmd_build(args) -> int:
+    tables = {_table_name(path, None): read_csv(path) for path in args.csv}
+    store = CatalogStore.build(
+        args.directory,
+        tables,
+        store_data=args.store_data,
+        num_hashes=args.num_hashes,
+        rng=args.seed,
+    )
+    print(f"catalog created at {store.directory} with {len(store)} table(s)")
+    return 0
+
+
+def _cmd_add(args) -> int:
+    store = CatalogStore.open(args.directory)
+    sensitive = (
+        tuple(s.strip() for s in args.sensitive.split(",") if s.strip())
+        if args.sensitive
+        else None
+    )
+    name = _table_name(args.csv, args.name)
+    store.add_table(
+        name,
+        read_csv(args.csv),
+        description=args.description,
+        sensitive_columns=sensitive,
+        target_column=args.target,
+        store_data=args.store_data,
+    )
+    print(f"added {name!r} ({len(store)} table(s) cataloged)")
+    return 0
+
+
+def _cmd_remove(args) -> int:
+    store = CatalogStore.open(args.directory)
+    store.remove_table(args.name)
+    print(f"removed {args.name!r} ({len(store)} table(s) remain)")
+    return 0
+
+
+def _cmd_refresh(args) -> int:
+    store = CatalogStore.open(args.directory)
+    name = _table_name(args.csv, args.name)
+    rebuilt = store.refresh(name, read_csv(args.csv))
+    print(f"{name!r}: {'rebuilt' if rebuilt else 'unchanged (hit)'}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    index = CatalogStore.open(args.directory).index()
+    if args.keyword is not None:
+        for hit in index.keyword_search(args.keyword, k=args.k):
+            print(f"{hit.score:8.4f}  {hit.table_name}")
+    elif args.union is not None:
+        for cand in index.unionable_tables(read_csv(args.union), k=args.k):
+            print(f"{cand.score:8.4f}  {cand.table_name}")
+    else:
+        csv_path, _, column = args.join.rpartition(":")
+        if not csv_path:
+            raise RespdiError("--join expects CSV:COLUMN")
+        values = read_csv(csv_path).unique(column)
+        for cand in index.joinable_columns(values, k=args.k):
+            print(f"{cand.overlap:8d}  {cand.table_name}.{cand.column_name}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    problems = CatalogStore.open(args.directory).verify()
+    if problems:
+        for problem in problems:
+            print(f"CORRUPT: {problem}", file=sys.stderr)
+        return 2
+    print("catalog verified: all checksums match")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    store = CatalogStore.open(args.directory)
+    print(f"catalog at {store.directory}")
+    print(
+        f"  num_hashes={store.num_hashes} sketch_size={store.sketch_size} "
+        f"num_partitions={store.num_partitions}"
+    )
+    print(f"  hasher fingerprint {store.hasher.fingerprint}")
+    print(f"  {len(store)} table(s):")
+    for name in store.names:
+        meta = store.meta(name)
+        extras = []
+        if meta.get("sensitive_columns"):
+            extras.append("label")
+        if meta.get("stored_data"):
+            extras.append("data")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        print(f"    {name}: {meta['row_count']} rows{suffix}")
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "add": _cmd_add,
+    "remove": _cmd_remove,
+    "refresh": _cmd_refresh,
+    "query": _cmd_query,
+    "verify": _cmd_verify,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``respdi-catalog`` (also ``python -m respdi.catalog``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (RespdiError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Single-writer locking for an on-disk catalog.
+
+Concurrency model: **many readers, one writer**.  Readers never lock —
+every mutation lands via an atomic manifest replace, so a reader sees
+either the previous or the next consistent snapshot.  Writers serialize
+on a lock file created with ``O_CREAT | O_EXCL`` (atomic on every
+platform and on NFS since v3), which holds the owner's pid so a lock
+orphaned by a killed process can be detected and broken.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from respdi.errors import CatalogLockedError
+
+LOCK_FILENAME = "writer.lock"
+
+
+def _lock_owner(lock_path: Path) -> Optional[int]:
+    """The pid recorded in the lock file, or None if unreadable/gone."""
+    try:
+        text = lock_path.read_text().strip()
+        return int(text)
+    except (OSError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return True
+    return True
+
+
+def break_stale_lock(directory: Union[str, Path]) -> bool:
+    """Remove the lock file if its owning process is dead.
+
+    Returns True when a stale lock was removed.  Only same-host
+    liveness is checkable; a lock from another host is never broken.
+    """
+    lock_path = Path(directory) / LOCK_FILENAME
+    owner = _lock_owner(lock_path)
+    if owner is None or _pid_alive(owner):
+        return False
+    try:
+        lock_path.unlink()
+    except OSError:
+        return False
+    return True
+
+
+@contextmanager
+def writer_lock(
+    directory: Union[str, Path],
+    timeout: float = 10.0,
+    poll_interval: float = 0.05,
+) -> Iterator[None]:
+    """Hold the exclusive writer lock for *directory*.
+
+    Acquisition retries until *timeout* seconds elapse, breaking stale
+    locks (dead same-host owners) along the way, then raises
+    :class:`~respdi.errors.CatalogLockedError`.
+    """
+    lock_path = Path(directory) / LOCK_FILENAME
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(str(lock_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            if break_stale_lock(directory):
+                continue
+            if time.monotonic() >= deadline:
+                owner = _lock_owner(lock_path)
+                raise CatalogLockedError(
+                    f"catalog at {directory} is locked by "
+                    f"{'pid ' + str(owner) if owner else 'another writer'} "
+                    f"(waited {timeout:.1f}s)"
+                ) from None
+            time.sleep(poll_interval)
+    try:
+        os.write(fd, str(os.getpid()).encode("ascii"))
+    finally:
+        os.close(fd)
+    try:
+        yield
+    finally:
+        try:
+            lock_path.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass

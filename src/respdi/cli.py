@@ -105,6 +105,13 @@ def _print_metrics() -> None:
     print(obs.global_registry().to_json(indent=2))
 
 
+def catalog_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``respdi-catalog`` (delegates to respdi.catalog.cli)."""
+    from respdi.catalog.cli import main as _catalog_main
+
+    return _catalog_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)

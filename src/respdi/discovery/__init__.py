@@ -18,13 +18,21 @@ Implements the search primitives the tutorial surveys:
   estimation from coordinated key samples (Santos et al., SIGMOD 2021);
 * :mod:`respdi.discovery.lake_index` — a facade combining the above,
   including *unbiased feature discovery* (§5): rank joinable features by
-  target correlation while penalizing sensitive-attribute association.
+  target correlation while penalizing sensitive-attribute association;
+* :mod:`respdi.discovery.serialize` — byte-deterministic ``.npz``
+  persistence for hashers, signature families, and LSH ensembles (the
+  substrate of :mod:`respdi.catalog` warm starts).
 """
 
 from respdi.discovery.correlation_sketches import CorrelationSketch
 from respdi.discovery.joinability import JoinabilityIndex
-from respdi.discovery.keyword import KeywordIndex
-from respdi.discovery.lake_index import DataLakeIndex, FeatureCandidate
+from respdi.discovery.keyword import KeywordIndex, table_token_counts
+from respdi.discovery.lake_index import (
+    DataLakeIndex,
+    FeatureCandidate,
+    TableArtifacts,
+    build_table_artifacts,
+)
 from respdi.discovery.lazo import LazoEstimate, LazoSketch
 from respdi.discovery.lshensemble import LSHEnsemble
 from respdi.discovery.minhash import MinHasher, MinHashSignature
@@ -32,6 +40,16 @@ from respdi.discovery.navigation import (
     LakeOrganization,
     NavigationResult,
     OrganizationNode,
+)
+from respdi.discovery.serialize import (
+    load_npz,
+    lshensemble_from_npz,
+    lshensemble_to_npz,
+    minhasher_from_npz,
+    minhasher_to_npz,
+    save_npz,
+    signatures_from_npz,
+    signatures_to_npz,
 )
 from respdi.discovery.unionsearch import (
     UnionSearch,
@@ -50,10 +68,21 @@ __all__ = [
     "UnionSearch",
     "JoinabilityIndex",
     "KeywordIndex",
+    "table_token_counts",
     "CorrelationSketch",
     "DataLakeIndex",
     "FeatureCandidate",
+    "TableArtifacts",
+    "build_table_artifacts",
     "LakeOrganization",
     "NavigationResult",
     "OrganizationNode",
+    "save_npz",
+    "load_npz",
+    "minhasher_to_npz",
+    "minhasher_from_npz",
+    "signatures_to_npz",
+    "signatures_from_npz",
+    "lshensemble_to_npz",
+    "lshensemble_from_npz",
 ]

@@ -36,19 +36,42 @@ class JoinabilityIndex:
     def __init__(self) -> None:
         self._postings: Dict[Hashable, Set[ColumnRef]] = defaultdict(set)
         self._column_sizes: Dict[ColumnRef, int] = {}
+        self._column_values: Dict[ColumnRef, Set[Hashable]] = {}
 
     def add_table(self, name: str, table: Table) -> None:
         """Index every categorical column of *table*."""
         for column in table.schema.categorical_names:
-            ref = (name, column)
-            if ref in self._column_sizes:
-                raise SpecificationError(f"column {ref!r} already indexed")
-            values = set(table.unique(column))
-            if not values:
-                continue
-            self._column_sizes[ref] = len(values)
-            for value in values:
-                self._postings[value].add(ref)
+            self.add_column((name, column), set(table.unique(column)))
+
+    def add_column(self, ref: ColumnRef, values: Iterable[Hashable]) -> None:
+        """Index one column's distinct values under *ref* (warm path)."""
+        if ref in self._column_sizes:
+            raise SpecificationError(f"column {ref!r} already indexed")
+        values = set(values)
+        if not values:
+            return
+        self._column_sizes[ref] = len(values)
+        self._column_values[ref] = values
+        for value in values:
+            self._postings[value].add(ref)
+
+    def remove_table(self, name: str) -> None:
+        """Drop every indexed column of table *name*."""
+        refs = [ref for ref in self._column_sizes if ref[0] == name]
+        for ref in refs:
+            for value in self._column_values[ref]:
+                postings = self._postings[value]
+                postings.discard(ref)
+                if not postings:
+                    del self._postings[value]
+            del self._column_sizes[ref]
+            del self._column_values[ref]
+
+    def column_values(self, ref: ColumnRef) -> Set[Hashable]:
+        """The distinct values indexed under *ref* (for persistence)."""
+        if ref not in self._column_values:
+            raise SpecificationError(f"column {ref!r} is not indexed")
+        return set(self._column_values[ref])
 
     @property
     def num_columns(self) -> int:

@@ -32,6 +32,29 @@ class KeywordHit:
     score: float
 
 
+def table_token_counts(
+    name: str,
+    table: Table,
+    description: Optional[str] = None,
+    values_per_column: int = 50,
+) -> Counter:
+    """The bag of tokens :class:`KeywordIndex` indexes for one table.
+
+    Exposed separately so a catalog can compute (and persist) the token
+    counts once at registration time and rehydrate the index later via
+    :meth:`KeywordIndex.add_document` without re-reading the table.
+    """
+    tokens: List[str] = tokenize(name)
+    if description:
+        tokens += tokenize(description)
+    for column in table.column_names:
+        tokens += tokenize(column)
+    for column in table.schema.categorical_names:
+        for value in table.unique(column)[:values_per_column]:
+            tokens += tokenize(str(value))
+    return Counter(tokens)
+
+
 class KeywordIndex:
     """TF-IDF index over table metadata."""
 
@@ -46,20 +69,37 @@ class KeywordIndex:
         self, name: str, table: Table, description: Optional[str] = None
     ) -> None:
         """Index *table* under *name* with an optional free-text description."""
+        self.add_document(
+            name,
+            table_token_counts(
+                name, table, description, values_per_column=self.values_per_column
+            ),
+        )
+
+    def add_document(self, name: str, token_counts: Counter) -> None:
+        """Index precomputed token counts under *name* (warm path)."""
         if name in self._docs:
             raise SpecificationError(f"table {name!r} already indexed")
-        tokens: List[str] = tokenize(name)
-        if description:
-            tokens += tokenize(description)
-        for column in table.column_names:
-            tokens += tokenize(column)
-        for column in table.schema.categorical_names:
-            for value in table.unique(column)[: self.values_per_column]:
-                tokens += tokenize(str(value))
-        counts = Counter(tokens)
+        counts = Counter(token_counts)
         self._docs[name] = counts
         for token in counts:
             self._doc_freq[token] += 1
+
+    def remove_table(self, name: str) -> None:
+        """Drop *name* and its document-frequency contributions."""
+        if name not in self._docs:
+            raise SpecificationError(f"table {name!r} is not indexed")
+        for token in self._docs[name]:
+            self._doc_freq[token] -= 1
+            if self._doc_freq[token] <= 0:
+                del self._doc_freq[token]
+        del self._docs[name]
+
+    def document(self, name: str) -> Counter:
+        """The indexed token counts of *name* (for persistence)."""
+        if name not in self._docs:
+            raise SpecificationError(f"table {name!r} is not indexed")
+        return Counter(self._docs[name])
 
     def search(self, query: str, k: int = 10) -> List[KeywordHit]:
         """Top-*k* tables by TF-IDF cosine relevance to *query*."""

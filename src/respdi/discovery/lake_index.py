@@ -6,22 +6,35 @@ interface a responsible-integration pipeline actually calls:
 * keyword search over metadata;
 * unionable-table search (sketch-based alignment);
 * joinable-column search (exact overlap);
+* containment-threshold domain search (LSH Ensemble);
 * **unbiased feature discovery** (tutorial §5): rank joinable numeric
   features by estimated post-join correlation with the query's target
   while *penalizing* association with the query's sensitive attribute —
   "informative but not biased" made operational.
+
+All sketch-based sub-indexes share one :class:`MinHasher`, so a table is
+sketched exactly once.  The per-table sketch state is factored into
+:class:`TableArtifacts` (built by :func:`build_table_artifacts`): the
+cold path builds artifacts from a :class:`~respdi.table.Table` and
+registers them; the warm path (:mod:`respdi.catalog`) deserializes the
+same artifacts from disk and registers them without touching raw data —
+which is what makes warm and cold query results identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, MutableMapping, Optional, Tuple
 
 import numpy as np
 
 from respdi.discovery.correlation_sketches import CorrelationSketch
 from respdi.discovery.joinability import JoinabilityIndex, JoinCandidate
-from respdi.discovery.keyword import KeywordHit, KeywordIndex
+from respdi.discovery.keyword import KeywordHit, KeywordIndex, table_token_counts
+from respdi.discovery.lazo import LazoSketch
+from respdi.discovery.lshensemble import LSHEnsemble
+from respdi.discovery.minhash import MinHasher
 from respdi.discovery.unionsearch import UnionCandidate, UnionSearch
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.obs import counted, timed
@@ -42,6 +55,73 @@ class FeatureCandidate:
     sample_size: int
 
 
+@dataclass
+class TableArtifacts:
+    """Everything the index keeps per registered table.
+
+    ``column_values`` holds the distinct values of each non-empty
+    categorical column (the exact joinability substrate);
+    ``column_sketches`` the per-column Lazo sketches (union + containment
+    search); ``token_counts`` the keyword document; ``feature_sketches``
+    the per-(key column, feature column) correlation sketches.
+    """
+
+    name: str
+    description: Optional[str]
+    schema: List[Tuple[str, str]]
+    row_count: int
+    token_counts: Counter
+    column_values: Dict[str, List[Hashable]]
+    column_sketches: Dict[str, LazoSketch]
+    feature_sketches: Dict[Tuple[str, str], CorrelationSketch] = field(
+        default_factory=dict
+    )
+
+
+def build_table_artifacts(
+    name: str,
+    table: Table,
+    description: Optional[str] = None,
+    hasher: Optional[MinHasher] = None,
+    sketch_size: int = 64,
+    values_per_column: int = 50,
+) -> TableArtifacts:
+    """Sketch *table* once into the artifacts every sub-index consumes."""
+    if hasher is None:
+        raise SpecificationError("build_table_artifacts requires a hasher")
+    token_counts = table_token_counts(
+        name, table, description, values_per_column=values_per_column
+    )
+    column_values: Dict[str, List[Hashable]] = {}
+    column_sketches: Dict[str, LazoSketch] = {}
+    for column in table.schema.categorical_names:
+        values = table.unique(column)
+        if not values:
+            continue
+        column_values[column] = values
+        column_sketches[column] = LazoSketch.build(values, hasher)
+    feature_sketches: Dict[Tuple[str, str], CorrelationSketch] = {}
+    for key_column in table.schema.categorical_names:
+        keys = list(table.column(key_column))
+        for feature_column in table.schema.numeric_names:
+            values = list(table.column(feature_column))
+            try:
+                sketch = CorrelationSketch.build(keys, values, size=sketch_size)
+            except EmptyInputError:
+                continue
+            feature_sketches[(key_column, feature_column)] = sketch
+    return TableArtifacts(
+        name=name,
+        description=description,
+        schema=[(spec.name, spec.ctype.value) for spec in table.schema],
+        row_count=len(table),
+        token_counts=token_counts,
+        column_values=column_values,
+        column_sketches=column_sketches,
+        feature_sketches=feature_sketches,
+    )
+
+
 class DataLakeIndex:
     """Register tables once; run every flavor of discovery against them."""
 
@@ -50,36 +130,87 @@ class DataLakeIndex:
         num_hashes: int = 128,
         sketch_size: int = 64,
         rng=None,
+        num_partitions: int = 4,
+        hasher: Optional[MinHasher] = None,
     ) -> None:
+        self.hasher = hasher if hasher is not None else MinHasher(num_hashes, rng)
         self.keyword = KeywordIndex()
         self.joinability = JoinabilityIndex()
-        self.union = UnionSearch(num_hashes=num_hashes, rng=rng)
+        self.union = UnionSearch(hasher=self.hasher)
         self.sketch_size = sketch_size
-        self.tables: Dict[str, Table] = {}
+        self.num_partitions = num_partitions
+        self.tables: MutableMapping[str, Table] = {}
+        self._registered: Dict[str, TableArtifacts] = {}
         self._feature_sketches: Dict[Tuple[str, str, str], CorrelationSketch] = {}
+        self._domain_signatures: Dict[Tuple[str, str], object] = {}
+        self._containment: Optional[LSHEnsemble] = None
+
+    @property
+    def table_names(self) -> List[str]:
+        """Registered table names, in registration order."""
+        return list(self._registered)
+
+    def artifacts(self, name: str) -> TableArtifacts:
+        """The artifacts registered for *name* (for persistence)."""
+        if name not in self._registered:
+            raise SpecificationError(f"table {name!r} is not registered")
+        return self._registered[name]
 
     @timed("discovery.lake_index.register")
     def register(
         self, name: str, table: Table, description: Optional[str] = None
     ) -> None:
-        """Add *table* to every sub-index."""
-        if name in self.tables:
+        """Add *table* to every sub-index (cold path: sketches it now)."""
+        if name in self._registered:
             raise SpecificationError(f"table {name!r} already registered")
-        self.tables[name] = table
-        self.keyword.add_table(name, table, description)
-        self.joinability.add_table(name, table)
-        self.union.add_table(name, table)
-        for key_column in table.schema.categorical_names:
-            keys = list(table.column(key_column))
-            for feature_column in table.schema.numeric_names:
-                values = list(table.column(feature_column))
-                try:
-                    sketch = CorrelationSketch.build(
-                        keys, values, size=self.sketch_size
-                    )
-                except EmptyInputError:
-                    continue
-                self._feature_sketches[(name, key_column, feature_column)] = sketch
+        artifacts = build_table_artifacts(
+            name,
+            table,
+            description,
+            hasher=self.hasher,
+            sketch_size=self.sketch_size,
+            values_per_column=self.keyword.values_per_column,
+        )
+        self.register_artifacts(artifacts, table=table)
+
+    def register_artifacts(
+        self, artifacts: TableArtifacts, table: Optional[Table] = None
+    ) -> None:
+        """Add a table from precomputed :class:`TableArtifacts` (warm path).
+
+        When *table* is omitted the index serves every sketch-backed
+        query; only :attr:`tables` (raw-data access) stays empty for it.
+        """
+        name = artifacts.name
+        if name in self._registered:
+            raise SpecificationError(f"table {name!r} already registered")
+        self.keyword.add_document(name, artifacts.token_counts)
+        for column, values in artifacts.column_values.items():
+            self.joinability.add_column((name, column), values)
+        self.union.add_sketches(name, artifacts.column_sketches)
+        for column, sketch in artifacts.column_sketches.items():
+            self._domain_signatures[(name, column)] = sketch.signature
+        for (key_column, feature_column), sketch in artifacts.feature_sketches.items():
+            self._feature_sketches[(name, key_column, feature_column)] = sketch
+        self._registered[name] = artifacts
+        self._containment = None
+        if table is not None:
+            self.tables[name] = table
+
+    def unregister(self, name: str) -> None:
+        """Remove *name* from every sub-index."""
+        if name not in self._registered:
+            raise SpecificationError(f"table {name!r} is not registered")
+        artifacts = self._registered.pop(name)
+        self.keyword.remove_table(name)
+        self.joinability.remove_table(name)
+        self.union.remove_table(name)
+        for column in artifacts.column_sketches:
+            del self._domain_signatures[(name, column)]
+        for key_column, feature_column in artifacts.feature_sketches:
+            del self._feature_sketches[(name, key_column, feature_column)]
+        self._containment = None
+        self.tables.pop(name, None)
 
     # -- search modes --------------------------------------------------------
 
@@ -96,6 +227,31 @@ class DataLakeIndex:
         self, values, k: int = 10, min_overlap: int = 1
     ) -> List[JoinCandidate]:
         return self.joinability.query(values, k, min_overlap)
+
+    @timed("discovery.lake_index.containment_query")
+    def containment_search(
+        self, values, containment_threshold: float, k: Optional[int] = None
+    ) -> List[Tuple[Tuple[str, str], float]]:
+        """Columns whose domains contain the query set above the threshold.
+
+        Returns ``[((table, column), estimated_containment)]`` sorted by
+        estimate, descending.  The LSH Ensemble is rebuilt lazily from
+        the shared-hasher domain signatures when the registered set has
+        changed — partitioning is cheap, sketching is not, and the
+        signatures are already in hand.
+        """
+        if not self._domain_signatures:
+            raise EmptyInputError("no tables registered")
+        if self._containment is None:
+            ensemble = LSHEnsemble(
+                hasher=self.hasher, num_partitions=self.num_partitions
+            )
+            for key, signature in self._domain_signatures.items():
+                ensemble.index_signature(key, signature)
+            ensemble.freeze()
+            self._containment = ensemble
+        hits = self._containment.query(values, containment_threshold)
+        return hits[:k] if k is not None else hits
 
     @timed("discovery.lake_index.feature_query")
     def discover_features(

@@ -98,11 +98,29 @@ class LSHEnsemble:
     @counted("discovery.lshensemble.domains_indexed")
     def index(self, key: Hashable, values: Iterable[Hashable]) -> None:
         """Add a domain under *key* (must be called before :meth:`freeze`)."""
+        self.index_signature(key, self.hasher.signature(values))
+
+    def index_signature(self, key: Hashable, signature: MinHashSignature) -> None:
+        """Add a domain from an already-computed signature.
+
+        This is the warm-start path: a catalog that persisted signatures
+        can rebuild the ensemble without touching raw values.  The
+        signature must come from this ensemble's own hasher.
+        """
         if self._frozen:
             raise SpecificationError("cannot index after freeze()")
         if key in self._pending:
             raise SpecificationError(f"duplicate domain key {key!r}")
-        self._pending[key] = self.hasher.signature(values)
+        if signature.hasher_id != self.hasher.hasher_id:
+            raise SpecificationError(
+                "signature comes from a different MinHasher than this ensemble's"
+            )
+        self._pending[key] = signature
+
+    @property
+    def signatures(self) -> Dict[Hashable, MinHashSignature]:
+        """All indexed domain signatures, keyed as indexed (for persistence)."""
+        return dict(self._pending)
 
     @timed("discovery.lshensemble.freeze")
     def freeze(self) -> None:

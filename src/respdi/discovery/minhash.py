@@ -77,6 +77,53 @@ class MinHasher:
         self.hasher_id = MinHasher._next_id
         MinHasher._next_id += 1
 
+    @classmethod
+    def from_coefficients(cls, a: np.ndarray, b: np.ndarray) -> "MinHasher":
+        """Rebuild a hasher from persisted coefficient arrays.
+
+        The reconstructed hasher produces signatures byte-identical to
+        the original's, but carries a fresh ``hasher_id``: persisted
+        signatures must be re-tagged with it on load (mixing ids is how
+        cross-hasher comparison bugs are caught in memory).
+        """
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        if a.ndim != 1 or a.shape != b.shape or a.size < 1:
+            raise SpecificationError(
+                "coefficient arrays must be equal-length 1-D and non-empty"
+            )
+        prime = int(_MERSENNE_PRIME)
+        if int(a.max()) >= prime or int(a.min()) < 1 or int(b.max()) >= prime:
+            raise SpecificationError(
+                "coefficients out of range for the 2^31 - 1 field"
+            )
+        hasher = cls.__new__(cls)
+        hasher.num_hashes = int(a.size)
+        hasher._a = a
+        hasher._b = b
+        hasher.hasher_id = MinHasher._next_id
+        MinHasher._next_id += 1
+        return hasher
+
+    @property
+    def coefficients(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Copies of the ``(a, b)`` coefficient arrays (for persistence)."""
+        return self._a.copy(), self._b.copy()
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable blake2b hex digest of the coefficient arrays.
+
+        Two hashers with equal fingerprints produce identical signatures
+        for identical inputs, so persisted signatures are only loadable
+        under a hasher whose fingerprint matches the one recorded at
+        save time.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self._a.tobytes())
+        digest.update(self._b.tobytes())
+        return digest.hexdigest()
+
     @timed("discovery.minhash.signature")
     def signature(self, values: Iterable[Hashable]) -> MinHashSignature:
         """Signature of the distinct values in *values*."""

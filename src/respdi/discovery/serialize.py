@@ -1,0 +1,221 @@
+"""Persistence for discovery sketches (``.npz``, byte-deterministic).
+
+Persisted sketches must satisfy two properties a plain ``np.savez``
+does not give:
+
+* **determinism** — the catalog's integrity story is "blake2b checksums
+  recorded in a manifest", which only works if the same arrays always
+  produce the same bytes.  ``zipfile`` stamps the current mtime into
+  every member, so :func:`save_npz` writes the zip container itself with
+  a fixed timestamp (and ``np.load`` reads it back like any npz);
+* **hasher binding** — a MinHash signature is meaningless without the
+  hash family that produced it, so signature files embed the producing
+  hasher's fingerprint and loading under a different hasher fails
+  loudly instead of silently returning garbage similarities.
+
+Keys (table/column identifiers) are JSON-encoded; tuples round-trip as
+tuples.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from respdi._fsutil import atomic_write_bytes
+from respdi.discovery.lshensemble import LSHEnsemble
+from respdi.discovery.minhash import MinHasher, MinHashSignature
+from respdi.errors import SpecificationError
+
+#: Fixed ZIP member timestamp (the DOS-epoch floor) for reproducible bytes.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def save_npz(path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write *arrays* as a byte-deterministic, atomically-replaced ``.npz``.
+
+    Members are written in sorted-name order with a fixed timestamp and
+    no compression, so identical arrays yield identical file bytes in
+    every process.  The result is readable with plain :func:`np.load`.
+    """
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_STORED) as archive:
+        for name in sorted(arrays):
+            member = io.BytesIO()
+            np.lib.format.write_array(
+                member, np.asarray(arrays[name]), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o644 << 16
+            archive.writestr(info, member.getvalue())
+    atomic_write_bytes(path, buffer.getvalue())
+
+
+def load_npz(path) -> Dict[str, np.ndarray]:
+    """Load every member of an ``.npz`` into a plain dict (no pickle)."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _encode_keys(keys) -> str:
+    """JSON-encode signature keys; tuples become tagged lists."""
+
+    def encode(key: Hashable):
+        if isinstance(key, tuple):
+            return {"t": [encode(part) for part in key]}
+        if key is None or isinstance(key, (str, int, float, bool)):
+            return {"v": key}
+        raise SpecificationError(
+            f"signature key {key!r} is not JSON-serializable "
+            "(expected str/int/float/bool/None or tuples thereof)"
+        )
+
+    return json.dumps([encode(key) for key in keys], sort_keys=True)
+
+
+def _decode_keys(text: str) -> list:
+    def decode(item):
+        if "t" in item:
+            return tuple(decode(part) for part in item["t"])
+        return item["v"]
+
+    return [decode(item) for item in json.loads(text)]
+
+
+# -- MinHasher ---------------------------------------------------------------
+
+
+def minhasher_to_npz(path, hasher: MinHasher) -> None:
+    """Persist a hasher's coefficient arrays."""
+    a, b = hasher.coefficients
+    save_npz(path, {"a": a, "b": b})
+
+
+def minhasher_from_npz(path) -> MinHasher:
+    """Rebuild a hasher persisted by :func:`minhasher_to_npz`."""
+    arrays = load_npz(path)
+    if "a" not in arrays or "b" not in arrays:
+        raise SpecificationError(f"{path} is not a persisted MinHasher")
+    return MinHasher.from_coefficients(arrays["a"], arrays["b"])
+
+
+# -- signatures --------------------------------------------------------------
+
+
+def signatures_to_npz(
+    path, signatures: Dict[Hashable, MinHashSignature], hasher: MinHasher
+) -> None:
+    """Persist a keyed family of signatures from one *hasher*."""
+    save_npz(path, signatures_to_arrays(signatures, hasher))
+
+
+def signatures_from_npz(path, hasher: MinHasher) -> Dict[Hashable, MinHashSignature]:
+    """Load signatures, re-tagged with (and validated against) *hasher*."""
+    arrays = load_npz(path)
+    return signatures_from_arrays(arrays, hasher, source=str(path))
+
+
+def signatures_from_arrays(
+    arrays: Dict[str, np.ndarray], hasher: MinHasher, source: str = "<arrays>"
+) -> Dict[Hashable, MinHashSignature]:
+    """Rebuild signatures from the in-memory array dict of a signature npz."""
+    try:
+        keys = _decode_keys(str(arrays["keys_json"]))
+        values = np.asarray(arrays["values"], dtype=np.uint64)
+        cardinalities = np.asarray(arrays["cardinalities"], dtype=np.int64)
+        fingerprint = str(arrays["hasher_fingerprint"])
+    except KeyError as exc:
+        raise SpecificationError(
+            f"{source} is not a persisted signature family (missing {exc})"
+        ) from None
+    if fingerprint != hasher.fingerprint:
+        raise SpecificationError(
+            f"{source}: signatures were produced by a different MinHasher "
+            f"(fingerprint {fingerprint} != {hasher.fingerprint})"
+        )
+    if values.ndim != 2 or values.shape[1] != hasher.num_hashes:
+        raise SpecificationError(
+            f"{source}: signature width {values.shape} does not match "
+            f"num_hashes={hasher.num_hashes}"
+        )
+    if len(keys) != values.shape[0] or len(keys) != cardinalities.shape[0]:
+        raise SpecificationError(f"{source}: key/signature count mismatch")
+    return {
+        key: MinHashSignature(
+            values[i].copy(),
+            cardinality=int(cardinalities[i]),
+            hasher_id=hasher.hasher_id,
+        )
+        for i, key in enumerate(keys)
+    }
+
+
+def signatures_to_arrays(
+    signatures: Dict[Hashable, MinHashSignature], hasher: MinHasher
+) -> Dict[str, np.ndarray]:
+    """The array dict :func:`signatures_to_npz` would write (for embedding
+    signature families inside a larger npz, as catalog entries do)."""
+    keys = list(signatures)
+    for key in keys:
+        if signatures[key].hasher_id != hasher.hasher_id:
+            raise SpecificationError(
+                f"signature {key!r} comes from a different MinHasher"
+            )
+    values = (
+        np.stack([signatures[key].values for key in keys])
+        if keys
+        else np.empty((0, hasher.num_hashes), dtype=np.uint64)
+    )
+    return {
+        "keys_json": np.array(_encode_keys(keys)),
+        "values": values.astype(np.uint64),
+        "cardinalities": np.array(
+            [signatures[key].cardinality for key in keys], dtype=np.int64
+        ),
+        "hasher_fingerprint": np.array(hasher.fingerprint),
+    }
+
+
+# -- LSH Ensemble ------------------------------------------------------------
+
+
+def lshensemble_to_npz(path, ensemble: LSHEnsemble) -> None:
+    """Persist an ensemble: hasher coefficients, partitioning, signatures."""
+    a, b = ensemble.hasher.coefficients
+    arrays = signatures_to_arrays(ensemble.signatures, ensemble.hasher)
+    arrays.update(
+        {
+            "a": a,
+            "b": b,
+            "num_partitions": np.array(ensemble.num_partitions, dtype=np.int64),
+        }
+    )
+    save_npz(path, arrays)
+
+
+def lshensemble_from_npz(path, hasher: Optional[MinHasher] = None) -> LSHEnsemble:
+    """Rebuild (and freeze) a persisted ensemble.
+
+    When *hasher* is given it must match the persisted coefficients;
+    otherwise the embedded coefficients reconstruct the hasher.
+    """
+    arrays = load_npz(path)
+    for required in ("a", "b", "num_partitions"):
+        if required not in arrays:
+            raise SpecificationError(f"{path} is not a persisted LSHEnsemble")
+    if hasher is None:
+        hasher = MinHasher.from_coefficients(arrays["a"], arrays["b"])
+    signatures = signatures_from_arrays(arrays, hasher, source=str(path))
+    ensemble = LSHEnsemble(
+        hasher=hasher, num_partitions=int(arrays["num_partitions"])
+    )
+    for key, signature in signatures.items():
+        ensemble.index_signature(key, signature)
+    if signatures:
+        ensemble.freeze()
+    return ensemble

@@ -81,19 +81,46 @@ class UnionSearch:
     so the index never rescans table contents at query time.
     """
 
-    def __init__(self, num_hashes: int = 128, rng=None) -> None:
-        self.hasher = MinHasher(num_hashes, rng)
+    def __init__(
+        self,
+        num_hashes: int = 128,
+        rng=None,
+        hasher: Optional[MinHasher] = None,
+    ) -> None:
+        self.hasher = hasher if hasher is not None else MinHasher(num_hashes, rng)
         self._sketches: Dict[str, Dict[str, LazoSketch]] = {}
 
     def add_table(self, name: str, table: Table) -> None:
-        if name in self._sketches:
-            raise SpecificationError(f"table {name!r} already indexed")
         sketches: Dict[str, LazoSketch] = {}
         for column in table.schema.categorical_names:
             values = table.unique(column)
             if values:
                 sketches[column] = LazoSketch.build(values, self.hasher)
-        self._sketches[name] = sketches
+        self.add_sketches(name, sketches)
+
+    def add_sketches(self, name: str, sketches: Dict[str, LazoSketch]) -> None:
+        """Index *name* from already-built per-column sketches (warm path)."""
+        if name in self._sketches:
+            raise SpecificationError(f"table {name!r} already indexed")
+        for column, sketch in sketches.items():
+            if sketch.signature.hasher_id != self.hasher.hasher_id:
+                raise SpecificationError(
+                    f"sketch for column {column!r} comes from a different "
+                    "MinHasher than this index's"
+                )
+        self._sketches[name] = dict(sketches)
+
+    def remove_table(self, name: str) -> None:
+        """Drop *name* from the index."""
+        if name not in self._sketches:
+            raise SpecificationError(f"table {name!r} is not indexed")
+        del self._sketches[name]
+
+    def column_sketches(self, name: str) -> Dict[str, LazoSketch]:
+        """The per-column sketches indexed for *name* (for persistence)."""
+        if name not in self._sketches:
+            raise SpecificationError(f"table {name!r} is not indexed")
+        return dict(self._sketches[name])
 
     def search(
         self, query: Table, k: int = 10, columns: Optional[Sequence[str]] = None

@@ -56,3 +56,23 @@ class ConvergenceError(RespdiError):
 
 class NotFittedError(RespdiError):
     """A model or estimator was used before being fitted."""
+
+
+class CatalogError(RespdiError):
+    """A persistent-catalog operation failed (unknown entry, missing data,
+    a directory that is not a catalog, ...)."""
+
+
+class CatalogCorruptError(CatalogError):
+    """On-disk catalog state fails integrity checks.
+
+    Raised when a manifest or entry file is unreadable, a blake2b
+    checksum recorded in the manifest does not match the bytes on disk,
+    or persisted sketches were produced by a different MinHasher than the
+    one the manifest declares.
+    """
+
+
+class CatalogLockedError(CatalogError):
+    """Another writer holds the catalog's lock file and the acquisition
+    timeout elapsed."""

@@ -141,7 +141,13 @@ class ResponsibleIntegrationPipeline:
         """Unionable tables in *lake* for the query's schema, as candidate
         sources.  Only candidates exposing every sensitive column (after
         alignment) qualify — a source that cannot identify groups cannot
-        participate in tailoring."""
+        participate in tailoring.
+
+        *lake* may also be a :class:`~respdi.catalog.CatalogStore` (any
+        object exposing ``index()``): the pipeline then warm-starts from
+        the persisted catalog, loading candidate tables lazily."""
+        if not isinstance(lake, DataLakeIndex) and hasattr(lake, "index"):
+            lake = lake.index()
         candidates = lake.unionable_tables(query, k=k)
         out: Dict[str, Table] = {}
         for candidate in candidates:

@@ -13,7 +13,10 @@
   maximal uncovered patterns, feature bias/informativeness, and per-group
   missingness;
 * :mod:`respdi.profiling.datasheets` — Datasheets for Datasets (Gebru
-  et al., CACM 2021) with auto-filled composition statistics.
+  et al., CACM 2021) with auto-filled composition statistics;
+* :mod:`respdi.profiling.export` / :mod:`respdi.profiling.load` —
+  versioned, atomically-written JSON round-tripping for labels,
+  datasheets, and audit reports.
 """
 
 from respdi.profiling.association import AssociationRule, mine_association_rules
@@ -24,12 +27,22 @@ from respdi.profiling.dependencies import (
     find_functional_dependencies,
 )
 from respdi.profiling.export import (
+    EXPORT_SCHEMA_VERSION,
     audit_to_dict,
     datasheet_to_dict,
     dump_json,
     label_to_dict,
+    profile_to_dict,
 )
 from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
+from respdi.profiling.load import (
+    dict_to_audit,
+    dict_to_datasheet,
+    dict_to_label,
+    dict_to_profile,
+    load_artifact,
+    load_json,
+)
 from respdi.profiling.profiles import ColumnProfile, TableProfile, profile_table
 
 __all__ = [
@@ -45,8 +58,16 @@ __all__ = [
     "build_nutritional_label",
     "Datasheet",
     "build_datasheet",
+    "EXPORT_SCHEMA_VERSION",
     "label_to_dict",
     "datasheet_to_dict",
     "audit_to_dict",
+    "profile_to_dict",
     "dump_json",
+    "load_json",
+    "load_artifact",
+    "dict_to_label",
+    "dict_to_datasheet",
+    "dict_to_audit",
+    "dict_to_profile",
 ]

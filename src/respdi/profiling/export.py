@@ -5,6 +5,12 @@ they travel with the data (§2.5).  These converters produce plain
 JSON-serializable dictionaries — tuple keys become readable strings,
 NumPy scalars become Python numbers — so artifacts can be persisted
 next to a CSV export or attached to a catalog entry.
+
+Every exported artifact carries a ``schema_version`` so the loaders in
+:mod:`respdi.profiling.load` can reject payloads written by a future,
+incompatible exporter instead of silently misreading them.  Files are
+written atomically (tmp + ``os.replace``): a crashed audit never leaves
+a truncated label on disk.
 """
 
 from __future__ import annotations
@@ -14,9 +20,15 @@ from typing import Any, Dict
 
 import numpy as np
 
+from respdi._fsutil import atomic_write_text
 from respdi.profiling.datasheets import Datasheet
 from respdi.profiling.labels import NutritionalLabel
+from respdi.profiling.profiles import TableProfile
 from respdi.requirements.base import AuditReport
+
+#: Version stamped into every exported artifact dict.  Bump when a field
+#: changes meaning or shape incompatibly; loaders reject higher versions.
+EXPORT_SCHEMA_VERSION = 1
 
 
 def _plain(value: Any) -> Any:
@@ -42,30 +54,63 @@ def _key(key: Any) -> str:
     return str(key)
 
 
-def label_to_dict(label: NutritionalLabel) -> Dict[str, Any]:
-    """A :class:`NutritionalLabel` as a JSON-serializable dict."""
-    profile = label.profile
+def profile_to_dict(profile: TableProfile) -> Dict[str, Any]:
+    """A :class:`TableProfile` as a JSON-serializable dict (lossless up to
+    the string flattening of categorical top values)."""
     return _plain(
         {
             "rows": profile.row_count,
             "complete_row_fraction": profile.complete_row_fraction,
-            "sensitive_columns": list(label.sensitive_columns),
-            "target_column": label.target_column,
             "columns": {
                 name: {
                     "type": column.ctype,
+                    "missing": column.missing_count,
                     "missing_rate": column.missing_rate,
                     "distinct": column.distinct_count,
+                    "min": column.minimum,
+                    "max": column.maximum,
+                    "mean": column.mean,
+                    "std": column.std,
+                    "top_values": [
+                        [value, count] for value, count in column.top_values
+                    ],
                 }
                 for name, column in profile.columns.items()
             },
+        }
+    )
+
+
+def label_to_dict(label: NutritionalLabel) -> Dict[str, Any]:
+    """A :class:`NutritionalLabel` as a JSON-serializable dict."""
+    profile_payload = profile_to_dict(label.profile)
+    return _plain(
+        {
+            "schema_version": EXPORT_SCHEMA_VERSION,
+            "artifact": "nutritional_label",
+            "rows": label.profile.row_count,
+            "complete_row_fraction": label.profile.complete_row_fraction,
+            "sensitive_columns": list(label.sensitive_columns),
+            "target_column": label.target_column,
+            "columns": profile_payload["columns"],
             "feature_target_correlation": label.feature_target_correlation,
             "feature_sensitive_association": label.feature_sensitive_association,
             "sensitive_target_fds": [
                 {"determinant": list(d), "dependent": dep, "violation_ratio": r}
                 for d, dep, r in label.sensitive_target_fds
             ],
-            "bias_rules": [str(rule) for rule in label.bias_rules],
+            "bias_rules": [
+                {
+                    "antecedent_column": rule.antecedent_column,
+                    "antecedent_value": rule.antecedent_value,
+                    "consequent_column": rule.consequent_column,
+                    "consequent_value": rule.consequent_value,
+                    "support": rule.support,
+                    "confidence": rule.confidence,
+                    "lift": rule.lift,
+                }
+                for rule in label.bias_rules
+            ],
             "uncovered_patterns": list(label.uncovered_patterns),
             "label_parity_by_attribute": label.label_parity_by_attribute,
             "attribute_diversity": label.attribute_diversity,
@@ -77,6 +122,8 @@ def label_to_dict(label: NutritionalLabel) -> Dict[str, Any]:
 def datasheet_to_dict(sheet: Datasheet) -> Dict[str, Any]:
     """A :class:`Datasheet` as a JSON-serializable dict."""
     out: Dict[str, Any] = {
+        "schema_version": EXPORT_SCHEMA_VERSION,
+        "artifact": "datasheet",
         "title": sheet.title,
         "sections": {
             section: [
@@ -90,21 +137,7 @@ def datasheet_to_dict(sheet: Datasheet) -> Dict[str, Any]:
         "discouraged_uses": list(sheet.discouraged_uses),
     }
     if sheet.composition_profile is not None:
-        profile = sheet.composition_profile
-        out["composition"] = _plain(
-            {
-                "rows": profile.row_count,
-                "complete_row_fraction": profile.complete_row_fraction,
-                "columns": {
-                    name: {
-                        "type": column.ctype,
-                        "missing_rate": column.missing_rate,
-                        "distinct": column.distinct_count,
-                    }
-                    for name, column in profile.columns.items()
-                },
-            }
-        )
+        out["composition"] = profile_to_dict(sheet.composition_profile)
     return out
 
 
@@ -112,6 +145,8 @@ def audit_to_dict(audit: AuditReport) -> Dict[str, Any]:
     """An :class:`AuditReport` as a JSON-serializable dict."""
     return _plain(
         {
+            "schema_version": EXPORT_SCHEMA_VERSION,
+            "artifact": "audit",
             "passed": audit.passed,
             "requirements": [
                 {
@@ -128,7 +163,11 @@ def audit_to_dict(audit: AuditReport) -> Dict[str, Any]:
 
 
 def dump_json(artifact: Any, path) -> None:
-    """Serialize a label / datasheet / audit (or plain dict) to *path*."""
+    """Serialize a label / datasheet / audit (or plain dict) to *path*.
+
+    The write is atomic (tmp file + fsync + rename, shared with the
+    catalog writer): readers never observe a truncated artifact.
+    """
     if isinstance(artifact, NutritionalLabel):
         payload = label_to_dict(artifact)
     elif isinstance(artifact, Datasheet):
@@ -137,5 +176,6 @@ def dump_json(artifact: Any, path) -> None:
         payload = audit_to_dict(artifact)
     else:
         payload = _plain(artifact)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    # Insertion order is meaningful (e.g. profile columns render in
+    # schema order) and deterministic; do not sort keys away.
+    atomic_write_text(path, json.dumps(payload, indent=2))

@@ -1,0 +1,207 @@
+"""Loaders mirroring :mod:`respdi.profiling.export`.
+
+:func:`dump_json` made labels, datasheets, and audits travel; these
+loaders bring them back, so a catalog (or any downstream consumer) can
+rehydrate the artifact objects without the original table.  Every loader
+checks the payload's ``schema_version`` and raises
+:class:`~respdi.errors.SpecificationError` on versions this library does
+not understand — misreading a future export silently would be worse
+than failing.
+
+Reconstruction caveats (inherent to the JSON form): tuple keys were
+flattened with ``"|"`` and are split back on it, so column names and
+group values containing ``"|"`` do not round-trip; non-string group
+values come back as strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List, Tuple
+
+from respdi.errors import SpecificationError
+from respdi.profiling.association import AssociationRule
+from respdi.profiling.datasheets import Datasheet
+from respdi.profiling.export import EXPORT_SCHEMA_VERSION
+from respdi.profiling.labels import NutritionalLabel
+from respdi.profiling.profiles import ColumnProfile, TableProfile
+from respdi.requirements.base import AuditReport, RequirementReport
+
+
+def load_json(path) -> Dict[str, Any]:
+    """Read one exported artifact payload (a plain dict) from *path*."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise SpecificationError(f"{path} does not hold a JSON object")
+    return payload
+
+
+def _check_version(payload: Dict[str, Any], artifact: str) -> None:
+    version = payload.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SpecificationError(
+            f"payload has no integer schema_version; cannot load as {artifact}"
+        )
+    if not 1 <= version <= EXPORT_SCHEMA_VERSION:
+        raise SpecificationError(
+            f"unknown schema_version {version} (this library reads "
+            f"1..{EXPORT_SCHEMA_VERSION})"
+        )
+    declared = payload.get("artifact")
+    if declared is not None and declared != artifact:
+        raise SpecificationError(
+            f"payload declares artifact {declared!r}, expected {artifact!r}"
+        )
+
+
+def _split_key(flat: str) -> Tuple[str, ...]:
+    return tuple(flat.split("|"))
+
+
+def dict_to_profile(payload: Dict[str, Any]) -> TableProfile:
+    """Rebuild a :class:`TableProfile` from :func:`profile_to_dict` output."""
+    rows = int(payload["rows"])
+    columns: Dict[str, ColumnProfile] = {}
+    for name, column in payload.get("columns", {}).items():
+        missing = column.get("missing")
+        if missing is None:  # derived form: invert the exported rate
+            missing = int(round(float(column.get("missing_rate", 0.0)) * rows))
+        columns[name] = ColumnProfile(
+            name=name,
+            ctype=column["type"],
+            row_count=rows,
+            missing_count=int(missing),
+            distinct_count=int(column.get("distinct", 0)),
+            minimum=column.get("min"),
+            maximum=column.get("max"),
+            mean=column.get("mean"),
+            std=column.get("std"),
+            top_values=tuple(
+                (value, int(count))
+                for value, count in column.get("top_values", [])
+            ),
+        )
+    profile = TableProfile(row_count=rows, columns=columns)
+    object.__setattr__(
+        profile, "_complete_fraction", float(payload.get("complete_row_fraction", 0.0))
+    )
+    return profile
+
+
+def dict_to_label(payload: Dict[str, Any]) -> NutritionalLabel:
+    """Rebuild a :class:`NutritionalLabel` from :func:`label_to_dict` output."""
+    _check_version(payload, "nutritional_label")
+    profile = dict_to_profile(payload)
+    association: Dict[Tuple[str, str], float] = {}
+    for flat, value in payload.get("feature_sensitive_association", {}).items():
+        parts = _split_key(flat)
+        if len(parts) != 2:
+            raise SpecificationError(
+                f"association key {flat!r} does not split into (feature, sensitive)"
+            )
+        association[parts] = float(value)
+    fds: List[Tuple[Tuple[str, ...], str, float]] = [
+        (tuple(fd["determinant"]), fd["dependent"], float(fd["violation_ratio"]))
+        for fd in payload.get("sensitive_target_fds", [])
+    ]
+    rules: List[AssociationRule] = []
+    for rule in payload.get("bias_rules", []):
+        if not isinstance(rule, dict):
+            raise SpecificationError(
+                "bias_rules holds non-structured entries; the payload was "
+                "written by an exporter this loader does not understand"
+            )
+        rules.append(
+            AssociationRule(
+                antecedent_column=rule["antecedent_column"],
+                antecedent_value=rule["antecedent_value"],
+                consequent_column=rule["consequent_column"],
+                consequent_value=rule["consequent_value"],
+                support=float(rule["support"]),
+                confidence=float(rule["confidence"]),
+                lift=float(rule["lift"]),
+            )
+        )
+    group_missing: Dict[str, Dict[Hashable, float]] = {
+        column: {_split_key(flat): float(rate) for flat, rate in rates.items()}
+        for column, rates in payload.get("group_missing_rates", {}).items()
+    }
+    return NutritionalLabel(
+        profile=profile,
+        sensitive_columns=tuple(payload.get("sensitive_columns", ())),
+        target_column=payload.get("target_column"),
+        feature_target_correlation={
+            name: float(value)
+            for name, value in payload.get("feature_target_correlation", {}).items()
+        },
+        feature_sensitive_association=association,
+        sensitive_target_fds=fds,
+        bias_rules=rules,
+        uncovered_patterns=list(payload.get("uncovered_patterns", [])),
+        label_parity_by_attribute={
+            name: float(value)
+            for name, value in payload.get("label_parity_by_attribute", {}).items()
+        },
+        attribute_diversity={
+            name: float(value)
+            for name, value in payload.get("attribute_diversity", {}).items()
+        },
+        group_missing_rates=group_missing,
+    )
+
+
+def dict_to_datasheet(payload: Dict[str, Any]) -> Datasheet:
+    """Rebuild a :class:`Datasheet` from :func:`datasheet_to_dict` output."""
+    _check_version(payload, "datasheet")
+    answers: Dict[str, List[Tuple[str, str]]] = {
+        section: [(entry["question"], entry["answer"]) for entry in entries]
+        for section, entries in payload.get("sections", {}).items()
+    }
+    sheet = Datasheet(
+        title=payload["title"],
+        answers=answers,
+        known_limitations=list(payload.get("known_limitations", [])),
+        recommended_uses=list(payload.get("recommended_uses", [])),
+        discouraged_uses=list(payload.get("discouraged_uses", [])),
+    )
+    if "composition" in payload:
+        sheet.composition_profile = dict_to_profile(payload["composition"])
+    return sheet
+
+
+def dict_to_audit(payload: Dict[str, Any]) -> AuditReport:
+    """Rebuild an :class:`AuditReport` from :func:`audit_to_dict` output."""
+    _check_version(payload, "audit")
+    reports = [
+        RequirementReport(
+            requirement=entry["requirement"],
+            passed=bool(entry["passed"]),
+            score=float(entry["score"]),
+            details=dict(entry.get("details", {})),
+            message=entry.get("message", ""),
+        )
+        for entry in payload.get("requirements", [])
+    ]
+    return AuditReport(reports=reports)
+
+
+def load_artifact(path):
+    """Load an exported JSON file back into its artifact object.
+
+    Dispatches on the payload's ``artifact`` tag (the inverse of
+    :func:`~respdi.profiling.export.dump_json`).
+    """
+    payload = load_json(path)
+    artifact = payload.get("artifact")
+    loaders = {
+        "nutritional_label": dict_to_label,
+        "datasheet": dict_to_datasheet,
+        "audit": dict_to_audit,
+    }
+    if artifact not in loaders:
+        raise SpecificationError(
+            f"{path} declares artifact {artifact!r}; expected one of "
+            f"{sorted(loaders)}"
+        )
+    return loaders[artifact](payload)

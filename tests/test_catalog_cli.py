@@ -1,0 +1,104 @@
+"""respdi-catalog command line: build, add, query, verify, exit codes."""
+
+import pytest
+
+from respdi.catalog.cli import main as catalog_main
+from respdi.cli import catalog_main as wired_catalog_main
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.table import write_csv
+
+
+@pytest.fixture(scope="module")
+def lake_csvs(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("lakecsv")
+    lake = generate_lake(LakeSpec(n_distractors=3), rng=11)
+    paths = {}
+    for name, table in lake.tables.items():
+        path = directory / f"{name}.csv"
+        write_csv(table, path)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture
+def catalog_dir(tmp_path, lake_csvs):
+    directory = tmp_path / "cat"
+    csvs = [str(lake_csvs[name]) for name in sorted(lake_csvs) if name != "query"]
+    assert catalog_main(["build", str(directory), *csvs, "--seed", "7"]) == 0
+    return directory
+
+
+def test_build_and_info(catalog_dir, capsys):
+    assert catalog_main(["info", str(catalog_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "table(s):" in out
+    assert "union_0" in out
+
+
+def test_add_remove_refresh(catalog_dir, lake_csvs, capsys):
+    assert catalog_main(["add", str(catalog_dir), str(lake_csvs["query"])]) == 0
+    assert (
+        catalog_main(["refresh", str(catalog_dir), str(lake_csvs["query"])]) == 0
+    )
+    assert "unchanged (hit)" in capsys.readouterr().out
+    assert catalog_main(["remove", str(catalog_dir), "query"]) == 0
+    # Removing again is a runtime error, not a crash.
+    assert catalog_main(["remove", str(catalog_dir), "query"]) == 1
+
+
+def test_query_keyword_union_join(catalog_dir, lake_csvs, capsys):
+    query_csv = str(lake_csvs["query"])
+    assert catalog_main(["query", str(catalog_dir), "--keyword", "union"]) == 0
+    assert catalog_main(["query", str(catalog_dir), "--union", query_csv]) == 0
+    capsys.readouterr()
+    assert (
+        catalog_main(
+            ["query", str(catalog_dir), "--join", f"{query_csv}:key", "-k", "3"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "joinable_" in out
+
+
+def test_verify_clean_and_corrupted(catalog_dir, capsys):
+    assert catalog_main(["verify", str(catalog_dir)]) == 0
+    assert "verified" in capsys.readouterr().out
+    # Corrupt one entry file: verify must exit non-zero and name it.
+    victim = next((catalog_dir / "entries").iterdir())
+    target = victim / "columns.json"
+    target.write_text(target.read_text() + " ")
+    assert catalog_main(["verify", str(catalog_dir)]) == 2
+    assert "CORRUPT" in capsys.readouterr().err
+
+
+def test_add_with_label(catalog_dir, lake_csvs, capsys):
+    assert (
+        catalog_main(
+            [
+                "add",
+                str(catalog_dir),
+                str(lake_csvs["query"]),
+                "--name",
+                "labeled",
+                "--sensitive",
+                "q_c0",
+                "--store-data",
+            ]
+        )
+        == 0
+    )
+    assert catalog_main(["info", str(catalog_dir)]) == 0
+    assert "[label, data]" in capsys.readouterr().out
+
+
+def test_error_paths(tmp_path, capsys):
+    assert catalog_main(["info", str(tmp_path / "missing")]) == 1
+    assert "error:" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        catalog_main(["query", str(tmp_path)])  # no query mode given
+
+
+def test_console_script_wiring(catalog_dir):
+    """respdi-catalog's pyproject entry point delegates to the same main."""
+    assert wired_catalog_main(["verify", str(catalog_dir)]) == 0

@@ -1,0 +1,80 @@
+"""Cross-process determinism: signatures and catalog bytes are seed-stable.
+
+MinHash value hashing and all catalog checksums are built on blake2b,
+not Python's randomized ``hash()``, so two processes with *different*
+``PYTHONHASHSEED`` values must produce byte-identical signatures,
+``.npz`` files, and manifest checksums.  Anything less would break the
+catalog's integrity story (a checksum that depends on the process that
+wrote it is not a checksum).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_SCRIPT = r"""
+import hashlib, json, sys
+from pathlib import Path
+
+from respdi.catalog import CatalogStore
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.discovery import MinHasher
+
+out_dir = Path(sys.argv[1])
+
+hasher = MinHasher(32, rng=5)
+signature = hasher.signature(["a", "b", ("tuple", 1), 3, 2.5])
+lake = generate_lake(LakeSpec(n_distractors=3), rng=11)
+store = CatalogStore.build(out_dir / "cat", dict(lake.tables), rng=7)
+
+checksums = {}
+for path in sorted((out_dir / "cat").rglob("*")):
+    if path.is_file() and path.name != "writer.lock":
+        checksums[str(path.relative_to(out_dir / "cat"))] = hashlib.blake2b(
+            path.read_bytes(), digest_size=16
+        ).hexdigest()
+
+print(json.dumps({
+    "signature": signature.values.tolist(),
+    "fingerprint": hasher.fingerprint,
+    "checksums": checksums,
+}))
+"""
+
+
+def _run_catalog_build(tmp_path: Path, hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out_dir = tmp_path / f"seed{hash_seed}"
+    out_dir.mkdir()
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, str(out_dir)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def test_catalog_bytes_identical_across_hash_seeds(tmp_path):
+    first = _run_catalog_build(tmp_path, "1")
+    second = _run_catalog_build(tmp_path, "2")
+
+    assert first["signature"] == second["signature"]
+    assert first["fingerprint"] == second["fingerprint"]
+    assert first["checksums"].keys() == second["checksums"].keys()
+    mismatched = [
+        name
+        for name in first["checksums"]
+        if first["checksums"][name] != second["checksums"][name]
+    ]
+    assert mismatched == [], f"files differ across PYTHONHASHSEED: {mismatched}"
+    # Sanity: the build actually produced catalog content.
+    assert any(name.startswith("entries/") for name in first["checksums"])
+    assert "MANIFEST.json" in first["checksums"]

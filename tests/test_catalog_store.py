@@ -1,0 +1,267 @@
+"""CatalogStore: warm/cold parity, integrity, refresh, and concurrency."""
+
+import threading
+
+import pytest
+
+from respdi import obs
+from respdi.catalog import CatalogStore, load_catalog_index, writer_lock
+from respdi.catalog.store import table_fingerprint
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.discovery import DataLakeIndex
+from respdi.errors import (
+    CatalogCorruptError,
+    CatalogLockedError,
+    SpecificationError,
+)
+from respdi.profiling import build_datasheet
+from respdi.table import Table
+
+
+@pytest.fixture(scope="module")
+def lake_tables():
+    return dict(generate_lake(LakeSpec(n_distractors=6), rng=3).tables)
+
+
+@pytest.fixture
+def cold_index(lake_tables):
+    index = DataLakeIndex(rng=7)
+    for name, table in lake_tables.items():
+        index.register(name, table)
+    return index
+
+
+@pytest.fixture
+def store(tmp_path, lake_tables):
+    return CatalogStore.build(tmp_path / "cat", lake_tables, rng=7)
+
+
+def test_warm_results_identical_to_cold(store, cold_index, lake_tables):
+    warm = CatalogStore.open(store.directory).index()
+    query = lake_tables["query"]
+
+    assert warm.keyword_search("query", k=10) == cold_index.keyword_search(
+        "query", k=10
+    )
+    assert warm.unionable_tables(query, k=10) == cold_index.unionable_tables(
+        query, k=10
+    )
+    values = query.unique("q_c0")
+    assert warm.joinable_columns(values, k=10) == cold_index.joinable_columns(
+        values, k=10
+    )
+    assert warm.containment_search(values, 0.3) == cold_index.containment_search(
+        values, 0.3
+    )
+    assert warm.discover_features(
+        query, "key", "target", sensitive_column="q_c0"
+    ) == cold_index.discover_features(
+        query, "key", "target", sensitive_column="q_c0"
+    )
+
+
+def test_warm_start_reads_no_raw_data(store):
+    warm = load_catalog_index(store.directory)
+    assert set(warm.table_names) == set(store.names)
+    # No data was stored, so raw-table access is empty — but every
+    # sketch-backed query above still works.
+    assert len(warm.tables) == 0
+
+
+def test_stored_data_loads_lazily(tmp_path, lake_tables):
+    store = CatalogStore.build(tmp_path / "cat", lake_tables, rng=7, store_data=True)
+    warm = store.index()
+    loaded = warm.tables["query"]
+    assert loaded.equals(lake_tables["query"])
+
+
+def test_roundtrip_table_and_fingerprint(tmp_path, lake_tables):
+    store = CatalogStore.build(tmp_path / "cat", lake_tables, rng=7, store_data=True)
+    name = store.names[0]
+    assert table_fingerprint(store.table(name)) == table_fingerprint(
+        lake_tables[name]
+    )
+
+
+def test_add_duplicate_and_remove(store, lake_tables):
+    with pytest.raises(SpecificationError):
+        store.add_table("query", lake_tables["query"])
+    n = len(store)
+    store.remove_table("query")
+    assert len(store) == n - 1
+    assert "query" not in store
+    assert "query" not in store.index().table_names
+    with pytest.raises(SpecificationError):
+        store.remove_table("query")
+    # Reopening sees the removal too (manifest was rewritten).
+    assert "query" not in CatalogStore.open(store.directory)
+
+
+def test_refresh_hit_and_rebuild(store, lake_tables):
+    query = lake_tables["query"]
+    assert store.refresh("query", query) is False
+    changed = query.head(max(1, len(query) - 5))
+    assert store.refresh("query", changed) is True
+    assert store.verify() == []
+    # The refreshed entry's fingerprint persists across reopen.
+    reopened = CatalogStore.open(store.directory)
+    assert (
+        reopened._manifest["entries"]["query"]["fingerprint"]
+        == table_fingerprint(changed)
+    )
+
+
+def test_refresh_counters(store, lake_tables, monkeypatch):
+    obs.enable()
+    obs.reset()
+    try:
+        store.refresh("query", lake_tables["query"])
+        store.refresh("query", lake_tables["query"].head(10))
+        snapshot = obs.global_registry().snapshot()
+        counters = {
+            name: value for name, value in snapshot.get("counters", {}).items()
+        }
+        assert counters.get("catalog.hit", 0) >= 1
+        assert counters.get("catalog.rebuild", 0) >= 1
+    finally:
+        obs.disable()
+
+
+def test_corrupted_entry_detected(store):
+    name = store.names[0]
+    record = store._manifest["entries"][name]
+    target = store.directory / "entries" / record["dir"] / "sketches.npz"
+    target.write_bytes(b"garbage" + target.read_bytes()[7:])
+    problems = store.verify()
+    assert any("sketches.npz" in problem for problem in problems)
+    fresh = CatalogStore.open(store.directory)
+    with pytest.raises(CatalogCorruptError):
+        fresh.index()
+
+
+def test_missing_entry_file_detected(store):
+    name = store.names[0]
+    record = store._manifest["entries"][name]
+    (store.directory / "entries" / record["dir"] / "keyword.json").unlink()
+    assert any("keyword.json" in problem for problem in store.verify())
+    with pytest.raises(CatalogCorruptError):
+        CatalogStore.open(store.directory).index()
+
+
+def test_mixed_hasher_rejected(store):
+    from respdi.discovery import MinHasher, minhasher_to_npz
+
+    minhasher_to_npz(store.directory / "hasher.npz", MinHasher(128, rng=999))
+    with pytest.raises(CatalogCorruptError):
+        CatalogStore.open(store.directory)
+
+
+def test_unknown_schema_version_rejected(store):
+    import json
+
+    manifest_path = store.directory / "MANIFEST.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["schema_version"] = 999
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(SpecificationError, match="schema_version"):
+        CatalogStore.open(store.directory)
+
+
+def test_open_nonexistent_directory(tmp_path):
+    with pytest.raises(SpecificationError, match="not a catalog"):
+        CatalogStore.open(tmp_path / "nope")
+
+
+def test_create_twice_rejected(store, tmp_path):
+    with pytest.raises(SpecificationError, match="already"):
+        CatalogStore.create(store.directory)
+
+
+def test_label_and_datasheet_roundtrip(tmp_path, small_table):
+    sheet = build_datasheet(
+        title="small",
+        table=small_table,
+        motivation="testing",
+        collection_process="synthetic",
+    )
+    store = CatalogStore.create(tmp_path / "cat", rng=1)
+    store.add_table(
+        "small",
+        small_table,
+        description="tiny demo table",
+        sensitive_columns=("race",),
+        target_column=None,
+        datasheet=sheet,
+    )
+    label = store.label("small")
+    assert label is not None
+    assert label.sensitive_columns == ("race",)
+    loaded_sheet = store.datasheet("small")
+    assert loaded_sheet is not None
+    assert loaded_sheet.render() == sheet.render()
+    # Tables without artifacts return None, not an error.
+    store.add_table("plain", small_table.head(3))
+    assert store.label("plain") is None
+    assert store.datasheet("plain") is None
+
+
+def test_writer_lock_contention(store, lake_tables):
+    store.lock_timeout = 0.2
+    with writer_lock(store.directory, timeout=1.0):
+        with pytest.raises(CatalogLockedError):
+            store.remove_table("query")
+    # Lock released: the mutation now goes through.
+    store.remove_table("query")
+
+
+def test_stale_lock_broken(store):
+    # A lock file owned by a dead pid must not block writers forever.
+    (store.directory / "writer.lock").write_text("999999999")
+    store.lock_timeout = 2.0
+    store.remove_table("query")
+    assert "query" not in store
+
+
+def test_concurrent_readers(store, cold_index, lake_tables):
+    query = lake_tables["query"]
+    expected = cold_index.unionable_tables(query, k=5)
+    errors = []
+
+    def reader():
+        try:
+            warm = CatalogStore.open(store.directory).index()
+            assert warm.unionable_tables(query, k=5) == expected
+        except Exception as exc:  # pragma: no cover - surfaced via errors
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+def test_index_cache_and_invalidation(store, lake_tables):
+    first = store.index()
+    assert store.index() is first
+    store.remove_table("query")
+    second = store.index()
+    assert second is not first
+    assert "query" not in second.table_names
+
+
+def test_cold_register_on_warm_index(store, lake_tables, small_table):
+    """A warm index keeps working as a normal DataLakeIndex."""
+    warm = store.index()
+    warm.register("extra", small_table)
+    assert "extra" in warm.table_names
+    assert warm.tables["extra"].equals(small_table)
+
+
+def test_entry_gc(store, lake_tables):
+    entries_dir = store.directory / "entries"
+    before = {child.name for child in entries_dir.iterdir()}
+    store.remove_table("query")
+    after = {child.name for child in entries_dir.iterdir()}
+    assert len(after) == len(before) - 1

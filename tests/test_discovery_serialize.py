@@ -1,0 +1,122 @@
+"""npz persistence: round-trips, hasher binding, deterministic bytes."""
+
+import numpy as np
+import pytest
+
+from respdi.discovery import (
+    LSHEnsemble,
+    MinHasher,
+    load_npz,
+    lshensemble_from_npz,
+    lshensemble_to_npz,
+    minhasher_from_npz,
+    minhasher_to_npz,
+    save_npz,
+    signatures_from_npz,
+    signatures_to_npz,
+)
+from respdi.errors import SpecificationError
+
+
+@pytest.fixture
+def hasher():
+    return MinHasher(32, rng=5)
+
+
+def test_save_npz_deterministic_bytes(tmp_path):
+    arrays = {"x": np.arange(10, dtype=np.uint64), "y": np.eye(3)}
+    save_npz(tmp_path / "a.npz", arrays)
+    save_npz(tmp_path / "b.npz", dict(reversed(list(arrays.items()))))
+    assert (tmp_path / "a.npz").read_bytes() == (tmp_path / "b.npz").read_bytes()
+    loaded = load_npz(tmp_path / "a.npz")
+    assert np.array_equal(loaded["x"], arrays["x"])
+    assert np.array_equal(loaded["y"], arrays["y"])
+
+
+def test_minhasher_roundtrip_same_signatures(tmp_path, hasher):
+    minhasher_to_npz(tmp_path / "h.npz", hasher)
+    loaded = minhasher_from_npz(tmp_path / "h.npz")
+    assert loaded.fingerprint == hasher.fingerprint
+    values = ["a", "b", "c", 4]
+    assert np.array_equal(
+        loaded.signature(values).values, hasher.signature(values).values
+    )
+    # Fresh identity: signatures from the two hashers must not be mixed.
+    assert loaded.hasher_id != hasher.hasher_id
+
+
+def test_minhasher_npz_rejects_garbage(tmp_path):
+    save_npz(tmp_path / "h.npz", {"a": np.array([1], dtype=np.uint64)})
+    with pytest.raises(SpecificationError):
+        minhasher_from_npz(tmp_path / "h.npz")
+
+
+def test_signatures_roundtrip_with_tuple_keys(tmp_path, hasher):
+    signatures = {
+        ("table", "col"): hasher.signature(["x", "y", "z"]),
+        "plain": hasher.signature([1, 2, 3, 4]),
+    }
+    signatures_to_npz(tmp_path / "s.npz", signatures, hasher)
+    loaded = signatures_from_npz(tmp_path / "s.npz", hasher)
+    assert set(loaded) == {("table", "col"), "plain"}
+    for key, signature in signatures.items():
+        assert np.array_equal(loaded[key].values, signature.values)
+        assert loaded[key].cardinality == signature.cardinality
+        assert loaded[key].hasher_id == hasher.hasher_id
+
+
+def test_signatures_reject_foreign_hasher(tmp_path, hasher):
+    signatures = {"s": hasher.signature(["x", "y"])}
+    signatures_to_npz(tmp_path / "s.npz", signatures, hasher)
+    other = MinHasher(32, rng=6)
+    with pytest.raises(SpecificationError, match="different MinHasher"):
+        signatures_from_npz(tmp_path / "s.npz", other)
+
+
+def test_signatures_reject_wrong_width(tmp_path, hasher):
+    signatures_to_npz(tmp_path / "s.npz", {"s": hasher.signature([1, 2])}, hasher)
+    arrays = load_npz(tmp_path / "s.npz")
+    arrays["values"] = arrays["values"][:, :16]
+    save_npz(tmp_path / "bad.npz", arrays)
+    # Same fingerprint, truncated signature matrix: width check fires.
+    with pytest.raises(SpecificationError, match="num_hashes"):
+        signatures_from_npz(tmp_path / "bad.npz", hasher)
+
+
+def test_empty_signature_family_roundtrips(tmp_path, hasher):
+    signatures_to_npz(tmp_path / "s.npz", {}, hasher)
+    assert signatures_from_npz(tmp_path / "s.npz", hasher) == {}
+
+
+def test_lshensemble_roundtrip_same_queries(tmp_path, hasher):
+    domains = {
+        ("t1", "c1"): [f"v{i}" for i in range(100)],
+        ("t2", "c1"): [f"v{i}" for i in range(40)],
+        ("t3", "c9"): [f"w{i}" for i in range(200)],
+    }
+    ensemble = LSHEnsemble(hasher=hasher, num_partitions=2)
+    for key, values in domains.items():
+        ensemble.index(key, values)
+    ensemble.freeze()
+    lshensemble_to_npz(tmp_path / "e.npz", ensemble)
+
+    query = [f"v{i}" for i in range(30)]
+    expected = ensemble.query(query, 0.5)
+
+    with_hasher = lshensemble_from_npz(tmp_path / "e.npz", hasher=hasher)
+    assert with_hasher.query(query, 0.5) == expected
+
+    standalone = lshensemble_from_npz(tmp_path / "e.npz")
+    assert standalone.query(query, 0.5) == expected
+
+
+def test_lshensemble_from_npz_rejects_non_ensemble(tmp_path, hasher):
+    signatures_to_npz(tmp_path / "s.npz", {"s": hasher.signature([1])}, hasher)
+    with pytest.raises(SpecificationError, match="LSHEnsemble"):
+        lshensemble_from_npz(tmp_path / "s.npz")
+
+
+def test_unserializable_key_rejected(tmp_path, hasher):
+    signatures = {frozenset({1}): hasher.signature([1, 2])}
+    with pytest.raises(SpecificationError, match="not JSON-serializable"):
+        signatures_to_npz(tmp_path / "s.npz", signatures, hasher)

@@ -105,3 +105,26 @@ def test_discover_sources_from_lake(health_population_module, sources):
     assert set(discovered) == set(sources)
     for table in discovered.values():
         assert "gender" in table.schema and "race" in table.schema
+
+
+def test_discover_sources_from_catalog(
+    tmp_path, health_population_module, sources
+):
+    """discover_sources warm-starts straight from a CatalogStore."""
+    from respdi.catalog import CatalogStore
+
+    population = health_population_module
+    store = CatalogStore.build(
+        tmp_path / "cat", dict(sources), rng=0, store_data=True
+    )
+    pipeline = ResponsibleIntegrationPipeline(("gender", "race"))
+    query = population.sample(50, rng=55)
+
+    cold_lake = DataLakeIndex(rng=0)
+    for name, table in sources.items():
+        cold_lake.register(name, table)
+    cold = pipeline.discover_sources(cold_lake, query, k=6)
+    warm = pipeline.discover_sources(store, query, k=6)
+    assert set(warm) == set(cold) == set(sources)
+    for name in warm:
+        assert warm[name].equals(cold[name])

@@ -1,0 +1,150 @@
+"""profiling.load: JSON artifacts round-trip back into objects."""
+
+import json
+
+import pytest
+
+from respdi.profiling import (
+    EXPORT_SCHEMA_VERSION,
+    build_datasheet,
+    build_nutritional_label,
+    dict_to_audit,
+    dict_to_datasheet,
+    dict_to_label,
+    dict_to_profile,
+    dump_json,
+    label_to_dict,
+    load_artifact,
+    load_json,
+    profile_to_dict,
+    profile_table,
+)
+from respdi.errors import SpecificationError
+from respdi.profiling.datasheets import Datasheet
+from respdi.profiling.labels import NutritionalLabel
+from respdi.requirements import (
+    AuditReport,
+    CompletenessCorrectnessRequirement,
+    audit_requirements,
+)
+
+
+@pytest.fixture
+def label(small_table):
+    return build_nutritional_label(small_table, ["race"], target_column="age")
+
+
+def test_profile_roundtrip(small_table):
+    profile = profile_table(small_table)
+    loaded = dict_to_profile(profile_to_dict(profile))
+    assert loaded.row_count == profile.row_count
+    assert list(loaded.columns) == list(profile.columns)
+    for name in profile.columns:
+        original, restored = profile.columns[name], loaded.columns[name]
+        assert restored.ctype == original.ctype
+        assert restored.missing_count == original.missing_count
+        assert restored.distinct_count == original.distinct_count
+        assert restored.top_values == original.top_values
+    assert loaded.complete_row_fraction == profile.complete_row_fraction
+
+
+def test_label_roundtrip_renders_identically(tmp_path, label):
+    path = tmp_path / "label.json"
+    dump_json(label, path)
+    loaded = dict_to_label(load_json(path))
+    assert isinstance(loaded, NutritionalLabel)
+    assert loaded.render() == label.render()
+    assert loaded.sensitive_columns == label.sensitive_columns
+    assert loaded.feature_sensitive_association == (
+        label.feature_sensitive_association
+    )
+    assert loaded.bias_rules == label.bias_rules
+    # Documented caveat: group values pass through string keys, so None
+    # comes back as "None"; rates themselves are preserved exactly.
+    stringified = {
+        column: {
+            tuple(str(part) for part in key): rate for key, rate in rates.items()
+        }
+        for column, rates in label.group_missing_rates.items()
+    }
+    assert loaded.group_missing_rates == stringified
+
+
+def test_datasheet_roundtrip_renders_identically(tmp_path, small_table):
+    sheet = build_datasheet(
+        title="demo",
+        table=small_table,
+        motivation="round-trip test",
+        collection_process="synthetic",
+        recommended_uses=["testing"],
+        known_limitations=["tiny"],
+    )
+    path = tmp_path / "sheet.json"
+    dump_json(sheet, path)
+    loaded = dict_to_datasheet(load_json(path))
+    assert isinstance(loaded, Datasheet)
+    assert loaded.render() == sheet.render()
+
+
+def test_audit_roundtrip(tmp_path, small_table):
+    audit = audit_requirements(
+        small_table,
+        [
+            CompletenessCorrectnessRequirement(
+                ["race", "gender", "age"], ("race",), max_missing_rate=0.5
+            )
+        ],
+    )
+    path = tmp_path / "audit.json"
+    dump_json(audit, path)
+    loaded = dict_to_audit(load_json(path))
+    assert isinstance(loaded, AuditReport)
+    assert loaded.passed == audit.passed
+    assert loaded.render() == audit.render()
+
+
+def test_load_artifact_dispatches_on_tag(tmp_path, label, small_table):
+    dump_json(label, tmp_path / "label.json")
+    assert isinstance(load_artifact(tmp_path / "label.json"), NutritionalLabel)
+    sheet = build_datasheet(
+        title="x", table=small_table, motivation="m", collection_process="c"
+    )
+    dump_json(sheet, tmp_path / "sheet.json")
+    assert isinstance(load_artifact(tmp_path / "sheet.json"), Datasheet)
+    dump_json({"artifact": "mystery", "schema_version": 1}, tmp_path / "odd.json")
+    with pytest.raises(SpecificationError, match="mystery"):
+        load_artifact(tmp_path / "odd.json")
+
+
+def test_unknown_schema_version_rejected(tmp_path, label):
+    payload = label_to_dict(label)
+    payload["schema_version"] = EXPORT_SCHEMA_VERSION + 1
+    with pytest.raises(SpecificationError, match="unknown schema_version"):
+        dict_to_label(payload)
+    payload["schema_version"] = "1"  # wrong type, not just wrong value
+    with pytest.raises(SpecificationError, match="schema_version"):
+        dict_to_label(payload)
+
+
+def test_wrong_artifact_tag_rejected(label):
+    payload = label_to_dict(label)
+    payload["artifact"] = "datasheet"
+    with pytest.raises(SpecificationError, match="declares artifact"):
+        dict_to_label(payload)
+
+
+def test_load_json_rejects_non_object(tmp_path):
+    path = tmp_path / "arr.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(SpecificationError, match="JSON object"):
+        load_json(path)
+
+
+def test_dump_json_is_atomic(tmp_path, label):
+    """No temp debris, and the target is complete valid JSON."""
+    path = tmp_path / "label.json"
+    dump_json(label, path)
+    dump_json(label, path)  # overwrite goes through the same rename
+    leftovers = [p for p in tmp_path.iterdir() if p != path]
+    assert leftovers == []
+    assert json.loads(path.read_text())["artifact"] == "nutritional_label"

@@ -10,6 +10,7 @@ SUBPACKAGES = [
     "respdi.stats",
     "respdi.datagen",
     "respdi.requirements",
+    "respdi.catalog",
     "respdi.discovery",
     "respdi.profiling",
     "respdi.coverage",
