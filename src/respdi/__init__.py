@@ -29,11 +29,14 @@ Entry points:
   coverage-based rewriting.
 * :mod:`respdi.ml` — minimal models, fairness metrics, interventions.
 * :mod:`respdi.pipeline` — the end-to-end responsible integration pipeline.
+* :mod:`respdi.parallel` — the deterministic fan-out engine
+  (serial/threads/processes backends with byte-identical outputs).
 * :mod:`respdi.obs` — metrics, tracing spans, and instrumentation
   decorators (off by default; ``obs.enable()`` turns them on).
 """
 
 from respdi.catalog import CatalogStore, load_catalog_index
+from respdi.parallel import ExecutionContext
 from respdi.pipeline import PipelineResult, ResponsibleIntegrationPipeline
 from respdi.table import (
     MISSING,
@@ -52,6 +55,7 @@ __all__ = [
     "Table",
     "MISSING",
     "CatalogStore",
+    "ExecutionContext",
     "load_catalog_index",
     "PipelineResult",
     "ResponsibleIntegrationPipeline",

@@ -3,10 +3,11 @@
 Usage::
 
     respdi-catalog build DIR table1.csv table2.csv [--seed 7] [--store-data]
+        [--jobs N]
     respdi-catalog add DIR table.csv [--name n] [--description text]
         [--sensitive col,col] [--target y] [--store-data]
     respdi-catalog remove DIR NAME
-    respdi-catalog refresh DIR table.csv [--name n]
+    respdi-catalog refresh DIR table.csv [table2.csv ...] [--name n] [--jobs N]
     respdi-catalog query DIR (--keyword TEXT | --union table.csv
         | --join table.csv:COLUMN) [-k 10]
     respdi-catalog verify DIR
@@ -25,7 +26,30 @@ from typing import Optional, Sequence
 
 from respdi.catalog.store import CatalogStore
 from respdi.errors import RespdiError
+from respdi.parallel import ExecutionContext
 from respdi.table import read_csv
+
+
+def _add_jobs_flag(subparser) -> None:
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan per-table fingerprinting/sketching out over N worker "
+            "processes (results are byte-identical to serial)"
+        ),
+    )
+
+
+def _jobs_context(jobs: Optional[int]) -> Optional[ExecutionContext]:
+    """CLI ``--jobs`` maps to the processes backend (sketching is CPU-bound)."""
+    if jobs is None:
+        return None
+    if jobs <= 1:
+        return ExecutionContext()
+    return ExecutionContext(backend="processes", n_jobs=jobs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--store-data", action="store_true", help="also store the CSV data"
     )
+    _add_jobs_flag(build)
 
     add = sub.add_parser("add", help="register one CSV table")
     add.add_argument("directory", help="existing catalog directory")
@@ -62,11 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
     remove.add_argument("name")
 
     refresh = sub.add_parser(
-        "refresh", help="re-sketch a table only if its content changed"
+        "refresh", help="re-sketch tables only if their content changed"
     )
     refresh.add_argument("directory")
-    refresh.add_argument("csv")
-    refresh.add_argument("--name", default=None)
+    refresh.add_argument("csv", nargs="+")
+    refresh.add_argument(
+        "--name", default=None, help="table name (single CSV only; default: stem)"
+    )
+    _add_jobs_flag(refresh)
 
     query = sub.add_parser("query", help="warm-start discovery queries")
     query.add_argument("directory")
@@ -102,6 +130,7 @@ def _cmd_build(args) -> int:
         args.directory,
         tables,
         store_data=args.store_data,
+        context=_jobs_context(args.jobs),
         num_hashes=args.num_hashes,
         rng=args.seed,
     )
@@ -138,9 +167,14 @@ def _cmd_remove(args) -> int:
 
 def _cmd_refresh(args) -> int:
     store = CatalogStore.open(args.directory)
-    name = _table_name(args.csv, args.name)
-    rebuilt = store.refresh(name, read_csv(args.csv))
-    print(f"{name!r}: {'rebuilt' if rebuilt else 'unchanged (hit)'}")
+    if args.name is not None and len(args.csv) > 1:
+        raise RespdiError("--name only applies to a single CSV")
+    tables = {
+        _table_name(path, args.name): read_csv(path) for path in args.csv
+    }
+    results = store.refresh_many(tables, context=_jobs_context(args.jobs))
+    for name, rebuilt in results.items():
+        print(f"{name!r}: {'rebuilt' if rebuilt else 'unchanged (hit)'}")
     return 0
 
 

@@ -69,6 +69,7 @@ from respdi.discovery.serialize import (
     signatures_to_npz,
 )
 from respdi.errors import CatalogCorruptError, SpecificationError
+from respdi.parallel import ExecutionContext, map_tables
 from respdi.profiling.datasheets import Datasheet
 from respdi.profiling.export import datasheet_to_dict, label_to_dict
 from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
@@ -118,6 +119,43 @@ def _entry_dirname(name: str, fingerprint: str) -> str:
     slug = re.sub(r"[^a-z0-9_-]+", "_", name.lower())[:40] or "table"
     name_hash = blake2b(name.encode(), digest_size=4).hexdigest()
     return f"{slug}-{name_hash}-{fingerprint[:8]}"
+
+
+class _FingerprintTask:
+    """Fingerprint one ``(name, table)`` pair (picklable for ``processes``)."""
+
+    __slots__ = ()
+
+    def __call__(self, name: str, table: Table) -> str:
+        return table_fingerprint(table)
+
+
+class _EntrySketchTask:
+    """Fingerprint *and* sketch one table for a catalog entry.
+
+    Module-level so the ``processes`` backend can pickle it.  Returns
+    ``(fingerprint, artifacts)`` — everything :meth:`CatalogStore._write_entry`
+    would otherwise compute inline, moved off the writer's critical path.
+    """
+
+    __slots__ = ("descriptions", "hasher", "sketch_size", "values_per_column")
+
+    def __init__(self, descriptions, hasher, sketch_size, values_per_column):
+        self.descriptions = descriptions
+        self.hasher = hasher
+        self.sketch_size = sketch_size
+        self.values_per_column = values_per_column
+
+    def __call__(self, name: str, table: Table) -> Tuple[str, TableArtifacts]:
+        artifacts = build_table_artifacts(
+            name,
+            table,
+            self.descriptions.get(name),
+            hasher=self.hasher,
+            sketch_size=self.sketch_size,
+            values_per_column=self.values_per_column,
+        )
+        return table_fingerprint(table), artifacts
 
 
 class _LazyTables(MutableMapping):
@@ -265,18 +303,43 @@ class CatalogStore:
         tables: Dict[str, Table],
         descriptions: Optional[Dict[str, str]] = None,
         store_data: bool = False,
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
         **create_options,
     ) -> "CatalogStore":
-        """Create a catalog and register every table in *tables* (cold build)."""
+        """Create a catalog and register every table in *tables* (cold build).
+
+        Fingerprinting and sketching fan out per table under the resolved
+        :class:`~respdi.parallel.ExecutionContext`; entries are then
+        written in input order under one writer lock and published by a
+        single commit, so the resulting bytes are identical to a serial
+        build (and to the pre-parallel per-table-commit layout).
+        """
         store = cls.create(directory, **create_options)
-        descriptions = descriptions or {}
-        for name, table in tables.items():
-            store.add_table(
-                name,
-                table,
-                description=descriptions.get(name),
-                store_data=store_data,
+        descriptions = dict(descriptions or {})
+        task = _EntrySketchTask(
+            descriptions, store.hasher, store.sketch_size, store.values_per_column
+        )
+        with obs.trace("catalog.build", tables=len(tables)):
+            sketched = map_tables(
+                task, tables, context=context, n_jobs=n_jobs, label="catalog.build"
             )
+            with store._tlock, writer_lock(
+                store.directory, timeout=cls.lock_timeout
+            ):
+                for name, table in tables.items():
+                    fingerprint, artifacts = sketched[name]
+                    store._write_entry(
+                        name,
+                        table,
+                        description=descriptions.get(name),
+                        sensitive_columns=None,
+                        target_column=None,
+                        store_data=store_data,
+                        artifacts=artifacts,
+                        fingerprint=fingerprint,
+                    )
+                store._commit()
         return store
 
     # -- manifest-backed configuration ---------------------------------------
@@ -365,27 +428,103 @@ class CatalogStore:
             record = self._manifest["entries"].get(name)
             if record is None:
                 raise SpecificationError(f"table {name!r} is not cataloged")
-            if table_fingerprint(table) == record["fingerprint"]:
+            fingerprint = table_fingerprint(table)
+            if fingerprint == record["fingerprint"]:
                 obs.inc("catalog.hit")
                 return False
             obs.inc("catalog.rebuild")
-            meta = self.meta(name)
-            del self._manifest["entries"][name]
-            self._sketch_cache.pop(name, None)
-            self._write_entry(
-                name,
-                table,
-                description=meta.get("description"),
-                sensitive_columns=(
-                    tuple(meta["sensitive_columns"])
-                    if meta.get("sensitive_columns")
-                    else None
-                ),
-                target_column=meta.get("target_column"),
-                store_data=bool(meta.get("stored_data")),
-            )
+            self._rewrite_changed_entry(name, table, fingerprint)
             self._commit()
             return True
+
+    def refresh_many(
+        self,
+        tables: Dict[str, Table],
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
+    ) -> Dict[str, bool]:
+        """Refresh every table in *tables*; returns ``{name: rebuilt?}``.
+
+        Fingerprints are compared against the manifest *before* any
+        sketch work is scheduled: a no-op refresh (nothing changed) costs
+        one fingerprint per table and exactly zero sketch calls.  Only
+        the changed subset fans out for re-sketching, and one commit
+        publishes all rebuilt entries.
+        """
+        with self._tlock, writer_lock(self.directory, timeout=self.lock_timeout):
+            for name in tables:
+                if name not in self._manifest["entries"]:
+                    raise SpecificationError(f"table {name!r} is not cataloged")
+            with obs.trace("catalog.refresh_many", tables=len(tables)):
+                fingerprints = map_tables(
+                    _FingerprintTask(),
+                    tables,
+                    context=context,
+                    n_jobs=n_jobs,
+                    label="catalog.fingerprint",
+                )
+                changed = {
+                    name: table
+                    for name, table in tables.items()
+                    if fingerprints[name]
+                    != self._manifest["entries"][name]["fingerprint"]
+                }
+                obs.inc("catalog.hit", len(tables) - len(changed))
+                if not changed:
+                    return {name: False for name in tables}
+                obs.inc("catalog.rebuild", len(changed))
+                metas = {name: self.meta(name) for name in changed}
+                task = _EntrySketchTask(
+                    {
+                        name: meta.get("description")
+                        for name, meta in metas.items()
+                    },
+                    self.hasher,
+                    self.sketch_size,
+                    self.values_per_column,
+                )
+                sketched = map_tables(
+                    task,
+                    changed,
+                    context=context,
+                    n_jobs=n_jobs,
+                    label="catalog.refresh_many",
+                )
+                for name, table in changed.items():
+                    fingerprint, artifacts = sketched[name]
+                    self._rewrite_changed_entry(
+                        name, table, fingerprint, artifacts=artifacts,
+                        meta=metas[name],
+                    )
+                self._commit()
+            return {name: name in changed for name in tables}
+
+    def _rewrite_changed_entry(
+        self,
+        name: str,
+        table: Table,
+        fingerprint: str,
+        artifacts: Optional[TableArtifacts] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        """Replace *name*'s entry in the manifest, preserving its metadata."""
+        meta = self.meta(name) if meta is None else meta
+        del self._manifest["entries"][name]
+        self._sketch_cache.pop(name, None)
+        self._write_entry(
+            name,
+            table,
+            description=meta.get("description"),
+            sensitive_columns=(
+                tuple(meta["sensitive_columns"])
+                if meta.get("sensitive_columns")
+                else None
+            ),
+            target_column=meta.get("target_column"),
+            store_data=bool(meta.get("stored_data")),
+            artifacts=artifacts,
+            fingerprint=fingerprint,
+        )
 
     # -- the warm start ------------------------------------------------------
 
@@ -578,16 +717,20 @@ class CatalogStore:
         target_column: Optional[str],
         datasheet: Optional[Datasheet] = None,
         store_data: bool = False,
+        artifacts: Optional[TableArtifacts] = None,
+        fingerprint: Optional[str] = None,
     ) -> None:
-        artifacts = build_table_artifacts(
-            name,
-            table,
-            description,
-            hasher=self.hasher,
-            sketch_size=self.sketch_size,
-            values_per_column=self.values_per_column,
-        )
-        fingerprint = table_fingerprint(table)
+        if artifacts is None:
+            artifacts = build_table_artifacts(
+                name,
+                table,
+                description,
+                hasher=self.hasher,
+                sketch_size=self.sketch_size,
+                values_per_column=self.values_per_column,
+            )
+        if fingerprint is None:
+            fingerprint = table_fingerprint(table)
         dirname = _entry_dirname(name, fingerprint)
         entry_dir = self.directory / ENTRIES_DIRNAME / dirname
         if entry_dir.exists():

@@ -38,6 +38,7 @@ from respdi.discovery.minhash import MinHasher
 from respdi.discovery.unionsearch import UnionCandidate, UnionSearch
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.obs import counted, timed
+from respdi.parallel import ExecutionContext, map_tables
 from respdi.stats.dependence import correlation_ratio, pearson_correlation
 from respdi.table import Table
 
@@ -122,6 +123,33 @@ def build_table_artifacts(
     )
 
 
+class _ArtifactTask:
+    """Sketch one ``(name, table)`` pair into :class:`TableArtifacts`.
+
+    A module-level class (not a closure) so the ``processes`` backend
+    can pickle it; the shared hasher rides along by value, which is safe
+    because signing only *reads* its coefficient arrays.
+    """
+
+    __slots__ = ("descriptions", "hasher", "sketch_size", "values_per_column")
+
+    def __init__(self, descriptions, hasher, sketch_size, values_per_column):
+        self.descriptions = descriptions
+        self.hasher = hasher
+        self.sketch_size = sketch_size
+        self.values_per_column = values_per_column
+
+    def __call__(self, name: str, table: Table) -> TableArtifacts:
+        return build_table_artifacts(
+            name,
+            table,
+            self.descriptions.get(name),
+            hasher=self.hasher,
+            sketch_size=self.sketch_size,
+            values_per_column=self.values_per_column,
+        )
+
+
 class DataLakeIndex:
     """Register tables once; run every flavor of discovery against them."""
 
@@ -172,6 +200,42 @@ class DataLakeIndex:
             values_per_column=self.keyword.values_per_column,
         )
         self.register_artifacts(artifacts, table=table)
+
+    @timed("discovery.lake_index.register_tables")
+    def register_tables(
+        self,
+        tables: Dict[str, Table],
+        descriptions: Optional[Dict[str, str]] = None,
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        """Bulk cold registration: sketch every table, fanning out per table.
+
+        Sketching — the expensive part — runs under the resolved
+        :class:`~respdi.parallel.ExecutionContext`; registration itself
+        happens serially in input order, so the resulting index is
+        identical to calling :meth:`register` in a loop whatever the
+        backend (the engine's serial-equivalence contract).
+        """
+        descriptions = dict(descriptions or {})
+        for name in tables:
+            if name in self._registered:
+                raise SpecificationError(f"table {name!r} already registered")
+        task = _ArtifactTask(
+            descriptions,
+            self.hasher,
+            self.sketch_size,
+            self.keyword.values_per_column,
+        )
+        artifacts = map_tables(
+            task,
+            tables,
+            context=context,
+            n_jobs=n_jobs,
+            label="discovery.lake_index.register_tables",
+        )
+        for name, table in tables.items():
+            self.register_artifacts(artifacts[name], table=table)
 
     def register_artifacts(
         self, artifacts: TableArtifacts, table: Optional[Table] = None

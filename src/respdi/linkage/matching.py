@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from respdi import obs
 from respdi.errors import SpecificationError
+from respdi.parallel import ExecutionContext, map_chunked
 from respdi.table import Table
 
 Pair = Tuple[int, int]
@@ -63,22 +64,62 @@ class RecordMatcher:
             )
         return total / self._total_weight
 
-    def match(self, table: Table, candidates: Set[Pair]) -> MatchResult:
-        """Score every candidate pair; accept those above the threshold."""
+    def match(
+        self,
+        table: Table,
+        candidates: Set[Pair],
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
+    ) -> MatchResult:
+        """Score every candidate pair; accept those above the threshold.
+
+        Pairs are scored in deterministic sorted order, chunked under the
+        resolved :class:`~respdi.parallel.ExecutionContext`; every chunk
+        goes through :meth:`score_pair` (the serial code path), so scores
+        and matches are identical for any backend.  For the
+        ``processes`` backend the field similarity functions must be
+        picklable — if not, the engine falls back to serial scoring.
+        """
         for comparator in self.comparators:
             table.schema.require([comparator.column])
         with obs.trace("linkage.matching.match", candidates=len(candidates)):
             rows = table.to_dicts()
+            ordered = sorted(candidates)
+            scored = map_chunked(
+                _PairScorer(self, rows),
+                ordered,
+                context=context,
+                n_jobs=n_jobs,
+                label="linkage.matching",
+            )
             scores: Dict[Pair, float] = {}
             matches: Set[Pair] = set()
-            for i, j in sorted(candidates):
-                score = self.score_pair(rows[i], rows[j])
-                scores[(i, j)] = score
+            for pair, score in zip(ordered, scored):
+                scores[pair] = score
                 if score >= self.threshold:
-                    matches.add((i, j))
+                    matches.add(pair)
         obs.inc("linkage.matching.pairs_scored", len(scores))
         obs.inc("linkage.matching.matches", len(matches))
         return MatchResult(scores=scores, matches=matches, threshold=self.threshold)
+
+
+class _PairScorer:
+    """Scores one candidate pair against a fixed row list.
+
+    Module-level (picklable for the ``processes`` backend) and a thin
+    wrapper over :meth:`RecordMatcher.score_pair`, so parallel scores are
+    produced by exactly the serial arithmetic.
+    """
+
+    __slots__ = ("matcher", "rows")
+
+    def __init__(self, matcher: RecordMatcher, rows: List[dict]) -> None:
+        self.matcher = matcher
+        self.rows = rows
+
+    def __call__(self, pair: Pair) -> float:
+        i, j = pair
+        return self.matcher.score_pair(self.rows[i], self.rows[j])
 
 
 class _UnionFind:

@@ -1,0 +1,35 @@
+"""respdi.parallel — the deterministic fan-out engine.
+
+One :class:`ExecutionContext` (backend ``serial`` | ``threads`` |
+``processes``, ``n_jobs``, chunk size, per-chunk timeout) drives every
+parallelized hot path: bulk sketching
+(:meth:`~respdi.discovery.lake_index.DataLakeIndex.register_tables`),
+catalog builds and refreshes (:meth:`~respdi.catalog.CatalogStore.build`
+/ :meth:`~respdi.catalog.CatalogStore.refresh_many`), and candidate-pair
+scoring (:meth:`~respdi.linkage.matching.RecordMatcher.match`).
+
+The engine's contract is **serial equivalence**: any backend, any
+``n_jobs``, any chunk size produces byte-identical outputs to the plain
+serial loop (ordered reduction, no shared RNG, serial retry semantics) —
+see :mod:`respdi.parallel.engine` and
+``tests/test_parallel_differential.py``, which locks the contract down
+across ``PYTHONHASHSEED`` values and backends.
+"""
+
+from respdi.parallel.engine import (
+    BACKENDS,
+    DEFAULT_JOBS_ENV,
+    ExecutionContext,
+    default_jobs,
+    map_chunked,
+    map_tables,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_JOBS_ENV",
+    "ExecutionContext",
+    "default_jobs",
+    "map_chunked",
+    "map_tables",
+]

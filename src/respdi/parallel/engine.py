@@ -1,0 +1,313 @@
+"""The execution engine: one context, three backends, identical results.
+
+Every hot path that fans work out per table or per chunk goes through
+:func:`map_chunked` under an :class:`ExecutionContext`.  The contract is
+**serial equivalence**: for any function ``fn`` and any context, the
+result equals ``[fn(item) for item in items]`` — same values, same
+order.  The engine guarantees this by construction:
+
+* **ordered reduction** — chunks are submitted with their index and
+  results are reassembled by index, never by completion order;
+* **no shared RNG** — the engine owns no random state and passes none to
+  workers; tasks must be pure functions of their inputs (every wired
+  call site sketches/scores from already-drawn coefficients);
+* **serial retry semantics** — a chunk that fails in the pool is retried
+  once in the pool, then executed serially in the calling process, so a
+  deterministic exception surfaces exactly as it would serially.
+
+Backends: ``serial`` (a plain loop), ``threads``
+(:class:`~concurrent.futures.ThreadPoolExecutor`), and ``processes``
+(:class:`~concurrent.futures.ProcessPoolExecutor`; tasks and their
+arguments must be picklable).  A pool that cannot be created, or that
+breaks mid-flight (:class:`~concurrent.futures.BrokenExecutor`),
+degrades gracefully: remaining chunks run serially and the call still
+returns the serial answer.
+
+Instrumentation (:mod:`respdi.obs`, off by default): ``parallel.tasks``
+counts chunks executed, ``parallel.items`` counts items mapped,
+``parallel.retries`` counts chunk resubmissions, ``parallel.fallbacks``
+counts chunks that dropped to serial after a failed retry,
+``parallel.pool_failures`` counts broken/uncreatable pools, and each
+chunk runs under a ``<label>.chunk`` span.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from respdi import obs
+from respdi.errors import SpecificationError
+
+#: Environment variable giving the default worker count for call sites
+#: that receive neither ``context=`` nor ``n_jobs=``.  Values > 1 select
+#: the ``threads`` backend; unset/invalid/<=1 means serial.
+DEFAULT_JOBS_ENV = "RESPDI_DEFAULT_JOBS"
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def default_jobs() -> int:
+    """The worker count implied by ``RESPDI_DEFAULT_JOBS`` (1 if unset)."""
+    raw = os.environ.get(DEFAULT_JOBS_ENV, "").strip()
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How a fan-out call site should execute its per-item work.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"``, ``"threads"``, or ``"processes"``.
+    n_jobs:
+        Worker count for pool backends.  ``n_jobs=1`` always runs the
+        serial path, whatever the backend (so ``n_jobs=1`` ≡ serial is
+        an identity, not merely an equivalence).
+    chunksize:
+        Items per scheduled task; ``None`` auto-sizes to about four
+        chunks per worker.  Chunking never changes results, only
+        scheduling granularity.
+    timeout:
+        Per-chunk result timeout in seconds (``None`` = wait forever).
+        A timed-out chunk follows the retry-then-serial-fallback path.
+    """
+
+    backend: str = "serial"
+    n_jobs: int = 1
+    chunksize: Optional[int] = None
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SpecificationError(
+                f"unknown backend {self.backend!r} (choose from {BACKENDS})"
+            )
+        if self.n_jobs < 1:
+            raise SpecificationError("n_jobs must be >= 1")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise SpecificationError("chunksize must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SpecificationError("timeout must be positive")
+
+    @classmethod
+    def resolve(
+        cls,
+        context: Optional["ExecutionContext"] = None,
+        n_jobs: Optional[int] = None,
+    ) -> "ExecutionContext":
+        """The context a call site should run under.
+
+        Precedence: an explicit *context* wins; an explicit *n_jobs*
+        builds a ``threads`` context (``n_jobs<=1`` → serial); otherwise
+        ``RESPDI_DEFAULT_JOBS`` decides.  Passing both is ambiguous and
+        rejected.
+        """
+        if context is not None and n_jobs is not None:
+            raise SpecificationError("pass either context= or n_jobs=, not both")
+        if context is not None:
+            return context
+        jobs = default_jobs() if n_jobs is None else n_jobs
+        if jobs <= 1:
+            return cls()
+        return cls(backend="threads", n_jobs=jobs)
+
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == "serial" or self.n_jobs == 1
+
+    def resolved_chunksize(self, n_items: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, -(-n_items // (self.n_jobs * 4)))
+
+
+def _apply_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    """Run *fn* over one chunk (module-level so ``processes`` can pickle it)."""
+    return [fn(item) for item in chunk]
+
+
+def _chunk(items: List[Any], size: int) -> List[List[Any]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def map_chunked(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    context: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
+    *,
+    label: str = "parallel.map",
+) -> List[Any]:
+    """``[fn(item) for item in items]`` under the resolved context.
+
+    Results are always in input order (ordered reduction), whichever
+    backend runs the work.  For the ``processes`` backend *fn* and the
+    items must be picklable; anything the pool cannot run falls back to
+    the serial path, so the call still returns the serial answer.
+    """
+    items = list(items)
+    ctx = ExecutionContext.resolve(context, n_jobs)
+    if not items:
+        return []
+    chunks = _chunk(items, ctx.resolved_chunksize(len(items)))
+    if ctx.is_serial or len(chunks) == 1:
+        return _run_serial(fn, chunks, label, ctx.backend)
+    return _run_pooled(fn, chunks, ctx, label)
+
+
+def map_tables(
+    fn: Callable[[str, Any], Any],
+    tables: Union[Mapping[str, Any], Iterable[Tuple[str, Any]]],
+    context: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
+    *,
+    label: str = "parallel.map_tables",
+) -> Dict[str, Any]:
+    """``{name: fn(name, value)}`` over named items, in input order.
+
+    The per-table idiom of the engine: bulk sketching, fingerprinting,
+    and catalog builds all map a picklable task over ``(name, table)``
+    pairs and rely on the returned dict preserving input order.
+    """
+    pairs = list(tables.items() if hasattr(tables, "items") else tables)
+    values = map_chunked(
+        _NamedCall(fn), pairs, context=context, n_jobs=n_jobs, label=label
+    )
+    return {name: value for (name, _), value in zip(pairs, values)}
+
+
+class _NamedCall:
+    """Adapts ``fn(name, value)`` to the single-argument chunk protocol."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[str, Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, pair: Tuple[str, Any]) -> Any:
+        name, value = pair
+        return self.fn(name, value)
+
+    def __getstate__(self):
+        return self.fn
+
+    def __setstate__(self, state):
+        self.fn = state
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    chunks: List[List[Any]],
+    label: str,
+    backend: str,
+) -> List[Any]:
+    results: List[Any] = []
+    for index, chunk in enumerate(chunks):
+        with obs.trace(
+            f"{label}.chunk", index=index, size=len(chunk), backend=backend
+        ):
+            results.extend(_apply_chunk(fn, chunk))
+        obs.inc("parallel.tasks")
+        obs.inc("parallel.items", len(chunk))
+    return results
+
+
+def _run_pooled(
+    fn: Callable[[Any], Any],
+    chunks: List[List[Any]],
+    ctx: ExecutionContext,
+    label: str,
+) -> List[Any]:
+    executor_cls = (
+        ThreadPoolExecutor if ctx.backend == "threads" else ProcessPoolExecutor
+    )
+    try:
+        executor = executor_cls(max_workers=ctx.n_jobs)
+    except Exception:
+        # The pool could not even be created (resource limits, missing
+        # semaphores in constrained sandboxes, ...): run everything
+        # serially rather than failing the caller.
+        obs.inc("parallel.pool_failures")
+        return _run_serial(fn, chunks, label, "serial-fallback")
+
+    results: List[Any] = []
+    pool_dead = False
+    with executor:
+        futures: List[Optional[Future]] = []
+        for chunk in chunks:
+            try:
+                futures.append(executor.submit(_apply_chunk, fn, chunk))
+            except Exception:
+                obs.inc("parallel.pool_failures")
+                pool_dead = True
+                futures.append(None)
+        for index, (future, chunk) in enumerate(zip(futures, chunks)):
+            with obs.trace(
+                f"{label}.chunk", index=index, size=len(chunk), backend=ctx.backend
+            ):
+                if pool_dead or future is None:
+                    results.extend(_apply_chunk(fn, chunk))
+                else:
+                    chunk_result, pool_dead = _collect_chunk(
+                        executor, future, fn, chunk, ctx
+                    )
+                    results.extend(chunk_result)
+            obs.inc("parallel.tasks")
+            obs.inc("parallel.items", len(chunk))
+    return results
+
+
+def _collect_chunk(
+    executor,
+    future: Future,
+    fn: Callable[[Any], Any],
+    chunk: List[Any],
+    ctx: ExecutionContext,
+) -> Tuple[List[Any], bool]:
+    """One chunk's result: pool attempt → one retry → serial fallback.
+
+    Returns ``(result, pool_dead)``.  A deterministic task exception
+    survives all three attempts and propagates from the serial run —
+    exactly what the serial backend would have raised.
+    """
+    try:
+        return future.result(timeout=ctx.timeout), False
+    except BrokenExecutor:
+        obs.inc("parallel.pool_failures")
+        return _apply_chunk(fn, chunk), True
+    except (Exception, FuturesTimeoutError):
+        obs.inc("parallel.retries")
+    try:
+        retry = executor.submit(_apply_chunk, fn, chunk)
+        return retry.result(timeout=ctx.timeout), False
+    except BrokenExecutor:
+        obs.inc("parallel.pool_failures")
+        return _apply_chunk(fn, chunk), True
+    except (Exception, FuturesTimeoutError):
+        obs.inc("parallel.fallbacks")
+    return _apply_chunk(fn, chunk), False

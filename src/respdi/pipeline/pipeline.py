@@ -12,6 +12,7 @@ from respdi._rng import RngLike, ensure_rng
 from respdi.cleaning.imputers import Imputer
 from respdi.discovery.lake_index import DataLakeIndex
 from respdi.errors import EmptyInputError, SpecificationError
+from respdi.parallel import ExecutionContext
 from respdi.profiling.datasheets import Datasheet, build_datasheet
 from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
 from respdi.requirements.base import AuditReport, RequirementCheck
@@ -120,6 +121,8 @@ class ResponsibleIntegrationPipeline:
         policy: Optional[Policy] = None,
         imputers: Sequence[Imputer] = (),
         coverage_threshold: int = 10,
+        execution_context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if not sensitive_columns:
             raise SpecificationError("pipeline needs sensitive columns")
@@ -128,6 +131,13 @@ class ResponsibleIntegrationPipeline:
         self.policy = policy if policy is not None else RatioCollPolicy()
         self.imputers = list(imputers)
         self.coverage_threshold = coverage_threshold
+        #: Context for fan-out work the pipeline triggers (e.g. sketching
+        #: a raw table mapping in :meth:`discover_sources`).  Resolved
+        #: once at construction: explicit ``execution_context`` wins,
+        #: then ``n_jobs`` (threads), then ``RESPDI_DEFAULT_JOBS``.
+        self.execution_context = ExecutionContext.resolve(
+            execution_context, n_jobs
+        )
 
     # -- step: discovery ------------------------------------------------------
 
@@ -144,10 +154,17 @@ class ResponsibleIntegrationPipeline:
         participate in tailoring.
 
         *lake* may also be a :class:`~respdi.catalog.CatalogStore` (any
-        object exposing ``index()``): the pipeline then warm-starts from
-        the persisted catalog, loading candidate tables lazily."""
+        object exposing ``index()``) — the pipeline then warm-starts from
+        the persisted catalog, loading candidate tables lazily — or a
+        plain ``{name: Table}`` mapping, which is sketched into a
+        transient index under the pipeline's execution context (a fixed
+        hasher seed keeps this convenience path deterministic)."""
         if not isinstance(lake, DataLakeIndex) and hasattr(lake, "index"):
             lake = lake.index()
+        elif not isinstance(lake, DataLakeIndex) and hasattr(lake, "items"):
+            index = DataLakeIndex(rng=0)
+            index.register_tables(dict(lake), context=self.execution_context)
+            lake = index
         candidates = lake.unionable_tables(query, k=k)
         out: Dict[str, Table] = {}
         for candidate in candidates:

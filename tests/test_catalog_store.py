@@ -127,6 +127,60 @@ def test_refresh_counters(store, lake_tables, monkeypatch):
         obs.disable()
 
 
+def test_refresh_many_noop_schedules_zero_sketch_calls(
+    store, lake_tables, monkeypatch
+):
+    """Regression: a no-op refresh must short-circuit on fingerprints and
+    never schedule sketch work (it used to re-sketch via refresh loops)."""
+    from respdi.catalog import store as store_module
+
+    def _forbidden(*args, **kwargs):
+        raise AssertionError("sketching was scheduled on a no-op refresh")
+
+    monkeypatch.setattr(store_module, "build_table_artifacts", _forbidden)
+    results = store.refresh_many(dict(lake_tables))
+    assert results == {name: False for name in lake_tables}
+
+
+def test_single_refresh_fingerprints_changed_table_exactly_once(
+    store, lake_tables, monkeypatch
+):
+    """Regression: refresh used to fingerprint a changed table twice
+    (once to detect the change, once more inside the entry writer)."""
+    from respdi.catalog import store as store_module
+
+    calls = []
+    real = store_module.table_fingerprint
+
+    def _counting(table):
+        calls.append(table)
+        return real(table)
+
+    monkeypatch.setattr(store_module, "table_fingerprint", _counting)
+    changed = lake_tables["query"].head(7)
+    assert store.refresh("query", changed) is True
+    assert len(calls) == 1
+
+
+def test_refresh_many_rebuilds_only_changed_tables(store, lake_tables):
+    tables = dict(lake_tables)
+    changed_name = next(iter(tables))
+    tables[changed_name] = tables[changed_name].head(
+        max(1, len(tables[changed_name]) - 2)
+    )
+    results = store.refresh_many(tables, n_jobs=2)
+    assert results[changed_name] is True
+    assert sum(results.values()) == 1
+    assert store.verify() == []
+    # The rebuilt fingerprint is persisted; a second refresh is a no-op.
+    assert store.refresh_many(tables) == {name: False for name in tables}
+
+
+def test_refresh_many_unknown_table_rejected(store, lake_tables):
+    with pytest.raises(SpecificationError):
+        store.refresh_many({"nope": lake_tables["query"]})
+
+
 def test_corrupted_entry_detected(store):
     name = store.names[0]
     record = store._manifest["entries"][name]

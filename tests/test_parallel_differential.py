@@ -1,0 +1,236 @@
+"""Serial/parallel differential suite: every backend, identical bytes.
+
+The parallel engine's contract is that fanning work out never changes a
+result — not approximately, *byte-identically*.  This suite locks the
+contract down at the three wired call sites:
+
+* catalog build (`CatalogStore.build`): on-disk files compared
+  file-by-file across backends;
+* bulk sketching (`DataLakeIndex.register_tables`): signature arrays
+  compared as raw bytes, plus every discovery query mode;
+* matching (`RecordMatcher.match`): exact score and match equality.
+
+And, extending ``test_catalog_determinism.py``, across *processes with
+different* ``PYTHONHASHSEED`` *values per backend* — parallel execution
+must not reintroduce the salted-hash nondeterminism the sketching layer
+was built to exclude.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from respdi.catalog import CatalogStore
+from respdi.datagen import LakeSpec, generate_lake, generate_person_registry
+from respdi.discovery import DataLakeIndex
+from respdi.linkage import (
+    FieldComparator,
+    RecordMatcher,
+    jaro_winkler_similarity,
+    key_blocking,
+    levenshtein_similarity,
+)
+from respdi.parallel import ExecutionContext
+
+CONTEXTS = {
+    "serial": ExecutionContext(),
+    "threads": ExecutionContext(backend="threads", n_jobs=3, chunksize=2),
+    "processes": ExecutionContext(backend="processes", n_jobs=2),
+}
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(scope="module")
+def lake_tables():
+    return dict(generate_lake(LakeSpec(n_distractors=5), rng=11).tables)
+
+
+def _catalog_file_hashes(directory: Path) -> dict:
+    hashes = {}
+    for path in sorted(directory.rglob("*")):
+        if path.is_file() and path.name != "writer.lock":
+            hashes[str(path.relative_to(directory))] = hashlib.blake2b(
+                path.read_bytes(), digest_size=16
+            ).hexdigest()
+    return hashes
+
+
+def test_catalog_build_byte_identical_across_backends(tmp_path, lake_tables):
+    hashes = {}
+    for label, context in CONTEXTS.items():
+        directory = tmp_path / label
+        CatalogStore.build(directory, lake_tables, rng=7, context=context)
+        hashes[label] = _catalog_file_hashes(directory)
+    assert hashes["serial"], "build produced no files"
+    for label in ("threads", "processes"):
+        assert hashes[label].keys() == hashes["serial"].keys(), label
+        mismatched = [
+            name
+            for name in hashes["serial"]
+            if hashes[label][name] != hashes["serial"][name]
+        ]
+        assert mismatched == [], f"{label} build differs from serial: {mismatched}"
+
+
+def test_refresh_many_byte_identical_across_backends(tmp_path, lake_tables):
+    changed = {
+        name: (table.head(max(1, len(table) - 3)) if i % 2 == 0 else table)
+        for i, (name, table) in enumerate(lake_tables.items())
+    }
+    hashes = {}
+    results = {}
+    for label, context in CONTEXTS.items():
+        directory = tmp_path / label
+        store = CatalogStore.build(directory, lake_tables, rng=7)
+        results[label] = store.refresh_many(changed, context=context)
+        hashes[label] = _catalog_file_hashes(directory)
+    assert results["serial"] == results["threads"] == results["processes"]
+    assert any(results["serial"].values()) and not all(results["serial"].values())
+    for label in ("threads", "processes"):
+        assert hashes[label] == hashes["serial"], (
+            f"{label} refresh left different bytes than serial"
+        )
+
+
+def _index_for(lake_tables, context):
+    index = DataLakeIndex(rng=7)
+    index.register_tables(lake_tables, context=context)
+    return index
+
+
+def test_bulk_sketching_byte_identical_across_backends(lake_tables):
+    serial = DataLakeIndex(rng=7)
+    for name, table in lake_tables.items():
+        serial.register(name, table)
+
+    query = lake_tables["query"]
+    values = query.unique("q_c0")
+    for label, context in CONTEXTS.items():
+        index = _index_for(lake_tables, context)
+        assert index.table_names == serial.table_names, label
+        for name in serial.table_names:
+            ours, theirs = index.artifacts(name), serial.artifacts(name)
+            assert ours.token_counts == theirs.token_counts, (label, name)
+            assert ours.column_values == theirs.column_values, (label, name)
+            assert set(ours.column_sketches) == set(theirs.column_sketches)
+            for column, sketch in ours.column_sketches.items():
+                reference = theirs.column_sketches[column]
+                assert (
+                    sketch.signature.values.tobytes()
+                    == reference.signature.values.tobytes()
+                ), (label, name, column)
+                assert sketch.cardinality == reference.cardinality
+            assert set(ours.feature_sketches) == set(theirs.feature_sketches)
+            for key, sketch in ours.feature_sketches.items():
+                assert sketch.entries == theirs.feature_sketches[key].entries
+        assert index.keyword_search("query", k=10) == serial.keyword_search(
+            "query", k=10
+        ), label
+        assert index.unionable_tables(query, k=10) == serial.unionable_tables(
+            query, k=10
+        ), label
+        assert index.joinable_columns(values, k=10) == serial.joinable_columns(
+            values, k=10
+        ), label
+        assert index.containment_search(values, 0.3) == serial.containment_search(
+            values, 0.3
+        ), label
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return generate_person_registry(
+        120, duplicates_per_entity=1, corruption_rates={"blue": 0.4}, rng=5
+    )
+
+
+def _blocking_key(row):
+    return row["name"][:2] if row["name"] else None
+
+
+def test_matching_identical_across_backends(registry):
+    candidates = key_blocking(registry, _blocking_key)
+    matcher = RecordMatcher(
+        [
+            FieldComparator("name", jaro_winkler_similarity, weight=2.0),
+            FieldComparator("zip", levenshtein_similarity),
+        ],
+        threshold=0.8,
+    )
+    serial = matcher.match(registry, candidates, context=CONTEXTS["serial"])
+    for label in ("threads", "processes"):
+        result = matcher.match(registry, candidates, context=CONTEXTS[label])
+        # Exact float equality: parallel chunks run the same arithmetic
+        # in the same per-pair order as the serial loop.
+        assert result.scores == serial.scores, label
+        assert result.matches == serial.matches, label
+        assert result.threshold == serial.threshold
+
+
+# -- PYTHONHASHSEED x backend matrix ------------------------------------------
+
+_SCRIPT = r"""
+import hashlib, json, sys
+from pathlib import Path
+
+from respdi.catalog import CatalogStore
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.parallel import ExecutionContext
+
+out_dir, backend = Path(sys.argv[1]), sys.argv[2]
+context = (
+    ExecutionContext()
+    if backend == "serial"
+    else ExecutionContext(backend=backend, n_jobs=2)
+)
+lake = generate_lake(LakeSpec(n_distractors=3), rng=11)
+CatalogStore.build(out_dir / "cat", dict(lake.tables), rng=7, context=context)
+
+checksums = {}
+for path in sorted((out_dir / "cat").rglob("*")):
+    if path.is_file() and path.name != "writer.lock":
+        checksums[str(path.relative_to(out_dir / "cat"))] = hashlib.blake2b(
+            path.read_bytes(), digest_size=16
+        ).hexdigest()
+print(json.dumps(checksums))
+"""
+
+
+def _build_in_subprocess(tmp_path: Path, backend: str, hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out_dir = tmp_path / f"{backend}-{hash_seed}"
+    out_dir.mkdir()
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, str(out_dir), backend],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def test_catalog_bytes_identical_across_backends_and_hash_seeds(tmp_path):
+    runs = {
+        ("serial", "1"): None,
+        ("threads", "2"): None,
+        ("processes", "3"): None,
+    }
+    for backend, seed in runs:
+        runs[(backend, seed)] = _build_in_subprocess(tmp_path, backend, seed)
+    reference = runs[("serial", "1")]
+    assert any(name.startswith("entries/") for name in reference)
+    for key, checksums in runs.items():
+        assert checksums.keys() == reference.keys(), key
+        mismatched = [
+            name for name in reference if checksums[name] != reference[name]
+        ]
+        assert mismatched == [], f"{key} differs from serial baseline: {mismatched}"

@@ -1,0 +1,183 @@
+"""Unit tests for the execution engine itself (contexts, retries, fallbacks)."""
+
+import threading
+import time
+
+import pytest
+
+from respdi import obs
+from respdi.errors import SpecificationError
+from respdi.parallel import (
+    BACKENDS,
+    DEFAULT_JOBS_ENV,
+    ExecutionContext,
+    default_jobs,
+    map_chunked,
+    map_tables,
+)
+
+_MAIN_THREAD = threading.main_thread()
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _main_thread_only(x):
+    """Fails off the main thread: pool attempts fail, serial fallback works."""
+    if threading.current_thread() is not _MAIN_THREAD:
+        raise RuntimeError("injected worker fault")
+    return 2 * x
+
+
+def _slow_off_main_thread(x):
+    if threading.current_thread() is not _MAIN_THREAD:
+        time.sleep(0.5)
+    return 2 * x
+
+
+# -- context validation and resolution ----------------------------------------
+
+
+def test_context_validation():
+    with pytest.raises(SpecificationError):
+        ExecutionContext(backend="gpu")
+    with pytest.raises(SpecificationError):
+        ExecutionContext(n_jobs=0)
+    with pytest.raises(SpecificationError):
+        ExecutionContext(chunksize=0)
+    with pytest.raises(SpecificationError):
+        ExecutionContext(timeout=0.0)
+    assert set(BACKENDS) == {"serial", "threads", "processes"}
+
+
+def test_resolve_precedence(monkeypatch):
+    explicit = ExecutionContext(backend="processes", n_jobs=2)
+    assert ExecutionContext.resolve(explicit, None) is explicit
+    with pytest.raises(SpecificationError):
+        ExecutionContext.resolve(explicit, 2)
+    assert ExecutionContext.resolve(None, 3) == ExecutionContext(
+        backend="threads", n_jobs=3
+    )
+    assert ExecutionContext.resolve(None, 1).is_serial
+
+    monkeypatch.delenv(DEFAULT_JOBS_ENV, raising=False)
+    assert default_jobs() == 1
+    assert ExecutionContext.resolve(None, None).is_serial
+    monkeypatch.setenv(DEFAULT_JOBS_ENV, "4")
+    assert default_jobs() == 4
+    assert ExecutionContext.resolve(None, None) == ExecutionContext(
+        backend="threads", n_jobs=4
+    )
+    monkeypatch.setenv(DEFAULT_JOBS_ENV, "not-a-number")
+    assert default_jobs() == 1
+
+
+def test_resolved_chunksize():
+    assert ExecutionContext(chunksize=7).resolved_chunksize(100) == 7
+    auto = ExecutionContext(backend="threads", n_jobs=4)
+    # Auto-sizing targets about four chunks per worker.
+    assert auto.resolved_chunksize(160) == 10
+    assert auto.resolved_chunksize(1) == 1
+
+
+# -- mapping primitives --------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_map_chunked_preserves_order(backend):
+    context = ExecutionContext(backend=backend, n_jobs=2, chunksize=3)
+    assert map_chunked(_double, range(17), context) == [2 * i for i in range(17)]
+
+
+def test_map_chunked_empty_and_single_chunk():
+    assert map_chunked(_double, [], n_jobs=8) == []
+    context = ExecutionContext(backend="threads", n_jobs=4, chunksize=100)
+    assert map_chunked(_double, range(5), context) == [0, 2, 4, 6, 8]
+
+
+def test_map_tables_preserves_input_order():
+    tables = {"b": 1, "a": 2, "c": 3}
+    out = map_tables(lambda name, v: f"{name}:{v}", tables, n_jobs=2)
+    assert list(out) == ["b", "a", "c"]
+    assert out == {"b": "b:1", "a": "a:2", "c": "c:3"}
+
+
+def test_deterministic_exception_propagates_from_every_backend():
+    for backend in BACKENDS:
+        context = ExecutionContext(backend=backend, n_jobs=2, chunksize=1)
+        with pytest.raises(ValueError, match="boom"):
+            map_chunked(_boom, range(4), context)
+
+
+# -- retry, fallback, and instrumentation -------------------------------------
+
+
+def test_worker_fault_retries_once_then_falls_back_serially():
+    obs.enable()
+    obs.reset()
+    try:
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=10)
+        result = map_chunked(_main_thread_only, range(10), context)
+        assert result == [2 * i for i in range(10)]
+        # One chunk (len(items) <= chunksize) -> single-chunk short
+        # circuit runs serially with no pool at all.
+        registry = obs.global_registry()
+        assert registry.counter_value("parallel.retries") == 0
+
+        obs.reset()
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=5)
+        result = map_chunked(_main_thread_only, range(10), context)
+        assert result == [2 * i for i in range(10)]
+        counters = obs.global_registry().snapshot()["counters"]
+        # Both chunks fail in the pool, are retried exactly once each,
+        # then complete via the serial fallback.
+        assert counters["parallel.retries"] == 2.0
+        assert counters["parallel.fallbacks"] == 2.0
+        assert counters["parallel.tasks"] == 2.0
+        assert counters["parallel.items"] == 10.0
+    finally:
+        obs.disable()
+
+
+def test_timeout_triggers_retry_then_serial_fallback():
+    obs.enable()
+    obs.reset()
+    try:
+        context = ExecutionContext(
+            backend="threads", n_jobs=2, chunksize=3, timeout=0.05
+        )
+        result = map_chunked(_slow_off_main_thread, range(6), context)
+        assert result == [2 * i for i in range(6)]
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["parallel.retries"] >= 1.0
+    finally:
+        obs.disable()
+
+
+def test_unpicklable_function_falls_back_to_serial_under_processes():
+    context = ExecutionContext(backend="processes", n_jobs=2, chunksize=2)
+    assert map_chunked(lambda x: x + 1, range(6), context) == list(range(1, 7))
+
+
+def test_chunk_spans_emitted_per_chunk():
+    obs.enable()
+    obs.reset()
+    exporter = obs.InMemoryExporter()
+    previous = obs.get_exporter()
+    obs.set_exporter(exporter)
+    try:
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=2)
+        map_chunked(_double, range(8), context, label="test.map")
+        spans = [s for s in exporter.spans if s["name"] == "test.map.chunk"]
+        assert len(spans) == 4
+        assert sorted(s["attributes"]["index"] for s in spans) == [0, 1, 2, 3]
+        assert {s["attributes"]["backend"] for s in spans} == {"threads"}
+    finally:
+        obs.set_exporter(previous)
+        obs.disable()
+        obs.reset()

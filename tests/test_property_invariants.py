@@ -2,14 +2,19 @@
 
 These target the *contracts* between components rather than single
 functions: tailoring accounting identities, spec state machines,
-predicate algebra laws, and sampler validity.
+predicate algebra laws, sampler validity, and the parallel engine's
+serial-equivalence guarantees.
 """
+
+import threading
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from respdi import obs
+from respdi.parallel import ExecutionContext, map_chunked
 from respdi.table import Eq, Not, Range, Schema, Table
 from respdi.tailoring import (
     CountSpec,
@@ -217,6 +222,71 @@ def test_accept_reject_samples_are_real_join_tuples(tables, seed):
     valid = {(row[0], row[1]) for row in joined.iter_rows()}
     for row in sample.iter_rows():
         assert (row[0], row[1]) in valid
+
+
+# -- parallel execution engine -------------------------------------------------
+
+_MAIN_THREAD = threading.main_thread()
+
+
+def _affine(x):
+    return 3 * x + 1
+
+
+def _fails_off_main_thread(x):
+    if threading.current_thread() is not _MAIN_THREAD:
+        raise RuntimeError("injected worker fault")
+    return 3 * x + 1
+
+
+items_strategy = st.lists(st.integers(-10_000, 10_000), max_size=120)
+
+
+@given(items=items_strategy, chunksize=st.sampled_from([1, 2, 7, 64]))
+@settings(max_examples=30, deadline=None)
+def test_parallel_chunk_size_independence(items, chunksize):
+    """Chunking is a scheduling detail: chunksize never changes results."""
+    serial = [_affine(x) for x in items]
+    context = ExecutionContext(backend="threads", n_jobs=3, chunksize=chunksize)
+    assert map_chunked(_affine, items, context) == serial
+    one = ExecutionContext(backend="threads", n_jobs=3, chunksize=1)
+    big = ExecutionContext(backend="threads", n_jobs=3, chunksize=64)
+    assert map_chunked(_affine, items, one) == map_chunked(_affine, items, big)
+
+
+@given(items=items_strategy, backend=st.sampled_from(["threads", "processes"]))
+@settings(max_examples=30, deadline=None)
+def test_parallel_n_jobs_one_equals_serial(items, backend):
+    """``n_jobs=1`` under any backend is the serial backend."""
+    serial = map_chunked(_affine, items, ExecutionContext())
+    assert map_chunked(
+        _affine, items, ExecutionContext(backend=backend, n_jobs=1)
+    ) == serial
+
+
+@given(items=st.lists(st.integers(-10_000, 10_000), min_size=4, max_size=40))
+@settings(max_examples=15, deadline=None)
+def test_parallel_fault_injection_retry_then_fallback(items):
+    """A chunk whose worker always fails is retried exactly once, then
+    completes via serial fallback — and the overall result still equals
+    the serial answer, with every retry counted in ``parallel.retries``."""
+    obs.enable()
+    obs.reset()
+    try:
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=2)
+        result = map_chunked(_fails_off_main_thread, items, context)
+        assert result == [_affine(x) for x in items]
+        n_chunks = -(-len(items) // 2)
+        counters = obs.global_registry().snapshot()["counters"]
+        if n_chunks > 1:  # a single chunk short-circuits to the serial path
+            # Exactly one retry and one serial fallback per failing chunk.
+            assert counters["parallel.retries"] == float(n_chunks)
+            assert counters["parallel.fallbacks"] == float(n_chunks)
+        assert counters["parallel.tasks"] == float(n_chunks)
+        assert counters["parallel.items"] == float(len(items))
+    finally:
+        obs.disable()
+        obs.reset()
 
 
 @given(tables=joinable_tables(), seed=st.integers(0, 10_000))

@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "respdi.debiasing",
     "respdi.linkage",
     "respdi.ml",
+    "respdi.parallel",
     "respdi.pipeline",
 ]
 
