@@ -1,0 +1,94 @@
+"""E17 companion — inactive fault hooks must cost <1% of a catalog build.
+
+:func:`respdi.faults.fault_point` guards every write/fsync/rename in the
+catalog commit path, every parallel chunk, and every pipeline stage.
+The ISSUE bound: with **no plan installed** (the production default) the
+hooks together must add less than 1% to a catalog build.  Rather than
+compare two noisy end-to-end builds, this measures the two factors
+directly and multiplies:
+
+* the per-call cost of an inactive ``fault_point`` (one module-global
+  load plus a None check), timed over a large batch;
+* the number of hook crossings one real :meth:`CatalogStore.build`
+  performs, counted exactly with a recording :class:`FaultPlan`;
+* the wall time of that same build, hooks inactive.
+
+``crossings x per_call`` is the total tax, asserted under 1% of build
+time.  A micro-benchmark round also lands in the pytest-benchmark table
+so regressions show up in ``--benchmark-compare`` runs.
+
+Run with timing::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_faults_overhead.py -q
+"""
+
+import time
+
+import pytest
+from benchmarks.conftest import print_table
+
+from respdi.catalog import CatalogStore
+from respdi.datagen import LakeSpec, generate_lake
+from respdi.faults import FaultPlan, active_plan, current_plan, fault_point
+
+CALLS_PER_ROUND = 100_000
+
+
+@pytest.fixture(scope="module")
+def lake_tables():
+    return dict(generate_lake(LakeSpec(n_distractors=6), rng=3).tables)
+
+
+def _per_call_inactive_cost(rounds=5):
+    assert current_plan() is None
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(CALLS_PER_ROUND):
+            fault_point("bench.inactive")
+        best = min(best, (time.perf_counter() - start) / CALLS_PER_ROUND)
+    return best
+
+
+def test_inactive_fault_point_micro(benchmark):
+    """Raw per-batch cost of the inactive hook, for the comparison table."""
+    assert current_plan() is None
+
+    def batch():
+        for _ in range(1000):
+            fault_point("bench.inactive")
+
+    benchmark(batch)
+
+
+def test_inactive_hooks_under_one_percent_of_build(tmp_path, lake_tables):
+    """E17 acceptance bound: hook tax < 1% of a real catalog build."""
+    per_call = _per_call_inactive_cost()
+
+    with active_plan(FaultPlan(record_trace=True)) as plan:
+        CatalogStore.build(tmp_path / "recorded", lake_tables, rng=7)
+    crossings = len(plan.trace)
+    assert crossings > 0  # the build really goes through the hooks
+
+    assert current_plan() is None
+    start = time.perf_counter()
+    CatalogStore.build(tmp_path / "timed", lake_tables, rng=7)
+    build_seconds = time.perf_counter() - start
+
+    tax = crossings * per_call
+    share = tax / build_seconds
+    print_table(
+        "E17: inactive fault-hook tax on CatalogStore.build",
+        ["metric", "value"],
+        [
+            ["per-call cost (ns)", f"{per_call * 1e9:.1f}"],
+            ["hook crossings per build", str(crossings)],
+            ["total hook tax (µs)", f"{tax * 1e6:.2f}"],
+            ["build wall time (ms)", f"{build_seconds * 1e3:.1f}"],
+            ["tax share of build", f"{share:.4%}"],
+        ],
+    )
+    assert share < 0.01, (
+        f"inactive fault hooks cost {share:.3%} of a catalog build "
+        f"({crossings} crossings x {per_call * 1e9:.0f}ns)"
+    )

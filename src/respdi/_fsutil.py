@@ -16,6 +16,8 @@ import tempfile
 from pathlib import Path
 from typing import Union
 
+from respdi.faults.plan import fault_point
+
 PathLike = Union[str, Path]
 
 
@@ -39,16 +41,32 @@ def fsync_directory(directory: PathLike) -> None:
 
 
 def atomic_write_bytes(path: PathLike, data: bytes) -> None:
-    """Atomically replace *path* with *data* (tmp file + fsync + rename)."""
+    """Atomically replace *path* with *data* (tmp file + fsync + rename).
+
+    Each step of the recipe is a named fault-injection point
+    (:mod:`respdi.faults`): a crash at ``fsutil.tmp_created`` leaves an
+    empty orphan tmp, at ``fsutil.tmp_written`` a complete (or, torn,
+    partial) orphan tmp with the destination untouched, and at
+    ``fsutil.renamed`` the new file already in place — the three states
+    the crash-consistency matrix proves a reader survives.
+    """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
     )
     try:
+        fault_point("fsutil.tmp_created", path=str(path), tmp=tmp_name)
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
             handle.flush()
+            fault_point("fsutil.fsync", path=str(path), tmp=tmp_name)
             os.fsync(handle.fileno())
+        fault_point(
+            "fsutil.tmp_written",
+            path=str(path),
+            tmp=tmp_name,
+            tear_target=tmp_name,
+        )
         os.replace(tmp_name, str(path))
     except BaseException:
         try:
@@ -56,6 +74,7 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> None:
         except OSError:
             pass
         raise
+    fault_point("fsutil.renamed", path=str(path), tear_target=str(path))
     fsync_directory(path.parent)
 
 

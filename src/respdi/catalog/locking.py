@@ -6,6 +6,17 @@ either the previous or the next consistent snapshot.  Writers serialize
 on a lock file created with ``O_CREAT | O_EXCL`` (atomic on every
 platform and on NFS since v3), which holds the owner's pid so a lock
 orphaned by a killed process can be detected and broken.
+
+Two crash windows the fault-injection matrix exercises:
+
+* a writer killed *while holding* the lock leaves a lock file with a
+  dead pid — any later writer breaks it (``catalog.lock.broken`` counts
+  each break so lock takeovers stay auditable);
+* a writer killed *between* creating the lock file and recording its
+  pid leaves an empty lock no pid check can clear — such unreadable
+  locks are treated as stale once older than
+  :data:`UNREADABLE_LOCK_GRACE_SECONDS` (a live writer writes its pid
+  within microseconds of creation).
 """
 
 from __future__ import annotations
@@ -16,9 +27,18 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from respdi import obs
 from respdi.errors import CatalogLockedError
+from respdi.faults.plan import fault_point
 
 LOCK_FILENAME = "writer.lock"
+
+#: Age (seconds, by mtime) past which a lock file with no readable pid —
+#: the residue of a writer killed before it recorded its pid — is
+#: considered stale and broken.  Long enough that a live writer has
+#: always written its pid; short enough that a crashed one never wedges
+#: the catalog.
+UNREADABLE_LOCK_GRACE_SECONDS = 5.0
 
 
 def _lock_owner(lock_path: Path) -> Optional[int]:
@@ -43,19 +63,36 @@ def _pid_alive(pid: int) -> bool:
 
 
 def break_stale_lock(directory: Union[str, Path]) -> bool:
-    """Remove the lock file if its owning process is dead.
+    """Remove the lock file if its owning process is certainly not writing.
 
-    Returns True when a stale lock was removed.  Only same-host
-    liveness is checkable; a lock from another host is never broken.
+    Stale means: the recorded pid belongs to a dead process, or the file
+    holds no readable pid (writer killed before recording it) and is
+    older than :data:`UNREADABLE_LOCK_GRACE_SECONDS`.  Returns True when
+    a stale lock was removed; each break increments the
+    ``catalog.lock.broken`` audit counter.  Only same-host liveness is
+    checkable; a lock from another host is never broken.
     """
     lock_path = Path(directory) / LOCK_FILENAME
     owner = _lock_owner(lock_path)
-    if owner is None or _pid_alive(owner):
-        return False
+    if owner is not None:
+        if _pid_alive(owner):
+            return False
+    else:
+        # No readable pid: either the file is gone (nothing to break) or
+        # a writer died between O_CREAT|O_EXCL and writing its pid.  Only
+        # break the latter, and only once it is unambiguously old.
+        try:
+            age = time.time() - lock_path.stat().st_mtime
+        except OSError:
+            return False
+        if age < UNREADABLE_LOCK_GRACE_SECONDS:
+            return False
+    fault_point("catalog.lock.break", directory=str(directory))
     try:
         lock_path.unlink()
     except OSError:
         return False
+    obs.inc("catalog.lock.broken")
     return True
 
 
@@ -68,10 +105,12 @@ def writer_lock(
     """Hold the exclusive writer lock for *directory*.
 
     Acquisition retries until *timeout* seconds elapse, breaking stale
-    locks (dead same-host owners) along the way, then raises
+    locks (dead same-host owners, pid-less residues past their grace
+    period) along the way, then raises
     :class:`~respdi.errors.CatalogLockedError`.
     """
     lock_path = Path(directory) / LOCK_FILENAME
+    fault_point("catalog.lock.acquire", directory=str(directory))
     deadline = time.monotonic() + timeout
     while True:
         try:
@@ -89,12 +128,16 @@ def writer_lock(
                 ) from None
             time.sleep(poll_interval)
     try:
+        # A crash here is the pid-less-lock window the grace-period break
+        # above exists for.
+        fault_point("catalog.lock.acquired", directory=str(directory))
         os.write(fd, str(os.getpid()).encode("ascii"))
     finally:
         os.close(fd)
     try:
         yield
     finally:
+        fault_point("catalog.lock.release", directory=str(directory))
         try:
             lock_path.unlink()
         except OSError:  # pragma: no cover - already gone

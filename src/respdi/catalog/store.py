@@ -16,7 +16,10 @@ Layout::
     <catalog>/
       MANIFEST.json          # schema version, config, per-file checksums
       hasher.npz             # the shared MinHasher's coefficients
-      ensemble.npz           # the frozen LSH Ensemble over all domains
+      ensemble-<gen>.npz     # the frozen LSH Ensemble over all domains
+                             # (generation-numbered; named by the manifest,
+                             # published by the manifest rename, old
+                             # generations GC'd after commit)
       writer.lock            # transient: present only while a writer runs
       entries/<dir>/         # one directory per registered table
         meta.json sketches.npz columns.json keyword.json features.json
@@ -31,8 +34,16 @@ Integrity and concurrency:
   producing garbage similarities;
 * writers serialize on a lock file (:mod:`respdi.catalog.locking`) and
   commit by atomically replacing the manifest, so readers — which never
-  lock — always see a consistent snapshot; entry directories orphaned
-  by a crash are garbage-collected by the next writer.
+  lock — always see a consistent snapshot; entry directories and
+  ensemble generations orphaned by a crash are garbage-collected by the
+  next writer, and ``*.tmp`` residue past its grace period is swept by
+  :meth:`CatalogStore.open`.
+
+These guarantees are machine-checked: ``tests/test_crash_consistency.py``
+kills every mutation at every :func:`~respdi.faults.fault_point` it
+crosses (write, fsync, rename, commit, lock transitions) and asserts the
+surviving store always opens, verifies clean, and equals the complete
+old or complete new state.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ import json
 import re
 import shutil
 import threading
+import time
 from collections import Counter
 from hashlib import blake2b
 from pathlib import Path
@@ -69,6 +81,7 @@ from respdi.discovery.serialize import (
     signatures_to_npz,
 )
 from respdi.errors import CatalogCorruptError, SpecificationError
+from respdi.faults.plan import fault_point
 from respdi.parallel import ExecutionContext, map_tables
 from respdi.profiling.datasheets import Datasheet
 from respdi.profiling.export import datasheet_to_dict, label_to_dict
@@ -83,6 +96,11 @@ CATALOG_SCHEMA_VERSION = 1
 
 MANIFEST_FILENAME = "MANIFEST.json"
 HASHER_FILENAME = "hasher.npz"
+#: Legacy fixed ensemble filename; current catalogs write generation-
+#: numbered ``ensemble-<gen>.npz`` files named by ``manifest["ensemble_file"]``
+#: so the manifest commit — never an in-place overwrite — publishes a new
+#: ensemble (a crash between ensemble write and manifest rename must leave
+#: the previous referenced ensemble intact and checksum-clean).
 ENSEMBLE_FILENAME = "ensemble.npz"
 ENTRIES_DIRNAME = "entries"
 
@@ -201,6 +219,12 @@ class CatalogStore:
     #: :class:`~respdi.errors.CatalogLockedError`.
     lock_timeout: float = 10.0
 
+    #: Age (seconds, by mtime) past which an orphaned ``*.tmp`` file —
+    #: the residue of a writer crashed between tmp-write and rename — is
+    #: swept by :meth:`open`.  Young tmps are left alone: they may belong
+    #: to a writer mid-flight right now.
+    tmp_sweep_grace: float = 60.0
+
     def __init__(self, directory: PathLike, manifest: dict, hasher: MinHasher) -> None:
         self.directory = Path(directory)
         self._manifest = manifest
@@ -294,6 +318,7 @@ class CatalogStore:
                     "persisted hasher does not match the manifest fingerprint "
                     "(mixed-hasher state)"
                 )
+            cls._sweep_orphan_tmps(directory)
             return cls(directory, manifest, hasher)
 
     @classmethod
@@ -327,6 +352,7 @@ class CatalogStore:
             with store._tlock, writer_lock(
                 store.directory, timeout=cls.lock_timeout
             ):
+                store._sync_manifest_locked()
                 for name, table in tables.items():
                     fingerprint, artifacts = sketched[name]
                     store._write_entry(
@@ -375,6 +401,55 @@ class CatalogStore:
         """The persisted metadata record for *name* (a fresh dict)."""
         return dict(json.loads(self._read_entry_bytes(name, "meta.json")))
 
+    # -- crash hygiene -------------------------------------------------------
+
+    @classmethod
+    def _sweep_orphan_tmps(cls, directory: Path) -> int:
+        """Unlink ``*.tmp`` residue older than :attr:`tmp_sweep_grace`.
+
+        A writer crashed between tmp-write and rename leaves
+        ``.<name>.<random>.tmp`` files in the catalog root or an entry
+        directory.  They are never referenced by a manifest, so they are
+        noise, not corruption — but left alone they accumulate forever.
+        Swept count lands on the ``catalog.orphans.swept`` counter.
+        """
+        candidates = list(directory.glob(".*.tmp"))
+        entries_dir = directory / ENTRIES_DIRNAME
+        if entries_dir.is_dir():
+            candidates.extend(entries_dir.glob("*/.*.tmp"))
+        now = time.time()
+        swept = 0
+        for path in candidates:
+            try:
+                if now - path.stat().st_mtime < cls.tmp_sweep_grace:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            swept += 1
+        if swept:
+            obs.inc("catalog.orphans.swept", swept)
+        return swept
+
+    def _sync_manifest_locked(self) -> None:
+        """Re-read the on-disk manifest; call only under the writer lock.
+
+        A store object opened before another *process* committed holds a
+        stale in-memory manifest; mutating from it would un-publish that
+        writer's entries (a lost update).  Re-reading at lock
+        acquisition makes every mutation read-modify-write against the
+        latest committed snapshot.
+        """
+        try:
+            text = (self.directory / MANIFEST_FILENAME).read_text()
+            manifest = json.loads(text)
+        except (OSError, ValueError):  # pragma: no cover - manifest is atomic
+            return
+        if manifest != self._manifest:
+            self._manifest = manifest
+            self._sketch_cache.clear()
+            self._index_cache = None
+
     # -- mutation ------------------------------------------------------------
 
     def add_table(
@@ -394,6 +469,7 @@ class CatalogStore:
         and (with *store_data*) the data itself can ride along too.
         """
         with self._tlock, writer_lock(self.directory, timeout=self.lock_timeout):
+            self._sync_manifest_locked()
             if name in self._manifest["entries"]:
                 raise SpecificationError(
                     f"table {name!r} is already cataloged (use refresh)"
@@ -412,6 +488,7 @@ class CatalogStore:
     def remove_table(self, name: str) -> None:
         """Drop *name* from the catalog (entry files are garbage-collected)."""
         with self._tlock, writer_lock(self.directory, timeout=self.lock_timeout):
+            self._sync_manifest_locked()
             if name not in self._manifest["entries"]:
                 raise SpecificationError(f"table {name!r} is not cataloged")
             del self._manifest["entries"][name]
@@ -425,6 +502,7 @@ class CatalogStore:
         fingerprint already matches *table* (nothing rewritten).
         """
         with self._tlock, writer_lock(self.directory, timeout=self.lock_timeout):
+            self._sync_manifest_locked()
             record = self._manifest["entries"].get(name)
             if record is None:
                 raise SpecificationError(f"table {name!r} is not cataloged")
@@ -452,6 +530,7 @@ class CatalogStore:
         publishes all rebuilt entries.
         """
         with self._tlock, writer_lock(self.directory, timeout=self.lock_timeout):
+            self._sync_manifest_locked()
             for name in tables:
                 if name not in self._manifest["entries"]:
                     raise SpecificationError(f"table {name!r} is not cataloged")
@@ -643,6 +722,7 @@ class CatalogStore:
             data = path.read_bytes()
         except OSError:
             raise CatalogCorruptError(f"{path} is missing") from None
+        fault_point("catalog.entry.read", name=name, filename=filename)
         if _checksum(data) != expected:
             raise CatalogCorruptError(
                 f"{path} does not match its manifest checksum "
@@ -809,14 +889,26 @@ class CatalogStore:
             "fingerprint": fingerprint,
             "row_count": artifacts.row_count,
             "stored_data": bool(store_data),
+            # *.tmp residue (a crashed writer's half-finished atomic
+            # write) must never be checksummed into the manifest: it is
+            # sweepable noise, and manifesting it would turn the later
+            # sweep into a phantom "file missing" corruption.
             "files": {
                 path.name: _file_checksum(path)
                 for path in sorted(entry_dir.iterdir())
+                if not path.name.endswith(".tmp")
             },
         }
         self._sketch_cache[name] = signatures
 
     def _rewrite_ensemble(self) -> None:
+        # The ensemble lands in a fresh generation-numbered file and is
+        # published by the manifest rename that follows — never by
+        # overwriting the referenced file in place.  A crash after this
+        # write but before the manifest commit leaves the previous
+        # referenced ensemble intact, so the store still verifies clean
+        # as the complete old state; the orphaned new generation is
+        # garbage-collected by the next successful commit.
         ensemble = LSHEnsemble(
             hasher=self.hasher, num_partitions=self.num_partitions
         )
@@ -825,9 +917,18 @@ class CatalogStore:
                 ensemble.index_signature((name, column), signature)
         if self._manifest["entries"]:
             ensemble.freeze()
-        lshensemble_to_npz(self.directory / ENSEMBLE_FILENAME, ensemble)
-        self._manifest["files"][ENSEMBLE_FILENAME] = _file_checksum(
-            self.directory / ENSEMBLE_FILENAME
+        previous = self._manifest.get("ensemble_file")
+        if previous is None and ENSEMBLE_FILENAME in self._manifest["files"]:
+            previous = ENSEMBLE_FILENAME  # pre-generation layout
+        generation = int(self._manifest.get("ensemble_generation", 0)) + 1
+        filename = f"ensemble-{generation:08d}.npz"
+        lshensemble_to_npz(self.directory / filename, ensemble)
+        if previous is not None and previous != filename:
+            self._manifest["files"].pop(previous, None)
+        self._manifest["ensemble_file"] = filename
+        self._manifest["ensemble_generation"] = generation
+        self._manifest["files"][filename] = _file_checksum(
+            self.directory / filename
         )
 
     def _write_manifest(self) -> None:
@@ -841,8 +942,11 @@ class CatalogStore:
 
     def _commit(self) -> None:
         """Publish the in-memory manifest: ensemble, manifest swap, GC."""
+        fault_point("catalog.commit.ensemble")
         self._rewrite_ensemble()
+        fault_point("catalog.commit.manifest")
         self._write_manifest()
+        fault_point("catalog.commit.gc")
         self._gc()
         self._index_cache = None
 
@@ -850,6 +954,13 @@ class CatalogStore:
         referenced = {
             record["dir"] for record in self._manifest["entries"].values()
         }
+        current_ensemble = self._manifest.get("ensemble_file")
+        for child in self.directory.glob("ensemble*.npz"):
+            if child.name != current_ensemble:
+                try:
+                    child.unlink()
+                except OSError:  # pragma: no cover - concurrent sweep
+                    pass
         entries_dir = self.directory / ENTRIES_DIRNAME
         if not entries_dir.is_dir():
             return

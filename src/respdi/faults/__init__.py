@@ -1,0 +1,70 @@
+"""respdi.faults — deterministic fault injection and crash simulation.
+
+The reliability counterpart to :mod:`respdi.obs`: where obs makes the
+system's behavior *observable*, faults makes its failure behavior
+*provable*.  Library code is seeded with named injection points
+(:func:`fault_point`) that are no-ops in production; tests install a
+:class:`FaultPlan` mapping points to faults — raise, delay, fsync
+failure, torn write, or a hard ``os._exit`` crash — and a
+:class:`CrashSimulator` that re-runs a catalog mutation killing it at
+*every* step it crosses, asserting the store afterwards loads as the
+complete old state or the complete new state, never a hybrid.
+
+See ``tests/test_crash_consistency.py`` for the kill-at-every-step
+matrix over the catalog and ``tests/test_faults_engine.py`` for the
+plan/point semantics and the parallel-engine fault drills.
+"""
+
+from __future__ import annotations
+
+from respdi.faults.crash import (
+    COMPLETED_EXIT_CODE,
+    ERROR_EXIT_CODE,
+    CrashOutcome,
+    CrashReport,
+    CrashSimulator,
+)
+from respdi.faults.plan import (
+    CRASH_EXIT_CODE,
+    KNOWN_POINTS,
+    CrashFault,
+    DelayFault,
+    Fault,
+    FaultPlan,
+    FaultRule,
+    FsyncFailFault,
+    InjectedFaultError,
+    RaiseFault,
+    SimulatedCrash,
+    TornWriteFault,
+    active_plan,
+    clear_plan,
+    current_plan,
+    fault_point,
+    install_plan,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "COMPLETED_EXIT_CODE",
+    "ERROR_EXIT_CODE",
+    "KNOWN_POINTS",
+    "CrashFault",
+    "CrashOutcome",
+    "CrashReport",
+    "CrashSimulator",
+    "DelayFault",
+    "Fault",
+    "FaultPlan",
+    "FaultRule",
+    "FsyncFailFault",
+    "InjectedFaultError",
+    "RaiseFault",
+    "SimulatedCrash",
+    "TornWriteFault",
+    "active_plan",
+    "clear_plan",
+    "current_plan",
+    "fault_point",
+    "install_plan",
+]

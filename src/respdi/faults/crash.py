@@ -1,0 +1,200 @@
+"""Crash simulation: kill an operation at every step, audit the wreckage.
+
+:class:`CrashSimulator` machine-checks a crash-consistency claim.  Given
+three callables —
+
+* ``prepare(workdir)`` — build the initial on-disk state,
+* ``mutate(workdir)`` — the operation whose durability is under test,
+* ``classify(workdir)`` — load the post-crash state and name it
+  (conventionally ``"old"`` / ``"new"``; raise on anything corrupt) —
+
+it first runs *mutate* once under a recording :class:`FaultPlan` to
+enumerate every injection point the operation passes through, then
+re-runs it once per step in a **forked child process** armed with a
+:class:`CrashFault` at exactly that step.  ``os._exit`` in the child
+means no ``finally`` blocks, no atexit hooks, and no buffer flushes run
+— the closest a test can get to pulling the plug.  The parent then
+classifies the surviving state.  A healthy atomic-commit protocol
+yields only complete-old or complete-new outcomes; anything else lands
+in :attr:`CrashReport.corrupt` and fails the matrix.
+
+POSIX-only (requires ``os.fork``); the crash-matrix tests skip
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from respdi.errors import SpecificationError
+from respdi.faults.plan import (
+    CRASH_EXIT_CODE,
+    CrashFault,
+    FaultPlan,
+    active_plan,
+    install_plan,
+)
+
+PathLike = Union[str, Path]
+
+#: Child exit status when the mutation finished without reaching its
+#: armed step (a non-deterministic point sequence — reported as corrupt).
+COMPLETED_EXIT_CODE = 170
+
+#: Child exit status when the mutation raised instead of crashing.
+ERROR_EXIT_CODE = 171
+
+
+@dataclass
+class CrashOutcome:
+    """What one kill-at-step trial left on disk."""
+
+    step: int
+    point: str
+    state: Optional[str] = None
+    problem: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.problem is None
+
+
+class CrashReport:
+    """The full kill-at-every-step matrix for one operation."""
+
+    def __init__(self, operation: str, outcomes: Sequence[CrashOutcome]) -> None:
+        self.operation = operation
+        self.outcomes = list(outcomes)
+
+    @property
+    def corrupt(self) -> List[CrashOutcome]:
+        """Trials whose surviving state classified as neither old nor new."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def states(self) -> Dict[str, int]:
+        """Histogram of healthy classifications (e.g. ``{"old": 9, "new": 3}``)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.ok and outcome.state is not None:
+                counts[outcome.state] = counts.get(outcome.state, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        states = " ".join(
+            f"{state}={count}" for state, count in sorted(self.states.items())
+        )
+        return (
+            f"{self.operation}: {len(self.outcomes)} kill-step(s), "
+            f"{len(self.corrupt)} corrupt, {states}"
+        )
+
+
+class CrashSimulator:
+    """Re-run a mutation, killing it at every injection point it crosses."""
+
+    def __init__(
+        self,
+        prepare: Callable[[Path], None],
+        mutate: Callable[[Path], None],
+        classify: Callable[[Path], str],
+        points: Optional[Sequence[str]] = None,
+        operation: str = "mutation",
+    ) -> None:
+        """*points*, when given, restricts kill-steps to points whose name
+        starts with any of the given prefixes (the recording still sees
+        every point, so per-point occurrence numbering is unaffected)."""
+        self.prepare = prepare
+        self.mutate = mutate
+        self.classify = classify
+        self.points = tuple(points) if points is not None else None
+        self.operation = operation
+
+    # -- enumeration ---------------------------------------------------------
+
+    def record(self, workdir: Path) -> List[str]:
+        """The ordered injection points one clean run of *mutate* crosses."""
+        workdir.mkdir(parents=True, exist_ok=True)
+        self.prepare(workdir)
+        plan = FaultPlan(record_trace=True)
+        with active_plan(plan):
+            self.mutate(workdir)
+        assert plan.trace is not None
+        return list(plan.trace)
+
+    def _selected(self, point: str) -> bool:
+        if self.points is None:
+            return True
+        return any(point.startswith(prefix) for prefix in self.points)
+
+    # -- the matrix ----------------------------------------------------------
+
+    def run(self, base_dir: PathLike) -> CrashReport:
+        """Kill *mutate* at every selected step; classify each survivor."""
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX only
+            raise SpecificationError(
+                "CrashSimulator needs os.fork to kill without cleanup "
+                "(POSIX only)"
+            )
+        base_dir = Path(base_dir)
+        trace = self.record(base_dir / "record")
+        steps: List[Tuple[int, str, int]] = []
+        occurrences: Dict[str, int] = {}
+        for index, point in enumerate(trace):
+            seen = occurrences.get(point, 0)
+            if self._selected(point):
+                steps.append((index, point, seen))
+            occurrences[point] = seen + 1
+
+        outcomes = []
+        for step, point, skip in steps:
+            workdir = base_dir / f"step-{step:04d}"
+            workdir.mkdir(parents=True, exist_ok=True)
+            self.prepare(workdir)
+            status = self._run_crashing_child(workdir, point, skip)
+            outcome = CrashOutcome(step=step, point=point)
+            if status == CRASH_EXIT_CODE:
+                try:
+                    outcome.state = self.classify(workdir)
+                except BaseException as exc:  # noqa: BLE001 - report, don't die
+                    outcome.problem = f"{type(exc).__name__}: {exc}"
+            elif status == COMPLETED_EXIT_CODE:
+                outcome.problem = (
+                    "mutation completed without reaching its kill-step "
+                    "(non-deterministic point sequence?)"
+                )
+            elif status == ERROR_EXIT_CODE:
+                outcome.problem = "mutation raised instead of crashing"
+            else:
+                outcome.problem = f"child exited with unexpected status {status}"
+            outcomes.append(outcome)
+            if outcome.ok:
+                shutil.rmtree(workdir, ignore_errors=True)
+        return CrashReport(self.operation, outcomes)
+
+    def _run_crashing_child(self, workdir: Path, point: str, skip: int) -> int:
+        """Fork; the child runs *mutate* armed to crash at *point*."""
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child exits via os._exit
+            # The child must never return into the test harness: every
+            # path out of this block is an os._exit.
+            try:
+                plan = FaultPlan().on(
+                    point, CrashFault(), skip=skip, times=1
+                )
+                install_plan(plan)
+                self.mutate(workdir)
+            except BaseException:
+                os._exit(ERROR_EXIT_CODE)
+            os._exit(COMPLETED_EXIT_CODE)
+        _, status = os.waitpid(pid, 0)
+        if os.WIFEXITED(status):
+            return os.WEXITSTATUS(status)
+        return -(os.WTERMSIG(status) if os.WIFSIGNALED(status) else 1)

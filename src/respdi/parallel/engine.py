@@ -57,6 +57,7 @@ from typing import (
 
 from respdi import obs
 from respdi.errors import SpecificationError
+from respdi.faults.plan import fault_point
 
 #: Environment variable giving the default worker count for call sites
 #: that receive neither ``context=`` nor ``n_jobs=``.  Values > 1 select
@@ -151,6 +152,23 @@ def _apply_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
     return [fn(item) for item in chunk]
 
 
+def _apply_chunk_at(
+    fn: Callable[[Any], Any], chunk: Sequence[Any], index: int
+) -> List[Any]:
+    """:func:`_apply_chunk` behind the ``parallel.worker`` injection point.
+
+    Every execution of a chunk — first pool attempt, pool retry, serial
+    fallback, and the plain serial path — crosses the point with its
+    chunk index, so a :class:`~respdi.faults.FaultPlan` can fail a
+    specific chunk's first N attempts and the tests can pin down the
+    exact ``parallel.retries`` / ``parallel.fallbacks`` ledger.  (For the
+    ``processes`` backend the plan lives in the parent; worker processes
+    see no plan, so injected faults are a threads/serial tool.)
+    """
+    fault_point("parallel.worker", chunk_index=index)
+    return _apply_chunk(fn, chunk)
+
+
 def _chunk(items: List[Any], size: int) -> List[List[Any]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
@@ -231,7 +249,7 @@ def _run_serial(
         with obs.trace(
             f"{label}.chunk", index=index, size=len(chunk), backend=backend
         ):
-            results.extend(_apply_chunk(fn, chunk))
+            results.extend(_apply_chunk_at(fn, chunk, index))
         obs.inc("parallel.tasks")
         obs.inc("parallel.items", len(chunk))
     return results
@@ -259,9 +277,11 @@ def _run_pooled(
     pool_dead = False
     with executor:
         futures: List[Optional[Future]] = []
-        for chunk in chunks:
+        for index, chunk in enumerate(chunks):
             try:
-                futures.append(executor.submit(_apply_chunk, fn, chunk))
+                futures.append(
+                    executor.submit(_apply_chunk_at, fn, chunk, index)
+                )
             except Exception:
                 obs.inc("parallel.pool_failures")
                 pool_dead = True
@@ -271,10 +291,10 @@ def _run_pooled(
                 f"{label}.chunk", index=index, size=len(chunk), backend=ctx.backend
             ):
                 if pool_dead or future is None:
-                    results.extend(_apply_chunk(fn, chunk))
+                    results.extend(_apply_chunk_at(fn, chunk, index))
                 else:
                     chunk_result, pool_dead = _collect_chunk(
-                        executor, future, fn, chunk, ctx
+                        executor, future, fn, chunk, ctx, index
                     )
                     results.extend(chunk_result)
             obs.inc("parallel.tasks")
@@ -288,6 +308,7 @@ def _collect_chunk(
     fn: Callable[[Any], Any],
     chunk: List[Any],
     ctx: ExecutionContext,
+    index: int,
 ) -> Tuple[List[Any], bool]:
     """One chunk's result: pool attempt → one retry → serial fallback.
 
@@ -299,15 +320,15 @@ def _collect_chunk(
         return future.result(timeout=ctx.timeout), False
     except BrokenExecutor:
         obs.inc("parallel.pool_failures")
-        return _apply_chunk(fn, chunk), True
+        return _apply_chunk_at(fn, chunk, index), True
     except (Exception, FuturesTimeoutError):
         obs.inc("parallel.retries")
     try:
-        retry = executor.submit(_apply_chunk, fn, chunk)
+        retry = executor.submit(_apply_chunk_at, fn, chunk, index)
         return retry.result(timeout=ctx.timeout), False
     except BrokenExecutor:
         obs.inc("parallel.pool_failures")
-        return _apply_chunk(fn, chunk), True
+        return _apply_chunk_at(fn, chunk, index), True
     except (Exception, FuturesTimeoutError):
         obs.inc("parallel.fallbacks")
-    return _apply_chunk(fn, chunk), False
+    return _apply_chunk_at(fn, chunk, index), False

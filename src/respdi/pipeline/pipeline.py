@@ -12,6 +12,7 @@ from respdi._rng import RngLike, ensure_rng
 from respdi.cleaning.imputers import Imputer
 from respdi.discovery.lake_index import DataLakeIndex
 from respdi.errors import EmptyInputError, SpecificationError
+from respdi.faults.plan import fault_point
 from respdi.parallel import ExecutionContext
 from respdi.profiling.datasheets import Datasheet, build_datasheet
 from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
@@ -28,8 +29,12 @@ from respdi.tailoring.specs import TailoringSpec
 def _stage(name: str, timings: List[Tuple[str, float]]):
     """Time one pipeline stage: always into *timings* (so provenance can
     report wall-times), and as a ``pipeline.stage.<name>`` span when
-    observability is enabled."""
+    observability is enabled.  Each stage boundary is also a
+    ``pipeline.stage.<name>`` fault-injection point, so tests can fail
+    or stall any stage and assert the failure surfaces instead of
+    yielding a half-documented result."""
     start = time.perf_counter()
+    fault_point(f"pipeline.stage.{name}")
     with obs.trace(f"pipeline.stage.{name}"):
         yield
     timings.append((name, time.perf_counter() - start))

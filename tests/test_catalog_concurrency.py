@@ -1,0 +1,204 @@
+"""Multi-process catalog locking: mutual exclusion, lost updates, SIGKILL.
+
+Real child processes (``fork`` start method — no pickling of test
+state) hammer one catalog directory.  The claims under test:
+
+* the writer lock is mutually exclusive across processes — no two
+  holders ever overlap a critical section;
+* concurrent ``add_table`` writers lose no updates — every writer's
+  entry is present afterwards and the catalog verifies clean (this is
+  the cross-process manifest-reload path: each writer must re-read the
+  manifest after acquiring the lock, not trust its in-memory copy);
+* a writer killed with SIGKILL leaves a stale lock that the next
+  writer breaks, and each break lands on the ``catalog.lock.broken``
+  audit counter;
+* the pid-less lock residue (writer killed between lock creation and
+  pid record) blocks writers only for its grace period.
+
+POSIX-only; skipped where ``os.fork`` is unavailable.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from respdi import obs
+from respdi.catalog import CatalogStore
+from respdi.catalog.locking import (
+    LOCK_FILENAME,
+    UNREADABLE_LOCK_GRACE_SECONDS,
+    break_stale_lock,
+    writer_lock,
+)
+from respdi.errors import CatalogLockedError
+from respdi.table import Schema, Table
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="needs fork start method (POSIX)"
+)
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+
+
+def _table(tag, n=8):
+    return Table.from_rows(
+        SCHEMA, [(f"{tag}_{i}", float(i)) for i in range(n)]
+    )
+
+
+def _mp():
+    return multiprocessing.get_context("fork")
+
+
+# -- raw lock: mutual exclusion ------------------------------------------------
+
+
+def _lock_stress_worker(directory, iterations):
+    """Acquire the lock *iterations* times; inside each hold, prove sole
+    ownership with a marker file and do an unprotected-looking
+    read-modify-write on a counter file.  Any overlap corrupts either
+    the marker invariant or the final count."""
+    directory = str(directory)
+    marker = os.path.join(directory, "critical.marker")
+    counter = os.path.join(directory, "counter.txt")
+    for _ in range(iterations):
+        with writer_lock(directory, timeout=30.0, poll_interval=0.002):
+            if os.path.exists(marker):
+                os._exit(3)  # another process inside the critical section
+            with open(marker, "w") as handle:
+                handle.write(str(os.getpid()))
+            with open(counter) as handle:
+                value = int(handle.read())
+            time.sleep(0.001)  # widen the race window
+            with open(counter, "w") as handle:
+                handle.write(str(value + 1))
+            os.remove(marker)
+    os._exit(0)
+
+
+def test_writer_lock_is_mutually_exclusive_across_processes(tmp_path):
+    workers, iterations = 4, 10
+    (tmp_path / "counter.txt").write_text("0")
+    ctx = _mp()
+    procs = [
+        ctx.Process(target=_lock_stress_worker, args=(tmp_path, iterations))
+        for _ in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+    codes = [p.exitcode for p in procs]
+    assert codes == [0] * workers, (
+        f"exit codes {codes}: 3 means two processes overlapped "
+        "inside the critical section"
+    )
+    # Every read-modify-write survived: the lock serialized all of them.
+    assert int((tmp_path / "counter.txt").read_text()) == workers * iterations
+    assert not (tmp_path / LOCK_FILENAME).exists()
+
+
+# -- concurrent catalog writers: no lost updates -------------------------------
+
+
+def _add_table_worker(catalog_dir, name):
+    try:
+        store = CatalogStore.open(catalog_dir)
+        store.add_table(name, _table(name))
+    except BaseException:
+        os._exit(1)
+    os._exit(0)
+
+
+def test_concurrent_add_table_loses_no_updates(tmp_path):
+    catalog_dir = tmp_path / "cat"
+    CatalogStore.build(
+        catalog_dir, {"seed": _table("seed")}, rng=7, num_hashes=16
+    )
+    names = [f"writer{i}" for i in range(4)]
+    ctx = _mp()
+    procs = [
+        ctx.Process(target=_add_table_worker, args=(catalog_dir, name))
+        for name in names
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+    assert [p.exitcode for p in procs] == [0] * len(names)
+
+    store = CatalogStore.open(catalog_dir)
+    # No lost update: every writer's entry survived every other commit.
+    assert sorted(store.names) == sorted(["seed"] + names)
+    assert store.verify() == []
+
+
+# -- SIGKILL: stale lock break + audit counter ---------------------------------
+
+
+def _hold_lock_forever(directory, ready_path):
+    with writer_lock(directory, timeout=10.0):
+        with open(ready_path, "w") as handle:
+            handle.write("locked")
+        time.sleep(60)  # until SIGKILL
+    os._exit(0)  # pragma: no cover - never reached
+
+
+def test_sigkilled_writer_lock_is_broken_and_audited(tmp_path):
+    ready = tmp_path / "ready"
+    ctx = _mp()
+    proc = ctx.Process(target=_hold_lock_forever, args=(tmp_path, ready))
+    proc.start()
+    deadline = time.monotonic() + 30
+    while not ready.exists():
+        assert time.monotonic() < deadline, "child never acquired the lock"
+        time.sleep(0.01)
+    proc.kill()  # SIGKILL: no finally, the lock file stays behind
+    proc.join(timeout=30)
+    lock_path = tmp_path / LOCK_FILENAME
+    assert lock_path.exists()
+    assert int(lock_path.read_text()) == proc.pid
+
+    obs.enable()
+    obs.reset()
+    try:
+        with writer_lock(tmp_path, timeout=10.0):
+            assert int(lock_path.read_text()) == os.getpid()
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["catalog.lock.broken"] == 1.0
+    finally:
+        obs.disable()
+        obs.reset()
+    assert not lock_path.exists()
+
+
+# -- pid-less lock residue: grace period ---------------------------------------
+
+
+def test_fresh_pidless_lock_is_respected(tmp_path):
+    (tmp_path / LOCK_FILENAME).touch()  # just-created, no pid yet
+    assert not break_stale_lock(tmp_path)
+    with pytest.raises(CatalogLockedError):
+        with writer_lock(tmp_path, timeout=0.2, poll_interval=0.02):
+            pass  # pragma: no cover
+    assert (tmp_path / LOCK_FILENAME).exists()
+
+
+def test_aged_pidless_lock_is_broken(tmp_path):
+    lock_path = tmp_path / LOCK_FILENAME
+    lock_path.touch()
+    stale = time.time() - (UNREADABLE_LOCK_GRACE_SECONDS + 1.0)
+    os.utime(lock_path, (stale, stale))
+    obs.enable()
+    obs.reset()
+    try:
+        with writer_lock(tmp_path, timeout=5.0):
+            assert int(lock_path.read_text()) == os.getpid()
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["catalog.lock.broken"] == 1.0
+    finally:
+        obs.disable()
+        obs.reset()
+    assert not lock_path.exists()

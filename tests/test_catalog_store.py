@@ -15,7 +15,6 @@ from respdi.errors import (
     SpecificationError,
 )
 from respdi.profiling import build_datasheet
-from respdi.table import Table
 
 
 @pytest.fixture(scope="module")
@@ -319,3 +318,57 @@ def test_entry_gc(store, lake_tables):
     store.remove_table("query")
     after = {child.name for child in entries_dir.iterdir()}
     assert len(after) == len(before) - 1
+
+
+# -- orphan tmp hygiene (crash residue) ----------------------------------------
+
+
+def _plant_tmp(path, age_seconds):
+    import os
+    import time
+
+    path.write_bytes(b"half-written crash residue")
+    stamp = time.time() - age_seconds
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_open_sweeps_aged_orphan_tmps(store, monkeypatch):
+    """Regression: tmp files orphaned by a crashed writer used to pile up
+    forever; ``open`` now sweeps any older than the grace period, in the
+    catalog root and inside entry directories."""
+    root_tmp = _plant_tmp(store.directory / ".MANIFEST.json.abc123.tmp", 120.0)
+    entry_dir = next((store.directory / "entries").iterdir())
+    entry_tmp = _plant_tmp(entry_dir / ".meta.json.def456.tmp", 120.0)
+    monkeypatch.setattr(CatalogStore, "tmp_sweep_grace", 60.0)
+
+    obs.enable()
+    obs.reset()
+    try:
+        reopened = CatalogStore.open(store.directory)
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["catalog.orphans.swept"] == 2.0
+    finally:
+        obs.disable()
+        obs.reset()
+    assert not root_tmp.exists()
+    assert not entry_tmp.exists()
+    assert reopened.verify() == []  # residue never counted as corruption
+
+
+def test_open_leaves_young_tmps_for_live_writers(store):
+    """A tmp younger than the grace period may belong to a writer that is
+    mid-flight right now — it must survive the sweep."""
+    young = _plant_tmp(store.directory / ".MANIFEST.json.xyz789.tmp", 1.0)
+    CatalogStore.open(store.directory)
+    assert young.exists()
+    young.unlink()
+
+
+def test_verify_ignores_orphan_tmps_in_entry_dirs(store):
+    """Entry checksums cover only manifest-listed files; crash residue in
+    an entry directory must not fail verification."""
+    entry_dir = next((store.directory / "entries").iterdir())
+    _plant_tmp(entry_dir / ".sketches.npz.zz9.tmp", 1.0)
+    assert store.verify() == []
+    assert CatalogStore.open(store.directory).verify() == []

@@ -1,0 +1,399 @@
+"""FaultPlan/fault_point semantics and fault drills for every subsystem.
+
+Covers the tentpole contracts: deterministic occurrence-based
+triggering, zero effect when no plan is active, exact
+``parallel.retries``/``parallel.fallbacks`` ledgers under injected
+worker faults, fsync-failure atomicity at the filesystem layer, stage
+faults surfacing from the pipeline, and — the completeness gate — that
+every registered injection point in :data:`respdi.faults.KNOWN_POINTS`
+is actually crossed by the operations this suite runs.
+"""
+
+import errno
+import os
+import threading
+import time
+
+import pytest
+
+from respdi import ResponsibleIntegrationPipeline, obs
+from respdi._fsutil import atomic_write_text
+from respdi.catalog import CatalogStore
+from respdi.catalog.locking import writer_lock
+from respdi.faults import (
+    KNOWN_POINTS,
+    DelayFault,
+    FaultPlan,
+    FsyncFailFault,
+    InjectedFaultError,
+    RaiseFault,
+    active_plan,
+    clear_plan,
+    current_plan,
+    fault_point,
+    install_plan,
+)
+from respdi.parallel import ExecutionContext, map_chunked
+from respdi.table import Schema, Table
+from respdi.tailoring import CountSpec
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def _tiny_tables():
+    schema = Schema([("key", "categorical"), ("value", "numeric")])
+    out = {}
+    for t in range(3):
+        rows = [(f"k{t}_{i}", float(i) + t) for i in range(12)]
+        out[f"table{t}"] = Table.from_rows(schema, rows)
+    return out
+
+
+# -- plan and point semantics --------------------------------------------------
+
+
+def test_inactive_plan_is_a_no_op():
+    assert current_plan() is None
+    for _ in range(100):
+        fault_point("nowhere.special", anything=1)  # must not raise or record
+    assert current_plan() is None
+
+
+def test_hits_and_trace_are_recorded_in_order():
+    plan = FaultPlan(record_trace=True)
+    with active_plan(plan) as active:
+        assert active is plan and current_plan() is plan
+        fault_point("a")
+        fault_point("b")
+        fault_point("a")
+    assert current_plan() is None
+    assert plan.count("a") == 2 and plan.count("b") == 1
+    assert plan.count("never") == 0
+    assert plan.trace == ["a", "b", "a"]
+
+
+def test_one_shot_fault_fires_exactly_once():
+    plan = FaultPlan().on("p", RaiseFault(), times=1)
+    with active_plan(plan):
+        with pytest.raises(InjectedFaultError, match="'p'"):
+            fault_point("p")
+        for _ in range(5):
+            fault_point("p")  # exhausted: never fires again
+    assert plan.count("p") == 6
+
+
+def test_skip_and_every_nth_triggering():
+    fired = []
+
+    class Probe(RaiseFault):
+        def fire(self, point, info):
+            fired.append(info["n"])
+
+    plan = FaultPlan().on("p", Probe(), skip=2, every=3, times=None)
+    with active_plan(plan):
+        for n in range(1, 12):
+            fault_point("p", n=n)
+    # Skip hits 1-2, then fire on every 3rd eligible hit: 3, 6, 9.
+    assert fired == [3, 6, 9]
+
+
+def test_when_predicate_filters_hits():
+    plan = FaultPlan().on(
+        "p", RaiseFault(), times=1, when=lambda info: info.get("idx") == 2
+    )
+    with active_plan(plan):
+        fault_point("p", idx=0)
+        fault_point("p", idx=1)
+        with pytest.raises(InjectedFaultError):
+            fault_point("p", idx=2)
+        fault_point("p", idx=2)  # one-shot: already spent
+    assert plan.count("p") == 4
+
+
+def test_rule_counters_are_thread_safe():
+    plan = FaultPlan().on("p", RaiseFault(), skip=10_000, times=None)
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(1000):
+                fault_point("p")
+        except BaseException as exc:  # pragma: no cover - only on bug
+            errors.append(exc)
+
+    with active_plan(plan):
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert errors == []
+    assert plan.count("p") == 4000
+
+
+def test_install_and_clear_plan():
+    plan = FaultPlan()
+    install_plan(plan)
+    assert current_plan() is plan
+    clear_plan()
+    assert current_plan() is None
+
+
+def test_delay_fault_sleeps():
+    plan = FaultPlan().on("p", DelayFault(0.05))
+    start = time.perf_counter()
+    with active_plan(plan):
+        fault_point("p")
+    assert time.perf_counter() - start >= 0.04
+
+
+# -- filesystem layer ----------------------------------------------------------
+
+
+def test_raise_at_tmp_written_leaves_destination_and_no_tmp(tmp_path):
+    target = tmp_path / "artifact.json"
+    atomic_write_text(target, "old")
+    plan = FaultPlan().on("fsutil.tmp_written", RaiseFault())
+    with active_plan(plan):
+        with pytest.raises(InjectedFaultError):
+            atomic_write_text(target, "new")
+    assert target.read_text() == "old"
+    assert list(tmp_path.glob(".*.tmp")) == []  # in-process cleanup ran
+    atomic_write_text(target, "new")  # and the writer is reusable
+    assert target.read_text() == "new"
+
+
+def test_fsync_failure_during_add_leaves_catalog_consistent(tmp_path):
+    tables = _tiny_tables()
+    store = CatalogStore.build(
+        tmp_path / "cat", {"table0": tables["table0"]}, rng=7, num_hashes=16
+    )
+    plan = FaultPlan().on("fsutil.fsync", FsyncFailFault())
+    with active_plan(plan):
+        with pytest.raises(OSError) as excinfo:
+            store.add_table("table1", tables["table1"])
+    assert excinfo.value.errno == errno.EIO
+    # The failed add published nothing: reopen, verify clean, old contents.
+    reopened = CatalogStore.open(store.directory)
+    assert reopened.names == ["table0"]
+    assert reopened.verify() == []
+    # The writer recovers: the same add succeeds once the fault is gone.
+    store.add_table("table1", tables["table1"])
+    assert CatalogStore.open(store.directory).names == ["table0", "table1"]
+    assert CatalogStore.open(store.directory).verify() == []
+
+
+# -- parallel engine: exact retry/fallback ledgers -----------------------------
+
+
+def _double(x):
+    return 2 * x
+
+
+def _chunk1(info):
+    return info.get("chunk_index") == 1
+
+
+def test_single_pool_fault_costs_one_retry_no_fallback():
+    obs.enable()
+    obs.reset()
+    try:
+        plan = FaultPlan().on("parallel.worker", RaiseFault(), times=1, when=_chunk1)
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=5)
+        with active_plan(plan):
+            result = map_chunked(_double, range(10), context)
+        assert result == [2 * i for i in range(10)]
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["parallel.retries"] == 1.0
+        assert counters.get("parallel.fallbacks", 0.0) == 0.0
+        assert counters["parallel.tasks"] == 2.0
+        assert counters["parallel.items"] == 10.0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_double_pool_fault_costs_one_retry_one_fallback():
+    obs.enable()
+    obs.reset()
+    try:
+        plan = FaultPlan().on("parallel.worker", RaiseFault(), times=2, when=_chunk1)
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=5)
+        with active_plan(plan):
+            result = map_chunked(_double, range(10), context)
+        assert result == [2 * i for i in range(10)]
+        counters = obs.global_registry().snapshot()["counters"]
+        # Pool attempt fails, pool retry fails, serial fallback succeeds.
+        assert counters["parallel.retries"] == 1.0
+        assert counters["parallel.fallbacks"] == 1.0
+        assert plan.count("parallel.worker") == 4  # chunk0 once, chunk1 thrice
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_persistent_fault_propagates_like_serial():
+    plan = FaultPlan().on("parallel.worker", RaiseFault(), times=None, when=_chunk1)
+    context = ExecutionContext(backend="threads", n_jobs=2, chunksize=5)
+    with active_plan(plan):
+        with pytest.raises(InjectedFaultError):
+            map_chunked(_double, range(10), context)
+
+
+def test_serial_backend_fault_raises_directly():
+    obs.enable()
+    obs.reset()
+    try:
+        plan = FaultPlan().on("parallel.worker", RaiseFault(), times=1, when=_chunk1)
+        with active_plan(plan):
+            with pytest.raises(InjectedFaultError):
+                map_chunked(_double, range(10), ExecutionContext(chunksize=5))
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters.get("parallel.retries", 0.0) == 0.0  # serial never retries
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_hung_worker_times_out_then_recovers():
+    obs.enable()
+    obs.reset()
+    try:
+        plan = FaultPlan().on(
+            "parallel.worker", DelayFault(0.5), times=1, when=_chunk1
+        )
+        context = ExecutionContext(
+            backend="threads", n_jobs=2, chunksize=3, timeout=0.05
+        )
+        with active_plan(plan):
+            result = map_chunked(_double, range(6), context)
+        assert result == [2 * i for i in range(6)]
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["parallel.retries"] >= 1.0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_faulted_parallel_catalog_build_is_byte_identical_to_serial(tmp_path):
+    """A transient worker fault must not change a single catalog byte."""
+    tables = _tiny_tables()
+    serial = CatalogStore.build(
+        tmp_path / "serial", tables, rng=7, num_hashes=16
+    )
+    plan = FaultPlan().on("parallel.worker", RaiseFault(), times=1)
+    context = ExecutionContext(backend="threads", n_jobs=2, chunksize=1)
+    with active_plan(plan):
+        faulted = CatalogStore.build(
+            tmp_path / "faulted", tables, rng=7, num_hashes=16, context=context
+        )
+    assert plan.count("parallel.worker") >= 2  # fault actually exercised
+    serial_files = sorted(
+        p.relative_to(serial.directory)
+        for p in serial.directory.rglob("*")
+        if p.is_file()
+    )
+    faulted_files = sorted(
+        p.relative_to(faulted.directory)
+        for p in faulted.directory.rglob("*")
+        if p.is_file()
+    )
+    assert serial_files == faulted_files
+    for rel in serial_files:
+        assert (serial.directory / rel).read_bytes() == (
+            faulted.directory / rel
+        ).read_bytes(), f"{rel} differs under a faulted parallel build"
+
+
+# -- pipeline stages -----------------------------------------------------------
+
+
+def _mini_pipeline_run():
+    schema = Schema([("gender", "categorical"), ("x", "numeric")])
+    rows = [("F", float(i)) for i in range(10)] + [
+        ("M", float(i)) for i in range(10)
+    ]
+    table = Table.from_rows(schema, rows)
+    pipeline = ResponsibleIntegrationPipeline(("gender",))
+    spec = CountSpec(("gender",), {("F",): 2, ("M",): 2})
+    return pipeline.run({"src": table}, spec, rng=0)
+
+
+def test_stage_fault_surfaces_instead_of_partial_result():
+    plan = FaultPlan().on("pipeline.stage.document", RaiseFault())
+    with active_plan(plan):
+        with pytest.raises(InjectedFaultError, match="pipeline.stage.document"):
+            _mini_pipeline_run()
+    # With the plan cleared the same run completes and documents fully.
+    result = _mini_pipeline_run()
+    assert result.label is not None and result.datasheet is not None
+
+
+# -- registry completeness -----------------------------------------------------
+
+
+def test_every_known_point_is_exercised(tmp_path):
+    """The KNOWN_POINTS registry matches reality: each point is crossed by
+    a representative operation, and no operation crosses an unregistered
+    point — so a newly wired (or renamed) point must be registered and
+    covered before this suite passes."""
+    tables = _tiny_tables()
+    seen = set()
+
+    def run_recorded(fn):
+        plan = FaultPlan(record_trace=True)
+        with active_plan(plan):
+            fn()
+        seen.update(plan.trace)
+
+    catalog_dir = tmp_path / "cat"
+
+    def catalog_lifecycle():
+        store = CatalogStore.build(catalog_dir, tables, rng=7, num_hashes=16)
+        store.refresh("table0", tables["table0"])  # hit: fingerprint match
+        changed = Table.from_rows(
+            Schema([("key", "categorical"), ("value", "numeric")]),
+            [("zz", 9.0), ("yy", 8.0)],
+        )
+        store.refresh("table1", changed)  # rebuild: reads + rewrites entry
+        store.remove_table("table2")
+        CatalogStore.open(catalog_dir).index()
+
+    def stale_lock_break():
+        # A lock owned by a certainly-dead pid is broken on acquisition.
+        lock = catalog_dir / "writer.lock"
+        dead = 2
+        while True:  # find a pid that does not exist
+            try:
+                os.kill(dead, 0)
+            except ProcessLookupError:
+                break
+            except PermissionError:
+                pass
+            dead += 7919
+        lock.write_text(str(dead))
+        with writer_lock(catalog_dir, timeout=5.0):
+            pass
+
+    def parallel_map():
+        context = ExecutionContext(backend="threads", n_jobs=2, chunksize=2)
+        assert map_chunked(_double, range(8), context) == [
+            2 * i for i in range(8)
+        ]
+
+    run_recorded(catalog_lifecycle)
+    run_recorded(stale_lock_break)
+    run_recorded(parallel_map)
+    run_recorded(_mini_pipeline_run)
+
+    missing = KNOWN_POINTS - seen
+    assert missing == set(), f"registered points never exercised: {missing}"
+    unregistered = seen - KNOWN_POINTS
+    assert unregistered == set(), (
+        f"points crossed but not in KNOWN_POINTS: {unregistered}"
+    )

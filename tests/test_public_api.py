@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "respdi.debiasing",
     "respdi.linkage",
     "respdi.ml",
+    "respdi.faults",
     "respdi.parallel",
     "respdi.pipeline",
 ]
