@@ -33,11 +33,15 @@ Entry points:
   (serial/threads/processes backends with byte-identical outputs).
 * :mod:`respdi.obs` — metrics, tracing spans, and instrumentation
   decorators (off by default; ``obs.enable()`` turns them on).
+* :mod:`respdi.service` — the concurrent read path: pinned snapshots,
+  a generation-keyed result cache, and the ``respdi-catalog serve``
+  query front-end.
 """
 
 from respdi.catalog import CatalogStore, load_catalog_index
 from respdi.parallel import ExecutionContext
 from respdi.pipeline import PipelineResult, ResponsibleIntegrationPipeline
+from respdi.service import QueryService
 from respdi.table import (
     MISSING,
     ColumnSpec,
@@ -56,6 +60,7 @@ __all__ = [
     "MISSING",
     "CatalogStore",
     "ExecutionContext",
+    "QueryService",
     "load_catalog_index",
     "PipelineResult",
     "ResponsibleIntegrationPipeline",

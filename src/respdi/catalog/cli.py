@@ -9,12 +9,19 @@ Usage::
     respdi-catalog remove DIR NAME
     respdi-catalog refresh DIR table.csv [table2.csv ...] [--name n] [--jobs N]
     respdi-catalog query DIR (--keyword TEXT | --union table.csv
-        | --join table.csv:COLUMN) [-k 10]
+        | --join table.csv:COLUMN) [-k 10] [--cached]
+    respdi-catalog serve DIR [--cache-size N] [--max-requests N]
     respdi-catalog verify DIR
     respdi-catalog info DIR
 
 Exit codes: 0 success, 1 usage or runtime error, 2 verification failure
 — so ``respdi-catalog verify`` drops into CI integrity gates directly.
+
+``query`` and ``serve`` answer through the shared
+:class:`~respdi.service.QueryService` for the directory: the store is
+opened (and its checksums verified) once per process, snapshots are
+pinned per committed generation, and — with ``--cached`` — repeated
+queries are served from the generation-keyed LRU result cache.
 """
 
 from __future__ import annotations
@@ -110,6 +117,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="find columns joinable with COLUMN of CSV",
     )
     query.add_argument("-k", type=int, default=10, help="max results")
+    query.add_argument(
+        "--cached",
+        action="store_true",
+        help=(
+            "serve repeated identical queries from the generation-keyed "
+            "result cache (results are byte-identical to uncached)"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer JSON-lines query requests from stdin (long-lived)",
+    )
+    serve.add_argument("directory")
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every request even when a cached result exists",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N requests (default: serve until EOF/stop)",
+    )
 
     verify = sub.add_parser("verify", help="check every file checksum")
     verify.add_argument("directory")
@@ -179,20 +219,50 @@ def _cmd_refresh(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    index = CatalogStore.open(args.directory).index()
+    # Routed through the shared per-directory QueryService: the first
+    # query in a process opens (and checksum-verifies) the store; later
+    # queries stat the manifest, reuse the pinned snapshot, and perform
+    # zero re-verifications (`catalog.open` counts exactly one).
+    from respdi.service import JoinQuery, KeywordQuery, UnionQuery, shared_service
+
+    service = shared_service(args.directory)
     if args.keyword is not None:
-        for hit in index.keyword_search(args.keyword, k=args.k):
+        hits = service.query(KeywordQuery(text=args.keyword, k=args.k),
+                             cached=args.cached)
+        for hit in hits:
             print(f"{hit.score:8.4f}  {hit.table_name}")
     elif args.union is not None:
-        for cand in index.unionable_tables(read_csv(args.union), k=args.k):
+        candidates = service.query(
+            UnionQuery(table=read_csv(args.union), k=args.k),
+            cached=args.cached,
+        )
+        for cand in candidates:
             print(f"{cand.score:8.4f}  {cand.table_name}")
     else:
         csv_path, _, column = args.join.rpartition(":")
         if not csv_path:
             raise RespdiError("--join expects CSV:COLUMN")
-        values = read_csv(csv_path).unique(column)
-        for cand in index.joinable_columns(values, k=args.k):
+        values = tuple(read_csv(csv_path).unique(column))
+        candidates = service.query(
+            JoinQuery(values=values, k=args.k), cached=args.cached
+        )
+        for cand in candidates:
             print(f"{cand.overlap:8d}  {cand.table_name}.{cand.column_name}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from respdi.service import QueryService, serve
+
+    service = QueryService(args.directory, cache_size=args.cache_size)
+    served = serve(
+        service,
+        sys.stdin,
+        sys.stdout,
+        cached=not args.no_cache,
+        max_requests=args.max_requests,
+    )
+    print(f"served {served} request(s)", file=sys.stderr)
     return 0
 
 
@@ -233,6 +303,7 @@ _COMMANDS = {
     "remove": _cmd_remove,
     "refresh": _cmd_refresh,
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "info": _cmd_info,
 }

@@ -109,6 +109,29 @@ def _checksum(data: bytes) -> str:
     return blake2b(data, digest_size=16).hexdigest()
 
 
+def read_manifest(directory: PathLike) -> dict:
+    """Parse ``MANIFEST.json`` without opening the full catalog.
+
+    This is the cheap read the service layer polls for generation
+    changes: no hasher load, no checksum verification, no
+    ``catalog.open`` counter.  The manifest itself is written atomically,
+    so the result is always one complete committed manifest (a torn file
+    raises :class:`CatalogCorruptError`, matching :meth:`CatalogStore.open`).
+    """
+    manifest_path = Path(directory) / MANIFEST_FILENAME
+    try:
+        with manifest_path.open() as handle:
+            return json.load(handle)
+    except OSError:
+        raise SpecificationError(
+            f"{directory} is not a catalog (no {MANIFEST_FILENAME})"
+        ) from None
+    except ValueError as exc:
+        raise CatalogCorruptError(
+            f"{manifest_path} is not valid JSON: {exc}"
+        ) from None
+
+
 def _file_checksum(path: Path) -> str:
     return _checksum(path.read_bytes())
 
@@ -284,18 +307,7 @@ class CatalogStore:
         directory = Path(directory)
         with obs.trace("catalog.open", directory=str(directory)):
             obs.inc("catalog.open")
-            manifest_path = directory / MANIFEST_FILENAME
-            try:
-                with manifest_path.open() as handle:
-                    manifest = json.load(handle)
-            except OSError:
-                raise SpecificationError(
-                    f"{directory} is not a catalog (no {MANIFEST_FILENAME})"
-                ) from None
-            except ValueError as exc:
-                raise CatalogCorruptError(
-                    f"{manifest_path} is not valid JSON: {exc}"
-                ) from None
+            manifest = read_manifest(directory)
             version = manifest.get("schema_version")
             if version != CATALOG_SCHEMA_VERSION:
                 raise SpecificationError(
@@ -387,9 +399,32 @@ class CatalogStore:
         return int(self._manifest["values_per_column"])
 
     @property
+    def generation(self) -> int:
+        """The manifest generation this store object currently reflects.
+
+        Every successful commit advances the generation by exactly one
+        (it numbers the ensemble file the manifest publishes), so the
+        pair ``(directory, generation)`` names one immutable committed
+        catalog state — the key the service layer pins snapshots and
+        caches query results under.
+        """
+        return int(self._manifest.get("ensemble_generation", 0))
+
+    @property
     def names(self) -> List[str]:
         """Registered table names, in registration order."""
         return list(self._manifest["entries"])
+
+    def at_manifest(self, manifest: dict) -> "CatalogStore":
+        """A read-only sibling store pinned to *manifest*.
+
+        The returned store shares this store's directory and validated
+        hasher but reads entries through the given (already committed)
+        manifest — the substrate of a snapshot handle.  Mutating through
+        it is not supported: writers must go through a store whose
+        manifest tracks disk.
+        """
+        return CatalogStore(self.directory, manifest, self.hasher)
 
     def __contains__(self, name: str) -> bool:
         return name in self._manifest["entries"]

@@ -76,3 +76,14 @@ class CatalogCorruptError(CatalogError):
 class CatalogLockedError(CatalogError):
     """Another writer holds the catalog's lock file and the acquisition
     timeout elapsed."""
+
+
+class SnapshotContentionError(CatalogError):
+    """A reader could not pin a consistent snapshot within its retry
+    budget.
+
+    Raised by the service layer when every pin attempt raced a writer's
+    commit-and-garbage-collect cycle (the referenced entry files were
+    replaced faster than they could be read).  Transient by nature:
+    retrying later, or raising the service's pin retry budget, resolves
+    it."""

@@ -68,6 +68,14 @@ KNOWN_POINTS = frozenset(
         "catalog.lock.release",
         # respdi.parallel.engine — per-chunk worker execution
         "parallel.worker",
+        # respdi.service — read-path query layer (snapshot pinning, the
+        # generation-keyed result cache, and the serve loop).  All
+        # read-only: killing at any of them must leave the store intact.
+        "service.snapshot.pin",
+        "service.cache.lookup",
+        "service.cache.store",
+        "service.serve.start",
+        "service.serve.request",
         # respdi.pipeline — stage boundaries
         "pipeline.stage.tailor",
         "pipeline.stage.clean",

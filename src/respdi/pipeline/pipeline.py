@@ -148,10 +148,11 @@ class ResponsibleIntegrationPipeline:
 
     def discover_sources(
         self,
-        lake: DataLakeIndex,
-        query: Table,
+        lake: Optional[DataLakeIndex] = None,
+        query: Optional[Table] = None,
         k: int = 5,
         min_score: float = 0.1,
+        service=None,
     ) -> Dict[str, Table]:
         """Unionable tables in *lake* for the query's schema, as candidate
         sources.  Only candidates exposing every sensitive column (after
@@ -163,7 +164,27 @@ class ResponsibleIntegrationPipeline:
         the persisted catalog, loading candidate tables lazily — or a
         plain ``{name: Table}`` mapping, which is sketched into a
         transient index under the pipeline's execution context (a fixed
-        hasher seed keeps this convenience path deterministic)."""
+        hasher seed keeps this convenience path deterministic).
+
+        Alternatively pass ``service=`` (a
+        :class:`~respdi.service.QueryService`) instead of *lake*:
+        discovery then runs against the service's pinned snapshot — one
+        committed catalog generation, consistent even while a writer
+        refreshes — and reuses the service's warm in-memory index
+        instead of re-opening the store."""
+        if query is None:
+            raise SpecificationError("discover_sources needs a query table")
+        if service is not None:
+            if lake is not None:
+                raise SpecificationError(
+                    "pass either lake or service=, not both"
+                )
+            lake = service.snapshot().index
+        elif lake is None:
+            raise SpecificationError(
+                "discover_sources needs a lake (index, catalog, or mapping) "
+                "or service="
+            )
         if not isinstance(lake, DataLakeIndex) and hasattr(lake, "index"):
             lake = lake.index()
         elif not isinstance(lake, DataLakeIndex) and hasattr(lake, "items"):

@@ -1,0 +1,52 @@
+"""respdi.service — the concurrent read path over a persisted catalog.
+
+Where :mod:`respdi.catalog` made discovery state durable, this package
+makes it *servable*: a long-lived :class:`QueryService` answers
+keyword / union / join / containment queries from pinned
+:class:`Snapshot` handles (readers see exactly one committed generation,
+even mid-refresh), memoizes results in a bounded LRU keyed by
+``(generation, query fingerprint)``, and fans batches out over
+:mod:`respdi.parallel`.  ``respdi-catalog serve`` exposes the same
+machinery as a JSON-lines request loop, and
+``ResponsibleIntegrationPipeline.discover_sources(service=...)`` runs
+pipeline discovery through it.
+
+Invariant the test suite enforces: a cached answer is byte-identical to
+an uncached one, which is byte-identical to querying a cold
+:class:`~respdi.discovery.lake_index.DataLakeIndex` over the same
+tables.
+"""
+
+from respdi.service.cache import QueryResultCache
+from respdi.service.queries import (
+    ContainmentQuery,
+    JoinQuery,
+    KeywordQuery,
+    Query,
+    UnionQuery,
+)
+from respdi.service.server import build_query, handle_request, serve
+from respdi.service.service import (
+    QueryService,
+    Snapshot,
+    pin_snapshot,
+    reset_shared_services,
+    shared_service,
+)
+
+__all__ = [
+    "ContainmentQuery",
+    "JoinQuery",
+    "KeywordQuery",
+    "Query",
+    "QueryResultCache",
+    "QueryService",
+    "Snapshot",
+    "UnionQuery",
+    "build_query",
+    "handle_request",
+    "pin_snapshot",
+    "reset_shared_services",
+    "serve",
+    "shared_service",
+]

@@ -1,0 +1,184 @@
+"""Fingerprintable query descriptors for the catalog query service.
+
+A :class:`Query` names one discovery question precisely enough to cache
+its answer: two queries with equal fingerprints are guaranteed to
+produce byte-identical results against the same catalog generation.
+Fingerprints are blake2b digests over a canonical descriptor — query
+kind, every parameter, and (for table-valued queries) the content
+fingerprint of the query table — so they are stable across processes
+and ``PYTHONHASHSEED`` values, like every other hash in the catalog.
+
+Each descriptor knows how to run itself against a
+:class:`~respdi.discovery.lake_index.DataLakeIndex` (:meth:`Query.run`)
+and how to render its result as plain JSON-able data
+(:meth:`Query.render`) for the serve loop and the differential suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Hashable, List, Optional, Tuple
+
+from respdi.catalog.store import table_fingerprint
+from respdi.discovery.lake_index import DataLakeIndex
+from respdi.errors import SpecificationError
+from respdi.table import Table
+
+
+def _digest(*parts: str) -> str:
+    digest = blake2b(digest_size=16)
+    for part in parts:
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _values_part(values: Tuple[Hashable, ...]) -> str:
+    return repr(list(values))
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class: one cacheable discovery question."""
+
+    kind = "query"
+
+    #: Memoized fingerprint — table-valued queries hash every cell of
+    #: their query table, which is worth paying once per descriptor, not
+    #: once per lookup.  ``field`` keeps it out of __init__/__eq__/repr.
+    _fp: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def fingerprint(self) -> str:
+        fp = self._fp
+        if fp is None:
+            fp = self._compute_fingerprint()
+            object.__setattr__(self, "_fp", fp)
+        return fp
+
+    def _compute_fingerprint(self) -> str:
+        raise NotImplementedError
+
+    def run(self, index: DataLakeIndex) -> Any:
+        raise NotImplementedError
+
+    def render(self, result: Any) -> List[dict]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class KeywordQuery(Query):
+    """TF-IDF keyword search over table names, descriptions, and values."""
+
+    text: str = ""
+    k: int = 10
+
+    kind = "keyword"
+
+    def _compute_fingerprint(self) -> str:
+        return _digest(self.kind, self.text, str(self.k))
+
+    def run(self, index: DataLakeIndex) -> Any:
+        return index.keyword_search(self.text, k=self.k)
+
+    def render(self, result: Any) -> List[dict]:
+        return [
+            {"table": hit.table_name, "score": hit.score} for hit in result
+        ]
+
+
+@dataclass(frozen=True)
+class UnionQuery(Query):
+    """Tables unionable with the query table (sketch-based alignment)."""
+
+    table: Optional[Table] = None
+    k: int = 10
+
+    kind = "union"
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            raise SpecificationError("UnionQuery requires a query table")
+
+    def _compute_fingerprint(self) -> str:
+        return _digest(self.kind, table_fingerprint(self.table), str(self.k))
+
+    def run(self, index: DataLakeIndex) -> Any:
+        return index.unionable_tables(self.table, k=self.k)
+
+    def render(self, result: Any) -> List[dict]:
+        return [
+            {
+                "table": cand.table_name,
+                "score": cand.score,
+                "alignment": dict(cand.alignment),
+            }
+            for cand in result
+        ]
+
+
+@dataclass(frozen=True)
+class JoinQuery(Query):
+    """Columns with the largest exact value overlap with *values*."""
+
+    values: Tuple[Hashable, ...] = ()
+    k: int = 10
+    min_overlap: int = 1
+
+    kind = "join"
+
+    def _compute_fingerprint(self) -> str:
+        return _digest(
+            self.kind,
+            _values_part(self.values),
+            str(self.k),
+            str(self.min_overlap),
+        )
+
+    def run(self, index: DataLakeIndex) -> Any:
+        return index.joinable_columns(
+            list(self.values), k=self.k, min_overlap=self.min_overlap
+        )
+
+    def render(self, result: Any) -> List[dict]:
+        return [
+            {
+                "table": cand.table_name,
+                "column": cand.column_name,
+                "overlap": cand.overlap,
+            }
+            for cand in result
+        ]
+
+
+@dataclass(frozen=True)
+class ContainmentQuery(Query):
+    """Columns whose domains contain *values* above a threshold (LSH)."""
+
+    values: Tuple[Hashable, ...] = ()
+    threshold: float = 0.5
+    k: Optional[int] = None
+
+    kind = "containment"
+
+    def _compute_fingerprint(self) -> str:
+        return _digest(
+            self.kind,
+            _values_part(self.values),
+            repr(self.threshold),
+            str(self.k),
+        )
+
+    def run(self, index: DataLakeIndex) -> Any:
+        return index.containment_search(
+            list(self.values), self.threshold, k=self.k
+        )
+
+    def render(self, result: Any) -> List[dict]:
+        return [
+            {"table": table, "column": column, "containment": estimate}
+            for (table, column), estimate in result
+        ]

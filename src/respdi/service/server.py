@@ -1,0 +1,146 @@
+"""``respdi-catalog serve`` — a long-lived JSON-lines query server.
+
+The transport is deliberately the simplest thing that makes the catalog
+a *service* instead of a one-shot command: one JSON request per input
+line, one JSON response per output line, over any pair of file-like
+streams (stdin/stdout from the CLI, ``io.StringIO`` in tests, a socket
+file if a caller wants one).  The store is opened once at startup and
+every request is answered through the shared :class:`QueryService`
+machinery — pinned snapshots, generation-keyed cache, obs counters.
+
+Request ops::
+
+    {"op": "keyword", "text": "demographics", "k": 10}
+    {"op": "join", "values": ["a", "b"], "k": 5, "min_overlap": 1}
+    {"op": "join", "csv": "query.csv", "column": "key", "k": 5}
+    {"op": "union", "csv": "query.csv", "k": 5}
+    {"op": "containment", "values": ["a", "b"], "threshold": 0.5, "k": 3}
+    {"op": "stats"}      # cache/snapshot counters
+    {"op": "ping"}
+    {"op": "stop"}       # drain and exit the loop
+
+Every response carries ``ok`` plus either the rendered ``results`` and
+the ``generation`` they were computed against, or an ``error`` string —
+a malformed request never kills the server.  Responses render through
+:meth:`respdi.service.queries.Query.render`, so their bytes are a
+deterministic function of (catalog generation, request): the
+differential suite compares served lines across backends and
+``PYTHONHASHSEED`` values directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, TextIO
+
+from respdi.errors import RespdiError
+from respdi.faults.plan import fault_point
+from respdi.service.queries import (
+    ContainmentQuery,
+    JoinQuery,
+    KeywordQuery,
+    Query,
+    UnionQuery,
+)
+from respdi.service.service import QueryService
+from respdi.table import read_csv
+
+
+def _require(request: Dict[str, Any], field: str) -> Any:
+    value = request.get(field)
+    if value is None:
+        raise RespdiError(f"{request.get('op')!r} request needs {field!r}")
+    return value
+
+
+def _join_values(request: Dict[str, Any]) -> tuple:
+    if "values" in request:
+        return tuple(request["values"])
+    csv_path = _require(request, "csv")
+    column = _require(request, "column")
+    return tuple(read_csv(csv_path).unique(column))
+
+
+def build_query(request: Dict[str, Any]) -> Query:
+    """Translate one request object into a fingerprintable :class:`Query`."""
+    op = _require(request, "op")
+    k = int(request.get("k", 10))
+    if op == "keyword":
+        return KeywordQuery(text=str(_require(request, "text")), k=k)
+    if op == "union":
+        return UnionQuery(table=read_csv(_require(request, "csv")), k=k)
+    if op == "join":
+        return JoinQuery(
+            values=_join_values(request),
+            k=k,
+            min_overlap=int(request.get("min_overlap", 1)),
+        )
+    if op == "containment":
+        return ContainmentQuery(
+            values=tuple(_require(request, "values")),
+            threshold=float(_require(request, "threshold")),
+            k=request.get("k"),
+        )
+    raise RespdiError(f"unknown op {op!r}")
+
+
+def handle_request(
+    service: QueryService, request: Dict[str, Any], cached: bool = True
+) -> Dict[str, Any]:
+    """Answer one already-parsed request; exceptions become error payloads."""
+    fault_point("service.serve.request", op=request.get("op"))
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "stats":
+        return {"ok": True, "op": "stats", "stats": service.stats()}
+    query = build_query(request)
+    snapshot = service.snapshot()
+    result = service._query_at(query, snapshot, cached)
+    return {
+        "ok": True,
+        "op": op,
+        "generation": snapshot.generation,
+        "results": query.render(result),
+    }
+
+
+def serve(
+    service: QueryService,
+    input_stream: TextIO,
+    output_stream: TextIO,
+    cached: bool = True,
+    max_requests: Optional[int] = None,
+) -> int:
+    """Run the request/response loop until EOF, ``stop``, or *max_requests*.
+
+    Returns the number of requests served.  Per-request failures (bad
+    JSON, unknown op, missing CSV, ...) are reported in-band and the
+    loop keeps serving; only stream-level failures propagate.
+    """
+    fault_point("service.serve.start", directory=str(service.directory))
+    served = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        if max_requests is not None and served >= max_requests:
+            break
+        served += 1
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise RespdiError("request must be a JSON object")
+            if request.get("op") == "stop":
+                response: Dict[str, Any] = {"ok": True, "op": "stop"}
+                output_stream.write(json.dumps(response) + "\n")
+                output_stream.flush()
+                break
+            response = handle_request(service, request, cached=cached)
+        except (RespdiError, OSError, ValueError, KeyError, TypeError) as exc:
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        output_stream.write(json.dumps(response) + "\n")
+        output_stream.flush()
+        if max_requests is not None and served >= max_requests:
+            break
+    return served

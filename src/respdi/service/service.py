@@ -1,0 +1,325 @@
+"""The concurrent read path: snapshot handles and the query service.
+
+:class:`CatalogStore` gives writers an atomic commit protocol; this
+module gives *readers* the complementary guarantee.  A
+:class:`Snapshot` pins one committed manifest generation and eagerly
+rehydrates every artifact it references, so the handle keeps answering
+queries against exactly that ensemble/entry set even while a concurrent
+writer commits refresh after refresh.  Pinning is an optimistic-read
+loop: entry files are immutable once committed (their directory names
+embed the content fingerprint) and every read re-verifies its manifest
+checksum, so a pin either captures one internally consistent generation
+or observes a mid-commit garbage collection as a checksum/missing-file
+error and retries against the newer manifest — a torn snapshot is
+unrepresentable.
+
+:class:`QueryService` fronts a store with:
+
+* automatic re-pinning — a cheap ``stat`` of ``MANIFEST.json`` detects
+  a new commit; only then is the manifest re-read and a fresh snapshot
+  pinned (``service.snapshot.pinned`` counts pins);
+* a bounded LRU result cache keyed by ``(generation, fingerprint)``
+  (:mod:`respdi.service.cache`), invalidated by construction when the
+  generation advances (stale generations are evicted on re-pin);
+* ``query_many`` — a batch API that pins one snapshot for the whole
+  batch and fans the queries out over :mod:`respdi.parallel`.
+
+Results served from the cache are the very objects the uncached path
+computed, and the fingerprint key is exact — cached and uncached
+answers are byte-identical, which the differential test suite enforces.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from respdi import obs
+from respdi.catalog.store import CatalogStore, read_manifest
+from respdi.discovery.lake_index import DataLakeIndex
+from respdi.errors import CatalogCorruptError, SnapshotContentionError
+from respdi.faults.plan import fault_point
+from respdi.parallel import ExecutionContext, map_chunked
+from respdi.service.cache import QueryResultCache, is_hit, make_key
+from respdi.service.queries import Query
+
+PathLike = Union[str, Path]
+
+#: ``(st_mtime_ns, st_size, st_ino)`` of MANIFEST.json — changes iff a
+#: writer committed (the manifest is only ever replaced by rename).
+_ManifestToken = Tuple[int, int, int]
+
+
+def _manifest_token(directory: Path) -> Optional[_ManifestToken]:
+    try:
+        stat = os.stat(directory / "MANIFEST.json")
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+
+class Snapshot:
+    """A pinned, fully-rehydrated view of one catalog generation.
+
+    Immutable once constructed: the index, manifest, and generation
+    never change, whatever writers do to the directory afterwards.
+    Concurrent reads through one snapshot are safe — queries only read
+    the rehydrated artifacts (the lazily-built containment ensemble is
+    assigned atomically and is deterministic, so a benign double build
+    cannot change results).
+    """
+
+    __slots__ = ("generation", "manifest", "index", "names")
+
+    def __init__(
+        self, generation: int, manifest: dict, index: DataLakeIndex
+    ) -> None:
+        self.generation = generation
+        self.manifest = manifest
+        self.index = index
+        self.names: Tuple[str, ...] = tuple(manifest["entries"])
+
+    def entry_fingerprints(self) -> Dict[str, str]:
+        """``{table name: content fingerprint}`` at this generation."""
+        return {
+            name: record["fingerprint"]
+            for name, record in self.manifest["entries"].items()
+        }
+
+    def query(self, query: Query) -> Any:
+        """Run *query* against this pinned generation (never cached)."""
+        return query.run(self.index)
+
+
+def pin_snapshot(
+    store: CatalogStore, max_retries: int = 16
+) -> Snapshot:
+    """Pin the latest committed generation of *store* as a :class:`Snapshot`.
+
+    Reads the manifest, then eagerly loads every referenced artifact
+    through the store's checksum gate.  A concurrent writer that commits
+    (and garbage-collects superseded entry files) mid-load surfaces as
+    :class:`CatalogCorruptError`; the loop then restarts from the fresh
+    manifest.  *max_retries* bounds the loop — exhausting it raises
+    :class:`SnapshotContentionError`, never a half-loaded snapshot.
+    """
+    last_error: Optional[CatalogCorruptError] = None
+    for _ in range(max_retries):
+        manifest = read_manifest(store.directory)
+        fault_point(
+            "service.snapshot.pin",
+            generation=int(manifest.get("ensemble_generation", 0)),
+        )
+        reader = store.at_manifest(manifest)
+        try:
+            index = reader.index()
+        except CatalogCorruptError as exc:
+            # A writer's commit+GC raced our reads: the manifest we hold
+            # references files that were replaced underneath us.  The
+            # *new* manifest is complete on disk — retry against it.
+            last_error = exc
+            continue
+        obs.inc("service.snapshot.pinned")
+        return Snapshot(reader.generation, manifest, index)
+    raise SnapshotContentionError(
+        f"could not pin a consistent snapshot of {store.directory} in "
+        f"{max_retries} attempts (last error: {last_error})"
+    )
+
+
+class _BatchQueryTask:
+    """Run one query of a ``query_many`` batch (threads-backend task)."""
+
+    __slots__ = ("service", "snapshot", "cached")
+
+    def __init__(
+        self, service: "QueryService", snapshot: Snapshot, cached: bool
+    ) -> None:
+        self.service = service
+        self.snapshot = snapshot
+        self.cached = cached
+
+    def __call__(self, query: Query) -> Any:
+        return self.service._query_at(query, self.snapshot, self.cached)
+
+
+class QueryService:
+    """A long-lived, cache-accelerated front-end over one catalog.
+
+    One service object serves many queries (and many threads): it opens
+    the store once, pins a snapshot lazily, re-pins only when a commit
+    moves the manifest, and memoizes results per generation.  The unit
+    of isolation is the snapshot — every individual query runs against
+    exactly one generation, and :meth:`query_many` runs its whole batch
+    against one.
+    """
+
+    def __init__(
+        self,
+        store: Union[CatalogStore, PathLike],
+        cache_size: int = 256,
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
+        max_pin_retries: int = 16,
+    ) -> None:
+        if not isinstance(store, CatalogStore):
+            store = CatalogStore.open(store)
+        self.store = store
+        self.cache = QueryResultCache(cache_size)
+        self.max_pin_retries = int(max_pin_retries)
+        #: Context for ``query_many`` fan-out.  Queries share the pinned
+        #: in-memory snapshot, so the threads backend is the useful pool
+        #: here; an explicit serial context keeps batches single-threaded.
+        self.context = ExecutionContext.resolve(context, n_jobs)
+        self._lock = threading.Lock()
+        self._snapshot: Optional[Snapshot] = None
+        self._token: Optional[_ManifestToken] = None
+
+    @property
+    def directory(self) -> Path:
+        return self.store.directory
+
+    # -- snapshot management --------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """The current snapshot, re-pinned iff a writer has committed.
+
+        Freshness check is one ``stat`` of ``MANIFEST.json`` (the
+        manifest is only replaced by rename, so its identity changes
+        with every commit); nothing is re-read, re-verified, or
+        re-sketched when the catalog is unchanged.
+        """
+        token = _manifest_token(self.directory)
+        with self._lock:
+            if self._snapshot is not None and token == self._token:
+                return self._snapshot
+            snapshot = pin_snapshot(self.store, self.max_pin_retries)
+            # Token taken *before* the pin: if a commit lands between the
+            # stat and the pin, the pinned snapshot is newer than the
+            # token says and the next call simply re-pins — conservative,
+            # never stale.
+            self._snapshot = snapshot
+            self._token = token
+            self.cache.evict_stale_generations(snapshot.generation)
+            return snapshot
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, query: Query, cached: bool = True) -> Any:
+        """Answer *query* against the current generation.
+
+        With *cached* (and a non-zero cache size), the result is served
+        from — or inserted into — the LRU under the snapshot's
+        generation; either way the returned value is byte-identical to
+        an uncached run against the same generation.
+        """
+        return self._query_at(query, self.snapshot(), cached)
+
+    def _query_at(self, query: Query, snapshot: Snapshot, cached: bool) -> Any:
+        use_cache = cached and self.cache.enabled
+        obs.inc("service.queries")
+        with obs.trace(
+            "service.query", kind=query.kind, generation=snapshot.generation
+        ) as span:
+            if use_cache:
+                key = make_key(snapshot.generation, query.fingerprint)
+                value = self.cache.get(key)
+                if is_hit(value):
+                    span.set_attribute("cache", "hit")
+                    return value
+                span.set_attribute("cache", "miss")
+            result = snapshot.query(query)
+            if use_cache:
+                self.cache.put(key, result)
+        return result
+
+    def query_many(
+        self,
+        queries: Sequence[Query],
+        cached: bool = True,
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
+    ) -> List[Any]:
+        """Answer a batch of queries, all against **one** snapshot.
+
+        The batch pins a single generation up front (so its results are
+        mutually consistent even under a concurrent writer) and fans out
+        over :mod:`respdi.parallel` under the service's context —
+        ordered reduction keeps results aligned with *queries*.  Cache
+        hits and misses interleave freely; every miss is computed
+        against the shared pinned index.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        snapshot = self.snapshot()
+        ctx = (
+            ExecutionContext.resolve(context, n_jobs)
+            if (context is not None or n_jobs is not None)
+            else self.context
+        )
+        with obs.trace(
+            "service.query_many",
+            queries=len(queries),
+            generation=snapshot.generation,
+        ):
+            return map_chunked(
+                _BatchQueryTask(self, snapshot, cached),
+                queries,
+                context=ctx,
+                label="service.query_many",
+            )
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache and snapshot state as plain data (serve's ``stats`` op)."""
+        with self._lock:
+            generation = (
+                self._snapshot.generation if self._snapshot else None
+            )
+            entries = len(self._snapshot.names) if self._snapshot else None
+        payload: Dict[str, Any] = {
+            "directory": str(self.directory),
+            "generation": generation,
+            "entries": entries,
+        }
+        payload.update(self.cache.stats())
+        return payload
+
+
+# -- the shared per-directory registry ----------------------------------------
+#
+# `respdi-catalog query` is an in-process API as much as a CLI (tests and
+# embedding programs call `main()` directly).  Routing every invocation
+# through one shared QueryService per directory is what turns the second
+# query from "re-open, re-verify, re-sketch" into "stat the manifest,
+# serve from the pinned snapshot".
+
+_SHARED: Dict[str, QueryService] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_service(directory: PathLike, cache_size: int = 256) -> QueryService:
+    """The process-wide :class:`QueryService` for *directory*.
+
+    Created on first use (one ``CatalogStore.open``), then reused for
+    the life of the process; staleness is handled by the service's own
+    manifest-token check, so a reused service always answers from the
+    latest committed generation.
+    """
+    key = str(Path(directory).resolve())
+    with _SHARED_LOCK:
+        service = _SHARED.get(key)
+        if service is None:
+            service = QueryService(directory, cache_size=cache_size)
+            _SHARED[key] = service
+        return service
+
+
+def reset_shared_services() -> None:
+    """Drop every shared service (tests; never required for correctness)."""
+    with _SHARED_LOCK:
+        _SHARED.clear()

@@ -1,11 +1,24 @@
-"""respdi-catalog command line: build, add, query, verify, exit codes."""
+"""respdi-catalog command line: build, add, query, serve, verify, exit codes."""
+
+import io
+import json
+import sys
 
 import pytest
 
+from respdi import obs
 from respdi.catalog.cli import main as catalog_main
 from respdi.cli import catalog_main as wired_catalog_main
 from respdi.datagen import LakeSpec, generate_lake
+from respdi.service import reset_shared_services
 from respdi.table import write_csv
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_services():
+    reset_shared_services()
+    yield
+    reset_shared_services()
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +72,91 @@ def test_query_keyword_union_join(catalog_dir, lake_csvs, capsys):
     )
     out = capsys.readouterr().out
     assert "joinable_" in out
+
+
+def test_second_query_reopens_and_reverifies_nothing(catalog_dir, capsys):
+    """Regression: ``query`` used to re-open (and re-checksum every entry
+    of) the catalog on each invocation.  Routed through the shared
+    QueryService, only the FIRST query in a process pays ``catalog.open``
+    — later ones stat the manifest and reuse the pinned snapshot."""
+    obs.enable()
+    obs.reset()
+    try:
+        for _ in range(3):
+            assert (
+                catalog_main(
+                    ["query", str(catalog_dir), "--keyword", "union", "--cached"]
+                )
+                == 0
+            )
+        counters = obs.global_registry().snapshot()["counters"]
+        assert counters["catalog.open"] == 1.0
+        assert counters["service.snapshot.pinned"] == 1.0
+        # And the repeats were served straight from the result cache.
+        assert counters["service.cache.miss"] == 1.0
+        assert counters["service.cache.hit"] == 2.0
+    finally:
+        obs.disable()
+        obs.reset()
+    outputs = capsys.readouterr().out.splitlines()
+    assert len(set(outputs)) * 3 == len(outputs)  # identical lines each run
+
+
+def test_cached_and_uncached_query_print_identical_output(
+    catalog_dir, lake_csvs, capsys
+):
+    query_csv = str(lake_csvs["query"])
+    for mode in (["--union", query_csv], ["--keyword", "union"]):
+        assert catalog_main(["query", str(catalog_dir), *mode]) == 0
+        uncached = capsys.readouterr().out
+        assert (
+            catalog_main(["query", str(catalog_dir), *mode, "--cached"]) == 0
+        )
+        warm = capsys.readouterr().out
+        assert (
+            catalog_main(["query", str(catalog_dir), *mode, "--cached"]) == 0
+        )
+        hit = capsys.readouterr().out
+        assert uncached == warm == hit
+        assert uncached.strip()
+
+
+def test_serve_subcommand_answers_json_lines(
+    catalog_dir, lake_csvs, capsys, monkeypatch
+):
+    requests = [
+        {"op": "ping"},
+        {"op": "keyword", "text": "union", "k": 3},
+        {"op": "union", "csv": str(lake_csvs["query"]), "k": 3},
+        {"op": "stats"},
+        {"op": "stop"},
+    ]
+    monkeypatch.setattr(
+        sys,
+        "stdin",
+        io.StringIO("".join(json.dumps(r) + "\n" for r in requests)),
+    )
+    assert catalog_main(["serve", str(catalog_dir), "--cache-size", "16"]) == 0
+    captured = capsys.readouterr()
+    responses = [json.loads(line) for line in captured.out.splitlines()]
+    assert [response["ok"] for response in responses] == [True] * 5
+    assert responses[1]["results"]
+    assert responses[3]["stats"]["maxsize"] == 16
+    assert "served 5 request(s)" in captured.err
+
+
+def test_serve_max_requests_and_no_cache(catalog_dir, capsys, monkeypatch):
+    request = json.dumps({"op": "keyword", "text": "union", "k": 3})
+    monkeypatch.setattr(sys, "stdin", io.StringIO(f"{request}\n" * 9))
+    assert (
+        catalog_main(
+            ["serve", str(catalog_dir), "--no-cache", "--max-requests", "2"]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert len(captured.out.splitlines()) == 2
+    assert "served 2 request(s)" in captured.err
 
 
 def test_verify_clean_and_corrupted(catalog_dir, capsys):

@@ -342,6 +342,11 @@ def test_every_known_point_is_exercised(tmp_path):
     a representative operation, and no operation crosses an unregistered
     point — so a newly wired (or renamed) point must be registered and
     covered before this suite passes."""
+    import io
+    import json
+
+    from respdi.service import QueryService, serve
+
     tables = _tiny_tables()
     seen = set()
 
@@ -386,10 +391,19 @@ def test_every_known_point_is_exercised(tmp_path):
             2 * i for i in range(8)
         ]
 
+    def service_lifecycle():
+        # One serve session crosses every service.* point: startup,
+        # snapshot pin, a cache miss (lookup + store), and a cache hit.
+        service = QueryService(catalog_dir, cache_size=8)
+        request = json.dumps({"op": "keyword", "text": "table0", "k": 3})
+        stream = io.StringIO(f"{request}\n{request}\n")
+        serve(service, stream, io.StringIO())
+
     run_recorded(catalog_lifecycle)
     run_recorded(stale_lock_break)
     run_recorded(parallel_map)
     run_recorded(_mini_pipeline_run)
+    run_recorded(service_lifecycle)
 
     missing = KNOWN_POINTS - seen
     assert missing == set(), f"registered points never exercised: {missing}"

@@ -26,6 +26,7 @@ SUBPACKAGES = [
     "respdi.faults",
     "respdi.parallel",
     "respdi.pipeline",
+    "respdi.service",
 ]
 
 

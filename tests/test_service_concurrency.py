@@ -1,0 +1,197 @@
+"""Readers on snapshot handles vs. a writer looping commits: zero tears.
+
+The isolation claim under test: a reader that pins a snapshot sees
+exactly one committed generation — never a mix of two — no matter how
+many refreshes a concurrent writer lands.  The stress matrix drives N
+reader threads (pin, check cross-table version agreement, query through
+the cache) against a writer that rebuilds *every* table per cycle, so
+any torn read would pair tables from different versions.  The suite
+also closes the cache-coherence loop (every surviving cache key sits at
+the final generation) and the accounting identity
+``hits + misses == cached queries``.
+
+The full ≥200-cycle matrix is ``slow``-marked; a short smoke version
+runs in the default suite.
+"""
+
+import threading
+
+import pytest
+
+from respdi import obs
+from respdi.catalog import CatalogStore
+from respdi.catalog.store import table_fingerprint
+from respdi.service import KeywordQuery, QueryService
+from respdi.table import Schema, Table
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+TABLE_NAMES = ("alpha", "beta")
+
+
+def _version_tables(version):
+    """Every table rebuilt for *version*: a consistent snapshot must
+    report the same version for all of them."""
+    out = {}
+    for name in TABLE_NAMES:
+        rows = [
+            (f"{name}_v{version}_{i}", float(i) + version) for i in range(6)
+        ]
+        out[name] = Table.from_rows(SCHEMA, rows)
+    return out
+
+
+def _fingerprint_versions(n_versions):
+    """``{content fingerprint: version}`` for every table at every version."""
+    mapping = {}
+    for version in range(n_versions):
+        for table in _version_tables(version).values():
+            mapping[table_fingerprint(table)] = version
+    return mapping
+
+
+class _TornReadMonitor:
+    """Collects per-snapshot observations from the reader threads."""
+
+    def __init__(self, fingerprint_versions):
+        self.fingerprint_versions = fingerprint_versions
+        self.lock = threading.Lock()
+        self.torn = []
+        self.errors = []
+        self.cached_queries = 0
+        self.snapshots = 0
+
+    def observe(self, snapshot):
+        versions = {
+            name: self.fingerprint_versions[fingerprint]
+            for name, fingerprint in snapshot.entry_fingerprints().items()
+        }
+        with self.lock:
+            self.snapshots += 1
+            if len(set(versions.values())) != 1:
+                self.torn.append((snapshot.generation, versions))
+
+    def count_queries(self, n):
+        with self.lock:
+            self.cached_queries += n
+
+
+def _run_stress(tmp_path, cycles, readers, versions):
+    catalog_dir = tmp_path / "cat"
+    CatalogStore.build(catalog_dir, _version_tables(0), **OPTS)
+    service = QueryService(catalog_dir, cache_size=64)
+    monitor = _TornReadMonitor(_fingerprint_versions(versions))
+    done = threading.Event()
+
+    def writer():
+        store = CatalogStore.open(catalog_dir)
+        try:
+            for cycle in range(1, cycles + 1):
+                # Alternate versions so every cycle rebuilds every table
+                # (same version twice in a row would fingerprint-match
+                # and commit nothing).
+                rebuilt = store.refresh_many(
+                    _version_tables(cycle % versions)
+                )
+                assert all(rebuilt.values()), rebuilt
+        except BaseException as exc:  # pragma: no cover - only on bug
+            monitor.errors.append(exc)
+        finally:
+            done.set()
+
+    def reader():
+        try:
+            queries = 0
+            while not done.is_set() or queries == 0:
+                snapshot = service.snapshot()
+                monitor.observe(snapshot)
+                # Every query runs against some single committed
+                # generation and flows through the cache.
+                service.query(KeywordQuery(text="alpha", k=3))
+                service.query(
+                    KeywordQuery(text=f"v{snapshot.generation % versions}", k=3)
+                )
+                queries += 2
+            monitor.count_queries(queries)
+        except BaseException as exc:  # pragma: no cover - only on bug
+            monitor.errors.append(exc)
+            done.set()
+
+    obs.enable()
+    obs.reset()
+    try:
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert monitor.errors == [], monitor.errors
+        assert monitor.torn == [], (
+            f"{len(monitor.torn)} torn read(s): {monitor.torn[:3]}"
+        )
+        assert monitor.snapshots >= readers  # every reader really read
+
+        # Cache coherence after the dust settles: one more pin evicts
+        # anything stale, so every surviving key sits at the final
+        # committed generation.
+        final = service.snapshot()
+        stale = [
+            key for key in service.cache.keys() if key[0] != final.generation
+        ]
+        assert stale == [], f"stale cache keys survived: {stale}"
+
+        # Accounting identity: each cached query is exactly one cache
+        # lookup — a hit or a miss, never both, never neither.
+        counters = obs.global_registry().snapshot()["counters"]
+        hits = counters.get("service.cache.hit", 0.0)
+        misses = counters.get("service.cache.miss", 0.0)
+        assert hits + misses == float(monitor.cached_queries)
+        assert counters["service.queries"] == float(monitor.cached_queries)
+        assert hits > 0  # the cache actually served something
+    finally:
+        obs.disable()
+        obs.reset()
+    return monitor
+
+
+def test_snapshot_readers_see_no_torn_state_smoke(tmp_path):
+    _run_stress(tmp_path, cycles=12, readers=2, versions=3)
+
+
+@pytest.mark.slow
+def test_snapshot_readers_see_no_torn_state_200_cycles(tmp_path):
+    """The full matrix: ≥200 refresh cycles under 4 concurrent readers."""
+    monitor = _run_stress(tmp_path, cycles=200, readers=4, versions=4)
+    assert monitor.snapshots >= 4
+
+
+def test_single_snapshot_is_safe_for_concurrent_readers(tmp_path):
+    """Many threads querying ONE snapshot handle race only on the lazily
+    built containment ensemble — results must still be identical."""
+    catalog_dir = tmp_path / "cat"
+    CatalogStore.build(catalog_dir, _version_tables(0), **OPTS)
+    service = QueryService(catalog_dir)
+    snapshot = service.snapshot()
+    from respdi.service import ContainmentQuery
+
+    query = ContainmentQuery(values=("alpha_v0_1", "alpha_v0_2"), threshold=0.1)
+    results = [None] * 8
+    barrier = threading.Barrier(len(results))
+
+    def probe(slot):
+        barrier.wait()  # maximize the double-build race window
+        results[slot] = snapshot.query(query)
+
+    threads = [
+        threading.Thread(target=probe, args=(slot,))
+        for slot in range(len(results))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    reference = snapshot.query(query)
+    assert all(repr(result) == repr(reference) for result in results)

@@ -1,0 +1,152 @@
+"""Crash matrix for the service read path: kill serve startup anywhere.
+
+The service is a *reader*: whatever step it dies at, the catalog on
+disk must remain byte-for-byte the committed state — there is no
+acceptable "new" state because a query path must never mutate.  The
+matrix forks ``QueryService`` startup plus a batch of served requests
+and kills the child at every ``service.*`` / ``catalog.*`` injection
+point it crosses.
+
+It also *documents* the cache-persistence story: there is none, by
+design.  The result cache lives only in process memory, so the
+kill-at-every-step trace contains zero filesystem write points — a
+crash cannot tear cache state because no cache state ever reaches disk.
+
+POSIX-only (``os.fork``); skipped elsewhere.
+"""
+
+import hashlib
+import io
+import json
+import os
+
+import pytest
+
+from respdi.catalog import CatalogStore
+from respdi.faults import CrashSimulator
+from respdi.service import QueryService, serve
+from respdi.table import Schema, Table
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash simulation needs os.fork (POSIX)"
+)
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+
+def _tables():
+    out = {}
+    for t in range(2):
+        rows = [(f"t{t}_{i}", float(i)) for i in range(8)]
+        out[f"table{t}"] = Table.from_rows(SCHEMA, rows)
+    return out
+
+
+def _catalog_bytes(catalog_dir):
+    """Every file's checksum, lock file aside — the full committed state."""
+    hashes = {}
+    for path in sorted(catalog_dir.rglob("*")):
+        if path.is_file() and path.name != "writer.lock":
+            hashes[str(path.relative_to(catalog_dir))] = hashlib.blake2b(
+                path.read_bytes(), digest_size=16
+            ).hexdigest()
+    return hashes
+
+
+def _prepare(workdir):
+    CatalogStore.build(workdir / "cat", _tables(), **OPTS)
+
+
+def _serve_session(workdir):
+    service = QueryService(workdir / "cat", cache_size=32)
+    requests = [
+        {"op": "ping"},
+        {"op": "keyword", "text": "table0", "k": 3},
+        {"op": "keyword", "text": "table0", "k": 3},  # a cache hit
+        {"op": "join", "values": ["t0_1", "t1_2"], "k": 3},
+        {"op": "containment", "values": ["t0_1"], "threshold": 0.2},
+        {"op": "stats"},
+        {"op": "stop"},
+    ]
+    stream = io.StringIO(
+        "".join(json.dumps(request) + "\n" for request in requests)
+    )
+    serve(service, stream, io.StringIO())
+
+
+def test_kill_serve_startup_at_every_step_never_mutates(tmp_path):
+    reference_dir = tmp_path / "reference"
+    reference_dir.mkdir()
+    _prepare(reference_dir)
+    committed = _catalog_bytes(reference_dir / "cat")
+    assert committed  # the reference state is non-trivial
+
+    def classify(workdir):
+        survived = _catalog_bytes(workdir / "cat")
+        if survived != committed:
+            raise AssertionError(
+                "read path mutated the catalog: "
+                f"{sorted(set(survived) ^ set(committed))[:5]}"
+            )
+        store = CatalogStore.open(workdir / "cat")
+        assert store.verify() == []
+        return "old"
+
+    simulator = CrashSimulator(
+        _prepare,
+        _serve_session,
+        classify,
+        points=("service.", "catalog.", "fsutil."),
+        operation="serve",
+    )
+    report = simulator.run(tmp_path / "matrix")
+
+    detail = "\n".join(
+        f"  step {o.step:3d} @ {o.point}: {o.problem}" for o in report.corrupt
+    )
+    assert report.corrupt == [], f"{report.summary()}\n{detail}"
+    # A reader has exactly one legal surviving state.
+    assert set(report.states) == {"old"}, report.summary()
+    # The matrix crossed the whole service surface, not a trivial slice.
+    crossed = {outcome.point for outcome in report.outcomes}
+    assert {
+        "service.serve.start",
+        "service.snapshot.pin",
+        "service.cache.lookup",
+        "service.cache.store",
+        "service.serve.request",
+    } <= crossed, sorted(crossed)
+    assert len(report.outcomes) >= 10, report.summary()
+
+
+def test_serve_session_takes_no_write_steps(tmp_path):
+    """No cache persistence exists — provably: the full serve session
+    (startup, pin, misses, hits, stats) crosses zero ``fsutil.`` write
+    points, so there is no on-disk cache state a crash could tear."""
+    simulator = CrashSimulator(
+        _prepare,
+        _serve_session,
+        lambda workdir: "old",
+        points=("fsutil.",),
+        operation="serve-writes",
+    )
+    trace = simulator.record(tmp_path / "record")
+    written = [point for point in trace if point.startswith("fsutil.")]
+    assert written == [], f"read path touched disk via: {written}"
+
+
+def test_crashed_reader_leaves_no_artifacts_for_the_next_one(tmp_path):
+    """After any reader crash the catalog serves the next reader
+    normally — nothing to recover, nothing to clean up."""
+    _prepare(tmp_path)
+    _serve_session(tmp_path)  # a full session, as a crashed one would start
+    service = QueryService(tmp_path / "cat")
+    out = io.StringIO()
+    serve(
+        service,
+        io.StringIO(json.dumps({"op": "keyword", "text": "table1", "k": 3}) + "\n"),
+        out,
+    )
+    response = json.loads(out.getvalue())
+    assert response["ok"] and response["results"][0]["table"] == "table1"

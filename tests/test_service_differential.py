@@ -1,0 +1,195 @@
+"""Service differential suite: cached == uncached == cold index, always.
+
+Property-based (hypothesis) and cross-process checks of the service's
+central invariant: for any catalog contents and any query, the answer
+served from the cache is byte-identical to the uncached answer, which
+is byte-identical to querying a cold
+:class:`~respdi.discovery.lake_index.DataLakeIndex` built from the same
+tables with the same hasher seed — across execution backends and across
+``PYTHONHASHSEED`` values.  "Byte-identical" is enforced on ``repr``
+(covers every float and every ordering) and, cross-process, on the
+serve loop's rendered JSON lines.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.catalog import CatalogStore
+from respdi.discovery import DataLakeIndex
+from respdi.parallel import ExecutionContext
+from respdi.service import (
+    ContainmentQuery,
+    JoinQuery,
+    KeywordQuery,
+    QueryService,
+    UnionQuery,
+)
+from respdi.table import Schema, Table
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Tiny closed vocabulary: collisions between tables (join/containment
+#: overlap) and disjoint cases are both reachable within few examples.
+_WORDS = ["ada", "bee", "cat", "doe", "elk", "fox"]
+
+tables_strategy = st.dictionaries(
+    st.sampled_from(["tab_a", "tab_b", "tab_c"]),
+    st.lists(st.sampled_from(_WORDS), min_size=1, max_size=8),
+    min_size=1,
+    max_size=3,
+)
+values_strategy = st.lists(
+    st.sampled_from(_WORDS), min_size=1, max_size=4, unique=True
+)
+
+
+def _table(values):
+    rows = [(value, float(i)) for i, value in enumerate(values)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+def _queries(values):
+    return [
+        KeywordQuery(text=values[0], k=5),
+        UnionQuery(table=_table(values), k=5),
+        JoinQuery(values=tuple(values), k=5),
+        ContainmentQuery(values=tuple(values), threshold=0.2),
+    ]
+
+
+@given(raw_tables=tables_strategy, values=values_strategy)
+@settings(max_examples=8, deadline=None)
+def test_cached_uncached_and_cold_index_agree(raw_tables, values):
+    tables = {name: _table(cells) for name, cells in raw_tables.items()}
+    cold = DataLakeIndex(**OPTS)
+    for name in sorted(tables):
+        cold.register(name, tables[name])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CatalogStore.build(Path(tmp) / "cat", tables, **OPTS)
+        for context in (
+            ExecutionContext(),
+            ExecutionContext(backend="threads", n_jobs=2, chunksize=1),
+        ):
+            service = QueryService(store, context=context)
+            queries = _queries(values)
+            uncached = [service.query(q, cached=False) for q in queries]
+            missed = service.query_many(queries)  # first pass: all misses
+            hit = service.query_many(queries)  # second pass: all hits
+            direct = [query.run(cold) for query in queries]
+            for query, a, b, c in zip(queries, uncached, missed, direct):
+                assert repr(a) == repr(b) == repr(hit[queries.index(query)])
+                assert repr(a) == repr(c), (
+                    f"{query.kind} diverges from a cold index"
+                )
+
+
+@given(values=values_strategy)
+@settings(max_examples=8, deadline=None)
+def test_rendered_results_are_plain_json(values):
+    """Whatever the query, ``render`` must produce data ``json.dumps``
+    round-trips exactly — the serve loop's wire format."""
+    tables = {"tab_a": _table(_WORDS), "tab_b": _table(values)}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CatalogStore.build(Path(tmp) / "cat", tables, **OPTS)
+        service = QueryService(store)
+        for query in _queries(values):
+            rendered = query.render(service.query(query))
+            assert json.loads(json.dumps(rendered)) == rendered
+
+
+# -- PYTHONHASHSEED x backend matrix ------------------------------------------
+
+_SCRIPT = r"""
+import json, sys
+from pathlib import Path
+
+from respdi.catalog import CatalogStore
+from respdi.parallel import ExecutionContext
+from respdi.service import (
+    ContainmentQuery, JoinQuery, KeywordQuery, QueryService, UnionQuery,
+)
+from respdi.table import Schema, Table
+
+out_dir, backend = Path(sys.argv[1]), sys.argv[2]
+schema = Schema([("key", "categorical"), ("value", "numeric")])
+
+def table(tag, n):
+    return Table.from_rows(
+        schema, [(f"{tag}_{i % 5}", float(i)) for i in range(n)]
+    )
+
+tables = {"tab_a": table("a", 9), "tab_b": table("b", 7), "tab_c": table("a", 5)}
+store = CatalogStore.build(
+    out_dir / "cat", tables, rng=7, num_hashes=16, sketch_size=16
+)
+context = (
+    ExecutionContext()
+    if backend == "serial"
+    else ExecutionContext(backend=backend, n_jobs=2, chunksize=1)
+)
+service = QueryService(store, context=context)
+queries = [
+    KeywordQuery(text="tab_a", k=5),
+    UnionQuery(table=table("a", 4), k=5),
+    JoinQuery(values=("a_1", "a_2", "b_3"), k=5),
+    ContainmentQuery(values=("a_0", "a_1"), threshold=0.2),
+]
+lines = []
+for cached in (False, True, True):  # uncached, miss, hit
+    results = service.query_many(queries, cached=cached)
+    lines.append(
+        [query.render(result) for query, result in zip(queries, results)]
+    )
+fingerprints = [query.fingerprint for query in queries]
+print(json.dumps({"passes": lines, "fingerprints": fingerprints}))
+"""
+
+
+def _serve_in_subprocess(tmp_path, backend, hash_seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out_dir = tmp_path / f"{backend}-{hash_seed}"
+    out_dir.mkdir()
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, str(out_dir), backend],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+@pytest.mark.slow
+def test_service_answers_identical_across_backends_and_hash_seeds(tmp_path):
+    """Two hash seeds x two backends: rendered answers AND cache
+    fingerprints must be bit-for-bit stable — salted ``hash()`` must not
+    leak into either the results or the cache keys."""
+    runs = {}
+    for backend in ("serial", "threads"):
+        for seed in ("1", "2"):
+            runs[(backend, seed)] = _serve_in_subprocess(
+                tmp_path, backend, seed
+            )
+    reference = runs[("serial", "1")]
+    # Within one process: uncached pass == cache-miss pass == hit pass.
+    assert (
+        reference["passes"][0]
+        == reference["passes"][1]
+        == reference["passes"][2]
+    )
+    assert any(any(results) for results in reference["passes"][0])
+    for key, run in runs.items():
+        assert run == reference, f"{key} diverges from the serial baseline"
