@@ -15,6 +15,13 @@ Command line: ``respdi-catalog build|add|remove|refresh|query|verify|info``
 
 from respdi.catalog.cli import main
 from respdi.catalog.locking import break_stale_lock, writer_lock
+from respdi.catalog.sharding import (
+    ShardedCatalogStore,
+    is_sharded,
+    open_catalog,
+    reshard,
+    shard_for,
+)
 from respdi.catalog.store import (
     CATALOG_SCHEMA_VERSION,
     CatalogStore,
@@ -25,9 +32,14 @@ from respdi.catalog.store import (
 __all__ = [
     "CATALOG_SCHEMA_VERSION",
     "CatalogStore",
+    "ShardedCatalogStore",
     "break_stale_lock",
+    "is_sharded",
     "load_catalog_index",
     "main",
+    "open_catalog",
+    "reshard",
+    "shard_for",
     "table_fingerprint",
     "writer_lock",
 ]

@@ -3,7 +3,7 @@
 Usage::
 
     respdi-catalog build DIR table1.csv table2.csv [--seed 7] [--store-data]
-        [--jobs N]
+        [--jobs N] [--shards N]
     respdi-catalog add DIR table.csv [--name n] [--description text]
         [--sensitive col,col] [--target y] [--store-data]
     respdi-catalog remove DIR NAME
@@ -13,15 +13,24 @@ Usage::
     respdi-catalog serve DIR [--cache-size N] [--max-requests N]
     respdi-catalog verify DIR
     respdi-catalog info DIR
+    respdi-catalog reshard SRC DEST --shards N
 
 Exit codes: 0 success, 1 usage or runtime error, 2 verification failure
 — so ``respdi-catalog verify`` drops into CI integrity gates directly.
 
-``query`` and ``serve`` answer through the shared
-:class:`~respdi.service.QueryService` for the directory: the store is
-opened (and its checksums verified) once per process, snapshots are
-pinned per committed generation, and — with ``--cached`` — repeated
-queries are served from the generation-keyed LRU result cache.
+``query`` and ``serve`` answer through the shared query service for the
+directory: the store is opened (and its checksums verified) once per
+process, snapshots are pinned per committed generation, and — with
+``--cached`` — repeated queries are served from the generation-keyed
+LRU result cache.
+
+Sharding is transparent past ``build --shards N``: every other command
+detects ``SHARDS.json`` and routes through
+:class:`~respdi.catalog.sharding.ShardedCatalogStore` /
+:class:`~respdi.service.sharded.ShardedQueryService`, so scripts do not
+care which layout a directory holds (query results are byte-identical
+either way).  A single shard is also a complete plain catalog, so
+``verify``/``query``/``info`` on ``DIR/shard-0003`` work too.
 """
 
 from __future__ import annotations
@@ -31,6 +40,12 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from respdi.catalog.sharding import (
+    ShardedCatalogStore,
+    is_sharded,
+    open_catalog,
+    reshard,
+)
 from respdi.catalog.store import CatalogStore
 from respdi.errors import RespdiError
 from respdi.parallel import ExecutionContext
@@ -73,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=None, help="MinHasher seed")
     build.add_argument(
         "--store-data", action="store_true", help="also store the CSV data"
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition the catalog over N independently-locked shards "
+            "(query results are byte-identical to an unsharded build)"
+        ),
     )
     _add_jobs_flag(build)
 
@@ -157,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print catalog configuration and entries")
     info.add_argument("directory")
 
+    reshard_cmd = sub.add_parser(
+        "reshard",
+        help="re-partition a catalog into N shards (no re-sketching)",
+    )
+    reshard_cmd.add_argument("source", help="existing catalog (sharded or not)")
+    reshard_cmd.add_argument("dest", help="directory for the resharded catalog")
+    reshard_cmd.add_argument(
+        "--shards", type=int, required=True, metavar="N", help="new shard count"
+    )
+
     return parser
 
 
@@ -166,6 +201,21 @@ def _table_name(csv_path: str, override: Optional[str]) -> str:
 
 def _cmd_build(args) -> int:
     tables = {_table_name(path, None): read_csv(path) for path in args.csv}
+    if args.shards is not None:
+        store = ShardedCatalogStore.build(
+            args.directory,
+            tables,
+            store_data=args.store_data,
+            context=_jobs_context(args.jobs),
+            num_shards=args.shards,
+            num_hashes=args.num_hashes,
+            rng=args.seed,
+        )
+        print(
+            f"sharded catalog created at {store.directory} with "
+            f"{len(store)} table(s) over {store.num_shards} shard(s)"
+        )
+        return 0
     store = CatalogStore.build(
         args.directory,
         tables,
@@ -179,7 +229,7 @@ def _cmd_build(args) -> int:
 
 
 def _cmd_add(args) -> int:
-    store = CatalogStore.open(args.directory)
+    store = open_catalog(args.directory)
     sensitive = (
         tuple(s.strip() for s in args.sensitive.split(",") if s.strip())
         if args.sensitive
@@ -199,14 +249,14 @@ def _cmd_add(args) -> int:
 
 
 def _cmd_remove(args) -> int:
-    store = CatalogStore.open(args.directory)
+    store = open_catalog(args.directory)
     store.remove_table(args.name)
     print(f"removed {args.name!r} ({len(store)} table(s) remain)")
     return 0
 
 
 def _cmd_refresh(args) -> int:
-    store = CatalogStore.open(args.directory)
+    store = open_catalog(args.directory)
     if args.name is not None and len(args.csv) > 1:
         raise RespdiError("--name only applies to a single CSV")
     tables = {
@@ -253,8 +303,12 @@ def _cmd_query(args) -> int:
 
 def _cmd_serve(args) -> int:
     from respdi.service import QueryService, serve
+    from respdi.service.sharded import ShardedQueryService
 
-    service = QueryService(args.directory, cache_size=args.cache_size)
+    service_cls = (
+        ShardedQueryService if is_sharded(args.directory) else QueryService
+    )
+    service = service_cls(args.directory, cache_size=args.cache_size)
     served = serve(
         service,
         sys.stdin,
@@ -267,7 +321,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    problems = CatalogStore.open(args.directory).verify()
+    problems = open_catalog(args.directory).verify()
     if problems:
         for problem in problems:
             print(f"CORRUPT: {problem}", file=sys.stderr)
@@ -277,12 +331,24 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    store = CatalogStore.open(args.directory)
-    print(f"catalog at {store.directory}")
-    print(
-        f"  num_hashes={store.num_hashes} sketch_size={store.sketch_size} "
-        f"num_partitions={store.num_partitions}"
-    )
+    store = open_catalog(args.directory)
+    if isinstance(store, ShardedCatalogStore):
+        print(f"sharded catalog at {store.directory}")
+        print(
+            f"  {store.num_shards} shard(s), generations "
+            f"{list(store.generations)}"
+        )
+        first = store.shards[0]
+        print(
+            f"  num_hashes={first.num_hashes} sketch_size={first.sketch_size} "
+            f"num_partitions={first.num_partitions}"
+        )
+    else:
+        print(f"catalog at {store.directory}")
+        print(
+            f"  num_hashes={store.num_hashes} sketch_size={store.sketch_size} "
+            f"num_partitions={store.num_partitions}"
+        )
     print(f"  hasher fingerprint {store.hasher.fingerprint}")
     print(f"  {len(store)} table(s):")
     for name in store.names:
@@ -297,6 +363,15 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_reshard(args) -> int:
+    store = reshard(args.source, args.dest, args.shards)
+    print(
+        f"resharded {args.source} -> {store.directory} "
+        f"({len(store)} table(s) over {store.num_shards} shard(s))"
+    )
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "add": _cmd_add,
@@ -306,6 +381,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "verify": _cmd_verify,
     "info": _cmd_info,
+    "reshard": _cmd_reshard,
 }
 
 

@@ -267,19 +267,29 @@ class CatalogStore:
         num_partitions: int = 4,
         values_per_column: int = 50,
         rng=None,
+        hasher: Optional[MinHasher] = None,
     ) -> "CatalogStore":
         """Initialize an empty catalog at *directory*.
 
         *rng* seeds the shared :class:`MinHasher`; the same seed always
         yields the same hash family, so a catalog created with
         ``rng=7`` is sketch-compatible with ``DataLakeIndex(rng=7)``.
+        A caller that must share one hash family across several stores —
+        the shards of a :class:`~respdi.catalog.sharding.ShardedCatalogStore`
+        — passes the built *hasher* directly instead.
         """
         directory = Path(directory)
         if (directory / MANIFEST_FILENAME).exists():
             raise SpecificationError(f"{directory} already holds a catalog")
         directory.mkdir(parents=True, exist_ok=True)
         (directory / ENTRIES_DIRNAME).mkdir(exist_ok=True)
-        hasher = MinHasher(num_hashes, rng)
+        if hasher is None:
+            hasher = MinHasher(num_hashes, rng)
+        elif hasher.num_hashes != num_hashes:
+            raise SpecificationError(
+                f"explicit hasher has {hasher.num_hashes} hash functions, "
+                f"but num_hashes={num_hashes} was requested"
+            )
         manifest = {
             "schema_version": CATALOG_SCHEMA_VERSION,
             "num_hashes": num_hashes,
@@ -353,21 +363,53 @@ class CatalogStore:
         build (and to the pre-parallel per-table-commit layout).
         """
         store = cls.create(directory, **create_options)
+        store.add_tables(
+            tables,
+            descriptions=descriptions,
+            store_data=store_data,
+            context=context,
+            n_jobs=n_jobs,
+        )
+        return store
+
+    def add_tables(
+        self,
+        tables: Dict[str, Table],
+        descriptions: Optional[Dict[str, str]] = None,
+        store_data: bool = False,
+        context: Optional[ExecutionContext] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        """Register every table in *tables* under one commit (bulk add).
+
+        The sketch fan-out and single-commit publication of :meth:`build`,
+        available on an already-created store — the per-shard worker of a
+        sharded build calls this on its shard.  Entries are written in
+        input order, so the resulting bytes match a sequence of
+        :meth:`add_table` calls collapsed into one generation bump.
+        """
+        if not tables:
+            return
         descriptions = dict(descriptions or {})
         task = _EntrySketchTask(
-            descriptions, store.hasher, store.sketch_size, store.values_per_column
+            descriptions, self.hasher, self.sketch_size, self.values_per_column
         )
         with obs.trace("catalog.build", tables=len(tables)):
             sketched = map_tables(
                 task, tables, context=context, n_jobs=n_jobs, label="catalog.build"
             )
-            with store._tlock, writer_lock(
-                store.directory, timeout=cls.lock_timeout
+            with self._tlock, writer_lock(
+                self.directory, timeout=self.lock_timeout
             ):
-                store._sync_manifest_locked()
+                self._sync_manifest_locked()
+                for name in tables:
+                    if name in self._manifest["entries"]:
+                        raise SpecificationError(
+                            f"table {name!r} is already cataloged (use refresh)"
+                        )
                 for name, table in tables.items():
                     fingerprint, artifacts = sketched[name]
-                    store._write_entry(
+                    self._write_entry(
                         name,
                         table,
                         description=descriptions.get(name),
@@ -377,8 +419,46 @@ class CatalogStore:
                         artifacts=artifacts,
                         fingerprint=fingerprint,
                     )
-                store._commit()
-        return store
+                self._commit()
+
+    def adopt_entries(self, source: "CatalogStore", names: List[str]) -> None:
+        """Copy committed entries from *source* into this store (no re-sketch).
+
+        The file-level migration primitive behind resharding: both stores
+        must share one hash family (checked via the hasher fingerprint),
+        so the source's entry files — sketches, token counts, metadata —
+        are valid here byte-for-byte.  Entry directories are copied,
+        re-checksummed against the source manifest, recorded in this
+        store's manifest in the given order, and published by one commit.
+        """
+        if source.hasher.fingerprint != self.hasher.fingerprint:
+            raise SpecificationError(
+                "cannot adopt entries across different hash families"
+            )
+        if not names:
+            return
+        with self._tlock, writer_lock(self.directory, timeout=self.lock_timeout):
+            self._sync_manifest_locked()
+            for name in names:
+                record = source._require_entry(name)
+                if name in self._manifest["entries"]:
+                    raise SpecificationError(
+                        f"table {name!r} is already cataloged here"
+                    )
+                source_dir = source._entry_dir(record)
+                dest_dir = self.directory / ENTRIES_DIRNAME / record["dir"]
+                if dest_dir.exists():
+                    shutil.rmtree(dest_dir)
+                shutil.copytree(source_dir, dest_dir)
+                for filename, expected in record["files"].items():
+                    if _file_checksum(dest_dir / filename) != expected:
+                        raise CatalogCorruptError(
+                            f"entry {name!r}: {filename} changed during adoption"
+                        )
+                self._manifest["entries"][name] = json.loads(
+                    json.dumps(record)
+                )
+            self._commit()
 
     # -- manifest-backed configuration ---------------------------------------
 

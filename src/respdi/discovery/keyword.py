@@ -32,6 +32,34 @@ class KeywordHit:
     score: float
 
 
+@dataclass(frozen=True)
+class CorpusStats:
+    """Document-frequency statistics a TF-IDF score is computed against.
+
+    Normally implicit (an index scores against its own corpus), made
+    explicit so statistics can be *merged* across index shards —
+    ``CorpusStats`` over a union of disjoint corpora is the sum of the
+    per-shard stats (:meth:`merge`) — and *broadcast* back so each shard
+    scores its local documents with global IDF.  A shard's score under
+    the merged stats is bit-for-bit the score the single global index
+    would compute, which is what makes scatter-gathered keyword results
+    byte-identical to unsharded ones.
+    """
+
+    n_docs: int
+    doc_freq: Counter
+
+    @classmethod
+    def merge(cls, parts: "list[CorpusStats]") -> "CorpusStats":
+        """Sum per-shard statistics into the global corpus view."""
+        doc_freq: Counter = Counter()
+        n_docs = 0
+        for part in parts:
+            n_docs += part.n_docs
+            doc_freq.update(part.doc_freq)
+        return cls(n_docs=n_docs, doc_freq=doc_freq)
+
+
 def table_token_counts(
     name: str,
     table: Table,
@@ -101,8 +129,22 @@ class KeywordIndex:
             raise SpecificationError(f"table {name!r} is not indexed")
         return Counter(self._docs[name])
 
-    def search(self, query: str, k: int = 10) -> List[KeywordHit]:
-        """Top-*k* tables by TF-IDF cosine relevance to *query*."""
+    def corpus_stats(self) -> CorpusStats:
+        """This index's document-frequency statistics (for scatter-gather)."""
+        return CorpusStats(
+            n_docs=len(self._docs), doc_freq=Counter(self._doc_freq)
+        )
+
+    def search(
+        self, query: str, k: int = 10, stats: Optional[CorpusStats] = None
+    ) -> List[KeywordHit]:
+        """Top-*k* tables by TF-IDF cosine relevance to *query*.
+
+        With *stats*, IDF comes from the given (e.g. merged-over-shards)
+        corpus statistics instead of this index's own; each document's
+        score is then exactly what a single index over the full corpus
+        would compute for it.
+        """
         if k < 1:
             raise SpecificationError("k must be >= 1")
         if not self._docs:
@@ -110,13 +152,16 @@ class KeywordIndex:
         query_tokens = Counter(tokenize(query))
         if not query_tokens:
             raise SpecificationError("query contains no indexable tokens")
-        n_docs = len(self._docs)
+        if stats is None:
+            n_docs, doc_freq = len(self._docs), self._doc_freq
+        else:
+            n_docs, doc_freq = stats.n_docs, stats.doc_freq
         results: List[KeywordHit] = []
         for name, doc in self._docs.items():
             score = 0.0
             doc_norm = 0.0
             for token, tf in doc.items():
-                idf = math.log((1 + n_docs) / (1 + self._doc_freq[token])) + 1.0
+                idf = math.log((1 + n_docs) / (1 + doc_freq[token])) + 1.0
                 weight = (1 + math.log(tf)) * idf
                 doc_norm += weight * weight
                 if token in query_tokens:

@@ -178,6 +178,16 @@ class DataLakeIndex:
         """Registered table names, in registration order."""
         return list(self._registered)
 
+    @property
+    def domain_signatures(self) -> Dict[Tuple[str, str], object]:
+        """``{(table, column): MinHashSignature}`` for every indexed domain.
+
+        The substrate scatter-gather containment search scores shard-
+        locally under a globally computed partition layout (see
+        :func:`respdi.discovery.lshensemble.scatter_containment_hits`).
+        """
+        return dict(self._domain_signatures)
+
     def artifacts(self, name: str) -> TableArtifacts:
         """The artifacts registered for *name* (for persistence)."""
         if name not in self._registered:

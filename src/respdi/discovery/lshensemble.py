@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,105 @@ class _Partition:
     max_size: int
     keys: List[Hashable]
     signatures: Dict[Hashable, MinHashSignature]
+
+
+def partition_max_map(
+    cardinalities: Mapping[Hashable, int], num_partitions: int
+) -> Dict[Hashable, int]:
+    """Map each domain key to the max cardinality of its partition.
+
+    This is the ensemble's partitioning function factored out as a pure
+    function of ``{key: cardinality}``: domains are ordered by
+    ``(cardinality, repr(key))`` — a *total* order, so the layout never
+    depends on insertion order — and split into ``num_partitions``
+    near-equal chunks.  Because the layout is a pure function of the
+    domain set, a sharded catalog can recompute the exact global
+    partitioning from per-shard cardinality maps and score its local
+    domains under it (:func:`scatter_containment_hits`), which is what
+    makes scatter-gathered containment results byte-identical to a
+    single ensemble over all domains.
+    """
+    if num_partitions < 1:
+        raise SpecificationError("num_partitions must be >= 1")
+    ordered = sorted(cardinalities, key=lambda key: (cardinalities[key], repr(key)))
+    chunks = np.array_split(np.arange(len(ordered)), num_partitions)
+    partition_max: Dict[Hashable, int] = {}
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        keys = [ordered[i] for i in chunk]
+        max_size = max(cardinalities[key] for key in keys)
+        for key in keys:
+            partition_max[key] = max_size
+    return partition_max
+
+
+def _shares_band(
+    signature: MinHashSignature,
+    query_signature: MinHashSignature,
+    bands: int,
+    rows: int,
+) -> bool:
+    """True when the two signatures agree on at least one LSH band."""
+    for band in range(bands):
+        lo, hi = band * rows, (band + 1) * rows
+        if (
+            signature.values[lo:hi].tobytes()
+            == query_signature.values[lo:hi].tobytes()
+        ):
+            return True
+    return False
+
+
+def _containment_estimate(
+    query_signature: MinHashSignature, signature: MinHashSignature, q: int
+) -> float:
+    """Signature-based containment estimate of the query in *signature*."""
+    jaccard = query_signature.jaccard(signature)
+    union_bound = q + signature.cardinality
+    intersection = (
+        jaccard * union_bound / (1.0 + jaccard) if jaccard > 0 else 0.0
+    )
+    intersection = min(intersection, float(q), float(signature.cardinality))
+    return intersection / q
+
+
+def scatter_containment_hits(
+    signatures: Mapping[Hashable, MinHashSignature],
+    query_signature: MinHashSignature,
+    containment_threshold: float,
+    partition_max: Mapping[Hashable, int],
+    num_hashes: int,
+) -> List[Tuple[Hashable, float]]:
+    """Containment hits among *signatures* under a precomputed layout.
+
+    *partition_max* assigns every key its partition's max cardinality
+    (:func:`partition_max_map`); it may cover a superset of *signatures*
+    — the scatter case, where the layout spans every shard's domains but
+    each shard scores only its own.  Candidacy and estimation are
+    per-key given the layout, so the union of per-shard results equals
+    the single-ensemble result exactly.  Returns unsorted ``(key,
+    estimate)`` pairs; callers order them (:class:`LSHEnsemble.query`'s
+    sort is ``(-estimate, repr(key))``).
+    """
+    q = query_signature.cardinality
+    by_max: Dict[int, List[Hashable]] = defaultdict(list)
+    for key in signatures:
+        by_max[partition_max[key]].append(key)
+    results: List[Tuple[Hashable, float]] = []
+    for max_size, keys in by_max.items():
+        jaccard_threshold = containment_to_jaccard(
+            containment_threshold, q, max_size
+        )
+        bands, rows = _choose_bands(num_hashes, jaccard_threshold)
+        for key in keys:
+            signature = signatures[key]
+            if not _shares_band(signature, query_signature, bands, rows):
+                continue
+            containment = _containment_estimate(query_signature, signature, q)
+            if containment >= containment_threshold:
+                results.append((key, containment))
+    return results
 
 
 class LSHEnsemble:
@@ -124,21 +223,31 @@ class LSHEnsemble:
 
     @timed("discovery.lshensemble.freeze")
     def freeze(self) -> None:
-        """Partition indexed domains by cardinality; enables querying."""
+        """Partition indexed domains by cardinality; enables querying.
+
+        The layout comes from :func:`partition_max_map`, a pure function
+        of ``{key: cardinality}`` with a total (insertion-order-free)
+        ordering — the property that lets a sharded catalog reproduce
+        this exact partitioning from per-shard metadata.
+        """
         if not self._pending:
             raise EmptyInputError("nothing indexed")
-        ordered = sorted(self._pending.items(), key=lambda kv: kv[1].cardinality)
-        chunks = np.array_split(np.arange(len(ordered)), self.num_partitions)
-        self._partitions = []
-        for chunk in chunks:
-            if len(chunk) == 0:
-                continue
-            keys = [ordered[i][0] for i in chunk]
-            signatures = {ordered[i][0]: ordered[i][1] for i in chunk}
-            max_size = max(sig.cardinality for sig in signatures.values())
-            self._partitions.append(
-                _Partition(max_size=max_size, keys=keys, signatures=signatures)
+        cardinalities = {
+            key: signature.cardinality
+            for key, signature in self._pending.items()
+        }
+        partition_max = partition_max_map(cardinalities, self.num_partitions)
+        grouped: Dict[int, List[Hashable]] = defaultdict(list)
+        for key, max_size in partition_max.items():
+            grouped[max_size].append(key)
+        self._partitions = [
+            _Partition(
+                max_size=max_size,
+                keys=keys,
+                signatures={key: self._pending[key] for key in keys},
             )
+            for max_size, keys in sorted(grouped.items())
+        ]
         self._frozen = True
 
     @timed("discovery.lshensemble.query")
@@ -148,50 +257,22 @@ class LSHEnsemble:
         """Keys whose estimated containment of the query >= threshold.
 
         Returns ``[(key, estimated_containment)]`` sorted by estimate,
-        descending.
+        descending (ties broken by ``repr(key)``).
         """
         if not self._frozen:
             raise SpecificationError("call freeze() before query()")
         query_signature = self.hasher.signature(values)
-        q = query_signature.cardinality
-        results: List[Tuple[Hashable, float]] = []
-        for partition in self._partitions:
-            jaccard_threshold = containment_to_jaccard(
-                containment_threshold, q, partition.max_size
-            )
-            bands, rows = _choose_bands(self.hasher.num_hashes, jaccard_threshold)
-            candidates = self._banded_candidates(
-                partition, query_signature, bands, rows
-            )
-            for key in candidates:
-                signature = partition.signatures[key]
-                jaccard = query_signature.jaccard(signature)
-                union_bound = q + signature.cardinality
-                intersection = (
-                    jaccard * union_bound / (1.0 + jaccard) if jaccard > 0 else 0.0
-                )
-                intersection = min(intersection, float(q), float(signature.cardinality))
-                containment = intersection / q
-                if containment >= containment_threshold:
-                    results.append((key, containment))
+        partition_max = {
+            key: partition.max_size
+            for partition in self._partitions
+            for key in partition.keys
+        }
+        results = scatter_containment_hits(
+            self._pending,
+            query_signature,
+            containment_threshold,
+            partition_max,
+            self.hasher.num_hashes,
+        )
         results.sort(key=lambda item: (-item[1], repr(item[0])))
         return results
-
-    @staticmethod
-    def _banded_candidates(
-        partition: _Partition,
-        query_signature: MinHashSignature,
-        bands: int,
-        rows: int,
-    ) -> Set[Hashable]:
-        """Candidate keys sharing at least one LSH band with the query."""
-        buckets: Dict[Tuple[int, bytes], List[Hashable]] = defaultdict(list)
-        for key, signature in partition.signatures.items():
-            for band in range(bands):
-                chunk = signature.values[band * rows : (band + 1) * rows]
-                buckets[(band, chunk.tobytes())].append(key)
-        candidates: Set[Hashable] = set()
-        for band in range(bands):
-            chunk = query_signature.values[band * rows : (band + 1) * rows]
-            candidates.update(buckets.get((band, chunk.tobytes()), ()))
-        return candidates

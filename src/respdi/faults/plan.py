@@ -68,6 +68,11 @@ KNOWN_POINTS = frozenset(
         "catalog.lock.release",
         # respdi.parallel.engine — per-chunk worker execution
         "parallel.worker",
+        # respdi.catalog.sharding — shard routing, per-shard commit
+        # fan-out, and scatter-gather merge
+        "shard.route",
+        "shard.commit",
+        "shard.gather",
         # respdi.service — read-path query layer (snapshot pinning, the
         # generation-keyed result cache, and the serve loop).  All
         # read-only: killing at any of them must leave the store intact.

@@ -33,6 +33,11 @@ from respdi.service.service import (
     reset_shared_services,
     shared_service,
 )
+from respdi.service.sharded import (
+    ShardedQueryService,
+    ShardVector,
+    merge_ranked,
+)
 
 __all__ = [
     "ContainmentQuery",
@@ -41,10 +46,13 @@ __all__ = [
     "Query",
     "QueryResultCache",
     "QueryService",
+    "ShardVector",
+    "ShardedQueryService",
     "Snapshot",
     "UnionQuery",
     "build_query",
     "handle_request",
+    "merge_ranked",
     "pin_snapshot",
     "reset_shared_services",
     "serve",

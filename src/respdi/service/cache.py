@@ -17,13 +17,20 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Tuple, Union
 
 from respdi import obs
 from respdi.errors import SpecificationError
 from respdi.faults.plan import fault_point
 
-CacheKey = Tuple[int, str]
+#: ``(generation, fingerprint)`` — the generation component is an ``int``
+#: for a single store and a tuple of ints (one per shard, the generation
+#: *vector*) for a sharded one.  Both compare with ``<`` against their
+#: own kind, which is all eviction needs: per-shard generations only
+#: ever advance, so an older vector is lexicographically below a newer
+#: one exactly as an older int is below a newer int.
+Generation = Union[int, Tuple[int, ...]]
+CacheKey = Tuple[Generation, str]
 
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 _ABSENT = object()
@@ -93,7 +100,7 @@ class QueryResultCache:
         if evicted:
             obs.inc("service.cache.evict", evicted)
 
-    def evict_stale_generations(self, current_generation: int) -> int:
+    def evict_stale_generations(self, current_generation: Generation) -> int:
         """Drop every entry keyed under a generation older than *current*.
 
         Called when the service observes the catalog's generation advance:
@@ -139,6 +146,14 @@ def is_hit(value: Any) -> bool:
     return value is not _ABSENT
 
 
-def make_key(generation: int, fingerprint: str) -> CacheKey:
-    """The canonical cache key for a query against one generation."""
+def make_key(generation: Generation, fingerprint: str) -> CacheKey:
+    """The canonical cache key for a query against one generation.
+
+    *generation* is a plain int for a single store or a per-shard tuple
+    for a sharded one (the generation vector pins one committed state
+    per shard, so the full vector — not any scalar of it — names the
+    catalog state a result was computed against).
+    """
+    if isinstance(generation, tuple):
+        return (tuple(int(part) for part in generation), fingerprint)
     return (int(generation), fingerprint)

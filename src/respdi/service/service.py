@@ -298,23 +298,33 @@ class QueryService:
 # query from "re-open, re-verify, re-sketch" into "stat the manifest,
 # serve from the pinned snapshot".
 
-_SHARED: Dict[str, QueryService] = {}
+_SHARED: Dict[str, Any] = {}
 _SHARED_LOCK = threading.Lock()
 
 
-def shared_service(directory: PathLike, cache_size: int = 256) -> QueryService:
-    """The process-wide :class:`QueryService` for *directory*.
+def shared_service(directory: PathLike, cache_size: int = 256) -> Any:
+    """The process-wide query service for *directory*.
 
-    Created on first use (one ``CatalogStore.open``), then reused for
-    the life of the process; staleness is handled by the service's own
+    Created on first use (one store open), then reused for the life of
+    the process; staleness is handled by the service's own
     manifest-token check, so a reused service always answers from the
-    latest committed generation.
+    latest committed generation.  A directory holding a sharded catalog
+    (``SHARDS.json``) gets a
+    :class:`~respdi.service.sharded.ShardedQueryService` — same surface,
+    scatter-gather underneath — so CLI query/serve are shard-transparent.
     """
     key = str(Path(directory).resolve())
     with _SHARED_LOCK:
         service = _SHARED.get(key)
         if service is None:
-            service = QueryService(directory, cache_size=cache_size)
+            from respdi.catalog.sharding import is_sharded
+
+            if is_sharded(directory):
+                from respdi.service.sharded import ShardedQueryService
+
+                service = ShardedQueryService(directory, cache_size=cache_size)
+            else:
+                service = QueryService(directory, cache_size=cache_size)
             _SHARED[key] = service
         return service
 

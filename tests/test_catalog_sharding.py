@@ -1,0 +1,310 @@
+"""Unit and property tests for :mod:`respdi.catalog.sharding`.
+
+The routing function is the sharded catalog's load-bearing contract:
+every process must send every table name to the same shard, forever,
+with no coordination.  The property tests here pin that down (pure
+function of the name bytes, stable across processes and
+``PYTHONHASHSEED`` values); the unit tests cover the facade's lifecycle,
+shard-map validation, per-shard routing of single-table operations, and
+resharding via entry adoption.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.catalog import (
+    CatalogStore,
+    ShardedCatalogStore,
+    is_sharded,
+    open_catalog,
+    reshard,
+    shard_for,
+)
+from respdi.catalog.sharding import (
+    SHARDS_FILENAME,
+    read_shard_spec,
+    shard_dirname,
+)
+from respdi.errors import CatalogCorruptError, SpecificationError
+from respdi.table import Schema, Table
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _table(tag, n=8, offset=0.0):
+    rows = [(f"{tag}_{i}", float(i) + offset) for i in range(n)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+TABLES = {f"table{t}": _table(f"t{t}") for t in range(6)}
+
+
+# -- routing ------------------------------------------------------------------
+
+
+@given(
+    name=st.text(min_size=0, max_size=40),
+    num_shards=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=200, deadline=None)
+def test_shard_for_is_a_pure_total_function(name, num_shards):
+    route = shard_for(name, num_shards)
+    assert 0 <= route < num_shards
+    # Pure: recomputing (and recomputing from an equal-but-distinct
+    # string object) never moves the table.
+    assert shard_for(name, num_shards) == route
+    assert shard_for(str(name.encode("utf-8"), "utf-8"), num_shards) == route
+
+
+def test_shard_for_rejects_nonpositive_counts():
+    with pytest.raises(SpecificationError):
+        shard_for("table0", 0)
+    with pytest.raises(SpecificationError):
+        shard_for("table0", -3)
+
+
+def test_one_shard_routes_everything_to_zero():
+    assert {shard_for(name, 1) for name in TABLES} == {0}
+
+
+_ROUTE_SCRIPT = r"""
+import json, sys
+from respdi.catalog import shard_for
+names = json.loads(sys.stdin.read())
+print(json.dumps({n: [shard_for(n, k) for k in (1, 2, 4, 7, 16)] for n in names}))
+"""
+
+
+def _routes_in_subprocess(names, hash_seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _ROUTE_SCRIPT],
+        input=json.dumps(names),
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def test_routing_stable_across_processes_and_hash_seeds():
+    """Same name -> same shard in every process, whatever the hash seed.
+
+    ``hash()`` on strings is salted per process; the router must not be.
+    Two fresh interpreters with different ``PYTHONHASHSEED`` values must
+    route an adversarial name set (unicode, empty-ish, collision-prone)
+    exactly like this process does.
+    """
+    names = sorted(TABLES) + ["", " ", "café", "データ", "a" * 64, "table0 "]
+    local = {n: [shard_for(n, k) for k in (1, 2, 4, 7, 16)] for n in names}
+    for seed in ("0", "1", "424242"):
+        assert _routes_in_subprocess(names, seed) == local, (
+            f"routing diverged under PYTHONHASHSEED={seed}"
+        )
+
+
+def test_routing_spreads_tables_over_shards():
+    """blake2b routing should not degenerate to one hot shard on a
+    realistic name population (a sanity floor, not a uniformity proof)."""
+    names = [f"lake_table_{i}" for i in range(256)]
+    used = {shard_for(name, 4) for name in names}
+    assert used == {0, 1, 2, 3}
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_create_layout_and_shard_map(tmp_path):
+    store = ShardedCatalogStore.create(tmp_path / "cat", num_shards=3, **OPTS)
+    assert is_sharded(tmp_path / "cat")
+    assert store.num_shards == 3
+    assert len(store.shards) == 3
+    spec = read_shard_spec(tmp_path / "cat")
+    assert spec["num_shards"] == 3
+    assert spec["shards"] == [shard_dirname(i) for i in range(3)]
+    assert spec["seed"] == OPTS["rng"]
+    # Every shard is a complete plain catalog sharing one hash family.
+    for index in range(3):
+        shard = CatalogStore.open(tmp_path / "cat" / shard_dirname(index))
+        assert shard.hasher.fingerprint == spec["hasher_fingerprint"]
+        assert shard.verify() == []
+
+
+def test_create_refuses_existing_catalogs(tmp_path):
+    ShardedCatalogStore.create(tmp_path / "sharded", num_shards=2, **OPTS)
+    with pytest.raises(SpecificationError):
+        ShardedCatalogStore.create(tmp_path / "sharded", num_shards=2, **OPTS)
+    CatalogStore.create(tmp_path / "plain", **OPTS)
+    with pytest.raises(SpecificationError):
+        ShardedCatalogStore.create(tmp_path / "plain", num_shards=2, **OPTS)
+
+
+def test_open_rejects_missing_or_torn_shard_map(tmp_path):
+    with pytest.raises(SpecificationError):
+        ShardedCatalogStore.open(tmp_path / "nowhere")
+    CatalogStore.build(tmp_path / "plain", TABLES, **OPTS)
+    with pytest.raises(SpecificationError):
+        ShardedCatalogStore.open(tmp_path / "plain")
+    torn = tmp_path / "torn"
+    torn.mkdir()
+    (torn / SHARDS_FILENAME).write_text('{"schema_version": 1, "sha')
+    with pytest.raises(CatalogCorruptError):
+        ShardedCatalogStore.open(torn)
+
+
+def test_open_rejects_future_schema_version(tmp_path):
+    ShardedCatalogStore.create(tmp_path / "cat", num_shards=2, **OPTS)
+    spec_path = tmp_path / "cat" / SHARDS_FILENAME
+    spec = json.loads(spec_path.read_text())
+    spec["schema_version"] = 99
+    spec_path.write_text(json.dumps(spec))
+    with pytest.raises(SpecificationError):
+        ShardedCatalogStore.open(tmp_path / "cat")
+
+
+def test_open_detects_mixed_hasher_state(tmp_path):
+    """A shard rebuilt under a different hash family is corruption:
+    its sketches are not comparable with its siblings'."""
+    import shutil
+
+    ShardedCatalogStore.build(tmp_path / "cat", TABLES, num_shards=2, **OPTS)
+    rogue = tmp_path / "cat" / shard_dirname(1)
+    shutil.rmtree(rogue)
+    CatalogStore.create(rogue, rng=99, num_hashes=16, sketch_size=16)
+    with pytest.raises(CatalogCorruptError, match="mixed-hasher"):
+        ShardedCatalogStore.open(tmp_path / "cat")
+
+
+def test_open_catalog_dispatches_on_flavor(tmp_path):
+    CatalogStore.build(tmp_path / "plain", TABLES, **OPTS)
+    ShardedCatalogStore.build(tmp_path / "sharded", TABLES, num_shards=2, **OPTS)
+    assert isinstance(open_catalog(tmp_path / "plain"), CatalogStore)
+    assert isinstance(open_catalog(tmp_path / "sharded"), ShardedCatalogStore)
+
+
+# -- routing of operations ----------------------------------------------------
+
+
+def test_build_places_every_table_on_its_routed_shard(tmp_path):
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=4, **OPTS
+    )
+    assert len(store) == len(TABLES)
+    assert sorted(store.names) == sorted(TABLES)
+    for name in TABLES:
+        index = shard_for(name, 4)
+        assert name in store.shards[index]
+        for other in range(4):
+            if other != index:
+                assert name not in store.shards[other]
+    assert store.verify() == []
+
+
+def test_single_table_operations_route_and_roundtrip(tmp_path):
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=3, **OPTS
+    )
+    extra = _table("extra", n=5)
+    store.add_table("extra", extra)
+    assert "extra" in store
+    assert "extra" in store.shards[shard_for("extra", 3)].names
+    assert store.meta("extra")["fingerprint"]
+
+    assert store.refresh("extra", extra) is False  # unchanged: no-op
+    assert store.refresh("extra", _table("extra", n=5, offset=9.0)) is True
+
+    store.remove_table("extra")
+    assert "extra" not in store
+    assert len(store) == len(TABLES)
+
+
+def test_refresh_many_validates_membership_before_any_commit(tmp_path):
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=2, **OPTS
+    )
+    before = store.generations
+    with pytest.raises(SpecificationError, match="'ghost' is not cataloged"):
+        store.refresh_many(
+            {"table0": _table("t0", offset=50.0), "ghost": _table("g")}
+        )
+    store.reload()
+    assert store.generations == before  # nothing committed anywhere
+
+
+def test_refresh_many_fans_out_and_merges_flags(tmp_path):
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=3, **OPTS
+    )
+    updates = {
+        "table0": TABLES["table0"],  # unchanged
+        "table3": _table("t3", offset=77.0),  # changed
+        "table5": _table("t5", offset=88.0),  # changed
+    }
+    flags = store.refresh_many(updates)
+    assert flags == {"table0": False, "table3": True, "table5": True}
+    assert list(flags) == list(updates)  # input order preserved
+    assert store.verify() == []
+
+
+def test_verify_prefixes_shard_and_isolates_corruption(tmp_path):
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=4, **OPTS
+    )
+    # Corrupt exactly one committed file in exactly one non-empty shard.
+    victim_index = shard_for("table0", 4)
+    victim_dir = tmp_path / "cat" / shard_dirname(victim_index)
+    target = next((victim_dir / "entries").glob("table0-*/meta.json"))
+    target.write_bytes(target.read_bytes() + b" ")
+
+    problems = ShardedCatalogStore.open(tmp_path / "cat").verify()
+    assert problems != []
+    assert all(p.startswith(shard_dirname(victim_index)) for p in problems)
+    # The siblings stay healthy — individually, as plain catalogs.
+    for index in range(4):
+        if index != victim_index:
+            shard = CatalogStore.open(tmp_path / "cat" / shard_dirname(index))
+            assert shard.verify() == []
+
+
+# -- resharding ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source_shards", [None, 4], ids=["plain", "sharded"])
+def test_reshard_adopts_every_entry_verbatim(tmp_path, source_shards):
+    if source_shards is None:
+        source = CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+    else:
+        source = ShardedCatalogStore.build(
+            tmp_path / "src", TABLES, num_shards=source_shards, **OPTS
+        )
+    dest = reshard(tmp_path / "src", tmp_path / "dst", num_shards=2)
+    assert dest.num_shards == 2
+    assert sorted(dest.names) == sorted(TABLES)
+    assert dest.verify() == []
+    for name in TABLES:
+        assert name in dest.shards[shard_for(name, 2)]
+        assert dest.meta(name)["fingerprint"] == source.meta(name)["fingerprint"]
+    # Source untouched: a reshard is abortable by deleting the dest.
+    assert sorted(open_catalog(tmp_path / "src").names) == sorted(TABLES)
+
+
+def test_adopt_entries_rejects_foreign_hash_family(tmp_path):
+    CatalogStore.build(tmp_path / "a", TABLES, **OPTS)
+    foreign = CatalogStore.build(
+        tmp_path / "b", TABLES, rng=99, num_hashes=16, sketch_size=16
+    )
+    dest = CatalogStore.open(tmp_path / "a")
+    with pytest.raises(SpecificationError, match="hash famil"):
+        dest.adopt_entries(foreign, ["table0"])

@@ -399,15 +399,34 @@ def test_every_known_point_is_exercised(tmp_path):
         stream = io.StringIO(f"{request}\n{request}\n")
         serve(service, stream, io.StringIO())
 
+    def sharded_lifecycle():
+        # One sharded build + query crosses every shard.* point: routing
+        # (table -> shard), the per-shard commit fan-out, and the
+        # scatter-gather merge.
+        from respdi.catalog.sharding import ShardedCatalogStore
+        from respdi.service import KeywordQuery
+        from respdi.service.sharded import ShardedQueryService
+
+        store = ShardedCatalogStore.build(
+            tmp_path / "shards", tables, num_shards=2, rng=7, num_hashes=16
+        )
+        ShardedQueryService(store).query(KeywordQuery(text="table0", k=3))
+
     run_recorded(catalog_lifecycle)
     run_recorded(stale_lock_break)
     run_recorded(parallel_map)
     run_recorded(_mini_pipeline_run)
     run_recorded(service_lifecycle)
+    run_recorded(sharded_lifecycle)
 
-    missing = KNOWN_POINTS - seen
-    assert missing == set(), f"registered points never exercised: {missing}"
-    unregistered = seen - KNOWN_POINTS
-    assert unregistered == set(), (
-        f"points crossed but not in KNOWN_POINTS: {unregistered}"
+    # Failure messages spell out the *sorted names* on both sides of the
+    # diff — a bare count (or an unordered set repr) makes triaging a
+    # registry drift needlessly slow.
+    missing = sorted(KNOWN_POINTS - seen)
+    assert missing == [], (
+        f"registered points never exercised: {', '.join(missing)}"
+    )
+    unregistered = sorted(seen - KNOWN_POINTS)
+    assert unregistered == [], (
+        f"points crossed but not in KNOWN_POINTS: {', '.join(unregistered)}"
     )

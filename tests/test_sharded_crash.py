@@ -1,0 +1,250 @@
+"""The crash matrix over multi-shard mutations.
+
+Same power-loss model as ``tests/test_crash_consistency.py`` —
+:class:`~respdi.faults.CrashSimulator` forks and ``os._exit``\\ s the
+mutation at every injection point it crosses — but the operation now
+fans out over shards, so the property sharpens: after any kill, **every
+shard independently** holds a complete committed state (complete-old or
+complete-new *per shard*), the shard map is whole or absent, and no
+combination is torn.  Mixed survivors ("shard 0 committed, shard 1 not
+yet") are *legal* — that is exactly the per-shard commit independence
+the design promises — and the matrix asserts they actually occur, so
+the test would catch a regression that silently re-coupled the shards
+into one global commit as surely as one that tore them.
+
+Readers are covered too: a pinned generation vector keeps answering
+from its committed state while writers churn, and the query path itself
+takes no write steps (killing at ``shard.gather`` is read-only).
+
+POSIX-only (``os.fork``); skipped elsewhere.
+"""
+
+import os
+
+import pytest
+
+from respdi.catalog import CatalogStore, ShardedCatalogStore
+from respdi.catalog.sharding import read_shard_spec
+from respdi.errors import SpecificationError
+from respdi.faults import CrashSimulator
+from respdi.service import ContainmentQuery, KeywordQuery, ShardedQueryService
+from respdi.table import Schema, Table
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash simulation needs os.fork (POSIX)"
+)
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+
+#: Small hash family keeps each of the dozens of forked re-runs cheap
+#: without changing which injection points the operations cross.
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+NUM_SHARDS = 2
+POINTS = ("shard.", "catalog.", "fsutil.")
+
+
+def _table(tag, n=8, offset=0.0):
+    rows = [(f"{tag}_{i}", float(i) + offset) for i in range(n)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+TABLES = {f"table{t}": _table(f"t{t}") for t in range(6)}
+CHANGED = {
+    # One changed table per shard, so every shard takes a real commit
+    # during refresh_many and kills can land between the two commits.
+    "table0": _table("c0", n=5, offset=100.0),
+    "table3": _table("c3", n=5, offset=200.0),
+}
+
+
+def _snapshot(catalog_dir):
+    """Per-shard fingerprint maps (each shard verified), or ``"absent"``.
+
+    A sharded catalog exists only once ``SHARDS.json`` does — it is
+    written last during create, so "shard dirs but no map yet" is
+    *absent*, not torn.  Any shard that opens but fails verification
+    raises, which the simulator reports as a corrupt outcome.
+    """
+    try:
+        spec = read_shard_spec(catalog_dir)
+    except SpecificationError:
+        return "absent"
+    shards = []
+    for dirname in spec["shards"]:
+        store = CatalogStore.open(catalog_dir / dirname)
+        problems = store.verify()
+        assert problems == [], f"{dirname} corrupt after crash: {problems}"
+        shards.append(
+            {name: store.meta(name)["fingerprint"] for name in store.names}
+        )
+    return shards
+
+
+def _per_shard_classifier(old_shards, new_shards):
+    """Label each survivor by its per-shard states.
+
+    Every shard must individually match its committed old or new state;
+    the global label collapses to ``old`` / ``new`` when all shards
+    agree and ``partial`` when the kill landed between shard commits —
+    the legal mixed outcome unsharded catalogs cannot have.
+    """
+
+    def classify(workdir):
+        snap = _snapshot(workdir / "cat")
+        if snap == "absent":
+            if old_shards == "absent":
+                return "old"
+            raise AssertionError("prepared catalog vanished after crash")
+        labels = []
+        for index, shard_snap in enumerate(snap):
+            old = {} if old_shards == "absent" else old_shards[index]
+            if shard_snap == old:
+                labels.append("old")
+            elif shard_snap == new_shards[index]:
+                labels.append("new")
+            else:
+                raise AssertionError(
+                    f"shard {index} holds no committed state: {shard_snap!r}"
+                )
+        if all(label == "new" for label in labels):
+            return "new"
+        if all(label == "old" for label in labels):
+            return "old" if old_shards != "absent" else "created"
+        return "partial"
+
+    return classify
+
+
+def _case_build():
+    def prepare(workdir):
+        pass  # nothing on disk: the mutation is the cold sharded build
+
+    def mutate(workdir):
+        ShardedCatalogStore.build(
+            workdir / "cat", TABLES, num_shards=NUM_SHARDS, **OPTS
+        )
+
+    return prepare, mutate, "absent", "build"
+
+
+def _case_refresh_many():
+    def prepare(workdir):
+        ShardedCatalogStore.build(
+            workdir / "cat", TABLES, num_shards=NUM_SHARDS, **OPTS
+        )
+
+    def mutate(workdir):
+        store = ShardedCatalogStore.open(workdir / "cat")
+        flags = store.refresh_many(dict(CHANGED))
+        assert flags == {"table0": True, "table3": True}
+
+    return prepare, mutate, None, "refresh_many"
+
+
+@pytest.mark.parametrize(
+    "case", [_case_build, _case_refresh_many], ids=["build", "refresh_many"]
+)
+def test_kill_at_every_step_leaves_every_shard_committed(case, tmp_path):
+    prepare, mutate, old_marker, operation = case()
+
+    # Reference runs give the exact committed states; sharded builds are
+    # byte-deterministic, so fingerprints transfer across directories.
+    old_dir = tmp_path / "reference-old"
+    old_dir.mkdir()
+    prepare(old_dir)
+    old_shards = old_marker or _snapshot(old_dir / "cat")
+    new_dir = tmp_path / "reference-new"
+    new_dir.mkdir()
+    prepare(new_dir)
+    mutate(new_dir)
+    new_shards = _snapshot(new_dir / "cat")
+    # The matrix only proves per-shard independence if the mutation
+    # really commits on more than one shard.
+    nonempty = [shard for shard in new_shards if shard]
+    assert len(nonempty) == NUM_SHARDS, "tables must route to every shard"
+    if old_shards != "absent":
+        assert sum(o != n for o, n in zip(old_shards, new_shards)) >= 2
+
+    simulator = CrashSimulator(
+        prepare,
+        mutate,
+        _per_shard_classifier(old_shards, new_shards),
+        points=POINTS,
+        operation=operation,
+    )
+    report = simulator.run(tmp_path / "matrix")
+
+    detail = "\n".join(
+        f"  step {o.step:3d} @ {o.point}: {o.problem}" for o in report.corrupt
+    )
+    assert report.corrupt == [], f"{report.summary()}\n{detail}"
+    states = report.states
+    # Kills landed on both sides of the commits...
+    assert states.get("new", 0) >= 1, report.summary()
+    before = sum(count for state, count in states.items() if state != "new")
+    assert before >= 1, report.summary()
+    # ...and *between* them: some survivor has one shard new, one old —
+    # the per-shard independence an unsharded store cannot exhibit.
+    assert states.get("partial", 0) >= 1, report.summary()
+    assert len(report.outcomes) >= 8, report.summary()
+
+
+def test_pinned_vector_unaffected_by_concurrent_refresh(tmp_path):
+    """A reader pinned to a generation vector keeps answering from its
+    committed state while (and after) writers commit on any shard."""
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=NUM_SHARDS, **OPTS
+    )
+    service = ShardedQueryService(store)
+    queries = [
+        KeywordQuery(text="table0", k=5),
+        ContainmentQuery(values=("t0_1", "t0_2"), threshold=0.2),
+    ]
+    pinned = service.snapshot()
+    before = [repr(service._query_at(q, pinned, cached=False)) for q in queries]
+
+    flags = store.refresh_many(dict(CHANGED))
+    assert flags == {"table0": True, "table3": True}
+
+    # The old vector still serves the old committed state, bit for bit.
+    after_old = [
+        repr(service._query_at(q, pinned, cached=False)) for q in queries
+    ]
+    assert after_old == before
+    # A fresh pin sees the refresh (strictly newer on the touched shards).
+    fresh = service.snapshot()
+    assert fresh.generation != pinned.generation
+    assert all(n >= o for n, o in zip(fresh.generation, pinned.generation))
+    assert [
+        repr(service._query_at(q, fresh, cached=False)) for q in queries
+    ] != before
+
+
+def test_query_path_takes_no_write_steps(tmp_path):
+    """Killing a reader (e.g. at ``shard.gather``) is read-only by
+    construction: a scatter-gather query's injection-point trace holds
+    no write points at all."""
+
+    def prepare(workdir):
+        ShardedCatalogStore.build(
+            workdir / "cat", TABLES, num_shards=NUM_SHARDS, **OPTS
+        )
+
+    def mutate(workdir):
+        service = ShardedQueryService(
+            ShardedCatalogStore.open(workdir / "cat")
+        )
+        result = service.query(KeywordQuery(text="table0", k=5))
+        assert result  # the query really ran end to end
+
+    simulator = CrashSimulator(
+        prepare, mutate, lambda workdir: "read", points=POINTS, operation="query"
+    )
+    trace = simulator.record(tmp_path / "record")
+    assert any(point.startswith("shard.gather") for point in trace)
+    writes = [
+        point
+        for point in trace
+        if point.startswith(("fsutil.", "catalog.commit", "shard.commit"))
+    ]
+    assert writes == []

@@ -1,0 +1,331 @@
+"""Sharded differential suite: scatter-gather == unsharded, byte for byte.
+
+The sharded read path's contract is *identity*, not approximation: for
+any catalog contents and any query, a sharded catalog (any shard count)
+answers byte-identically to a single unsharded :class:`CatalogStore`
+over the same tables with the same hasher seed — across shard counts
+N ∈ {1, 2, 4}, serial/threads backends, cached and uncached passes,
+after a reshard, and across ``PYTHONHASHSEED`` values (cross-process,
+on rendered JSON).  "Byte-identical" is enforced on ``repr`` (covers
+every float and every ordering) and on the serve loop's rendered form.
+
+The merge step's order-independence — the property that makes the
+identity hold no matter which shard answers first — is property-tested
+directly on :func:`~respdi.service.sharded.merge_ranked`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.catalog import CatalogStore, ShardedCatalogStore, reshard
+from respdi.parallel import ExecutionContext
+from respdi.service import (
+    ContainmentQuery,
+    JoinQuery,
+    KeywordQuery,
+    QueryService,
+    ShardedQueryService,
+    UnionQuery,
+    merge_ranked,
+)
+from respdi.table import Schema, Table
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Tiny closed vocabulary: cross-table overlap (join/containment hits)
+#: and disjoint tables are both reachable within few examples.
+_WORDS = ["ada", "bee", "cat", "doe", "elk", "fox"]
+
+
+def _table(values):
+    rows = [(value, float(i)) for i, value in enumerate(values)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+def _lake(n_tables=7, rows=9):
+    return {
+        f"tab_{chr(ord('a') + t)}": _table(
+            [_WORDS[(t + i) % len(_WORDS)] for i in range(rows - t % 3)]
+        )
+        for t in range(n_tables)
+    }
+
+
+def _queries(values):
+    return [
+        KeywordQuery(text=values[0], k=5),
+        UnionQuery(table=_table(values), k=5),
+        JoinQuery(values=tuple(values), k=5),
+        ContainmentQuery(values=tuple(values), threshold=0.2),
+    ]
+
+
+def _reprs(service, queries, **kwargs):
+    return [repr(service.query(q, **kwargs)) for q in queries]
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_sharded_answers_identical_to_unsharded(tmp_path, num_shards):
+    """The acceptance matrix: N ∈ {1,2,4} x {serial, threads} x
+    {uncached, cache-miss, cache-hit, batched} — all equal to the
+    unsharded answer, hit results are the same cached object."""
+    tables = _lake()
+    plain = CatalogStore.build(tmp_path / "plain", tables, **OPTS)
+    sharded = ShardedCatalogStore.build(
+        tmp_path / "sharded", tables, num_shards=num_shards, **OPTS
+    )
+    queries = _queries(["ada", "bee", "fox"])
+    baseline = [
+        repr(QueryService(plain).query(q, cached=False)) for q in queries
+    ]
+    assert any(r != "[]" for r in baseline)  # the lake actually answers
+
+    for context in (
+        ExecutionContext(),
+        ExecutionContext(backend="threads", n_jobs=2, chunksize=1),
+    ):
+        service = ShardedQueryService(sharded, context=context)
+        assert _reprs(service, queries, cached=False) == baseline
+        assert _reprs(service, queries) == baseline  # miss pass
+        hits = [service.query(q) for q in queries]  # hit pass
+        assert [repr(h) for h in hits] == baseline
+        again = [service.query(q) for q in queries]
+        for hit, cached in zip(hits, again):
+            assert hit is cached  # a hit is the stored object itself
+        batched = service.query_many(queries)
+        assert [repr(r) for r in batched] == baseline
+
+
+def test_rendered_results_identical_to_unsharded(tmp_path):
+    """The serve loop's wire format — rendered JSON — matches too, so a
+    client cannot tell which flavor answered."""
+    tables = _lake()
+    plain = QueryService(CatalogStore.build(tmp_path / "plain", tables, **OPTS))
+    sharded = ShardedQueryService(
+        ShardedCatalogStore.build(
+            tmp_path / "sharded", tables, num_shards=4, **OPTS
+        )
+    )
+    for query in _queries(["cat", "doe", "elk"]):
+        expected = query.render(plain.query(query))
+        rendered = query.render(sharded.query(query))
+        assert json.dumps(rendered, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+
+@given(
+    raw_tables=st.dictionaries(
+        st.sampled_from(["tab_a", "tab_b", "tab_c"]),
+        st.lists(st.sampled_from(_WORDS), min_size=1, max_size=8),
+        min_size=1,
+        max_size=3,
+    ),
+    values=st.lists(st.sampled_from(_WORDS), min_size=1, max_size=4, unique=True),
+)
+@settings(max_examples=6, deadline=None)
+def test_identity_holds_for_arbitrary_lakes(raw_tables, values):
+    """Property form: whatever the tables (including ones that route all
+    to one shard, leaving siblings empty), sharded == unsharded."""
+    tables = {name: _table(cells) for name, cells in raw_tables.items()}
+    with tempfile.TemporaryDirectory() as tmp:
+        plain = QueryService(
+            CatalogStore.build(Path(tmp) / "plain", tables, **OPTS)
+        )
+        sharded = ShardedQueryService(
+            ShardedCatalogStore.build(
+                Path(tmp) / "sharded", tables, num_shards=3, **OPTS
+            )
+        )
+        for query in _queries(values):
+            assert repr(sharded.query(query)) == repr(
+                plain.query(query, cached=False)
+            )
+
+
+def test_reshard_preserves_answers_exactly(tmp_path):
+    """plain -> 4 shards -> 2 shards: every hop answers identically (no
+    re-sketching happens, so nothing can drift)."""
+    tables = _lake()
+    plain = CatalogStore.build(tmp_path / "plain", tables, **OPTS)
+    queries = _queries(["ada", "elk"])
+    baseline = [
+        repr(QueryService(plain).query(q, cached=False)) for q in queries
+    ]
+    reshard(tmp_path / "plain", tmp_path / "by4", num_shards=4)
+    reshard(tmp_path / "by4", tmp_path / "by2", num_shards=2)
+    for directory in (tmp_path / "by4", tmp_path / "by2"):
+        service = ShardedQueryService(ShardedCatalogStore.open(directory))
+        assert _reprs(service, queries, cached=False) == baseline
+
+
+def test_refresh_invalidates_vector_and_stays_identical(tmp_path):
+    """After a refresh_many, the sharded service re-pins its generation
+    vector and keeps matching an unsharded store given the same update."""
+    tables = _lake()
+    plain = CatalogStore.build(tmp_path / "plain", tables, **OPTS)
+    sharded = ShardedCatalogStore.build(
+        tmp_path / "sharded", tables, num_shards=4, **OPTS
+    )
+    service = ShardedQueryService(sharded)
+    queries = _queries(["bee", "fox"])
+    before = _reprs(service, queries)  # populate cache at the old vector
+    old_generation = service.snapshot().generation
+
+    updates = {"tab_a": _table(["zulu", "yak", "wren"]), "tab_b": tables["tab_b"]}
+    assert sharded.refresh_many(dict(updates)) == {
+        "tab_a": True,
+        "tab_b": False,
+    }
+    assert plain.refresh_many(dict(updates)) == {"tab_a": True, "tab_b": False}
+
+    new_generation = service.snapshot().generation
+    assert new_generation != old_generation
+    assert all(new >= old for new, old in zip(new_generation, old_generation))
+    after = _reprs(service, queries)
+    expected = [
+        repr(QueryService(plain).query(q, cached=False)) for q in queries
+    ]
+    assert after == expected
+    assert after != before  # the refresh was visible, not served stale
+
+
+# -- merge-order independence -------------------------------------------------
+
+_containment_partials = st.lists(
+    st.lists(
+        st.tuples(
+            st.text(min_size=1, max_size=6),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(
+    partials=_containment_partials,
+    seed=st.integers(min_value=0, max_value=2**16),
+    k=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+)
+@settings(max_examples=150, deadline=None)
+def test_merge_is_independent_of_shard_completion_order(partials, seed, k):
+    """merge_ranked(P) == merge_ranked(shuffle(P)): the gather step may
+    receive shard partials in any completion order without changing one
+    byte of the ranking (ties included — the rank key is total)."""
+    import random
+
+    reference = merge_ranked(partials, "containment", k)
+    shuffled = list(partials)
+    random.Random(seed).shuffle(shuffled)
+    assert merge_ranked(shuffled, "containment", k) == reference
+    # And merging is insensitive to how items are grouped into shards:
+    flat = [item for partial in partials for item in partial]
+    singletons = [[item] for item in flat]
+    random.Random(seed + 1).shuffle(singletons)
+    assert merge_ranked(singletons, "containment", k) == reference
+
+
+# -- PYTHONHASHSEED x backend x shard-count matrix ----------------------------
+
+_SCRIPT = r"""
+import json, sys
+from pathlib import Path
+
+from respdi.catalog import CatalogStore, ShardedCatalogStore
+from respdi.parallel import ExecutionContext
+from respdi.service import (
+    ContainmentQuery, JoinQuery, KeywordQuery,
+    QueryService, ShardedQueryService, UnionQuery,
+)
+from respdi.table import Schema, Table
+
+out_dir, backend, num_shards = (
+    Path(sys.argv[1]), sys.argv[2], int(sys.argv[3])
+)
+schema = Schema([("key", "categorical"), ("value", "numeric")])
+
+def table(tag, n):
+    return Table.from_rows(
+        schema, [(f"{tag}_{i % 5}", float(i)) for i in range(n)]
+    )
+
+tables = {"tab_a": table("a", 9), "tab_b": table("b", 7), "tab_c": table("a", 5)}
+opts = dict(rng=7, num_hashes=16, sketch_size=16)
+context = (
+    ExecutionContext()
+    if backend == "serial"
+    else ExecutionContext(backend=backend, n_jobs=2, chunksize=1)
+)
+if num_shards == 0:  # the unsharded baseline flavor
+    store = CatalogStore.build(out_dir / "cat", tables, **opts)
+    service = QueryService(store, context=context)
+else:
+    store = ShardedCatalogStore.build(
+        out_dir / "cat", tables, num_shards=num_shards, **opts
+    )
+    service = ShardedQueryService(store, context=context)
+queries = [
+    KeywordQuery(text="tab_a", k=5),
+    UnionQuery(table=table("a", 4), k=5),
+    JoinQuery(values=("a_1", "a_2", "b_3"), k=5),
+    ContainmentQuery(values=("a_0", "a_1"), threshold=0.2),
+]
+lines = []
+for cached in (False, True, True):  # uncached, miss, hit
+    results = service.query_many(queries, cached=cached)
+    lines.append(
+        [query.render(result) for query, result in zip(queries, results)]
+    )
+print(json.dumps({"passes": lines}))
+"""
+
+
+def _run_flavor(tmp_path, backend, hash_seed, num_shards):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out_dir = tmp_path / f"{backend}-{hash_seed}-{num_shards}"
+    out_dir.mkdir()
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, str(out_dir), backend, str(num_shards)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+@pytest.mark.slow
+def test_sharded_identical_across_shards_backends_and_hash_seeds(tmp_path):
+    """The full acceptance matrix, cross-process: shard counts {1,2,4}
+    x backends {serial, threads} x hash seeds {1,2}, every cell's
+    rendered answers equal to the unsharded serial baseline."""
+    baseline = _run_flavor(tmp_path, "serial", "1", 0)
+    assert (
+        baseline["passes"][0]
+        == baseline["passes"][1]
+        == baseline["passes"][2]
+    )
+    assert any(any(results) for results in baseline["passes"][0])
+    for num_shards in (1, 2, 4):
+        for backend in ("serial", "threads"):
+            for seed in ("1", "2"):
+                run = _run_flavor(tmp_path, backend, seed, num_shards)
+                assert run == baseline, (
+                    f"shards={num_shards} backend={backend} "
+                    f"PYTHONHASHSEED={seed} diverges from unsharded serial"
+                )
