@@ -36,6 +36,10 @@ Entry points:
 * :mod:`respdi.service` — the concurrent read path: pinned snapshots,
   a generation-keyed result cache, and the ``respdi-catalog serve``
   query front-end.
+* :mod:`respdi.ingest` — the continuous ingestion daemon: a
+  content-fingerprint source watcher and background refresh writer
+  keeping the catalog current while readers keep answering
+  (``respdi-catalog watch``).
 """
 
 from respdi.catalog import CatalogStore, load_catalog_index

@@ -11,9 +11,11 @@ Usage::
     respdi-catalog query DIR (--keyword TEXT | --union table.csv
         | --join table.csv:COLUMN) [-k 10] [--cached]
     respdi-catalog serve DIR [--cache-size N] [--max-requests N]
+    respdi-catalog watch DIR SOURCE [SOURCE ...] [--interval SEC]
+        [--max-cycles N] [--once] [--keep-missing] [--jobs N]
     respdi-catalog verify DIR
     respdi-catalog info DIR
-    respdi-catalog reshard SRC DEST --shards N
+    respdi-catalog reshard SRC DEST --shards N   # DEST must be new/empty
 
 Exit codes: 0 success, 1 usage or runtime error, 2 verification failure
 — so ``respdi-catalog verify`` drops into CI integrity gates directly.
@@ -176,6 +178,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after N requests (default: serve until EOF/stop)",
     )
 
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "continuously ingest source CSV changes into the catalog "
+            "(content-fingerprint diff; readers keep serving throughout)"
+        ),
+    )
+    watch.add_argument("directory", help="existing catalog directory")
+    watch.add_argument(
+        "source",
+        nargs="+",
+        help="source directories (their *.csv) or glob patterns to watch",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="seconds between scan cycles (default 1.0)",
+    )
+    watch.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N cycles (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="run exactly one cycle and exit (same as --max-cycles 1)",
+    )
+    watch.add_argument(
+        "--keep-missing",
+        action="store_true",
+        help=(
+            "never remove cataloged tables whose source file disappeared "
+            "(default: sources are the authority over membership)"
+        ),
+    )
+    _add_jobs_flag(watch)
+
     verify = sub.add_parser("verify", help="check every file checksum")
     verify.add_argument("directory")
 
@@ -184,10 +228,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     reshard_cmd = sub.add_parser(
         "reshard",
-        help="re-partition a catalog into N shards (no re-sketching)",
+        help=(
+            "re-partition a catalog into N shards (no re-sketching); DEST "
+            "must be a new or empty directory — reshard never overwrites"
+        ),
     )
     reshard_cmd.add_argument("source", help="existing catalog (sharded or not)")
-    reshard_cmd.add_argument("dest", help="directory for the resharded catalog")
+    reshard_cmd.add_argument(
+        "dest",
+        help=(
+            "directory for the resharded catalog; created fresh — an "
+            "existing non-empty path is refused (the source stays intact, "
+            "so aborting = deleting DEST)"
+        ),
+    )
     reshard_cmd.add_argument(
         "--shards", type=int, required=True, metavar="N", help="new shard count"
     )
@@ -320,6 +374,35 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    from respdi.ingest import IngestDaemon
+
+    max_cycles = 1 if args.once else args.max_cycles
+    daemon = IngestDaemon(
+        args.directory,
+        args.source,
+        interval=args.interval,
+        remove_missing=not args.keep_missing,
+        context=_jobs_context(args.jobs),
+    )
+    print(
+        f"watching {len(daemon.watcher.sources)} source(s) -> "
+        f"{daemon.directory} every {daemon.interval:g}s",
+        file=sys.stderr,
+    )
+
+    def report(result) -> None:
+        print(result.summary())
+        sys.stdout.flush()
+
+    try:
+        ran = daemon.run(max_cycles=max_cycles, on_cycle=report)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        ran = daemon.cycles
+    print(f"ran {ran} cycle(s)", file=sys.stderr)
+    return 0
+
+
 def _cmd_verify(args) -> int:
     problems = open_catalog(args.directory).verify()
     if problems:
@@ -379,6 +462,7 @@ _COMMANDS = {
     "refresh": _cmd_refresh,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "watch": _cmd_watch,
     "verify": _cmd_verify,
     "info": _cmd_info,
     "reshard": _cmd_reshard,

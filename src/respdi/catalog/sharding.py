@@ -512,7 +512,19 @@ def reshard(
     to the source's — the differential suite asserts it — and the source
     is left untouched, so a reshard is trivially abortable: delete the
     destination and nothing happened.
+
+    *dest_directory* must be a **new** directory (or an existing empty
+    one): reshard never writes into a directory that already holds
+    anything, so it can never clobber a live catalog, a half-finished
+    previous reshard, or unrelated files.
     """
+    dest = Path(dest_directory)
+    if dest.exists() and (not dest.is_dir() or any(dest.iterdir())):
+        raise SpecificationError(
+            f"reshard destination {dest} exists and is not empty; reshard "
+            "writes a NEW directory — pick a fresh path (or remove the "
+            "existing one first)"
+        )
     source = open_catalog(source_directory)
     source_stores = (
         source.shards if isinstance(source, ShardedCatalogStore) else [source]

@@ -103,6 +103,41 @@ def _load_table(path: str, types: Optional[str]):
 def _print_metrics() -> None:
     print("\n=== metrics ===")
     print(obs.global_registry().to_json(indent=2))
+    _print_ingest_health()
+
+
+def _print_ingest_health() -> None:
+    """Summarize ingestion-daemon metrics when any were recorded.
+
+    The snapshot above already contains every ``ingest.*`` metric; this
+    block pulls the daemon-health vitals out into one glanceable block
+    so an operator auditing a lake that is ingested in-process (see
+    ``respdi.ingest``) does not have to grep the raw JSON.
+    """
+    snapshot = obs.global_registry().snapshot()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    names = [
+        name
+        for name in list(counters) + list(gauges)
+        if name.startswith("ingest.")
+    ]
+    if not names:
+        return
+    print("\n=== ingest daemon health ===")
+    for counter in (
+        "ingest.cycles",
+        "ingest.scans",
+        "ingest.tables_added",
+        "ingest.tables_refreshed",
+        "ingest.tables_removed",
+    ):
+        if counter in counters:
+            print(f"{counter}: {counters[counter]:g}")
+    if "ingest.lag_seconds" in gauges:
+        print(f"ingest.lag_seconds: {gauges['ingest.lag_seconds']:.3f}")
+    if "catalog.generation" in gauges:
+        print(f"catalog.generation: {gauges['catalog.generation']:g}")
 
 
 def catalog_main(argv: Optional[Sequence[str]] = None) -> int:

@@ -81,6 +81,12 @@ KNOWN_POINTS = frozenset(
         "service.cache.store",
         "service.serve.start",
         "service.serve.request",
+        # respdi.ingest — the continuous ingestion daemon (watcher scan,
+        # change-set apply, and the cycle loop).  The apply is the only
+        # mutating point; killing there must leave a committed catalog.
+        "ingest.scan",
+        "ingest.apply",
+        "ingest.cycle",
         # respdi.pipeline — stage boundaries
         "pipeline.stage.tailor",
         "pipeline.stage.clean",

@@ -1,0 +1,57 @@
+"""respdi.ingest — the continuous ingestion daemon (the write-path service).
+
+The catalog made discovery state durable; the service layer made it
+*servable*; this package makes it *current*.  A responsible catalog is
+an ongoing obligation, not a one-shot build: sources drift, and
+datasheets/sketches computed once go stale.  Three cooperating parts
+keep a catalog tracking its source lake while readers keep answering:
+
+* :class:`~respdi.ingest.watcher.SourceWatcher` — polls registered
+  source directories/globs and detects new, changed, and deleted CSVs
+  purely by **content fingerprint** (the same
+  :func:`~respdi.catalog.store.table_fingerprint` the catalog stores —
+  mtimes are never trusted), emitting a deterministic
+  :class:`~respdi.ingest.watcher.ChangeSet`;
+* :class:`~respdi.ingest.writer.RefreshWriter` — applies a change-set
+  through the catalog's own commit protocol
+  (:meth:`~respdi.catalog.store.CatalogStore.add_tables` /
+  :meth:`~respdi.catalog.store.CatalogStore.refresh_many` /
+  :meth:`~respdi.catalog.store.CatalogStore.remove_table`), batching the
+  cycle's changes under the single-writer lock — shard-aware: a
+  directory holding ``SHARDS.json`` routes through
+  :class:`~respdi.catalog.sharding.ShardedCatalogStore`;
+* :class:`~respdi.ingest.daemon.IngestDaemon` — runs watcher→writer
+  cycles on an interval (or on demand), optionally re-pinning an
+  attached :class:`~respdi.service.QueryService` so long-lived servers
+  pick up new generations without restart.  ``respdi-catalog watch`` is
+  the CLI face.
+
+Because every mutation goes through the existing atomic commit
+protocol, the PR 5 read-path guarantee carries over unchanged: readers
+pinned to a snapshot observe complete committed generations only —
+never a torn mix — while the daemon refreshes underneath them
+(machine-checked by ``tests/test_ingest_stress.py`` and the
+``tests/test_ingest_crash.py`` kill-at-every-step matrix over daemon
+cycles).
+
+Observability: ``ingest.cycles`` / ``ingest.scans`` /
+``ingest.tables_added`` / ``ingest.tables_refreshed`` /
+``ingest.tables_removed`` counters, plus the ``ingest.lag_seconds``
+gauge (detect→publish latency of the last applying cycle) and the
+``catalog.generation`` gauge — all visible through
+``respdi-audit --metrics`` like every other subsystem.
+"""
+
+from respdi.ingest.daemon import CycleResult, IngestDaemon
+from respdi.ingest.watcher import ChangeSet, SourceWatcher, committed_fingerprints
+from respdi.ingest.writer import ApplyResult, RefreshWriter
+
+__all__ = [
+    "ApplyResult",
+    "ChangeSet",
+    "CycleResult",
+    "IngestDaemon",
+    "RefreshWriter",
+    "SourceWatcher",
+    "committed_fingerprints",
+]

@@ -16,6 +16,7 @@ Request ops::
     {"op": "union", "csv": "query.csv", "k": 5}
     {"op": "containment", "values": ["a", "b"], "threshold": 0.5, "k": 3}
     {"op": "stats"}      # cache/snapshot counters
+    {"op": "reload"}     # re-pin the latest committed generation
     {"op": "ping"}
     {"op": "stop"}       # drain and exit the loop
 
@@ -94,6 +95,17 @@ def handle_request(
         return {"ok": True, "op": "ping"}
     if op == "stats":
         return {"ok": True, "op": "stats", "stats": service.stats()}
+    if op == "reload":
+        # The operator's (and the ingest daemon's) re-pin-on-demand: a
+        # long-lived server picks up whatever generation is committed
+        # right now, without waiting for the next query's token check.
+        old, new = service.reload()
+        return {
+            "ok": True,
+            "op": "reload",
+            "previous_generation": old,
+            "generation": new,
+        }
     query = build_query(request)
     snapshot = service.snapshot()
     result = service._query_at(query, snapshot, cached)

@@ -39,7 +39,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from respdi import obs
 from respdi.catalog.store import CatalogStore, read_manifest
 from respdi.discovery.lake_index import DataLakeIndex
-from respdi.errors import CatalogCorruptError, SnapshotContentionError
+from respdi.errors import (
+    CatalogCorruptError,
+    RespdiError,
+    SnapshotContentionError,
+)
 from respdi.faults.plan import fault_point
 from respdi.parallel import ExecutionContext, map_chunked
 from respdi.service.cache import QueryResultCache, is_hit, make_key
@@ -205,6 +209,38 @@ class QueryService:
             self.cache.evict_stale_generations(snapshot.generation)
             return snapshot
 
+    def reload(self) -> Tuple[Optional[int], int]:
+        """Re-pin the latest committed generation on demand.
+
+        Returns ``(old generation, new generation)`` — ``old`` is None
+        when nothing was pinned yet.  The freshness token is dropped
+        first, so the next :meth:`snapshot` call unconditionally
+        re-reads the manifest even if the token would have matched:
+        this is the serve loop's ``reload`` op and the ingest daemon's
+        auto-re-pin hook, both of which want "pick up whatever is
+        committed *now*", not "trust the stat cache".
+        """
+        with self._lock:
+            old = self._snapshot.generation if self._snapshot else None
+            self._snapshot = None
+            self._token = None
+        snapshot = self.snapshot()
+        obs.inc("service.reloads")
+        return old, snapshot.generation
+
+    def committed_generation(self) -> Optional[int]:
+        """The generation committed on disk right now (manifest read only).
+
+        Independent of what this service has pinned — the cheap poll a
+        daemon-health check wants.  None when the directory no longer
+        holds a readable manifest.
+        """
+        try:
+            manifest = read_manifest(self.directory)
+        except RespdiError:
+            return None
+        return int(manifest.get("ensemble_generation", 0))
+
     # -- queries --------------------------------------------------------------
 
     def query(self, query: Query, cached: bool = True) -> Any:
@@ -284,6 +320,7 @@ class QueryService:
         payload: Dict[str, Any] = {
             "directory": str(self.directory),
             "generation": generation,
+            "committed_generation": self.committed_generation(),
             "entries": entries,
         }
         payload.update(self.cache.stats())

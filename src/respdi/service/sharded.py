@@ -305,6 +305,36 @@ class ShardedQueryService:
             obs.inc("service.shards.pinned")
             return vector
 
+    def reload(self) -> Tuple[Optional[List[int]], List[int]]:
+        """Re-pin the latest committed generation vector on demand.
+
+        Returns ``(old vector, new vector)`` as lists (None when
+        nothing was pinned yet) — the sharded face of
+        :meth:`~respdi.service.service.QueryService.reload`, with the
+        same drop-the-token semantics so every shard re-reads.
+        """
+        with self._lock:
+            old = list(self._vector.generation) if self._vector else None
+            self._vector = None
+            self._tokens = None
+        vector = self.snapshot()
+        obs.inc("service.reloads")
+        return old, list(vector.generation)
+
+    def committed_generation(self) -> Optional[List[int]]:
+        """The per-shard generations committed on disk right now."""
+        from respdi.catalog.store import read_manifest
+        from respdi.errors import RespdiError
+
+        generations: List[int] = []
+        for shard in self.store.shards:
+            try:
+                manifest = read_manifest(shard.directory)
+            except RespdiError:
+                return None
+            generations.append(int(manifest.get("ensemble_generation", 0)))
+        return generations
+
     # -- queries --------------------------------------------------------------
 
     def query(self, query: Query, cached: bool = True) -> Any:
@@ -390,6 +420,7 @@ class ShardedQueryService:
             "directory": str(self.directory),
             "shards": self.store.num_shards,
             "generation": generation,
+            "committed_generation": self.committed_generation(),
             "entries": entries,
         }
         payload.update(self.cache.stats())

@@ -308,3 +308,52 @@ def test_adopt_entries_rejects_foreign_hash_family(tmp_path):
     dest = CatalogStore.open(tmp_path / "a")
     with pytest.raises(SpecificationError, match="hash famil"):
         dest.adopt_entries(foreign, ["table0"])
+
+
+def test_reshard_refuses_a_non_empty_or_file_destination(tmp_path):
+    """Reshard writes a NEW directory: refusing to write into anything
+    that already has contents is what makes it abortable-by-delete and
+    keeps it from silently interleaving with an existing catalog."""
+    CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+    occupied = tmp_path / "occupied"
+    occupied.mkdir()
+    (occupied / "junk.txt").write_text("not a catalog")
+    with pytest.raises(SpecificationError, match="not empty"):
+        reshard(tmp_path / "src", occupied, num_shards=2)
+    assert (occupied / "junk.txt").read_text() == "not a catalog"
+
+    plain_file = tmp_path / "a-file"
+    plain_file.write_text("x")
+    with pytest.raises(SpecificationError, match="NEW directory"):
+        reshard(tmp_path / "src", plain_file, num_shards=2)
+
+    # An existing-but-empty directory is fine (mkdir -p then reshard).
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    dest = reshard(tmp_path / "src", empty, num_shards=2)
+    assert sorted(dest.names) == sorted(TABLES)
+
+
+def test_sharded_refresh_many_noop_schedules_zero_sketch_calls(
+    tmp_path, monkeypatch
+):
+    """The fingerprint short-circuit holds through the shard fan-out: a
+    no-op refresh of every table must never schedule sketch work on any
+    shard (serial context keeps the fan-out in-process so the
+    monkeypatch is visible to every shard worker)."""
+    from respdi.catalog import store as store_module
+    from respdi.parallel import ExecutionContext
+
+    store = ShardedCatalogStore.build(
+        tmp_path / "cat", TABLES, num_shards=2, **OPTS
+    )
+
+    def _forbidden(*args, **kwargs):
+        raise AssertionError("sketching was scheduled on a no-op refresh")
+
+    monkeypatch.setattr(store_module, "build_table_artifacts", _forbidden)
+    results = store.refresh_many(dict(TABLES), context=ExecutionContext())
+    assert results == {name: False for name in TABLES}
+    assert store.generations == tuple(
+        shard.generation for shard in store.shards
+    )

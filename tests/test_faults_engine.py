@@ -412,8 +412,25 @@ def test_every_known_point_is_exercised(tmp_path):
         )
         ShardedQueryService(store).query(KeywordQuery(text="table0", k=3))
 
+    def ingest_lifecycle():
+        # One applying daemon cycle crosses every ingest.* point: the
+        # cycle itself, the watcher's scan, and the writer's apply.
+        from respdi.ingest import IngestDaemon
+        from respdi.table import write_csv
+
+        lake = tmp_path / "ingest-lake"
+        lake.mkdir()
+        write_csv(tables["table0"], lake / "table0.csv")
+        ingest_dir = tmp_path / "ingest-cat"
+        CatalogStore.build(
+            ingest_dir, {"table1": tables["table1"]}, rng=7, num_hashes=16
+        )
+        result = IngestDaemon(ingest_dir, lake).run_cycle()
+        assert result.added == 1 and result.removed == 1
+
     run_recorded(catalog_lifecycle)
     run_recorded(stale_lock_break)
+    run_recorded(ingest_lifecycle)
     run_recorded(parallel_map)
     run_recorded(_mini_pipeline_run)
     run_recorded(service_lifecycle)

@@ -1,0 +1,214 @@
+"""The ingest crash matrix: kill a daemon cycle at every step it takes.
+
+A daemon cycle is scan → apply (adds, refreshes, removals) → publish,
+and every commit inside it is the catalog's own atomic protocol — so a
+kill anywhere must leave a *complete committed state*: the pre-cycle
+catalog, the post-cycle catalog, or (for compound cycles) a state where
+some of the cycle's independent commits landed and others did not.
+Never a torn one.  Because entry fingerprints are pure content hashes,
+every allowed state is constructed directly from table contents — no
+reference runs needed — and a surviving snapshot either matches one of
+them or fails the matrix.
+
+The recovery half of the contract: whatever state a crash leaves, the
+*next* cycle's scan re-derives the remaining work from fingerprints
+alone and converges the catalog to the lake.
+
+POSIX-only (``os.fork``); skipped elsewhere.
+"""
+
+import os
+
+import pytest
+
+from respdi.catalog import CatalogStore, ShardedCatalogStore, open_catalog
+from respdi.catalog.sharding import shard_for
+from respdi.catalog.store import table_fingerprint
+from respdi.errors import SpecificationError
+from respdi.faults import CrashSimulator
+from respdi.ingest import IngestDaemon
+from respdi.parallel import ExecutionContext
+from respdi.table import Schema, Table, write_csv
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash simulation needs os.fork (POSIX)"
+)
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+
+#: Small hash family keeps each of the dozens of forked re-runs cheap.
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+#: Kill-step selection: the cycle's own points plus every write the
+#: underlying catalog protocol takes on its behalf.
+POINTS = ("ingest.", "catalog.", "shard.", "fsutil.")
+
+
+def _table(tag, n=8, offset=0.0):
+    rows = [(f"{tag}_{i}", float(i) + offset) for i in range(n)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+BASE = {f"table{t}": _table(f"t{t}") for t in range(3)}
+
+
+def _fingerprints(tables):
+    return {name: table_fingerprint(table) for name, table in tables.items()}
+
+
+def _write_lake(lake, tables):
+    lake.mkdir(parents=True, exist_ok=True)
+    for name, table in tables.items():
+        write_csv(table, lake / f"{name}.csv")
+
+
+def _snapshot(catalog_dir):
+    """A complete, verified view of the catalog (plain or sharded).
+    Anything that opens but fails verification raises, which the
+    simulator reports as a corrupt outcome."""
+    try:
+        store = open_catalog(catalog_dir)
+    except SpecificationError:
+        return "absent"
+    problems = store.verify()
+    assert problems == [], f"verify failed after crash: {problems}"
+    return {name: store.meta(name)["fingerprint"] for name in store.names}
+
+
+def _classifier(allowed):
+    def classify(workdir):
+        snap = _snapshot(workdir / "cat")
+        for state, expected in allowed.items():
+            if snap == expected:
+                return state
+        raise AssertionError(
+            f"post-crash state matches no committed state: {snap!r}"
+        )
+
+    return classify
+
+
+def _cycle(workdir):
+    # A fresh daemon per (forked) run, serial context so the child's
+    # injection-point trace is deterministic step for step.
+    daemon = IngestDaemon(
+        workdir / "cat", workdir / "lake", context=ExecutionContext()
+    )
+    result = daemon.run_cycle()
+    assert result.applied
+
+
+def _assert_straddles_the_commit(report):
+    detail = "\n".join(
+        f"  step {o.step:3d} @ {o.point}: {o.problem}" for o in report.corrupt
+    )
+    assert report.corrupt == [], f"{report.summary()}\n{detail}"
+    states = report.states
+    assert states.get("new", 0) >= 1, report.summary()
+    before = sum(count for state, count in states.items() if state != "new")
+    assert before >= 1, report.summary()
+    assert len(report.outcomes) >= 8, report.summary()
+
+
+def test_kill_refresh_cycle_at_every_step_plain(tmp_path):
+    """A refresh-only cycle is one commit: strictly old or new survives."""
+    changed = dict(BASE, table1=_table("c1", n=5, offset=50.0))
+
+    def prepare(workdir):
+        CatalogStore.build(workdir / "cat", BASE, **OPTS)
+        _write_lake(workdir / "lake", changed)
+
+    allowed = {"old": _fingerprints(BASE), "new": _fingerprints(changed)}
+    simulator = CrashSimulator(
+        prepare, _cycle, _classifier(allowed),
+        points=POINTS, operation="ingest-refresh-cycle",
+    )
+    _assert_straddles_the_commit(simulator.run(tmp_path / "matrix"))
+
+
+def test_kill_add_remove_cycle_at_every_step_plain(tmp_path):
+    """An add+remove cycle is two independent commits: a kill between
+    them legitimately survives with the add landed and the removal not —
+    a complete committed intermediate, never a torn state."""
+    target = {
+        "table0": BASE["table0"],
+        "table1": BASE["table1"],
+        "table3": _table("t3"),
+    }
+
+    def prepare(workdir):
+        CatalogStore.build(workdir / "cat", BASE, **OPTS)
+        _write_lake(workdir / "lake", target)  # table2 gone, table3 new
+
+    old = _fingerprints(BASE)
+    allowed = {
+        "old": old,
+        "added": dict(old, table3=table_fingerprint(target["table3"])),
+        "new": _fingerprints(target),
+    }
+    simulator = CrashSimulator(
+        prepare, _cycle, _classifier(allowed),
+        points=POINTS, operation="ingest-add-remove-cycle",
+    )
+    report = simulator.run(tmp_path / "matrix")
+    _assert_straddles_the_commit(report)
+    # The matrix must actually observe the intermediate commit.
+    assert report.states.get("added", 0) >= 1, report.summary()
+
+
+def test_kill_refresh_cycle_at_every_step_sharded(tmp_path):
+    """Cross-shard refreshes commit per shard: any composition of
+    per-shard old/new for the changed tables is a legal survivor."""
+    # Routing is a pure hash of the name: probe names until the two
+    # changed tables are guaranteed to land on different shards.
+    first = "table0"
+    other = next(
+        name
+        for name in (f"table{i}" for i in range(1, 100))
+        if shard_for(name, 2) != shard_for(first, 2)
+    )
+    base = dict(BASE)
+    base[other] = _table("to")
+    changed = dict(base)
+    changed[first] = _table("x1", n=5, offset=60.0)
+    changed[other] = _table("x2", n=5, offset=70.0)
+
+    def prepare(workdir):
+        ShardedCatalogStore.build(workdir / "cat", base, num_shards=2, **OPTS)
+        _write_lake(workdir / "lake", changed)
+
+    old = _fingerprints(base)
+    new = _fingerprints(changed)
+    allowed = {
+        "old": old,
+        f"{first}-only": dict(old, **{first: new[first]}),
+        f"{other}-only": dict(old, **{other: new[other]}),
+        "new": new,
+    }
+    simulator = CrashSimulator(
+        prepare, _cycle, _classifier(allowed),
+        points=POINTS, operation="ingest-sharded-refresh-cycle",
+    )
+    _assert_straddles_the_commit(simulator.run(tmp_path / "matrix"))
+
+
+def test_interrupted_cycle_converges_on_the_next_one(tmp_path):
+    """Recovery is rescan, not redo: a cycle that died after its add
+    commit leaves the removal to the next cycle, which derives exactly
+    the remaining work from the committed fingerprints."""
+    target = {
+        "table0": BASE["table0"],
+        "table1": BASE["table1"],
+        "table3": _table("t3"),
+    }
+    store = CatalogStore.build(tmp_path / "cat", BASE, **OPTS)
+    _write_lake(tmp_path / "lake", target)
+    # Simulate the crash's surviving intermediate: the add committed,
+    # the removal never ran.
+    store.add_table("table3", target["table3"])
+
+    daemon = IngestDaemon(tmp_path / "cat", tmp_path / "lake")
+    result = daemon.run_cycle()
+    assert (result.added, result.refreshed, result.removed) == (0, 0, 1)
+    assert _snapshot(tmp_path / "cat") == _fingerprints(target)
+    assert daemon.run_cycle().applied is False  # converged, now idle

@@ -1,0 +1,244 @@
+"""IngestDaemon end-to-end: cycles, metrics, lifecycle, CLI, audit wiring.
+
+One daemon cycle is scan → apply → publish; these tests pin the whole
+arc on plain and sharded catalogs — what a cycle commits, that a second
+cycle over an unchanged lake is free, the obs counters/gauges the cycle
+maintains, eager re-pin of an attached :class:`QueryService`, the
+background thread lifecycle (including error propagation through
+``stop``), the ``respdi-catalog watch`` CLI, and the ingest-health
+block ``respdi-audit --metrics`` renders from the same registry.
+"""
+
+import time
+
+import pytest
+
+from respdi import obs
+from respdi.catalog import CatalogStore, ShardedCatalogStore, open_catalog
+from respdi.catalog.cli import main as catalog_main
+from respdi.cli import main as audit_main
+from respdi.errors import SpecificationError
+from respdi.ingest import IngestDaemon, committed_fingerprints
+from respdi.ingest.writer import generation_scalar
+from respdi.service import KeywordQuery, QueryService
+from respdi.table import Schema, Table, write_csv
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+
+def _table(tag, n=6, offset=0.0):
+    rows = [(f"{tag}_{i}", float(i) + offset) for i in range(n)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+TABLES = {"alpha": _table("a"), "beta": _table("b"), "gamma": _table("g")}
+
+
+def _write_lake(lake, tables):
+    lake.mkdir(parents=True, exist_ok=True)
+    for name, table in tables.items():
+        write_csv(table, lake / f"{name}.csv")
+    return lake
+
+
+def _mutate_lake(lake):
+    """The canonical +1 ~1 -1 lake edit the tests below apply."""
+    write_csv(_table("b", offset=100.0), lake / "beta.csv")
+    (lake / "gamma.csv").unlink()
+    write_csv(_table("d"), lake / "delta.csv")
+
+
+@pytest.fixture
+def lake(tmp_path):
+    return _write_lake(tmp_path / "lake", TABLES)
+
+
+@pytest.fixture
+def catalog_dir(tmp_path):
+    CatalogStore.build(tmp_path / "cat", TABLES, **OPTS)
+    return tmp_path / "cat"
+
+
+# -- one cycle -----------------------------------------------------------------
+
+
+def test_run_cycle_commits_the_diff_then_goes_idle(lake, catalog_dir):
+    _mutate_lake(lake)
+    daemon = IngestDaemon(catalog_dir, lake)
+    result = daemon.run_cycle()
+    assert (result.added, result.refreshed, result.removed) == (1, 1, 1)
+    assert result.applied and result.scanned == 3
+    # Three mutation phases, one commit each: add, refresh, remove.
+    assert result.generation == 2 + 3
+    assert result.lag_seconds > 0.0
+    assert "generation=5" in result.summary() and "lag=" in result.summary()
+
+    store = CatalogStore.open(catalog_dir)
+    assert sorted(store.names) == ["alpha", "beta", "delta"]
+    assert store.verify() == []
+
+    # The lake now matches the catalog: the next cycle is a no-op and
+    # commits nothing (the fingerprint short-circuit end to end).
+    second = daemon.run_cycle()
+    assert not second.applied and second.generation == 5
+    assert second.summary() == "cycle 2: +0 ~0 -0 generation=5"
+
+
+def test_run_cycle_routes_through_shards(tmp_path, lake):
+    ShardedCatalogStore.build(tmp_path / "cat", TABLES, num_shards=2, **OPTS)
+    _mutate_lake(lake)
+    daemon = IngestDaemon(tmp_path / "cat", lake)  # open_catalog dispatch
+    result = daemon.run_cycle()
+    assert (result.added, result.refreshed, result.removed) == (1, 1, 1)
+    assert isinstance(result.generation, tuple) and len(result.generation) == 2
+    store = open_catalog(tmp_path / "cat")
+    assert sorted(store.names) == ["alpha", "beta", "delta"]
+    assert store.verify() == []
+    assert daemon.run_cycle().summary().startswith("cycle 2: +0 ~0 -0")
+
+
+def test_cycle_maintains_counters_and_gauges(lake, catalog_dir):
+    obs.enable()
+    obs.reset()
+    try:
+        daemon = IngestDaemon(catalog_dir, lake)
+        _mutate_lake(lake)
+        daemon.run_cycle()
+        daemon.run_cycle()  # idle cycle: counted, but no apply metrics
+        snapshot = obs.global_registry().snapshot()
+        counters = snapshot["counters"]
+        assert counters["ingest.cycles"] == 2.0
+        assert counters["ingest.scans"] == 2.0
+        assert counters["ingest.tables_added"] == 1.0
+        assert counters["ingest.tables_refreshed"] == 1.0
+        assert counters["ingest.tables_removed"] == 1.0
+        gauges = snapshot["gauges"]
+        assert gauges["ingest.lag_seconds"] > 0.0
+        assert gauges["catalog.generation"] == generation_scalar(daemon.store)
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_attached_service_is_repinned_eagerly(lake, catalog_dir):
+    service = QueryService(catalog_dir)
+    assert service.query(KeywordQuery(text="alpha", k=3))  # pin generation 2
+    assert service.stats()["generation"] == 2
+    daemon = IngestDaemon(catalog_dir, lake, service=service)
+    _mutate_lake(lake)
+    result = daemon.run_cycle()
+    # No query issued since the cycle, yet the pin already moved: the
+    # daemon's auto-re-pin reloaded the service after the apply.
+    assert service.stats()["generation"] == result.generation == 5
+    hits = service.query(KeywordQuery(text="delta", k=3))
+    assert "delta" in [hit.table_name for hit in hits]
+
+
+# -- the loop ------------------------------------------------------------------
+
+
+def test_run_respects_max_cycles_and_reports_each(lake, catalog_dir):
+    results = []
+    daemon = IngestDaemon(catalog_dir, lake, interval=0.0)
+    assert daemon.run(max_cycles=3, on_cycle=results.append) == 3
+    assert [r.cycle for r in results] == [1, 2, 3]
+    assert not any(r.applied for r in results)  # lake already cataloged
+
+
+def test_background_daemon_picks_up_new_tables(lake, catalog_dir):
+    daemon = IngestDaemon(catalog_dir, lake, interval=0.01)
+    with daemon:
+        write_csv(_table("d"), lake / "delta.csv")
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if "delta" in committed_fingerprints(catalog_dir):
+                break
+            time.sleep(0.01)
+    assert "delta" in committed_fingerprints(catalog_dir)
+    assert daemon.cycles >= 1
+    assert CatalogStore.open(catalog_dir).verify() == []
+
+
+def test_stop_reraises_a_loop_error(tmp_path, catalog_dir):
+    # Two sources mapping one stem make every scan raise: the background
+    # loop dies, and stop() must surface that instead of swallowing it.
+    _write_lake(tmp_path / "a", {"alpha": TABLES["alpha"]})
+    _write_lake(tmp_path / "b", {"alpha": TABLES["beta"]})
+    daemon = IngestDaemon(
+        catalog_dir, [tmp_path / "a", tmp_path / "b"], interval=0.01
+    )
+    daemon.start()
+    deadline = time.monotonic() + 30.0
+    while daemon._error is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    with pytest.raises(SpecificationError, match="two files"):
+        daemon.stop()
+
+
+def test_start_twice_is_rejected(lake, catalog_dir):
+    daemon = IngestDaemon(catalog_dir, lake, interval=60.0)
+    daemon.start()
+    try:
+        with pytest.raises(SpecificationError, match="already running"):
+            daemon.start()
+    finally:
+        daemon.stop()
+
+
+def test_negative_interval_is_rejected(lake, catalog_dir):
+    with pytest.raises(SpecificationError, match="interval"):
+        IngestDaemon(catalog_dir, lake, interval=-1.0)
+
+
+# -- respdi-catalog watch ------------------------------------------------------
+
+
+def test_cli_watch_once_applies_and_reports(lake, catalog_dir, capsys):
+    _mutate_lake(lake)
+    code = catalog_main(["watch", str(catalog_dir), str(lake), "--once"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "cycle 1: +1 ~1 -1 generation=5" in captured.out
+    assert "watching 1 source(s)" in captured.err
+    assert "ran 1 cycle(s)" in captured.err
+    assert sorted(CatalogStore.open(catalog_dir).names) == [
+        "alpha", "beta", "delta",
+    ]
+
+
+def test_cli_watch_max_cycles_counts_idle_cycles(lake, catalog_dir, capsys):
+    code = catalog_main(
+        ["watch", str(catalog_dir), str(lake), "--max-cycles", "2",
+         "--interval", "0"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "cycle 2: +0 ~0 -0" in captured.out
+    assert "ran 2 cycle(s)" in captured.err
+
+
+# -- respdi-audit --metrics wiring ---------------------------------------------
+
+
+def test_audit_metrics_renders_ingest_health_block(lake, catalog_dir, capsys):
+    csv = str(lake / "alpha.csv")
+    obs.enable()
+    obs.reset()
+    try:
+        # Before any daemon activity the block is absent entirely.
+        assert audit_main([csv, "--sensitive", "key", "--metrics"]) == 0
+        assert "ingest daemon health" not in capsys.readouterr().out
+
+        _mutate_lake(lake)
+        IngestDaemon(catalog_dir, lake).run_cycle()
+        assert audit_main([csv, "--sensitive", "key", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "=== ingest daemon health ===" in out
+        assert "ingest.cycles: 1" in out
+        assert "ingest.tables_refreshed: 1" in out
+        assert "ingest.lag_seconds:" in out
+        assert "catalog.generation: 5" in out
+    finally:
+        obs.disable()
+        obs.reset()

@@ -1,0 +1,145 @@
+"""respdi.ingest.watcher unit coverage: content-diff change detection.
+
+The watcher's load-bearing claims: diffs are computed from table
+*content* (a touched-but-identical file is a no-op, an in-place edit
+that preserves size and mtime is a change), change-sets are
+deterministic (sorted by name, independent of enumeration order),
+source-to-stem mapping is unambiguous (duplicate stems rejected), and
+the committed-fingerprint baseline is shard-transparent.
+"""
+
+import os
+
+import pytest
+
+from respdi.catalog import CatalogStore, ShardedCatalogStore
+from respdi.catalog.store import table_fingerprint
+from respdi.errors import SpecificationError
+from respdi.ingest import ChangeSet, SourceWatcher, committed_fingerprints
+from respdi.table import Schema, Table, write_csv
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+
+def _table(tag, n=6, offset=0.0):
+    rows = [(f"{tag}_{i}", float(i) + offset) for i in range(n)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+TABLES = {"alpha": _table("a"), "beta": _table("b"), "gamma": _table("g")}
+
+
+def _write_lake(lake, tables):
+    lake.mkdir(parents=True, exist_ok=True)
+    for name, table in tables.items():
+        write_csv(table, lake / f"{name}.csv")
+    return lake
+
+
+# -- enumeration ---------------------------------------------------------------
+
+
+def test_discover_merges_directories_and_globs_sorted(tmp_path):
+    _write_lake(tmp_path / "lake", {"beta": TABLES["beta"]})
+    _write_lake(
+        tmp_path / "extra",
+        {"part-alpha": TABLES["alpha"], "other": TABLES["gamma"]},
+    )
+    watcher = SourceWatcher(
+        [tmp_path / "lake", str(tmp_path / "extra" / "part-*.csv")]
+    )
+    found = watcher.discover()
+    assert list(found) == ["beta", "part-alpha"]  # sorted; glob filtered
+    assert found["beta"] == tmp_path / "lake" / "beta.csv"
+
+
+def test_discover_rejects_two_files_for_one_stem(tmp_path):
+    _write_lake(tmp_path / "a", {"alpha": TABLES["alpha"]})
+    _write_lake(tmp_path / "b", {"alpha": TABLES["beta"]})
+    watcher = SourceWatcher([tmp_path / "a", tmp_path / "b"])
+    with pytest.raises(SpecificationError, match="two files"):
+        watcher.discover()
+
+
+def test_watcher_requires_at_least_one_source():
+    with pytest.raises(SpecificationError, match="at least one source"):
+        SourceWatcher([])
+
+
+# -- the diff ------------------------------------------------------------------
+
+
+def test_scan_needs_exactly_one_baseline(tmp_path):
+    lake = _write_lake(tmp_path / "lake", TABLES)
+    watcher = SourceWatcher(lake)
+    with pytest.raises(SpecificationError, match="exactly one"):
+        watcher.scan()
+    with pytest.raises(SpecificationError, match="exactly one"):
+        watcher.scan(fingerprints={}, directory=tmp_path)
+
+
+def test_scan_diffs_by_content_not_mtime(tmp_path):
+    lake = _write_lake(tmp_path / "lake", TABLES)
+    catalog_dir = tmp_path / "cat"
+    CatalogStore.build(catalog_dir, TABLES, **OPTS)
+    baseline = committed_fingerprints(catalog_dir)
+    watcher = SourceWatcher(lake)
+
+    # Same content, new mtime: must be a no-op, not a refresh.
+    write_csv(TABLES["alpha"], lake / "alpha.csv")
+    os.utime(lake / "alpha.csv")
+    # Changed content, mtime pinned back to the past: must be a change.
+    old_stat = (lake / "beta.csv").stat()
+    write_csv(_table("b", offset=100.0), lake / "beta.csv")
+    os.utime(lake / "beta.csv", (old_stat.st_atime, old_stat.st_mtime))
+    (lake / "gamma.csv").unlink()
+    write_csv(_table("d"), lake / "delta.csv")
+
+    changes = watcher.scan(baseline)
+    assert list(changes.added) == ["delta"]
+    assert list(changes.changed) == ["beta"]
+    assert changes.removed == ("gamma",)
+    assert changes.scanned == 3
+    assert not changes.empty
+    assert changes.summary() == "+1 ~1 -1 (scanned 3)"
+
+
+def test_scan_is_deterministic_and_noop_when_lake_matches(tmp_path):
+    lake = _write_lake(tmp_path / "lake", TABLES)
+    catalog_dir = tmp_path / "cat"
+    CatalogStore.build(catalog_dir, TABLES, **OPTS)
+    watcher = SourceWatcher(lake)
+    first = watcher.scan(directory=catalog_dir)
+    second = watcher.scan(directory=catalog_dir)
+    assert first.empty and second.empty
+    assert first.scanned == second.scanned == 3
+    assert first.summary() == second.summary() == "+0 ~0 -0 (scanned 3)"
+    assert ChangeSet().empty  # the zero value is an empty change-set
+
+
+def test_remove_missing_false_leaves_out_of_band_tables_alone(tmp_path):
+    lake = _write_lake(tmp_path / "lake", {"alpha": TABLES["alpha"]})
+    catalog_dir = tmp_path / "cat"
+    # ``beta`` lives only in the catalog (registered out-of-band).
+    CatalogStore.build(
+        catalog_dir,
+        {"alpha": TABLES["alpha"], "beta": TABLES["beta"]},
+        **OPTS,
+    )
+    keeper = SourceWatcher(lake, remove_missing=False)
+    assert keeper.scan(directory=catalog_dir).empty
+    remover = SourceWatcher(lake)
+    assert remover.scan(directory=catalog_dir).removed == ("beta",)
+
+
+# -- the committed baseline ----------------------------------------------------
+
+
+def test_committed_fingerprints_match_content_plain_and_sharded(tmp_path):
+    CatalogStore.build(tmp_path / "plain", TABLES, **OPTS)
+    ShardedCatalogStore.build(tmp_path / "sharded", TABLES, num_shards=2, **OPTS)
+    expected = {name: table_fingerprint(table) for name, table in TABLES.items()}
+    assert committed_fingerprints(tmp_path / "plain") == expected
+    # Sharded: every shard's manifest merges into one baseline.
+    assert committed_fingerprints(tmp_path / "sharded") == expected

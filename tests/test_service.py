@@ -380,6 +380,49 @@ def test_serve_reports_bad_requests_in_band_and_keeps_going(service):
     assert "'text'" in responses[3]["error"]
 
 
+def test_serve_reload_repins_to_the_latest_commit(service, store):
+    """Regression for the ``reload`` op: an out-of-band commit becomes
+    visible the moment the operator (or the ingest daemon) asks, and the
+    response reports the generation move."""
+    assert service.query(KeywordQuery(text="alpha", k=3))  # pin gen 2
+    store.add_table("delta", _table("d"))
+    served, responses = _serve_lines(
+        service,
+        [
+            {"op": "reload"},
+            {"op": "keyword", "text": "delta", "k": 3},
+            {"op": "stats"},
+        ],
+    )
+    assert served == 3 and all(response["ok"] for response in responses)
+    reload_response = responses[0]
+    assert reload_response["op"] == "reload"
+    assert reload_response["previous_generation"] == 2
+    assert reload_response["generation"] == 3
+    assert responses[1]["generation"] == 3
+    assert responses[1]["results"][0]["table"] == "delta"
+    # stats now also reports the committed generation straight from
+    # disk, so a poller can watch ingestion without issuing queries.
+    assert responses[2]["stats"]["committed_generation"] == 3
+    assert responses[2]["stats"]["generation"] == 3
+
+
+def test_serve_reload_without_prior_pin_reports_none(service):
+    served, responses = _serve_lines(service, [{"op": "reload"}])
+    assert served == 1 and responses[0]["ok"]
+    assert responses[0]["previous_generation"] is None
+    assert responses[0]["generation"] == 2
+
+
+def test_stats_reports_committed_generation_before_any_pin(service, store):
+    assert service.stats()["generation"] is None  # nothing pinned yet
+    assert service.stats()["committed_generation"] == 2
+    store.add_table("delta", _table("d"))
+    # The committed view moves with the disk; the pin stays lazy.
+    assert service.stats()["committed_generation"] == 3
+    assert service.stats()["generation"] is None
+
+
 def test_serve_max_requests_bounds_the_loop(service):
     served, responses = _serve_lines(
         service, [{"op": "ping"}] * 5, max_requests=2
