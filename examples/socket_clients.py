@@ -1,0 +1,157 @@
+"""Concurrent socket clients for ``respdi-catalog serve --port``.
+
+Drives N threads against a running JSON-lines socket server, each
+sending the same request mix over its own connection, and checks the
+serving contract from the outside:
+
+* every client gets an answer for every request (requests shed with
+  ``{"error": "overloaded", "retry_after_ms": ...}`` are retried after
+  the server-suggested backoff);
+* all clients agree **byte-for-byte**: for each slot in the mix, the
+  response line is identical across every client — whatever the
+  interleaving, there is one answer;
+* optionally (``--out``) the agreed lines are written to a file so two
+  runs — e.g. before and after corrupting the persistent cache sidecar,
+  or against a cold rebuild served on another port — can be ``diff``-ed.
+
+Exits non-zero on any disagreement, transport error, or in-band error
+response.  This is both an example and the driver the CI ``serve-smoke``
+job uses.
+
+Run:  python examples/socket_clients.py --port 7341 --clients 20 \\
+          --request '{"op": "keyword", "text": "query", "k": 5}'
+"""
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+
+DEFAULT_REQUESTS = [
+    {"op": "ping"},
+    {"op": "keyword", "text": "query", "k": 5},
+]
+MAX_RETRIES = 200
+
+
+def drive_client(address, requests, tenant, repeat, lines, errors):
+    """One connection; returns the raw response line per request slot."""
+    try:
+        with socket.create_connection(address, timeout=60) as conn:
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            writer = conn.makefile("w", encoding="utf-8", newline="\n")
+            for _ in range(repeat):
+                for request in requests:
+                    payload = dict(request, tenant=tenant)
+                    for _ in range(MAX_RETRIES):
+                        writer.write(json.dumps(payload) + "\n")
+                        writer.flush()
+                        line = reader.readline().rstrip("\n")
+                        if not line:
+                            raise ConnectionError("server closed mid-request")
+                        response = json.loads(line)
+                        if response.get("error") == "overloaded":
+                            time.sleep(
+                                min(response["retry_after_ms"], 50) / 1000.0
+                            )
+                            continue
+                        break
+                    if not response.get("ok"):
+                        raise AssertionError(f"error response: {line}")
+                    lines.append(line)
+    except Exception as exc:  # noqa: BLE001 - reported via exit code
+        errors.append(f"{tenant}: {type(exc).__name__}: {exc}")
+
+
+def fetch_stats(address):
+    with socket.create_connection(address, timeout=30) as conn:
+        conn.sendall(b'{"op": "stats"}\n')
+        return conn.makefile("r", encoding="utf-8").readline().rstrip("\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="drive concurrent clients against respdi-catalog serve"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--clients", type=int, default=20)
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="times each client replays the request mix",
+    )
+    parser.add_argument(
+        "--request", action="append", default=None, metavar="JSON",
+        help="request object to add to the mix (repeatable); "
+             "default: a ping plus one keyword query",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the agreed response lines (one per mix slot) here",
+    )
+    parser.add_argument(
+        "--print-stats", action="store_true",
+        help="print the server's stats response after the run",
+    )
+    args = parser.parse_args(argv)
+
+    address = (args.host, args.port)
+    requests = (
+        [json.loads(raw) for raw in args.request]
+        if args.request
+        else DEFAULT_REQUESTS
+    )
+
+    per_client = [[] for _ in range(args.clients)]
+    errors = []
+    threads = [
+        threading.Thread(
+            target=drive_client,
+            args=(address, requests, f"client{i}", args.repeat,
+                  per_client[i], errors),
+        )
+        for i in range(args.clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    if errors:
+        for error in errors:
+            print(f"client error: {error}", file=sys.stderr)
+        return 1
+
+    slots = args.repeat * len(requests)
+    disagreements = 0
+    agreed = []
+    for slot in range(slots):
+        distinct = {lines[slot] for lines in per_client}
+        if len(distinct) != 1:
+            disagreements += 1
+            print(
+                f"slot {slot}: {len(distinct)} distinct responses",
+                file=sys.stderr,
+            )
+        agreed.append(sorted(distinct)[0])
+    total = args.clients * slots
+    print(
+        f"{args.clients} clients x {slots} requests = {total} responses "
+        f"in {elapsed:.2f}s ({total / elapsed:.0f} req/s), "
+        f"{disagreements} disagreements"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in agreed))
+        print(f"agreed response lines written to {args.out}")
+    if args.print_stats:
+        print(fetch_stats(address))
+    return 1 if disagreements else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

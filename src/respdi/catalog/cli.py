@@ -11,11 +11,15 @@ Usage::
     respdi-catalog query DIR (--keyword TEXT | --union table.csv
         | --join table.csv:COLUMN) [-k 10] [--cached]
     respdi-catalog serve DIR [--cache-size N] [--max-requests N]
+        [--port P [--host H] [--max-inflight N] [--quota TENANT=RATE[:BURST]]
+         [--tenant-rate R] [--tenant-burst B]]
+        [--pcache [--pcache-dir DIR] [--pcache-size N]]
     respdi-catalog watch DIR SOURCE [SOURCE ...] [--interval SEC]
         [--max-cycles N] [--once] [--keep-missing] [--jobs N]
     respdi-catalog verify DIR
     respdi-catalog info DIR
     respdi-catalog reshard SRC DEST --shards N   # DEST must be new/empty
+    respdi-catalog reshard SRC --shards N --in-place   # atomic swap
 
 Exit codes: 0 success, 1 usage or runtime error, 2 verification failure
 — so ``respdi-catalog verify`` drops into CI integrity gates directly.
@@ -177,6 +181,78 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="exit after N requests (default: serve until EOF/stop)",
     )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "serve over TCP instead of stdin: a threaded multi-tenant "
+            "socket server on PORT (0 picks an ephemeral port, printed "
+            "on startup)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port (default 127.0.0.1; widen explicitly)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bound on concurrently executing requests; excess load is "
+            "shed with in-band overloaded responses (socket mode only)"
+        ),
+    )
+    serve.add_argument(
+        "--quota",
+        action="append",
+        default=None,
+        metavar="TENANT=RATE[:BURST]",
+        help=(
+            "per-tenant token-bucket quota in requests/second (repeatable; "
+            "socket mode only)"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="default requests/second for tenants without an explicit --quota",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=8.0,
+        metavar="B",
+        help="default burst size for tenants without an explicit --quota",
+    )
+    serve.add_argument(
+        "--pcache",
+        action="store_true",
+        help=(
+            "persist rendered results to an on-disk sidecar "
+            "(<catalog>/pcache.d) so a restarted server warm-starts; "
+            "entries are checksum-gated and generation-keyed"
+        ),
+    )
+    serve.add_argument(
+        "--pcache-dir",
+        default=None,
+        metavar="DIR",
+        help="sidecar directory (default: <catalog>/pcache.d; implies --pcache)",
+    )
+    serve.add_argument(
+        "--pcache-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="max persistent-cache entries before LRU-by-mtime eviction",
+    )
 
     watch = sub.add_parser(
         "watch",
@@ -236,14 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
     reshard_cmd.add_argument("source", help="existing catalog (sharded or not)")
     reshard_cmd.add_argument(
         "dest",
+        nargs="?",
+        default=None,
         help=(
             "directory for the resharded catalog; created fresh — an "
             "existing non-empty path is refused (the source stays intact, "
-            "so aborting = deleting DEST)"
+            "so aborting = deleting DEST).  With --in-place: optional temp "
+            "build directory (default <SRC>.reshard.tmp)"
         ),
     )
     reshard_cmd.add_argument(
         "--shards", type=int, required=True, metavar="N", help="new shard count"
+    )
+    reshard_cmd.add_argument(
+        "--in-place",
+        action="store_true",
+        help=(
+            "reshard onto the source path itself: build into a sibling "
+            "temp directory, then swap with atomic renames — a crash at "
+            "any instant leaves a complete catalog (at SRC or at "
+            "SRC.reshard.old), never a torn one"
+        ),
     )
 
     return parser
@@ -356,19 +445,55 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from respdi.service import QueryService, serve
+    from respdi.service import QueryService, open_pcache, serve
     from respdi.service.sharded import ShardedQueryService
 
     service_cls = (
         ShardedQueryService if is_sharded(args.directory) else QueryService
     )
     service = service_cls(args.directory, cache_size=args.cache_size)
+    pcache = None
+    if args.pcache or args.pcache_dir is not None:
+        pcache = open_pcache(
+            args.directory,
+            directory=args.pcache_dir,
+            max_entries=args.pcache_size,
+        )
+        print(f"persistent cache at {pcache.directory}", file=sys.stderr)
+    if args.port is not None:
+        from respdi.service import (
+            AdmissionController,
+            SocketQueryServer,
+            parse_quota_specs,
+        )
+
+        admission = AdmissionController(
+            max_inflight=args.max_inflight,
+            default_rate=args.tenant_rate,
+            default_burst=args.tenant_burst,
+            quotas=parse_quota_specs(args.quota or []),
+        )
+        server = SocketQueryServer(
+            service,
+            host=args.host,
+            port=args.port,
+            cached=not args.no_cache,
+            pcache=pcache,
+            admission=admission,
+            max_requests=args.max_requests,
+        )
+        host, port = server.start()
+        print(f"serving on {host}:{port}", file=sys.stderr)
+        served = server.serve_forever()
+        print(f"served {served} request(s)", file=sys.stderr)
+        return 0
     served = serve(
         service,
         sys.stdin,
         sys.stdout,
         cached=not args.no_cache,
         max_requests=args.max_requests,
+        pcache=pcache,
     )
     print(f"served {served} request(s)", file=sys.stderr)
     return 0
@@ -447,7 +572,9 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_reshard(args) -> int:
-    store = reshard(args.source, args.dest, args.shards)
+    store = reshard(
+        args.source, args.dest, args.shards, in_place=args.in_place
+    )
     print(
         f"resharded {args.source} -> {store.directory} "
         f"({len(store)} table(s) over {store.num_shards} shard(s))"

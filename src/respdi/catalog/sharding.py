@@ -49,6 +49,8 @@ crash matrix in ``tests/test_sharded_crash.py``.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from collections import defaultdict
 from hashlib import blake2b
 from pathlib import Path
@@ -498,10 +500,11 @@ def open_catalog(directory: PathLike) -> Union[CatalogStore, ShardedCatalogStore
 
 def reshard(
     source_directory: PathLike,
-    dest_directory: PathLike,
-    num_shards: int,
+    dest_directory: Optional[PathLike] = None,
+    num_shards: int = 4,
+    in_place: bool = False,
 ) -> ShardedCatalogStore:
-    """Re-partition a catalog into *num_shards* shards at *dest_directory*.
+    """Re-partition a catalog into *num_shards* shards.
 
     The source may be sharded or plain.  No re-sketching happens: the
     destination shards are created around the **source's own hasher**
@@ -509,15 +512,39 @@ def reshard(
     committed files are adopted verbatim via
     :meth:`CatalogStore.adopt_entries`, re-checksummed on the way in.
     Query results against the destination are therefore byte-identical
-    to the source's — the differential suite asserts it — and the source
-    is left untouched, so a reshard is trivially abortable: delete the
-    destination and nothing happened.
+    to the source's — the differential suite asserts it.
 
-    *dest_directory* must be a **new** directory (or an existing empty
-    one): reshard never writes into a directory that already holds
-    anything, so it can never clobber a live catalog, a half-finished
-    previous reshard, or unrelated files.
+    Two modes:
+
+    * **copy** (default): write the resharded catalog to
+      *dest_directory*, which must be a **new** directory (or an
+      existing empty one) — reshard never writes into a directory that
+      already holds anything, so it can never clobber a live catalog, a
+      half-finished previous reshard, or unrelated files.  The source is
+      left untouched, so the operation is trivially abortable: delete
+      the destination and nothing happened.
+
+    * **in-place** (``in_place=True``): build the resharded catalog into
+      a sibling temp directory (*dest_directory* if given, else
+      ``<source>.reshard.tmp``), then swap it over the source path with
+      two directory renames — source → ``<source>.reshard.old``, temp →
+      source — and remove the backup.  Each rename is atomic, so a crash
+      anywhere leaves a **complete** catalog at either the source path
+      or the backup/temp path, never a torn one.  The only non-atomic
+      instant is between the two renames, when the source path is
+      briefly absent and the backup holds the full original; recovery
+      from any interruption is "rename whichever complete directory
+      survives back to the source path".  A leftover
+      ``<source>.reshard.old`` from an interrupted swap makes the next
+      in-place reshard refuse to run until an operator inspects it.
     """
+    source_path = Path(source_directory)
+    if in_place:
+        return _reshard_in_place(source_path, dest_directory, num_shards)
+    if dest_directory is None:
+        raise SpecificationError(
+            "reshard needs a destination directory (or in_place=True)"
+        )
     dest = Path(dest_directory)
     if dest.exists() and (not dest.is_dir() or any(dest.iterdir())):
         raise SpecificationError(
@@ -554,3 +581,37 @@ def reshard(
                 fault_point("shard.commit", shard=index, op="adopt_entries")
                 dest.shards[index].adopt_entries(store, routed[index])
     return dest
+
+
+def _reshard_in_place(
+    source: Path, tmp_directory: Optional[PathLike], num_shards: int
+) -> ShardedCatalogStore:
+    """Reshard *source* onto its own path via temp-build + rename swap."""
+    if not source.is_dir():
+        raise SpecificationError(f"{source} is not a catalog directory")
+    tmp = (
+        Path(tmp_directory)
+        if tmp_directory is not None
+        else source.parent / (source.name + ".reshard.tmp")
+    )
+    backup = source.parent / (source.name + ".reshard.old")
+    if backup.exists():
+        raise SpecificationError(
+            f"{backup} exists — a previous in-place reshard was interrupted "
+            "mid-swap.  It holds a complete pre-reshard catalog: inspect it, "
+            "restore it over the source if needed, then remove it."
+        )
+    if tmp.exists() and any(tmp.iterdir()):
+        raise SpecificationError(
+            f"{tmp} exists and is not empty — a previous in-place reshard "
+            "left a temp build behind.  Inspect and remove it first."
+        )
+    reshard(source, tmp, num_shards)
+    with obs.trace("catalog.reshard.swap", source=str(source)):
+        # Both renames are atomic directory moves on the same filesystem
+        # (tmp is a sibling of source unless the operator chose otherwise);
+        # a crash between them leaves the complete original at *backup*.
+        os.rename(source, backup)
+        os.rename(tmp, source)
+        shutil.rmtree(backup)
+    return ShardedCatalogStore.open(source)

@@ -104,6 +104,7 @@ def _print_metrics() -> None:
     print("\n=== metrics ===")
     print(obs.global_registry().to_json(indent=2))
     _print_ingest_health()
+    _print_serve_health()
 
 
 def _print_ingest_health() -> None:
@@ -138,6 +139,55 @@ def _print_ingest_health() -> None:
         print(f"ingest.lag_seconds: {gauges['ingest.lag_seconds']:.3f}")
     if "catalog.generation" in gauges:
         print(f"catalog.generation: {gauges['catalog.generation']:g}")
+
+
+def _print_serve_health() -> None:
+    """Summarize serve-path metrics when any were recorded.
+
+    A process that ran the socket server (or the stdin serve loop)
+    in-process leaves ``serve.*`` counters and per-kind / per-tenant
+    ``serve.latency.*`` histograms in the registry; this block renders
+    the admission ledger and p50/p99 latencies as one glanceable table
+    instead of raw JSON.
+    """
+    snapshot = obs.global_registry().snapshot()
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    latency = {
+        name: summary
+        for name, summary in histograms.items()
+        if name.startswith("serve.latency.")
+    }
+    serve_counters = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("serve.") or name.startswith("service.cache.")
+        or name.startswith("service.pcache.")
+    }
+    if not latency and not serve_counters:
+        return
+    print("\n=== serve health ===")
+    for name in (
+        "serve.requests",
+        "serve.admitted",
+        "serve.rejected.quota",
+        "serve.rejected.inflight",
+        "service.cache.hit",
+        "service.cache.miss",
+        "service.pcache.hit",
+        "service.pcache.miss",
+        "service.pcache.corrupt",
+    ):
+        if name in serve_counters:
+            print(f"{name}: {serve_counters[name]:g}")
+    for name in sorted(latency):
+        summary = latency[name]
+        print(
+            f"{name}: n={summary['count']:g} "
+            f"p50={summary['p50'] * 1000:.2f}ms "
+            f"p99={summary['p99'] * 1000:.2f}ms "
+            f"max={summary['max'] * 1000:.2f}ms"
+        )
 
 
 def catalog_main(argv: Optional[Sequence[str]] = None) -> int:

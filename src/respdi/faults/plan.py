@@ -81,6 +81,13 @@ KNOWN_POINTS = frozenset(
         "service.cache.store",
         "service.serve.start",
         "service.serve.request",
+        # respdi.service.pcache — the persistent result-cache sidecar.
+        # ``store`` and ``sweep`` write (through _fsutil / unlink); the
+        # crash matrix kills at each and proves no corrupt entry is ever
+        # served (checksum gate) and the catalog itself is untouched.
+        "service.pcache.lookup",
+        "service.pcache.store",
+        "service.pcache.sweep",
         # respdi.ingest — the continuous ingestion daemon (watcher scan,
         # change-set apply, and the cycle loop).  The apply is the only
         # mutating point; killing there must leave a committed catalog.

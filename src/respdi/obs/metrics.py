@@ -40,9 +40,18 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max/mean)."""
+    """Streaming summary of observed values (count/total/min/max/mean/p50/p99).
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Percentiles come from a bounded ring of the most recent
+    ``WINDOW_SIZE`` observations (nearest-rank): exact for short-lived
+    processes, recency-weighted for long-lived servers — which is the
+    view an operator watching ``serve.latency.*`` wants anyway.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_window", "_next")
+
+    #: Samples retained for percentile estimation, per histogram.
+    WINDOW_SIZE = 1024
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -50,6 +59,8 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._window: list = []
+        self._next = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -58,10 +69,23 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._window) < self.WINDOW_SIZE:
+            self._window.append(value)
+        else:
+            self._window[self._next] = value
+            self._next = (self._next + 1) % self.WINDOW_SIZE
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained window (0 if empty)."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil without math
+        return ordered[min(rank, len(ordered)) - 1]
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -70,6 +94,8 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
         }
 
 

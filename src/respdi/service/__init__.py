@@ -11,13 +11,28 @@ machinery as a JSON-lines request loop, and
 ``ResponsibleIntegrationPipeline.discover_sources(service=...)`` runs
 pipeline discovery through it.
 
+``respdi-catalog serve --port`` upgrades the loop to a multi-tenant
+socket server (:class:`SocketQueryServer`): per-tenant token-bucket
+quotas and a bounded inflight gate (:class:`AdmissionController`),
+p50/p99 latency ledgers, and an optional crash-safe on-disk result
+cache (:class:`PersistentResultCache`) that warm-starts a restarted
+server with byte-identical responses.
+
 Invariant the test suite enforces: a cached answer is byte-identical to
 an uncached one, which is byte-identical to querying a cold
 :class:`~respdi.discovery.lake_index.DataLakeIndex` over the same
 tables.
 """
 
+from respdi.service.admission import (
+    AdmissionController,
+    LatencyLedger,
+    TokenBucket,
+    parse_quota_specs,
+)
 from respdi.service.cache import QueryResultCache
+from respdi.service.netserver import SocketQueryServer
+from respdi.service.pcache import PersistentResultCache, open_pcache
 from respdi.service.queries import (
     ContainmentQuery,
     JoinQuery,
@@ -40,19 +55,26 @@ from respdi.service.sharded import (
 )
 
 __all__ = [
+    "AdmissionController",
     "ContainmentQuery",
     "JoinQuery",
     "KeywordQuery",
+    "LatencyLedger",
+    "PersistentResultCache",
     "Query",
     "QueryResultCache",
     "QueryService",
     "ShardVector",
     "ShardedQueryService",
     "Snapshot",
+    "SocketQueryServer",
+    "TokenBucket",
     "UnionQuery",
     "build_query",
     "handle_request",
     "merge_ranked",
+    "open_pcache",
+    "parse_quota_specs",
     "pin_snapshot",
     "reset_shared_services",
     "serve",

@@ -1,0 +1,397 @@
+"""Admission control for the serve path: quotas, backpressure, latency.
+
+A serve loop that accepts every request collapses under overload — the
+irresponsible failure mode for infrastructure meant to face millions of
+users: *every* tenant's latency explodes because *one* tenant misbehaves.
+This module makes overload a structured, per-tenant outcome instead:
+
+* :class:`TokenBucket` — the classic rate limiter: a bucket holding up
+  to ``burst`` tokens, refilled continuously at ``rate`` tokens/second.
+  A request takes one token or is told exactly how long until one
+  exists (``retry_after``), so clients can back off precisely instead
+  of hammering.
+* :class:`AdmissionController` — per-tenant buckets plus one global
+  bounded **inflight gate**: even fully within-quota traffic is capped
+  at ``max_inflight`` concurrently executing requests, so a burst of
+  expensive queries degrades into fast, honest rejections rather than
+  an unbounded thread pile-up.  Rejected requests get
+  ``{"error": "overloaded", "retry_after_ms": ...}`` — load *shedding*,
+  not load collapsing.
+* :class:`LatencyLedger` — bounded per-key latency samples with
+  p50/p99, kept locally (the ``stats`` op works without global
+  instrumentation) and mirrored to :mod:`respdi.obs` histograms.
+
+The accounting invariant the stress suite enforces per tenant and
+globally: ``admitted + rejected == received`` — no request is ever
+silently dropped or double-counted, whatever the interleaving.
+
+Time is injectable (``clock=``) so quota behavior is deterministic
+under test; production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from respdi import obs
+from respdi.errors import SpecificationError
+
+#: Tenant name used when a request carries no ``tenant`` field.
+DEFAULT_TENANT = "default"
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket (thread-safe).
+
+    Holds at most *burst* tokens, gaining *rate* per second.  ``rate``
+    may be ``None`` for an unlimited bucket (always admits) — the
+    default tenant policy unless the operator configures quotas.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise SpecificationError("token bucket rate must be > 0 (or None)")
+        if burst < 1:
+            raise SpecificationError("token bucket burst must be >= 1")
+        self.rate = float(rate) if rate is not None else None
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_take(self) -> Tuple[bool, float]:
+        """Take one token if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, seconds)``
+        where *seconds* is the exact wait until one token will exist —
+        the honest ``retry_after`` a shed response carries.
+        """
+        if self.rate is None:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refilled to now) — introspection only."""
+        if self.rate is None:
+            return math.inf
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class Admission:
+    """The outcome of one admission decision.
+
+    Truthy iff admitted.  An admitted ticket is a context manager that
+    releases its inflight slot on exit — the handler wraps the whole
+    request in ``with ticket:`` so slots can never leak, even when the
+    query raises.
+    """
+
+    __slots__ = ("admitted", "tenant", "reason", "retry_after", "_release")
+
+    def __init__(
+        self,
+        admitted: bool,
+        tenant: str,
+        reason: Optional[str] = None,
+        retry_after: float = 0.0,
+        release: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.admitted = admitted
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = retry_after
+        self._release = release
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+    @property
+    def retry_after_ms(self) -> int:
+        """``retry_after`` in whole milliseconds, never 0 for a rejection.
+
+        A 0ms hint would tell clients "retry immediately" — exactly the
+        stampede backpressure exists to prevent — so rejections round up
+        to at least 1ms.
+        """
+        return max(1, math.ceil(self.retry_after * 1000.0))
+
+    def rejection(self) -> Dict[str, Any]:
+        """The structured shed response for a rejected request."""
+        return {
+            "ok": False,
+            "error": "overloaded",
+            "tenant": self.tenant,
+            "reason": self.reason,
+            "retry_after_ms": self.retry_after_ms,
+        }
+
+    def __enter__(self) -> "Admission":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._release is not None:
+            self._release()
+            self._release = None
+        return False
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one bounded inflight gate.
+
+    *quotas* maps tenant name to ``(rate, burst)``; tenants not listed
+    get *default_rate*/*default_burst* (``default_rate=None`` means
+    unlimited — only the inflight gate applies).  ``max_inflight``
+    bounds concurrently admitted requests across **all** tenants; when
+    full, within-quota requests are shed with ``reason="inflight"`` and
+    a small constant retry hint (slots turn over at service rate, which
+    the controller cannot predict per-request).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        default_rate: Optional[float] = None,
+        default_burst: float = 8.0,
+        quotas: Optional[Dict[str, Tuple[Optional[float], float]]] = None,
+        inflight_retry_after: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise SpecificationError("max_inflight must be >= 1")
+        self.max_inflight = int(max_inflight)
+        self.default_rate = default_rate
+        self.default_burst = float(default_burst)
+        self.inflight_retry_after = float(inflight_retry_after)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        for tenant, (rate, burst) in (quotas or {}).items():
+            self._buckets[tenant] = TokenBucket(rate, burst, clock)
+        self._configured = set(self._buckets)
+        self._inflight = 0
+        self.peak_inflight = 0
+        #: Per-tenant ledgers: every received request lands in exactly
+        #: one of admitted / rejected_quota / rejected_inflight.
+        self.received: Dict[str, int] = {}
+        self.admitted: Dict[str, int] = {}
+        self.rejected_quota: Dict[str, int] = {}
+        self.rejected_inflight: Dict[str, int] = {}
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.default_rate, self.default_burst, self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str = DEFAULT_TENANT) -> Admission:
+        """Decide one request: quota first, then the inflight gate.
+
+        Quota-before-gate means an over-quota tenant cannot consume
+        inflight capacity at all — its rejections are pure bookkeeping,
+        leaving the shared slots to tenants within their quotas.
+        """
+        with self._lock:
+            self.received[tenant] = self.received.get(tenant, 0) + 1
+            bucket = self._bucket(tenant)
+        admitted, retry_after = bucket.try_take()
+        if not admitted:
+            with self._lock:
+                self.rejected_quota[tenant] = (
+                    self.rejected_quota.get(tenant, 0) + 1
+                )
+            obs.inc("serve.rejected.quota")
+            obs.inc(f"serve.tenant.{tenant}.rejected")
+            return Admission(
+                False, tenant, reason="quota", retry_after=retry_after
+            )
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.rejected_inflight[tenant] = (
+                    self.rejected_inflight.get(tenant, 0) + 1
+                )
+                full = True
+            else:
+                self._inflight += 1
+                self.peak_inflight = max(self.peak_inflight, self._inflight)
+                self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+                full = False
+        if full:
+            obs.inc("serve.rejected.inflight")
+            obs.inc(f"serve.tenant.{tenant}.rejected")
+            return Admission(
+                False,
+                tenant,
+                reason="inflight",
+                retry_after=self.inflight_retry_after,
+            )
+        obs.inc("serve.admitted")
+        obs.inc(f"serve.tenant.{tenant}.admitted")
+        return Admission(True, tenant, release=self._release)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def ledger(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant counters; ``admitted + rejected == received`` holds."""
+        with self._lock:
+            tenants = set(self.received)
+            out = {}
+            for tenant in sorted(tenants):
+                out[tenant] = {
+                    "received": self.received.get(tenant, 0),
+                    "admitted": self.admitted.get(tenant, 0),
+                    "rejected_quota": self.rejected_quota.get(tenant, 0),
+                    "rejected_inflight": self.rejected_inflight.get(tenant, 0),
+                }
+            return out
+
+    def stats(self) -> Dict[str, Any]:
+        ledger = self.ledger()
+        totals = {
+            key: sum(row[key] for row in ledger.values())
+            for key in (
+                "received",
+                "admitted",
+                "rejected_quota",
+                "rejected_inflight",
+            )
+        }
+        with self._lock:
+            inflight = self._inflight
+        return {
+            "max_inflight": self.max_inflight,
+            "inflight": inflight,
+            "peak_inflight": self.peak_inflight,
+            "totals": totals,
+            "tenants": ledger,
+        }
+
+
+def parse_quota_specs(
+    specs: List[str],
+) -> Dict[str, Tuple[Optional[float], float]]:
+    """Parse CLI ``TENANT=RATE[:BURST]`` specs into a quota mapping.
+
+    ``RATE`` is requests/second; ``BURST`` defaults to ``max(1, RATE)``
+    so a freshly-started tenant can spend about one second of its rate
+    instantly.
+    """
+    quotas: Dict[str, Tuple[Optional[float], float]] = {}
+    for spec in specs:
+        tenant, sep, policy = spec.partition("=")
+        if not sep or not tenant:
+            raise SpecificationError(
+                f"quota spec {spec!r} is not TENANT=RATE[:BURST]"
+            )
+        rate_part, _, burst_part = policy.partition(":")
+        try:
+            rate = float(rate_part)
+            burst = float(burst_part) if burst_part else max(1.0, rate)
+        except ValueError:
+            raise SpecificationError(
+                f"quota spec {spec!r} has a non-numeric rate or burst"
+            ) from None
+        quotas[tenant] = (rate, burst)
+    return quotas
+
+
+class LatencyLedger:
+    """Bounded per-key latency samples with percentile summaries.
+
+    Keeps the most recent *window* observations per key (a ring buffer:
+    a long-running server reports *current* latency, not its lifetime
+    average) and computes percentiles by the nearest-rank method.  Each
+    observation is also mirrored to the global obs registry as
+    ``serve.latency.<key>.seconds`` so ``respdi-audit --metrics`` can
+    render the same numbers.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise SpecificationError("latency window must be >= 1")
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._samples: Dict[str, List[float]] = {}
+        self._next: Dict[str, int] = {}
+        self._counts: Dict[str, int] = {}
+
+    def observe(self, key: str, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            samples = self._samples.get(key)
+            if samples is None:
+                samples = self._samples[key] = []
+                self._next[key] = 0
+                self._counts[key] = 0
+            if len(samples) < self.window:
+                samples.append(seconds)
+            else:
+                samples[self._next[key]] = seconds
+                self._next[key] = (self._next[key] + 1) % self.window
+            self._counts[key] += 1
+        obs.observe(f"serve.latency.{key}.seconds", seconds)
+
+    def percentile(self, key: str, q: float) -> float:
+        """Nearest-rank percentile of the key's current window (0 if empty)."""
+        with self._lock:
+            samples = sorted(self._samples.get(key, ()))
+        if not samples:
+            return 0.0
+        rank = max(1, math.ceil((q / 100.0) * len(samples)))
+        return samples[rank - 1]
+
+    def summary(self, key: str) -> Dict[str, float]:
+        with self._lock:
+            samples = sorted(self._samples.get(key, ()))
+            count = self._counts.get(key, 0)
+        if not samples:
+            return {"count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+
+        def rank(q: float) -> float:
+            return samples[max(1, math.ceil((q / 100.0) * len(samples))) - 1]
+
+        return {
+            "count": count,
+            "p50": rank(50.0),
+            "p99": rank(99.0),
+            "max": samples[-1],
+        }
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            keys = sorted(self._samples)
+        return {key: self.summary(key) for key in keys}

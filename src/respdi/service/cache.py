@@ -53,6 +53,10 @@ class QueryResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Every accounted :meth:`get` call; ``hits + misses == lookups``
+        #: is invariant under any thread interleaving (all three move
+        #: together under the cache lock) — property-tested.
+        self.lookups = 0
 
     @property
     def enabled(self) -> bool:
@@ -72,6 +76,7 @@ class QueryResultCache:
             return _ABSENT
         fault_point("service.cache.lookup", generation=key[0])
         with self._lock:
+            self.lookups += 1
             value = self._entries.get(key, _ABSENT)
             if value is _ABSENT:
                 self.misses += 1
@@ -135,6 +140,7 @@ class QueryResultCache:
             return {
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
+                "lookups": self.lookups,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
@@ -154,6 +160,6 @@ def make_key(generation: Generation, fingerprint: str) -> CacheKey:
     per shard, so the full vector — not any scalar of it — names the
     catalog state a result was computed against).
     """
-    if isinstance(generation, tuple):
+    if isinstance(generation, (tuple, list)):
         return (tuple(int(part) for part in generation), fingerprint)
     return (int(generation), fingerprint)

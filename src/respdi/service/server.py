@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional, TextIO
 
 from respdi.errors import RespdiError
 from respdi.faults.plan import fault_point
+from respdi.service.cache import is_hit
 from respdi.service.queries import (
     ContainmentQuery,
     JoinQuery,
@@ -86,15 +87,29 @@ def build_query(request: Dict[str, Any]) -> Query:
 
 
 def handle_request(
-    service: QueryService, request: Dict[str, Any], cached: bool = True
+    service: QueryService,
+    request: Dict[str, Any],
+    cached: bool = True,
+    pcache: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Answer one already-parsed request; exceptions become error payloads."""
+    """Answer one already-parsed request; exceptions become error payloads.
+
+    With *pcache* (a :class:`~respdi.service.pcache.PersistentResultCache`),
+    query results are additionally served from — and stored to — the
+    on-disk sidecar at *rendered* granularity: a persistent hit skips
+    both the query computation and the render, and produces the same
+    response bytes either way (the entry is keyed by the exact
+    ``(generation, fingerprint)`` pair and checksum-gated on read).
+    """
     fault_point("service.serve.request", op=request.get("op"))
     op = request.get("op")
     if op == "ping":
         return {"ok": True, "op": "ping"}
     if op == "stats":
-        return {"ok": True, "op": "stats", "stats": service.stats()}
+        stats = service.stats()
+        if pcache is not None:
+            stats["pcache"] = pcache.stats()
+        return {"ok": True, "op": "stats", "stats": stats}
     if op == "reload":
         # The operator's (and the ingest daemon's) re-pin-on-demand: a
         # long-lived server picks up whatever generation is committed
@@ -108,12 +123,26 @@ def handle_request(
         }
     query = build_query(request)
     snapshot = service.snapshot()
+    generation = snapshot.generation
+    if pcache is not None:
+        pcache.observe_generation(generation)
+        payload = pcache.get(generation, query.fingerprint)
+        if is_hit(payload):
+            return {
+                "ok": True,
+                "op": op,
+                "generation": generation,
+                "results": payload,
+            }
     result = service._query_at(query, snapshot, cached)
+    rendered = query.render(result)
+    if pcache is not None:
+        pcache.put(generation, query.fingerprint, rendered, op=op)
     return {
         "ok": True,
         "op": op,
-        "generation": snapshot.generation,
-        "results": query.render(result),
+        "generation": generation,
+        "results": rendered,
     }
 
 
@@ -123,6 +152,7 @@ def serve(
     output_stream: TextIO,
     cached: bool = True,
     max_requests: Optional[int] = None,
+    pcache: Optional[Any] = None,
 ) -> int:
     """Run the request/response loop until EOF, ``stop``, or *max_requests*.
 
@@ -148,7 +178,9 @@ def serve(
                 output_stream.write(json.dumps(response) + "\n")
                 output_stream.flush()
                 break
-            response = handle_request(service, request, cached=cached)
+            response = handle_request(
+                service, request, cached=cached, pcache=pcache
+            )
         except (RespdiError, OSError, ValueError, KeyError, TypeError) as exc:
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         output_stream.write(json.dumps(response) + "\n")

@@ -38,10 +38,20 @@ def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
     yv = np.asarray(y, dtype=float)
     xs = xv - xv.mean()
     ys = yv - yv.mean()
+    # Prescale each centered vector by its max magnitude: correlation is
+    # scale-invariant, and without this, squaring tiny deviations (think
+    # 1e-161) lands in subnormal territory where the lost precision can
+    # push the ratio visibly outside [-1, 1].
+    x_scale = float(np.max(np.abs(xs))) if len(xs) else 0.0
+    y_scale = float(np.max(np.abs(ys))) if len(ys) else 0.0
+    if x_scale == 0.0 or y_scale == 0.0:
+        return 0.0
+    xs /= x_scale
+    ys /= y_scale
     denom = math.sqrt(float((xs**2).sum()) * float((ys**2).sum()))
     if denom == 0.0:
         return 0.0
-    return float((xs * ys).sum() / denom)
+    return max(-1.0, min(1.0, float((xs * ys).sum() / denom)))
 
 
 def _ranks(values: np.ndarray) -> np.ndarray:

@@ -334,6 +334,82 @@ def test_reshard_refuses_a_non_empty_or_file_destination(tmp_path):
     assert sorted(dest.names) == sorted(TABLES)
 
 
+def test_reshard_without_dest_requires_in_place(tmp_path):
+    CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+    with pytest.raises(SpecificationError, match="destination"):
+        reshard(tmp_path / "src", num_shards=2)
+
+
+@pytest.mark.parametrize("source_shards", [None, 4], ids=["plain", "sharded"])
+def test_reshard_in_place_swaps_onto_the_source_path(tmp_path, source_shards):
+    if source_shards is None:
+        source = CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+    else:
+        source = ShardedCatalogStore.build(
+            tmp_path / "src", TABLES, num_shards=source_shards, **OPTS
+        )
+    fingerprints = {name: source.meta(name)["fingerprint"] for name in TABLES}
+
+    store = reshard(tmp_path / "src", num_shards=2, in_place=True)
+
+    assert store.directory == tmp_path / "src"
+    assert store.num_shards == 2
+    assert sorted(store.names) == sorted(TABLES)
+    assert store.verify() == []
+    for name in TABLES:
+        assert store.meta(name)["fingerprint"] == fingerprints[name]
+    # The swap cleaned up after itself: no temp build, no backup left.
+    assert not (tmp_path / "src.reshard.tmp").exists()
+    assert not (tmp_path / "src.reshard.old").exists()
+    # The swapped-in catalog is a normal sharded catalog for open_catalog.
+    assert isinstance(open_catalog(tmp_path / "src"), ShardedCatalogStore)
+
+
+def test_reshard_in_place_accepts_an_explicit_temp_dir(tmp_path):
+    CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+    tmp_build = tmp_path / "scratch" / "build"
+    store = reshard(
+        tmp_path / "src", tmp_build, num_shards=3, in_place=True
+    )
+    assert store.directory == tmp_path / "src" and store.num_shards == 3
+    assert not tmp_build.exists()  # consumed by the swap
+
+
+def test_reshard_in_place_refuses_leftovers_from_interrupted_swaps(tmp_path):
+    """A leftover backup means an earlier swap was interrupted between
+    its two renames; it holds the complete pre-reshard catalog, so the
+    next in-place reshard must stop and make the operator look."""
+    CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+
+    backup = tmp_path / "src.reshard.old"
+    backup.mkdir()
+    with pytest.raises(SpecificationError, match="interrupted"):
+        reshard(tmp_path / "src", num_shards=2, in_place=True)
+    backup.rmdir()
+
+    stale_tmp = tmp_path / "src.reshard.tmp"
+    stale_tmp.mkdir()
+    (stale_tmp / "half-built").write_text("x")
+    with pytest.raises(SpecificationError, match="temp build"):
+        reshard(tmp_path / "src", num_shards=2, in_place=True)
+    # Both refusals left the source catalog fully usable.
+    assert sorted(open_catalog(tmp_path / "src").names) == sorted(TABLES)
+
+
+def test_reshard_in_place_query_results_are_unchanged(tmp_path):
+    from respdi.service import KeywordQuery, QueryService
+    from respdi.service.sharded import ShardedQueryService
+
+    CatalogStore.build(tmp_path / "src", TABLES, **OPTS)
+    query = KeywordQuery(text="table0", k=3)
+    before = query.render(QueryService(tmp_path / "src").query(query))
+    reshard(tmp_path / "src", num_shards=2, in_place=True)
+    after = query.render(ShardedQueryService(tmp_path / "src").query(query))
+    assert json.dumps(before, sort_keys=True) == json.dumps(
+        after, sort_keys=True
+    )
+
+
 def test_sharded_refresh_many_noop_schedules_zero_sketch_calls(
     tmp_path, monkeypatch
 ):

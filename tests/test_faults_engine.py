@@ -393,11 +393,17 @@ def test_every_known_point_is_exercised(tmp_path):
 
     def service_lifecycle():
         # One serve session crosses every service.* point: startup,
-        # snapshot pin, a cache miss (lookup + store), and a cache hit.
+        # snapshot pin, a cache miss (lookup + store), a cache hit, and
+        # — served with a persistent sidecar — the pcache lookup, store,
+        # and (via an explicit stale sweep) sweep points.
+        from respdi.service import open_pcache
+
         service = QueryService(catalog_dir, cache_size=8)
+        pcache = open_pcache(tmp_path / "pcache-points")
         request = json.dumps({"op": "keyword", "text": "table0", "k": 3})
         stream = io.StringIO(f"{request}\n{request}\n")
-        serve(service, stream, io.StringIO())
+        serve(service, stream, io.StringIO(), pcache=pcache)
+        pcache.sweep_stale(service.snapshot().generation)
 
     def sharded_lifecycle():
         # One sharded build + query crosses every shard.* point: routing

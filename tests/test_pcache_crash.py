@@ -1,0 +1,217 @@
+"""Crash matrix for the persistent result cache: kill the sidecar anywhere.
+
+PR 5's matrix proved the serve path wrote *nothing*; this one proves the
+deliberate exception — the pcache sidecar — writes *safely*.  A serve
+session with a persistent cache is forked and killed at every
+``service.pcache.*`` / ``service.*`` / ``fsutil.*`` step it crosses.
+The survivor must satisfy, at every step:
+
+* the catalog itself is byte-for-byte the committed state (the sidecar
+  never leaks writes into the store);
+* ``PersistentResultCache.verify()`` reports zero problems — a torn
+  entry either does not exist (the tmp+fsync+rename discipline) or
+  never parses as complete;
+* every query served *after* the crash is byte-identical to a cold
+  recompute — whatever the sidecar holds, it never changes an answer.
+
+Plus the detection story the matrix cannot cover: deliberately corrupt
+sidecar bytes are detected by checksum, discarded, counted, and the
+rebuilt answer matches cold — corruption is repaired, never served.
+
+POSIX-only (``os.fork``); skipped elsewhere.
+"""
+
+import hashlib
+import io
+import json
+import os
+
+import pytest
+
+from respdi.catalog import CatalogStore
+from respdi.faults import CrashSimulator
+from respdi.service import QueryService, handle_request, open_pcache, serve
+from respdi.service.pcache import PCACHE_DIRNAME
+from respdi.table import Schema, Table
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash simulation needs os.fork (POSIX)"
+)
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+REQUESTS = [
+    {"op": "keyword", "text": "table0", "k": 3},
+    {"op": "keyword", "text": "table0", "k": 3},  # persistent hit
+    {"op": "join", "values": ["t0_1", "t1_2"], "k": 3},
+    {"op": "containment", "values": ["t0_1"], "threshold": 0.2},
+]
+
+
+def _tables():
+    out = {}
+    for t in range(2):
+        rows = [(f"t{t}_{i}", float(i)) for i in range(8)]
+        out[f"table{t}"] = Table.from_rows(SCHEMA, rows)
+    return out
+
+
+def _catalog_bytes(catalog_dir):
+    """Checksums of the catalog proper — sidecar and lock file aside."""
+    hashes = {}
+    for path in sorted(catalog_dir.rglob("*")):
+        if not path.is_file() or path.name == "writer.lock":
+            continue
+        if PCACHE_DIRNAME in path.relative_to(catalog_dir).parts:
+            continue
+        hashes[str(path.relative_to(catalog_dir))] = hashlib.blake2b(
+            path.read_bytes(), digest_size=16
+        ).hexdigest()
+    return hashes
+
+
+def _prepare(workdir):
+    CatalogStore.build(workdir / "cat", _tables(), **OPTS)
+
+
+def _serve_with_pcache(workdir):
+    service = QueryService(workdir / "cat", cache_size=0)
+    pcache = open_pcache(workdir / "cat")
+    stream = io.StringIO(
+        "".join(json.dumps(request) + "\n" for request in REQUESTS)
+    )
+    serve(service, stream, io.StringIO(), pcache=pcache)
+
+
+def _cold_answers(catalog_dir):
+    """Every request recomputed with no cache tier at all."""
+    service = QueryService(catalog_dir, cache_size=0)
+    return [
+        json.dumps(handle_request(service, request), sort_keys=True)
+        for request in REQUESTS
+    ]
+
+
+def test_kill_pcache_serve_at_every_step_zero_corrupt(tmp_path):
+    reference_dir = tmp_path / "reference"
+    reference_dir.mkdir()
+    _prepare(reference_dir)
+    committed = _catalog_bytes(reference_dir / "cat")
+    cold = _cold_answers(reference_dir / "cat")
+
+    def classify(workdir):
+        # 1. The catalog is untouched whatever the sidecar was doing.
+        if _catalog_bytes(workdir / "cat") != committed:
+            raise AssertionError("pcache writes leaked into the catalog")
+        store = CatalogStore.open(workdir / "cat")
+        assert store.verify() == []
+        # 2. No surviving sidecar entry is torn: every file that exists
+        #    parses and checksums clean (atomic writes leave no middle).
+        survivor = open_pcache(workdir / "cat")
+        surviving_entries = len(survivor)  # before warm queries repopulate
+        problems = survivor.verify()
+        if problems:
+            raise AssertionError(f"torn sidecar entries: {problems}")
+        # 3. Post-crash answers — served through whatever the sidecar
+        #    holds — are byte-identical to a cold recompute.
+        service = QueryService(workdir / "cat", cache_size=0)
+        warm = [
+            json.dumps(
+                handle_request(service, request, pcache=survivor),
+                sort_keys=True,
+            )
+            for request in REQUESTS
+        ]
+        if warm != cold:
+            raise AssertionError("post-crash warm answer diverged from cold")
+        return "entries-%d" % surviving_entries
+
+    simulator = CrashSimulator(
+        _prepare,
+        _serve_with_pcache,
+        classify,
+        points=("service.", "fsutil.", "catalog."),
+        operation="serve-pcache",
+    )
+    report = simulator.run(tmp_path / "matrix")
+
+    detail = "\n".join(
+        f"  step {o.step:3d} @ {o.point}: {o.problem}" for o in report.corrupt
+    )
+    assert report.corrupt == [], f"{report.summary()}\n{detail}"
+    crossed = {outcome.point for outcome in report.outcomes}
+    assert {
+        "service.pcache.lookup",
+        "service.pcache.store",
+        "service.pcache.sweep",
+        "fsutil.tmp_written",
+        "fsutil.fsync",
+        "fsutil.renamed",
+    } <= crossed, sorted(crossed)
+    # Kills before/after entry persistence both occur: the matrix saw
+    # sidecars in more than one completeness state, all of them healthy.
+    assert len(set(report.states)) > 1, report.summary()
+
+
+def test_pcache_serve_write_steps_are_exactly_the_sidecar(tmp_path):
+    """With the sidecar enabled the serve session's only disk writes go
+    through the atomic-write recipe, and all land inside pcache.d —
+    provable from the fault-point trace plus the catalog checksums."""
+    simulator = CrashSimulator(
+        _prepare,
+        _serve_with_pcache,
+        lambda workdir: "ignored",
+        points=("fsutil.",),
+        operation="serve-pcache-writes",
+    )
+    trace = simulator.record(tmp_path / "record")
+    written = [point for point in trace if point.startswith("fsutil.")]
+    # 3 distinct query fingerprints -> exactly 3 atomic write sequences.
+    assert written.count("fsutil.renamed") == 3
+    assert set(written) <= {
+        "fsutil.tmp_created",
+        "fsutil.tmp_written",
+        "fsutil.fsync",
+        "fsutil.renamed",
+    }
+    committed = _catalog_bytes(tmp_path / "record" / "cat")
+    _prepare(tmp_path / "fresh")
+    assert committed == _catalog_bytes(tmp_path / "fresh" / "cat")
+
+
+def test_corrupted_sidecar_detected_discarded_rebuilt_never_served(tmp_path):
+    _prepare(tmp_path)
+    _serve_with_pcache(tmp_path)  # populate the sidecar
+    cold = _cold_answers(tmp_path / "cat")
+    sidecar = tmp_path / "cat" / PCACHE_DIRNAME
+    entries = sorted(sidecar.glob("*.json"))
+    assert len(entries) == 3
+    # Flip payload bytes in every entry — simulated bit rot across the
+    # whole sidecar.
+    for path in entries:
+        entry = json.loads(path.read_text())
+        entry["payload"] = [{"table": "attacker", "score": 1.0}]
+        path.write_text(json.dumps(entry))
+
+    pcache = open_pcache(tmp_path / "cat")
+    assert len(pcache.verify()) == 3  # detection: verify sees every one
+    service = QueryService(tmp_path / "cat", cache_size=0)
+    warm = [
+        json.dumps(
+            handle_request(service, request, pcache=pcache), sort_keys=True
+        )
+        for request in REQUESTS
+    ]
+    assert warm == cold  # the tampered payloads were never served
+    assert pcache.stats()["corrupt_discarded"] == 3
+    assert pcache.stats()["stores"] == 3  # each key rebuilt in place
+    assert pcache.verify() == []  # the sidecar healed
+    # And the healed entries now serve as hits, still byte-identical.
+    again = [
+        json.dumps(
+            handle_request(service, request, pcache=pcache), sort_keys=True
+        )
+        for request in REQUESTS
+    ]
+    assert again == cold and pcache.stats()["hits"] >= 3

@@ -1,0 +1,179 @@
+"""Serve differential suite: every transport × cache tier × layout agrees.
+
+The serve path's central claim, enforced byte-for-byte: for the same
+request stream against the same committed tables, the rendered results
+are identical across {stdin loop, socket server} × {no cache, memory
+cache, persistent cache} × {plain catalog, 4-shard catalog} — twelve
+configurations, one answer.  Within a layout the *entire* response line
+(generation included) must match; across layouts the ``results``
+payloads must match (the generation field legitimately differs: an int
+for a plain store, a vector for shards).
+
+Plus the restart case the persistent tier exists for: a server restarted
+over the same sidecar answers every request byte-identically *without a
+single recompute* (zero new stores).
+"""
+
+import io
+import json
+import socket
+
+import pytest
+
+from respdi.catalog import CatalogStore
+from respdi.catalog.sharding import ShardedCatalogStore
+from respdi.service import (
+    QueryService,
+    SocketQueryServer,
+    open_pcache,
+    serve,
+)
+from respdi.service.sharded import ShardedQueryService
+from respdi.table import Schema, Table
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+REQUESTS = [
+    {"op": "keyword", "text": "alpha", "k": 4},
+    {"op": "join", "values": ["a_1", "b_2", "g_3"], "k": 4},
+    {"op": "containment", "values": ["a_1", "a_2"], "threshold": 0.1, "k": 4},
+    {"op": "keyword", "text": "alpha", "k": 4},  # repeat: the hit path
+]
+
+
+def _table(tag, n=8):
+    rows = [(f"{tag}_{i}", float(i)) for i in range(n)]
+    return Table.from_rows(SCHEMA, rows)
+
+
+TABLES = {"alpha": _table("a"), "beta": _table("b"), "gamma": _table("g")}
+
+
+@pytest.fixture(scope="module")
+def catalogs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-diff")
+    CatalogStore.build(root / "plain", TABLES, **OPTS)
+    ShardedCatalogStore.build(root / "sharded", TABLES, num_shards=4, **OPTS)
+    return {"plain": root / "plain", "sharded": root / "sharded"}
+
+
+def _service(layout, directory, cache_size):
+    cls = ShardedQueryService if layout == "sharded" else QueryService
+    return cls(directory, cache_size=cache_size)
+
+
+def _via_stdin(service, pcache):
+    stream = io.StringIO(
+        "".join(json.dumps(request) + "\n" for request in REQUESTS)
+    )
+    out = io.StringIO()
+    serve(service, stream, out, pcache=pcache)
+    return out.getvalue().splitlines()
+
+
+def _via_socket(service, pcache):
+    server = SocketQueryServer(service, pcache=pcache)
+    server.start()
+    try:
+        with socket.create_connection(server.address, timeout=10) as conn:
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            writer = conn.makefile("w", encoding="utf-8", newline="\n")
+            lines = []
+            for request in REQUESTS:
+                writer.write(json.dumps(request) + "\n")
+                writer.flush()
+                lines.append(reader.readline().rstrip("\n"))
+            return lines
+    finally:
+        server.stop()
+
+
+def _results_only(lines):
+    return [
+        json.dumps(json.loads(line)["results"], sort_keys=True)
+        for line in lines
+    ]
+
+
+def test_twelve_way_response_identity(catalogs, tmp_path):
+    responses = {}
+    for layout, directory in catalogs.items():
+        for tier in ("nocache", "memory", "pcache"):
+            cache_size = 32 if tier == "memory" else 0
+            for transport, drive in (
+                ("stdin", _via_stdin), ("socket", _via_socket)
+            ):
+                pcache = None
+                if tier == "pcache":
+                    pcache = open_pcache(
+                        directory,
+                        directory=tmp_path / f"pc-{layout}-{transport}",
+                    )
+                service = _service(layout, directory, cache_size)
+                responses[(layout, tier, transport)] = drive(service, pcache)
+
+    assert len(responses) == 12
+    for lines in responses.values():
+        assert len(lines) == len(REQUESTS)
+        assert all(json.loads(line)["ok"] for line in lines)
+
+    # Within a layout: full-line identity across tiers and transports.
+    for layout in ("plain", "sharded"):
+        per_layout = {
+            key: lines
+            for key, lines in responses.items()
+            if key[0] == layout
+        }
+        reference_key = (layout, "nocache", "stdin")
+        reference = per_layout[reference_key]
+        for key, lines in per_layout.items():
+            assert lines == reference, (
+                f"{key} diverged from {reference_key}"
+            )
+
+    # Across layouts: results identity (generation shapes differ).
+    plain = _results_only(responses[("plain", "nocache", "stdin")])
+    sharded = _results_only(responses[("sharded", "nocache", "stdin")])
+    assert plain == sharded
+
+
+@pytest.mark.parametrize("layout", ["plain", "sharded"])
+def test_restart_warm_starts_from_sidecar_with_zero_recompute(
+    catalogs, tmp_path, layout
+):
+    directory = catalogs[layout]
+    sidecar = tmp_path / f"sidecar-{layout}"
+
+    first_pcache = open_pcache(directory, directory=sidecar)
+    first = _via_socket(_service(layout, directory, 0), first_pcache)
+    assert first_pcache.stats()["stores"] == 3  # three distinct queries
+
+    # "Restart": brand-new service and pcache objects over the same disk.
+    second_pcache = open_pcache(directory, directory=sidecar)
+    second = _via_socket(_service(layout, directory, 0), second_pcache)
+    assert second == first  # byte-identical responses after restart
+    stats = second_pcache.stats()
+    assert stats["stores"] == 0  # warm start: nothing recomputed
+    assert stats["hits"] == len(REQUESTS) and stats["misses"] == 0
+
+
+def test_stdin_and_socket_agree_after_reshard_in_place(tmp_path):
+    """Composes the two tentpole satellites: an in-place reshard under a
+    serving directory path, then both transports against the swapped-in
+    sharded catalog — identical results to the pre-reshard plain ones."""
+    from respdi.catalog.sharding import reshard
+
+    directory = tmp_path / "cat"
+    CatalogStore.build(directory, TABLES, **OPTS)
+    before = _results_only(_via_stdin(QueryService(directory, cache_size=0), None))
+
+    store = reshard(directory, num_shards=4, in_place=True)
+    assert store.directory == directory and store.num_shards == 4
+
+    after_stdin = _via_stdin(ShardedQueryService(directory), None)
+    after_socket = _via_socket(ShardedQueryService(directory), None)
+    assert _results_only(after_stdin) == before
+    assert [json.loads(l)["results"] for l in after_stdin] == [
+        json.loads(l)["results"] for l in after_socket
+    ]

@@ -1,0 +1,205 @@
+"""Concurrency stress for the socket serve path: shed load, stay fair.
+
+Many clients, several tenants, one server with per-tenant quotas and a
+bounded inflight gate.  The contracts under load:
+
+* **ledger balance** — admitted + rejected == received, per tenant and
+  globally: whatever the interleaving, no request is lost or
+  double-counted;
+* **quota enforcement** — the throttled tenant actually sees
+  ``overloaded`` rejections with usable ``retry_after_ms`` hints, while
+  unthrottled tenants are *never* quota-rejected;
+* **fairness/latency** — well-behaved tenants keep a bounded p99 while
+  the noisy tenant hammers (a generous gate that catches convoys, not
+  scheduler jitter);
+* **correctness under load** — every successful response is one of the
+  known-good rendered answers, bad lines stay in-band, and the server
+  survives to answer a final ``stats``.
+
+The ≥100-client matrix is ``slow``-marked; a short smoke version runs
+in the default suite.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from respdi.catalog import CatalogStore
+from respdi.service import (
+    AdmissionController,
+    QueryService,
+    SocketQueryServer,
+    handle_request,
+)
+from respdi.table import Schema, Table
+
+SCHEMA = Schema([("key", "categorical"), ("value", "numeric")])
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+#: Catches a well-behaved tenant blocked behind the noisy one (convoy),
+#: not scheduler noise.
+P99_GATE_SECONDS = 2.0
+
+QUERIES = [
+    {"op": "keyword", "text": "alpha", "k": 3},
+    {"op": "keyword", "text": "beta", "k": 3},
+    {"op": "join", "values": ["a_1", "b_2"], "k": 3},
+]
+
+
+def _tables():
+    out = {}
+    for tag in ("alpha", "beta", "gamma"):
+        rows = [(f"{tag[0]}_{i}", float(i)) for i in range(8)]
+        out[tag] = Table.from_rows(SCHEMA, rows)
+    return out
+
+
+def _known_good(catalog_dir):
+    service = QueryService(catalog_dir, cache_size=0)
+    return {
+        json.dumps(
+            handle_request(service, query)["results"], sort_keys=True
+        )
+        for query in QUERIES
+    }
+
+
+def _client(address, tenant, requests, outcomes, latencies, errors):
+    try:
+        with socket.create_connection(address, timeout=30) as conn:
+            reader = conn.makefile("r", encoding="utf-8", newline="\n")
+            writer = conn.makefile("w", encoding="utf-8", newline="\n")
+            for index in range(requests):
+                request = dict(QUERIES[index % len(QUERIES)], tenant=tenant)
+                started = time.perf_counter()
+                writer.write(json.dumps(request) + "\n")
+                writer.flush()
+                response = json.loads(reader.readline())
+                latencies.append(time.perf_counter() - started)
+                if response.get("ok"):
+                    outcomes.append(("ok", response))
+                elif response.get("error") == "overloaded":
+                    assert response["retry_after_ms"] >= 1
+                    outcomes.append(("shed", response))
+                    time.sleep(
+                        min(response["retry_after_ms"], 20) / 1000.0
+                    )
+                else:
+                    raise AssertionError(f"unexpected response: {response}")
+    except Exception as exc:  # noqa: BLE001 - collected for the assert
+        errors.append(exc)
+
+
+def _run_stress(tmp_path, clients, requests_each, noisy_share):
+    catalog_dir = tmp_path / "cat"
+    CatalogStore.build(catalog_dir, _tables(), **OPTS)
+    known_good = _known_good(catalog_dir)
+
+    service = QueryService(catalog_dir, cache_size=64)
+    admission = AdmissionController(
+        max_inflight=16,
+        quotas={"noisy": (50.0, 5.0)},  # tight enough to shed under load
+    )
+    server = SocketQueryServer(service, admission=admission)
+    server.start()
+
+    per_tenant_outcomes = {"noisy": [], "polite": []}
+    per_tenant_latencies = {"noisy": [], "polite": []}
+    errors = []
+    threads = []
+    for index in range(clients):
+        tenant = "noisy" if index < clients * noisy_share else "polite"
+        threads.append(
+            threading.Thread(
+                target=_client,
+                args=(
+                    server.address,
+                    tenant,
+                    requests_each,
+                    per_tenant_outcomes[tenant],
+                    per_tenant_latencies[tenant],
+                    errors,
+                ),
+            )
+        )
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+
+        # Ledger balance, per tenant and globally.
+        stats = admission.stats()
+        for tenant, row in stats["tenants"].items():
+            assert (
+                row["admitted"]
+                + row["rejected_quota"]
+                + row["rejected_inflight"]
+                == row["received"]
+            ), tenant
+        totals = stats["totals"]
+        assert (
+            totals["admitted"]
+            + totals["rejected_quota"]
+            + totals["rejected_inflight"]
+            == totals["received"]
+        )
+        # Every request a client sent was received by admission.
+        sent = sum(
+            len(outcomes) for outcomes in per_tenant_outcomes.values()
+        )
+        assert totals["received"] == sent
+
+        # The noisy tenant was actually shed; polite never quota-shed.
+        assert stats["tenants"]["noisy"]["rejected_quota"] > 0
+        assert stats["tenants"]["polite"]["rejected_quota"] == 0
+
+        # Correctness under load: every ok answer is a known-good one.
+        for outcomes in per_tenant_outcomes.values():
+            for kind, response in outcomes:
+                if kind == "ok":
+                    rendered = json.dumps(
+                        response["results"], sort_keys=True
+                    )
+                    assert rendered in known_good
+
+        # Fairness: the polite tenant's p99 stays bounded.
+        polite = sorted(per_tenant_latencies["polite"])
+        assert polite, "polite tenant never completed a request"
+        p99 = polite[max(1, -(-99 * len(polite) // 100)) - 1]
+        assert p99 < P99_GATE_SECONDS, f"polite p99 {p99:.3f}s"
+
+        # The server is still healthy enough to answer stats in-band.
+        with socket.create_connection(server.address, timeout=10) as conn:
+            conn.sendall(b'{"op": "stats"}\n')
+            report = json.loads(
+                conn.makefile("r", encoding="utf-8").readline()
+            )
+        assert report["ok"]
+        assert report["stats"]["admission"]["totals"]["received"] == sent
+        assert report["stats"]["latency"]["tenant.polite"]["count"] > 0
+        assert server.connections_accepted >= clients  # + the stats conn
+    finally:
+        server.stop()
+    return stats
+
+
+def test_serve_stress_smoke(tmp_path):
+    _run_stress(tmp_path, clients=12, requests_each=6, noisy_share=0.5)
+
+
+@pytest.mark.slow
+def test_serve_stress_hundred_clients(tmp_path):
+    stats = _run_stress(
+        tmp_path, clients=100, requests_each=8, noisy_share=0.4
+    )
+    # At this scale the inflight gate engages too (16 slots, 100 clients):
+    # both shedding mechanisms are exercised, not just quotas.
+    assert stats["totals"]["received"] >= 800
+    assert stats["peak_inflight"] <= 16
