@@ -1,0 +1,198 @@
+"""E22 — Matcher strength views: coverage ladder and FuzzyGain (§2+§5).
+
+Reproduced shapes:
+* entity coverage climbs **strictly** up the strength ladder
+  (Exact < Normalized < Fuzzy) on a registry corrupted by the
+  name-variant noise model — each strength recovers a damage class the
+  weaker one is blind to, and link sets stay nested throughout;
+* precision is perfect at the bottom of the ladder and only the fuzzy
+  step pays any of it (the coverage/precision dial a tenant turns when
+  picking ``match_strength``);
+* per-group **FuzzyGain** localizes the noise: a group whose records are
+  transcribed cleanly gains nothing from the fuzzy step, while the
+  group corrupted at high intensity gains most of its coverage there —
+  the harness surfaces *whose* records needed the stronger matcher;
+* the fuzzy threshold trades the gain against precision.
+"""
+
+import pytest
+from benchmarks.conftest import print_table
+
+from respdi.datagen.corruption import NameNoiseModel
+from respdi.datagen.duplicates import generate_gold_registry
+from respdi.linkage import build_view, evaluate_strengths
+
+
+def make_registry(rng, group_intensity=None, n_entities=250):
+    return generate_gold_registry(
+        n_entities,
+        duplicates_per_entity=2,
+        noise=NameNoiseModel(),
+        group_intensity=group_intensity,
+        rng=rng,
+    )
+
+
+@pytest.fixture(scope="module")
+def strength_ladder():
+    reg = make_registry(rng=201)
+    report = evaluate_strengths(
+        reg.table,
+        "_entity",
+        ["name", "zip"],
+        group_columns=["group"],
+        threshold=0.85,
+    )
+    rows = [
+        (
+            strength,
+            report.views[strength].links.num_links,
+            report.views[strength].links.num_clusters,
+            round(report.views[strength].quality.precision, 3),
+            round(report.views[strength].quality.recall, 3),
+            round(report.views[strength].entity_coverage, 3),
+        )
+        for strength in report.strengths
+    ]
+    print_table(
+        "E22a: matcher strength ladder (250 entities, 2 dups each, "
+        "keys=name+zip)",
+        ["strength", "links", "clusters", "precision", "recall", "coverage"],
+        rows,
+    )
+    return report
+
+
+def test_coverage_strictly_monotone_up_the_ladder(strength_ladder):
+    coverages = [
+        strength_ladder.views[s].entity_coverage
+        for s in strength_ladder.strengths
+    ]
+    assert coverages[0] < coverages[1] < coverages[2]
+    assert strength_ladder.nested
+
+
+def test_only_the_fuzzy_step_pays_precision(strength_ladder):
+    precisions = [
+        strength_ladder.views[s].quality.precision
+        for s in strength_ladder.strengths
+    ]
+    assert precisions[0] == precisions[1] == 1.0
+    assert precisions[2] <= 1.0
+    assert precisions[2] > 0.8  # and not much of it at threshold 0.85
+
+
+def test_recall_never_drops_with_strength(strength_ladder):
+    recalls = [
+        strength_ladder.views[s].quality.recall
+        for s in strength_ladder.strengths
+    ]
+    assert recalls == sorted(recalls)
+    assert recalls[-1] > recalls[0] + 0.3
+
+
+@pytest.fixture(scope="module")
+def group_gain():
+    # Green records are transcribed cleanly (intensity 0: duplicates are
+    # byte-identical); blue carries heavy name noise.  FuzzyGain should
+    # attribute the recovered coverage entirely to blue.
+    reg = make_registry(rng=102, group_intensity={"blue": 1.5, "green": 0.0})
+    report = evaluate_strengths(
+        reg.table, "_entity", ["name"], group_columns=["group"], threshold=0.85
+    )
+    gains = report.group_coverage_gains["fuzzy"]
+    rows = [
+        (
+            "|".join(group),
+            round(report.views["exact"].group_coverage.get(group, 0.0), 3),
+            round(report.views["normalized"].group_coverage.get(group, 0.0), 3),
+            round(report.views["fuzzy"].group_coverage.get(group, 0.0), 3),
+            round(gains.get(group, 0.0), 3),
+        )
+        for group in sorted(gains, key=repr)
+    ]
+    print_table(
+        "E22b: per-group coverage and FuzzyGain "
+        "(blue corrupted at 1.5x, green clean)",
+        ["group", "exact", "normalized", "fuzzy", "fuzzy gain"],
+        rows,
+    )
+    return report
+
+
+def test_fuzzygain_localizes_the_noisy_group(group_gain):
+    gains = group_gain.group_coverage_gains["fuzzy"]
+    assert gains[("green",)] == pytest.approx(0.0, abs=0.05)
+    assert gains[("blue",)] > 0.3
+    # The clean group is fully covered by the cheapest view already.
+    assert group_gain.views["exact"].group_coverage[("green",)] == 1.0
+
+
+@pytest.fixture(scope="module")
+def threshold_dial():
+    reg = make_registry(rng=103)
+    rows = []
+    reports = {}
+    for threshold in (0.95, 0.9, 0.85):
+        report = evaluate_strengths(
+            reg.table,
+            "_entity",
+            ["name"],
+            group_columns=["group"],
+            strengths=("normalized", "fuzzy"),
+            threshold=threshold,
+        )
+        reports[threshold] = report
+        rows.append(
+            (
+                threshold,
+                round(report.views["fuzzy"].quality.precision, 3),
+                round(report.views["fuzzy"].entity_coverage, 3),
+                round(report.fuzzy_gain, 3),
+            )
+        )
+    print_table(
+        "E22c: fuzzy threshold vs precision / coverage / FuzzyGain",
+        ["threshold", "precision", "coverage", "fuzzy gain"],
+        rows,
+    )
+    return reports
+
+
+def test_lower_threshold_buys_gain_with_precision(threshold_dial):
+    strict, lenient = threshold_dial[0.95], threshold_dial[0.85]
+    assert lenient.fuzzy_gain >= strict.fuzzy_gain
+    assert (
+        lenient.views["fuzzy"].quality.precision
+        <= strict.views["fuzzy"].quality.precision + 1e-9
+    )
+
+
+def test_benchmark_exact_view(benchmark):
+    reg = make_registry(rng=104)
+    view = build_view("exact", ["name"])
+    benchmark(lambda: view.link(reg.table))
+
+
+def test_benchmark_normalized_view(benchmark):
+    reg = make_registry(rng=104)
+    view = build_view("normalized", ["name"])
+    benchmark(lambda: view.link(reg.table))
+
+
+def test_benchmark_fuzzy_view(benchmark):
+    reg = make_registry(rng=104, n_entities=120)
+    view = build_view("fuzzy", ["name"], threshold=0.9)
+    benchmark.pedantic(lambda: view.link(reg.table), rounds=3, iterations=1)
+
+
+def test_benchmark_full_harness(benchmark):
+    reg = make_registry(rng=105, n_entities=80)
+    benchmark.pedantic(
+        lambda: evaluate_strengths(
+            reg.table, "_entity", ["name"], group_columns=["group"],
+            threshold=0.9,
+        ),
+        rounds=3,
+        iterations=1,
+    )

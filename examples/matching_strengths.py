@@ -1,0 +1,68 @@
+"""Matcher strength views and the gold-set coverage harness (§2+§5).
+
+The same dirty registry is linked at three strengths — Exact (raw key
+equality), Normalized (canonicalized equality), Fuzzy (similarity over
+blocked pairs) — and the harness scores each against the ground-truth
+entity ids: pairwise precision/recall, per-group entity coverage, and
+FuzzyGain, the coverage each strength step recovers.  The punchline is
+*whose* records needed the stronger matcher: the group transcribed
+cleanly is covered by exact matching alone, while the noisy group only
+becomes visible under the fuzzy view.
+
+Run:  python examples/matching_strengths.py
+"""
+
+from respdi.datagen import NameNoiseModel, generate_gold_registry
+from respdi.linkage import build_view, canonicalize, evaluate_strengths
+
+
+def main() -> None:
+    # Green duplicates are byte-identical copies; blue duplicates carry
+    # typos, diacritics, nicknames, token swaps, case and punctuation
+    # noise at 1.5x the model's default rates.
+    registry = generate_gold_registry(
+        300,
+        duplicates_per_entity=2,
+        noise=NameNoiseModel(),
+        group_intensity={"blue": 1.5, "green": 0.0},
+        rng=7,
+    )
+    print(
+        f"gold registry: {registry.n_records} records, "
+        f"{registry.n_pairs} true duplicate pairs"
+    )
+
+    sample = registry.table.column("name")[0]
+    print(f"canonicalize({sample!r}) = {canonicalize(sample)!r}\n")
+
+    # The views share one interface; each returns the transitively
+    # closed link set at its strength.
+    for strength in ("exact", "normalized", "fuzzy"):
+        links = build_view(strength, ["name"], threshold=0.85).link(
+            registry.table
+        )
+        print(
+            f"{strength:<11} {links.num_links:>5} links, "
+            f"{links.num_clusters:>4} clusters"
+        )
+    print()
+
+    report = evaluate_strengths(
+        registry.table,
+        "_entity",
+        ["name"],
+        group_columns=["group"],
+        threshold=0.85,
+    )
+    print(report.render())
+    print()
+    gains = report.group_coverage_gains["fuzzy"]
+    noisy = max(gains, key=lambda group: gains[group])
+    print(
+        f"FuzzyGain localizes the noise: group {'|'.join(noisy)} recovers "
+        f"{gains[noisy]:.1%} of its entities only under the fuzzy view."
+    )
+
+
+if __name__ == "__main__":
+    main()

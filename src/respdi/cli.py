@@ -83,6 +83,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable instrumentation and print a JSON metrics snapshot",
     )
+    match = parser.add_argument_group(
+        "matching strengths",
+        "compare Exact/Normalized/Fuzzy matcher views against a gold "
+        "entity column (see respdi.linkage.strength_eval)",
+    )
+    match.add_argument(
+        "--match-eval",
+        action="store_true",
+        help="evaluate matcher strength views against --entity-column",
+    )
+    match.add_argument(
+        "--entity-column",
+        default="_entity",
+        help="gold entity-id column for --match-eval (default _entity)",
+    )
+    match.add_argument(
+        "--match-keys",
+        default=None,
+        help="comma-separated key columns the matcher views block/compare on",
+    )
+    match.add_argument(
+        "--match-strengths",
+        default="exact,normalized,fuzzy",
+        help="comma-separated subsequence of exact,normalized,fuzzy",
+    )
+    match.add_argument(
+        "--match-threshold",
+        type=float,
+        default=0.85,
+        help="fuzzy-view similarity threshold (default 0.85)",
+    )
+    match.add_argument(
+        "--match-coverage-threshold",
+        type=int,
+        default=5,
+        help="min entities per group for match coverage MUPs (default 5)",
+    )
+    match.add_argument(
+        "--match-json",
+        default=None,
+        help="also write the strength-eval report payload as JSON here",
+    )
     return parser
 
 
@@ -190,6 +232,40 @@ def _print_serve_health() -> None:
         )
 
 
+def _run_match_eval(table, sensitive: List[str], args) -> None:
+    """Run the matcher-strength harness and print/dump its report."""
+    import json as _json
+
+    from respdi.linkage.strength_eval import evaluate_strengths
+
+    if not args.match_keys:
+        raise RespdiError("--match-eval requires --match-keys")
+    keys = [k.strip() for k in args.match_keys.split(",") if k.strip()]
+    strengths = [
+        s.strip() for s in args.match_strengths.split(",") if s.strip()
+    ]
+    group_columns = [
+        name for name in sensitive if name in set(table.column_names)
+    ]
+    with obs.trace("cli.match_eval", strengths=",".join(strengths)):
+        report = evaluate_strengths(
+            table,
+            entity_column=args.entity_column,
+            key_columns=keys,
+            group_columns=group_columns,
+            strengths=strengths,
+            threshold=args.match_threshold,
+            coverage_threshold=args.match_coverage_threshold,
+        )
+    print()
+    print(report.render())
+    if args.match_json:
+        with open(args.match_json, "w") as handle:
+            _json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nstrength report written to {args.match_json}")
+
+
 def catalog_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``respdi-catalog`` (delegates to respdi.catalog.cli)."""
     from respdi.catalog.cli import main as _catalog_main
@@ -221,6 +297,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.json:
         dump_json(label, args.json)
         print(f"\nlabel written to {args.json}")
+
+    if args.match_eval:
+        try:
+            _run_match_eval(table, sensitive, args)
+        except (RespdiError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if not args.audit:
         if args.metrics:

@@ -18,8 +18,17 @@ algorithms exactly:
   ground-truth error positions.
 """
 
-from respdi.datagen.corruption import inject_numeric_errors
-from respdi.datagen.duplicates import generate_person_registry
+from respdi.datagen.corruption import (
+    NameNoiseModel,
+    inject_numeric_errors,
+    typo_edit,
+)
+from respdi.datagen.duplicates import (
+    GoldRegistry,
+    generate_gold_registry,
+    generate_person_registry,
+    gold_pairs,
+)
 from respdi.datagen.lake import LakeSpec, SyntheticLake, generate_lake
 from respdi.datagen.missingness import inject_mar, inject_mcar, inject_mnar
 from respdi.datagen.population import PopulationModel, SensitiveAttribute
@@ -37,5 +46,10 @@ __all__ = [
     "inject_mar",
     "inject_mnar",
     "inject_numeric_errors",
+    "NameNoiseModel",
+    "typo_edit",
     "generate_person_registry",
+    "GoldRegistry",
+    "generate_gold_registry",
+    "gold_pairs",
 ]

@@ -1,14 +1,31 @@
-"""Error injection for correctness experiments.
+"""Error injection for correctness and matching experiments.
 
 Tutorial §2.4 argues an incorrect value in a small group moves that
 group's aggregates far more than the same error in a large group.  To
 measure that, we corrupt a complete table while keeping the clean values,
 so repair quality and per-group aggregate damage are exactly computable.
+
+The second half of the module is the **name-variant noise model** that
+feeds the matcher-strength evaluation (:mod:`respdi.linkage.views`):
+deterministic, rate-configurable corruptions sorted by which matcher
+strength recovers them —
+
+* *formatting* noise (case, punctuation, whitespace, token swaps,
+  diacritics) — invisible to Exact, recovered by Normalized
+  (canonicalization strips all of it);
+* *content* noise (character typos, nickname substitution) — invisible
+  to Normalized, recoverable only by the Fuzzy view's similarity
+  threshold.
+
+Every draw goes through one :class:`numpy.random.Generator` in a fixed
+order, so a seeded model produces byte-identical corrupted lakes across
+processes and ``PYTHONHASHSEED`` values.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -50,3 +67,161 @@ def inject_numeric_errors(
     corrupted[mask] = clean[mask] + signs * magnitude * std
     out = table.with_column(column, "numeric", corrupted)
     return out, mask, clean
+
+
+# -- name-variant noise --------------------------------------------------------
+
+#: Diacritic substitutions: plain ASCII letter -> accented variant.  The
+#: canonicalizer's NFKD pass strips these, so diacritic noise is exactly
+#: the "Normalized recovers it" class.
+DIACRITICS: Dict[str, str] = {
+    "a": "á", "e": "é", "i": "í", "o": "ó", "u": "ü", "n": "ñ",
+    "c": "ç", "y": "ý", "s": "š", "z": "ž",
+}
+
+#: Nickname map: formal first name -> common short form.  Covers the
+#: synthetic registry's name pools (:mod:`respdi.datagen.duplicates`)
+#: plus classics, so nickname noise actually fires there.  Nickname
+#: substitution survives canonicalization (the tokens really differ) —
+#: only a fuzzy comparator can bridge it, and only partially.
+NICKNAMES: Dict[str, str] = {
+    "alexandria": "alex",
+    "christopher": "chris",
+    "sebastienne": "seb",
+    "maximiliane": "maxi",
+    "theodorique": "theo",
+    "annabellina": "anna",
+    "konstantine": "kosta",
+    "wilhelmenia": "mina",
+    "robert": "bob",
+    "william": "bill",
+    "elizabeth": "liz",
+    "katherine": "kate",
+    "margaret": "meg",
+}
+
+
+def typo_edit(value: str, rng: np.random.Generator) -> str:
+    """One random character edit (delete / duplicate / swap-adjacent)."""
+    if len(value) < 2:
+        return value + "x"
+    kind = int(rng.integers(3))
+    position = int(rng.integers(len(value) - 1))
+    if kind == 0:  # delete
+        return value[:position] + value[position + 1 :]
+    if kind == 1:  # duplicate
+        return value[: position + 1] + value[position] + value[position + 1 :]
+    chars = list(value)
+    chars[position], chars[position + 1] = chars[position + 1], chars[position]
+    return "".join(chars)
+
+
+@dataclass(frozen=True)
+class NameNoiseModel:
+    """Deterministic name-variant generator with per-kind rates.
+
+    Each corruption kind fires independently with its configured
+    probability, in a **fixed order** (typo, diacritic, nickname, token
+    swap, case, punctuation) so the rng consumption — and hence the
+    output — is a pure function of (name, generator state).  ``scaled``
+    derives a per-group intensity variant, modeling transcription
+    quality that differs across communities.
+    """
+
+    typo_rate: float = 0.25
+    diacritic_rate: float = 0.2
+    nickname_rate: float = 0.2
+    token_swap_rate: float = 0.25
+    case_rate: float = 0.3
+    punct_rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "typo_rate", "diacritic_rate", "nickname_rate",
+            "token_swap_rate", "case_rate", "punct_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SpecificationError(f"{name} {rate} not in [0, 1]")
+
+    def scaled(self, intensity: float) -> "NameNoiseModel":
+        """This model with every rate multiplied by *intensity* (capped at 1)."""
+        if intensity < 0:
+            raise SpecificationError("intensity must be >= 0")
+        return NameNoiseModel(
+            typo_rate=min(1.0, self.typo_rate * intensity),
+            diacritic_rate=min(1.0, self.diacritic_rate * intensity),
+            nickname_rate=min(1.0, self.nickname_rate * intensity),
+            token_swap_rate=min(1.0, self.token_swap_rate * intensity),
+            case_rate=min(1.0, self.case_rate * intensity),
+            punct_rate=min(1.0, self.punct_rate * intensity),
+        )
+
+    # -- the individual corruptions (always drawn, applied per rate) ---------
+
+    def corrupt(self, name: str, rng: np.random.Generator) -> str:
+        """One corrupted variant of *name* under this model's rates.
+
+        Each kind's gate draw happens unconditionally and in a fixed
+        order, so the output is a deterministic function of the
+        generator state — no hidden dependence on dict order or
+        ``hash()``.
+        """
+        generator = ensure_rng(rng)
+        dirty = name
+        if generator.random() < self.typo_rate:
+            dirty = typo_edit(dirty, generator)
+        if generator.random() < self.diacritic_rate:
+            dirty = self._add_diacritic(dirty, generator)
+        if generator.random() < self.nickname_rate:
+            dirty = self._nickname(dirty)
+        if generator.random() < self.token_swap_rate:
+            dirty = self._token_swap(dirty, generator)
+        if generator.random() < self.case_rate:
+            dirty = self._case_noise(dirty, generator)
+        if generator.random() < self.punct_rate:
+            dirty = self._punct_noise(dirty, generator)
+        return dirty
+
+    @staticmethod
+    def _add_diacritic(value: str, rng: np.random.Generator) -> str:
+        positions = [i for i, ch in enumerate(value) if ch in DIACRITICS]
+        if not positions:
+            return value
+        position = positions[int(rng.integers(len(positions)))]
+        return (
+            value[:position] + DIACRITICS[value[position]] + value[position + 1 :]
+        )
+
+    @staticmethod
+    def _nickname(value: str) -> str:
+        tokens = value.split()
+        return " ".join(NICKNAMES.get(token, token) for token in tokens)
+
+    @staticmethod
+    def _token_swap(value: str, rng: np.random.Generator) -> str:
+        tokens = value.split()
+        if len(tokens) < 2:
+            return value
+        if int(rng.integers(2)) == 0:
+            # "first last" -> "last, first" (registry style)
+            return f"{tokens[-1]}, {' '.join(tokens[:-1])}"
+        return " ".join(reversed(tokens))
+
+    @staticmethod
+    def _case_noise(value: str, rng: np.random.Generator) -> str:
+        kind = int(rng.integers(3))
+        if kind == 0:
+            return value.upper()
+        if kind == 1:
+            return value.title()
+        return value.capitalize()
+
+    @staticmethod
+    def _punct_noise(value: str, rng: np.random.Generator) -> str:
+        kind = int(rng.integers(3))
+        if kind == 0:
+            return f" {value} "
+        if kind == 1:
+            return value.replace(" ", "  ", 1)
+        return value.replace(" ", " . ", 1)

@@ -11,13 +11,17 @@ informative.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
 from respdi._rng import RngLike, ensure_rng
+from respdi.datagen.corruption import NameNoiseModel
 from respdi.errors import SpecificationError
 from respdi.table import ColumnType, Schema, Table
+
+Pair = Tuple[int, int]
 
 # Small synthetic name pools; group "blue" names are deliberately longer
 # and more variable than group "green" ones so equal *rates* of typos do
@@ -135,3 +139,149 @@ def generate_person_registry(
     )
     table = Table.from_rows(schema, rows)
     return table.shuffle(generator)
+
+
+# -- gold-set emission ---------------------------------------------------------
+
+
+def gold_pairs(table: Table, entity_column: str = "_entity") -> Set[Pair]:
+    """Every true duplicate pair ``(i, j)``, ``i < j``, from entity ids.
+
+    The *gold-pair emission* the matcher-strength harness evaluates
+    against: records sharing a non-missing entity id are duplicates.
+    """
+    table.schema.require([entity_column])
+    values = table.column(entity_column)
+    by_entity: Dict[object, List[int]] = {}
+    for i in range(len(table)):
+        if values[i] is not None:
+            by_entity.setdefault(values[i], []).append(i)
+    pairs: Set[Pair] = set()
+    for members in by_entity.values():
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                pairs.add((members[a], members[b]))
+    return pairs
+
+
+@dataclass(frozen=True)
+class GoldRegistry:
+    """A corrupted registry plus its emitted gold set.
+
+    ``table`` carries ``_entity`` (truth id), ``group``, ``name``,
+    ``zip``, ``age``; ``pairs`` is the full duplicate pair set over the
+    (shuffled) row order — exactly what
+    :func:`respdi.linkage.strength_eval.evaluate_strengths` consumes.
+    """
+
+    table: Table
+    pairs: frozenset
+    entity_column: str = "_entity"
+
+    @property
+    def n_records(self) -> int:
+        return len(self.table)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+
+def generate_gold_registry(
+    n_entities: int,
+    duplicates_per_entity: int = 1,
+    group_shares: Optional[Mapping[str, float]] = None,
+    noise: Optional[NameNoiseModel] = None,
+    group_intensity: Optional[Mapping[str, float]] = None,
+    zip_error_rate: float = 0.2,
+    missing_zip_rate: float = 0.1,
+    rng: RngLike = None,
+) -> GoldRegistry:
+    """A person registry corrupted by the name-variant noise model.
+
+    Like :func:`generate_person_registry`, but duplicates are corrupted
+    through a :class:`~respdi.datagen.corruption.NameNoiseModel` — so
+    the damage spans the full recovery ladder (case/punctuation/token
+    swaps/diacritics for the Normalized view, typos/nicknames for the
+    Fuzzy view) — and the ground-truth pair set is emitted alongside
+    the shuffled table.
+
+    *group_intensity* scales the model's rates per group (default 1.0
+    everywhere): raising one group's intensity models transcription
+    quality that differs across communities, which is what makes
+    per-group FuzzyGain informative.
+
+    Determinism: every draw flows through the seeded generator in a
+    fixed iteration order (groups sorted by name), so one seed yields a
+    byte-identical registry and gold set in any process.
+    """
+    if n_entities < 1:
+        raise SpecificationError("need at least one entity")
+    if duplicates_per_entity < 0:
+        raise SpecificationError("duplicates_per_entity must be >= 0")
+    if not 0.0 <= zip_error_rate <= 1.0:
+        raise SpecificationError("zip_error_rate not in [0, 1]")
+    if not 0.0 <= missing_zip_rate <= 1.0:
+        raise SpecificationError("missing_zip_rate not in [0, 1]")
+    group_shares = dict(group_shares or {"blue": 0.5, "green": 0.5})
+    unknown = set(group_shares) - set(_FIRST_NAMES)
+    if unknown:
+        raise SpecificationError(
+            f"unknown groups {sorted(unknown)}; available: "
+            f"{sorted(_FIRST_NAMES)}"
+        )
+    noise = noise if noise is not None else NameNoiseModel()
+    intensities = dict(group_intensity or {})
+    unknown = set(intensities) - set(group_shares)
+    if unknown:
+        raise SpecificationError(
+            f"group_intensity given for unknown groups {sorted(unknown)}"
+        )
+    models = {
+        group: noise.scaled(intensities.get(group, 1.0))
+        for group in sorted(group_shares)
+    }
+    generator = ensure_rng(rng)
+
+    groups = sorted(group_shares)
+    shares = np.array([group_shares[g] for g in groups], dtype=float)
+    shares = shares / shares.sum()
+
+    rows: List[Tuple] = []
+    for entity in range(n_entities):
+        group = groups[int(generator.choice(len(groups), p=shares))]
+        first = _FIRST_NAMES[group][int(generator.integers(len(_FIRST_NAMES[group])))]
+        last = _SURNAMES[int(generator.integers(len(_SURNAMES)))]
+        name = f"{first} {last}"
+        zip_code = f"{int(generator.integers(10000, 99999))}"
+        age = float(generator.integers(18, 90))
+        entity_id = f"e{entity:06d}"
+        rows.append((entity_id, group, name, zip_code, age))
+        model = models[group]
+        for _ in range(duplicates_per_entity):
+            dirty_name = model.corrupt(name, generator)
+            dirty_zip: Optional[str] = zip_code
+            if generator.random() < zip_error_rate:
+                digits = list(zip_code)
+                digits[int(generator.integers(len(digits)))] = str(
+                    int(generator.integers(10))
+                )
+                dirty_zip = "".join(digits)
+            if generator.random() < missing_zip_rate:
+                dirty_zip = None
+            dirty_age = age + float(generator.integers(-2, 3))
+            rows.append((entity_id, group, dirty_name, dirty_zip, dirty_age))
+
+    schema = Schema(
+        [
+            ("_entity", ColumnType.CATEGORICAL),
+            ("group", ColumnType.CATEGORICAL),
+            ("name", ColumnType.CATEGORICAL),
+            ("zip", ColumnType.CATEGORICAL),
+            ("age", ColumnType.NUMERIC),
+        ]
+    )
+    table = Table.from_rows(schema, rows).shuffle(generator)
+    return GoldRegistry(
+        table=table, pairs=frozenset(gold_pairs(table, "_entity"))
+    )

@@ -94,9 +94,12 @@ KNOWN_POINTS = frozenset(
         "ingest.scan",
         "ingest.apply",
         "ingest.cycle",
-        # respdi.pipeline — stage boundaries
+        # respdi.pipeline — stage boundaries (resolve runs only when a
+        # matcher strength is configured; the completeness gate's mini
+        # pipeline configures one)
         "pipeline.stage.tailor",
         "pipeline.stage.clean",
+        "pipeline.stage.resolve",
         "pipeline.stage.audit",
         "pipeline.stage.document",
     }

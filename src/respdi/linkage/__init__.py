@@ -16,6 +16,12 @@ those measures:
 * :mod:`respdi.linkage.evaluation` — pairwise precision/recall against
   ground truth, **per-group recall** and the linkage parity difference
   (does ER miss minority duplicates more often?);
+* :mod:`respdi.linkage.views` — the multi-strength matcher views
+  (Exact / Normalized / Fuzzy behind one :class:`MatcherView`
+  interface), nested by construction;
+* :mod:`respdi.linkage.strength_eval` — the gold-set harness comparing
+  strengths: precision/recall, per-group entity coverage, and
+  **FuzzyGain** (coverage recovered by each strength step);
 * :mod:`respdi.datagen.duplicates` — dirty-duplicate generation with
   group-dependent corruption rates, the controlled setting in which the
   fairness measures are exercised.
@@ -42,6 +48,22 @@ from respdi.linkage.similarity import (
     numeric_similarity,
     token_jaccard,
 )
+from respdi.linkage.strength_eval import (
+    StrengthEvalReport,
+    ViewEvaluation,
+    evaluate_strengths,
+)
+from respdi.linkage.views import (
+    STRENGTH_ORDER,
+    CanonicalSimilarity,
+    ExactView,
+    FuzzyView,
+    MatcherLinks,
+    MatcherView,
+    NormalizedView,
+    build_view,
+    canonicalize,
+)
 
 __all__ = [
     "levenshtein_distance",
@@ -60,4 +82,16 @@ __all__ = [
     "deduplicate",
     "LinkageQualityReport",
     "evaluate_linkage",
+    "STRENGTH_ORDER",
+    "canonicalize",
+    "CanonicalSimilarity",
+    "MatcherView",
+    "MatcherLinks",
+    "ExactView",
+    "NormalizedView",
+    "FuzzyView",
+    "build_view",
+    "ViewEvaluation",
+    "StrengthEvalReport",
+    "evaluate_strengths",
 ]

@@ -1,0 +1,401 @@
+"""Gold-set evaluation of matcher strengths: precision, coverage, FuzzyGain.
+
+Given a table with ground-truth entity ids (a *gold set*, e.g. from
+:func:`respdi.datagen.duplicates.generate_gold_registry`), this harness
+runs every matcher strength (:mod:`respdi.linkage.views`) and reports,
+per view:
+
+* **pairwise precision / recall** against the gold pairs
+  (:func:`respdi.linkage.evaluation.evaluate_linkage`, including
+  per-group recall);
+* **entity coverage** — the fraction of gold entities whose records the
+  view consolidates into a single cluster.  An entity that stays split
+  is *not covered*: its person exists in the data twice, half-counted
+  everywhere downstream.  This is the §2 representation question made
+  operational: which matcher a tenant picks decides who counts;
+* **per-group coverage** and, through :mod:`respdi.coverage`, the
+  Maximal Uncovered Patterns of the *resolved-entity* table — which
+  demographic slices fall below the coverage threshold under each
+  strength;
+* **FuzzyGain** — the coverage recovered by each strength step
+  (exact → normalized → fuzzy), overall and per demographic group.  A
+  large per-group FuzzyGain says that group's records carry the
+  transcription noise only the stronger matcher survives — exactly the
+  disparity the responsible-integration audit should surface.
+
+Because view link sets are nested (see :mod:`respdi.linkage.views`),
+coverage is monotone non-decreasing across the strength order, and every
+gain is >= 0 by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from respdi import obs
+from respdi.coverage import CoverageAnalyzer
+from respdi.coverage.patterns import format_pattern
+from respdi.errors import SpecificationError
+from respdi.linkage.evaluation import LinkageQualityReport, evaluate_linkage
+from respdi.linkage.matching import FieldComparator
+from respdi.linkage.views import STRENGTH_ORDER, MatcherLinks, build_view
+from respdi.parallel import ExecutionContext
+from respdi.table import Table
+
+Group = Tuple[Hashable, ...]
+
+
+def _group_label(group: Group) -> str:
+    """Render a group tuple as a stable, JSON-able string key."""
+    return "|".join(str(part) for part in group)
+
+
+@dataclass(frozen=True)
+class ViewEvaluation:
+    """One matcher strength's full scorecard against the gold set."""
+
+    strength: str
+    links: MatcherLinks
+    quality: LinkageQualityReport
+    entity_coverage: float
+    covered_entities: int
+    group_coverage: Dict[Group, float]
+    group_covered: Dict[Group, int]
+    uncovered_patterns: Tuple[str, ...]
+
+    def to_payload(self) -> dict:
+        """Plain-JSON rendering (the serve/CLI/CI interchange form)."""
+        return {
+            "strength": self.strength,
+            "links": [list(pair) for pair in self.links.sorted_pairs()],
+            "num_links": self.links.num_links,
+            "clusters": self.links.num_clusters,
+            "precision": self.quality.precision,
+            "recall": self.quality.recall,
+            "f1": self.quality.f1,
+            "true_pairs": self.quality.true_pairs,
+            "predicted_pairs": self.quality.predicted_pairs,
+            "entity_coverage": self.entity_coverage,
+            "covered_entities": self.covered_entities,
+            "group_coverage": {
+                _group_label(group): value
+                for group, value in sorted(
+                    self.group_coverage.items(), key=lambda kv: repr(kv[0])
+                )
+            },
+            "uncovered_patterns": list(self.uncovered_patterns),
+        }
+
+
+@dataclass(frozen=True)
+class StrengthEvalReport:
+    """The cross-strength comparison: per-view scorecards plus the gains."""
+
+    entity_column: str
+    key_columns: Tuple[str, ...]
+    group_columns: Tuple[str, ...]
+    strengths: Tuple[str, ...]
+    n_records: int
+    n_entities: int
+    n_duplicated_entities: int
+    gold_pairs: int
+    views: Dict[str, ViewEvaluation]
+    #: Coverage recovered by each strength *step* (keyed by the stronger
+    #: strength; the first evaluated strength has no step).  Non-negative
+    #: whenever link sets are nested, which the views guarantee.
+    coverage_gains: Dict[str, float]
+    group_coverage_gains: Dict[str, Dict[Group, float]]
+
+    @property
+    def fuzzy_gain(self) -> float:
+        """Coverage recovered by the fuzzy step over the normalized view."""
+        return self.coverage_gains.get("fuzzy", 0.0)
+
+    @property
+    def nested(self) -> bool:
+        """True when every stronger view's link set contains the weaker's."""
+        for weaker, stronger in zip(self.strengths, self.strengths[1:]):
+            if not self.views[weaker].links.pairs <= self.views[stronger].links.pairs:
+                return False
+        return True
+
+    def to_payload(self) -> dict:
+        return {
+            "entity_column": self.entity_column,
+            "key_columns": list(self.key_columns),
+            "group_columns": list(self.group_columns),
+            "strengths": list(self.strengths),
+            "n_records": self.n_records,
+            "n_entities": self.n_entities,
+            "n_duplicated_entities": self.n_duplicated_entities,
+            "gold_pairs": self.gold_pairs,
+            "nested": self.nested,
+            "views": {
+                strength: view.to_payload()
+                for strength, view in self.views.items()
+            },
+            "coverage_gains": dict(self.coverage_gains),
+            "group_coverage_gains": {
+                strength: {
+                    _group_label(group): value
+                    for group, value in sorted(
+                        gains.items(), key=lambda kv: repr(kv[0])
+                    )
+                }
+                for strength, gains in self.group_coverage_gains.items()
+            },
+            "fuzzy_gain": self.fuzzy_gain,
+        }
+
+    def render(self) -> str:
+        """Human-readable report (the ``respdi-audit`` rendering)."""
+        lines: List[str] = []
+        lines.append("=== matcher strength evaluation ===")
+        lines.append(
+            f"gold set: {self.n_records} records, {self.n_entities} entities "
+            f"({self.n_duplicated_entities} with duplicates), "
+            f"{self.gold_pairs} gold pairs; keys={list(self.key_columns)}"
+        )
+        header = (
+            f"{'strength':<11} {'links':>7} {'clusters':>8} {'precision':>9} "
+            f"{'recall':>7} {'coverage':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for strength in self.strengths:
+            view = self.views[strength]
+            lines.append(
+                f"{strength:<11} {view.links.num_links:>7} "
+                f"{view.links.num_clusters:>8} "
+                f"{view.quality.precision:>9.3f} "
+                f"{view.quality.recall:>7.3f} "
+                f"{view.entity_coverage:>8.3f}"
+            )
+        if self.coverage_gains:
+            steps = ", ".join(
+                f"{strength} +{gain:.3f}"
+                for strength, gain in self.coverage_gains.items()
+            )
+            lines.append(f"coverage gain by step: {steps}")
+        if self.group_columns:
+            lines.append("")
+            lines.append(
+                "per-group entity coverage "
+                f"(groups={list(self.group_columns)}):"
+            )
+            groups = sorted(
+                {
+                    group
+                    for view in self.views.values()
+                    for group in view.group_coverage
+                },
+                key=repr,
+            )
+            head = f"{'group':<16} " + " ".join(
+                f"{strength:>10}" for strength in self.strengths
+            )
+            if "fuzzy" in self.group_coverage_gains:
+                head += f" {'fuzzy_gain':>10}"
+            lines.append(head)
+            for group in groups:
+                row = f"{_group_label(group):<16} " + " ".join(
+                    f"{self.views[s].group_coverage.get(group, 0.0):>10.3f}"
+                    for s in self.strengths
+                )
+                if "fuzzy" in self.group_coverage_gains:
+                    gain = self.group_coverage_gains["fuzzy"].get(group, 0.0)
+                    row += f" {gain:>10.3f}"
+                lines.append(row)
+            for strength in self.strengths:
+                patterns = self.views[strength].uncovered_patterns
+                if patterns:
+                    lines.append(
+                        f"uncovered patterns ({strength}): "
+                        + "; ".join(patterns)
+                    )
+        return "\n".join(lines)
+
+
+def _entities(table: Table, entity_column: str) -> Dict[Hashable, List[int]]:
+    """Ground-truth entity -> sorted record indices (missing ids skipped)."""
+    values = table.column(entity_column)
+    by_entity: Dict[Hashable, List[int]] = {}
+    for i in range(len(table)):
+        if values[i] is not None:
+            by_entity.setdefault(values[i], []).append(i)
+    return by_entity
+
+
+def _coverage_for_view(
+    table: Table,
+    links: MatcherLinks,
+    by_entity: Dict[Hashable, List[int]],
+    group_columns: Sequence[str],
+    coverage_threshold: int,
+) -> Tuple[float, int, Dict[Group, float], Dict[Group, int], Tuple[str, ...]]:
+    """Entity coverage (overall, per group) plus the resolved-table MUPs."""
+    cluster_of = [0] * links.n_records
+    for cluster_id, members in enumerate(links.clusters):
+        for member in members:
+            cluster_of[member] = cluster_id
+
+    covered_first_records: List[int] = []
+    covered = 0
+    group_arrays = [table.column(name) for name in group_columns]
+    group_total: Dict[Group, int] = {}
+    group_found: Dict[Group, int] = {}
+    for _, members in sorted(by_entity.items(), key=lambda kv: repr(kv[0])):
+        is_covered = len({cluster_of[i] for i in members}) == 1
+        if is_covered:
+            covered += 1
+            covered_first_records.append(members[0])
+        if group_columns:
+            group = tuple(array[members[0]] for array in group_arrays)
+            group_total[group] = group_total.get(group, 0) + 1
+            if is_covered:
+                group_found[group] = group_found.get(group, 0) + 1
+
+    total = len(by_entity)
+    entity_coverage = covered / total if total else 1.0
+    group_coverage = {
+        group: group_found.get(group, 0) / count
+        for group, count in group_total.items()
+    }
+    group_covered = {
+        group: group_found.get(group, 0) for group in group_total
+    }
+
+    uncovered: Tuple[str, ...] = ()
+    if group_columns:
+        # MUPs of the *resolved-entity* table: one row per covered
+        # entity.  Domains come from the full record table, so a group
+        # the view resolves nothing of still surfaces as uncovered —
+        # absence is the finding, not an indexing error.
+        resolved = table.take(sorted(covered_first_records)).project(
+            list(group_columns)
+        )
+        domains = {name: table.unique(name) for name in group_columns}
+        if all(domains[name] for name in group_columns):
+            analyzer = CoverageAnalyzer(
+                resolved,
+                list(group_columns),
+                threshold=coverage_threshold,
+                domains=domains,
+            )
+            report = analyzer.mups()
+            uncovered = tuple(
+                format_pattern(report.attributes, pattern)
+                for pattern in report.mups
+            )
+    return entity_coverage, covered, group_coverage, group_covered, uncovered
+
+
+def evaluate_strengths(
+    table: Table,
+    entity_column: str,
+    key_columns: Sequence[str],
+    group_columns: Sequence[str] = (),
+    strengths: Sequence[str] = STRENGTH_ORDER,
+    threshold: float = 0.85,
+    window: int = 8,
+    coverage_threshold: int = 5,
+    comparators: Optional[Sequence[FieldComparator]] = None,
+    context: Optional[ExecutionContext] = None,
+    n_jobs: Optional[int] = None,
+) -> StrengthEvalReport:
+    """Run every strength in *strengths* against the gold set and compare.
+
+    *strengths* must be a subsequence of :data:`STRENGTH_ORDER` — the
+    step gains are only meaningful when each view is at least as strong
+    as its predecessor.  *coverage_threshold* is the minimum number of
+    resolved entities per demographic pattern for the
+    :mod:`respdi.coverage` MUP search.
+    """
+    table.schema.require([entity_column] + list(key_columns) + list(group_columns))
+    strengths = tuple(strengths)
+    if not strengths:
+        raise SpecificationError("need at least one strength to evaluate")
+    order = [s for s in STRENGTH_ORDER if s in strengths]
+    if tuple(order) != strengths or len(set(strengths)) != len(strengths):
+        raise SpecificationError(
+            f"strengths must be a subsequence of {STRENGTH_ORDER}, "
+            f"got {strengths}"
+        )
+    for name in group_columns:
+        if not table.schema[name].is_categorical:
+            raise SpecificationError(
+                f"group column {name!r} must be categorical"
+            )
+
+    by_entity = _entities(table, entity_column)
+    n_duplicated = sum(1 for members in by_entity.values() if len(members) > 1)
+    gold_pairs = sum(
+        len(members) * (len(members) - 1) // 2 for members in by_entity.values()
+    )
+
+    views: Dict[str, ViewEvaluation] = {}
+    with obs.trace(
+        "linkage.strength_eval", records=len(table), strengths=len(strengths)
+    ):
+        for strength in strengths:
+            view = build_view(
+                strength,
+                key_columns,
+                threshold=threshold,
+                window=window,
+                comparators=comparators,
+            )
+            links = view.link(table, context=context, n_jobs=n_jobs)
+            quality = evaluate_linkage(
+                table, set(links.pairs), entity_column, group_columns
+            )
+            (
+                entity_coverage,
+                covered,
+                group_coverage,
+                group_covered,
+                uncovered,
+            ) = _coverage_for_view(
+                table, links, by_entity, group_columns, coverage_threshold
+            )
+            views[strength] = ViewEvaluation(
+                strength=strength,
+                links=links,
+                quality=quality,
+                entity_coverage=entity_coverage,
+                covered_entities=covered,
+                group_coverage=group_coverage,
+                group_covered=group_covered,
+                uncovered_patterns=uncovered,
+            )
+
+    coverage_gains: Dict[str, float] = {}
+    group_gains: Dict[str, Dict[Group, float]] = {}
+    for weaker, stronger in zip(strengths, strengths[1:]):
+        coverage_gains[stronger] = (
+            views[stronger].entity_coverage - views[weaker].entity_coverage
+        )
+        gains: Dict[Group, float] = {}
+        groups = set(views[stronger].group_coverage) | set(
+            views[weaker].group_coverage
+        )
+        for group in groups:
+            gains[group] = views[stronger].group_coverage.get(
+                group, 0.0
+            ) - views[weaker].group_coverage.get(group, 0.0)
+        group_gains[stronger] = gains
+
+    return StrengthEvalReport(
+        entity_column=entity_column,
+        key_columns=tuple(key_columns),
+        group_columns=tuple(group_columns),
+        strengths=strengths,
+        n_records=len(table),
+        n_entities=len(by_entity),
+        n_duplicated_entities=n_duplicated,
+        gold_pairs=gold_pairs,
+        views=views,
+        coverage_gains=coverage_gains,
+        group_coverage_gains=group_gains,
+    )

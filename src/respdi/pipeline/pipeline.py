@@ -126,6 +126,9 @@ class ResponsibleIntegrationPipeline:
         policy: Optional[Policy] = None,
         imputers: Sequence[Imputer] = (),
         coverage_threshold: int = 10,
+        match_strength: Optional[str] = None,
+        match_keys: Sequence[str] = (),
+        match_threshold: float = 0.85,
         execution_context: Optional[ExecutionContext] = None,
         n_jobs: Optional[int] = None,
     ) -> None:
@@ -136,6 +139,24 @@ class ResponsibleIntegrationPipeline:
         self.policy = policy if policy is not None else RatioCollPolicy()
         self.imputers = list(imputers)
         self.coverage_threshold = coverage_threshold
+        #: Matcher strength for the optional duplicate-resolution stage
+        #: (``exact`` / ``normalized`` / ``fuzzy`` over *match_keys*).
+        #: The strength a tenant picks decides who gets linked — and so
+        #: who the audit/label stages count — which is why it is a
+        #: pipeline-level knob rather than a hard-coded policy.  The
+        #: view is built eagerly so a bad strength name fails at
+        #: construction, not mid-run.
+        self.match_view = None
+        if match_strength is not None:
+            if not match_keys:
+                raise SpecificationError(
+                    "match_strength needs match_keys to link on"
+                )
+            from respdi.linkage.views import build_view
+
+            self.match_view = build_view(
+                match_strength, match_keys, threshold=match_threshold
+            )
         #: Context for fan-out work the pipeline triggers (e.g. sketching
         #: a raw table mapping in :meth:`discover_sources`).  Resolved
         #: once at construction: explicit ``execution_context`` wins,
@@ -261,6 +282,25 @@ class ResponsibleIntegrationPipeline:
                         f"{type(imputer).__name__} ({before} missing cell(s))"
                     )
             obs.inc("pipeline.rows_cleaned", len(table))
+
+            if self.match_view is not None:
+                with _stage("resolve", timings):
+                    from respdi.linkage.matching import deduplicate
+
+                    links = self.match_view.link(
+                        table, context=self.execution_context
+                    )
+                    before_rows = len(table)
+                    table = deduplicate(table, set(links.pairs))
+                    provenance.append(
+                        f"resolved duplicates with the "
+                        f"{self.match_view.strength!r} matcher view over "
+                        f"keys {list(self.match_view.key_columns)}: "
+                        f"{before_rows} row(s) -> {len(table)} "
+                        f"({links.num_links} link(s), "
+                        f"{links.num_clusters} cluster(s))"
+                    )
+                obs.inc("pipeline.rows_resolved", len(table))
 
             audit: Optional[AuditReport] = None
             with _stage("audit", timings):

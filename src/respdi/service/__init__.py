@@ -37,6 +37,7 @@ from respdi.service.queries import (
     ContainmentQuery,
     JoinQuery,
     KeywordQuery,
+    MatchQuery,
     Query,
     UnionQuery,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "JoinQuery",
     "KeywordQuery",
     "LatencyLedger",
+    "MatchQuery",
     "PersistentResultCache",
     "Query",
     "QueryResultCache",

@@ -182,3 +182,71 @@ class ContainmentQuery(Query):
             {"table": table, "column": column, "containment": estimate}
             for (table, column), estimate in result
         ]
+
+
+@dataclass(frozen=True)
+class MatchQuery(Query):
+    """Link the query table's records at a chosen matcher strength.
+
+    The serve path's ``match_strength`` knob: the request carries its
+    own table (like :class:`UnionQuery`) plus a strength name, and the
+    answer is the transitively closed link set the corresponding
+    :mod:`respdi.linkage.views` view produces.  The computation is a
+    pure function of the request — it reads nothing from the catalog —
+    so plain and sharded services answer byte-identically and the
+    result caches under the query fingerprint like every other kind.
+    """
+
+    table: Optional[Table] = None
+    strength: str = "normalized"
+    keys: Tuple[str, ...] = ()
+    threshold: float = 0.85
+    window: int = 8
+
+    kind = "match"
+
+    def __post_init__(self) -> None:
+        from respdi.linkage.views import STRENGTH_ORDER
+
+        if self.table is None:
+            raise SpecificationError("MatchQuery requires a query table")
+        if not self.keys:
+            raise SpecificationError("MatchQuery requires key columns")
+        if self.strength not in STRENGTH_ORDER:
+            raise SpecificationError(
+                f"unknown match strength {self.strength!r}; pick one of "
+                f"{', '.join(STRENGTH_ORDER)}"
+            )
+
+    def _compute_fingerprint(self) -> str:
+        return _digest(
+            self.kind,
+            table_fingerprint(self.table),
+            self.strength,
+            repr(list(self.keys)),
+            repr(self.threshold),
+            str(self.window),
+        )
+
+    def run(self, index: DataLakeIndex) -> Any:
+        # *index* is deliberately unused: matching runs on the request's
+        # own table.  The serve machinery still pins a snapshot, so the
+        # response's generation field reports what was current.
+        from respdi.linkage.views import build_view
+
+        view = build_view(
+            self.strength, self.keys, threshold=self.threshold,
+            window=self.window,
+        )
+        return view.link(self.table)
+
+    def render(self, result: Any) -> List[dict]:
+        return [
+            {
+                "strength": result.strength,
+                "records": result.n_records,
+                "num_links": result.num_links,
+                "clusters": result.num_clusters,
+                "links": [[int(i), int(j)] for i, j in result.sorted_pairs()],
+            }
+        ]

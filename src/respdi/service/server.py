@@ -15,6 +15,8 @@ Request ops::
     {"op": "join", "csv": "query.csv", "column": "key", "k": 5}
     {"op": "union", "csv": "query.csv", "k": 5}
     {"op": "containment", "values": ["a", "b"], "threshold": 0.5, "k": 3}
+    {"op": "match", "csv": "dirty.csv", "match_strength": "fuzzy",
+     "keys": ["name"], "threshold": 0.85, "window": 8}
     {"op": "stats"}      # cache/snapshot counters
     {"op": "reload"}     # re-pin the latest committed generation
     {"op": "ping"}
@@ -41,6 +43,7 @@ from respdi.service.queries import (
     ContainmentQuery,
     JoinQuery,
     KeywordQuery,
+    MatchQuery,
     Query,
     UnionQuery,
 )
@@ -82,6 +85,14 @@ def build_query(request: Dict[str, Any]) -> Query:
             values=tuple(_require(request, "values")),
             threshold=float(_require(request, "threshold")),
             k=request.get("k"),
+        )
+    if op == "match":
+        return MatchQuery(
+            table=read_csv(_require(request, "csv")),
+            strength=str(_require(request, "match_strength")),
+            keys=tuple(_require(request, "keys")),
+            threshold=float(request.get("threshold", 0.85)),
+            window=int(request.get("window", 8)),
         )
     raise RespdiError(f"unknown op {op!r}")
 

@@ -362,6 +362,11 @@ class ShardedQueryService:
         return result
 
     def _scatter(self, query: Query, vector: ShardVector) -> Any:
+        if query.kind == "match":
+            # Matching is a pure function of the request's own table; no
+            # shard holds any of its state, so scatter degenerates to a
+            # single local evaluation (still cached under the vector).
+            return query.run(None)
         eligible = _eligible_snapshots(query, vector)
         if query.kind == "containment" and not set(query.values):
             # Match the unsharded path: signing an empty query set fails

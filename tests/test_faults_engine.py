@@ -319,7 +319,12 @@ def _mini_pipeline_run():
         ("M", float(i)) for i in range(10)
     ]
     table = Table.from_rows(schema, rows)
-    pipeline = ResponsibleIntegrationPipeline(("gender",))
+    # A matcher strength is configured so the run crosses the optional
+    # pipeline.stage.resolve point (the completeness gate requires every
+    # registered point to be exercised).
+    pipeline = ResponsibleIntegrationPipeline(
+        ("gender",), match_strength="normalized", match_keys=("gender",)
+    )
     spec = CountSpec(("gender",), {("F",): 2, ("M",): 2})
     return pipeline.run({"src": table}, spec, rng=0)
 

@@ -95,3 +95,47 @@ def test_levenshtein_triangle_inequality(a, b, c):
     assert levenshtein_distance(a, c) <= (
         levenshtein_distance(a, b) + levenshtein_distance(b, c)
     )
+
+
+# -- canonicalization properties (the Normalized view's equality domain) ------
+
+# Messy text: unicode letters with diacritics, punctuation, and spacing,
+# exercising every branch of the canonicalizer.
+messy = st.text(
+    alphabet="aáàâbcçdeéèfgñoöABÉÑ .,-_'/();:0123456789\t",
+    min_size=0,
+    max_size=24,
+)
+
+
+@given(a=messy)
+@settings(max_examples=200, deadline=None)
+def test_canonicalize_is_idempotent(a):
+    from respdi.linkage import canonicalize
+
+    once = canonicalize(a)
+    assert canonicalize(once) == once
+
+
+@given(a=messy)
+@settings(max_examples=150, deadline=None)
+def test_canonicalize_is_case_space_and_order_insensitive(a):
+    from respdi.linkage import canonicalize
+
+    assert canonicalize(a.upper()) == canonicalize(a.lower())
+    assert canonicalize(f"  {a}  ") == canonicalize(a)
+    tokens = (canonicalize(a) or "").split()
+    assert canonicalize(" ".join(reversed(tokens))) == canonicalize(a)
+
+
+@given(a=messy, b=messy)
+@settings(max_examples=150, deadline=None)
+def test_canonical_similarity_bounds_symmetry_identity(a, b):
+    from respdi.linkage import CanonicalSimilarity
+
+    sim = CanonicalSimilarity(jaro_winkler_similarity)
+    value = sim(a, b)
+    assert 0.0 <= value <= 1.0 + 1e-12
+    assert value == pytest.approx(sim(b, a))
+    assert sim(a, a) == 1.0
+    assert sim(None, b) == 0.0

@@ -1,0 +1,227 @@
+"""Matcher strength views: interface, nesting, canonicalization, wiring."""
+
+import pytest
+
+from respdi.datagen.corruption import NameNoiseModel, typo_edit
+from respdi.datagen.duplicates import generate_gold_registry, gold_pairs
+from respdi.errors import SpecificationError
+from respdi.linkage import (
+    STRENGTH_ORDER,
+    CanonicalSimilarity,
+    ExactView,
+    FuzzyView,
+    NormalizedView,
+    build_view,
+    canonicalize,
+    jaro_winkler_similarity,
+)
+from respdi.parallel import ExecutionContext
+from respdi.table import ColumnType, Schema, Table
+
+SCHEMA = Schema([("name", ColumnType.CATEGORICAL), ("city", ColumnType.CATEGORICAL)])
+
+
+def _table(names, cities=None):
+    cities = cities or ["x"] * len(names)
+    return Table.from_rows(SCHEMA, list(zip(names, cities)))
+
+
+# -- canonicalize --------------------------------------------------------------
+
+
+def test_canonicalize_formatting_variants_collapse():
+    assert canonicalize("  Núñez, Ana ") == "ana nunez"
+    assert canonicalize("ANA NUNEZ") == "ana nunez"
+    assert canonicalize("nunez,ana") == "ana nunez"
+    assert canonicalize("Ana  .  Nunez") == "ana nunez"
+
+
+def test_canonicalize_none_and_empty():
+    assert canonicalize(None) is None
+    assert canonicalize("") == ""
+    assert canonicalize("   ") == ""
+    assert canonicalize("!!!") == ""
+
+
+def test_canonicalize_is_a_function_of_content():
+    # Distinct content stays distinct: canonicalization never merges
+    # genuinely different names.
+    assert canonicalize("ana nunez") != canonicalize("ana nunes")
+
+
+def test_canonical_similarity_wrapper():
+    sim = CanonicalSimilarity(jaro_winkler_similarity)
+    assert sim("Núñez, Ana", "ana nunez") == 1.0
+    assert sim(None, "ana") == 0.0
+    assert sim("ana", None) == 0.0
+    raw = sim("Smithe, John", "jon smith")
+    assert 0.0 < raw < 1.0
+
+
+# -- the three strengths -------------------------------------------------------
+
+
+def test_exact_links_only_byte_equal_keys():
+    table = _table(["Ann Lee", "Ann Lee", "ann lee", "Lee, Ann"])
+    links = ExactView(["name"]).link(table)
+    assert links.pairs == frozenset({(0, 1)})
+    assert links.num_clusters == 3
+
+
+def test_normalized_links_formatting_variants():
+    table = _table(["Ann Lee", "ann  lee", "Lee, Ann", "ANN LEE", "bo kim"])
+    links = NormalizedView(["name"]).link(table)
+    assert links.pairs == frozenset({(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)})
+    assert links.num_clusters == 2
+
+
+def test_fuzzy_links_typos_too():
+    table = _table(["annabellina garcia", "annabelina garcia", "ann garcia x"])
+    links = FuzzyView(["name"], threshold=0.9).link(table)
+    assert (0, 1) in links.pairs  # single-char typo recovered
+
+
+def test_missing_keys_never_link():
+    table = _table([None, None, "ann"])
+    for view in (ExactView(["name"]), NormalizedView(["name"]),
+                 FuzzyView(["name"])):
+        assert view.link(table).pairs == frozenset()
+
+
+def test_multi_column_keys():
+    table = Table.from_rows(
+        SCHEMA, [("Ann Lee", "Oslo"), ("ann lee", "OSLO"), ("ann lee", "Bergen")]
+    )
+    links = NormalizedView(["name", "city"]).link(table)
+    assert links.pairs == frozenset({(0, 1)})
+
+
+# -- nesting -------------------------------------------------------------------
+
+
+def test_link_sets_nested_on_generated_gold_registry():
+    reg = generate_gold_registry(
+        80, duplicates_per_entity=2, rng=13, group_intensity={"green": 1.5}
+    )
+    previous = frozenset()
+    for strength in STRENGTH_ORDER:
+        links = build_view(strength, ["name"]).link(reg.table)
+        assert previous <= links.pairs, f"{strength} dropped weaker links"
+        previous = links.pairs
+
+
+def test_fuzzy_contains_normalized_even_at_threshold_one():
+    # Canonical-equality edges are seeded, not scored, so the containment
+    # holds even when the threshold rejects every scored pair.
+    table = _table(["Ann Lee", "Lee, Ann", "Ann  LEE", "bob kim"])
+    normalized = NormalizedView(["name"]).link(table)
+    fuzzy = FuzzyView(["name"], threshold=1.0).link(table)
+    assert normalized.pairs <= fuzzy.pairs
+
+
+# -- interface / factory -------------------------------------------------------
+
+
+def test_build_view_routes_all_strengths():
+    assert isinstance(build_view("exact", ["name"]), ExactView)
+    assert isinstance(build_view("normalized", ["name"]), NormalizedView)
+    view = build_view("fuzzy", ["name"], threshold=0.9, window=4)
+    assert isinstance(view, FuzzyView)
+    assert view.threshold == 0.9 and view.window == 4
+
+
+def test_build_view_rejects_unknown_strength():
+    with pytest.raises(SpecificationError):
+        build_view("psychic", ["name"])
+
+
+def test_views_require_key_columns():
+    with pytest.raises(SpecificationError):
+        ExactView([])
+    with pytest.raises(SpecificationError):
+        FuzzyView(["name"], window=1)
+
+
+def test_link_requires_columns_present():
+    from respdi.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        ExactView(["missing"]).link(_table(["a"]))
+
+
+def test_matcher_links_render_shape():
+    links = NormalizedView(["name"]).link(_table(["a b", "b a", "c"]))
+    assert links.sorted_pairs() == [(0, 1)]
+    assert links.num_links == 1
+    assert links.n_records == 3
+
+
+# -- parallel identity ---------------------------------------------------------
+
+
+def test_fuzzy_serial_and_threads_backends_agree():
+    reg = generate_gold_registry(60, duplicates_per_entity=2, rng=5)
+    view = FuzzyView(["name"])
+    serial = view.link(reg.table, context=ExecutionContext(backend="serial"))
+    threaded = view.link(
+        reg.table, context=ExecutionContext(backend="threads", n_jobs=4)
+    )
+    assert serial.pairs == threaded.pairs
+    assert serial.clusters == threaded.clusters
+
+
+# -- noise model / gold emission ----------------------------------------------
+
+
+def test_typo_edit_changes_string_deterministically():
+    import numpy as np
+
+    a = typo_edit("alexandria", np.random.default_rng(3))
+    b = typo_edit("alexandria", np.random.default_rng(3))
+    assert a == b != "alexandria"
+
+
+def test_noise_model_rate_zero_is_identity():
+    import numpy as np
+
+    model = NameNoiseModel().scaled(0.0)
+    assert model.corrupt("Ann Lee", np.random.default_rng(0)) == "Ann Lee"
+
+
+def test_noise_model_scaled_clamps_and_validates():
+    model = NameNoiseModel().scaled(100.0)
+    assert model.typo_rate <= 1.0
+    with pytest.raises(SpecificationError):
+        NameNoiseModel(typo_rate=1.5)
+
+
+def test_gold_registry_pairs_match_entity_column():
+    reg = generate_gold_registry(20, duplicates_per_entity=1, rng=2)
+    assert reg.pairs == frozenset(gold_pairs(reg.table))
+    assert reg.n_records == 40
+    assert reg.n_pairs == 20
+
+
+# -- pipeline wiring -----------------------------------------------------------
+
+
+def test_pipeline_resolve_stage_deduplicates():
+    from respdi.pipeline import ResponsibleIntegrationPipeline
+    from respdi.tailoring import CountSpec
+
+    reg = generate_gold_registry(40, duplicates_per_entity=1, rng=9)
+    spec = CountSpec(("group",), {("blue",): 25, ("green",): 25})
+    pipeline = ResponsibleIntegrationPipeline(
+        ("group",), match_strength="normalized", match_keys=("name",)
+    )
+    result = pipeline.run({"registry": reg.table}, spec, rng=1)
+    assert "resolve" in dict(result.stage_timings)
+    assert len(result.table) <= 50
+    assert any("matcher view" in note for note in result.provenance)
+
+
+def test_pipeline_match_strength_requires_keys():
+    from respdi.pipeline import ResponsibleIntegrationPipeline
+
+    with pytest.raises(SpecificationError):
+        ResponsibleIntegrationPipeline(("group",), match_strength="exact")

@@ -1,0 +1,132 @@
+"""Serve-path match differential — the PR's acceptance criterion.
+
+A served ``match`` request (per-request ``match_strength`` field) must
+return **byte-identical** results to evaluating the same view directly
+in process, across {plain, 4-shard} × {no cache, memory cache} — eight
+configurations per strength, one answer.  Matching is a pure function
+of the request's own table, so the layout and cache tier can only
+change *where* the work runs, never *what* comes back.
+"""
+
+import io
+import json
+
+import pytest
+
+from respdi.catalog import CatalogStore
+from respdi.catalog.sharding import ShardedCatalogStore
+from respdi.datagen.duplicates import generate_gold_registry
+from respdi.linkage import STRENGTH_ORDER, build_view
+from respdi.service import (
+    MatchQuery,
+    QueryService,
+    ShardedQueryService,
+    serve,
+)
+from respdi.table import read_csv, write_csv
+
+OPTS = dict(rng=7, num_hashes=16, sketch_size=16)
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-match")
+    reg = generate_gold_registry(
+        40, duplicates_per_entity=2, rng=29, group_intensity={"green": 1.4}
+    )
+    csv_path = root / "dirty.csv"
+    write_csv(reg.table, csv_path)
+    seed = {"seed": reg.table.project(["group", "zip"])}
+    CatalogStore.build(root / "plain", seed, **OPTS)
+    ShardedCatalogStore.build(root / "sharded", seed, num_shards=4, **OPTS)
+    return {
+        "csv": csv_path,
+        "layouts": {"plain": root / "plain", "sharded": root / "sharded"},
+    }
+
+
+def _requests(csv_path):
+    reqs = []
+    for strength in STRENGTH_ORDER:
+        reqs.append(
+            {
+                "op": "match",
+                "csv": str(csv_path),
+                "match_strength": strength,
+                "keys": ["name"],
+            }
+        )
+    # Repeat one to drive the cache-hit path.
+    reqs.append(dict(reqs[-1]))
+    return reqs
+
+
+def _serve_lines(service, csv_path):
+    stream = io.StringIO(
+        "".join(json.dumps(r) + "\n" for r in _requests(csv_path))
+    )
+    out = io.StringIO()
+    serve(service, stream, out)
+    return out.getvalue().splitlines()
+
+
+def _direct_results(csv_path):
+    table = read_csv(csv_path)
+    rendered = []
+    for strength in STRENGTH_ORDER:
+        query = MatchQuery(table=table, strength=strength, keys=("name",))
+        rendered.append(query.render(build_view(strength, ["name"]).link(table)))
+    rendered.append(rendered[-1])
+    return [json.dumps(r, sort_keys=True) for r in rendered]
+
+
+def test_served_match_identical_to_direct_evaluation(setup):
+    direct = _direct_results(setup["csv"])
+    responses = {}
+    for layout, directory in setup["layouts"].items():
+        cls = ShardedQueryService if layout == "sharded" else QueryService
+        for tier, cache_size in (("nocache", 0), ("memory", 32)):
+            service = cls(directory, cache_size=cache_size)
+            lines = _serve_lines(service, setup["csv"])
+            assert all(json.loads(line)["ok"] for line in lines)
+            served = [
+                json.dumps(json.loads(line)["results"], sort_keys=True)
+                for line in lines
+            ]
+            assert served == direct, f"{layout}/{tier} diverged from direct"
+            responses[(layout, tier)] = lines
+    assert len(responses) == 4
+
+    # Within a layout, the full response lines (generation included)
+    # must also agree across cache tiers.
+    for layout in ("plain", "sharded"):
+        assert responses[(layout, "nocache")] == responses[(layout, "memory")]
+
+
+def test_served_links_are_nested_across_strengths(setup):
+    service = QueryService(setup["layouts"]["plain"], cache_size=0)
+    lines = _serve_lines(service, setup["csv"])
+    link_sets = [
+        {tuple(pair) for pair in json.loads(line)["results"][0]["links"]}
+        for line in lines[:3]
+    ]
+    exact, normalized, fuzzy = link_sets
+    assert exact <= normalized <= fuzzy
+    assert len(exact) < len(normalized) < len(fuzzy)
+
+
+def test_match_results_cache_under_the_memory_tier(setup):
+    service = QueryService(setup["layouts"]["plain"], cache_size=32)
+    _serve_lines(service, setup["csv"])
+    stats = service.stats()
+    assert stats["hits"] >= 1  # the repeated request hit the LRU
+
+
+def test_match_query_fingerprint_is_content_addressed(setup):
+    table = read_csv(setup["csv"])
+    a = MatchQuery(table=table, strength="exact", keys=("name",))
+    b = MatchQuery(table=read_csv(setup["csv"]), strength="exact", keys=("name",))
+    assert a.fingerprint == b.fingerprint
+    c = MatchQuery(table=table, strength="normalized", keys=("name",))
+    d = MatchQuery(table=table, strength="exact", keys=("name", "zip"))
+    assert len({a.fingerprint, c.fingerprint, d.fingerprint}) == 3

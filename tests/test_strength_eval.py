@@ -1,0 +1,210 @@
+"""Strength-eval harness: edge cases, gains, payloads.
+
+The degenerate inputs a quality harness must survive without a
+division by zero or an ill-defined gain: an empty gold set, a view
+that predicts nothing, and a view that links everything.
+"""
+
+import json
+
+import pytest
+
+from respdi.datagen.duplicates import generate_gold_registry
+from respdi.errors import SpecificationError
+from respdi.linkage import evaluate_strengths
+from respdi.linkage.matching import FieldComparator
+from respdi.table import ColumnType, Schema, Table
+
+SCHEMA = Schema(
+    [
+        ("_entity", ColumnType.CATEGORICAL),
+        ("group", ColumnType.CATEGORICAL),
+        ("name", ColumnType.CATEGORICAL),
+    ]
+)
+
+
+def _table(rows):
+    return Table.from_rows(SCHEMA, rows)
+
+
+class _AlwaysOne:
+    """Picklable constant similarity: the link-everything comparator."""
+
+    def __call__(self, a, b):
+        return 1.0
+
+
+# -- empty gold set ------------------------------------------------------------
+
+
+def test_empty_gold_set_is_well_defined():
+    table = _table([(None, "blue", "ann lee"), (None, "blue", "Ann  Lee")])
+    report = evaluate_strengths(
+        table, "_entity", ["name"], group_columns=["group"]
+    )
+    assert report.n_entities == 0
+    assert report.gold_pairs == 0
+    for view in report.views.values():
+        assert view.entity_coverage == 1.0  # vacuous: nothing to cover
+        assert view.quality.recall == 1.0
+        assert view.group_coverage == {}
+    assert all(gain == 0.0 for gain in report.coverage_gains.values())
+    assert report.fuzzy_gain == 0.0
+    json.dumps(report.to_payload())  # payload stays JSON-able
+    report.render()
+
+
+# -- zero predicted matches ----------------------------------------------------
+
+
+def test_zero_predicted_matches_has_precision_one():
+    # Distinct names that not even the fuzzy view links.
+    table = _table(
+        [
+            ("e0", "blue", "aaaaaaa"),
+            ("e0", "blue", "zzzzzzz"),
+            ("e1", "green", "bcdefgh"),
+        ]
+    )
+    report = evaluate_strengths(
+        table, "_entity", ["name"], group_columns=["group"], threshold=0.99
+    )
+    for view in report.views.values():
+        assert view.links.num_links == 0
+        assert view.quality.precision == 1.0  # vacuous precision
+        assert view.quality.recall == 0.0
+        assert view.entity_coverage == 0.5  # e1 is a singleton: covered
+    assert report.fuzzy_gain == 0.0
+    assert report.nested
+
+
+# -- link-everything view ------------------------------------------------------
+
+
+def test_link_everything_view_hits_the_precision_floor():
+    reg = generate_gold_registry(12, duplicates_per_entity=1, rng=3)
+    n = reg.n_records
+    all_pairs = n * (n - 1) // 2
+    report = evaluate_strengths(
+        reg.table,
+        "_entity",
+        ["name"],
+        group_columns=["group"],
+        strengths=("fuzzy",),
+        threshold=0.5,  # _AlwaysOne scores 1.0: every candidate links
+        window=n,  # neighborhood spans the table: closure links all
+        comparators=[FieldComparator(column="name", similarity=_AlwaysOne())],
+    )
+    view = report.views["fuzzy"]
+    assert view.links.num_links == all_pairs
+    assert view.links.num_clusters == 1
+    assert view.quality.precision == pytest.approx(reg.n_pairs / all_pairs)
+    assert view.quality.recall == 1.0
+    assert view.entity_coverage == 1.0
+    assert report.coverage_gains == {}  # single strength: no steps
+
+
+# -- gains ---------------------------------------------------------------------
+
+
+def test_gains_are_nonnegative_and_keyed_by_stronger_strength():
+    reg = generate_gold_registry(
+        60, duplicates_per_entity=2, rng=17, group_intensity={"green": 1.4}
+    )
+    report = evaluate_strengths(
+        reg.table, "_entity", ["name"], group_columns=["group"]
+    )
+    assert set(report.coverage_gains) == {"normalized", "fuzzy"}
+    assert all(gain >= 0.0 for gain in report.coverage_gains.values())
+    for gains in report.group_coverage_gains.values():
+        assert all(gain >= 0.0 for gain in gains.values())
+    assert report.fuzzy_gain == report.coverage_gains["fuzzy"]
+    assert report.nested
+    coverages = [report.views[s].entity_coverage for s in report.strengths]
+    assert coverages == sorted(coverages)  # monotone by nesting
+
+
+def test_strength_subset_evaluates_and_gains_follow_subset():
+    reg = generate_gold_registry(30, duplicates_per_entity=1, rng=4)
+    report = evaluate_strengths(
+        reg.table, "_entity", ["name"], strengths=("exact", "fuzzy")
+    )
+    assert set(report.views) == {"exact", "fuzzy"}
+    assert set(report.coverage_gains) == {"fuzzy"}
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def test_strengths_must_be_an_ordered_subsequence():
+    reg = generate_gold_registry(10, rng=1)
+    with pytest.raises(SpecificationError):
+        evaluate_strengths(
+            reg.table, "_entity", ["name"], strengths=("fuzzy", "exact")
+        )
+    with pytest.raises(SpecificationError):
+        evaluate_strengths(
+            reg.table, "_entity", ["name"], strengths=("exact", "exact")
+        )
+    with pytest.raises(SpecificationError):
+        evaluate_strengths(reg.table, "_entity", ["name"], strengths=())
+
+
+def test_group_columns_must_be_categorical():
+    reg = generate_gold_registry(10, rng=1)
+    with pytest.raises(SpecificationError):
+        evaluate_strengths(
+            reg.table, "_entity", ["name"], group_columns=["age"]
+        )
+
+
+# -- coverage MUPs -------------------------------------------------------------
+
+
+def test_uncovered_patterns_surface_unresolved_groups():
+    # The exact view resolves almost nothing, so with a coverage
+    # threshold above what it consolidates, groups surface as MUPs.
+    reg = generate_gold_registry(
+        40, duplicates_per_entity=1, rng=21, noise=None
+    )
+    report = evaluate_strengths(
+        reg.table,
+        "_entity",
+        ["name"],
+        group_columns=["group"],
+        strengths=("exact",),
+        coverage_threshold=30,
+    )
+    assert report.views["exact"].uncovered_patterns  # something uncovered
+    payload = report.to_payload()
+    assert payload["views"]["exact"]["uncovered_patterns"]
+
+
+# -- payload / render ----------------------------------------------------------
+
+
+def test_payload_round_trips_through_json():
+    reg = generate_gold_registry(25, duplicates_per_entity=1, rng=6)
+    report = evaluate_strengths(
+        reg.table, "_entity", ["name"], group_columns=["group"]
+    )
+    payload = json.loads(json.dumps(report.to_payload(), sort_keys=True))
+    assert payload["strengths"] == ["exact", "normalized", "fuzzy"]
+    assert payload["nested"] is True
+    for strength, view in payload["views"].items():
+        assert view["strength"] == strength
+        assert all(len(pair) == 2 for pair in view["links"])
+    assert payload["fuzzy_gain"] == payload["coverage_gains"]["fuzzy"]
+
+
+def test_render_mentions_every_strength_and_group():
+    reg = generate_gold_registry(25, duplicates_per_entity=1, rng=6)
+    report = evaluate_strengths(
+        reg.table, "_entity", ["name"], group_columns=["group"]
+    )
+    text = report.render()
+    for strength in ("exact", "normalized", "fuzzy"):
+        assert strength in text
+    assert "blue" in text and "green" in text
+    assert "coverage gain by step" in text
