@@ -88,6 +88,7 @@ from respdi.profiling.export import datasheet_to_dict, label_to_dict
 from respdi.profiling.labels import NutritionalLabel, build_nutritional_label
 from respdi.profiling.load import dict_to_datasheet, dict_to_label
 from respdi.table import Table, read_csv, write_csv
+from respdi.table.hashing import digest_categorical
 
 PathLike = Union[str, Path]
 
@@ -152,7 +153,9 @@ def table_fingerprint(table: Table) -> str:
         if spec.is_numeric:
             digest.update(np.ascontiguousarray(values, dtype=float).tobytes())
         else:
-            digest.update(repr(list(values)).encode())
+            # Streamed: same bytes as ``repr(list(values)).encode()``
+            # without materializing one giant string per column.
+            digest_categorical(digest, values)
     return digest.hexdigest()
 
 

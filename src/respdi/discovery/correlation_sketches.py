@@ -22,9 +22,12 @@ import numpy as np
 
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.stats.dependence import pearson_correlation, spearman_correlation
+from respdi.table.hashing import salted_hash64_list
 
 
 def _key_hash(value: Hashable, seed: int) -> int:
+    """Scalar reference; batch hashing goes through
+    :func:`respdi.table.hashing.salted_hash64_list` (byte-identical)."""
     digest = hashlib.blake2b(
         repr(value).encode("utf-8"), digest_size=8, salt=seed.to_bytes(8, "big")
     ).digest()
@@ -60,18 +63,45 @@ class CorrelationSketch:
             )
         sums: Dict[Hashable, float] = {}
         counts: Dict[Hashable, int] = {}
-        for key, value in zip(keys, values):
-            if key is None:
-                continue
-            value = float(value)
-            if np.isnan(value):
-                continue
-            sums[key] = sums.get(key, 0.0) + value
-            counts[key] = counts.get(key, 0) + 1
+        if (
+            isinstance(keys, np.ndarray)
+            and keys.dtype == object
+            and isinstance(values, np.ndarray)
+            and values.dtype == np.float64
+        ):
+            # Column fast path: mask NaN rows in one vectorized pass and
+            # unbox in bounded chunks (transient memory stays flat on
+            # long columns).  Accumulation stays a sequential dict loop
+            # in row order — float addition is non-associative, so any
+            # reordering would change the means bit-for-bit.
+            present = ~np.isnan(values)
+            kept_keys = keys[present]
+            kept_values = values[present]
+            for start in range(0, kept_keys.size, 8192):
+                stop = start + 8192
+                for key, value in zip(
+                    kept_keys[start:stop].tolist(),
+                    kept_values[start:stop].tolist(),
+                ):
+                    if key is None:
+                        continue
+                    sums[key] = sums.get(key, 0.0) + value
+                    counts[key] = counts.get(key, 0) + 1
+        else:
+            for key, value in zip(keys, values):
+                if key is None:
+                    continue
+                value = float(value)
+                if np.isnan(value):
+                    continue
+                sums[key] = sums.get(key, 0.0) + value
+                counts[key] = counts.get(key, 0) + 1
         if not sums:
             raise EmptyInputError("no present (key, value) pairs to sketch")
+        distinct = list(sums)
+        hashes = salted_hash64_list(distinct, seed)
         hashed = sorted(
-            (_key_hash(key, seed), key, sums[key] / counts[key]) for key in sums
+            zip(hashes, distinct, (sums[key] / counts[key] for key in distinct))
         )
         return cls(entries=tuple(hashed[:size]), num_keys=len(sums), seed=seed)
 

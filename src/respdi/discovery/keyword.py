@@ -65,12 +65,18 @@ def table_token_counts(
     table: Table,
     description: Optional[str] = None,
     values_per_column: int = 50,
+    unique_values: Optional[Dict[str, List]] = None,
 ) -> Counter:
     """The bag of tokens :class:`KeywordIndex` indexes for one table.
 
     Exposed separately so a catalog can compute (and persist) the token
     counts once at registration time and rehydrate the index later via
     :meth:`KeywordIndex.add_document` without re-reading the table.
+
+    *unique_values* lets a caller that already holds each categorical
+    column's sorted distinct values (``table.unique`` output — the
+    artifact builder computes them for the joinability substrate anyway)
+    share them instead of re-deriving per column.
     """
     tokens: List[str] = tokenize(name)
     if description:
@@ -78,7 +84,11 @@ def table_token_counts(
     for column in table.column_names:
         tokens += tokenize(column)
     for column in table.schema.categorical_names:
-        for value in table.unique(column)[:values_per_column]:
+        if unique_values is not None and column in unique_values:
+            distinct = unique_values[column]
+        else:
+            distinct = table.unique(column)
+        for value in distinct[:values_per_column]:
             tokens += tokenize(str(value))
     return Counter(tokens)
 

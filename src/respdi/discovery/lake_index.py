@@ -90,22 +90,31 @@ def build_table_artifacts(
     """Sketch *table* once into the artifacts every sub-index consumes."""
     if hasher is None:
         raise SpecificationError("build_table_artifacts requires a hasher")
+    # One `unique` pass per categorical column, shared by the keyword
+    # document, the joinability substrate, and the Lazo sketches.
+    unique_values: Dict[str, List[Hashable]] = {
+        column: table.unique(column)
+        for column in table.schema.categorical_names
+    }
     token_counts = table_token_counts(
-        name, table, description, values_per_column=values_per_column
+        name,
+        table,
+        description,
+        values_per_column=values_per_column,
+        unique_values=unique_values,
     )
     column_values: Dict[str, List[Hashable]] = {}
     column_sketches: Dict[str, LazoSketch] = {}
-    for column in table.schema.categorical_names:
-        values = table.unique(column)
+    for column, values in unique_values.items():
         if not values:
             continue
         column_values[column] = values
         column_sketches[column] = LazoSketch.build(values, hasher)
     feature_sketches: Dict[Tuple[str, str], CorrelationSketch] = {}
     for key_column in table.schema.categorical_names:
-        keys = list(table.column(key_column))
+        keys = table.column(key_column)
         for feature_column in table.schema.numeric_names:
-            values = list(table.column(feature_column))
+            values = table.column(feature_column)
             try:
                 sketch = CorrelationSketch.build(keys, values, size=sketch_size)
             except EmptyInputError:

@@ -101,15 +101,18 @@ def _shares_band(
     bands: int,
     rows: int,
 ) -> bool:
-    """True when the two signatures agree on at least one LSH band."""
-    for band in range(bands):
-        lo, hi = band * rows, (band + 1) * rows
-        if (
-            signature.values[lo:hi].tobytes()
-            == query_signature.values[lo:hi].tobytes()
-        ):
-            return True
-    return False
+    """True when the two signatures agree on at least one LSH band.
+
+    One reshaped comparison over all bands at once — equivalent to the
+    per-band byte compare (both ask whether every coordinate of some
+    band agrees), without ``bands`` slice/tobytes round-trips.
+    """
+    used = bands * rows
+    agree = (
+        signature.values[:used].reshape(bands, rows)
+        == query_signature.values[:used].reshape(bands, rows)
+    )
+    return bool(agree.all(axis=1).any())
 
 
 def _containment_estimate(

@@ -17,6 +17,7 @@ vectorized.
 from __future__ import annotations
 
 import hashlib
+import itertools
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
@@ -25,12 +26,18 @@ import numpy as np
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SpecificationError
 from respdi.obs import timed
+from respdi.table.hashing import minhash_mins, stable_hash32_array
 
 _MERSENNE_PRIME = np.uint64((1 << 31) - 1)
 
 
 def _stable_hash32(value: Hashable) -> int:
-    """Deterministic 32-bit hash of a value (stable across processes)."""
+    """Deterministic 32-bit hash of a value (stable across processes).
+
+    Scalar reference; batch signing goes through
+    :func:`respdi.table.hashing.stable_hash32_array`, which is proven
+    byte-identical to this by the differential suite.
+    """
     digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=4).digest()
     return int.from_bytes(digest, "big")
 
@@ -64,7 +71,10 @@ class MinHasher:
     are drawn from *rng* so experiments can fix a seed.
     """
 
-    _next_id = 0
+    # itertools.count.__next__ is atomic under the GIL, so hashers built
+    # concurrently (the threads backend) can never mint duplicate ids —
+    # a duplicate would silently defeat the mixed-hasher comparison guard.
+    _ids = itertools.count()
 
     def __init__(self, num_hashes: int = 128, rng: RngLike = None) -> None:
         if num_hashes < 1:
@@ -74,8 +84,7 @@ class MinHasher:
         prime = int(_MERSENNE_PRIME)
         self._a = generator.integers(1, prime, size=num_hashes, dtype=np.uint64)
         self._b = generator.integers(0, prime, size=num_hashes, dtype=np.uint64)
-        self.hasher_id = MinHasher._next_id
-        MinHasher._next_id += 1
+        self.hasher_id = next(MinHasher._ids)
 
     @classmethod
     def from_coefficients(cls, a: np.ndarray, b: np.ndarray) -> "MinHasher":
@@ -101,8 +110,7 @@ class MinHasher:
         hasher.num_hashes = int(a.size)
         hasher._a = a
         hasher._b = b
-        hasher.hasher_id = MinHasher._next_id
-        MinHasher._next_id += 1
+        hasher.hasher_id = next(MinHasher._ids)
         return hasher
 
     @property
@@ -130,14 +138,11 @@ class MinHasher:
         distinct = set(values)
         if not distinct:
             raise EmptyInputError("cannot sign an empty set")
-        hashes = np.array(
-            [_stable_hash32(v) for v in distinct], dtype=np.uint64
-        )
-        # (num_hashes, n): a_i * h_j + b_i fits in uint64 (31 + 32 bits).
-        transformed = (
-            self._a[:, None] * hashes[None, :] + self._b[:, None]
-        ) % _MERSENNE_PRIME
-        mins = transformed.min(axis=1)
+        # Batched/memoized value hashing + chunked in-place transform;
+        # a_i * h_j + b_i fits in uint64 (31 + 32 bits), and the minima
+        # are bit-identical to the seed one-shot broadcast.
+        hashes = stable_hash32_array(distinct)
+        mins = minhash_mins(self._a, self._b, hashes)
         return MinHashSignature(
             mins, cardinality=len(distinct), hasher_id=self.hasher_id
         )

@@ -34,8 +34,9 @@ def key_blocking(table: Table, key_function: KeyFunction) -> Set[Pair]:
     Records whose key is ``None`` are not blocked with anything.
     """
     blocks: Dict[Hashable, List[int]] = defaultdict(list)
-    for i, row in enumerate(table.to_dicts()):
-        key = key_function(row)
+    names = table.column_names
+    for i, row in enumerate(table.iter_rows()):
+        key = key_function(dict(zip(names, row)))
         if key is not None:
             blocks[key].append(i)
     pairs: Set[Pair] = set()
@@ -52,9 +53,10 @@ def sorted_neighborhood_blocking(
     """Pairs within a sliding *window* after sorting by the key."""
     if window < 2:
         raise SpecificationError("window must be >= 2")
+    names = table.column_names
     keyed = [
-        (key_function(row), i)
-        for i, row in enumerate(table.to_dicts())
+        (key_function(dict(zip(names, row))), i)
+        for i, row in enumerate(table.iter_rows())
     ]
     keyed = [(key, i) for key, i in keyed if key is not None]
     keyed.sort(key=lambda item: repr(item[0]))

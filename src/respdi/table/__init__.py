@@ -8,6 +8,14 @@ of the library needs (selection, projection, joins, group-by, aggregation,
 sampling, union).
 """
 
+from respdi.table.hashing import (
+    minhash_mins,
+    salted_hash64,
+    salted_hash64_list,
+    stable_hash32,
+    stable_hash32_array,
+    stable_hash32_list,
+)
 from respdi.table.io import read_csv, write_csv
 from respdi.table.predicates import (
     And,
@@ -44,4 +52,10 @@ __all__ = [
     "MISSING",
     "read_csv",
     "write_csv",
+    "stable_hash32",
+    "stable_hash32_list",
+    "stable_hash32_array",
+    "salted_hash64",
+    "salted_hash64_list",
+    "minhash_mins",
 ]

@@ -30,12 +30,25 @@ import numpy as np
 
 from respdi._rng import RngLike, ensure_rng
 from respdi.errors import EmptyInputError, SchemaError, SpecificationError
+from respdi.table.hashing import object_payload_nbytes
 from respdi.table.predicates import Predicate
 from respdi.table.schema import ColumnSpec, ColumnType, Schema
 
 #: Canonical missing-value marker accepted in row-based constructors for
 #: both column types (stored as ``None`` / ``NaN`` internally).
 MISSING = None
+
+
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    """A non-writable view of *array* (the parent stays writable).
+
+    Zero-copy slicing hands out shared buffers; the read-only flag is
+    the copy-on-write guard — any mutation attempt through the view
+    raises instead of silently corrupting every table sharing it.
+    """
+    view = array[:]
+    view.flags.writeable = False
+    return view
 
 
 def _coerce_column(spec: ColumnSpec, values: Sequence) -> np.ndarray:
@@ -169,13 +182,35 @@ class Table:
         return tuple(self._columns[name][index] for name in self._schema.names)
 
     def iter_rows(self) -> Iterator[Tuple]:
-        arrays = [self._columns[name] for name in self._schema.names]
-        for i in range(len(self)):
-            yield tuple(array[i] for array in arrays)
+        names = self._schema.names
+        if not names or len(self) == 0:
+            return
+        # list(array) unpacks each column once (the elements are the very
+        # same objects/np-scalars per-index access yields) instead of
+        # paying numpy indexing per cell.
+        columns = [list(self._columns[name]) for name in names]
+        yield from zip(*columns)
 
     def to_dicts(self) -> List[Dict[str, object]]:
         names = self._schema.names
         return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def memory_usage(self, deep: bool = False) -> Dict[str, int]:
+        """Per-column storage bytes (buffer extent each column views).
+
+        With ``deep=True``, categorical columns also count the payload of
+        the python objects they reference (``sys.getsizeof`` once per
+        distinct object); numeric columns carry their cells inline, so
+        deep adds nothing for them.
+        """
+        usage: Dict[str, int] = {}
+        for spec in self._schema:
+            array = self._columns[spec.name]
+            nbytes = int(array.nbytes)
+            if deep and spec.is_categorical:
+                nbytes += object_payload_nbytes(array)
+            usage[spec.name] = nbytes
+        return usage
 
     def __repr__(self) -> str:
         return f"Table({self._schema!r}, rows={len(self)})"
@@ -199,8 +234,26 @@ class Table:
     # -- row-set operations ------------------------------------------------
 
     def take(self, indices: Sequence[int]) -> "Table":
-        """Rows at *indices*, in order (duplicates allowed)."""
+        """Rows at *indices*, in order (duplicates allowed).
+
+        A contiguous ascending run (``head``, window scans) returns
+        zero-copy read-only slice views; anything else falls back to
+        fancy-indexed copies.
+        """
         idx = np.asarray(indices, dtype=int)
+        if (
+            idx.size > 0
+            and idx[0] >= 0
+            and idx[-1] < len(self)
+            and idx[-1] - idx[0] == idx.size - 1
+            and (idx.size == 1 or bool((np.diff(idx) == 1).all()))
+        ):
+            start, stop = int(idx[0]), int(idx[0]) + idx.size
+            columns = {
+                name: _readonly_view(self._columns[name][start:stop])
+                for name in self._schema.names
+            }
+            return Table(self._schema, columns)
         columns = {name: self._columns[name][idx] for name in self._schema.names}
         return Table(self._schema, columns)
 
@@ -290,8 +343,13 @@ class Table:
     # -- column operations --------------------------------------------------
 
     def project(self, names: Sequence[str]) -> "Table":
+        """Zero-copy column subset: the new table shares this table's
+        buffers through read-only views."""
         schema = self._schema.project(names)
-        return Table(schema, {name: self._columns[name] for name in names})
+        return Table(
+            schema,
+            {name: _readonly_view(self._columns[name]) for name in names},
+        )
 
     def drop(self, names: Sequence[str]) -> "Table":
         self._schema.require(names)
@@ -301,7 +359,8 @@ class Table:
     def rename(self, mapping: Dict[str, str]) -> "Table":
         schema = self._schema.rename(mapping)
         columns = {
-            mapping.get(name, name): self._columns[name] for name in self.column_names
+            mapping.get(name, name): _readonly_view(self._columns[name])
+            for name in self.column_names
         }
         return Table(schema, columns)
 

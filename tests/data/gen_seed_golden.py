@@ -1,0 +1,136 @@
+"""Regenerate ``seed_golden.json`` from the live implementations.
+
+The recorded values were produced by the *seed* scalar implementations
+(PR 10 captured them before vectorizing the table core).  Re-running
+this script must reproduce the file byte-for-byte on any commit: the
+vectorized paths are required to stay byte-identical to the seed.
+
+    PYTHONPATH=src python tests/data/gen_seed_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from respdi.catalog.store import table_fingerprint
+from respdi.discovery.correlation_sketches import CorrelationSketch, _key_hash
+from respdi.discovery.minhash import MinHasher, _stable_hash32
+from respdi.table import ColumnSpec, ColumnType, Schema, Table
+
+OUT = Path(__file__).with_name("seed_golden.json")
+
+#: Values with awkward reprs: unicode, embedded NUL, equal-but-distinct
+#: reprs (1 / 1.0 / True), empty string, nested containers.
+TRICKY_VALUES = [
+    "plain",
+    "",
+    "café",
+    "nul\x00byte",
+    "line\nbreak",
+    "日本語",
+    1,
+    1.0,
+    True,
+    False,
+    0,
+    -0.0,
+    0.0,
+    None,
+    (1, "two"),
+    "1",
+    "True",
+    3.141592653589793,
+    -17,
+    10**30,
+]
+
+
+def golden_tables() -> dict[str, Table]:
+    schema = Schema(
+        [
+            ColumnSpec("name", ColumnType.CATEGORICAL),
+            ColumnSpec("city", ColumnType.CATEGORICAL),
+            ColumnSpec("age", ColumnType.NUMERIC),
+            ColumnSpec("score", ColumnType.NUMERIC),
+        ]
+    )
+    rng = np.random.default_rng(20260808)
+    n = 64
+    cities = ["lisbon", "são paulo", "", "nul\x00city", None]
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                f"person-{i % 17}",
+                cities[i % len(cities)],
+                None if i % 11 == 0 else float(rng.integers(18, 90)),
+                float("nan") if i % 7 == 0 else round(float(rng.normal()), 6),
+            )
+        )
+    mixed = Table.from_rows(schema, rows)
+
+    empty = Table.empty(schema)
+
+    allnan = Table(
+        Schema([ColumnSpec("x", ColumnType.NUMERIC)]),
+        {"x": [None] * 8},
+    )
+
+    tricky = Table(
+        Schema([ColumnSpec("v", ColumnType.CATEGORICAL)]),
+        {"v": TRICKY_VALUES},
+    )
+    return {"mixed": mixed, "empty": empty, "allnan": allnan, "tricky": tricky}
+
+
+def main() -> None:
+    tables = golden_tables()
+    record: dict = {}
+
+    record["stable_hash32"] = {
+        repr(v): _stable_hash32(v) for v in TRICKY_VALUES
+    }
+
+    record["table_fingerprints"] = {
+        name: table_fingerprint(table) for name, table in tables.items()
+    }
+
+    hasher = MinHasher(num_hashes=32, rng=5)
+    record["minhash"] = {
+        "rng": 5,
+        "num_hashes": 32,
+        "coefficient_fingerprint": hasher.fingerprint,
+        "signatures": {
+            "tricky": [int(v) for v in hasher.signature(TRICKY_VALUES).values],
+            "cities": [
+                int(v)
+                for v in hasher.signature(
+                    [c for c in tables["mixed"].column("city") if c is not None]
+                ).values
+            ],
+        },
+    }
+
+    record["key_hash"] = {
+        repr(v): {str(seed): _key_hash(v, seed) for seed in (17, 23)}
+        for v in TRICKY_VALUES[:8]
+    }
+
+    keys = [f"k{i % 9}" if i % 13 else None for i in range(40)]
+    values = [float("nan") if i % 5 == 0 else float(i) * 0.5 for i in range(40)]
+    sketch = CorrelationSketch.build(keys, values, size=8, seed=17)
+    record["correlation_sketch"] = {
+        "num_keys": sketch.num_keys,
+        "seed": sketch.seed,
+        "entries": [[h, repr(k), v] for h, k, v in sketch.entries],
+    }
+
+    OUT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

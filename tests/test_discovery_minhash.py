@@ -80,3 +80,35 @@ def test_estimate_within_tolerance_property(overlap, extra_a, extra_b):
     truth = exact_jaccard(a_values, b_values)
     # 256 hashes: standard error ~ sqrt(j(1-j)/256) <= 0.032; 5 sigma.
     assert abs(estimate - truth) < 0.16
+
+
+def test_concurrent_construction_mints_unique_ids():
+    """Regression: the id counter was an unsynchronized class attribute
+    (``MinHasher._next_id += 1``), so hashers built concurrently could
+    share an id — silently defeating the mixed-hasher comparison guard.
+    ``itertools.count`` makes allocation atomic."""
+    import threading
+
+    ids = []
+    coeff_a = np.arange(1, 9, dtype=np.uint64)
+    coeff_b = np.arange(0, 8, dtype=np.uint64)
+    barrier = threading.Barrier(16)
+
+    def build(out):
+        barrier.wait()
+        for _ in range(50):
+            out.append(MinHasher(num_hashes=2, rng=0).hasher_id)
+            out.append(MinHasher.from_coefficients(coeff_a, coeff_b).hasher_id)
+
+    buckets = [[] for _ in range(16)]
+    threads = [
+        threading.Thread(target=build, args=(bucket,)) for bucket in buckets
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for bucket in buckets:
+        ids.extend(bucket)
+    assert len(ids) == 16 * 100
+    assert len(set(ids)) == len(ids)

@@ -1,0 +1,263 @@
+"""Differential suite: the vectorized hashing core is byte-identical to
+the seed scalar implementations.
+
+``tests/data/seed_golden.json`` was recorded by running the *seed*
+(pre-vectorization) code over deterministic inputs; every vectorized
+path must reproduce those values exactly.  On top of the golden pins,
+hypothesis drives the vectorized kernels against the retained scalar
+references over adversarial value mixes.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.catalog.store import table_fingerprint
+from respdi.discovery.correlation_sketches import CorrelationSketch, _key_hash
+from respdi.discovery.minhash import MinHasher, _stable_hash32
+from respdi.table import hashing
+from respdi.table.hashing import (
+    clear_hash_caches,
+    digest_categorical,
+    hash_cache_info,
+    minhash_mins,
+    salted_hash64,
+    salted_hash64_list,
+    stable_hash32,
+    stable_hash32_array,
+    stable_hash32_list,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "seed_golden.json").read_text()
+)
+
+#: Values with awkward reprs; must stay in sync with the golden generator.
+TRICKY_VALUES = [
+    "plain",
+    "",
+    "café",
+    "nul\x00byte",
+    "line\nbreak",
+    "日本語",
+    1,
+    1.0,
+    True,
+    False,
+    0,
+    -0.0,
+    0.0,
+    None,
+    (1, "two"),
+    "1",
+    "True",
+    3.141592653589793,
+    -17,
+    10**30,
+]
+
+value_strategy = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False),
+    st.booleans(),
+    st.none(),
+    st.sampled_from(TRICKY_VALUES),
+    st.tuples(st.integers(), st.text(max_size=5)),
+)
+
+
+# -- scalar references match the seed implementations -------------------------
+
+
+def test_stable_hash32_matches_seed_reference():
+    for value in TRICKY_VALUES:
+        assert stable_hash32(value) == _stable_hash32(value)
+
+
+def test_stable_hash32_matches_golden():
+    for key, expected in GOLDEN["stable_hash32"].items():
+        assert stable_hash32(eval(key)) == expected  # noqa: S307 - test fixture reprs
+
+
+def test_salted_hash64_matches_golden():
+    for key, by_seed in GOLDEN["key_hash"].items():
+        value = eval(key)  # noqa: S307 - test fixture reprs
+        for seed, expected in by_seed.items():
+            assert salted_hash64(value, int(seed)) == expected
+            assert _key_hash(value, int(seed)) == expected
+
+
+# -- batched paths == scalar references ---------------------------------------
+
+
+@given(values=st.lists(value_strategy, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_batched_hash32_equals_scalar(values):
+    assert stable_hash32_list(values) == [stable_hash32(v) for v in values]
+
+
+@given(values=st.lists(value_strategy, max_size=40), seed=st.integers(0, 2**20))
+@settings(max_examples=80, deadline=None)
+def test_batched_salted64_equals_scalar(values, seed):
+    assert salted_hash64_list(values, seed) == [
+        salted_hash64(v, seed) for v in values
+    ]
+
+
+def test_batched_hash32_array_dtype_and_values():
+    array = stable_hash32_array(TRICKY_VALUES)
+    assert array.dtype == np.uint64
+    assert array.tolist() == [stable_hash32(v) for v in TRICKY_VALUES]
+
+
+def test_batched_hash32_warm_path_stays_identical():
+    clear_hash_caches()
+    cold = stable_hash32_list(TRICKY_VALUES)
+    warm = stable_hash32_list(TRICKY_VALUES)
+    assert cold == warm == [stable_hash32(v) for v in TRICKY_VALUES]
+
+
+def test_equal_values_with_distinct_reprs_hash_distinctly():
+    # 1 == 1.0 == True but their reprs (and therefore hashes) differ;
+    # the memo caches must never conflate them.
+    hashes = stable_hash32_list([1, 1.0, True, "1", np.float64(1.0)])
+    assert len(set(hashes)) == 5
+    assert stable_hash32_list([0.0, -0.0]) == [
+        stable_hash32(0.0),
+        stable_hash32(-0.0),
+    ]
+    assert stable_hash32(0.0) != stable_hash32(-0.0)
+
+
+def test_unhashable_values_fall_back_to_repr_memo():
+    values = [[1, 2], {"a": 1}, {1, 2}]
+    assert stable_hash32_list(values) == [stable_hash32(v) for v in values]
+
+
+def test_cache_bounds_and_clear():
+    clear_hash_caches()
+    stable_hash32_list(["x", 1, None, (1,)])
+    assert hash_cache_info()["hash32"] == 4
+    clear_hash_caches()
+    assert hash_cache_info() == {"hash32": 0, "salted64": 0, "salted_seeds": 0}
+    # Overflowing the limit clears wholesale instead of growing forever.
+    old_limit = hashing._MEMO_LIMIT
+    hashing._MEMO_LIMIT = 8
+    try:
+        stable_hash32_list([f"v{i}" for i in range(20)])
+        assert hash_cache_info()["hash32"] <= 8
+    finally:
+        hashing._MEMO_LIMIT = old_limit
+        clear_hash_caches()
+
+
+# -- minhash transform --------------------------------------------------------
+
+
+@given(
+    n_values=st.integers(1, 700),
+    num_hashes=st.integers(1, 64),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_minhash_mins_equals_seed_broadcast(n_values, num_hashes, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, (1 << 31) - 1, size=num_hashes, dtype=np.uint64)
+    b = rng.integers(0, (1 << 31) - 1, size=num_hashes, dtype=np.uint64)
+    hashes = rng.integers(0, 1 << 32, size=n_values, dtype=np.uint64)
+    prime = np.uint64((1 << 31) - 1)
+    expected = ((a[:, None] * hashes[None, :] + b[:, None]) % prime).min(axis=1)
+    assert np.array_equal(minhash_mins(a, b, hashes), expected)
+    # Chunk boundaries must not matter.
+    assert np.array_equal(minhash_mins(a, b, hashes, chunk=7), expected)
+
+
+def test_minhash_mins_rejects_empty():
+    a = np.ones(4, dtype=np.uint64)
+    with pytest.raises(ValueError):
+        minhash_mins(a, a, np.empty(0, dtype=np.uint64))
+
+
+def test_minhash_signature_matches_golden():
+    hasher = MinHasher(
+        num_hashes=GOLDEN["minhash"]["num_hashes"], rng=GOLDEN["minhash"]["rng"]
+    )
+    assert hasher.fingerprint == GOLDEN["minhash"]["coefficient_fingerprint"]
+    signature = hasher.signature(TRICKY_VALUES)
+    assert [int(v) for v in signature.values] == (
+        GOLDEN["minhash"]["signatures"]["tricky"]
+    )
+
+
+# -- streaming categorical digests --------------------------------------------
+
+
+@given(
+    values=st.lists(value_strategy, max_size=50),
+    chunk=st.integers(1, 64),
+)
+@settings(max_examples=80, deadline=None)
+def test_digest_categorical_equals_repr_list(values, chunk):
+    array = np.empty(len(values), dtype=object)
+    array[:] = values
+    seed_digest = hashlib.blake2b(digest_size=16)
+    seed_digest.update(repr(list(array)).encode("utf-8"))
+    streamed = hashlib.blake2b(digest_size=16)
+    digest_categorical(streamed, array, chunk=chunk)
+    assert streamed.hexdigest() == seed_digest.hexdigest()
+
+
+# -- end-to-end artifacts against the recorded seed values --------------------
+
+
+def _golden_tables():
+    import tests.data.gen_seed_golden as gen
+
+    return gen.golden_tables()
+
+
+def test_table_fingerprints_match_golden():
+    tables = _golden_tables()
+    for name, expected in GOLDEN["table_fingerprints"].items():
+        assert table_fingerprint(tables[name]) == expected, name
+
+
+def test_correlation_sketch_matches_golden():
+    keys = [f"k{i % 9}" if i % 13 else None for i in range(40)]
+    values = [float("nan") if i % 5 == 0 else float(i) * 0.5 for i in range(40)]
+    sketch = CorrelationSketch.build(keys, values, size=8, seed=17)
+    assert sketch.num_keys == GOLDEN["correlation_sketch"]["num_keys"]
+    assert [
+        [h, repr(k), v] for h, k, v in sketch.entries
+    ] == GOLDEN["correlation_sketch"]["entries"]
+
+
+def test_correlation_sketch_array_fast_path_equals_list_path():
+    rng = np.random.default_rng(3)
+    n = 500
+    keys_list = [
+        None if i % 17 == 0 else f"key-{int(rng.integers(0, 40))}"
+        for i in range(n)
+    ]
+    values_arr = rng.normal(size=n)
+    values_arr[::7] = np.nan
+    keys_arr = np.empty(n, dtype=object)
+    keys_arr[:] = keys_list
+    fast = CorrelationSketch.build(keys_arr, values_arr, size=32, seed=17)
+    slow = CorrelationSketch.build(keys_list, list(values_arr), size=32, seed=17)
+    assert fast == slow
+
+
+def test_golden_file_regenerates_identically():
+    import tests.data.gen_seed_golden as gen
+
+    recorded = (Path(__file__).parent / "data" / "seed_golden.json").read_text()
+    tables = gen.golden_tables()
+    fresh = {name: table_fingerprint(table) for name, table in tables.items()}
+    assert fresh == json.loads(recorded)["table_fingerprints"]

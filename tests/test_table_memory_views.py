@@ -1,0 +1,191 @@
+"""Table memory introspection and zero-copy slicing semantics.
+
+`memory_usage` follows the torcharrow ``NumericalColumn`` pattern:
+shallow usage is the buffer extent each column actually views, deep
+usage adds the payload of referenced python objects.  Zero-copy paths
+(`project`, `rename`, contiguous `take`/`head`) must share buffers,
+be guarded read-only, and never freeze the parent's arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from respdi.table import ColumnSpec, ColumnType, Schema, Table
+
+SCHEMA = Schema(
+    [
+        ColumnSpec("name", ColumnType.CATEGORICAL),
+        ColumnSpec("x", ColumnType.NUMERIC),
+    ]
+)
+
+
+def make_table(n=20):
+    return Table(
+        SCHEMA,
+        {
+            "name": [None if i % 5 == 0 else f"row-{i}" for i in range(n)],
+            "x": [float("nan") if i % 7 == 0 else float(i) for i in range(n)],
+        },
+    )
+
+
+# -- memory_usage -------------------------------------------------------------
+
+
+def test_memory_usage_shallow_is_buffer_extent():
+    table = make_table(16)
+    usage = table.memory_usage()
+    assert usage["x"] == 16 * 8
+    assert usage["name"] == table.column("name").nbytes
+
+
+def test_memory_usage_deep_adds_object_payload_for_categoricals_only():
+    table = make_table(16)
+    shallow = table.memory_usage()
+    deep = table.memory_usage(deep=True)
+    assert deep["x"] == shallow["x"]
+    assert deep["name"] > shallow["name"]
+
+
+def test_memory_usage_deep_counts_shared_objects_once():
+    value = "shared-payload-string"
+    table = Table(
+        Schema([ColumnSpec("v", ColumnType.CATEGORICAL)]), {"v": [value] * 100}
+    )
+    single = Table(
+        Schema([ColumnSpec("v", ColumnType.CATEGORICAL)]), {"v": [value]}
+    )
+    overhead = table.memory_usage(deep=True)["v"] - table.memory_usage()["v"]
+    single_overhead = (
+        single.memory_usage(deep=True)["v"] - single.memory_usage()["v"]
+    )
+    assert overhead == single_overhead
+
+
+def test_memory_usage_empty_and_all_nan():
+    empty = Table.empty(SCHEMA)
+    assert empty.memory_usage(deep=True) == {"name": 0, "x": 0}
+    allnan = Table(
+        Schema([ColumnSpec("x", ColumnType.NUMERIC)]), {"x": [None] * 12}
+    )
+    assert allnan.memory_usage(deep=True)["x"] == 12 * 8
+
+
+def test_memory_usage_shrinks_with_views():
+    table = make_table(100)
+    head = table.head(10)
+    assert head.memory_usage()["x"] == 10 * 8
+    assert head.memory_usage()["x"] < table.memory_usage()["x"]
+
+
+@given(
+    n=st.integers(1, 30),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_memory_usage_monotone_under_take(n, data):
+    table = make_table(n)
+    subset = data.draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=n)
+    )
+    taken = table.take(subset)
+    full = table.memory_usage(deep=True)
+    small = taken.memory_usage(deep=True)
+    for column in table.column_names:
+        assert small[column] <= full[column]
+
+
+# -- zero-copy views ----------------------------------------------------------
+
+
+def test_project_shares_buffers_readonly():
+    table = make_table()
+    projected = table.project(["x"])
+    assert np.shares_memory(projected.column("x"), table.column("x"))
+    assert not projected.column("x").flags.writeable
+    with pytest.raises(ValueError):
+        projected.column("x")[0] = 99.0
+    # The parent's own array is untouched by the guard.
+    assert table.column("x").flags.writeable
+
+
+def test_rename_shares_buffers_readonly():
+    table = make_table()
+    renamed = table.rename({"x": "y"})
+    assert np.shares_memory(renamed.column("y"), table.column("x"))
+    assert not renamed.column("y").flags.writeable
+
+
+def test_contiguous_take_and_head_are_views():
+    table = make_table(50)
+    head = table.head(10)
+    window = table.take(range(5, 25))
+    for sliced in (head, window):
+        for name in table.column_names:
+            assert np.shares_memory(sliced.column(name), table.column(name))
+            assert not sliced.column(name).flags.writeable
+    assert head.equals(Table(SCHEMA, {
+        "name": list(table.column("name")[:10]),
+        "x": table.column("x")[:10].copy(),
+    }))
+    assert len(window) == 20
+    assert window.row(0) == table.row(5)
+
+
+def test_noncontiguous_take_still_copies():
+    table = make_table(30)
+    for indices in ([4, 2, 9], [1, 1, 2], [0, 2, 4], [-1, 0], []):
+        taken = table.take(indices)
+        expected = [table.row(int(i)) for i in np.asarray(indices, dtype=int)]
+        got = list(taken.iter_rows())
+        for row_got, row_exp in zip(got, expected):
+            for a, b in zip(row_got, row_exp):
+                assert (a != a and b != b) or a == b
+        if len(indices):
+            assert not np.shares_memory(taken.column("x"), table.column("x"))
+
+
+def test_views_compose_and_stay_correct():
+    table = make_table(40)
+    view = table.head(30).project(["x"]).head(7)
+    assert np.shares_memory(view.column("x"), table.column("x"))
+    np.testing.assert_array_equal(
+        view.column("x"), table.column("x")[:7]
+    )
+    # Derived operations on a read-only view produce fresh writable data.
+    shuffled = view.shuffle(rng=0)
+    assert shuffled.column("x").flags.writeable
+
+
+def test_view_survives_parent_going_out_of_scope():
+    head = make_table(25).head(5)
+    assert float(np.nansum(head.column("x"))) == 1.0 + 2.0 + 3.0 + 4.0
+
+
+# -- iter_rows / to_dicts preserve seed semantics -----------------------------
+
+
+def test_iter_rows_matches_per_index_access():
+    table = make_table(12)
+    rows = list(table.iter_rows())
+    assert len(rows) == 12
+    for i, row in enumerate(rows):
+        for value, expected in zip(row, table.row(i)):
+            assert (value != value and expected != expected) or value == expected
+    # Numeric cells keep their numpy scalar identity (repr-sorted
+    # consumers depend on np.float64 reprs, not python float reprs).
+    assert isinstance(rows[1][1], np.float64)
+
+
+def test_iter_rows_empty_cases():
+    assert list(Table.empty(SCHEMA).iter_rows()) == []
+    assert Table.empty(SCHEMA).to_dicts() == []
+
+
+def test_to_dicts_round_trip():
+    table = make_table(9)
+    rebuilt = Table.from_dicts(SCHEMA, table.to_dicts())
+    assert rebuilt.equals(table)

@@ -1,0 +1,97 @@
+"""Vectorized table-core determinism across processes and warm catalogs.
+
+Two guarantees beyond the in-process differential suite:
+
+* **PYTHONHASHSEED matrix** — signatures sign ``set(values)`` and the
+  memo caches key on values, so per-process hash randomization perturbs
+  every iteration order the vectorized paths see; the emitted artifacts
+  must still be byte-identical across seeds.
+* **Warm-catalog compatibility** — a catalog on disk opens warm under
+  the vectorized code: refreshing the identical tables re-sketches
+  nothing, because the streamed fingerprints reproduce the stored ones
+  exactly (the golden fixture pins them to the seed scalar output).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from respdi.catalog.store import CatalogStore, table_fingerprint
+from respdi.datagen.lake import LakeSpec, generate_lake
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_SCRIPT = """
+import json, sys
+import numpy as np
+from respdi.discovery.correlation_sketches import CorrelationSketch
+from respdi.discovery.minhash import MinHasher
+from respdi.table.hashing import salted_hash64_list, stable_hash32_list
+import tests.data.gen_seed_golden as gen
+
+tables = gen.golden_tables()
+values = set(gen.TRICKY_VALUES) | {f"extra-{i}" for i in range(100)}
+
+hasher = MinHasher(num_hashes=32, rng=5)
+keys = [f"k{i % 9}" if i % 13 else None for i in range(40)]
+vals = [float("nan") if i % 5 == 0 else float(i) * 0.5 for i in range(40)]
+sketch = CorrelationSketch.build(keys, vals, size=8, seed=17)
+
+from respdi.catalog.store import table_fingerprint
+print(json.dumps({
+    "hash32": sorted(stable_hash32_list(values)),
+    "salted": sorted(salted_hash64_list(values, 17)),
+    "signature": hasher.signature(values).values.tolist(),
+    "fingerprints": {n: table_fingerprint(t) for n, t in tables.items()},
+    "sketch": [[h, repr(k), v] for h, k, v in sketch.entries],
+}))
+"""
+
+
+def _run_vectorized(hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    root = str(Path(__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        SRC + os.pathsep + root + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def test_vectorized_artifacts_identical_across_hash_seeds():
+    first = _run_vectorized("1")
+    second = _run_vectorized("2")
+    assert first == second
+    # And they match the recorded seed-scalar golden values.
+    golden = json.loads(
+        (Path(__file__).parent / "data" / "seed_golden.json").read_text()
+    )
+    assert first["fingerprints"] == golden["table_fingerprints"]
+    assert first["sketch"] == golden["correlation_sketch"]["entries"]
+
+
+def test_existing_catalog_opens_warm_zero_resketches(tmp_path):
+    lake = generate_lake(LakeSpec(n_distractors=4), rng=11)
+    tables = dict(lake.tables)
+    CatalogStore.build(tmp_path / "cat", tables, rng=7)
+
+    reopened = CatalogStore.open(tmp_path / "cat")
+    rebuilt = reopened.refresh_many(tables)
+    assert rebuilt == {name: False for name in tables}
+
+    # The stored fingerprints are exactly what the streamed path computes.
+    for name, table in tables.items():
+        assert reopened.meta(name)["fingerprint"] == table_fingerprint(table)
+
+    # The warm index rehydrates every table from persisted artifacts.
+    index = reopened.index()
+    assert set(index.table_names) == set(tables)
